@@ -1,0 +1,90 @@
+// Shared helpers for the table-reproduction harnesses: run each synthesis
+// flow on a generated benchmark, collect the Table 2 metric columns, format
+// aligned rows.
+#ifndef BIDEC_BENCH_COMMON_H
+#define BIDEC_BENCH_COMMON_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "baseline/bds_like.h"
+#include "baseline/sis_like.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "verify/verifier.h"
+
+namespace bidec::bench {
+
+struct FlowResult {
+  NetlistStats stats;
+  double seconds = 0.0;
+  bool verified = false;
+  BidecStats bidec_stats;  // only for the bi-decomposition flow
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Our flow (the paper's BI-DECOMP).
+inline FlowResult run_bidecomp(const Benchmark& bench, const BidecOptions& options = {}) {
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const Timer timer;
+  BiDecomposer dec(mgr, options, bench.input_names());
+  const auto names = bench.output_names();
+  for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(names[o], spec[o]);
+  dec.finish();
+  FlowResult r;
+  r.seconds = timer.seconds();
+  r.stats = dec.netlist().stats();
+  r.bidec_stats = dec.stats();
+  r.verified = verify_against_isfs(mgr, dec.netlist(), spec).ok;
+  return r;
+}
+
+/// SIS-like baseline (espresso-lite + factoring + 2-input mapping).
+inline FlowResult run_sis_like(const Benchmark& bench) {
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const Timer timer;
+  const Netlist net =
+      sis_like_synthesize(mgr, spec, bench.input_names(), bench.output_names());
+  FlowResult r;
+  r.seconds = timer.seconds();
+  r.stats = net.stats();
+  r.verified = verify_against_isfs(mgr, net, spec).ok;
+  return r;
+}
+
+/// BDS-like baseline (BDD-structure-driven MUX synthesis).
+inline FlowResult run_bds_like(const Benchmark& bench) {
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const Timer timer;
+  const Netlist net =
+      bds_like_synthesize(mgr, spec, bench.input_names(), bench.output_names());
+  FlowResult r;
+  r.seconds = timer.seconds();
+  r.stats = net.stats();
+  r.verified = verify_against_isfs(mgr, net, spec).ok;
+  return r;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bidec::bench
+
+#endif  // BIDEC_BENCH_COMMON_H

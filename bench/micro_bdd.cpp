@@ -1,0 +1,118 @@
+// Microbenchmarks of the BDD substrate (supports the CPU-time columns of
+// Tables 2/3): ITE throughput, quantification, ISOP extraction, the
+// operations the decomposability checks are made of.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.h"
+#include "benchgen/benchgen.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+Bdd random_function(BddManager& mgr, unsigned nv, std::mt19937_64& rng) {
+  TruthTable t = TruthTable::random(std::min(nv, 12u), rng);
+  return t.to_bdd(mgr);
+}
+
+void BM_BddAnd(benchmark::State& state) {
+  const unsigned nv = static_cast<unsigned>(state.range(0));
+  BddManager mgr(nv);
+  std::mt19937_64 rng(1);
+  const Bdd f = random_function(mgr, nv, rng);
+  const Bdd g = random_function(mgr, nv, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f & g);
+  }
+}
+BENCHMARK(BM_BddAnd)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_BddIte(benchmark::State& state) {
+  const unsigned nv = static_cast<unsigned>(state.range(0));
+  BddManager mgr(nv);
+  std::mt19937_64 rng(2);
+  const Bdd f = random_function(mgr, nv, rng);
+  const Bdd g = random_function(mgr, nv, rng);
+  const Bdd h = random_function(mgr, nv, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.ite(f, g, h));
+  }
+}
+BENCHMARK(BM_BddIte)->Arg(8)->Arg(12);
+
+void BM_BddExists(benchmark::State& state) {
+  const unsigned nv = 12;
+  BddManager mgr(nv);
+  std::mt19937_64 rng(3);
+  const Bdd f = random_function(mgr, nv, rng);
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < static_cast<unsigned>(state.range(0)); ++v) {
+    vars.push_back(v * 2);
+  }
+  const Bdd cube = mgr.make_cube(vars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.exists(f, cube));
+  }
+}
+BENCHMARK(BM_BddExists)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_BddAndExists(benchmark::State& state) {
+  const unsigned nv = 12;
+  BddManager mgr(nv);
+  std::mt19937_64 rng(4);
+  const Bdd f = random_function(mgr, nv, rng);
+  const Bdd g = random_function(mgr, nv, rng);
+  const Bdd cube = mgr.make_cube({0, 2, 4, 6});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.and_exists(f, g, cube));
+  }
+}
+BENCHMARK(BM_BddAndExists);
+
+void BM_BddSymmetricConstruction(benchmark::State& state) {
+  const unsigned nv = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr(nv);
+    std::vector<unsigned> weights;
+    for (unsigned k = nv / 3; k <= 2 * nv / 3; ++k) weights.push_back(k);
+    benchmark::DoNotOptimize(symmetric_function(mgr, nv, weights));
+  }
+}
+BENCHMARK(BM_BddSymmetricConstruction)->Arg(9)->Arg(16)->Arg(24);
+
+void BM_BddIsop(benchmark::State& state) {
+  BddManager mgr(10);
+  std::mt19937_64 rng(5);
+  const Bdd f = random_function(mgr, 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.isop(f, f));
+  }
+}
+BENCHMARK(BM_BddIsop);
+
+void BM_BddSatCount(benchmark::State& state) {
+  BddManager mgr(12);
+  std::mt19937_64 rng(6);
+  const Bdd f = random_function(mgr, 12, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.sat_count(f));
+  }
+}
+BENCHMARK(BM_BddSatCount);
+
+void BM_TruthTableToBdd(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const TruthTable t = TruthTable::random(static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    BddManager mgr(static_cast<unsigned>(state.range(0)));
+    benchmark::DoNotOptimize(t.to_bdd(mgr));
+  }
+}
+BENCHMARK(BM_TruthTableToBdd)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace bidec
+
+BENCHMARK_MAIN();

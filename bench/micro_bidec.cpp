@@ -1,0 +1,149 @@
+// Microbenchmarks of the decomposition primitives: the Theorem 1/2 checks,
+// variable grouping, component derivation, the Fig. 4 EXOR procedure and
+// full single-output decompositions.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "bidec/check.h"
+#include "bidec/derive.h"
+#include "bidec/exor_check.h"
+#include "bidec/grouping.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<BddManager> mgr;
+  Isf isf;
+  std::vector<unsigned> support;
+
+  explicit Fixture(unsigned nv, double dc = 0.3, std::uint64_t seed = 1) {
+    mgr = std::make_unique<BddManager>(nv);
+    std::mt19937_64 rng(seed);
+    const TruthTable on = TruthTable::random(nv, rng, 0.5);
+    const TruthTable dcs = TruthTable::random(nv, rng, dc);
+    isf = Isf((on - dcs).to_bdd(*mgr), ((~on) - dcs).to_bdd(*mgr));
+    support = isf.support();
+  }
+};
+
+void BM_CheckOrDecomposable(benchmark::State& state) {
+  Fixture fx(static_cast<unsigned>(state.range(0)));
+  const unsigned xa[] = {0}, xb[] = {1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_or_decomposable(fx.isf, xa, xb));
+  }
+}
+BENCHMARK(BM_CheckOrDecomposable)->Arg(8)->Arg(12);
+
+void BM_CheckExor11(benchmark::State& state) {
+  Fixture fx(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_exor_decomposable_11(fx.isf, 0, 1));
+  }
+}
+BENCHMARK(BM_CheckExor11)->Arg(8)->Arg(12);
+
+void BM_ExorBidecompFig4(benchmark::State& state) {
+  BddManager mgr(10);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 10; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  const unsigned xa[] = {0, 1, 2, 3, 4}, xb[] = {5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_exor_bidecomp(isf, xa, xb));
+  }
+}
+BENCHMARK(BM_ExorBidecompFig4);
+
+void BM_GroupVariablesOr(benchmark::State& state) {
+  Fixture fx(static_cast<unsigned>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_variables_or(fx.isf, fx.support, {}));
+  }
+}
+BENCHMARK(BM_GroupVariablesOr)->Arg(8)->Arg(10);
+
+void BM_FindBestGrouping(benchmark::State& state) {
+  Fixture fx(static_cast<unsigned>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_best_grouping(fx.isf, fx.support, {}));
+  }
+}
+BENCHMARK(BM_FindBestGrouping)->Arg(8)->Arg(10);
+
+void BM_DeriveOrComponents(benchmark::State& state) {
+  // A guaranteed OR-decomposable fixture: disjoint-support disjunction with
+  // extra shared variables.
+  BddManager mgr(10);
+  std::mt19937_64 rng(3);
+  const TruthTable left = TruthTable::random(5, rng);
+  Bdd l = left.to_bdd(mgr);
+  Bdd r = mgr.bdd_false();
+  for (unsigned v = 5; v < 10; ++v) r |= mgr.var(v) & mgr.var((v + 1 == 10) ? 5 : v + 1);
+  const Isf isf = Isf::from_csf(l | r);
+  const unsigned xa[] = {0, 1}, xb[] = {6, 7};
+  if (!check_or_decomposable(isf, xa, xb)) {
+    state.SkipWithError("fixture not OR-decomposable");
+    return;
+  }
+  for (auto _ : state) {
+    const Isf a = derive_or_component_a(isf, xa, xb);
+    benchmark::DoNotOptimize(derive_or_component_b(isf, a.any_cover(), xa));
+  }
+}
+BENCHMARK(BM_DeriveOrComponents);
+
+void BM_DecomposeRandom(benchmark::State& state) {
+  const unsigned nv = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture fx(nv, 0.25, 42);
+    state.ResumeTiming();
+    BiDecomposer dec(*fx.mgr);
+    benchmark::DoNotOptimize(dec.decompose(fx.isf));
+  }
+}
+BENCHMARK(BM_DecomposeRandom)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_Decompose9sym(benchmark::State& state) {
+  for (auto _ : state) {
+    const Benchmark& b = find_benchmark("9sym");
+    BddManager mgr(b.num_inputs);
+    const std::vector<Isf> spec = b.build(mgr);
+    BiDecomposer dec(mgr);
+    benchmark::DoNotOptimize(dec.decompose(spec[0]));
+  }
+}
+BENCHMARK(BM_Decompose9sym)->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeRd84(benchmark::State& state) {
+  for (auto _ : state) {
+    const Benchmark& b = find_benchmark("rd84");
+    BddManager mgr(b.num_inputs);
+    const std::vector<Isf> spec = b.build(mgr);
+    BiDecomposer dec(mgr);
+    for (std::size_t o = 0; o < spec.size(); ++o) {
+      dec.add_output("f" + std::to_string(o), spec[o]);
+    }
+    benchmark::DoNotOptimize(dec.netlist().num_nodes());
+  }
+}
+BENCHMARK(BM_DecomposeRd84)->Unit(benchmark::kMillisecond);
+
+void BM_RemoveInessentialVariables(benchmark::State& state) {
+  Fixture fx(10, 0.6, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.isf.remove_inessential_variables());
+  }
+}
+BENCHMARK(BM_RemoveInessentialVariables);
+
+}  // namespace
+}  // namespace bidec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduction of Table 3 (paper Section 8): BI-DECOMP vs the BDS-like
+// BDD-structural flow, plus the weak-only ablation of our own algorithm
+// (the paper conjectures BDS "applies only weak bi-decomposition").
+// Columns follow the paper: gates, exors, CPU time per flow.
+//
+// Expected shape: strong bi-decomposition produces fewer gates than both the
+// BDD-structural flow and the weak-only ablation, especially on the
+// EXOR-intensive rows (9sym, rd84, t481).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace bidec;
+  using namespace bidec::bench;
+
+  std::printf("Table 3: comparison with the BDS-like flow and the weak-only ablation\n");
+  std::printf("(* = synthetic stand-in benchmark; see DESIGN.md Section 4)\n\n");
+  std::printf("%-9s | %6s %6s %8s | %6s %6s %8s | %6s %6s %8s | %s\n", "name",
+              "gates", "exors", "time,s", "gates", "exors", "time,s", "gates",
+              "exors", "time,s", "verdict");
+  std::printf("%-9s | %22s | %22s | %22s |\n", "", "BDS-like (dom+MUX)",
+              "weak-only BI-DECOMP", "BI-DECOMP (this work)");
+  print_rule(120);
+
+  int wins_vs_bds = 0, wins_vs_weak = 0, rows = 0;
+  bool all_verified = true;
+  for (const Benchmark& b : table3_suite()) {
+    const FlowResult bds = run_bds_like(b);
+    BidecOptions weak_only;
+    weak_only.use_strong = false;
+    const FlowResult weak = run_bidecomp(b, weak_only);
+    const FlowResult ours = run_bidecomp(b);
+    const char* verdict = ours.stats.gates <= bds.stats.gates &&
+                                  ours.stats.gates <= weak.stats.gates
+                              ? "strong smallest"
+                              : "mixed";
+    std::printf("%-8s%s | %6zu %6zu %8.2f | %6zu %6zu %8.2f | %6zu %6zu %8.2f | %s\n",
+                b.name.c_str(), b.stand_in ? "*" : " ", bds.stats.gates,
+                bds.stats.exors, bds.seconds, weak.stats.gates, weak.stats.exors,
+                weak.seconds, ours.stats.gates, ours.stats.exors, ours.seconds,
+                verdict);
+    std::fflush(stdout);
+    ++rows;
+    if (ours.stats.gates <= bds.stats.gates) ++wins_vs_bds;
+    if (ours.stats.gates <= weak.stats.gates) ++wins_vs_weak;
+    all_verified &= bds.verified && weak.verified && ours.verified;
+  }
+  print_rule(120);
+  std::printf("BI-DECOMP <= BDS-like gates on %d/%d rows; <= weak-only gates on %d/%d "
+              "rows; all verified: %s\n",
+              wins_vs_bds, rows, wins_vs_weak, rows, all_verified ? "yes" : "NO");
+  std::printf("(paper: BI-DECOMP outperforms BDS, attributed to strong bi-decomposition)\n");
+  return all_verified ? 0 : 1;
+}

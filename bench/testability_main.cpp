@@ -1,0 +1,49 @@
+// Theorem 5 at benchmark scale: every netlist produced by BI-DECOMP is 100%
+// single-stuck-at testable. Runs the full ATPG flow (random fault simulation
+// + exact BDD redundancy proof) on the suite and reports coverage; also runs
+// the SIS-like baseline for contrast (it carries no testability guarantee,
+// though its netlists are usually testable too after minimization).
+#include <cstdio>
+
+#include "atpg/atpg.h"
+#include "common.h"
+
+int main() {
+  using namespace bidec;
+  using namespace bidec::bench;
+
+  std::printf("Theorem 5: single-stuck-at testability of BI-DECOMP netlists\n");
+  std::printf("(the sweep column applies the redundancy-removal pass -- the paper's\n"
+              " future-work ATPG integration -- needed only where EXOR components\n"
+              " were derived with don't-cares; see DESIGN.md)\n\n");
+  std::printf("%-9s | %7s %9s %9s %10s %9s | %11s\n", "name", "faults", "random",
+              "exact", "redundant", "coverage", "after sweep");
+  print_rule(85);
+
+  bool all_full = true;
+  for (const char* name : {"9sym", "rd84", "5xp1", "alu2", "t481", "misex2"}) {
+    const Benchmark& b = find_benchmark(name);
+    BddManager mgr(b.num_inputs);
+    const std::vector<Isf> spec = b.build(mgr);
+    BiDecomposer dec(mgr, {}, b.input_names());
+    const auto out_names = b.output_names();
+    for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(out_names[o], spec[o]);
+    dec.finish();
+    const AtpgResult res = run_atpg(mgr, dec.netlist());
+    double swept_coverage = res.coverage();
+    if (res.redundant != 0) {
+      Netlist cleaned = dec.netlist();
+      (void)remove_redundancies(mgr, cleaned);
+      swept_coverage = run_atpg(mgr, cleaned).coverage();
+    }
+    std::printf("%-9s | %7zu %9zu %9zu %10zu %8.2f%% | %10.2f%%\n", b.name.c_str(),
+                res.total_faults, res.detected_by_random, res.detected_by_exact,
+                res.redundant, 100.0 * res.coverage(), 100.0 * swept_coverage);
+    std::fflush(stdout);
+    all_full &= swept_coverage == 1.0;
+  }
+  print_rule(85);
+  std::printf("all netlists 100%% testable (after sweep where needed): %s\n",
+              all_full ? "yes" : "NO");
+  return all_full ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+// The everything-tool: read a PLA or BLIF design, synthesize it with the
+// bi-decomposition flow (optionally reordered and technology-mapped),
+// verify, optionally run ATPG, and write BLIF/DOT. This is the interface a
+// downstream user scripts against.
+//
+//   bidecomp_cli <input.{pla,blif}> [options]
+//     -o <file.blif>        write the synthesized netlist
+//     --dot <file.dot>      write a Graphviz rendering
+//     --lib <file.genlib>   map onto this cell library (simplified genlib)
+//     --reorder <none|force|sift>
+//     --weak-only --no-exor --no-cache --no-map
+//     --atpg                run stuck-at ATPG and report coverage
+//     --sweep               remove redundancies after synthesis
+//     --stats               print decomposition statistics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "atpg/atpg.h"
+#include "bidec/flow.h"
+#include "io/blif.h"
+#include "io/pla.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using namespace bidec;
+
+struct CliArgs {
+  std::string input;
+  std::string output_blif;
+  std::string output_dot;
+  std::string library;
+  FlowOptions flow;
+  bool atpg = false;
+  bool sweep = false;
+  bool stats = false;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bidecomp_cli <input.{pla,blif}> [-o out.blif] [--dot out.dot]\n"
+               "       [--lib lib.genlib] [--reorder none|force|sift]\n"
+               "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
+               "       [--atpg] [--sweep] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-o") {
+      const char* v = next();
+      if (!v) return usage();
+      args.output_blif = v;
+    } else if (a == "--dot") {
+      const char* v = next();
+      if (!v) return usage();
+      args.output_dot = v;
+    } else if (a == "--lib") {
+      const char* v = next();
+      if (!v) return usage();
+      args.library = v;
+    } else if (a == "--reorder") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "none") == 0) {
+        args.flow.reorder = OrderHeuristic::kNone;
+      } else if (std::strcmp(v, "force") == 0) {
+        args.flow.reorder = OrderHeuristic::kForce;
+      } else if (std::strcmp(v, "sift") == 0) {
+        args.flow.reorder = OrderHeuristic::kSift;
+      } else {
+        return usage();
+      }
+    } else if (a == "--weak-only") {
+      args.flow.bidec.use_strong = false;
+    } else if (a == "--no-exor") {
+      args.flow.bidec.use_exor = false;
+    } else if (a == "--no-cache") {
+      args.flow.bidec.use_cache = false;
+    } else if (a == "--no-map") {
+      args.flow.bidec.absorb_inverters = false;
+    } else if (a == "--atpg") {
+      args.atpg = true;
+    } else if (a == "--sweep") {
+      args.sweep = true;
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else if (args.input.empty() && a[0] != '-') {
+      args.input = a;
+    } else {
+      return usage();
+    }
+  }
+  if (args.input.empty()) return usage();
+
+  try {
+    // --- read the specification --------------------------------------------
+    // NOTE: the manager must be declared before every Bdd/Isf handle so it
+    // is destroyed last (handles dereference their manager on destruction).
+    std::unique_ptr<BddManager> mgr;
+    std::vector<Isf> spec;
+    std::vector<std::string> in_names, out_names;
+    unsigned num_inputs = 0;
+    if (ends_with(args.input, ".pla")) {
+      const PlaFile pla = PlaFile::load(args.input);
+      num_inputs = pla.num_inputs;
+      mgr = std::make_unique<BddManager>(num_inputs);
+      spec = pla.to_isfs(*mgr);
+      for (unsigned i = 0; i < pla.num_inputs; ++i) in_names.push_back(pla.input_name(i));
+      for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
+      std::printf("read PLA %s: %u in, %u out, %zu cubes\n", args.input.c_str(),
+                  pla.num_inputs, pla.num_outputs, pla.rows.size());
+    } else if (ends_with(args.input, ".blif")) {
+      const Netlist original = load_blif(args.input);
+      num_inputs = static_cast<unsigned>(original.num_inputs());
+      mgr = std::make_unique<BddManager>(num_inputs);
+      const std::vector<Bdd> funcs = netlist_to_bdds(*mgr, original);
+      for (const Bdd& f : funcs) spec.push_back(Isf::from_csf(f));
+      for (std::size_t i = 0; i < original.num_inputs(); ++i) {
+        in_names.push_back(original.input_name(i));
+      }
+      for (std::size_t o = 0; o < original.num_outputs(); ++o) {
+        out_names.push_back(original.output_name(o));
+      }
+      std::printf("read BLIF %s: %u in, %zu out, %zu gates (collapsed to BDDs)\n",
+                  args.input.c_str(), num_inputs, original.num_outputs(),
+                  original.stats().gates);
+    } else {
+      std::fprintf(stderr, "error: input must end in .pla or .blif\n");
+      return 2;
+    }
+
+    // --- synthesize ---------------------------------------------------------
+    if (!args.library.empty()) {
+      std::ifstream lib_in(args.library);
+      if (!lib_in) throw std::runtime_error("cannot open library " + args.library);
+      args.flow.library = CellLibrary::parse(lib_in);
+    }
+    FlowResult res = synthesize_bidecomp(*mgr, spec, in_names, out_names, args.flow);
+    if (args.sweep) {
+      const std::size_t removed = remove_redundancies(*mgr, res.netlist);
+      if (removed != 0) std::printf("redundancy sweep removed %zu faults\n", removed);
+    }
+
+    // --- verify + report ----------------------------------------------------
+    const VerifyResult ok = verify_against_isfs(*mgr, res.netlist, spec);
+    if (!ok.ok) {
+      std::fprintf(stderr, "VERIFICATION FAILED on output %zu\n", ok.first_failed_output);
+      return 1;
+    }
+    const NetlistStats s = res.netlist.stats();
+    std::printf("synthesized: %zu gates (%zu exors, %zu inverters), area %.0f, "
+                "%u levels, delay %.1f -- verified OK\n",
+                s.gates, s.exors, s.inverters, s.area, s.cascades, s.delay);
+    if (args.stats) {
+      const BidecStats& d = res.stats;
+      std::printf("calls=%zu strong(or/and/exor)=%zu/%zu/%zu weak(or/and)=%zu/%zu "
+                  "terminal=%zu cache=%zu+%zu bdd-nodes=%zu->%zu\n",
+                  d.calls, d.strong_or, d.strong_and, d.strong_exor, d.weak_or,
+                  d.weak_and, d.terminal_cases, d.cache_hits, d.cache_complement_hits,
+                  res.bdd_nodes_before, res.bdd_nodes_after);
+    }
+    if (args.atpg) {
+      const AtpgResult atpg = run_atpg(*mgr, res.netlist);
+      std::printf("ATPG: %zu faults, %.2f%% coverage (%zu redundant)\n",
+                  atpg.total_faults, 100.0 * atpg.coverage(), atpg.redundant);
+    }
+
+    // --- write outputs ------------------------------------------------------
+    if (!args.output_blif.empty()) {
+      save_blif(res.netlist, "bidecomp", args.output_blif);
+      std::printf("wrote %s\n", args.output_blif.c_str());
+    }
+    if (!args.output_dot.empty()) {
+      std::ofstream dot(args.output_dot);
+      dot << res.netlist.to_dot();
+      std::printf("wrote %s\n", args.output_dot.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

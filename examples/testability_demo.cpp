@@ -1,0 +1,60 @@
+// Testability demo (Theorem 5): decompose a benchmark, enumerate all single
+// stuck-at faults, detect them with random fault simulation plus exact
+// BDD-based generation, and print a handful of generated test vectors.
+//
+//   $ ./testability_demo [benchmark-name]    (default: rd84)
+#include <cstdio>
+#include <string>
+
+#include "atpg/atpg.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+
+int main(int argc, char** argv) {
+  using namespace bidec;
+  const std::string name = argc > 1 ? argv[1] : "rd84";
+
+  try {
+    const Benchmark& bench = find_benchmark(name);
+    std::printf("benchmark %s: %u inputs, %u outputs%s\n", bench.name.c_str(),
+                bench.num_inputs, bench.num_outputs,
+                bench.stand_in ? " (synthetic stand-in)" : "");
+
+    BddManager mgr(bench.num_inputs);
+    const std::vector<Isf> spec = bench.build(mgr);
+    BiDecomposer dec(mgr, {}, bench.input_names());
+    const auto out_names = bench.output_names();
+    for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(out_names[o], spec[o]);
+    dec.finish();
+
+    const NetlistStats s = dec.netlist().stats();
+    std::printf("netlist: %zu gates, %u levels\n", s.gates, s.cascades);
+
+    // Use few random rounds so the exact engine generates plenty of tests to
+    // show off.
+    const AtpgResult res = run_atpg(mgr, dec.netlist(), /*random_words=*/2);
+    std::printf("faults: %zu total, %zu detected by random patterns, %zu by exact "
+                "generation, %zu redundant\n",
+                res.total_faults, res.detected_by_random, res.detected_by_exact,
+                res.redundant);
+    std::printf("coverage: %.2f%% (Theorem 5 predicts 100%%)\n", 100.0 * res.coverage());
+
+    std::printf("\nsample generated tests (fault -> input vector):\n");
+    std::size_t shown = 0;
+    for (const auto& [fault, test] : res.generated_tests) {
+      if (shown++ == 8) break;
+      std::string vec;
+      for (const bool bit : test) vec += bit ? '1' : '0';
+      std::printf("  node %u %s stuck-at-%d  ->  %s\n", fault.node,
+                  fault.pin < 0 ? "output" : (fault.pin == 0 ? "pin0" : "pin1"),
+                  fault.stuck_value ? 1 : 0, vec.c_str());
+    }
+    if (res.generated_tests.empty()) {
+      std::printf("  (random patterns already detected every fault)\n");
+    }
+    return res.redundant == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,197 @@
+#include "atpg/atpg.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "verify/verifier.h"
+
+namespace bidec {
+
+std::vector<Fault> enumerate_faults(const Netlist& net) {
+  std::vector<Fault> faults;
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    if (n.type == GateType::kConst0 || n.type == GateType::kConst1) continue;
+    for (const bool v : {false, true}) faults.push_back(Fault{id, -1, v});
+    const unsigned arity = gate_arity(n.type);
+    for (unsigned pin = 0; pin < arity; ++pin) {
+      for (const bool v : {false, true}) {
+        faults.push_back(Fault{id, static_cast<int>(pin), v});
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<std::uint64_t> simulate_with_fault(const Netlist& net,
+                                               const std::vector<std::uint64_t>& in_words,
+                                               const Fault& fault) {
+  if (in_words.size() != net.num_inputs()) {
+    throw std::invalid_argument("simulate_with_fault: wrong number of input words");
+  }
+  std::vector<std::uint64_t> value(net.num_nodes(), 0);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) value[net.inputs()[i]] = in_words[i];
+  const std::uint64_t stuck = fault.stuck_value ? ~std::uint64_t{0} : 0;
+  for (SignalId id = 0; id < net.num_nodes(); ++id) {
+    const Netlist::Node& n = net.node(id);
+    std::uint64_t a = n.fanin0 != kNoSignal ? value[n.fanin0] : 0;
+    std::uint64_t b = n.fanin1 != kNoSignal ? value[n.fanin1] : 0;
+    if (id == fault.node) {
+      if (fault.pin == 0) a = stuck;
+      if (fault.pin == 1) b = stuck;
+    }
+    std::uint64_t out = n.type == GateType::kInput ? value[id] : gate_eval64(n.type, a, b);
+    if (id == fault.node && fault.pin < 0) out = stuck;
+    value[id] = out;
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(net.num_outputs());
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    out.push_back(value[net.output_signal(o)]);
+  }
+  return out;
+}
+
+std::vector<Bdd> faulty_netlist_to_bdds(BddManager& mgr, const Netlist& net,
+                                        const Fault& fault) {
+  std::vector<Bdd> value(net.num_nodes());
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    value[net.inputs()[i]] = mgr.var(static_cast<unsigned>(i));
+  }
+  const auto stuck_bdd = [&] {
+    return fault.stuck_value ? mgr.bdd_true() : mgr.bdd_false();
+  };
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    Bdd a = n.fanin0 != kNoSignal ? value[n.fanin0] : Bdd{};
+    Bdd b = n.fanin1 != kNoSignal ? value[n.fanin1] : Bdd{};
+    if (id == fault.node) {
+      if (fault.pin == 0) a = stuck_bdd();
+      if (fault.pin == 1) b = stuck_bdd();
+    }
+    switch (n.type) {
+      case GateType::kInput: break;
+      case GateType::kConst0: value[id] = mgr.bdd_false(); break;
+      case GateType::kConst1: value[id] = mgr.bdd_true(); break;
+      case GateType::kBuf: value[id] = a; break;
+      case GateType::kNot: value[id] = ~a; break;
+      case GateType::kAnd: value[id] = a & b; break;
+      case GateType::kOr: value[id] = a | b; break;
+      case GateType::kXor: value[id] = a ^ b; break;
+      case GateType::kNand: value[id] = ~(a & b); break;
+      case GateType::kNor: value[id] = ~(a | b); break;
+      case GateType::kXnor: value[id] = ~(a ^ b); break;
+    }
+    if (id == fault.node && fault.pin < 0) value[id] = stuck_bdd();
+  }
+  std::vector<Bdd> outputs;
+  outputs.reserve(net.num_outputs());
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    outputs.push_back(value[net.output_signal(o)]);
+  }
+  return outputs;
+}
+
+namespace {
+
+/// Rebuild the netlist with the faulted line tied to the stuck value; with a
+/// redundant fault this is functionality-preserving, and the constant
+/// folding in add_gate deletes the logic the line was masking.
+Netlist apply_stuck(const Netlist& net, const Fault& fault) {
+  Netlist fresh;
+  std::vector<SignalId> map(net.num_nodes(), kNoSignal);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    map[net.inputs()[i]] = fresh.add_input(net.input_name(i));
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    SignalId s = kNoSignal;
+    switch (n.type) {
+      case GateType::kInput:
+        s = map[id];
+        break;
+      case GateType::kConst0:
+        s = fresh.get_const(false);
+        break;
+      case GateType::kConst1:
+        s = fresh.get_const(true);
+        break;
+      default: {
+        SignalId a = n.fanin0 != kNoSignal ? map[n.fanin0] : kNoSignal;
+        SignalId b = n.fanin1 != kNoSignal ? map[n.fanin1] : kNoSignal;
+        if (id == fault.node) {
+          if (fault.pin == 0) a = fresh.get_const(fault.stuck_value);
+          if (fault.pin == 1) b = fresh.get_const(fault.stuck_value);
+        }
+        s = fresh.add_gate(n.type, a, b);
+        break;
+      }
+    }
+    if (id == fault.node && fault.pin < 0) s = fresh.get_const(fault.stuck_value);
+    map[id] = s;
+  }
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    fresh.add_output(net.output_name(o), map[net.output_signal(o)]);
+  }
+  return fresh;
+}
+
+}  // namespace
+
+std::size_t remove_redundancies(BddManager& mgr, Netlist& net) {
+  std::size_t removed = 0;
+  for (;;) {
+    const AtpgResult res = run_atpg(mgr, net, /*random_words=*/16);
+    if (res.redundant == 0) return removed;
+    // Remove one redundancy at a time: fixing one line can make other
+    // previously-redundant faults testable (or vice versa).
+    net = apply_stuck(net, res.redundant_faults.front());
+    ++removed;
+  }
+}
+
+AtpgResult run_atpg(BddManager& mgr, const Netlist& net, unsigned random_words,
+                    std::uint64_t seed) {
+  AtpgResult result;
+  const std::vector<Fault> faults = enumerate_faults(net);
+  result.total_faults = faults.size();
+
+  // Phase 1: random-pattern fault simulation.
+  std::mt19937_64 rng(seed);
+  std::vector<bool> detected(faults.size(), false);
+  for (unsigned round = 0; round < random_words; ++round) {
+    std::vector<std::uint64_t> in_words(net.num_inputs());
+    for (std::uint64_t& w : in_words) w = rng();
+    const std::vector<std::uint64_t> good = net.simulate64(in_words);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detected[f]) continue;
+      const std::vector<std::uint64_t> bad = simulate_with_fault(net, in_words, faults[f]);
+      for (std::size_t o = 0; o < good.size(); ++o) {
+        if (good[o] != bad[o]) {
+          detected[f] = true;
+          ++result.detected_by_random;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: exact BDD-based generation for the survivors.
+  const std::vector<Bdd> good = netlist_to_bdds(mgr, net);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detected[f]) continue;
+    const std::vector<Bdd> bad = faulty_netlist_to_bdds(mgr, net, faults[f]);
+    Bdd diff = mgr.bdd_false();
+    for (std::size_t o = 0; o < good.size(); ++o) diff |= good[o] ^ bad[o];
+    if (diff.is_false()) {
+      ++result.redundant;
+      result.redundant_faults.push_back(faults[f]);
+    } else {
+      ++result.detected_by_exact;
+      result.generated_tests.emplace_back(faults[f], mgr.pick_one_minterm(diff));
+    }
+  }
+  return result;
+}
+
+}  // namespace bidec

@@ -1,0 +1,234 @@
+// BDS-like BDD-structural synthesis. Real BDS (Yang/Ciesielski, DAC 2000)
+// walks the shared ROBDD looking for *dominators*:
+//   - a 1-dominator d (every path to terminal 1 passes through d) yields a
+//     conjunctive split  F = F[d -> 0-replaced-by...] ... specifically
+//     F = L & D with L = F with node d replaced by terminal 1, D = the
+//     function rooted at d;
+//   - a 0-dominator yields the disjunctive dual  F = L | D with L = F with
+//     d replaced by terminal 0;
+//   - complement-child nodes yield XOR splits;
+// and falls back to Shannon/MUX expansion of the root variable. This file
+// implements exactly that hierarchy, which is also the behaviour the paper
+// conjectures for BDS ("applies only weak bi-decomposition": every split
+// keeps one side's support unrestricted).
+//
+// Don't-cares are resolved up front with the restrict-based minimized
+// cover, mirroring BDS's completely-specified view of the problem.
+#include "baseline/bds_like.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <unordered_map>
+
+namespace bidec {
+
+namespace {
+
+/// Structural substitution: the BDD obtained from `f` by replacing the node
+/// with id `target` by the constant `value`. Memoized per (root, call).
+class NodeReplacer {
+ public:
+  NodeReplacer(BddManager& mgr, NodeId target, bool value)
+      : mgr_(mgr), target_(target), value_(value) {}
+
+  Bdd operator()(const Bdd& f) {
+    if (f.id() == target_) return value_ ? mgr_.bdd_true() : mgr_.bdd_false();
+    if (f.is_const()) return f;
+    if (const auto it = memo_.find(f.id()); it != memo_.end()) return it->second;
+    const Bdd lo = (*this)(f.low());
+    const Bdd hi = (*this)(f.high());
+    const Bdd r = mgr_.ite(mgr_.var(f.top_var()), hi, lo);
+    memo_.emplace(f.id(), r);
+    return r;
+  }
+
+ private:
+  BddManager& mgr_;
+  NodeId target_;
+  bool value_;
+  std::unordered_map<NodeId, Bdd> memo_;
+};
+
+/// Dominator detection by path counting: d is a 1-dominator of f iff every
+/// diagram path from the root to terminal 1 passes through d, i.e.
+/// (paths root->d) * (1-paths d->1) == (total 1-paths of f). Counts are
+/// taken modulo two large primes (path counts overflow 64 bits on big
+/// diagrams); the chosen candidate is then verified exactly with a node
+/// replacement, so a (vanishingly unlikely) double collision cannot cause
+/// a wrong netlist.
+struct DominatorScan {
+  std::vector<Bdd> one_dominators;   ///< nearest-to-root first
+  std::vector<Bdd> zero_dominators;
+};
+
+DominatorScan scan_dominators(const Bdd& f) {
+  constexpr std::uint64_t kP[2] = {1'000'000'007ull, 998'244'353ull};
+
+  // Topological order, root first (DFS post-order reversed).
+  std::vector<Bdd> topo;
+  {
+    std::unordered_map<NodeId, bool> done;
+    std::vector<std::pair<Bdd, bool>> stack{{f, false}};
+    while (!stack.empty()) {
+      auto [g, expanded] = stack.back();
+      stack.pop_back();
+      if (g.is_const() || done[g.id()]) continue;
+      if (expanded) {
+        done[g.id()] = true;
+        topo.push_back(g);
+        continue;
+      }
+      stack.push_back({g, true});
+      stack.push_back({g.low(), false});
+      stack.push_back({g.high(), false});
+    }
+    std::reverse(topo.begin(), topo.end());  // root first
+  }
+
+  // Downward counts: paths to terminal 1 / terminal 0 (per prime).
+  std::unordered_map<NodeId, std::array<std::uint64_t, 2>> ones, zeros, from_root;
+  auto down = [&](const Bdd& g, auto& table, bool to_one) -> std::array<std::uint64_t, 2> {
+    if (g.is_const()) {
+      const bool hit = g.is_true() == to_one;
+      return {hit ? 1ull : 0ull, hit ? 1ull : 0ull};
+    }
+    return table.at(g.id());
+  };
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {  // leaves first
+    const Bdd& g = *it;
+    const auto lo1 = down(g.low(), ones, true), hi1 = down(g.high(), ones, true);
+    const auto lo0 = down(g.low(), zeros, false), hi0 = down(g.high(), zeros, false);
+    ones[g.id()] = {(lo1[0] + hi1[0]) % kP[0], (lo1[1] + hi1[1]) % kP[1]};
+    zeros[g.id()] = {(lo0[0] + hi0[0]) % kP[0], (lo0[1] + hi0[1]) % kP[1]};
+  }
+  // Root-to-node path counts (topo order, root first).
+  from_root[f.id()] = {1, 1};
+  for (const Bdd& g : topo) {
+    const auto cnt = from_root.at(g.id());
+    for (const Bdd& child : {g.low(), g.high()}) {
+      if (child.is_const()) continue;
+      auto& slot = from_root[child.id()];
+      slot[0] = (slot[0] + cnt[0]) % kP[0];
+      slot[1] = (slot[1] + cnt[1]) % kP[1];
+    }
+  }
+
+  const auto total1 = ones.at(f.id());
+  const auto total0 = zeros.at(f.id());
+  DominatorScan scan;
+  for (const Bdd& g : topo) {
+    if (g == f) continue;
+    const auto up = from_root.at(g.id());
+    const auto d1 = ones.at(g.id());
+    const auto d0 = zeros.at(g.id());
+    const bool dominates1 = (up[0] * d1[0]) % kP[0] == total1[0] &&
+                            (up[1] * d1[1]) % kP[1] == total1[1];
+    const bool dominates0 = (up[0] * d0[0]) % kP[0] == total0[0] &&
+                            (up[1] * d0[1]) % kP[1] == total0[1];
+    if (dominates1) scan.one_dominators.push_back(g);
+    if (dominates0) scan.zero_dominators.push_back(g);
+  }
+  return scan;
+}
+
+class BdsBuilder {
+ public:
+  BdsBuilder(BddManager& mgr, Netlist& net, std::vector<SignalId> inputs)
+      : mgr_(mgr), net_(net), inputs_(std::move(inputs)) {}
+
+  SignalId build(const Bdd& f) {
+    if (f.is_false()) return net_.get_const(false);
+    if (f.is_true()) return net_.get_const(true);
+    if (const auto it = memo_.find(f.id()); it != memo_.end()) return it->second;
+
+    SignalId sig = kNoSignal;
+    if (const auto split = find_dominator_split(f)) {
+      const SignalId upper = build(split->upper);
+      const SignalId lower = build(split->lower);
+      sig = net_.add_gate(split->gate, upper, lower);
+    } else {
+      sig = build_mux(f);
+    }
+    memo_.emplace(f.id(), sig);
+    keep_.push_back(f);
+    return sig;
+  }
+
+ private:
+  struct Split {
+    Bdd upper;  ///< f with the dominator node replaced by a constant
+    Bdd lower;  ///< the dominator's own function
+    GateType gate;
+  };
+
+  std::optional<Split> find_dominator_split(const Bdd& f) {
+    constexpr std::size_t kSizeCap = 50000;  // scan is linear; cap for safety
+    if (f.dag_size() > kSizeCap) return std::nullopt;
+    const DominatorScan scan = scan_dominators(f);
+    // Nearest-to-root dominators give the smallest upper part.
+    for (const Bdd& d : scan.one_dominators) {
+      // Exact verification (the scan is probabilistic): replacing d with 0
+      // must kill every 1-path.
+      if (!NodeReplacer(mgr_, d.id(), false)(f).is_false()) continue;
+      const Bdd upper = NodeReplacer(mgr_, d.id(), true)(f);
+      if (upper.is_true() || upper.id() == f.id()) continue;  // degenerate
+      return Split{upper, d, GateType::kAnd};
+    }
+    for (const Bdd& d : scan.zero_dominators) {
+      if (!NodeReplacer(mgr_, d.id(), true)(f).is_true()) continue;
+      const Bdd upper = NodeReplacer(mgr_, d.id(), false)(f);
+      if (upper.is_false() || upper.id() == f.id()) continue;
+      return Split{upper, d, GateType::kOr};
+    }
+    return std::nullopt;
+  }
+
+  SignalId build_mux(const Bdd& f) {
+    const unsigned v = f.top_var();
+    const SignalId x = inputs_[v];
+    const Bdd lo_f = f.low(), hi_f = f.high();
+    if (lo_f.is_false()) return net_.add_and(x, build(hi_f));
+    if (lo_f.is_true()) return net_.add_or(net_.add_not(x), build(hi_f));
+    if (hi_f.is_false()) return net_.add_and(net_.add_not(x), build(lo_f));
+    if (hi_f.is_true()) return net_.add_or(x, build(lo_f));
+    if (hi_f == ~lo_f) return net_.add_xor(x, build(lo_f));  // x-split
+    const SignalId lo = build(lo_f);
+    const SignalId hi = build(hi_f);
+    return net_.add_or(net_.add_and(x, hi), net_.add_and(net_.add_not(x), lo));
+  }
+
+  BddManager& mgr_;
+  Netlist& net_;
+  std::vector<SignalId> inputs_;
+  std::unordered_map<NodeId, SignalId> memo_;
+  std::vector<Bdd> keep_;  // pin memoized node ids across GC
+};
+
+}  // namespace
+
+Netlist bds_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
+                            const std::vector<std::string>& input_names,
+                            const std::vector<std::string>& output_names,
+                            bool absorb_inverters) {
+  Netlist net;
+  std::vector<SignalId> inputs;
+  inputs.reserve(mgr.num_vars());
+  for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+    const std::string name =
+        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+    inputs.push_back(net.add_input(name));
+  }
+
+  BdsBuilder builder(mgr, net, inputs);
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    const Bdd f = outputs[o].minimized_cover();
+    const std::string name =
+        o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+    net.add_output(name, builder.build(f));
+  }
+  if (absorb_inverters) net.absorb_inverters();
+  return net;
+}
+
+}  // namespace bidec

@@ -1,0 +1,30 @@
+// The BDS-like comparison point of the paper's Table 3: synthesis driven by
+// the structure of the shared ROBDD. Every BDD node becomes a multiplexer
+// realized with two-input gates (with the usual constant-child
+// simplifications), so the netlist mirrors the diagram exactly -- the
+// behaviour the paper conjectures BDS reduces to ("BDS applies only weak
+// bi-decomposition"). The second ablation axis (weak-only bi-decomposition)
+// lives in BidecOptions::use_strong.
+#ifndef BIDEC_BASELINE_BDS_LIKE_H
+#define BIDEC_BASELINE_BDS_LIKE_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+/// Synthesize MUX netlists from the BDDs of the outputs (don't-cares are
+/// resolved up front with each ISF's canonical cover, mirroring BDS's
+/// completely-specified view of the problem).
+[[nodiscard]] Netlist bds_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
+                                          const std::vector<std::string>& input_names,
+                                          const std::vector<std::string>& output_names,
+                                          bool absorb_inverters = true);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BASELINE_BDS_LIKE_H

@@ -1,0 +1,109 @@
+#include "baseline/factor.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace bidec {
+
+SignalId build_balanced_tree(Netlist& net, GateType gate,
+                             std::span<const SignalId> signals) {
+  if (signals.empty()) return net.get_const(gate == GateType::kAnd);
+  std::vector<SignalId> level(signals.begin(), signals.end());
+  while (level.size() > 1) {
+    std::vector<SignalId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(net.add_gate(gate, level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  return level.front();
+}
+
+namespace {
+
+struct Literal {
+  unsigned var;
+  bool positive;
+};
+
+SignalId literal_signal(Netlist& net, std::span<const SignalId> inputs, Literal lit) {
+  const SignalId s = inputs[lit.var];
+  return lit.positive ? s : net.add_not(s);
+}
+
+SignalId cube_signal(Netlist& net, const Cube& c, std::span<const SignalId> inputs) {
+  std::vector<SignalId> lits;
+  for (unsigned v = 0; v < c.num_vars(); ++v) {
+    const int lit = c.literal(v);
+    if (lit >= 0) lits.push_back(literal_signal(net, inputs, Literal{v, lit == 1}));
+  }
+  return build_balanced_tree(net, GateType::kAnd, lits);
+}
+
+/// The literal occurring in the most cubes (at least two), or nullopt.
+std::optional<Literal> best_divisor(const Cover& f) {
+  std::optional<Literal> best;
+  std::size_t best_count = 1;
+  for (unsigned v = 0; v < f.num_vars(); ++v) {
+    std::size_t pos = 0, neg = 0;
+    for (const Cube& c : f.cubes()) {
+      const int lit = c.literal(v);
+      if (lit == 1) ++pos;
+      if (lit == 0) ++neg;
+    }
+    if (pos > best_count) {
+      best_count = pos;
+      best = Literal{v, true};
+    }
+    if (neg > best_count) {
+      best_count = neg;
+      best = Literal{v, false};
+    }
+  }
+  return best;
+}
+
+SignalId factor_rec(Netlist& net, const Cover& f, std::span<const SignalId> inputs) {
+  if (f.empty()) return net.get_const(false);
+  for (const Cube& c : f.cubes()) {
+    if (c.is_universal()) return net.get_const(true);
+  }
+  if (f.size() == 1) return cube_signal(net, f.cube(0), inputs);
+
+  const auto divisor = best_divisor(f);
+  if (!divisor) {
+    // No shared literal: a plain balanced OR of cube ANDs.
+    std::vector<SignalId> terms;
+    terms.reserve(f.size());
+    for (const Cube& c : f.cubes()) terms.push_back(cube_signal(net, c, inputs));
+    return build_balanced_tree(net, GateType::kOr, terms);
+  }
+
+  // F = lit * quotient + remainder.
+  Cover quotient(f.num_vars());
+  Cover remainder(f.num_vars());
+  for (const Cube& c : f.cubes()) {
+    if (c.literal(divisor->var) == static_cast<int>(divisor->positive)) {
+      Cube q = c;
+      q.clear_literal(divisor->var);
+      quotient.add(std::move(q));
+    } else {
+      remainder.add(c);
+    }
+  }
+  const SignalId lit = literal_signal(net, inputs, *divisor);
+  const SignalId left = net.add_and(lit, factor_rec(net, quotient, inputs));
+  if (remainder.empty()) return left;
+  return net.add_or(left, factor_rec(net, remainder, inputs));
+}
+
+}  // namespace
+
+SignalId factor_cover(Netlist& net, const Cover& cover,
+                      std::span<const SignalId> input_signals) {
+  return factor_rec(net, cover, input_signals);
+}
+
+}  // namespace bidec

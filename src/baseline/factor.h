@@ -1,0 +1,26 @@
+// Algebraic factoring of a two-level cover into a netlist of two-input
+// gates (the "mapping" half of the SIS-like baseline): most-frequent-literal
+// division, balanced AND/OR trees, shared input inverters via the netlist's
+// structural hashing.
+#ifndef BIDEC_BASELINE_FACTOR_H
+#define BIDEC_BASELINE_FACTOR_H
+
+#include <span>
+
+#include "netlist/netlist.h"
+#include "sop/cover.h"
+
+namespace bidec {
+
+/// Build a balanced tree of `gate` over `signals` (empty input yields the
+/// neutral constant: 0 for OR/XOR, 1 for AND).
+SignalId build_balanced_tree(Netlist& net, GateType gate, std::span<const SignalId> signals);
+
+/// Factor `cover` into two-input gates over the given input signals
+/// (input_signals[v] drives variable v). Returns the root signal.
+SignalId factor_cover(Netlist& net, const Cover& cover,
+                      std::span<const SignalId> input_signals);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BASELINE_FACTOR_H

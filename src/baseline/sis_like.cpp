@@ -1,0 +1,49 @@
+#include "baseline/sis_like.h"
+
+#include "baseline/factor.h"
+#include "sop/espresso_lite.h"
+
+namespace bidec {
+
+Netlist sis_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
+                            const std::vector<std::string>& input_names,
+                            const std::vector<std::string>& output_names,
+                            const SisLikeOptions& options) {
+  Netlist net;
+  std::vector<SignalId> inputs;
+  inputs.reserve(mgr.num_vars());
+  for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+    const std::string name =
+        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+    inputs.push_back(net.add_input(name));
+  }
+
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    const Isf& isf = outputs[o];
+    // Seed cover from the interval (exploits don't-cares like espresso
+    // would), then minimize against the explicit dc cover.
+    Cover on = Cover::from_bdd(mgr, isf.q(), ~isf.r());
+    if (options.minimize) {
+      const Bdd dc_bdd = isf.dc();
+      const Cover dc = Cover::from_bdd(mgr, dc_bdd, dc_bdd);
+      on = espresso_lite(on, dc).cover;
+    }
+    const SignalId root = factor_cover(net, on, inputs);
+    const std::string name =
+        o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+    net.add_output(name, root);
+  }
+  if (options.absorb_inverters) net.absorb_inverters();
+  return net;
+}
+
+Netlist sis_like_synthesize(BddManager& mgr, const PlaFile& pla,
+                            const SisLikeOptions& options) {
+  std::vector<std::string> in_names, out_names;
+  for (unsigned i = 0; i < pla.num_inputs; ++i) in_names.push_back(pla.input_name(i));
+  for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
+  const std::vector<Isf> isfs = pla.to_isfs(mgr);
+  return sis_like_synthesize(mgr, isfs, in_names, out_names, options);
+}
+
+}  // namespace bidec

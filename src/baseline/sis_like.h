@@ -1,0 +1,36 @@
+// The SIS-like baseline flow of the paper's Table 2 comparison: two-level
+// minimization (espresso-lite standing in for "simplify -m"), algebraic
+// factoring, and mapping onto the two-input gate library. Like SIS in the
+// paper's experiments, this flow never emits EXOR gates.
+#ifndef BIDEC_BASELINE_SIS_LIKE_H
+#define BIDEC_BASELINE_SIS_LIKE_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/pla.h"
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+struct SisLikeOptions {
+  bool minimize = true;          ///< run espresso-lite before factoring
+  bool absorb_inverters = true;  ///< merge inverters into NAND/NOR at the end
+};
+
+/// Synthesize a netlist for the given multi-output ISF specification.
+[[nodiscard]] Netlist sis_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
+                                          const std::vector<std::string>& input_names,
+                                          const std::vector<std::string>& output_names,
+                                          const SisLikeOptions& options = {});
+
+/// Convenience entry running directly on a PLA file (the covers of the PLA
+/// seed the minimizer, exactly how SIS consumed the benchmark files).
+[[nodiscard]] Netlist sis_like_synthesize(BddManager& mgr, const PlaFile& pla,
+                                          const SisLikeOptions& options = {});
+
+}  // namespace bidec
+
+#endif  // BIDEC_BASELINE_SIS_LIKE_H

@@ -1,0 +1,325 @@
+// ROBDD package: reduced ordered binary decision diagrams with a unique
+// table, a computed table, reference-counted external handles and
+// mark-and-sweep garbage collection.
+//
+// This is the substrate the bi-decomposition algorithm of
+// Mishchenko/Steinbach/Perkowski (DAC 2001) runs on; the paper used BuDDy
+// 1.9, this package implements the same ROBDD model (no complement edges).
+//
+// Usage:
+//   BddManager mgr(8);
+//   Bdd f = (mgr.var(0) & mgr.var(1)) | ~mgr.var(2);
+//   Bdd g = mgr.exists(f, mgr.make_cube({0}));
+//
+// All `Bdd` handles are RAII reference holders; nodes reachable from live
+// handles are never collected. Operations are only valid between handles of
+// the same manager.
+#ifndef BIDEC_BDD_BDD_H
+#define BIDEC_BDD_BDD_H
+
+#include <cstdint>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bidec {
+
+/// Index of a BDD node inside its manager. 0 and 1 are the terminals.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kFalseId = 0;
+inline constexpr NodeId kTrueId = 1;
+inline constexpr NodeId kInvalidId = 0xffffffffu;
+
+class BddManager;
+
+/// Reference-counted handle to a BDD node. Default-constructed handles are
+/// invalid; all other handles keep their node (and its cone) alive.
+///
+/// Lifetime: a handle dereferences its manager when destroyed, so every
+/// Bdd (and everything holding one, e.g. Isf) must be destroyed before its
+/// BddManager — declare the manager first in any scope that owns both.
+class Bdd {
+ public:
+  Bdd() noexcept = default;
+  Bdd(const Bdd& other) noexcept;
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other) noexcept;
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool is_valid() const noexcept { return mgr_ != nullptr; }
+  [[nodiscard]] bool is_false() const noexcept { return is_valid() && id_ == kFalseId; }
+  [[nodiscard]] bool is_true() const noexcept { return is_valid() && id_ == kTrueId; }
+  [[nodiscard]] bool is_const() const noexcept { return is_valid() && id_ <= kTrueId; }
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] BddManager* manager() const noexcept { return mgr_; }
+
+  /// Variable labelling the root node. Precondition: non-constant.
+  [[nodiscard]] unsigned top_var() const;
+  /// Negative / positive cofactor w.r.t. the root variable.
+  [[nodiscard]] Bdd low() const;
+  [[nodiscard]] Bdd high() const;
+
+  // Boolean connectives (delegate to the manager).
+  [[nodiscard]] Bdd operator&(const Bdd& g) const;
+  [[nodiscard]] Bdd operator|(const Bdd& g) const;
+  [[nodiscard]] Bdd operator^(const Bdd& g) const;
+  [[nodiscard]] Bdd operator~() const;
+  /// Boolean difference (SHARP): `f - g = f & ~g`.
+  [[nodiscard]] Bdd operator-(const Bdd& g) const;
+  Bdd& operator&=(const Bdd& g) { return *this = *this & g; }
+  Bdd& operator|=(const Bdd& g) { return *this = *this | g; }
+  Bdd& operator^=(const Bdd& g) { return *this = *this ^ g; }
+  Bdd& operator-=(const Bdd& g) { return *this = *this - g; }
+
+  /// Structural (== semantic, by canonicity) equality. Only meaningful for
+  /// handles of the same manager.
+  [[nodiscard]] bool operator==(const Bdd& g) const noexcept {
+    return mgr_ == g.mgr_ && id_ == g.id_;
+  }
+  [[nodiscard]] bool operator!=(const Bdd& g) const noexcept { return !(*this == g); }
+
+  /// True iff this function implies `g` (this <= g pointwise).
+  [[nodiscard]] bool implies(const Bdd& g) const;
+  /// True iff this function and `g` have an empty intersection.
+  [[nodiscard]] bool disjoint_with(const Bdd& g) const;
+
+  /// Number of distinct nodes in this function's DAG (terminals included).
+  [[nodiscard]] std::size_t dag_size() const;
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* mgr, NodeId id) noexcept;  // takes a reference
+
+  BddManager* mgr_ = nullptr;
+  NodeId id_ = kFalseId;
+};
+
+/// A cube as a vector of literal codes, one per variable:
+/// -1 = variable absent, 0 = negative literal, 1 = positive literal.
+using CubeLits = std::vector<signed char>;
+
+/// Statistics counters exposed for benchmarking and tests.
+struct BddStats {
+  std::size_t live_nodes = 0;      ///< allocated minus freed
+  std::size_t peak_nodes = 0;      ///< high-water mark of live nodes
+  std::size_t gc_runs = 0;         ///< completed garbage collections
+  std::size_t unique_hits = 0;     ///< unique-table lookups that hit
+  std::size_t unique_misses = 0;   ///< unique-table lookups that created a node
+  std::size_t cache_hits = 0;      ///< computed-table hits
+  std::size_t cache_lookups = 0;   ///< computed-table probes
+};
+
+/// Manager owning all nodes of one BDD universe with a fixed variable count.
+/// Variable order is the identity (variable i at level i); `permute` and the
+/// reordering helpers in bdd_reorder.cpp remap functions explicitly.
+class BddManager {
+ public:
+  explicit BddManager(unsigned num_vars, std::size_t initial_capacity = 1u << 14);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+
+  // --- leaf / variable constructors -------------------------------------
+  [[nodiscard]] Bdd bdd_false() noexcept { return Bdd(this, kFalseId); }
+  [[nodiscard]] Bdd bdd_true() noexcept { return Bdd(this, kTrueId); }
+  /// Projection function of variable `v`.
+  [[nodiscard]] Bdd var(unsigned v);
+  /// Complemented projection of variable `v`.
+  [[nodiscard]] Bdd nvar(unsigned v);
+  /// Literal: `var(v)` if `positive`, else `nvar(v)`.
+  [[nodiscard]] Bdd literal(unsigned v, bool positive);
+
+  /// Conjunction of positive literals of `vars` (a "variable set" cube).
+  [[nodiscard]] Bdd make_cube(std::span<const unsigned> vars);
+  [[nodiscard]] Bdd make_cube(std::initializer_list<unsigned> vars);
+  /// Cube from literal codes (see CubeLits).
+  [[nodiscard]] Bdd make_cube(const CubeLits& lits);
+
+  // --- core connectives ---------------------------------------------------
+  [[nodiscard]] Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  [[nodiscard]] Bdd apply_and(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_or(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_xor(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_xnor(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_not(const Bdd& f);
+  /// `f & ~g` (Boolean SHARP of the paper's formulas).
+  [[nodiscard]] Bdd apply_sharp(const Bdd& f, const Bdd& g);
+
+  // --- cofactors, composition, permutation -------------------------------
+  /// Cofactor w.r.t. a single variable: f|_{v=val}.
+  [[nodiscard]] Bdd cofactor(const Bdd& f, unsigned v, bool val);
+  /// Generalized cofactor w.r.t. a cube (each literal fixed).
+  [[nodiscard]] Bdd cofactor_cube(const Bdd& f, const Bdd& cube);
+  /// Coudert-Madre generalized cofactor: agrees with `f` on `c` and is
+  /// chosen to shrink the BDD. Precondition: c != 0.
+  [[nodiscard]] Bdd constrain(const Bdd& f, const Bdd& c);
+  /// Coudert-Madre restrict: like constrain but skips care-set variables
+  /// outside f's support, so the result's support stays within f's.
+  [[nodiscard]] Bdd restrict_to(const Bdd& f, const Bdd& c);
+  /// Substitute function `g` for variable `v` in `f`.
+  [[nodiscard]] Bdd compose(const Bdd& f, unsigned v, const Bdd& g);
+  /// Simultaneously substitute `subst[i]` for variable i. `subst` must have
+  /// one entry per variable (use `var(i)` for identity positions).
+  [[nodiscard]] Bdd vector_compose(const Bdd& f, std::span<const Bdd> subst);
+  /// Rename variables: variable i becomes `perm[i]`. `perm` must be a
+  /// permutation of [0, num_vars).
+  [[nodiscard]] Bdd permute(const Bdd& f, std::span<const unsigned> perm);
+
+  // --- quantification -----------------------------------------------------
+  /// Existential quantification over the variables of `cube`.
+  [[nodiscard]] Bdd exists(const Bdd& f, const Bdd& cube);
+  [[nodiscard]] Bdd exists(const Bdd& f, std::span<const unsigned> vars);
+  /// Universal quantification over the variables of `cube`.
+  [[nodiscard]] Bdd forall(const Bdd& f, const Bdd& cube);
+  [[nodiscard]] Bdd forall(const Bdd& f, std::span<const unsigned> vars);
+  /// exists(f & g, cube) computed without building f & g first.
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+  /// Boolean derivative w.r.t. one variable: f|_{v=0} ^ f|_{v=1}.
+  [[nodiscard]] Bdd derivative(const Bdd& f, unsigned v);
+
+  // --- structural queries ---------------------------------------------------
+  [[nodiscard]] unsigned top_var(const Bdd& f) const;
+  [[nodiscard]] Bdd low(const Bdd& f);
+  [[nodiscard]] Bdd high(const Bdd& f);
+  /// Support as a positive cube.
+  [[nodiscard]] Bdd support_cube(const Bdd& f);
+  /// Support of the pair of functions (union), as sorted variable indices.
+  [[nodiscard]] std::vector<unsigned> support_vars(const Bdd& f);
+  [[nodiscard]] std::vector<unsigned> support_vars(const Bdd& f, const Bdd& g);
+  /// True iff variable `v` is in the support of `f`.
+  [[nodiscard]] bool depends_on(const Bdd& f, unsigned v);
+  [[nodiscard]] std::size_t dag_size(const Bdd& f) const;
+  /// DAG size of a set of functions with shared nodes counted once.
+  [[nodiscard]] std::size_t dag_size(std::span<const Bdd> fs) const;
+
+  // --- model queries -------------------------------------------------------
+  /// Evaluate under a complete assignment (inputs[i] = value of variable i).
+  [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& inputs) const;
+  /// Number of satisfying assignments over all num_vars() variables.
+  [[nodiscard]] double sat_count(const Bdd& f);
+  /// One cube contained in `f` (lexicographically smallest path choosing the
+  /// 0-branch first). Returns the empty (tautology) cube for f == true and
+  /// an invalid handle-cube pair... Precondition: f != false.
+  [[nodiscard]] Bdd pick_one_cube(const Bdd& f);
+  /// Same cube as literal codes.
+  [[nodiscard]] CubeLits pick_one_cube_lits(const Bdd& f);
+  /// A complete minterm (all variables assigned) contained in `f`.
+  [[nodiscard]] std::vector<bool> pick_one_minterm(const Bdd& f);
+
+  // --- two-level covers ------------------------------------------------------
+  /// Irredundant sum-of-products between lower and upper bound
+  /// (Minato-Morreale ISOP). Requires lower.implies(upper). The returned
+  /// cover satisfies lower <= cover <= upper.
+  [[nodiscard]] std::vector<CubeLits> isop(const Bdd& lower, const Bdd& upper);
+  /// The characteristic function of `isop(lower, upper)`.
+  [[nodiscard]] Bdd isop_bdd(const Bdd& lower, const Bdd& upper);
+  /// Disjunction of a cover built with `isop`.
+  [[nodiscard]] Bdd cover_to_bdd(std::span<const CubeLits> cover);
+
+  // --- debugging / IO ---------------------------------------------------------
+  /// Multi-line structural dump (one node per line) for debugging.
+  [[nodiscard]] std::string to_string(const Bdd& f) const;
+  /// Graphviz dot rendering of the DAG.
+  [[nodiscard]] std::string to_dot(const Bdd& f) const;
+
+  // --- memory management -------------------------------------------------------
+  /// Nodes currently alive (reachable or not yet collected).
+  [[nodiscard]] std::size_t live_node_count() const noexcept;
+  [[nodiscard]] const BddStats& stats() const noexcept { return stats_; }
+  /// Force a mark-and-sweep collection now.
+  void collect_garbage();
+  /// Collections trigger automatically when live nodes exceed this value at
+  /// the entry of a public operation (then the threshold doubles if little
+  /// was reclaimed).
+  void set_gc_threshold(std::size_t threshold) noexcept { gc_threshold_ = threshold; }
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;   // level == variable index; terminals use var = num_vars
+    NodeId lo;           // also: next free slot when on the free list
+    NodeId hi;
+    NodeId next;         // unique-table chain
+    std::uint32_t refs;  // external references (handles)
+  };
+
+  // Computed-table entry: exact operand match (tag 0 = empty slot).
+  struct CacheEntry {
+    std::uint32_t tag = 0;
+    NodeId a = 0, b = 0, c = 0;
+    NodeId result = kInvalidId;
+  };
+
+  // Tags for the computed table. kCompose packs the substituted variable
+  // into the upper bits of the tag.
+  enum Op : std::uint32_t {
+    kOpIte = 1,
+    kOpExists = 2,
+    kOpForall = 3,
+    kOpAndExists = 4,
+    kOpCompose = 5,  // tag = kOpCompose | (var << 8)
+    kOpConstrain = 6,
+    kOpRestrict = 7,
+  };
+
+  // reference management (used by Bdd handles)
+  void inc_ref(NodeId id) noexcept;
+  void dec_ref(NodeId id) noexcept;
+
+  // node construction
+  NodeId make_node(unsigned var, NodeId lo, NodeId hi);
+  NodeId alloc_slot();
+  void grow_unique_table();
+  [[nodiscard]] std::size_t unique_hash(unsigned var, NodeId lo, NodeId hi) const noexcept;
+
+  // computed table
+  [[nodiscard]] NodeId cache_lookup(std::uint32_t tag, NodeId a, NodeId b, NodeId c) noexcept;
+  void cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c, NodeId result) noexcept;
+
+  // recursive cores (work on raw ids; never trigger GC)
+  NodeId ite_rec(NodeId f, NodeId g, NodeId h);
+  NodeId not_rec(NodeId f);
+  NodeId quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned max_qvar,
+                   bool existential, NodeId cube_id);
+  NodeId and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& qvars,
+                        unsigned max_qvar, NodeId cube_id);
+  NodeId compose_rec(NodeId f, unsigned v, NodeId g);
+  NodeId constrain_rec(NodeId f, NodeId c, bool restrict_mode);
+  NodeId cofactor_cube_rec(NodeId f, NodeId cube);
+  void support_rec(NodeId f, std::vector<bool>& seen, std::vector<NodeId>& visited) const;
+
+  void maybe_gc();
+  [[nodiscard]] unsigned level_of(NodeId id) const noexcept { return nodes_[id].var; }
+  [[nodiscard]] std::vector<bool> cube_var_mask(NodeId cube) const;
+
+  Bdd wrap(NodeId id) noexcept { return Bdd(this, id); }
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+  NodeId free_list_ = kInvalidId;
+  std::size_t free_count_ = 0;
+
+  std::vector<NodeId> unique_table_;  // bucket heads, power-of-two size
+  std::vector<CacheEntry> cache_;     // power-of-two size
+
+  std::size_t gc_threshold_;
+  bool in_operation_ = false;  // guards against GC during recursion
+  BddStats stats_;
+
+  // scratch marks for traversals
+  mutable std::vector<bool> mark_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_BDD_BDD_H

@@ -1,0 +1,172 @@
+// Model queries and two-level covers: satisfy-count, cube/minterm picking
+// and the Minato-Morreale irredundant sum-of-products (ISOP) generator.
+#include "bdd/bdd.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bidec {
+
+double BddManager::sat_count(const Bdd& f) {
+  std::unordered_map<NodeId, double> memo;
+  memo[kFalseId] = 0.0;
+  memo[kTrueId] = 1.0;
+  // count(f) over the variables strictly below level(f); scale at the end.
+  // memo stores counts normalized to "fraction of assignments of the
+  // variables below the node's level": we instead store minterm counts over
+  // all variables below level(node), computed recursively.
+  struct Rec {
+    BddManager& m;
+    std::unordered_map<NodeId, double>& memo;
+    double operator()(NodeId id) {
+      const auto it = memo.find(id);
+      if (it != memo.end()) return it->second;
+      const Node& n = m.nodes_[id];
+      const double lo = (*this)(n.lo);
+      const double hi = (*this)(n.hi);
+      const unsigned lo_gap = m.level_of(n.lo) - n.var - 1;
+      const unsigned hi_gap = m.level_of(n.hi) - n.var - 1;
+      const double r = lo * std::ldexp(1.0, static_cast<int>(lo_gap)) +
+                       hi * std::ldexp(1.0, static_cast<int>(hi_gap));
+      memo.emplace(id, r);
+      return r;
+    }
+  } rec{*this, memo};
+  const double at_top = rec(f.id());
+  const unsigned gap = level_of(f.id());
+  return at_top * std::ldexp(1.0, static_cast<int>(gap));
+}
+
+CubeLits BddManager::pick_one_cube_lits(const Bdd& f) {
+  if (f.is_false()) throw std::invalid_argument("pick_one_cube: function is empty");
+  CubeLits lits(num_vars_, -1);
+  NodeId id = f.id();
+  while (id > kTrueId) {
+    const Node& n = nodes_[id];
+    // Deterministic choice: prefer the 0-branch when it is not empty.
+    if (n.lo != kFalseId) {
+      lits[n.var] = 0;
+      id = n.lo;
+    } else {
+      lits[n.var] = 1;
+      id = n.hi;
+    }
+  }
+  return lits;
+}
+
+Bdd BddManager::pick_one_cube(const Bdd& f) { return make_cube(pick_one_cube_lits(f)); }
+
+std::vector<bool> BddManager::pick_one_minterm(const Bdd& f) {
+  const CubeLits lits = pick_one_cube_lits(f);
+  std::vector<bool> minterm(num_vars_, false);
+  for (unsigned v = 0; v < num_vars_; ++v) minterm[v] = lits[v] == 1;
+  return minterm;
+}
+
+// ---------------------------------------------------------------------------
+// ISOP (Minato-Morreale): irredundant SOP of some function in [lower, upper].
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct IsopKey {
+  NodeId lower, upper;
+  bool operator==(const IsopKey&) const = default;
+};
+
+struct IsopKeyHash {
+  std::size_t operator()(const IsopKey& k) const noexcept {
+    return (static_cast<std::size_t>(k.lower) << 32) ^ k.upper;
+  }
+};
+
+struct IsopResult {
+  NodeId func = kFalseId;
+  std::vector<CubeLits> cubes;
+};
+
+}  // namespace
+
+std::vector<CubeLits> BddManager::isop(const Bdd& lower, const Bdd& upper) {
+  if (!(lower - upper).is_false()) {
+    throw std::invalid_argument("isop: lower bound must imply upper bound");
+  }
+  maybe_gc();
+
+  std::unordered_map<IsopKey, IsopResult, IsopKeyHash> memo;
+  std::vector<Bdd> keep;  // keep intermediate cover functions alive
+
+  // Returns the cover function and cubes for the interval [l, u]. Results
+  // are returned by value: the memo map rehashes as it grows, so references
+  // into it would dangle across recursive calls.
+  auto rec = [&](auto&& self, NodeId l, NodeId u) -> IsopResult {
+    const IsopKey key{l, u};
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    IsopResult res;
+    if (l == kFalseId) {
+      res.func = kFalseId;
+    } else if (u == kTrueId) {
+      res.func = kTrueId;
+      res.cubes.emplace_back(num_vars_, static_cast<signed char>(-1));  // tautology cube
+    } else {
+      const unsigned v = std::min(level_of(l), level_of(u));
+      const NodeId l0 = level_of(l) == v ? nodes_[l].lo : l;
+      const NodeId l1 = level_of(l) == v ? nodes_[l].hi : l;
+      const NodeId u0 = level_of(u) == v ? nodes_[u].lo : u;
+      const NodeId u1 = level_of(u) == v ? nodes_[u].hi : u;
+
+      // Cubes that must contain literal ~v: needed where the function must
+      // be 1 with v=0 but may not be 1 with v=1.
+      const NodeId nl0 = ite_rec(l0, not_rec(u1), kFalseId);
+      const IsopResult c0 = self(self, nl0, u0);
+      // Cubes that must contain literal v.
+      const NodeId nl1 = ite_rec(l1, not_rec(u0), kFalseId);
+      const IsopResult c1 = self(self, nl1, u1);
+
+      // What remains uncovered must be covered by cubes without v.
+      const NodeId rem0 = ite_rec(l0, not_rec(c0.func), kFalseId);
+      const NodeId rem1 = ite_rec(l1, not_rec(c1.func), kFalseId);
+      const NodeId ld = ite_rec(rem0, kTrueId, rem1);
+      const NodeId ud = ite_rec(u0, u1, kFalseId);
+      const IsopResult cd = self(self, ld, ud);
+
+      // Assemble cover function: ~v&c0 + v&c1 + cd.
+      const NodeId with0 = make_node(v, c0.func, kFalseId);
+      const NodeId with1 = make_node(v, kFalseId, c1.func);
+      NodeId func = ite_rec(with0, kTrueId, with1);
+      func = ite_rec(func, kTrueId, cd.func);
+      keep.push_back(wrap(func));
+
+      res.func = func;
+      res.cubes.reserve(c0.cubes.size() + c1.cubes.size() + cd.cubes.size());
+      for (CubeLits cube : c0.cubes) {
+        cube[v] = 0;
+        res.cubes.push_back(std::move(cube));
+      }
+      for (CubeLits cube : c1.cubes) {
+        cube[v] = 1;
+        res.cubes.push_back(std::move(cube));
+      }
+      for (const CubeLits& cube : cd.cubes) res.cubes.push_back(cube);
+    }
+    memo.emplace(key, res);
+    return res;
+  };
+
+  return rec(rec, lower.id(), upper.id()).cubes;
+}
+
+Bdd BddManager::cover_to_bdd(std::span<const CubeLits> cover) {
+  Bdd sum = bdd_false();
+  for (const CubeLits& cube : cover) sum |= make_cube(cube);
+  return sum;
+}
+
+Bdd BddManager::isop_bdd(const Bdd& lower, const Bdd& upper) {
+  return cover_to_bdd(isop(lower, upper));
+}
+
+}  // namespace bidec

@@ -1,0 +1,57 @@
+// Human-readable dumps of BDDs for debugging and documentation.
+#include "bdd/bdd.h"
+
+#include <sstream>
+
+namespace bidec {
+
+std::string BddManager::to_string(const Bdd& f) const {
+  std::ostringstream out;
+  if (f.is_false()) return "const0";
+  if (f.is_true()) return "const1";
+  mark_.assign(nodes_.size(), false);
+  std::vector<NodeId> stack{f.id()};
+  out << "root " << f.id() << "\n";
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrueId || mark_[id]) continue;
+    mark_[id] = true;
+    const Node& n = nodes_[id];
+    out << "  n" << id << " = ITE(x" << n.var << ", n" << n.hi << ", n" << n.lo << ")\n";
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  return out.str();
+}
+
+std::string BddManager::to_dot(const Bdd& f) const {
+  std::ostringstream out;
+  out << "digraph bdd {\n"
+      << "  node [shape=circle];\n"
+      << "  t0 [shape=box,label=\"0\"];\n"
+      << "  t1 [shape=box,label=\"1\"];\n";
+  mark_.assign(nodes_.size(), false);
+  std::vector<NodeId> stack{f.id()};
+  auto name = [](NodeId id) {
+    if (id == kFalseId) return std::string("t0");
+    if (id == kTrueId) return std::string("t1");
+    return "n" + std::to_string(id);
+  };
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrueId || mark_[id]) continue;
+    mark_[id] = true;
+    const Node& n = nodes_[id];
+    out << "  n" << id << " [label=\"x" << n.var << "\"];\n";
+    out << "  n" << id << " -> " << name(n.lo) << " [style=dashed];\n";
+    out << "  n" << id << " -> " << name(n.hi) << ";\n";
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace bidec

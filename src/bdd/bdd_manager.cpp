@@ -1,0 +1,425 @@
+// Core of the ROBDD package: node storage, unique table, computed table,
+// garbage collection, ITE and the Boolean connectives derived from it.
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) used for both hash tables.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, NodeId id) noexcept : mgr_(mgr), id_(id) {
+  if (mgr_ != nullptr) mgr_->inc_ref(id_);
+}
+
+Bdd::Bdd(const Bdd& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_ != nullptr) mgr_->inc_ref(id_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = kFalseId;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) noexcept {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->inc_ref(other.id_);
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = kFalseId;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->dec_ref(id_);
+}
+
+unsigned Bdd::top_var() const { return mgr_->top_var(*this); }
+Bdd Bdd::low() const { return mgr_->low(*this); }
+Bdd Bdd::high() const { return mgr_->high(*this); }
+
+Bdd Bdd::operator&(const Bdd& g) const { return mgr_->apply_and(*this, g); }
+Bdd Bdd::operator|(const Bdd& g) const { return mgr_->apply_or(*this, g); }
+Bdd Bdd::operator^(const Bdd& g) const { return mgr_->apply_xor(*this, g); }
+Bdd Bdd::operator~() const { return mgr_->apply_not(*this); }
+Bdd Bdd::operator-(const Bdd& g) const { return mgr_->apply_sharp(*this, g); }
+
+bool Bdd::implies(const Bdd& g) const { return (*this - g).is_false(); }
+bool Bdd::disjoint_with(const Bdd& g) const { return (*this & g).is_false(); }
+std::size_t Bdd::dag_size() const { return mgr_->dag_size(*this); }
+
+// ---------------------------------------------------------------------------
+// Manager: construction, reference counting, garbage collection
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(unsigned num_vars, std::size_t initial_capacity)
+    : num_vars_(num_vars), gc_threshold_(std::max<std::size_t>(initial_capacity, 1u << 12)) {
+  nodes_.reserve(initial_capacity);
+  // Terminals live at ids 0 (false) and 1 (true); var == num_vars marks them
+  // as below every real level. They are permanently referenced.
+  nodes_.push_back(Node{num_vars_, kFalseId, kFalseId, kInvalidId, 1});
+  nodes_.push_back(Node{num_vars_, kTrueId, kTrueId, kInvalidId, 1});
+  unique_table_.assign(round_up_pow2(initial_capacity), kInvalidId);
+  cache_.assign(round_up_pow2(initial_capacity), CacheEntry{});
+  stats_.live_nodes = 2;
+  stats_.peak_nodes = 2;
+}
+
+BddManager::~BddManager() = default;
+
+void BddManager::inc_ref(NodeId id) noexcept { ++nodes_[id].refs; }
+
+void BddManager::dec_ref(NodeId id) noexcept {
+  assert(nodes_[id].refs > 0);
+  --nodes_[id].refs;
+}
+
+std::size_t BddManager::live_node_count() const noexcept {
+  return nodes_.size() - free_count_;
+}
+
+void BddManager::collect_garbage() {
+  // Mark every node reachable from an externally referenced root.
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[kFalseId] = marked[kTrueId] = true;
+  std::vector<NodeId> stack;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].refs > 0 && nodes_[id].var != kInvalidId) stack.push_back(id);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (marked[id]) continue;
+    marked[id] = true;
+    if (!marked[nodes_[id].lo]) stack.push_back(nodes_[id].lo);
+    if (!marked[nodes_[id].hi]) stack.push_back(nodes_[id].hi);
+  }
+
+  // Sweep: rebuild the free list and the unique table from survivors.
+  std::fill(unique_table_.begin(), unique_table_.end(), kInvalidId);
+  free_list_ = kInvalidId;
+  free_count_ = 0;
+  const std::size_t mask = unique_table_.size() - 1;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    Node& n = nodes_[id];
+    if (!marked[id]) {
+      n.var = kInvalidId;  // tombstone: slot is free
+      n.lo = free_list_;
+      free_list_ = id;
+      ++free_count_;
+      continue;
+    }
+    if (n.var == kInvalidId) continue;  // already free before this GC
+    const std::size_t h = unique_hash(n.var, n.lo, n.hi) & mask;
+    n.next = unique_table_[h];
+    unique_table_[h] = id;
+  }
+  // Cached results may reference dead nodes: drop everything.
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  stats_.live_nodes = nodes_.size() - free_count_;
+  ++stats_.gc_runs;
+}
+
+void BddManager::maybe_gc() {
+  if (in_operation_ || live_node_count() < gc_threshold_) return;
+  const std::size_t before = live_node_count();
+  collect_garbage();
+  // If the collection freed less than a quarter, grow the threshold so we
+  // do not thrash.
+  if (live_node_count() > before - before / 4) gc_threshold_ *= 2;
+}
+
+// ---------------------------------------------------------------------------
+// Unique table / node construction
+// ---------------------------------------------------------------------------
+
+std::size_t BddManager::unique_hash(unsigned var, NodeId lo, NodeId hi) const noexcept {
+  return static_cast<std::size_t>(
+      mix64((static_cast<std::uint64_t>(var) << 48) ^
+            (static_cast<std::uint64_t>(lo) << 24) ^ hi));
+}
+
+NodeId BddManager::alloc_slot() {
+  if (free_list_ != kInvalidId) {
+    const NodeId id = free_list_;
+    free_list_ = nodes_[id].lo;
+    --free_count_;
+    return id;
+  }
+  nodes_.push_back(Node{});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void BddManager::grow_unique_table() {
+  const std::size_t new_size = unique_table_.size() * 2;
+  std::vector<NodeId> fresh(new_size, kInvalidId);
+  const std::size_t mask = new_size - 1;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    Node& n = nodes_[id];
+    if (n.var == kInvalidId) continue;
+    const std::size_t h = unique_hash(n.var, n.lo, n.hi) & mask;
+    n.next = fresh[h];
+    fresh[h] = id;
+  }
+  unique_table_.swap(fresh);
+}
+
+NodeId BddManager::make_node(unsigned var, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  assert(var < num_vars_);
+  assert(level_of(lo) > var && level_of(hi) > var);
+  const std::size_t mask = unique_table_.size() - 1;
+  const std::size_t h = unique_hash(var, lo, hi) & mask;
+  for (NodeId id = unique_table_[h]; id != kInvalidId; id = nodes_[id].next) {
+    const Node& n = nodes_[id];
+    if (n.var == var && n.lo == lo && n.hi == hi) {
+      ++stats_.unique_hits;
+      return id;
+    }
+  }
+  ++stats_.unique_misses;
+  const NodeId id = alloc_slot();
+  nodes_[id] = Node{var, lo, hi, unique_table_[h], 0};
+  unique_table_[h] = id;
+  stats_.live_nodes = live_node_count();
+  stats_.peak_nodes = std::max(stats_.peak_nodes, stats_.live_nodes);
+  if (stats_.live_nodes * 2 > unique_table_.size()) grow_unique_table();
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Computed table
+// ---------------------------------------------------------------------------
+
+NodeId BddManager::cache_lookup(std::uint32_t tag, NodeId a, NodeId b, NodeId c) noexcept {
+  ++stats_.cache_lookups;
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(tag) << 32) ^ a) ^
+      mix64((static_cast<std::uint64_t>(b) << 32) ^ c);
+  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  if (e.tag == tag && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    return e.result;
+  }
+  return kInvalidId;
+}
+
+void BddManager::cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c,
+                              NodeId result) noexcept {
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(tag) << 32) ^ a) ^
+      mix64((static_cast<std::uint64_t>(b) << 32) ^ c);
+  cache_[h & (cache_.size() - 1)] = CacheEntry{tag, a, b, c, result};
+}
+
+// ---------------------------------------------------------------------------
+// Variables and cubes
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::var(unsigned v) {
+  if (v >= num_vars_) throw std::out_of_range("BddManager::var: index out of range");
+  return wrap(make_node(v, kFalseId, kTrueId));
+}
+
+Bdd BddManager::nvar(unsigned v) {
+  if (v >= num_vars_) throw std::out_of_range("BddManager::nvar: index out of range");
+  return wrap(make_node(v, kTrueId, kFalseId));
+}
+
+Bdd BddManager::literal(unsigned v, bool positive) { return positive ? var(v) : nvar(v); }
+
+Bdd BddManager::make_cube(std::span<const unsigned> vars) {
+  std::vector<unsigned> sorted(vars.begin(), vars.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  NodeId r = kTrueId;
+  for (const unsigned v : sorted) {
+    if (v >= num_vars_) throw std::out_of_range("BddManager::make_cube: index out of range");
+    r = make_node(v, kFalseId, r);
+  }
+  return wrap(r);
+}
+
+Bdd BddManager::make_cube(std::initializer_list<unsigned> vars) {
+  return make_cube(std::span<const unsigned>(vars.begin(), vars.size()));
+}
+
+Bdd BddManager::make_cube(const CubeLits& lits) {
+  if (lits.size() > num_vars_) throw std::out_of_range("BddManager::make_cube: too many literals");
+  NodeId r = kTrueId;
+  for (unsigned i = static_cast<unsigned>(lits.size()); i-- > 0;) {
+    if (lits[i] < 0) continue;
+    r = lits[i] == 1 ? make_node(i, kFalseId, r) : make_node(i, r, kFalseId);
+  }
+  return wrap(r);
+}
+
+// ---------------------------------------------------------------------------
+// ITE and connectives
+// ---------------------------------------------------------------------------
+
+NodeId BddManager::not_rec(NodeId f) { return ite_rec(f, kFalseId, kTrueId); }
+
+NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal rules.
+  if (f == kTrueId) return g;
+  if (f == kFalseId) return h;
+  if (g == h) return g;
+  if (g == kTrueId && h == kFalseId) return f;
+  // ite(f, f, h) == ite(f, 1, h); ite(f, g, f) == ite(f, g, 0).
+  if (f == g) g = kTrueId;
+  if (f == h) h = kFalseId;
+
+  // Commutative normalizations improve cache hit rates:
+  // OR:  ite(f, 1, h) == ite(h, 1, f);  AND: ite(f, g, 0) == ite(g, f, 0).
+  if (g == kTrueId && h > f) std::swap(f, h);
+  if (h == kFalseId && g < f) std::swap(f, g);
+
+  const NodeId cached = cache_lookup(kOpIte, f, g, h);
+  if (cached != kInvalidId) return cached;
+
+  const unsigned vf = level_of(f), vg = level_of(g), vh = level_of(h);
+  const unsigned v = std::min({vf, vg, vh});
+  const NodeId f0 = vf == v ? nodes_[f].lo : f;
+  const NodeId f1 = vf == v ? nodes_[f].hi : f;
+  const NodeId g0 = vg == v ? nodes_[g].lo : g;
+  const NodeId g1 = vg == v ? nodes_[g].hi : g;
+  const NodeId h0 = vh == v ? nodes_[h].lo : h;
+  const NodeId h1 = vh == v ? nodes_[h].hi : h;
+
+  const NodeId r0 = ite_rec(f0, g0, h0);
+  const NodeId r1 = ite_rec(f1, g1, h1);
+  const NodeId r = make_node(v, r0, r1);
+  cache_insert(kOpIte, f, g, h, r);
+  return r;
+}
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  maybe_gc();
+  return wrap(ite_rec(f.id(), g.id(), h.id()));
+}
+
+Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  return wrap(ite_rec(f.id(), g.id(), kFalseId));
+}
+
+Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  return wrap(ite_rec(f.id(), kTrueId, g.id()));
+}
+
+Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  // xor(f, g) = ite(f, ~g, g); normalize operand order (xor is commutative).
+  NodeId a = f.id(), b = g.id();
+  if (a > b) std::swap(a, b);
+  const NodeId nb = not_rec(b);
+  return wrap(ite_rec(a, nb, b));
+}
+
+Bdd BddManager::apply_xnor(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  NodeId a = f.id(), b = g.id();
+  if (a > b) std::swap(a, b);
+  const NodeId nb = not_rec(b);
+  return wrap(ite_rec(a, b, nb));
+}
+
+Bdd BddManager::apply_not(const Bdd& f) {
+  maybe_gc();
+  return wrap(not_rec(f.id()));
+}
+
+Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  const NodeId ng = not_rec(g.id());
+  return wrap(ite_rec(f.id(), ng, kFalseId));
+}
+
+// ---------------------------------------------------------------------------
+// Structural queries
+// ---------------------------------------------------------------------------
+
+unsigned BddManager::top_var(const Bdd& f) const {
+  assert(!f.is_const());
+  return nodes_[f.id()].var;
+}
+
+Bdd BddManager::low(const Bdd& f) {
+  assert(!f.is_const());
+  return wrap(nodes_[f.id()].lo);
+}
+
+Bdd BddManager::high(const Bdd& f) {
+  assert(!f.is_const());
+  return wrap(nodes_[f.id()].hi);
+}
+
+std::size_t BddManager::dag_size(const Bdd& f) const {
+  const Bdd fs[] = {f};
+  return dag_size(std::span<const Bdd>(fs, 1));
+}
+
+std::size_t BddManager::dag_size(std::span<const Bdd> fs) const {
+  mark_.assign(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  std::size_t count = 0;
+  for (const Bdd& f : fs) {
+    if (f.is_valid()) stack.push_back(f.id());
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (mark_[id]) continue;
+    mark_[id] = true;
+    ++count;
+    if (id > kTrueId) {
+      stack.push_back(nodes_[id].lo);
+      stack.push_back(nodes_[id].hi);
+    }
+  }
+  return count;
+}
+
+bool BddManager::eval(const Bdd& f, const std::vector<bool>& inputs) const {
+  NodeId id = f.id();
+  while (id > kTrueId) {
+    const Node& n = nodes_[id];
+    id = inputs[n.var] ? n.hi : n.lo;
+  }
+  return id == kTrueId;
+}
+
+}  // namespace bidec

@@ -1,0 +1,384 @@
+// Quantification, cofactoring, composition and support extraction.
+// These are the operators the bi-decomposition theorems (Thms 1-4) are
+// expressed with.
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bidec {
+
+// Decode the variables of a positive cube into a level mask.
+std::vector<bool> BddManager::cube_var_mask(NodeId cube) const {
+  std::vector<bool> mask(num_vars_, false);
+  for (NodeId id = cube; id > kTrueId; id = nodes_[id].hi) {
+    if (nodes_[id].lo != kFalseId) {
+      throw std::invalid_argument("quantifier cube must be a positive cube");
+    }
+    mask[nodes_[id].var] = true;
+  }
+  return mask;
+}
+
+NodeId BddManager::quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned max_qvar,
+                             bool existential, NodeId cube_id) {
+  if (f <= kTrueId) return f;
+  const Node& n = nodes_[f];
+  if (n.var > max_qvar) return f;  // no quantified variable below this level
+
+  const std::uint32_t tag = existential ? kOpExists : kOpForall;
+  const NodeId cached = cache_lookup(tag, f, cube_id, 0);
+  if (cached != kInvalidId) return cached;
+
+  const NodeId lo = n.lo, hi = n.hi;
+  const unsigned v = n.var;
+  NodeId r;
+  if (qvars[v]) {
+    const NodeId r0 = quant_rec(lo, qvars, max_qvar, existential, cube_id);
+    // Short-circuit: OR with true / AND with false is decided.
+    if (existential && r0 == kTrueId) {
+      r = kTrueId;
+    } else if (!existential && r0 == kFalseId) {
+      r = kFalseId;
+    } else {
+      const NodeId r1 = quant_rec(hi, qvars, max_qvar, existential, cube_id);
+      r = existential ? ite_rec(r0, kTrueId, r1) : ite_rec(r0, r1, kFalseId);
+    }
+  } else {
+    const NodeId r0 = quant_rec(lo, qvars, max_qvar, existential, cube_id);
+    const NodeId r1 = quant_rec(hi, qvars, max_qvar, existential, cube_id);
+    r = make_node(v, r0, r1);
+  }
+  cache_insert(tag, f, cube_id, 0, r);
+  return r;
+}
+
+namespace {
+unsigned max_set_bit(const std::vector<bool>& mask) {
+  for (std::size_t i = mask.size(); i-- > 0;) {
+    if (mask[i]) return static_cast<unsigned>(i);
+  }
+  return 0;
+}
+}  // namespace
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  maybe_gc();
+  if (cube.is_true()) return f;
+  const std::vector<bool> mask = cube_var_mask(cube.id());
+  return wrap(quant_rec(f.id(), mask, max_set_bit(mask), /*existential=*/true, cube.id()));
+}
+
+Bdd BddManager::exists(const Bdd& f, std::span<const unsigned> vars) {
+  return exists(f, make_cube(vars));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  maybe_gc();
+  if (cube.is_true()) return f;
+  const std::vector<bool> mask = cube_var_mask(cube.id());
+  return wrap(quant_rec(f.id(), mask, max_set_bit(mask), /*existential=*/false, cube.id()));
+}
+
+Bdd BddManager::forall(const Bdd& f, std::span<const unsigned> vars) {
+  return forall(f, make_cube(vars));
+}
+
+NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& qvars,
+                                  unsigned max_qvar, NodeId cube_id) {
+  if (f == kFalseId || g == kFalseId) return kFalseId;
+  if (f == kTrueId && g == kTrueId) return kTrueId;
+  if (f == kTrueId) return quant_rec(g, qvars, max_qvar, true, cube_id);
+  if (g == kTrueId) return quant_rec(f, qvars, max_qvar, true, cube_id);
+  if (f == g) return quant_rec(f, qvars, max_qvar, true, cube_id);
+  if (f > g) std::swap(f, g);  // AND is commutative
+
+  const unsigned vf = level_of(f), vg = level_of(g);
+  const unsigned v = std::min(vf, vg);
+  if (v > max_qvar) {
+    // No quantified variable remains: plain conjunction.
+    return ite_rec(f, g, kFalseId);
+  }
+
+  const NodeId cached = cache_lookup(kOpAndExists, f, g, cube_id);
+  if (cached != kInvalidId) return cached;
+
+  const NodeId f0 = vf == v ? nodes_[f].lo : f;
+  const NodeId f1 = vf == v ? nodes_[f].hi : f;
+  const NodeId g0 = vg == v ? nodes_[g].lo : g;
+  const NodeId g1 = vg == v ? nodes_[g].hi : g;
+
+  NodeId r;
+  if (qvars[v]) {
+    const NodeId r0 = and_exists_rec(f0, g0, qvars, max_qvar, cube_id);
+    if (r0 == kTrueId) {
+      r = kTrueId;
+    } else {
+      const NodeId r1 = and_exists_rec(f1, g1, qvars, max_qvar, cube_id);
+      r = ite_rec(r0, kTrueId, r1);
+    }
+  } else {
+    const NodeId r0 = and_exists_rec(f0, g0, qvars, max_qvar, cube_id);
+    const NodeId r1 = and_exists_rec(f1, g1, qvars, max_qvar, cube_id);
+    r = make_node(v, r0, r1);
+  }
+  cache_insert(kOpAndExists, f, g, cube_id, r);
+  return r;
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  maybe_gc();
+  const std::vector<bool> mask = cube_var_mask(cube.id());
+  return wrap(and_exists_rec(f.id(), g.id(), mask, max_set_bit(mask), cube.id()));
+}
+
+Bdd BddManager::derivative(const Bdd& f, unsigned v) {
+  return apply_xor(cofactor(f, v, false), cofactor(f, v, true));
+}
+
+// ---------------------------------------------------------------------------
+// Cofactors
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::cofactor(const Bdd& f, unsigned v, bool val) {
+  maybe_gc();
+  // Implemented as compose(f, v, const): cheap and cacheable.
+  return wrap(compose_rec(f.id(), v, val ? kTrueId : kFalseId));
+}
+
+NodeId BddManager::cofactor_cube_rec(NodeId f, NodeId cube) {
+  if (f <= kTrueId || cube == kTrueId) return f;
+  const unsigned vf = level_of(f);
+  const Node& c = nodes_[cube];
+  // Advance the cube past levels above f.
+  if (c.var < vf) {
+    return cofactor_cube_rec(f, c.lo == kFalseId ? c.hi : c.lo);
+  }
+  const NodeId cached = cache_lookup(kOpCompose, f, cube, kInvalidId);
+  if (cached != kInvalidId) return cached;
+  const Node& n = nodes_[f];
+  NodeId r;
+  if (c.var == vf) {
+    const bool positive = c.lo == kFalseId;
+    const NodeId next = positive ? c.hi : c.lo;
+    r = cofactor_cube_rec(positive ? n.hi : n.lo, next);
+  } else {
+    const NodeId r0 = cofactor_cube_rec(n.lo, cube);
+    const NodeId r1 = cofactor_cube_rec(n.hi, cube);
+    r = make_node(n.var, r0, r1);
+  }
+  cache_insert(kOpCompose, f, cube, kInvalidId, r);
+  return r;
+}
+
+Bdd BddManager::cofactor_cube(const Bdd& f, const Bdd& cube) {
+  maybe_gc();
+  if (cube.is_false()) throw std::invalid_argument("cofactor_cube: empty cube");
+  return wrap(cofactor_cube_rec(f.id(), cube.id()));
+}
+
+// ---------------------------------------------------------------------------
+// Generalized cofactors (Coudert-Madre constrain / restrict)
+// ---------------------------------------------------------------------------
+
+NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
+  if (c == kTrueId || f <= kTrueId) return f;
+  if (f == c) return kTrueId;
+  const std::uint32_t tag = restrict_mode ? kOpRestrict : kOpConstrain;
+  const NodeId cached = cache_lookup(tag, f, c, 0);
+  if (cached != kInvalidId) return cached;
+
+  const unsigned vf = level_of(f), vc = level_of(c);
+  NodeId r;
+  if (restrict_mode && vc < vf) {
+    // The care set constrains a variable f does not depend on: quantify it
+    // away so the result's support stays within f's.
+    const NodeId c_or = ite_rec(nodes_[c].lo, kTrueId, nodes_[c].hi);
+    r = constrain_rec(f, c_or, restrict_mode);
+  } else {
+    const unsigned v = std::min(vf, vc);
+    const NodeId f0 = vf == v ? nodes_[f].lo : f;
+    const NodeId f1 = vf == v ? nodes_[f].hi : f;
+    const NodeId c0 = vc == v ? nodes_[c].lo : c;
+    const NodeId c1 = vc == v ? nodes_[c].hi : c;
+    if (c0 == kFalseId) {
+      r = constrain_rec(f1, c1, restrict_mode);
+    } else if (c1 == kFalseId) {
+      r = constrain_rec(f0, c0, restrict_mode);
+    } else {
+      const NodeId r0 = constrain_rec(f0, c0, restrict_mode);
+      const NodeId r1 = constrain_rec(f1, c1, restrict_mode);
+      r = make_node(v, r0, r1);
+    }
+  }
+  cache_insert(tag, f, c, 0, r);
+  return r;
+}
+
+Bdd BddManager::constrain(const Bdd& f, const Bdd& c) {
+  if (c.is_false()) throw std::invalid_argument("constrain: empty care set");
+  maybe_gc();
+  return wrap(constrain_rec(f.id(), c.id(), /*restrict_mode=*/false));
+}
+
+Bdd BddManager::restrict_to(const Bdd& f, const Bdd& c) {
+  if (c.is_false()) throw std::invalid_argument("restrict_to: empty care set");
+  maybe_gc();
+  return wrap(constrain_rec(f.id(), c.id(), /*restrict_mode=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Composition / permutation
+// ---------------------------------------------------------------------------
+
+NodeId BddManager::compose_rec(NodeId f, unsigned v, NodeId g) {
+  if (f <= kTrueId) return f;
+  const Node& n = nodes_[f];
+  if (n.var > v) return f;  // v cannot appear below its own level
+  const std::uint32_t tag = kOpCompose | (v << 8);
+  const NodeId cached = cache_lookup(tag, f, g, 0);
+  if (cached != kInvalidId) return cached;
+  NodeId r;
+  if (n.var == v) {
+    r = ite_rec(g, n.hi, n.lo);
+  } else {
+    const NodeId lo = n.lo, hi = n.hi;
+    const unsigned var = n.var;
+    const NodeId r0 = compose_rec(lo, v, g);
+    const NodeId r1 = compose_rec(hi, v, g);
+    // The substituted function may depend on variables above this level, so
+    // rebuild with ITE on the branch variable rather than make_node.
+    if (level_of(r0) > var && level_of(r1) > var) {
+      r = make_node(var, r0, r1);
+    } else {
+      const NodeId x = make_node(var, kFalseId, kTrueId);
+      r = ite_rec(x, r1, r0);
+    }
+  }
+  cache_insert(tag, f, g, 0, r);
+  return r;
+}
+
+Bdd BddManager::compose(const Bdd& f, unsigned v, const Bdd& g) {
+  maybe_gc();
+  if (v >= num_vars_) throw std::out_of_range("compose: variable out of range");
+  return wrap(compose_rec(f.id(), v, g.id()));
+}
+
+Bdd BddManager::vector_compose(const Bdd& f, std::span<const Bdd> subst) {
+  if (subst.size() != num_vars_) {
+    throw std::invalid_argument("vector_compose: need one function per variable");
+  }
+  maybe_gc();
+  // Evaluate bottom-up over the DAG with an explicit memo. Handles are used
+  // for intermediate results so GC cannot be an issue (it is disabled during
+  // the loop anyway since we never call maybe_gc here).
+  std::vector<NodeId> order;
+  mark_.assign(nodes_.size(), false);
+  std::vector<NodeId> stack{f.id()};
+  while (!stack.empty()) {  // iterative post-order via two phases
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrueId || mark_[id]) continue;
+    mark_[id] = true;
+    order.push_back(id);
+    stack.push_back(nodes_[id].lo);
+    stack.push_back(nodes_[id].hi);
+  }
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    return nodes_[a].var > nodes_[b].var;  // deepest levels first
+  });
+  std::vector<NodeId> memo(nodes_.size(), kInvalidId);
+  memo[kFalseId] = kFalseId;
+  memo[kTrueId] = kTrueId;
+  std::vector<Bdd> keep;  // protect intermediates across ite_rec calls
+  keep.reserve(order.size());
+  for (const NodeId id : order) {
+    const Node n = nodes_[id];
+    const NodeId lo = memo[n.lo], hi = memo[n.hi];
+    assert(lo != kInvalidId && hi != kInvalidId);
+    const NodeId r = ite_rec(subst[n.var].id(), hi, lo);
+    memo[id] = r;
+    keep.push_back(wrap(r));
+  }
+  return wrap(memo[f.id()]);
+}
+
+Bdd BddManager::permute(const Bdd& f, std::span<const unsigned> perm) {
+  if (perm.size() != num_vars_) {
+    throw std::invalid_argument("permute: need one image per variable");
+  }
+  std::vector<Bdd> subst;
+  subst.reserve(num_vars_);
+  for (unsigned i = 0; i < num_vars_; ++i) subst.push_back(var(perm[i]));
+  return vector_compose(f, subst);
+}
+
+// ---------------------------------------------------------------------------
+// Support
+// ---------------------------------------------------------------------------
+
+void BddManager::support_rec(NodeId f, std::vector<bool>& seen,
+                             std::vector<NodeId>& visited) const {
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrueId || mark_[id]) continue;
+    mark_[id] = true;
+    visited.push_back(id);
+    seen[nodes_[id].var] = true;
+    stack.push_back(nodes_[id].lo);
+    stack.push_back(nodes_[id].hi);
+  }
+}
+
+std::vector<unsigned> BddManager::support_vars(const Bdd& f) {
+  std::vector<bool> seen(num_vars_, false);
+  std::vector<NodeId> visited;
+  mark_.assign(nodes_.size(), false);
+  support_rec(f.id(), seen, visited);
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (seen[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<unsigned> BddManager::support_vars(const Bdd& f, const Bdd& g) {
+  std::vector<bool> seen(num_vars_, false);
+  std::vector<NodeId> visited;
+  mark_.assign(nodes_.size(), false);
+  support_rec(f.id(), seen, visited);
+  support_rec(g.id(), seen, visited);
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (seen[v]) result.push_back(v);
+  }
+  return result;
+}
+
+Bdd BddManager::support_cube(const Bdd& f) {
+  return make_cube(std::span<const unsigned>(support_vars(f)));
+}
+
+bool BddManager::depends_on(const Bdd& f, unsigned v) {
+  // Cheap check without building cofactors: scan for a node labelled v.
+  mark_.assign(nodes_.size(), false);
+  std::vector<NodeId> stack{f.id()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrueId || mark_[id]) continue;
+    const Node& n = nodes_[id];
+    if (n.var == v) return true;
+    if (n.var > v) continue;  // ordered: v cannot appear deeper
+    mark_[id] = true;
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  return false;
+}
+
+}  // namespace bidec

@@ -1,0 +1,154 @@
+#include "bdd/bdd_reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bidec {
+
+Bdd bdd_transfer(BddManager& dst, const Bdd& f, std::span<const unsigned> var_map) {
+  BddManager& src = *f.manager();
+  if (var_map.size() < src.num_vars()) {
+    throw std::invalid_argument("bdd_transfer: var_map too short");
+  }
+  std::unordered_map<NodeId, Bdd> memo;
+  // Recursive copy with memoization on source node ids. The destination
+  // variable order may differ, so nodes are rebuilt with ITE.
+  auto rec = [&](auto&& self, const Bdd& g) -> Bdd {
+    if (g.is_false()) return dst.bdd_false();
+    if (g.is_true()) return dst.bdd_true();
+    if (const auto it = memo.find(g.id()); it != memo.end()) return it->second;
+    const Bdd lo = self(self, g.low());
+    const Bdd hi = self(self, g.high());
+    const Bdd result = dst.ite(dst.var(var_map[g.top_var()]), hi, lo);
+    memo.emplace(g.id(), result);
+    return result;
+  };
+  return rec(rec, f);
+}
+
+Bdd bdd_transfer(BddManager& dst, const Bdd& f) {
+  std::vector<unsigned> identity(f.manager()->num_vars());
+  std::iota(identity.begin(), identity.end(), 0u);
+  return bdd_transfer(dst, f, identity);
+}
+
+std::vector<unsigned> invert_order(std::span<const unsigned> order) {
+  std::vector<unsigned> inverse(order.size());
+  for (unsigned level = 0; level < order.size(); ++level) inverse[order[level]] = level;
+  return inverse;
+}
+
+std::size_t size_under_order(BddManager& mgr, std::span<const Bdd> fs,
+                             std::span<const unsigned> order) {
+  BddManager scratch(mgr.num_vars(),
+                     /*initial_capacity=*/1u << 12);
+  // order[new_level] = old var  =>  var_map[old var] = new level.
+  const std::vector<unsigned> var_map = invert_order(order);
+  std::vector<Bdd> copies;
+  copies.reserve(fs.size());
+  for (const Bdd& f : fs) copies.push_back(bdd_transfer(scratch, f, var_map));
+  return scratch.dag_size(copies);
+}
+
+std::vector<unsigned> force_order(BddManager& mgr, std::span<const Bdd> fs,
+                                  unsigned iterations) {
+  const unsigned n = mgr.num_vars();
+  std::vector<unsigned> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (fs.empty()) return order;
+
+  // Hyperedges: for every BDD node labelled v with children labelled a, b,
+  // connect {v, a, b} (terminal children are skipped). Gathered once.
+  struct Edge {
+    unsigned v, a, b;  // a or b may equal v when the child is a terminal
+  };
+  std::vector<Edge> edges;
+  {
+    std::vector<bool> seen;
+    for (const Bdd& f : fs) {
+      std::vector<Bdd> stack{f};
+      while (!stack.empty()) {
+        const Bdd g = stack.back();
+        stack.pop_back();
+        if (g.is_const()) continue;
+        if (g.id() >= seen.size()) seen.resize(g.id() + 1, false);
+        if (seen[g.id()]) continue;
+        seen[g.id()] = true;
+        const Bdd lo = g.low(), hi = g.high();
+        Edge e{g.top_var(), g.top_var(), g.top_var()};
+        if (!lo.is_const()) e.a = lo.top_var();
+        if (!hi.is_const()) e.b = hi.top_var();
+        edges.push_back(e);
+        stack.push_back(lo);
+        stack.push_back(hi);
+      }
+    }
+  }
+  if (edges.empty()) return order;
+
+  std::vector<double> position(n);
+  for (unsigned v = 0; v < n; ++v) position[v] = v;
+  for (unsigned iter = 0; iter < iterations; ++iter) {
+    std::vector<double> sum(n, 0.0);
+    std::vector<unsigned> count(n, 0);
+    for (const Edge& e : edges) {
+      const double cog = (position[e.v] + position[e.a] + position[e.b]) / 3.0;
+      sum[e.v] += cog;
+      ++count[e.v];
+      sum[e.a] += cog;
+      ++count[e.a];
+      sum[e.b] += cog;
+      ++count[e.b];
+    }
+    for (unsigned v = 0; v < n; ++v) {
+      if (count[v] != 0) position[v] = sum[v] / count[v];
+    }
+    std::sort(order.begin(), order.end(), [&position](unsigned x, unsigned y) {
+      return position[x] < position[y] || (position[x] == position[y] && x < y);
+    });
+    // Re-quantize positions to ranks to keep the iteration stable.
+    for (unsigned level = 0; level < n; ++level) position[order[level]] = level;
+  }
+  return order;
+}
+
+std::vector<unsigned> sift_order(BddManager& mgr, std::span<const Bdd> fs,
+                                 unsigned rounds) {
+  const unsigned n = mgr.num_vars();
+  std::vector<unsigned> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (fs.empty() || n < 2) return order;
+
+  std::size_t best_size = size_under_order(mgr, fs, order);
+  for (unsigned round = 0; round < rounds; ++round) {
+    bool improved = false;
+    for (unsigned pos = 0; pos < n; ++pos) {
+      // Try moving the variable currently at `pos` to every other slot.
+      std::vector<unsigned> best_local = order;
+      std::size_t best_local_size = best_size;
+      for (unsigned target = 0; target < n; ++target) {
+        if (target == pos) continue;
+        std::vector<unsigned> candidate = order;
+        const unsigned v = candidate[pos];
+        candidate.erase(candidate.begin() + pos);
+        candidate.insert(candidate.begin() + target, v);
+        const std::size_t size = size_under_order(mgr, fs, candidate);
+        if (size < best_local_size) {
+          best_local_size = size;
+          best_local = std::move(candidate);
+        }
+      }
+      if (best_local_size < best_size) {
+        best_size = best_local_size;
+        order = std::move(best_local);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return order;
+}
+
+}  // namespace bidec

@@ -1,0 +1,50 @@
+// Static variable-ordering utilities. The manager keeps the identity order
+// (variable i at level i), so reordering is expressed as (a) computing a
+// good order for a set of functions and (b) transferring functions into a
+// manager under that order. The decomposition flows use this to present
+// well-ordered BDDs to the algorithm; the micro benches show the size
+// impact (the classic lever for the CPU-time columns of Table 2).
+#ifndef BIDEC_BDD_BDD_REORDER_H
+#define BIDEC_BDD_BDD_REORDER_H
+
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+/// Copy `f` from its manager into `dst`, renaming variable v to
+/// `var_map[v]`. Managers may differ in variable count as long as every
+/// mapped index is valid in `dst`.
+[[nodiscard]] Bdd bdd_transfer(BddManager& dst, const Bdd& f,
+                               std::span<const unsigned> var_map);
+
+/// Identity transfer (same variable names).
+[[nodiscard]] Bdd bdd_transfer(BddManager& dst, const Bdd& f);
+
+/// One span-based placement pass of the FORCE heuristic (Aloul et al.):
+/// hyperedges are the BDD nodes' (var, lo-top, hi-top) triples; variables
+/// are iteratively placed at the centre of gravity of their edges. Returns
+/// `order` with order[new_level] = old_variable.
+[[nodiscard]] std::vector<unsigned> force_order(BddManager& mgr, std::span<const Bdd> fs,
+                                                unsigned iterations = 12);
+
+/// Greedy sifting-flavoured search in "rebuild" form: starting from the
+/// identity, repeatedly try moving each variable to the position that
+/// minimizes the total transferred DAG size. O(n^2) rebuilds; intended for
+/// the moderate variable counts of the benchmark suite.
+[[nodiscard]] std::vector<unsigned> sift_order(BddManager& mgr, std::span<const Bdd> fs,
+                                               unsigned rounds = 1);
+
+/// Shared-size of `fs` when rebuilt under `order` (order[new_level] = old
+/// variable). Used by the search heuristics and exposed for tests.
+[[nodiscard]] std::size_t size_under_order(BddManager& mgr, std::span<const Bdd> fs,
+                                           std::span<const unsigned> order);
+
+/// Convenience: invert an order vector (old variable -> new level).
+[[nodiscard]] std::vector<unsigned> invert_order(std::span<const unsigned> order);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BDD_BDD_REORDER_H

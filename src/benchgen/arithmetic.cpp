@@ -1,0 +1,64 @@
+// BDD-level arithmetic helpers used by the functional benchmark generators.
+#include <stdexcept>
+
+#include "benchgen/benchgen.h"
+
+namespace bidec {
+
+std::vector<Bdd> weight_indicators(BddManager& mgr, unsigned num_inputs) {
+  // Dynamic programming over variables: after processing variable v, w[k] is
+  // "exactly k ones among variables 0..v".
+  std::vector<Bdd> w(num_inputs + 1, mgr.bdd_false());
+  w[0] = mgr.bdd_true();
+  for (unsigned v = 0; v < num_inputs; ++v) {
+    const Bdd x = mgr.var(v);
+    for (unsigned k = v + 1; k-- > 0;) {
+      w[k + 1] = mgr.ite(x, w[k], w[k + 1]);
+    }
+    w[0] = mgr.ite(x, mgr.bdd_false(), w[0]);
+  }
+  return w;
+}
+
+Bdd symmetric_function(BddManager& mgr, unsigned num_inputs,
+                       std::span<const unsigned> weights) {
+  const std::vector<Bdd> w = weight_indicators(mgr, num_inputs);
+  Bdd f = mgr.bdd_false();
+  for (const unsigned k : weights) {
+    if (k > num_inputs) throw std::out_of_range("symmetric_function: weight > inputs");
+    f |= w[k];
+  }
+  return f;
+}
+
+std::vector<Bdd> bdd_add(BddManager& mgr, std::span<const Bdd> a, std::span<const Bdd> b) {
+  const std::size_t width = std::max(a.size(), b.size());
+  std::vector<Bdd> sum;
+  sum.reserve(width + 1);
+  Bdd carry = mgr.bdd_false();
+  for (std::size_t i = 0; i < width; ++i) {
+    const Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+    const Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+    sum.push_back(ai ^ bi ^ carry);
+    carry = (ai & bi) | (carry & (ai ^ bi));
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+std::vector<Bdd> bdd_sub(BddManager& mgr, std::span<const Bdd> a, std::span<const Bdd> b) {
+  // a + ~b + 1 over width+1 bits; the top bit is the sign.
+  const std::size_t width = std::max(a.size(), b.size()) + 1;
+  std::vector<Bdd> diff;
+  diff.reserve(width);
+  Bdd carry = mgr.bdd_true();
+  for (std::size_t i = 0; i < width; ++i) {
+    const Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+    const Bdd bi = ~(i < b.size() ? b[i] : mgr.bdd_false());
+    diff.push_back(ai ^ bi ^ carry);
+    carry = (ai & bi) | (carry & (ai ^ bi));
+  }
+  return diff;
+}
+
+}  // namespace bidec

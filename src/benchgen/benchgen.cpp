@@ -1,0 +1,370 @@
+// The benchmark suites of the paper's Tables 2 and 3. Per-function
+// provenance:
+//
+//   exact (functional definition is public knowledge):
+//     9sym    9-input totally symmetric, on iff weight in {3..6}
+//     16sym8  16-input totally symmetric with the paper's polarity window
+//             (on iff weight >= 8)
+//     rd84    8-input weight encoder, 4 output bits of the ones-count
+//   structural stand-ins (same interface, same functional character):
+//     5xp1    arithmetic: 4-bit a, 3-bit b -> 5*a + b (7 bits) plus parity,
+//             zero-flag and MSB outputs (10 outputs like the original)
+//     alu2    3+3-bit operands, 4 control bits, 16 ops -> 6 outputs
+//     alu4    5+5-bit operands, 4 control bits, 16 ops -> 8 outputs
+//     cordic  CORDIC rotation step: 11-bit target and current angles plus a
+//             mode bit -> rotation-direction and convergence outputs
+//     t481    the well-known EXOR/AND two-level-of-pairs structure that
+//             makes t481 the classic EXOR-decomposition benchmark
+//     e64     priority chain: out_i = x_i & none-of(x_0..x_{i-1})
+//   seeded synthetic control PLAs (matched interface and cube counts):
+//     cps duke2 misex2 pdc spla vg2
+#include "benchgen/benchgen.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace bidec {
+
+std::vector<std::string> Benchmark::input_names() const {
+  if (pla && !pla->input_names.empty()) return pla->input_names;
+  std::vector<std::string> names;
+  names.reserve(num_inputs);
+  for (unsigned i = 0; i < num_inputs; ++i) names.push_back("x" + std::to_string(i));
+  return names;
+}
+
+std::vector<std::string> Benchmark::output_names() const {
+  if (pla && !pla->output_names.empty()) return pla->output_names;
+  std::vector<std::string> names;
+  names.reserve(num_outputs);
+  for (unsigned o = 0; o < num_outputs; ++o) names.push_back("f" + std::to_string(o));
+  return names;
+}
+
+namespace {
+
+std::vector<Isf> csf_outputs(std::vector<Bdd> funcs) {
+  std::vector<Isf> result;
+  result.reserve(funcs.size());
+  for (Bdd& f : funcs) result.push_back(Isf::from_csf(f));
+  return result;
+}
+
+std::vector<Bdd> input_bits(BddManager& mgr, unsigned first, unsigned count) {
+  std::vector<Bdd> bits;
+  bits.reserve(count);
+  for (unsigned i = 0; i < count; ++i) bits.push_back(mgr.var(first + i));
+  return bits;
+}
+
+// --- exact functional benchmarks -------------------------------------------
+
+Benchmark make_sym9() {
+  Benchmark b;
+  b.name = "9sym";
+  b.num_inputs = 9;
+  b.num_outputs = 1;
+  b.note = "exact: totally symmetric, on iff 3 <= weight <= 6";
+  b.build = [](BddManager& mgr) {
+    const unsigned weights[] = {3, 4, 5, 6};
+    return csf_outputs({symmetric_function(mgr, 9, weights)});
+  };
+  return b;
+}
+
+Benchmark make_sym16() {
+  Benchmark b;
+  b.name = "16sym8";
+  b.num_inputs = 16;
+  b.num_outputs = 1;
+  b.note = "exact: totally symmetric, polarity window weight >= 8";
+  b.build = [](BddManager& mgr) {
+    std::vector<unsigned> weights;
+    for (unsigned k = 8; k <= 16; ++k) weights.push_back(k);
+    return csf_outputs({symmetric_function(mgr, 16, weights)});
+  };
+  return b;
+}
+
+Benchmark make_rd(unsigned inputs, unsigned outputs) {
+  Benchmark b;
+  b.name = "rd" + std::to_string(inputs) + std::to_string(outputs);
+  b.num_inputs = inputs;
+  b.num_outputs = outputs;
+  b.note = "exact: " + std::to_string(inputs) + "-input weight encoder (" +
+           std::to_string(outputs) + "-bit ones-count)";
+  b.build = [inputs, outputs](BddManager& mgr) {
+    const std::vector<Bdd> w = weight_indicators(mgr, inputs);
+    std::vector<Bdd> outs(outputs, mgr.bdd_false());
+    for (unsigned k = 0; k <= inputs; ++k) {
+      for (unsigned bit = 0; bit < outputs; ++bit) {
+        if ((k >> bit) & 1) outs[bit] |= w[k];
+      }
+    }
+    return csf_outputs(std::move(outs));
+  };
+  return b;
+}
+
+// --- structural stand-ins ----------------------------------------------------
+
+Benchmark make_5xp1() {
+  Benchmark b;
+  b.name = "5xp1";
+  b.num_inputs = 7;
+  b.num_outputs = 10;
+  b.stand_in = true;
+  b.note = "stand-in: 5*a + b over a[4],b[3]; 7 sum bits + parity/zero/msb";
+  b.build = [](BddManager& mgr) {
+    const std::vector<Bdd> a = input_bits(mgr, 0, 4);
+    const std::vector<Bdd> bv = input_bits(mgr, 4, 3);
+    // 5*a = (a << 2) + a.
+    std::vector<Bdd> a4(6, mgr.bdd_false());
+    for (unsigned i = 0; i < 4; ++i) a4[i + 2] = a[i];
+    const std::vector<Bdd> times5 = bdd_add(mgr, a4, a);
+    const std::vector<Bdd> sum = bdd_add(mgr, times5, bv);  // up to 8 bits
+    std::vector<Bdd> outs(sum.begin(), sum.begin() + 7);
+    Bdd parity = mgr.bdd_false();
+    Bdd zero = mgr.bdd_true();
+    for (unsigned i = 0; i < 7; ++i) {
+      parity ^= sum[i];
+      zero &= ~sum[i];
+    }
+    outs.push_back(parity);
+    outs.push_back(zero);
+    outs.push_back(sum[6] | sum[5]);  // "large result" flag
+    return csf_outputs(std::move(outs));
+  };
+  return b;
+}
+
+std::vector<Bdd> alu_outputs(BddManager& mgr, unsigned op_width, unsigned result_outs) {
+  // Inputs: a[op_width], b[op_width], ctl[4].
+  const std::vector<Bdd> a = input_bits(mgr, 0, op_width);
+  const std::vector<Bdd> bv = input_bits(mgr, op_width, op_width);
+  const std::vector<Bdd> ctl = input_bits(mgr, 2 * op_width, 4);
+
+  // The 16 operations (classic 74181-flavoured mix of arithmetic/logic).
+  std::vector<std::vector<Bdd>> results;
+  const std::vector<Bdd> add = bdd_add(mgr, a, bv);
+  const std::vector<Bdd> sub = bdd_sub(mgr, a, bv);
+  auto logic = [&](auto&& op) {
+    std::vector<Bdd> r;
+    for (unsigned i = 0; i < op_width; ++i) r.push_back(op(a[i], bv[i]));
+    r.push_back(mgr.bdd_false());
+    return r;
+  };
+  std::vector<Bdd> shl(op_width + 1, mgr.bdd_false());
+  for (unsigned i = 0; i < op_width; ++i) shl[i + 1] = a[i];
+  std::vector<Bdd> nota;
+  for (unsigned i = 0; i < op_width; ++i) nota.push_back(~a[i]);
+  nota.push_back(mgr.bdd_false());
+  std::vector<Bdd> pass_a = a;
+  pass_a.push_back(mgr.bdd_false());
+  std::vector<Bdd> pass_b = bv;
+  pass_b.push_back(mgr.bdd_false());
+  const std::vector<Bdd> one{mgr.bdd_true()};
+  const std::vector<Bdd> inc = bdd_add(mgr, a, one);
+
+  results.push_back(add);                                            // 0 add
+  results.push_back(sub);                                            // 1 sub
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return x & y; }));   // 2
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return x | y; }));   // 3
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return x ^ y; }));   // 4
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return ~(x | y); })); // 5
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return ~(x & y); })); // 6
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return ~(x ^ y); })); // 7
+  results.push_back(shl);                                            // 8
+  results.push_back(nota);                                           // 9
+  results.push_back(pass_a);                                         // 10
+  results.push_back(pass_b);                                         // 11
+  results.push_back(inc);                                            // 12
+  results.push_back(bdd_sub(mgr, bv, a));                            // 13
+  results.push_back(bdd_add(mgr, a, a));                             // 14
+  results.push_back(logic([](const Bdd& x, const Bdd& y) { return x & ~y; }));  // 15
+
+  // Select by control value.
+  const std::size_t width = op_width + 1;
+  std::vector<Bdd> selected(width, mgr.bdd_false());
+  for (unsigned op = 0; op < 16; ++op) {
+    Bdd is_op = mgr.bdd_true();
+    for (unsigned c = 0; c < 4; ++c) {
+      is_op &= ((op >> c) & 1) ? ctl[c] : ~ctl[c];
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      const Bdd bit = i < results[op].size() ? results[op][i] : mgr.bdd_false();
+      selected[i] |= is_op & bit;
+    }
+  }
+
+  // Pack: result bits, then carry/overflow bit, then zero flag, truncated or
+  // padded to result_outs.
+  Bdd zero = mgr.bdd_true();
+  for (unsigned i = 0; i < op_width; ++i) zero &= ~selected[i];
+  std::vector<Bdd> outs(selected.begin(), selected.end());
+  outs.push_back(zero);
+  outs.resize(result_outs, mgr.bdd_false());
+  return outs;
+}
+
+Benchmark make_alu2() {
+  Benchmark b;
+  b.name = "alu2";
+  b.num_inputs = 10;
+  b.num_outputs = 6;
+  b.stand_in = true;
+  b.note = "stand-in: 3+3-bit 16-op ALU with carry and zero flags";
+  b.build = [](BddManager& mgr) { return csf_outputs(alu_outputs(mgr, 3, 6)); };
+  return b;
+}
+
+Benchmark make_alu4() {
+  Benchmark b;
+  b.name = "alu4";
+  b.num_inputs = 14;
+  b.num_outputs = 8;
+  b.stand_in = true;
+  b.note = "stand-in: 5+5-bit 16-op ALU with carry and zero flags";
+  b.build = [](BddManager& mgr) { return csf_outputs(alu_outputs(mgr, 5, 8)); };
+  return b;
+}
+
+Benchmark make_cordic() {
+  Benchmark b;
+  b.name = "cordic";
+  b.num_inputs = 23;
+  b.num_outputs = 2;
+  b.stand_in = true;
+  b.note = "stand-in: CORDIC step: sign(target - angle) and convergence flag";
+  b.build = [](BddManager& mgr) {
+    const std::vector<Bdd> target = input_bits(mgr, 0, 11);
+    const std::vector<Bdd> angle = input_bits(mgr, 11, 11);
+    const Bdd mode = mgr.var(22);
+    const std::vector<Bdd> diff = bdd_sub(mgr, target, angle);
+    const Bdd sign = diff.back();
+    // Converged when the difference is tiny: all bits above the low 3 agree
+    // with the sign bit.
+    Bdd converged = mgr.bdd_true();
+    for (std::size_t i = 3; i < diff.size(); ++i) converged &= ~(diff[i] ^ sign);
+    return csf_outputs({sign ^ mode, converged});
+  };
+  return b;
+}
+
+Benchmark make_t481() {
+  Benchmark b;
+  b.name = "t481";
+  b.num_inputs = 16;
+  b.num_outputs = 1;
+  b.stand_in = true;
+  b.note = "stand-in: two levels of (xor-pair AND xor-pair) OR-ed, then EXOR";
+  b.build = [](BddManager& mgr) {
+    auto xp = [&mgr](unsigned i) { return mgr.var(i) ^ mgr.var(i + 1); };
+    const Bdd left = (xp(0) & xp(2)) | (xp(4) & xp(6));
+    const Bdd right = (xp(8) & xp(10)) | (xp(12) & xp(14));
+    return csf_outputs({left ^ right});
+  };
+  return b;
+}
+
+Benchmark make_e64() {
+  Benchmark b;
+  b.name = "e64";
+  b.num_inputs = 65;
+  b.num_outputs = 65;
+  b.stand_in = true;
+  b.note = "stand-in: 65-way priority chain (out_i = x_i & no higher x set)";
+  b.build = [](BddManager& mgr) {
+    std::vector<Bdd> outs;
+    outs.reserve(65);
+    Bdd none_above = mgr.bdd_true();
+    for (unsigned i = 0; i < 65; ++i) {
+      outs.push_back(mgr.var(i) & none_above);
+      none_above &= ~mgr.var(i);
+    }
+    return csf_outputs(std::move(outs));
+  };
+  return b;
+}
+
+// --- seeded synthetic control logic -----------------------------------------
+
+Benchmark make_structured_bench(std::string name, unsigned inputs, unsigned outputs,
+                                unsigned internal_nodes, double dc_fraction,
+                                std::uint64_t seed) {
+  Benchmark b;
+  b.name = std::move(name);
+  b.num_inputs = inputs;
+  b.num_outputs = outputs;
+  b.stand_in = true;
+  b.note = "stand-in: seeded synthetic control logic with internal sharing";
+  StructuredSpecParams params;
+  params.inputs = inputs;
+  params.outputs = outputs;
+  params.internal_nodes = internal_nodes;
+  params.dc_fraction = dc_fraction;
+  params.seed = seed;
+  b.build = [params](BddManager& mgr) { return random_structured_spec(mgr, params); };
+  return b;
+}
+
+std::vector<Benchmark> build_all() {
+  std::vector<Benchmark> all;
+  all.push_back(make_sym9());
+  all.push_back(make_alu4());
+  all.push_back(make_structured_bench("cps", 24, 109, 330, 0.0, 0xc0ffee01));
+  all.push_back(make_structured_bench("duke2", 22, 29, 150, 0.0, 0xc0ffee02));
+  all.push_back(make_e64());
+  all.push_back(make_structured_bench("misex2", 25, 18, 90, 0.0, 0xc0ffee03));
+  all.push_back(make_structured_bench("pdc", 16, 40, 160, 0.5, 0xc0ffee04));
+  all.push_back(make_structured_bench("spla", 16, 46, 170, 0.0, 0xc0ffee05));
+  all.push_back(make_structured_bench("vg2", 25, 8, 100, 0.0, 0xc0ffee06));
+  all.push_back(make_sym16());
+  all.push_back(make_5xp1());
+  all.push_back(make_alu2());
+  all.push_back(make_cordic());
+  all.push_back(make_rd(5, 3));   // rd53
+  all.push_back(make_rd(7, 3));   // rd73
+  all.push_back(make_rd(8, 4));   // rd84
+  all.push_back(make_t481());
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& full_suite() {
+  static const std::vector<Benchmark> suite = build_all();
+  return suite;
+}
+
+const Benchmark& find_benchmark(const std::string& name) {
+  for (const Benchmark& b : full_suite()) {
+    if (b.name == name) return b;
+  }
+  throw std::out_of_range("find_benchmark: unknown benchmark " + name);
+}
+
+const std::vector<Benchmark>& table2_suite() {
+  static const std::vector<Benchmark> suite = [] {
+    std::vector<Benchmark> s;
+    for (const char* name : {"9sym", "alu4", "cps", "duke2", "e64", "misex2", "pdc",
+                             "spla", "vg2", "16sym8"}) {
+      s.push_back(find_benchmark(name));
+    }
+    return s;
+  }();
+  return suite;
+}
+
+const std::vector<Benchmark>& table3_suite() {
+  static const std::vector<Benchmark> suite = [] {
+    std::vector<Benchmark> s;
+    for (const char* name : {"5xp1", "9sym", "alu2", "alu4", "cordic", "rd84", "t481"}) {
+      s.push_back(find_benchmark(name));
+    }
+    return s;
+  }();
+  return suite;
+}
+
+}  // namespace bidec

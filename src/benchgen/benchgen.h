@@ -1,0 +1,105 @@
+// Benchmark functions reproducing the paper's MCNC workload. Functions with
+// published functional definitions (symmetric functions, weight encoders,
+// the 16-variable symmetric function of Table 2) are generated exactly;
+// benchmarks whose PLA tables are not redistributable offline are replaced
+// by synthetic equivalents with the same interface size and character
+// (documented per function; see DESIGN.md Section 4 and EXPERIMENTS.md).
+#ifndef BIDEC_BENCHGEN_BENCHGEN_H
+#define BIDEC_BENCHGEN_BENCHGEN_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/pla.h"
+#include "isf/isf.h"
+
+namespace bidec {
+
+struct Benchmark {
+  std::string name;
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  /// True when this is a synthetic stand-in rather than the exact MCNC
+  /// function (see the note).
+  bool stand_in = false;
+  std::string note;
+  /// Build the specification over a manager with >= num_inputs variables.
+  std::function<std::vector<Isf>(BddManager&)> build;
+  /// PLA view when the benchmark is cube-defined (used by the SIS-like flow
+  /// exactly how SIS consumed the original files); null for functional ones.
+  std::shared_ptr<const PlaFile> pla;
+
+  [[nodiscard]] std::vector<std::string> input_names() const;
+  [[nodiscard]] std::vector<std::string> output_names() const;
+};
+
+/// The Table 2 suite (9sym, alu4, cps, duke2, e64, misex2, pdc, spla, vg2,
+/// 16sym8) in the paper's row order.
+[[nodiscard]] const std::vector<Benchmark>& table2_suite();
+
+/// The Table 3 suite (5xp1, 9sym, alu2, alu4, cordic, rd84, t481).
+[[nodiscard]] const std::vector<Benchmark>& table3_suite();
+
+/// Union of the two suites (unique by name).
+[[nodiscard]] const std::vector<Benchmark>& full_suite();
+
+/// Lookup by name across the full suite; throws std::out_of_range if absent.
+[[nodiscard]] const Benchmark& find_benchmark(const std::string& name);
+
+// --- individual generators (exposed for tests) ----------------------------
+
+/// Totally symmetric function: on iff popcount(inputs) is in `weights`.
+[[nodiscard]] Bdd symmetric_function(BddManager& mgr, unsigned num_inputs,
+                                     std::span<const unsigned> weights);
+
+/// weight_indicators[k] = "exactly k of the first num_inputs variables are 1".
+[[nodiscard]] std::vector<Bdd> weight_indicators(BddManager& mgr, unsigned num_inputs);
+
+/// Ripple-carry sum of two bit-vectors (LSB first), result one bit longer.
+[[nodiscard]] std::vector<Bdd> bdd_add(BddManager& mgr, std::span<const Bdd> a,
+                                       std::span<const Bdd> b);
+/// a - b as two's complement over max(|a|,|b|)+1 bits; last bit = sign.
+[[nodiscard]] std::vector<Bdd> bdd_sub(BddManager& mgr, std::span<const Bdd> a,
+                                       std::span<const Bdd> b);
+
+/// Seeded synthetic control-logic PLA (stand-in generator): `cubes` product
+/// terms over `inputs` variables with `min_lits..max_lits` literals each,
+/// each activating 1..`outs_per_cube` outputs; a `dc_fraction` of rows mark
+/// don't-cares instead of on-set.
+///
+/// Note: purely random cubes are structure-free, the adversarial best case
+/// for two-level synthesis; the Table 2 stand-ins use
+/// random_structured_spec instead, and the random-PLA workload is kept as
+/// the `randompla` ablation (see bench/ablation_main.cpp).
+[[nodiscard]] PlaFile random_control_pla(unsigned inputs, unsigned outputs,
+                                         unsigned cubes, unsigned min_lits,
+                                         unsigned max_lits, unsigned outs_per_cube,
+                                         double dc_fraction, std::uint64_t seed);
+
+struct StructuredSpecParams {
+  unsigned inputs = 16;
+  unsigned outputs = 8;
+  /// Internal gate pool built before outputs are drawn.
+  unsigned internal_nodes = 100;
+  /// Fraction of internal gates that are XORs (control logic has few).
+  double xor_fraction = 0.08;
+  /// Probability that an output receives a random-cube don't-care region.
+  double dc_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Seeded synthetic multi-output control logic *with internal sharing*: a
+/// random gate DAG over the inputs whose outputs are drawn from the deeper
+/// half of the pool. This models the origin of the MCNC control benchmarks
+/// (flattened multi-level controllers): flattening to two-level form
+/// obscures shared subfunctions that decomposition can rediscover.
+[[nodiscard]] std::vector<Isf> random_structured_spec(BddManager& mgr,
+                                                      const StructuredSpecParams& params);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BENCHGEN_BENCHGEN_H

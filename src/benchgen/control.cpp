@@ -1,0 +1,97 @@
+// Seeded synthetic control-logic PLA generator: the stand-in for MCNC
+// benchmarks whose cube tables are not redistributable here (cps, duke2,
+// misex2, pdc, spla, vg2). Cube counts and literal densities are matched to
+// the originals so the flows see workloads of the same size and shape.
+#include <random>
+
+#include "benchgen/benchgen.h"
+
+namespace bidec {
+
+std::vector<Isf> random_structured_spec(BddManager& mgr,
+                                        const StructuredSpecParams& params) {
+  std::mt19937_64 rng(params.seed);
+  std::vector<Bdd> pool;
+  pool.reserve(params.inputs + params.internal_nodes);
+  for (unsigned v = 0; v < params.inputs; ++v) pool.push_back(mgr.var(v));
+
+  std::bernoulli_distribution flip(0.3);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (unsigned i = 0; i < params.internal_nodes; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    const std::size_t ia = pick(rng);
+    std::size_t ib = pick(rng);
+    while (ib == ia) ib = pick(rng);
+    Bdd a = pool[ia];
+    Bdd b = pool[ib];
+    if (flip(rng)) a = ~a;
+    if (flip(rng)) b = ~b;
+    const double op = coin(rng);
+    Bdd g;
+    if (op < params.xor_fraction) {
+      g = a ^ b;
+    } else if (op < params.xor_fraction + (1.0 - params.xor_fraction) / 2) {
+      g = a & b;
+    } else {
+      g = a | b;
+    }
+    if (!g.is_const()) pool.push_back(std::move(g));
+  }
+
+  // Outputs come from the deeper half of the pool so they carry structure.
+  const std::size_t lo = pool.size() / 2;
+  std::uniform_int_distribution<std::size_t> out_pick(lo, pool.size() - 1);
+  std::vector<Isf> spec;
+  spec.reserve(params.outputs);
+  std::bernoulli_distribution has_dc(params.dc_fraction);
+  std::uniform_int_distribution<unsigned> var_pick(0, params.inputs - 1);
+  std::bernoulli_distribution pol(0.5);
+  for (unsigned o = 0; o < params.outputs; ++o) {
+    const Bdd f = pool[out_pick(rng)];
+    if (has_dc(rng)) {
+      // Don't-care region: a random three-literal cube.
+      CubeLits lits(params.inputs, -1);
+      for (int l = 0; l < 3; ++l) {
+        lits[var_pick(rng)] = pol(rng) ? 1 : 0;
+      }
+      const Bdd dc = mgr.make_cube(lits);
+      spec.push_back(Isf(f - dc, ~(f | dc)));
+    } else {
+      spec.push_back(Isf::from_csf(f));
+    }
+  }
+  return spec;
+}
+
+PlaFile random_control_pla(unsigned inputs, unsigned outputs, unsigned cubes,
+                           unsigned min_lits, unsigned max_lits, unsigned outs_per_cube,
+                           double dc_fraction, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<unsigned> lit_count(min_lits, max_lits);
+  std::uniform_int_distribution<unsigned> var_pick(0, inputs - 1);
+  std::uniform_int_distribution<unsigned> out_count(1, outs_per_cube);
+  std::uniform_int_distribution<unsigned> out_pick(0, outputs - 1);
+  std::bernoulli_distribution polarity(0.5);
+  std::bernoulli_distribution dc_row(dc_fraction);
+
+  PlaFile pla;
+  pla.num_inputs = inputs;
+  pla.num_outputs = outputs;
+  pla.type = PlaFile::Type::kFD;
+  pla.rows.reserve(cubes);
+  for (unsigned c = 0; c < cubes; ++c) {
+    std::string in_part(inputs, '-');
+    const unsigned lits = lit_count(rng);
+    for (unsigned l = 0; l < lits; ++l) {
+      in_part[var_pick(rng)] = polarity(rng) ? '1' : '0';
+    }
+    std::string out_part(outputs, '0');
+    const char mark = dc_row(rng) ? '-' : '1';
+    const unsigned outs = out_count(rng);
+    for (unsigned o = 0; o < outs; ++o) out_part[out_pick(rng)] = mark;
+    pla.rows.push_back(PlaFile::Row{std::move(in_part), std::move(out_part)});
+  }
+  return pla;
+}
+
+}  // namespace bidec

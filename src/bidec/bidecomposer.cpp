@@ -1,0 +1,270 @@
+#include "bidec/bidecomposer.h"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "bidec/derive.h"
+#include "bidec/exor_check.h"
+
+namespace bidec {
+
+BiDecomposer::BiDecomposer(BddManager& mgr, BidecOptions options,
+                           std::vector<std::string> input_names)
+    : mgr_(mgr), options_(options), cache_(mgr) {
+  var_signal_.reserve(mgr.num_vars());
+  for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+    std::string name =
+        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+    var_signal_.push_back(net_.add_input(std::move(name)));
+  }
+}
+
+SignalId BiDecomposer::add_output(const std::string& name, const Isf& isf) {
+  const auto [func, signal] = decompose(isf);
+  net_.add_output(name, signal);
+  return signal;
+}
+
+std::pair<Bdd, SignalId> BiDecomposer::decompose(const Isf& isf) {
+  const Result r = bidecompose(isf);
+  return {r.func, r.signal};
+}
+
+void BiDecomposer::map_inverters() { net_.absorb_inverters(); }
+
+void BiDecomposer::finish() {
+  if (options_.absorb_inverters) map_inverters();
+}
+
+// ---------------------------------------------------------------------------
+// Terminal case: support of two or fewer variables. All sixteen two-variable
+// functions are realizable with at most one two-input gate plus inverters;
+// pick the cheapest one compatible with the interval.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Area cost of realizing the two-variable function with truth table `tt`
+/// (bit m = value at minterm m, m = a + 2*b), assuming inputs are free.
+double tt2_cost(unsigned tt) {
+  switch (tt) {
+    case 0x0: case 0xF: return 0.0;               // constants
+    case 0xA: case 0xC: return 0.0;               // a, b
+    case 0x5: case 0x3: return 1.0;               // ~a, ~b
+    case 0x7: case 0x1: return 2.0;               // nand, nor
+    case 0x9: return 5.0;                         // xnor
+    case 0x8: case 0xE: return 3.0;               // and, or
+    case 0x6: return 5.0;                         // xor
+    case 0x2: case 0x4: return 4.0;               // a&~b, ~a&b
+    case 0xB: case 0xD: return 4.0;               // a|~b, ~a|b
+    default: return 1e9;
+  }
+}
+
+}  // namespace
+
+BiDecomposer::Result BiDecomposer::terminal_case(const Isf& isf,
+                                                 std::span<const unsigned> support) {
+  ++stats_.terminal_cases;
+  assert(support.size() <= 2);
+  const unsigned va = support.size() >= 1 ? support[0] : 0;
+  const unsigned vb = support.size() >= 2 ? support[1] : 0;
+
+  // Truth tables of the on-set and off-set over (va, vb).
+  unsigned q_tt = 0, r_tt = 0;
+  std::vector<bool> assign(mgr_.num_vars(), false);
+  for (unsigned m = 0; m < 4; ++m) {
+    assign[va] = (m & 1) != 0;
+    assign[vb] = (m & 2) != 0;
+    if (mgr_.eval(isf.q(), assign)) q_tt |= 1u << m;
+    if (mgr_.eval(isf.r(), assign)) r_tt |= 1u << m;
+  }
+
+  // Cheapest compatible function: q_tt subset of tt, tt disjoint from r_tt.
+  // With EXOR disabled, an (X)NOR-class truth table costs its AND/OR/NOT
+  // realization (3 gates + inverters) instead.
+  unsigned best_tt = 0;
+  double best_cost = 1e18;
+  for (unsigned tt = 0; tt < 16; ++tt) {
+    if ((q_tt & ~tt) != 0 || (tt & r_tt) != 0) continue;
+    double cost = tt2_cost(tt);
+    if (!options_.use_exor && (tt == 0x6 || tt == 0x9)) cost = 11.0;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_tt = tt;
+    }
+  }
+  assert(best_cost < 1e18);  // an ISF always admits some cover
+
+  const SignalId sa = var_signal_[va];
+  const SignalId sb = var_signal_[vb];
+  SignalId sig = kNoSignal;
+  Bdd func;
+  const Bdd a = mgr_.var(va), b = mgr_.var(vb);
+  switch (best_tt) {
+    case 0x0: sig = net_.get_const(false); func = mgr_.bdd_false(); break;
+    case 0xF: sig = net_.get_const(true); func = mgr_.bdd_true(); break;
+    case 0xA: sig = sa; func = a; break;
+    case 0x5: sig = net_.add_not(sa); func = ~a; break;
+    case 0xC: sig = sb; func = b; break;
+    case 0x3: sig = net_.add_not(sb); func = ~b; break;
+    case 0x8: sig = net_.add_and(sa, sb); func = a & b; break;
+    case 0xE: sig = net_.add_or(sa, sb); func = a | b; break;
+    case 0x6:
+      sig = options_.use_exor
+                ? net_.add_xor(sa, sb)
+                : net_.add_or(net_.add_and(sa, net_.add_not(sb)),
+                              net_.add_and(net_.add_not(sa), sb));
+      func = a ^ b;
+      break;
+    case 0x7: sig = net_.add_not(net_.add_and(sa, sb)); func = ~(a & b); break;
+    case 0x1: sig = net_.add_not(net_.add_or(sa, sb)); func = ~(a | b); break;
+    case 0x9:
+      sig = options_.use_exor
+                ? net_.add_not(net_.add_xor(sa, sb))
+                : net_.add_or(net_.add_and(sa, sb),
+                              net_.add_and(net_.add_not(sa), net_.add_not(sb)));
+      func = ~(a ^ b);
+      break;
+    case 0x2: sig = net_.add_and(sa, net_.add_not(sb)); func = a & ~b; break;
+    case 0x4: sig = net_.add_and(net_.add_not(sa), sb); func = ~a & b; break;
+    case 0xB: sig = net_.add_or(sa, net_.add_not(sb)); func = a | ~b; break;
+    case 0xD: sig = net_.add_or(net_.add_not(sa), sb); func = ~a | b; break;
+    default: throw std::logic_error("terminal_case: unreachable");
+  }
+  return Result{func, sig};
+}
+
+// ---------------------------------------------------------------------------
+// Combination and the three decomposition flavours
+// ---------------------------------------------------------------------------
+
+BiDecomposer::Result BiDecomposer::combine(GateKind gate, const Result& a,
+                                           const Result& b) {
+  switch (gate) {
+    case GateKind::kOr:
+      return Result{a.func | b.func, net_.add_or(a.signal, b.signal)};
+    case GateKind::kAnd:
+      return Result{a.func & b.func, net_.add_and(a.signal, b.signal)};
+    case GateKind::kExor:
+      return Result{a.func ^ b.func, net_.add_xor(a.signal, b.signal)};
+  }
+  throw std::logic_error("combine: unreachable");
+}
+
+BiDecomposer::Result BiDecomposer::decompose_strong(const Isf& isf,
+                                                    const BestGrouping& best) {
+  const std::span<const unsigned> xa(best.grouping.xa);
+  const std::span<const unsigned> xb(best.grouping.xb);
+  switch (best.gate) {
+    case GateKind::kOr: {
+      ++stats_.strong_or;
+      const Isf isf_a = derive_or_component_a(isf, xa, xb);
+      const Result a = bidecompose(isf_a);
+      const Isf isf_b = derive_or_component_b(isf, a.func, xa);
+      const Result b = bidecompose(isf_b);
+      return combine(GateKind::kOr, a, b);
+    }
+    case GateKind::kAnd: {
+      ++stats_.strong_and;
+      const Isf isf_a = derive_and_component_a(isf, xa, xb);
+      const Result a = bidecompose(isf_a);
+      const Isf isf_b = derive_and_component_b(isf, a.func, xa);
+      const Result b = bidecompose(isf_b);
+      return combine(GateKind::kAnd, a, b);
+    }
+    case GateKind::kExor: {
+      ++stats_.strong_exor;
+      const auto comps = check_exor_bidecomp(isf, xa, xb);
+      if (!comps) {
+        // The grouping pass verified decomposability; this cannot happen.
+        throw std::logic_error("decompose_strong: EXOR grouping not decomposable");
+      }
+      const Result a = bidecompose(comps->a);
+      const Result b = bidecompose(comps->b);
+      return combine(GateKind::kExor, a, b);
+    }
+  }
+  throw std::logic_error("decompose_strong: unreachable");
+}
+
+BiDecomposer::Result BiDecomposer::decompose_weak(const Isf& isf,
+                                                  const WeakGrouping& weak) {
+  const std::span<const unsigned> xa(weak.xa);
+  if (weak.gate == GateKind::kOr) {
+    ++stats_.weak_or;
+    const Isf isf_a = derive_weak_or_component_a(isf, xa);
+    const Result a = bidecompose(isf_a);
+    const Isf isf_b = derive_weak_or_component_b(isf, a.func, xa);
+    const Result b = bidecompose(isf_b);
+    return combine(GateKind::kOr, a, b);
+  }
+  ++stats_.weak_and;
+  const Isf isf_a = derive_weak_and_component_a(isf, xa);
+  const Result a = bidecompose(isf_a);
+  const Isf isf_b = derive_weak_and_component_b(isf, a.func, xa);
+  const Result b = bidecompose(isf_b);
+  return combine(GateKind::kAnd, a, b);
+}
+
+BiDecomposer::Result BiDecomposer::decompose_shannon(const Isf& isf, unsigned v) {
+  // F = (~v & F|v=0) | (v & F|v=1). Never reached for functions the paper's
+  // flow handles (see Section 7 discussion); kept as a safety net so the
+  // recursion provably terminates for any input.
+  ++stats_.shannon_fallback;
+  const Result lo = bidecompose(isf.cofactor(v, false));
+  const Result hi = bidecompose(isf.cofactor(v, true));
+  const Bdd x = mgr_.var(v);
+  const SignalId sx = var_signal_[v];
+  const Result left{~x & lo.func, net_.add_and(net_.add_not(sx), lo.signal)};
+  const Result right{x & hi.func, net_.add_and(sx, hi.signal)};
+  return combine(GateKind::kOr, left, right);
+}
+
+// ---------------------------------------------------------------------------
+// BiDecompose (Fig. 7)
+// ---------------------------------------------------------------------------
+
+BiDecomposer::Result BiDecomposer::bidecompose(const Isf& isf_in) {
+  ++stats_.calls;
+
+  // RemoveInessentialVariables.
+  Isf isf = isf_in.remove_inessential_variables();
+  const std::vector<unsigned> support = isf.support();
+  if (support.size() < isf_in.support().size()) ++stats_.inessential_removed;
+
+  // LookupCacheForACompatibleComponent.
+  if (options_.use_cache) {
+    ++stats_.cache_lookups;
+    if (const auto hit = cache_.lookup(isf, support)) {
+      if (hit->complemented) {
+        ++stats_.cache_complement_hits;
+        return Result{hit->func, net_.add_not(hit->signal)};
+      }
+      ++stats_.cache_hits;
+      return Result{hit->func, hit->signal};
+    }
+  }
+
+  Result result;
+  if (support.size() <= 2) {
+    result = terminal_case(isf, support);
+  } else {
+    std::optional<BestGrouping> best;
+    if (options_.use_strong) best = find_best_grouping(isf, support, options_);
+    if (best) {
+      result = decompose_strong(isf, *best);
+    } else if (const auto weak = group_variables_weak(isf, support, options_)) {
+      result = decompose_weak(isf, *weak);
+    } else {
+      result = decompose_shannon(isf, support.front());
+    }
+  }
+
+  assert(isf.is_compatible(result.func));
+  if (options_.use_cache) cache_.insert(result.func, result.signal);
+  return result;
+}
+
+}  // namespace bidec

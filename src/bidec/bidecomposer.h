@@ -1,0 +1,73 @@
+// The recursive bi-decomposition driver (paper Fig. 7): turns ISFs into a
+// shared netlist of two-input AND/OR/EXOR gates (mapped to
+// NAND/NOR/XNOR where an inverter can be absorbed). Multi-output functions
+// are decomposed through one BiDecomposer instance so that the component
+// cache and the structural hashing share gates across outputs.
+#ifndef BIDEC_BIDEC_BIDECOMPOSER_H
+#define BIDEC_BIDEC_BIDECOMPOSER_H
+
+#include <string>
+#include <vector>
+
+#include "bidec/grouping.h"
+#include "bidec/options.h"
+#include "bidec/reuse_cache.h"
+#include "bidec/stats.h"
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+class BiDecomposer {
+ public:
+  /// Creates one netlist primary input per manager variable, named
+  /// `input_names[i]` (or "x<i>" when names are not provided).
+  BiDecomposer(BddManager& mgr, BidecOptions options = {},
+               std::vector<std::string> input_names = {});
+
+  BiDecomposer(const BiDecomposer&) = delete;
+  BiDecomposer& operator=(const BiDecomposer&) = delete;
+
+  /// Decompose one output; returns the signal and registers it as a primary
+  /// output under `name`. The returned CSF is compatible with `isf`.
+  SignalId add_output(const std::string& name, const Isf& isf);
+
+  /// Decompose without registering an output (the building block).
+  [[nodiscard]] std::pair<Bdd, SignalId> decompose(const Isf& isf);
+
+  [[nodiscard]] Netlist& netlist() noexcept { return net_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return net_; }
+  [[nodiscard]] const BidecStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const BidecOptions& options() const noexcept { return options_; }
+
+  /// Run the inverter-absorption mapping once all outputs are added (called
+  /// by finish(); exposed for tests). Invalidates cached SignalIds.
+  void map_inverters();
+
+  /// Final mapping pass per options; call after the last add_output.
+  void finish();
+
+ private:
+  struct Result {
+    Bdd func;
+    SignalId signal = kNoSignal;
+  };
+
+  Result bidecompose(const Isf& isf);
+  Result terminal_case(const Isf& isf, std::span<const unsigned> support);
+  Result combine(GateKind gate, const Result& a, const Result& b);
+  Result decompose_strong(const Isf& isf, const BestGrouping& best);
+  Result decompose_weak(const Isf& isf, const WeakGrouping& weak);
+  Result decompose_shannon(const Isf& isf, unsigned v);
+
+  BddManager& mgr_;
+  BidecOptions options_;
+  Netlist net_;
+  BidecStats stats_;
+  ReuseCache cache_;
+  std::vector<SignalId> var_signal_;  // BDD variable -> netlist input
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_BIDECOMPOSER_H

@@ -1,0 +1,57 @@
+#include "bidec/check.h"
+
+namespace bidec {
+
+bool check_or_decomposable(const Isf& f, std::span<const unsigned> xa,
+                           std::span<const unsigned> xb) {
+  BddManager& mgr = *f.manager();
+  const Bdd exa_r = mgr.exists(f.r(), xa);
+  // Short-circuit: Q & exists_XA R is often already empty.
+  const Bdd q_and = f.q() & exa_r;
+  if (q_and.is_false()) return true;
+  const Bdd exb_r = mgr.exists(f.r(), xb);
+  return (q_and & exb_r).is_false();
+}
+
+bool check_and_decomposable(const Isf& f, std::span<const unsigned> xa,
+                            std::span<const unsigned> xb) {
+  // AND-decomposing F is OR-decomposing the complemented interval (R, Q).
+  return check_or_decomposable(Isf(f.r(), f.q()), xa, xb);
+}
+
+Isf isf_derivative(const Isf& f, unsigned v) {
+  BddManager& mgr = *f.manager();
+  const unsigned vars[] = {v};
+  const Bdd qd = mgr.exists(f.q(), vars) & mgr.exists(f.r(), vars);
+  const Bdd rd = mgr.forall(f.q(), vars) | mgr.forall(f.r(), vars);
+  return Isf(qd, rd);
+}
+
+bool check_exor_decomposable_11(const Isf& f, unsigned a, unsigned b) {
+  BddManager& mgr = *f.manager();
+  const Isf d = isf_derivative(f, a);
+  const unsigned vars_b[] = {b};
+  return (d.q() & mgr.exists(d.r(), vars_b)).is_false();
+}
+
+bool check_weak_or_useful(const Isf& f, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  return !(f.q() - mgr.exists(f.r(), xa)).is_false();
+}
+
+bool check_weak_and_useful(const Isf& f, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  return !(f.r() - mgr.exists(f.q(), xa)).is_false();
+}
+
+double weak_or_gain(const Isf& f, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  return mgr.sat_count(f.q() - mgr.exists(f.r(), xa));
+}
+
+double weak_and_gain(const Isf& f, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  return mgr.sat_count(f.r() - mgr.exists(f.q(), xa));
+}
+
+}  // namespace bidec

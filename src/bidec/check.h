@@ -1,0 +1,61 @@
+// Decomposability checks: Theorem 1 (OR), its AND dual, Theorem 2 (EXOR
+// with singleton variable sets) and the weak-decomposition gain tests of
+// Table 1. All are quantified Boolean formulas over the ISF's (Q, R).
+#ifndef BIDEC_BIDEC_CHECK_H
+#define BIDEC_BIDEC_CHECK_H
+
+#include <span>
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+/// A candidate variable grouping: the private sets of the two components.
+/// The common set X_C is implicitly everything else in the support.
+struct VarGrouping {
+  std::vector<unsigned> xa;
+  std::vector<unsigned> xb;
+
+  [[nodiscard]] bool empty() const noexcept { return xa.empty() || xb.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xa.size() + xb.size(); }
+  [[nodiscard]] std::size_t imbalance() const noexcept {
+    return xa.size() > xb.size() ? xa.size() - xb.size() : xb.size() - xa.size();
+  }
+};
+
+/// Theorem 1: F = (Q, R) is OR-bi-decomposable with (X_A, X_B) iff
+///   Q & exists_{X_A} R & exists_{X_B} R == 0.
+[[nodiscard]] bool check_or_decomposable(const Isf& f, std::span<const unsigned> xa,
+                                         std::span<const unsigned> xb);
+
+/// Dual of Theorem 1: AND-bi-decomposability (swap on-set and off-set).
+[[nodiscard]] bool check_and_decomposable(const Isf& f, std::span<const unsigned> xa,
+                                          std::span<const unsigned> xb);
+
+/// Theorem 2: EXOR-bi-decomposability for |X_A| = |X_B| = 1. The on/off-sets
+/// of the Boolean derivative of F w.r.t. the variable in X_A are
+///   Q_D = exists_a Q & exists_a R,   R_D = forall_a Q | forall_a R,
+/// and the condition is Q_D & exists_b R_D == 0.
+[[nodiscard]] bool check_exor_decomposable_11(const Isf& f, unsigned a, unsigned b);
+
+/// Derivative of an ISF w.r.t. one variable, as an ISF over the remaining
+/// variables (helper exposed for tests; see Theorem 2).
+[[nodiscard]] Isf isf_derivative(const Isf& f, unsigned v);
+
+/// Weak OR decomposition with private set X_A is *useful* (gains don't-cares
+/// for component A) iff Q - exists_{X_A} R != 0 (Table 1).
+[[nodiscard]] bool check_weak_or_useful(const Isf& f, std::span<const unsigned> xa);
+
+/// Dual for weak AND: R - exists_{X_A} Q != 0.
+[[nodiscard]] bool check_weak_and_useful(const Isf& f, std::span<const unsigned> xa);
+
+/// Number of minterms moved into the don't-care set of component A by a weak
+/// OR (resp. AND) decomposition with private set X_A; used to rank X_A
+/// candidates in GroupVariablesWeak.
+[[nodiscard]] double weak_or_gain(const Isf& f, std::span<const unsigned> xa);
+[[nodiscard]] double weak_and_gain(const Isf& f, std::span<const unsigned> xa);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_CHECK_H

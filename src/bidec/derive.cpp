@@ -1,0 +1,56 @@
+#include "bidec/derive.h"
+
+namespace bidec {
+
+Isf derive_or_component_a(const Isf& f, std::span<const unsigned> xa,
+                          std::span<const unsigned> xb) {
+  BddManager& mgr = *f.manager();
+  const Bdd exa_r = mgr.exists(f.r(), xa);
+  const Bdd qa = mgr.exists(f.q() & exa_r, xb);
+  const Bdd ra = mgr.exists(f.r(), xb);
+  return Isf(qa, ra);
+}
+
+Isf derive_or_component_b(const Isf& f, const Bdd& fa, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  const Bdd qb = mgr.exists(f.q() - fa, xa);
+  const Bdd rb = mgr.exists(f.r(), xa);
+  return Isf(qb, rb);
+}
+
+namespace {
+/// AND decomposition of F is OR decomposition of the complemented interval
+/// (R, Q); the component ISFs come back complemented as well.
+Isf complemented(const Isf& f) { return Isf(f.r(), f.q()); }
+}  // namespace
+
+Isf derive_and_component_a(const Isf& f, std::span<const unsigned> xa,
+                           std::span<const unsigned> xb) {
+  return complemented(derive_or_component_a(complemented(f), xa, xb));
+}
+
+Isf derive_and_component_b(const Isf& f, const Bdd& fa, std::span<const unsigned> xa) {
+  // The realized CSF of the complemented component A is ~fa.
+  return complemented(derive_or_component_b(complemented(f), ~fa, xa));
+}
+
+Isf derive_weak_or_component_a(const Isf& f, std::span<const unsigned> xa) {
+  BddManager& mgr = *f.manager();
+  return Isf(f.q() & mgr.exists(f.r(), xa), f.r());
+}
+
+Isf derive_weak_or_component_b(const Isf& f, const Bdd& fa, std::span<const unsigned> xa) {
+  // Identical formula to the strong case; X_B is empty so the quantifier
+  // over X_B in Theorem 4 disappears.
+  return derive_or_component_b(f, fa, xa);
+}
+
+Isf derive_weak_and_component_a(const Isf& f, std::span<const unsigned> xa) {
+  return complemented(derive_weak_or_component_a(complemented(f), xa));
+}
+
+Isf derive_weak_and_component_b(const Isf& f, const Bdd& fa, std::span<const unsigned> xa) {
+  return complemented(derive_weak_or_component_b(complemented(f), ~fa, xa));
+}
+
+}  // namespace bidec

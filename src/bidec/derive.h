@@ -1,0 +1,44 @@
+// Deriving the component ISFs once a grouping and gate type are chosen:
+// Theorem 3 (component A), Theorem 4 (component B given the realized CSF of
+// A), their AND duals, and the weak-decomposition variants of Table 1.
+#ifndef BIDEC_BIDEC_DERIVE_H
+#define BIDEC_BIDEC_DERIVE_H
+
+#include <span>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+/// Theorem 3: ISF of component A for a strong OR decomposition:
+///   Q_A = exists_{X_B} (Q & exists_{X_A} R),   R_A = exists_{X_B} R.
+[[nodiscard]] Isf derive_or_component_a(const Isf& f, std::span<const unsigned> xa,
+                                        std::span<const unsigned> xb);
+
+/// Theorem 4: ISF of component B once a CSF f_a realizing A is fixed:
+///   Q_B = exists_{X_A} (Q - f_a),   R_B = exists_{X_A} R.
+[[nodiscard]] Isf derive_or_component_b(const Isf& f, const Bdd& fa,
+                                        std::span<const unsigned> xa);
+
+/// AND duals of Theorems 3 and 4 (obtained by decomposing the complemented
+/// interval with OR and complementing the components).
+[[nodiscard]] Isf derive_and_component_a(const Isf& f, std::span<const unsigned> xa,
+                                         std::span<const unsigned> xb);
+[[nodiscard]] Isf derive_and_component_b(const Isf& f, const Bdd& fa,
+                                         std::span<const unsigned> xa);
+
+/// Weak OR (Table 1): Q_A = Q & exists_{X_A} R, R_A = R; component A keeps
+/// the full support but gains don't-cares.
+[[nodiscard]] Isf derive_weak_or_component_a(const Isf& f, std::span<const unsigned> xa);
+/// Weak OR component B: Q_B = exists_{X_A} (Q - f_a), R_B = exists_{X_A} R.
+[[nodiscard]] Isf derive_weak_or_component_b(const Isf& f, const Bdd& fa,
+                                             std::span<const unsigned> xa);
+
+/// Weak AND duals.
+[[nodiscard]] Isf derive_weak_and_component_a(const Isf& f, std::span<const unsigned> xa);
+[[nodiscard]] Isf derive_weak_and_component_b(const Isf& f, const Bdd& fa,
+                                              std::span<const unsigned> xa);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_DERIVE_H

@@ -1,0 +1,74 @@
+// Implementation of CheckExorBiDecomp (paper Fig. 4), transcribed directly
+// from the pseudo-code.
+//
+// The invariant maintained by the propagation loop: q_A/r_A are regions of
+// the (X_A, X_C) space where component A is already fixed to 1/0, and
+// q_B/r_B the same for component B over (X_C, X_B). Fixing one side forces
+// values of the other side wherever the original ISF has care points:
+//   - where A = 1 and F must be 0 (R), B must be 1 (A xor B = 0 needs B=1);
+//   - where A = 0 and F must be 1 (Q), B must be 1; and so on.
+// Forced values are projected onto the respective component's space with an
+// existential quantification. A conflict (a point forced both to 1 and 0)
+// proves non-decomposability.
+#include "bidec/exor_check.h"
+
+namespace bidec {
+
+std::optional<ExorComponents> check_exor_bidecomp(const Isf& f,
+                                                  std::span<const unsigned> xa,
+                                                  std::span<const unsigned> xb) {
+  BddManager& mgr = *f.manager();
+  const Bdd cube_a = mgr.make_cube(xa);
+  const Bdd cube_b = mgr.make_cube(xb);
+
+  Bdd q = f.q();
+  Bdd r = f.r();
+
+  Bdd big_qa = mgr.bdd_false(), big_ra = mgr.bdd_false();
+  Bdd big_qb = mgr.bdd_false(), big_rb = mgr.bdd_false();
+
+  while (!q.is_false()) {
+    // Seed: one cube of the remaining on-set, projected onto A's space
+    // ("the Boolean function of the cube is quantified and projected in the
+    // directions of X_A and X_B").
+    Bdd qa = mgr.exists(mgr.pick_one_cube(q), cube_b);
+    Bdd ra = mgr.bdd_false();
+
+    while (!(qa | ra).is_false()) {
+      // Values of B forced by the fixed region of A.
+      Bdd qb = mgr.exists((q & ra) | (r & qa), cube_a);
+      Bdd rb = mgr.exists((q & qa) | (r & ra), cube_a);
+      if (!(qb & rb).is_false()) return std::nullopt;
+
+      // The care points that did the forcing are now settled.
+      q -= qa | ra;
+      r -= qa | ra;
+      big_qa |= qa;
+      big_ra |= ra;
+
+      // Values of A forced back by the newly fixed region of B.
+      qa = mgr.exists((q & rb) | (r & qb), cube_b);
+      ra = mgr.exists((q & qb) | (r & rb), cube_b);
+      if (!(qa & ra).is_false()) return std::nullopt;
+
+      q -= qb | rb;
+      r -= qb | rb;
+      big_qb |= qb;
+      big_rb |= rb;
+    }
+  }
+
+  // Leftover off-set points were never touched by any propagation wave:
+  // fix both components to 0 there (0 xor 0 = 0).
+  if (!r.is_false()) {
+    big_ra |= mgr.exists(r, cube_b);
+    big_rb |= mgr.exists(r, cube_a);
+  }
+
+  if (!(big_qa & big_ra).is_false() || !(big_qb & big_rb).is_false()) {
+    return std::nullopt;
+  }
+  return ExorComponents{Isf(big_qa, big_ra), Isf(big_qb, big_rb)};
+}
+
+}  // namespace bidec

@@ -1,0 +1,31 @@
+// EXOR bi-decomposition with arbitrary (disjoint) variable sets X_A, X_B:
+// the iterative cube-seeding algorithm of the paper's Fig. 4. The check is
+// constructive: on success it returns the ISFs of both components.
+#ifndef BIDEC_BIDEC_EXOR_CHECK_H
+#define BIDEC_BIDEC_EXOR_CHECK_H
+
+#include <optional>
+#include <span>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+struct ExorComponents {
+  Isf a;
+  Isf b;
+};
+
+/// CheckExorBiDecomp (paper Fig. 4). Returns the component ISFs if
+/// F = (Q, R) is EXOR-bi-decomposable with private sets X_A and X_B
+/// (component A depends on X_A and the shared variables only; B on X_B and
+/// the shared variables), std::nullopt otherwise.
+///
+/// Deviation from the paper: SelectOneCube picks the lexicographically first
+/// cube of Q instead of a random one, which makes results reproducible.
+[[nodiscard]] std::optional<ExorComponents> check_exor_bidecomp(
+    const Isf& f, std::span<const unsigned> xa, std::span<const unsigned> xb);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_EXOR_CHECK_H

@@ -1,0 +1,131 @@
+#include "bidec/flow.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bdd/bdd_reorder.h"
+
+namespace bidec {
+
+namespace {
+
+/// Rebuild `net` with its primary inputs permuted back into the original
+/// variable order: input slot `order[level]` of the result is driven by
+/// what input slot `level` drove in `net`.
+Netlist restore_input_order(const Netlist& net, std::span<const unsigned> order,
+                            const std::vector<std::string>& input_names) {
+  Netlist fresh;
+  // Create inputs in original variable order first.
+  std::vector<SignalId> orig_inputs;
+  orig_inputs.reserve(order.size());
+  for (unsigned v = 0; v < order.size(); ++v) {
+    const std::string name =
+        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+    orig_inputs.push_back(fresh.add_input(name));
+  }
+  std::vector<SignalId> map(net.num_nodes(), kNoSignal);
+  for (std::size_t level = 0; level < net.num_inputs(); ++level) {
+    map[net.inputs()[level]] = orig_inputs[order[level]];
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    switch (n.type) {
+      case GateType::kInput: break;
+      case GateType::kConst0: map[id] = fresh.get_const(false); break;
+      case GateType::kConst1: map[id] = fresh.get_const(true); break;
+      default:
+        map[id] = fresh.add_gate_native(n.type, map[n.fanin0],
+                                        n.fanin1 != kNoSignal ? map[n.fanin1] : kNoSignal);
+        break;
+    }
+  }
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    fresh.add_output(net.output_name(o), map[net.output_signal(o)]);
+  }
+  return fresh;
+}
+
+}  // namespace
+
+FlowResult synthesize_bidecomp(BddManager& mgr, std::span<const Isf> spec,
+                               const std::vector<std::string>& input_names,
+                               const std::vector<std::string>& output_names,
+                               const FlowOptions& options) {
+  FlowResult result;
+  const unsigned n = mgr.num_vars();
+  result.order.resize(n);
+  std::iota(result.order.begin(), result.order.end(), 0u);
+
+  // Shared size of the specification (both bounds of every output).
+  std::vector<Bdd> bounds;
+  bounds.reserve(spec.size() * 2);
+  for (const Isf& isf : spec) {
+    bounds.push_back(isf.q());
+    bounds.push_back(isf.r());
+  }
+  result.bdd_nodes_before = mgr.dag_size(bounds);
+
+  switch (options.reorder) {
+    case OrderHeuristic::kNone: break;
+    case OrderHeuristic::kForce: result.order = force_order(mgr, bounds); break;
+    case OrderHeuristic::kSift: result.order = sift_order(mgr, bounds); break;
+  }
+  const bool identity =
+      std::is_sorted(result.order.begin(), result.order.end());
+
+  if (identity) {
+    result.bdd_nodes_after = result.bdd_nodes_before;
+    BiDecomposer dec(mgr, options.bidec, input_names);
+    for (std::size_t o = 0; o < spec.size(); ++o) {
+      const std::string name =
+          o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+      dec.add_output(name, spec[o]);
+    }
+    dec.finish();
+    result.stats = dec.stats();
+    result.netlist = std::move(dec.netlist());
+  } else {
+    // Transfer the specification into a manager under the chosen order:
+    // original variable order[level] becomes variable `level`.
+    BddManager ordered(n);
+    const std::vector<unsigned> var_map = invert_order(result.order);
+    std::vector<Isf> moved;
+    moved.reserve(spec.size());
+    std::vector<Bdd> moved_bounds;
+    for (const Isf& isf : spec) {
+      Bdd q = bdd_transfer(ordered, isf.q(), var_map);
+      Bdd r = bdd_transfer(ordered, isf.r(), var_map);
+      moved_bounds.push_back(q);
+      moved_bounds.push_back(r);
+      moved.emplace_back(std::move(q), std::move(r));
+    }
+    result.bdd_nodes_after = ordered.dag_size(moved_bounds);
+
+    // Input `level` of the decomposer's netlist is original variable
+    // order[level]; name it accordingly and restore the interface order
+    // afterwards.
+    std::vector<std::string> level_names;
+    level_names.reserve(n);
+    for (unsigned level = 0; level < n; ++level) {
+      const unsigned v = result.order[level];
+      level_names.push_back(v < input_names.size() ? input_names[v]
+                                                   : "x" + std::to_string(v));
+    }
+    BiDecomposer dec(ordered, options.bidec, level_names);
+    for (std::size_t o = 0; o < moved.size(); ++o) {
+      const std::string name =
+          o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+      dec.add_output(name, moved[o]);
+    }
+    dec.finish();
+    result.stats = dec.stats();
+    result.netlist = restore_input_order(dec.netlist(), result.order, input_names);
+  }
+
+  if (options.library) {
+    result.netlist = map_to_library(result.netlist, *options.library);
+  }
+  return result;
+}
+
+}  // namespace bidec

@@ -1,0 +1,49 @@
+// End-to-end synthesis flow: optional static variable reordering (FORCE or
+// sifting, Section "bdd_reorder"), recursive bi-decomposition of every
+// output, inverter absorption and optional technology mapping. This is the
+// API the benches and examples drive; BiDecomposer remains the lower-level
+// building block.
+#ifndef BIDEC_BIDEC_FLOW_H
+#define BIDEC_BIDEC_FLOW_H
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bidec/bidecomposer.h"
+#include "netlist/library.h"
+
+namespace bidec {
+
+enum class OrderHeuristic {
+  kNone,   ///< keep the specification's variable order
+  kForce,  ///< FORCE hypergraph placement (cheap, linear passes)
+  kSift,   ///< greedy position search (quadratic rebuilds, best quality)
+};
+
+struct FlowOptions {
+  BidecOptions bidec;
+  OrderHeuristic reorder = OrderHeuristic::kNone;
+  /// Map onto this library after decomposition (absorbing inverters first).
+  std::optional<CellLibrary> library;
+};
+
+struct FlowResult {
+  Netlist netlist;          ///< inputs in the original variable order
+  BidecStats stats;
+  std::vector<unsigned> order;  ///< order[level] = original variable
+  std::size_t bdd_nodes_before = 0;  ///< shared spec size, original order
+  std::size_t bdd_nodes_after = 0;   ///< shared spec size, chosen order
+};
+
+/// Decompose `spec` (over `mgr`) into a netlist whose primary inputs are in
+/// the original variable order regardless of the internal BDD order.
+[[nodiscard]] FlowResult synthesize_bidecomp(BddManager& mgr, std::span<const Isf> spec,
+                                             const std::vector<std::string>& input_names,
+                                             const std::vector<std::string>& output_names,
+                                             const FlowOptions& options = {});
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_FLOW_H

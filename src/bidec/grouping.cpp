@@ -1,0 +1,232 @@
+#include "bidec/grouping.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "bidec/exor_check.h"
+
+namespace bidec {
+
+namespace {
+
+using CheckFn = std::function<bool(std::span<const unsigned>, std::span<const unsigned>)>;
+
+/// FindInitialGrouping (Fig. 5), generalized: up to `max_pairs` decomposable
+/// singleton pairs (the paper stops at the first one).
+std::vector<VarGrouping> find_initial_groupings(std::span<const unsigned> support,
+                                                const CheckFn& check,
+                                                std::size_t max_pairs) {
+  std::vector<VarGrouping> pairs;
+  for (std::size_t i = 0; i < support.size() && pairs.size() < max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < support.size() && pairs.size() < max_pairs; ++j) {
+      const unsigned xa[] = {support[i]};
+      const unsigned xb[] = {support[j]};
+      if (check(xa, xb)) pairs.push_back(VarGrouping{{support[i]}, {support[j]}});
+    }
+  }
+  return pairs;
+}
+
+bool contains(const std::vector<unsigned>& set, unsigned v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+/// One greedy growth pass (Fig. 6): try to place each remaining support
+/// variable, offering it to the smaller set first to keep the sets balanced.
+void grow_grouping(VarGrouping& g, std::span<const unsigned> support, const CheckFn& check) {
+  for (const unsigned z : support) {
+    if (contains(g.xa, z) || contains(g.xb, z)) continue;
+    std::vector<unsigned>& first = g.xa.size() <= g.xb.size() ? g.xa : g.xb;
+    std::vector<unsigned>& second = g.xa.size() <= g.xb.size() ? g.xb : g.xa;
+    first.push_back(z);
+    if (check(g.xa, g.xb)) continue;
+    first.pop_back();
+    second.push_back(z);
+    if (check(g.xa, g.xb)) continue;
+    second.pop_back();
+  }
+}
+
+/// The Section 5 variant the paper measured and rejected ("improved the
+/// netlist area less than 3% but the CPU time increased by 100%"): exclude
+/// one grouped variable at a time and re-grow; keep the change only if it
+/// admits at least two other variables.
+void regroup_pass(VarGrouping& g, std::span<const unsigned> support, const CheckFn& check) {
+  for (std::vector<unsigned>* set : {&g.xa, &g.xb}) {
+    for (std::size_t i = 0; i < set->size(); ++i) {
+      VarGrouping trial = g;
+      std::vector<unsigned>& trial_set = set == &g.xa ? trial.xa : trial.xb;
+      trial_set.erase(trial_set.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!check(trial.xa, trial.xb)) continue;
+      grow_grouping(trial, support, check);
+      if (trial.size() >= g.size() + 1) {  // net gain of >= 2 added vs 1 removed
+        g = trial;
+        return;  // one improvement per call keeps cost bounded
+      }
+    }
+  }
+}
+
+/// If the union of the grouped variables also decomposes as a *contiguous*
+/// split (low indices in X_A, high ones in X_B), prefer that: canonical
+/// splits repeat across the outputs of a multi-output function, so the
+/// structural hashing and the reuse cache share far more logic (e.g. the
+/// nested AND chains of priority logic).
+void canonicalize_contiguous(VarGrouping& g, const CheckFn& check) {
+  std::vector<unsigned> all;
+  all.reserve(g.size());
+  all.insert(all.end(), g.xa.begin(), g.xa.end());
+  all.insert(all.end(), g.xb.begin(), g.xb.end());
+  std::sort(all.begin(), all.end());
+
+  const auto try_split = [&](std::size_t xa_size) {
+    if (xa_size == 0 || xa_size >= all.size()) return false;
+    VarGrouping contiguous;
+    contiguous.xa.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(xa_size));
+    contiguous.xb.assign(all.begin() + static_cast<std::ptrdiff_t>(xa_size), all.end());
+    if (contiguous.xa == g.xa && contiguous.xb == g.xb) return true;
+    if (!check(contiguous.xa, contiguous.xb)) return false;
+    g = std::move(contiguous);
+    return true;
+  };
+
+  // Preferred: split at the largest power of two below the set size. Nested
+  // supports (priority chains, counters) then share their low block across
+  // every output while the tree depth stays ceil(log2 n).
+  std::size_t pow2 = 1;
+  while (pow2 * 2 < all.size()) pow2 *= 2;
+  if (pow2 > 1 && try_split(pow2)) return;
+  // Fallback: keep the grouping's own sizes, contiguously.
+  (void)try_split(g.xa.size());
+}
+
+VarGrouping group_variables(const Isf& f, std::span<const unsigned> support,
+                            const BidecOptions& options, const CheckFn& check) {
+  (void)f;
+  const std::size_t max_pairs = std::max(1u, options.grouping_pairs);
+  std::vector<VarGrouping> candidates = find_initial_groupings(support, check, max_pairs);
+  if (candidates.empty()) return {};
+  VarGrouping best;
+  long best_score = -1;
+  for (VarGrouping& g : candidates) {
+    grow_grouping(g, support, check);
+    if (options.regroup) regroup_pass(g, support, check);
+    const long score = static_cast<long>(g.size()) * 1000 -
+                       (options.balance_cost ? static_cast<long>(g.imbalance()) : 0);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(g);
+    }
+  }
+  canonicalize_contiguous(best, check);
+  return best;
+}
+
+}  // namespace
+
+VarGrouping group_variables_or(const Isf& f, std::span<const unsigned> support,
+                               const BidecOptions& options) {
+  return group_variables(f, support, options,
+                         [&f](std::span<const unsigned> xa, std::span<const unsigned> xb) {
+                           return check_or_decomposable(f, xa, xb);
+                         });
+}
+
+VarGrouping group_variables_and(const Isf& f, std::span<const unsigned> support,
+                                const BidecOptions& options) {
+  return group_variables(f, support, options,
+                         [&f](std::span<const unsigned> xa, std::span<const unsigned> xb) {
+                           return check_and_decomposable(f, xa, xb);
+                         });
+}
+
+VarGrouping group_variables_exor(const Isf& f, std::span<const unsigned> support,
+                                 const BidecOptions& options) {
+  // Singleton pairs use the cheap Theorem 2 test; grown sets use the
+  // constructive Fig. 4 algorithm.
+  const CheckFn check = [&f](std::span<const unsigned> xa, std::span<const unsigned> xb) {
+    if (xa.size() == 1 && xb.size() == 1) {
+      return check_exor_decomposable_11(f, xa[0], xb[0]);
+    }
+    return check_exor_bidecomp(f, xa, xb).has_value();
+  };
+  return group_variables(f, support, options, check);
+}
+
+std::optional<BestGrouping> find_best_grouping(const Isf& f,
+                                               std::span<const unsigned> support,
+                                               const BidecOptions& options) {
+  std::vector<BestGrouping> candidates;
+  if (VarGrouping g = group_variables_or(f, support, options); !g.empty()) {
+    candidates.push_back({std::move(g), GateKind::kOr});
+  }
+  if (VarGrouping g = group_variables_and(f, support, options); !g.empty()) {
+    candidates.push_back({std::move(g), GateKind::kAnd});
+  }
+  if (options.use_exor) {
+    if (VarGrouping g = group_variables_exor(f, support, options); !g.empty()) {
+      candidates.push_back({std::move(g), GateKind::kExor});
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Cost function of Section 7: more grouped variables is better; balance
+  // breaks ties. (With balance_cost off, only the size counts -- ablation.)
+  const auto score = [&options](const BestGrouping& c) {
+    const long size_term = static_cast<long>(c.grouping.size()) * 1000;
+    const long balance_term =
+        options.balance_cost ? -static_cast<long>(c.grouping.imbalance()) : 0;
+    return size_term + balance_term;
+  };
+  return *std::max_element(candidates.begin(), candidates.end(),
+                           [&score](const BestGrouping& a, const BestGrouping& b) {
+                             return score(a) < score(b);
+                           });
+}
+
+std::optional<WeakGrouping> group_variables_weak(const Isf& f,
+                                                 std::span<const unsigned> support,
+                                                 const BidecOptions& options) {
+  // Rank every candidate X_A by the number of minterms that become
+  // don't-cares for component A; the paper found |X_A| = 1 optimal, so the
+  // default enumerates single variables. For larger weak_xa_size the set is
+  // grown greedily from the best singleton.
+  std::optional<WeakGrouping> best;
+  double best_gain = 0.0;
+  for (const unsigned v : support) {
+    const unsigned xa[] = {v};
+    const double or_gain = weak_or_gain(f, xa);
+    if (or_gain > best_gain) {
+      best_gain = or_gain;
+      best = WeakGrouping{{v}, GateKind::kOr};
+    }
+    const double and_gain = weak_and_gain(f, xa);
+    if (and_gain > best_gain) {
+      best_gain = and_gain;
+      best = WeakGrouping{{v}, GateKind::kAnd};
+    }
+  }
+  if (!best) return std::nullopt;
+
+  while (best->xa.size() < options.weak_xa_size && best->xa.size() < support.size()) {
+    double grown_gain = best_gain;
+    std::optional<unsigned> grown_var;
+    for (const unsigned v : support) {
+      if (contains(best->xa, v)) continue;
+      std::vector<unsigned> trial = best->xa;
+      trial.push_back(v);
+      const double gain = best->gate == GateKind::kOr ? weak_or_gain(f, trial)
+                                                      : weak_and_gain(f, trial);
+      if (gain > grown_gain) {
+        grown_gain = gain;
+        grown_var = v;
+      }
+    }
+    if (!grown_var) break;
+    best->xa.push_back(*grown_var);
+    best_gain = grown_gain;
+  }
+  return best;
+}
+
+}  // namespace bidec

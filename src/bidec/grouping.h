@@ -1,0 +1,63 @@
+// Variable grouping (paper Section 5, Figs. 5 and 6): find private variable
+// sets X_A and X_B admitting a strong bi-decomposition, greedily grown and
+// kept balanced; plus the weak-decomposition grouping of Section 7.
+#ifndef BIDEC_BIDEC_GROUPING_H
+#define BIDEC_BIDEC_GROUPING_H
+
+#include <optional>
+#include <span>
+
+#include "bidec/check.h"
+#include "bidec/options.h"
+#include "isf/isf.h"
+
+namespace bidec {
+
+enum class GateKind { kOr, kAnd, kExor };
+
+[[nodiscard]] constexpr const char* gate_kind_name(GateKind g) noexcept {
+  switch (g) {
+    case GateKind::kOr: return "OR";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kExor: return "EXOR";
+  }
+  return "?";
+}
+
+/// GroupVariables (Fig. 6) specialized per gate type: returns a non-empty
+/// grouping if the ISF is strongly decomposable with that gate, or an empty
+/// grouping otherwise. `support` must be the support of `f`.
+[[nodiscard]] VarGrouping group_variables_or(const Isf& f, std::span<const unsigned> support,
+                                             const BidecOptions& options);
+[[nodiscard]] VarGrouping group_variables_and(const Isf& f, std::span<const unsigned> support,
+                                              const BidecOptions& options);
+[[nodiscard]] VarGrouping group_variables_exor(const Isf& f, std::span<const unsigned> support,
+                                               const BidecOptions& options);
+
+struct BestGrouping {
+  VarGrouping grouping;
+  GateKind gate = GateKind::kOr;
+};
+
+/// FindBestVariableGrouping (Section 7): run the three group_variables_*
+/// searches and rank the non-empty results by the cost function "more
+/// variables in X_A+X_B is better; closer-to-equal sizes break ties".
+/// Returns nullopt if no strong decomposition exists.
+[[nodiscard]] std::optional<BestGrouping> find_best_grouping(
+    const Isf& f, std::span<const unsigned> support, const BidecOptions& options);
+
+struct WeakGrouping {
+  std::vector<unsigned> xa;
+  GateKind gate = GateKind::kOr;  // only kOr / kAnd are possible
+};
+
+/// GroupVariablesWeak (Section 7): choose X_A (of options.weak_xa_size
+/// variables) and the gate maximizing the don't-cares introduced into
+/// component A. Returns nullopt when no variable yields any gain (then the
+/// caller must fall back to a Shannon step; see BidecStats::shannon_fallback).
+[[nodiscard]] std::optional<WeakGrouping> group_variables_weak(
+    const Isf& f, std::span<const unsigned> support, const BidecOptions& options);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_GROUPING_H

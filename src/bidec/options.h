@@ -1,0 +1,47 @@
+// Tunable knobs of the bi-decomposition algorithm. Defaults reproduce the
+// configuration evaluated in the paper; the other settings exist for the
+// ablation experiments discussed in Sections 5-7 (see DESIGN.md).
+#ifndef BIDEC_BIDEC_OPTIONS_H
+#define BIDEC_BIDEC_OPTIONS_H
+
+namespace bidec {
+
+struct BidecOptions {
+  /// Consider EXOR bi-decomposition (Section 3.2). Disabling it forces
+  /// AND/OR-only netlists (ablation for the "EXOR-intensive circuits" claim).
+  bool use_exor = true;
+
+  /// Consider strong bi-decomposition at all. Disabling it reproduces the
+  /// paper's conjecture about BDS ("applies only weak bi-decomposition").
+  bool use_strong = true;
+
+  /// Functional component-reuse cache (Section 6).
+  bool use_cache = true;
+
+  /// Balance term in the grouping cost function (Section 7): prefer
+  /// |X_A| ~ |X_B|. Disabling reproduces the "disballanced" behaviour the
+  /// paper warns about.
+  bool balance_cost = true;
+
+  /// Variables placed in X_A for weak decompositions. The paper found 1 to
+  /// be best ("the best results are achieved when X_A includes only one
+  /// variable"); the ablation bench sweeps this.
+  unsigned weak_xa_size = 1;
+
+  /// Number of decomposable initial variable pairs each grouping search
+  /// grows before keeping the best-scoring result. The paper's Fig. 5 grows
+  /// only the first pair (value 1); larger values trade CPU time for
+  /// netlist quality (swept by the ablation bench).
+  unsigned grouping_pairs = 4;
+
+  /// Section 5 variant: after greedy grouping, try excluding one variable
+  /// to admit two others ("improved area by <3% but doubled CPU time").
+  bool regroup = false;
+
+  /// Post-process the netlist by absorbing inverters into NAND/NOR/XNOR.
+  bool absorb_inverters = true;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_OPTIONS_H

@@ -1,0 +1,28 @@
+#include "bidec/reuse_cache.h"
+
+namespace bidec {
+
+std::optional<ReuseCache::Hit> ReuseCache::lookup(const Isf& isf,
+                                                  std::span<const unsigned> support) {
+  const Bdd cube = mgr_->make_cube(support);
+  const auto it = buckets_.find(cube.id());
+  if (it == buckets_.end()) return std::nullopt;
+  for (const Entry& e : it->second) {
+    if (isf.is_compatible(e.func)) return Hit{e.func, e.signal, false};
+    if (isf.is_compatible_complement(e.func)) return Hit{~e.func, e.signal, true};
+  }
+  return std::nullopt;
+}
+
+void ReuseCache::insert(const Bdd& csf, SignalId signal) {
+  const Bdd cube = mgr_->support_cube(csf);
+  auto [it, inserted] = buckets_.try_emplace(cube.id());
+  if (inserted) keys_.push_back(cube);
+  for (const Entry& e : it->second) {
+    if (e.func == csf) return;  // identical function already registered
+  }
+  it->second.push_back(Entry{csf, signal});
+  ++entries_;
+}
+
+}  // namespace bidec

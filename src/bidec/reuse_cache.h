@@ -1,0 +1,58 @@
+// Component-reuse cache (paper Section 6): a lossless hash table from
+// support sets to the completely specified functions already realized as
+// netlist gates. A new ISF first searches the functions with the same
+// support for one that is compatible with the interval (Q, ~R), or whose
+// complement is (Theorem 6); a hit returns the existing netlist signal and
+// skips the whole decomposition of that cone.
+#ifndef BIDEC_BIDEC_REUSE_CACHE_H
+#define BIDEC_BIDEC_REUSE_CACHE_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+class ReuseCache {
+ public:
+  struct Hit {
+    Bdd func;          ///< the compatible CSF (already complemented if needed)
+    SignalId signal;   ///< netlist signal realizing `func`'s stored form
+    bool complemented; ///< true if the caller must add an inverter
+  };
+
+  explicit ReuseCache(BddManager& mgr) : mgr_(&mgr) {}
+
+  /// Search the bucket of `support` for a CSF compatible with `isf` (or a
+  /// complement-compatible one). `support` must be the support of `isf`.
+  [[nodiscard]] std::optional<Hit> lookup(const Isf& isf,
+                                          std::span<const unsigned> support);
+
+  /// Register a realized component. No-op if the same function is already
+  /// cached for its support.
+  void insert(const Bdd& csf, SignalId signal);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+
+ private:
+  struct Entry {
+    Bdd func;
+    SignalId signal;
+  };
+
+  BddManager* mgr_;
+  // Key: the NodeId of the support cube. The cube BDD of every bucket is
+  // kept alive by the `keys_` handles, so ids are stable across GC.
+  std::unordered_map<NodeId, std::vector<Entry>> buckets_;
+  std::vector<Bdd> keys_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_REUSE_CACHE_H

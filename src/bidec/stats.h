@@ -1,0 +1,35 @@
+// Counters describing one run of the decomposition; several of the paper's
+// prose claims (share of weak calls, cache reuse rate, inessential-variable
+// frequency) are checked against these in the benches.
+#ifndef BIDEC_BIDEC_STATS_H
+#define BIDEC_BIDEC_STATS_H
+
+#include <cstddef>
+
+namespace bidec {
+
+struct BidecStats {
+  std::size_t calls = 0;             ///< recursive BiDecompose invocations
+  std::size_t terminal_cases = 0;    ///< support <= 2
+  std::size_t cache_hits = 0;        ///< compatible component found (Sec. 6)
+  std::size_t cache_complement_hits = 0;  ///< reused through an inverter
+  std::size_t cache_lookups = 0;
+  std::size_t strong_or = 0;
+  std::size_t strong_and = 0;
+  std::size_t strong_exor = 0;
+  std::size_t weak_or = 0;
+  std::size_t weak_and = 0;
+  std::size_t shannon_fallback = 0;  ///< weak gave no gain (expected ~never)
+  std::size_t inessential_removed = 0;  ///< calls that dropped variables
+
+  [[nodiscard]] std::size_t strong_total() const {
+    return strong_or + strong_and + strong_exor;
+  }
+  [[nodiscard]] std::size_t weak_total() const { return weak_or + weak_and; }
+
+  void reset() { *this = BidecStats{}; }
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_STATS_H

@@ -1,0 +1,248 @@
+#include "io/blif.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bidec {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string signal_name(const Netlist& net, SignalId id) {
+  const std::size_t pi = net.input_index(id);
+  if (pi != kNoSignal) return net.input_name(pi);
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+std::string write_blif(const Netlist& net, const std::string& model) {
+  std::ostringstream out;
+  out << ".model " << model << "\n.inputs";
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) out << ' ' << net.input_name(i);
+  out << "\n.outputs";
+  for (std::size_t i = 0; i < net.num_outputs(); ++i) out << ' ' << net.output_name(i);
+  out << "\n";
+
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    const std::string y = signal_name(net, id);
+    const auto a = [&] { return signal_name(net, n.fanin0); };
+    const auto b = [&] { return signal_name(net, n.fanin1); };
+    switch (n.type) {
+      case GateType::kInput: break;
+      case GateType::kConst0: out << ".names " << y << "\n"; break;
+      case GateType::kConst1: out << ".names " << y << "\n1\n"; break;
+      case GateType::kBuf: out << ".names " << a() << ' ' << y << "\n1 1\n"; break;
+      case GateType::kNot: out << ".names " << a() << ' ' << y << "\n0 1\n"; break;
+      case GateType::kAnd:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n11 1\n";
+        break;
+      case GateType::kOr:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n1- 1\n-1 1\n";
+        break;
+      case GateType::kXor:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n10 1\n01 1\n";
+        break;
+      case GateType::kNand:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n0- 1\n-0 1\n";
+        break;
+      case GateType::kNor:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n00 1\n";
+        break;
+      case GateType::kXnor:
+        out << ".names " << a() << ' ' << b() << ' ' << y << "\n00 1\n11 1\n";
+        break;
+    }
+  }
+  // Output buffers connect internal names to the declared output names.
+  for (std::size_t i = 0; i < net.num_outputs(); ++i) {
+    out << ".names " << signal_name(net, net.output_signal(i)) << ' '
+        << net.output_name(i) << "\n1 1\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+void save_blif(const Netlist& net, const std::string& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("BLIF: cannot write " + path);
+  out << write_blif(net, model);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct NamesNode {
+  std::vector<std::string> fanins;
+  std::vector<std::string> rows;  // "<input-plane> <output-bit>"
+};
+
+struct BlifModel {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::map<std::string, NamesNode> nodes;  // keyed by driven signal name
+};
+
+BlifModel parse_structure(std::istream& in) {
+  BlifModel model;
+  std::string line, pending;
+  NamesNode* current = nullptr;
+  auto read_logical_line = [&](std::string& out_line) {
+    out_line.clear();
+    std::string raw;
+    while (std::getline(in, raw)) {
+      if (const auto pos = raw.find('#'); pos != std::string::npos) raw.erase(pos);
+      // Handle continuation backslash.
+      while (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        std::string next;
+        if (!std::getline(in, next)) break;
+        raw += next;
+      }
+      if (raw.find_first_not_of(" \t\r") == std::string::npos) continue;
+      out_line = raw;
+      return true;
+    }
+    return false;
+  };
+
+  while (read_logical_line(line)) {
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+    if (head == ".model") {
+      current = nullptr;
+    } else if (head == ".inputs") {
+      model.inputs.insert(model.inputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      model.outputs.insert(model.outputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".names") {
+      if (tokens.size() < 2) throw std::runtime_error("BLIF: .names without signals");
+      NamesNode node;
+      node.fanins.assign(tokens.begin() + 1, tokens.end() - 1);
+      current = &model.nodes.emplace(tokens.back(), std::move(node)).first->second;
+    } else if (head == ".latch") {
+      throw std::runtime_error("BLIF: sequential models are not supported");
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      current = nullptr;  // ignore unknown directives
+    } else {
+      if (current == nullptr) throw std::runtime_error("BLIF: cover row outside .names");
+      if (tokens.size() == 1 && current->fanins.empty()) {
+        current->rows.push_back(tokens[0]);
+      } else if (tokens.size() == 2) {
+        if (tokens[0].size() != current->fanins.size()) {
+          throw std::runtime_error("BLIF: cover row width mismatch: " + line);
+        }
+        current->rows.push_back(tokens[0] + " " + tokens[1]);
+      } else {
+        throw std::runtime_error("BLIF: malformed cover row: " + line);
+      }
+    }
+  }
+  return model;
+}
+
+class BlifBuilder {
+ public:
+  BlifBuilder(const BlifModel& model, Netlist& net) : model_(model), net_(net) {
+    for (const std::string& name : model.inputs) signals_[name] = net_.add_input(name);
+  }
+
+  SignalId build(const std::string& name) {
+    if (const auto it = signals_.find(name); it != signals_.end()) return it->second;
+    if (building_.count(name) != 0) {
+      throw std::runtime_error("BLIF: combinational cycle through " + name);
+    }
+    const auto node_it = model_.nodes.find(name);
+    if (node_it == model_.nodes.end()) {
+      throw std::runtime_error("BLIF: undriven signal " + name);
+    }
+    building_.insert(name);
+    const SignalId sig = build_names(node_it->second);
+    building_.erase(name);
+    signals_[name] = sig;
+    return sig;
+  }
+
+ private:
+  SignalId build_names(const NamesNode& node) {
+    std::vector<SignalId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (const std::string& f : node.fanins) fanins.push_back(build(f));
+
+    if (node.fanins.empty()) {
+      // Constant: a "1" row means const1, no rows means const0.
+      return net_.get_const(!node.rows.empty());
+    }
+
+    bool out_value = true;
+    std::vector<std::string> planes;
+    for (const std::string& row : node.rows) {
+      const auto space = row.find(' ');
+      if (space == std::string::npos) throw std::runtime_error("BLIF: bad row " + row);
+      planes.push_back(row.substr(0, space));
+      out_value = row.substr(space + 1) == "1";
+    }
+
+    SignalId sum = net_.get_const(false);
+    for (const std::string& plane : planes) {
+      SignalId product = net_.get_const(true);
+      for (std::size_t i = 0; i < plane.size(); ++i) {
+        if (plane[i] == '1') {
+          product = net_.add_and(product, fanins[i]);
+        } else if (plane[i] == '0') {
+          product = net_.add_and(product, net_.add_not(fanins[i]));
+        }
+      }
+      sum = net_.add_or(sum, product);
+    }
+    // Off-set cover: the rows describe where the output is 0.
+    return out_value ? sum : net_.add_not(sum);
+  }
+
+  const BlifModel& model_;
+  Netlist& net_;
+  std::map<std::string, SignalId> signals_;
+  std::set<std::string> building_;
+};
+
+}  // namespace
+
+Netlist read_blif(std::istream& in) {
+  const BlifModel model = parse_structure(in);
+  Netlist net;
+  BlifBuilder builder(model, net);
+  for (const std::string& out : model.outputs) net.add_output(out, builder.build(out));
+  return net;
+}
+
+Netlist read_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_blif(ss);
+}
+
+Netlist load_blif(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("BLIF: cannot open " + path);
+  return read_blif(in);
+}
+
+}  // namespace bidec

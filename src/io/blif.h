@@ -1,0 +1,29 @@
+// BLIF reader/writer for combinational netlists. The decomposition results
+// are exported in BLIF like the original BI-DECOMP program ("write the
+// results into a BLIF file"). The reader accepts general .names covers
+// (any fanin count, on-set or off-set covers) and rebuilds them from
+// two-input gates, so written files round-trip.
+#ifndef BIDEC_IO_BLIF_H
+#define BIDEC_IO_BLIF_H
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+/// Serialize a netlist as BLIF with model name `model`.
+[[nodiscard]] std::string write_blif(const Netlist& net, const std::string& model);
+void save_blif(const Netlist& net, const std::string& model, const std::string& path);
+
+/// Parse a combinational BLIF model into a netlist (multi-input .names
+/// covers are decomposed into trees of two-input gates). Throws
+/// std::runtime_error on latches or malformed input.
+[[nodiscard]] Netlist read_blif(std::istream& in);
+[[nodiscard]] Netlist read_blif_string(const std::string& text);
+[[nodiscard]] Netlist load_blif(const std::string& path);
+
+}  // namespace bidec
+
+#endif  // BIDEC_IO_BLIF_H

@@ -1,0 +1,201 @@
+#include "io/pla.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+PlaFile PlaFile::parse(std::istream& in) {
+  PlaFile pla;
+  bool saw_i = false, saw_o = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    if (const auto pos = line.find('#'); pos != std::string::npos) line.erase(pos);
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+    if (head == ".i") {
+      if (tokens.size() != 2) throw std::runtime_error("PLA: malformed .i");
+      pla.num_inputs = static_cast<unsigned>(std::stoul(tokens[1]));
+      saw_i = true;
+    } else if (head == ".o") {
+      if (tokens.size() != 2) throw std::runtime_error("PLA: malformed .o");
+      pla.num_outputs = static_cast<unsigned>(std::stoul(tokens[1]));
+      saw_o = true;
+    } else if (head == ".p") {
+      // cube-count hint; rows are counted as parsed
+    } else if (head == ".ilb") {
+      pla.input_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (head == ".ob") {
+      pla.output_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (head == ".type") {
+      if (tokens.size() != 2) throw std::runtime_error("PLA: malformed .type");
+      if (tokens[1] == "f") {
+        pla.type = Type::kF;
+      } else if (tokens[1] == "fd") {
+        pla.type = Type::kFD;
+      } else if (tokens[1] == "fr") {
+        pla.type = Type::kFR;
+      } else {
+        throw std::runtime_error("PLA: unsupported .type " + tokens[1]);
+      }
+    } else if (head == ".e" || head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      // Unknown directive: ignore (matches espresso's permissiveness).
+    } else {
+      if (!saw_i || !saw_o) throw std::runtime_error("PLA: cube before .i/.o");
+      std::string in_part, out_part;
+      if (tokens.size() == 2) {
+        in_part = tokens[0];
+        out_part = tokens[1];
+      } else if (tokens.size() == 1 && tokens[0].size() == pla.num_inputs + pla.num_outputs) {
+        in_part = tokens[0].substr(0, pla.num_inputs);
+        out_part = tokens[0].substr(pla.num_inputs);
+      } else {
+        throw std::runtime_error("PLA: malformed cube line: " + line);
+      }
+      if (in_part.size() != pla.num_inputs || out_part.size() != pla.num_outputs) {
+        throw std::runtime_error("PLA: cube width mismatch: " + line);
+      }
+      for (const char c : in_part) {
+        if (c != '0' && c != '1' && c != '-') {
+          throw std::runtime_error("PLA: bad input character in: " + line);
+        }
+      }
+      for (char& c : out_part) {
+        if (c == '~') c = '0';  // espresso alias
+        if (c != '0' && c != '1' && c != '-') {
+          throw std::runtime_error("PLA: bad output character in: " + line);
+        }
+      }
+      pla.rows.push_back(Row{std::move(in_part), std::move(out_part)});
+    }
+  }
+  if (!saw_i || !saw_o) throw std::runtime_error("PLA: missing .i or .o");
+  return pla;
+}
+
+PlaFile PlaFile::parse_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse(ss);
+}
+
+PlaFile PlaFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("PLA: cannot open " + path);
+  return parse(in);
+}
+
+std::string PlaFile::write() const {
+  std::ostringstream out;
+  out << ".i " << num_inputs << "\n.o " << num_outputs << "\n";
+  if (!input_names.empty()) {
+    out << ".ilb";
+    for (const std::string& n : input_names) out << ' ' << n;
+    out << "\n";
+  }
+  if (!output_names.empty()) {
+    out << ".ob";
+    for (const std::string& n : output_names) out << ' ' << n;
+    out << "\n";
+  }
+  switch (type) {
+    case Type::kF: out << ".type f\n"; break;
+    case Type::kFD: out << ".type fd\n"; break;
+    case Type::kFR: out << ".type fr\n"; break;
+  }
+  out << ".p " << rows.size() << "\n";
+  for (const Row& row : rows) out << row.inputs << ' ' << row.outputs << "\n";
+  out << ".e\n";
+  return out.str();
+}
+
+void PlaFile::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("PLA: cannot write " + path);
+  out << write();
+}
+
+std::string PlaFile::input_name(unsigned i) const {
+  return i < input_names.size() ? input_names[i] : "in" + std::to_string(i);
+}
+
+std::string PlaFile::output_name(unsigned i) const {
+  return i < output_names.size() ? output_names[i] : "out" + std::to_string(i);
+}
+
+namespace {
+
+Bdd cube_bdd(BddManager& mgr, const std::string& inputs) {
+  CubeLits lits(inputs.size(), -1);
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    if (inputs[v] == '0') lits[v] = 0;
+    if (inputs[v] == '1') lits[v] = 1;
+  }
+  return mgr.make_cube(lits);
+}
+
+}  // namespace
+
+Bdd PlaFile::on_set(BddManager& mgr, unsigned o) const {
+  Bdd sum = mgr.bdd_false();
+  for (const Row& row : rows) {
+    if (row.outputs[o] == '1') sum |= cube_bdd(mgr, row.inputs);
+  }
+  return sum;
+}
+
+Bdd PlaFile::dc_set(BddManager& mgr, unsigned o) const {
+  Bdd sum = mgr.bdd_false();
+  for (const Row& row : rows) {
+    if (row.outputs[o] == '-') sum |= cube_bdd(mgr, row.inputs);
+  }
+  return sum;
+}
+
+std::vector<Isf> PlaFile::to_isfs(BddManager& mgr) const {
+  if (mgr.num_vars() < num_inputs) {
+    throw std::invalid_argument("PlaFile::to_isfs: manager has too few variables");
+  }
+  std::vector<Isf> result;
+  result.reserve(num_outputs);
+  for (unsigned o = 0; o < num_outputs; ++o) {
+    const Bdd on = on_set(mgr, o);
+    switch (type) {
+      case Type::kF:
+        result.emplace_back(on, ~on);
+        break;
+      case Type::kFD: {
+        const Bdd dc = dc_set(mgr, o);
+        result.push_back(Isf::from_on_dc(on, dc));
+        break;
+      }
+      case Type::kFR: {
+        Bdd off = mgr.bdd_false();
+        for (const Row& row : rows) {
+          if (row.outputs[o] == '0') off |= cube_bdd(mgr, row.inputs);
+        }
+        result.emplace_back(on - off, off);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bidec

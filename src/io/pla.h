@@ -1,0 +1,60 @@
+// Espresso-format PLA files: the input format of the paper's experiments
+// ("Both programs used the PLA input files"). Supports types f, fd and fr;
+// converts rows to per-output ISFs over a shared BDD manager.
+#ifndef BIDEC_IO_PLA_H
+#define BIDEC_IO_PLA_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+struct PlaFile {
+  /// Output-plane semantics (espresso .type directive).
+  enum class Type {
+    kF,   ///< '1' = on-set; everything else off
+    kFD,  ///< '1' = on-set, '-' = don't-care (default)
+    kFR,  ///< '1' = on-set, '0' = off-set; rest don't-care
+  };
+
+  struct Row {
+    std::string inputs;   ///< one char per input: '0', '1' or '-'
+    std::string outputs;  ///< one char per output: '0', '1', '-' (or '~')
+  };
+
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  Type type = Type::kFD;
+  std::vector<std::string> input_names;   ///< empty if the file had no .ilb
+  std::vector<std::string> output_names;  ///< empty if the file had no .ob
+  std::vector<Row> rows;
+
+  /// Parse espresso PLA text. Throws std::runtime_error on malformed input.
+  [[nodiscard]] static PlaFile parse(std::istream& in);
+  [[nodiscard]] static PlaFile parse_string(const std::string& text);
+  [[nodiscard]] static PlaFile load(const std::string& path);
+
+  /// Serialize back to PLA text.
+  [[nodiscard]] std::string write() const;
+  void save(const std::string& path) const;
+
+  /// Input name for position i ("in<i>" when unnamed), same for outputs.
+  [[nodiscard]] std::string input_name(unsigned i) const;
+  [[nodiscard]] std::string output_name(unsigned i) const;
+
+  /// Convert to one ISF per output over `mgr` (which must have at least
+  /// num_inputs variables; input i = BDD variable i).
+  [[nodiscard]] std::vector<Isf> to_isfs(BddManager& mgr) const;
+
+  /// The on-set cover of output `o` as a BDD (ignoring don't-cares).
+  [[nodiscard]] Bdd on_set(BddManager& mgr, unsigned o) const;
+  /// The don't-care cover of output `o` as a BDD.
+  [[nodiscard]] Bdd dc_set(BddManager& mgr, unsigned o) const;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_IO_PLA_H

@@ -1,0 +1,77 @@
+#include "isf/isf.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+Isf::Isf(Bdd on_set, Bdd off_set) : q_(std::move(on_set)), r_(std::move(off_set)) {
+  if (!q_.is_valid() || !r_.is_valid() || q_.manager() != r_.manager()) {
+    throw std::invalid_argument("Isf: on-set and off-set must share a manager");
+  }
+  if (!q_.disjoint_with(r_)) {
+    throw std::invalid_argument("Isf: on-set and off-set intersect");
+  }
+}
+
+Isf Isf::from_csf(const Bdd& f) { return Isf(f, ~f); }
+
+Isf Isf::from_on_dc(const Bdd& on_set, const Bdd& dc_set) {
+  return Isf(on_set - dc_set, ~(on_set | dc_set));
+}
+
+Bdd Isf::dc() const { return ~(q_ | r_); }
+
+bool Isf::is_csf() const { return (q_ | r_).is_true(); }
+
+bool Isf::is_compatible(const Bdd& f) const {
+  return q_.implies(f) && r_.disjoint_with(f);
+}
+
+bool Isf::is_compatible_complement(const Bdd& f) const {
+  return r_.implies(f) && q_.disjoint_with(f);
+}
+
+Bdd Isf::any_cover() const {
+  BddManager& mgr = *manager();
+  if (is_csf()) return q_;
+  return mgr.isop_bdd(q_, ~r_);
+}
+
+Bdd Isf::minimized_cover() const {
+  BddManager& mgr = *manager();
+  if (is_csf()) return q_;
+  return mgr.restrict_to(q_, q_ | r_);
+}
+
+std::vector<unsigned> Isf::support() const { return manager()->support_vars(q_, r_); }
+
+Isf Isf::cofactor(unsigned v, bool val) const {
+  BddManager& mgr = *manager();
+  return Isf(mgr.cofactor(q_, v, val), mgr.cofactor(r_, v, val));
+}
+
+bool Isf::variable_inessential(unsigned v) const {
+  BddManager& mgr = *manager();
+  const unsigned vars[] = {v};
+  const Bdd eq = mgr.exists(q_, vars);
+  const Bdd er = mgr.exists(r_, vars);
+  return eq.disjoint_with(er);
+}
+
+Isf Isf::remove_inessential_variables() const {
+  BddManager& mgr = *manager();
+  Bdd q = q_;
+  Bdd r = r_;
+  for (const unsigned v : manager()->support_vars(q, r)) {
+    const unsigned vars[] = {v};
+    const Bdd eq = mgr.exists(q, vars);
+    const Bdd er = mgr.exists(r, vars);
+    if (eq.disjoint_with(er)) {
+      q = eq;
+      r = er;
+    }
+  }
+  return Isf(std::move(q), std::move(r));
+}
+
+}  // namespace bidec

@@ -1,0 +1,78 @@
+// Incompletely specified functions (ISFs) represented by an on-set Q and an
+// off-set R as BDDs, with Q & R = 0 (paper, Section 2). The don't-care set
+// is the complement of Q | R. A completely specified function f is
+// compatible with the ISF iff Q <= f <= ~R.
+#ifndef BIDEC_ISF_ISF_H
+#define BIDEC_ISF_ISF_H
+
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+class Isf {
+ public:
+  /// Invalid (empty) ISF; only useful as a placeholder.
+  Isf() = default;
+
+  /// Construct from on-set and off-set. Throws std::invalid_argument if the
+  /// two sets intersect.
+  Isf(Bdd on_set, Bdd off_set);
+
+  /// ISF of a completely specified function (empty don't-care set).
+  [[nodiscard]] static Isf from_csf(const Bdd& f);
+  /// ISF from on-set and don't-care set: off-set = ~(on | dc).
+  [[nodiscard]] static Isf from_on_dc(const Bdd& on_set, const Bdd& dc_set);
+
+  [[nodiscard]] bool is_valid() const noexcept { return q_.is_valid(); }
+  [[nodiscard]] const Bdd& q() const noexcept { return q_; }  ///< on-set
+  [[nodiscard]] const Bdd& r() const noexcept { return r_; }  ///< off-set
+  [[nodiscard]] Bdd dc() const;                               ///< don't-care set
+  [[nodiscard]] BddManager* manager() const noexcept { return q_.manager(); }
+
+  /// True iff the don't-care set is empty (exactly one compatible CSF).
+  [[nodiscard]] bool is_csf() const;
+  /// True iff the constant-0 (constant-1) function is compatible.
+  [[nodiscard]] bool admits_const0() const { return q_.is_false(); }
+  [[nodiscard]] bool admits_const1() const { return r_.is_false(); }
+
+  /// Theorem 6: f is compatible iff Q & ~f = 0 and R & f = 0.
+  [[nodiscard]] bool is_compatible(const Bdd& f) const;
+  /// Theorem 6 (second half): ~f is compatible.
+  [[nodiscard]] bool is_compatible_complement(const Bdd& f) const;
+
+  /// A canonical compatible CSF: the irredundant SOP cover of the interval
+  /// [Q, ~R] (never fails; returns Q itself if the ISF is completely
+  /// specified).
+  [[nodiscard]] Bdd any_cover() const;
+
+  /// A compatible CSF chosen to minimize BDD size: Coudert-Madre restrict
+  /// of the on-set against the care set Q | R (the classic don't-care BDD
+  /// minimization used by BDD-structural synthesis flows).
+  [[nodiscard]] Bdd minimized_cover() const;
+
+  /// Union of the supports of Q and R (sorted variable indices). Note that
+  /// some of these variables may still be inessential for the *interval*
+  /// (see remove_inessential_variables).
+  [[nodiscard]] std::vector<unsigned> support() const;
+
+  /// Cofactor both bounds w.r.t. one variable.
+  [[nodiscard]] Isf cofactor(unsigned v, bool val) const;
+
+  /// True iff variable `v` can be dropped: the quantified interval
+  /// (exists v Q, exists v R) is still consistent.
+  [[nodiscard]] bool variable_inessential(unsigned v) const;
+
+  /// Paper Fig. 7, RemoveInessentialVariables: greedily drop variables that
+  /// are inessential for the interval. Returns the reduced ISF.
+  [[nodiscard]] Isf remove_inessential_variables() const;
+
+ private:
+  Bdd q_;
+  Bdd r_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_ISF_ISF_H

@@ -1,0 +1,238 @@
+#include "mv/mv_decompose.h"
+
+#include <algorithm>
+
+#include "bidec/bidecomposer.h"
+#include "bidec/check.h"
+#include "bidec/derive.h"
+
+namespace bidec {
+
+namespace {
+
+/// Repair a per-level derived chain into a monotone one by accumulating the
+/// requirement sets downward (Q'_j = union of Q_i for i >= j). Safe because
+/// R is monotone non-decreasing, so higher-level requirements never clash
+/// with lower-level exclusions (see mv_decompose.h commentary).
+std::vector<Isf> make_monotone(std::vector<Isf> chain) {
+  for (std::size_t idx = chain.size() - 1; idx-- > 0;) {
+    const Bdd q = chain[idx].q() | chain[idx + 1].q();
+    chain[idx] = Isf(q, chain[idx].r());
+  }
+  // R accumulation upward gives the dual invariant (no-op when the derived
+  // exclusion sets are already monotone, as in the MAX case).
+  for (std::size_t idx = 1; idx < chain.size(); ++idx) {
+    const Bdd r = chain[idx].r() | chain[idx - 1].r();
+    chain[idx] = Isf(chain[idx].q(), r);
+  }
+  return chain;
+}
+
+}  // namespace
+
+bool check_max_decomposable(const MvIsf& f, std::span<const unsigned> xa,
+                            std::span<const unsigned> xb) {
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    if (!check_or_decomposable(f.threshold(j), xa, xb)) return false;
+  }
+  return true;
+}
+
+bool check_min_decomposable(const MvIsf& f, std::span<const unsigned> xa,
+                            std::span<const unsigned> xb) {
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    if (!check_and_decomposable(f.threshold(j), xa, xb)) return false;
+  }
+  return true;
+}
+
+MvIsf derive_max_component_a(const MvIsf& f, std::span<const unsigned> xa,
+                             std::span<const unsigned> xb) {
+  std::vector<Isf> chain;
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    chain.push_back(derive_or_component_a(f.threshold(j), xa, xb));
+  }
+  return MvIsf::from_thresholds(make_monotone(std::move(chain)));
+}
+
+MvIsf derive_max_component_b(const MvIsf& f, std::span<const Bdd> fa_covers,
+                             std::span<const unsigned> xa) {
+  std::vector<Isf> chain;
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    chain.push_back(derive_or_component_b(f.threshold(j), fa_covers[j - 1], xa));
+  }
+  return MvIsf::from_thresholds(make_monotone(std::move(chain)));
+}
+
+MvIsf derive_min_component_a(const MvIsf& f, std::span<const unsigned> xa,
+                             std::span<const unsigned> xb) {
+  std::vector<Isf> chain;
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    chain.push_back(derive_and_component_a(f.threshold(j), xa, xb));
+  }
+  return MvIsf::from_thresholds(make_monotone(std::move(chain)));
+}
+
+MvIsf derive_min_component_b(const MvIsf& f, std::span<const Bdd> fa_covers,
+                             std::span<const unsigned> xa) {
+  std::vector<Isf> chain;
+  for (unsigned j = 1; j < f.num_values(); ++j) {
+    chain.push_back(derive_and_component_b(f.threshold(j), fa_covers[j - 1], xa));
+  }
+  return MvIsf::from_thresholds(make_monotone(std::move(chain)));
+}
+
+// ---------------------------------------------------------------------------
+// Grouping (Figs. 5/6 on the simultaneous all-thresholds check)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using MvCheck = bool (*)(const MvIsf&, std::span<const unsigned>, std::span<const unsigned>);
+
+VarGrouping mv_group(const MvIsf& f, std::span<const unsigned> support, MvCheck check) {
+  VarGrouping g;
+  for (std::size_t i = 0; i < support.size() && g.empty(); ++i) {
+    for (std::size_t j = i + 1; j < support.size() && g.empty(); ++j) {
+      const unsigned xa[] = {support[i]}, xb[] = {support[j]};
+      if (check(f, std::span<const unsigned>(xa), std::span<const unsigned>(xb))) {
+        g = VarGrouping{{support[i]}, {support[j]}};
+      }
+    }
+  }
+  if (g.empty()) return g;
+  for (const unsigned z : support) {
+    if (std::find(g.xa.begin(), g.xa.end(), z) != g.xa.end() ||
+        std::find(g.xb.begin(), g.xb.end(), z) != g.xb.end()) {
+      continue;
+    }
+    std::vector<unsigned>& first = g.xa.size() <= g.xb.size() ? g.xa : g.xb;
+    std::vector<unsigned>& second = g.xa.size() <= g.xb.size() ? g.xb : g.xa;
+    first.push_back(z);
+    if (check(f, g.xa, g.xb)) continue;
+    first.pop_back();
+    second.push_back(z);
+    if (check(f, g.xa, g.xb)) continue;
+    second.pop_back();
+  }
+  return g;
+}
+
+}  // namespace
+
+std::optional<MvGrouping> find_best_mv_grouping(const MvIsf& f,
+                                                std::span<const unsigned> support,
+                                                const BidecOptions& options) {
+  std::vector<MvGrouping> candidates;
+  if (VarGrouping g = mv_group(f, support, &check_max_decomposable); !g.empty()) {
+    candidates.push_back({std::move(g), MvGate::kMax});
+  }
+  if (VarGrouping g = mv_group(f, support, &check_min_decomposable); !g.empty()) {
+    candidates.push_back({std::move(g), MvGate::kMin});
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto score = [&options](const MvGrouping& c) {
+    return static_cast<long>(c.grouping.size()) * 1000 -
+           (options.balance_cost ? static_cast<long>(c.grouping.imbalance()) : 0);
+  };
+  return *std::max_element(candidates.begin(), candidates.end(),
+                           [&score](const MvGrouping& a, const MvGrouping& b) {
+                             return score(a) < score(b);
+                           });
+}
+
+// ---------------------------------------------------------------------------
+// Recursive realization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Bundle {
+  std::vector<Bdd> covers;
+  std::vector<SignalId> sigs;
+};
+
+class MvDecomposer {
+ public:
+  MvDecomposer(BddManager& mgr, const BidecOptions& options)
+      : options_(options), dec_(mgr, options) {}
+
+  Bundle decompose(const MvIsf& f) {
+    const std::vector<unsigned> support = f.support();
+    if (support.size() > 2) {
+      if (const auto split = find_best_mv_grouping(f, support, options_)) {
+        if (split->gate == MvGate::kMax) {
+          ++max_splits_;
+          const MvIsf a = derive_max_component_a(f, split->grouping.xa, split->grouping.xb);
+          const Bundle ba = decompose(a);
+          const MvIsf b = derive_max_component_b(f, ba.covers, split->grouping.xa);
+          const Bundle bb = decompose(b);
+          return combine(ba, bb, GateType::kOr);
+        }
+        ++min_splits_;
+        const MvIsf a = derive_min_component_a(f, split->grouping.xa, split->grouping.xb);
+        const Bundle ba = decompose(a);
+        const MvIsf b = derive_min_component_b(f, ba.covers, split->grouping.xa);
+        const Bundle bb = decompose(b);
+        return combine(ba, bb, GateType::kAnd);
+      }
+    }
+    // No MV-level split: realize the monotone threshold chain with the
+    // shared binary decomposer (which continues with the full binary
+    // algorithm including EXOR splits).
+    Bundle bundle;
+    for (unsigned j = 1; j < f.num_values(); ++j) {
+      Isf level = f.threshold(j);
+      if (j > 1) level = Isf(level.q(), level.r() | ~bundle.covers.back());
+      const auto [cover, sig] = dec_.decompose(level);
+      bundle.covers.push_back(cover);
+      bundle.sigs.push_back(sig);
+    }
+    return bundle;
+  }
+
+  MvRealization finish(const Bundle& top) {
+    for (std::size_t j = 0; j < top.sigs.size(); ++j) {
+      dec_.netlist().add_output("t" + std::to_string(j + 1), top.sigs[j]);
+    }
+    dec_.finish();
+    MvRealization r;
+    r.netlist = std::move(dec_.netlist());
+    r.max_splits = max_splits_;
+    r.min_splits = min_splits_;
+    return r;
+  }
+
+ private:
+  Bundle combine(const Bundle& a, const Bundle& b, GateType gate) {
+    Bundle out;
+    for (std::size_t j = 0; j < a.covers.size(); ++j) {
+      out.covers.push_back(gate == GateType::kOr ? (a.covers[j] | b.covers[j])
+                                                 : (a.covers[j] & b.covers[j]));
+      out.sigs.push_back(dec_.netlist().add_gate(gate, a.sigs[j], b.sigs[j]));
+    }
+    return out;
+  }
+
+  BidecOptions options_;
+  BiDecomposer dec_;
+  std::size_t max_splits_ = 0;
+  std::size_t min_splits_ = 0;
+};
+
+}  // namespace
+
+unsigned mv_evaluate(const Netlist& net, const std::vector<bool>& input) {
+  const std::vector<bool> outs = net.evaluate(input);
+  unsigned value = 0;
+  for (const bool t : outs) value += t ? 1 : 0;
+  return value;
+}
+
+MvRealization decompose_mv(const MvIsf& f, const BidecOptions& options) {
+  MvDecomposer dec(*f.manager(), options);
+  const Bundle top = dec.decompose(f);
+  return dec.finish(top);
+}
+
+}  // namespace bidec

@@ -1,0 +1,71 @@
+// MIN/MAX bi-decomposition of multiple-valued interval functions, built on
+// the threshold reduction (see mv_isf.h): a MAX split exists iff every
+// threshold is OR-bi-decomposable with one shared variable partition, and
+// the component intervals are the per-threshold Theorem 3/4 derivations,
+// which remain a monotone chain.
+#ifndef BIDEC_MV_MV_DECOMPOSE_H
+#define BIDEC_MV_MV_DECOMPOSE_H
+
+#include <optional>
+#include <span>
+
+#include "bidec/grouping.h"
+#include "mv/mv_isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+enum class MvGate { kMax, kMin };
+
+/// MAX-decomposability with private sets (xa, xb): Theorem 1 on every
+/// threshold level under the same partition.
+[[nodiscard]] bool check_max_decomposable(const MvIsf& f, std::span<const unsigned> xa,
+                                          std::span<const unsigned> xb);
+[[nodiscard]] bool check_min_decomposable(const MvIsf& f, std::span<const unsigned> xa,
+                                          std::span<const unsigned> xb);
+
+/// Component A of a MAX split: per-threshold Theorem 3. The result is again
+/// a monotone interval function over (X_A, X_C).
+[[nodiscard]] MvIsf derive_max_component_a(const MvIsf& f, std::span<const unsigned> xa,
+                                           std::span<const unsigned> xb);
+/// Component B of a MAX split given the realized monotone covers of A
+/// (per-threshold Theorem 4).
+[[nodiscard]] MvIsf derive_max_component_b(const MvIsf& f, std::span<const Bdd> fa_covers,
+                                           std::span<const unsigned> xa);
+[[nodiscard]] MvIsf derive_min_component_a(const MvIsf& f, std::span<const unsigned> xa,
+                                           std::span<const unsigned> xb);
+[[nodiscard]] MvIsf derive_min_component_b(const MvIsf& f, std::span<const Bdd> fa_covers,
+                                           std::span<const unsigned> xa);
+
+struct MvGrouping {
+  VarGrouping grouping;
+  MvGate gate = MvGate::kMax;
+};
+
+/// Greedy grouping search (Figs. 5/6 applied to the simultaneous check).
+[[nodiscard]] std::optional<MvGrouping> find_best_mv_grouping(
+    const MvIsf& f, std::span<const unsigned> support, const BidecOptions& options);
+
+/// Result of realizing an MV function: one binary netlist whose outputs are
+/// the monotone threshold functions t_1 >= t_2 >= ...; the MV value of an
+/// input is the number of asserted outputs. A MAX (MIN) MV gate corresponds
+/// to a per-threshold OR (AND) of two such bundles.
+struct MvRealization {
+  Netlist netlist;                 ///< outputs "t1", "t2", ...
+  std::size_t max_splits = 0;      ///< MV-level MAX decompositions taken
+  std::size_t min_splits = 0;
+};
+
+/// Evaluate the MV value of `input` under a threshold-bundle netlist.
+[[nodiscard]] unsigned mv_evaluate(const Netlist& net, const std::vector<bool>& input);
+
+/// Decompose an MV interval function: applies MV-level MAX/MIN splits while
+/// they exist (recursively, like Fig. 7 lifted to MV), then realizes the
+/// remaining components' thresholds with the binary bi-decomposer sharing
+/// one netlist and component cache.
+[[nodiscard]] MvRealization decompose_mv(const MvIsf& f,
+                                         const BidecOptions& options = {});
+
+}  // namespace bidec
+
+#endif  // BIDEC_MV_MV_DECOMPOSE_H

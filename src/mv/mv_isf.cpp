@@ -1,0 +1,113 @@
+#include "mv/mv_isf.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+MvIsf MvIsf::from_value_sets(BddManager& mgr, std::vector<Bdd> value_sets) {
+  if (value_sets.size() < 2) {
+    throw std::invalid_argument("MvIsf: need at least two values");
+  }
+  // Disjointness.
+  for (std::size_t i = 0; i < value_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < value_sets.size(); ++j) {
+      if (!value_sets[i].disjoint_with(value_sets[j])) {
+        throw std::invalid_argument("MvIsf: value sets must be disjoint");
+      }
+    }
+  }
+  // Threshold j: required 1 where value >= j is fixed, required 0 where a
+  // value < j is fixed; unspecified inputs are don't-care at every level.
+  std::vector<Isf> thresholds;
+  thresholds.reserve(value_sets.size() - 1);
+  Bdd below = value_sets[0];
+  Bdd above = mgr.bdd_false();
+  for (std::size_t v = 1; v < value_sets.size(); ++v) above |= value_sets[v];
+  for (std::size_t j = 1; j < value_sets.size(); ++j) {
+    thresholds.emplace_back(above, below);
+    if (j < value_sets.size() - 1) {
+      below |= value_sets[j];
+      above -= value_sets[j];
+    }
+  }
+  return MvIsf(std::move(thresholds));
+}
+
+MvIsf MvIsf::from_thresholds(std::vector<Isf> thresholds) {
+  if (thresholds.empty()) throw std::invalid_argument("MvIsf: empty threshold chain");
+  // The interval model requires a monotone chain: the requirement sets
+  // shrink with j (Q_{j+1} <= Q_j) and the exclusion sets grow
+  // (R_j <= R_{j+1}). This is exactly "every input's permissible values
+  // form an interval [lo, hi]" and is what makes a nested (monotone)
+  // realization always possible.
+  for (std::size_t j = 0; j + 1 < thresholds.size(); ++j) {
+    if (!thresholds[j + 1].q().implies(thresholds[j].q()) ||
+        !thresholds[j].r().implies(thresholds[j + 1].r())) {
+      throw std::invalid_argument("MvIsf: threshold chain is not monotone");
+    }
+  }
+  return MvIsf(std::move(thresholds));
+}
+
+bool MvIsf::value_allowed(const std::vector<bool>& input, unsigned value) const {
+  BddManager& mgr = *manager();
+  // Permissible iff no threshold forces the other side: for j <= value the
+  // function may be >= j (not in R_j); for j > value it may be < j (not in
+  // Q_j).
+  for (unsigned j = 1; j < num_values(); ++j) {
+    if (j <= value) {
+      if (mgr.eval(threshold(j).r(), input)) return false;
+    } else {
+      if (mgr.eval(threshold(j).q(), input)) return false;
+    }
+  }
+  return true;
+}
+
+unsigned MvIsf::min_allowed(const std::vector<bool>& input) const {
+  BddManager& mgr = *manager();
+  unsigned lo = 0;
+  for (unsigned j = 1; j < num_values(); ++j) {
+    if (mgr.eval(threshold(j).q(), input)) lo = j;
+  }
+  return lo;
+}
+
+unsigned MvIsf::max_allowed(const std::vector<bool>& input) const {
+  BddManager& mgr = *manager();
+  for (unsigned j = 1; j < num_values(); ++j) {
+    if (mgr.eval(threshold(j).r(), input)) return j - 1;
+  }
+  return num_values() - 1;
+}
+
+std::vector<unsigned> MvIsf::support() const {
+  BddManager& mgr = *manager();
+  std::vector<bool> seen(mgr.num_vars(), false);
+  for (const Isf& t : thresholds_) {
+    for (const unsigned v : mgr.support_vars(t.q(), t.r())) seen[v] = true;
+  }
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+    if (seen[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<Bdd> MvIsf::monotone_covers() const {
+  // Realize bottom-up: the widest threshold first, every higher one inside
+  // its predecessor by adding ~cover_{j-1} to the off-set. Consistency is
+  // guaranteed by the monotone chain (Q_j <= Q_{j-1} <= cover_{j-1}).
+  std::vector<Bdd> covers(thresholds_.size());
+  for (std::size_t idx = 0; idx < thresholds_.size(); ++idx) {
+    const Isf& t = thresholds_[idx];
+    if (idx == 0) {
+      covers[0] = t.any_cover();
+    } else {
+      covers[idx] = Isf(t.q(), t.r() | ~covers[idx - 1]).any_cover();
+    }
+  }
+  return covers;
+}
+
+}  // namespace bidec

@@ -1,0 +1,74 @@
+// Multiple-valued logic extension (the paper's future work: "generalization
+// of the algorithm for multi-valued logic with potential applications in
+// datamining", citing Steinbach/Perkowski/Lang ISMVL'99).
+//
+// Model: functions over BINARY inputs with values in {0 .. k-1}, possibly
+// incompletely specified with an *interval* of permissible values per input
+// (the natural don't-care shape for MIN/MAX decomposition). A k-valued
+// interval function is represented by its k-1 threshold ISFs
+//    T_j = [F >= j],   j = 1 .. k-1,
+// which form a monotone chain (T_1 >= T_2 >= ... pointwise). The key fact
+// the decomposition exploits:
+//    [MAX(a,b) >= j] = [a >= j] OR  [b >= j]
+//    [MIN(a,b) >= j] = [a >= j] AND [b >= j]
+// so a MAX (MIN) bi-decomposition of the MV function is exactly a
+// simultaneous OR (AND) bi-decomposition of all thresholds with one common
+// variable partition.
+#ifndef BIDEC_MV_MV_ISF_H
+#define BIDEC_MV_MV_ISF_H
+
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+class MvIsf {
+ public:
+  MvIsf() = default;
+
+  /// Completely specified k-valued function from its value partition:
+  /// value_sets[v] = inputs mapped to value v. The sets must be disjoint;
+  /// uncovered inputs are fully unspecified (any value permitted).
+  [[nodiscard]] static MvIsf from_value_sets(BddManager& mgr,
+                                             std::vector<Bdd> value_sets);
+
+  /// Interval-specified function: on input x the permissible values are
+  /// [lo(x), hi(x)] where lo(x) = max{v : x in at_least[v]} and
+  /// hi(x) = min{v : x in at_most[v]} under the natural encodings
+  /// at_least[j] = inputs where F >= j is REQUIRED (j = 1..k-1, monotone
+  /// non-increasing) and at_most mirror. Construct directly from threshold
+  /// ISFs; throws if the chain is not monotone/consistent.
+  [[nodiscard]] static MvIsf from_thresholds(std::vector<Isf> thresholds);
+
+  [[nodiscard]] bool is_valid() const noexcept { return !thresholds_.empty(); }
+  /// Number of logic values k (thresholds + 1).
+  [[nodiscard]] unsigned num_values() const noexcept {
+    return static_cast<unsigned>(thresholds_.size()) + 1;
+  }
+  /// Threshold ISF of [F >= j], j in [1, num_values()-1].
+  [[nodiscard]] const Isf& threshold(unsigned j) const { return thresholds_.at(j - 1); }
+  [[nodiscard]] BddManager* manager() const { return thresholds_.front().manager(); }
+
+  /// True iff assigning `value` at `input` is permissible.
+  [[nodiscard]] bool value_allowed(const std::vector<bool>& input, unsigned value) const;
+  /// Smallest / largest permissible value at `input`.
+  [[nodiscard]] unsigned min_allowed(const std::vector<bool>& input) const;
+  [[nodiscard]] unsigned max_allowed(const std::vector<bool>& input) const;
+
+  /// Union of the thresholds' supports.
+  [[nodiscard]] std::vector<unsigned> support() const;
+
+  /// A compatible completely specified MV function as a monotone family of
+  /// threshold covers: covers[j-1] realizes [F >= j] and covers are nested.
+  [[nodiscard]] std::vector<Bdd> monotone_covers() const;
+
+ private:
+  explicit MvIsf(std::vector<Isf> thresholds) : thresholds_(std::move(thresholds)) {}
+
+  std::vector<Isf> thresholds_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_MV_MV_ISF_H

@@ -1,0 +1,135 @@
+// Gate vocabulary of the two-input-gate netlists the decomposition emits,
+// plus the area/delay cost table used throughout the paper's experiments
+// (Section 8: "the ratio of area and delay of EXOR and NOR is assumed to be
+// 5/2 and 2.1/1.0 respectively").
+#ifndef BIDEC_NETLIST_GATE_H
+#define BIDEC_NETLIST_GATE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace bidec {
+
+enum class GateType : std::uint8_t {
+  kInput,   ///< primary input (no fanin)
+  kConst0,  ///< constant 0
+  kConst1,  ///< constant 1
+  kBuf,     ///< single-fanin buffer (used only transiently)
+  kNot,     ///< inverter
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+};
+
+[[nodiscard]] constexpr bool is_two_input(GateType t) noexcept {
+  return t >= GateType::kAnd;
+}
+
+[[nodiscard]] constexpr bool is_exor_type(GateType t) noexcept {
+  return t == GateType::kXor || t == GateType::kXnor;
+}
+
+[[nodiscard]] constexpr bool is_commutative(GateType t) noexcept { return is_two_input(t); }
+
+[[nodiscard]] constexpr unsigned gate_arity(GateType t) noexcept {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+/// Bitwise evaluation over 64 parallel patterns.
+[[nodiscard]] constexpr std::uint64_t gate_eval64(GateType t, std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  switch (t) {
+    case GateType::kConst0: return 0;
+    case GateType::kConst1: return ~std::uint64_t{0};
+    case GateType::kInput:  return a;  // value supplied externally
+    case GateType::kBuf:    return a;
+    case GateType::kNot:    return ~a;
+    case GateType::kAnd:    return a & b;
+    case GateType::kOr:     return a | b;
+    case GateType::kXor:    return a ^ b;
+    case GateType::kNand:   return ~(a & b);
+    case GateType::kNor:    return ~(a | b);
+    case GateType::kXnor:   return ~(a ^ b);
+  }
+  return 0;
+}
+
+/// Area units (paper Section 8 ratios; see DESIGN.md Section 5).
+[[nodiscard]] constexpr double gate_area(GateType t) noexcept {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0.0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1.0;
+    case GateType::kNand:
+    case GateType::kNor:
+      return 2.0;
+    case GateType::kAnd:
+    case GateType::kOr:
+      return 3.0;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 5.0;
+  }
+  return 0.0;
+}
+
+/// Delay units (NOR2 = 1.0, EXOR = 2.1 per the paper).
+[[nodiscard]] constexpr double gate_delay(GateType t) noexcept {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0.0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 0.5;
+    case GateType::kNand:
+    case GateType::kNor:
+      return 1.0;
+    case GateType::kAnd:
+    case GateType::kOr:
+      return 1.2;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 2.1;
+  }
+  return 0.0;
+}
+
+[[nodiscard]] constexpr std::string_view gate_name(GateType t) noexcept {
+  switch (t) {
+    case GateType::kInput:  return "input";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+    case GateType::kBuf:    return "buf";
+    case GateType::kNot:    return "not";
+    case GateType::kAnd:    return "and";
+    case GateType::kOr:     return "or";
+    case GateType::kXor:    return "xor";
+    case GateType::kNand:   return "nand";
+    case GateType::kNor:    return "nor";
+    case GateType::kXnor:   return "xnor";
+  }
+  return "?";
+}
+
+}  // namespace bidec
+
+#endif  // BIDEC_NETLIST_GATE_H

@@ -1,0 +1,243 @@
+#include "netlist/library.h"
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+const std::map<std::string, GateType>& func_names() {
+  static const std::map<std::string, GateType> names = {
+      {"const0", GateType::kConst0}, {"const1", GateType::kConst1},
+      {"buf", GateType::kBuf},       {"inv", GateType::kNot},
+      {"and2", GateType::kAnd},      {"or2", GateType::kOr},
+      {"xor2", GateType::kXor},      {"nand2", GateType::kNand},
+      {"nor2", GateType::kNor},      {"xnor2", GateType::kXnor},
+  };
+  return names;
+}
+
+}  // namespace
+
+CellLibrary CellLibrary::paper_default() {
+  CellLibrary lib;
+  lib.add_cell({"inv", GateType::kNot, 1.0, 0.5});
+  lib.add_cell({"nand2", GateType::kNand, 2.0, 1.0});
+  lib.add_cell({"nor2", GateType::kNor, 2.0, 1.0});
+  lib.add_cell({"and2", GateType::kAnd, 3.0, 1.2});
+  lib.add_cell({"or2", GateType::kOr, 3.0, 1.2});
+  lib.add_cell({"xor2", GateType::kXor, 5.0, 2.1});
+  lib.add_cell({"xnor2", GateType::kXnor, 5.0, 2.1});
+  return lib;
+}
+
+CellLibrary CellLibrary::nand_inv() {
+  CellLibrary lib;
+  lib.add_cell({"inv", GateType::kNot, 1.0, 0.5});
+  lib.add_cell({"nand2", GateType::kNand, 2.0, 1.0});
+  return lib;
+}
+
+CellLibrary CellLibrary::parse(std::istream& in) {
+  CellLibrary lib;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto pos = line.find('#'); pos != std::string::npos) line.erase(pos);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;
+    if (keyword != "GATE") throw std::runtime_error("library: expected GATE, got " + keyword);
+    Cell cell;
+    std::string func;
+    if (!(ss >> cell.name >> cell.area >> cell.delay >> func)) {
+      throw std::runtime_error("library: malformed GATE line: " + line);
+    }
+    const auto it = func_names().find(func);
+    if (it == func_names().end()) {
+      throw std::runtime_error("library: unknown function " + func);
+    }
+    cell.function = it->second;
+    lib.add_cell(std::move(cell));
+  }
+  if (lib.cells().empty()) throw std::runtime_error("library: no cells");
+  return lib;
+}
+
+CellLibrary CellLibrary::parse_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse(ss);
+}
+
+void CellLibrary::add_cell(Cell cell) { cells_.push_back(std::move(cell)); }
+
+std::optional<Cell> CellLibrary::best_cell(GateType function) const {
+  std::optional<Cell> best;
+  for (const Cell& c : cells_) {
+    if (c.function != function) continue;
+    if (!best || c.area < best->area) best = c;
+  }
+  return best;
+}
+
+std::string CellLibrary::to_string() const {
+  std::ostringstream out;
+  for (const Cell& c : cells_) {
+    std::string func = "?";
+    for (const auto& [name, type] : func_names()) {
+      if (type == c.function) func = name;
+    }
+    out << "GATE " << c.name << ' ' << c.area << ' ' << c.delay << ' ' << func << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Mapping
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Emits gates into `net` using only functions available in `lib`.
+class Mapper {
+ public:
+  Mapper(Netlist& net, const CellLibrary& lib) : net_(net), lib_(lib) {
+    if (!lib.has(GateType::kNot)) {
+      throw std::invalid_argument("map_to_library: library needs an inverter");
+    }
+    if (!lib.has(GateType::kAnd) && !lib.has(GateType::kOr) &&
+        !lib.has(GateType::kNand) && !lib.has(GateType::kNor)) {
+      throw std::invalid_argument("map_to_library: library needs an AND/OR-class cell");
+    }
+  }
+
+  SignalId emit(GateType type, SignalId a, SignalId b) {
+    switch (type) {
+      case GateType::kNot: return net_.add_not(a);
+      case GateType::kBuf: return a;
+      case GateType::kAnd: return emit_and(a, b);
+      case GateType::kOr: return emit_or(a, b);
+      case GateType::kNand: return emit_nand(a, b);
+      case GateType::kNor: return emit_nor(a, b);
+      case GateType::kXor: return emit_xor(a, b);
+      case GateType::kXnor:
+        if (lib_.has(GateType::kXnor)) return net_.add_gate_native(GateType::kXnor, a, b);
+        return net_.add_not(emit_xor(a, b));
+      default: throw std::logic_error("Mapper::emit: unexpected type");
+    }
+  }
+
+ private:
+  SignalId emit_and(SignalId a, SignalId b) {
+    if (lib_.has(GateType::kAnd)) return net_.add_gate_native(GateType::kAnd, a, b);
+    if (lib_.has(GateType::kNand)) {
+      return net_.add_not(net_.add_gate_native(GateType::kNand, a, b));
+    }
+    if (lib_.has(GateType::kNor)) {
+      return net_.add_gate_native(GateType::kNor, net_.add_not(a), net_.add_not(b));
+    }
+    // a & b = ~(~a | ~b)
+    return net_.add_not(net_.add_gate_native(GateType::kOr, net_.add_not(a), net_.add_not(b)));
+  }
+
+  SignalId emit_or(SignalId a, SignalId b) {
+    if (lib_.has(GateType::kOr)) return net_.add_gate_native(GateType::kOr, a, b);
+    if (lib_.has(GateType::kNor)) {
+      return net_.add_not(net_.add_gate_native(GateType::kNor, a, b));
+    }
+    if (lib_.has(GateType::kNand)) {
+      return net_.add_gate_native(GateType::kNand, net_.add_not(a), net_.add_not(b));
+    }
+    return net_.add_not(net_.add_gate_native(GateType::kAnd, net_.add_not(a), net_.add_not(b)));
+  }
+
+  SignalId emit_nand(SignalId a, SignalId b) {
+    if (lib_.has(GateType::kNand)) return net_.add_gate_native(GateType::kNand, a, b);
+    return net_.add_not(emit_and(a, b));
+  }
+
+  SignalId emit_nor(SignalId a, SignalId b) {
+    if (lib_.has(GateType::kNor)) return net_.add_gate_native(GateType::kNor, a, b);
+    return net_.add_not(emit_or(a, b));
+  }
+
+  SignalId emit_xor(SignalId a, SignalId b) {
+    if (lib_.has(GateType::kXor)) return net_.add_gate_native(GateType::kXor, a, b);
+    if (lib_.has(GateType::kXnor)) {
+      return net_.add_not(net_.add_gate_native(GateType::kXnor, a, b));
+    }
+    // a ^ b = (a & ~b) | (~a & b); the emitters pick whatever the library
+    // offers and the strash shares the inverters.
+    return emit_or(emit_and(a, net_.add_not(b)), emit_and(net_.add_not(a), b));
+  }
+
+  Netlist& net_;
+  const CellLibrary& lib_;
+};
+
+}  // namespace
+
+Netlist map_to_library(const Netlist& net, const CellLibrary& library) {
+  Netlist fresh;
+  Mapper mapper(fresh, library);
+  std::vector<SignalId> map(net.num_nodes(), kNoSignal);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    map[net.inputs()[i]] = fresh.add_input(net.input_name(i));
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        map[id] = fresh.get_const(false);
+        break;
+      case GateType::kConst1:
+        map[id] = fresh.get_const(true);
+        break;
+      default:
+        map[id] = mapper.emit(n.type, map[n.fanin0],
+                              n.fanin1 != kNoSignal ? map[n.fanin1] : kNoSignal);
+        break;
+    }
+  }
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    fresh.add_output(net.output_name(o), map[net.output_signal(o)]);
+  }
+  return fresh;
+}
+
+MappedStats library_stats(const Netlist& net, const CellLibrary& library) {
+  MappedStats s;
+  std::vector<double> arrival(net.num_nodes(), 0.0);
+  std::vector<unsigned> depth(net.num_nodes(), 0);
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    if (n.type == GateType::kInput || n.type == GateType::kConst0 ||
+        n.type == GateType::kConst1) {
+      continue;
+    }
+    const auto cell = library.best_cell(n.type);
+    if (!cell) {
+      throw std::invalid_argument("library_stats: netlist uses a gate outside the library");
+    }
+    const double a0 = n.fanin0 != kNoSignal ? arrival[n.fanin0] : 0.0;
+    const double a1 = n.fanin1 != kNoSignal ? arrival[n.fanin1] : 0.0;
+    const unsigned d0 = n.fanin0 != kNoSignal ? depth[n.fanin0] : 0;
+    const unsigned d1 = n.fanin1 != kNoSignal ? depth[n.fanin1] : 0;
+    arrival[id] = std::max(a0, a1) + cell->delay;
+    depth[id] = std::max(d0, d1) + 1;
+    s.area += cell->area;
+    ++s.cells;
+    if (n.type == GateType::kNot) ++s.inverters;
+  }
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    s.delay = std::max(s.delay, arrival[net.output_signal(o)]);
+    s.depth = std::max(s.depth, depth[net.output_signal(o)]);
+  }
+  return s;
+}
+
+}  // namespace bidec

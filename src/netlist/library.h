@@ -1,0 +1,79 @@
+// Standard-cell libraries: the paper's future-work item "extending the
+// algorithm to work with arbitrary standard cell libraries". A library is a
+// set of cells, each realizing one of the two-variable functions (plus
+// inverter/buffer/constants) with its own area and delay; `map_to_library`
+// rewrites a netlist so that it only uses gates present in the library,
+// synthesizing recipes for missing ones (e.g. XOR out of NANDs) and then
+// costs it with the library's numbers.
+//
+// The text format is a simplified genlib:
+//   GATE <name> <area> <delay> <func>
+// with <func> one of: const0 const1 buf inv and2 or2 xor2 nand2 nor2 xnor2
+// andnot2 (a & !b) ornot2 (a | !b). Lines starting with '#' are comments.
+#ifndef BIDEC_NETLIST_LIBRARY_H
+#define BIDEC_NETLIST_LIBRARY_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+struct Cell {
+  std::string name;
+  GateType function = GateType::kAnd;  ///< semantics (kBuf for buffers)
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+
+  /// The paper's cost table (Section 8) as a library: INV, AND2, OR2, XOR2,
+  /// NAND2, NOR2, XNOR2 with DESIGN.md Section 5 area/delay.
+  [[nodiscard]] static CellLibrary paper_default();
+  /// A NAND2+INV-only library (the classic mapping stress case).
+  [[nodiscard]] static CellLibrary nand_inv();
+
+  /// Parse the simplified genlib format; throws std::runtime_error.
+  [[nodiscard]] static CellLibrary parse(std::istream& in);
+  [[nodiscard]] static CellLibrary parse_string(const std::string& text);
+
+  void add_cell(Cell cell);
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+  /// Cheapest cell implementing `function`, if any.
+  [[nodiscard]] std::optional<Cell> best_cell(GateType function) const;
+  [[nodiscard]] bool has(GateType function) const { return best_cell(function).has_value(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// Metrics of a mapped netlist under a library.
+struct MappedStats {
+  std::size_t cells = 0;      ///< library cell instances (excl. constants)
+  std::size_t inverters = 0;
+  double area = 0.0;
+  double delay = 0.0;         ///< critical path using library delays
+  unsigned depth = 0;         ///< cell count depth
+};
+
+/// Rewrite `net` so every gate has a cell in `library` (missing gate types
+/// are synthesized from available ones) and return the rewritten netlist.
+/// Throws std::invalid_argument if the library cannot express inversion or
+/// any AND/OR-class gate (a functionally incomplete library).
+[[nodiscard]] Netlist map_to_library(const Netlist& net, const CellLibrary& library);
+
+/// Cost a netlist whose gates are all available in `library`.
+[[nodiscard]] MappedStats library_stats(const Netlist& net, const CellLibrary& library);
+
+}  // namespace bidec
+
+#endif  // BIDEC_NETLIST_LIBRARY_H

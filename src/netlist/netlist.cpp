@@ -1,0 +1,337 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+/// Base (non-negated) type and negation flag of a two-input gate type.
+struct BaseType {
+  GateType base;
+  bool negated;
+};
+
+BaseType base_of(GateType t) {
+  switch (t) {
+    case GateType::kNand: return {GateType::kAnd, true};
+    case GateType::kNor:  return {GateType::kOr, true};
+    case GateType::kXnor: return {GateType::kXor, true};
+    default:              return {t, false};
+  }
+}
+
+GateType negated_of(GateType t) {
+  switch (t) {
+    case GateType::kAnd: return GateType::kNand;
+    case GateType::kOr:  return GateType::kNor;
+    case GateType::kXor: return GateType::kXnor;
+    default: throw std::logic_error("negated_of: not a base type");
+  }
+}
+
+std::uint64_t strash_key(GateType type, SignalId a, SignalId b) {
+  return (static_cast<std::uint64_t>(type) << 60) ^
+         (static_cast<std::uint64_t>(a) << 30) ^ b;
+}
+
+}  // namespace
+
+SignalId Netlist::add_input(std::string name) {
+  const auto id = static_cast<SignalId>(nodes_.size());
+  nodes_.push_back(Node{GateType::kInput, kNoSignal, kNoSignal});
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+const std::string& Netlist::input_name(std::size_t i) const { return input_names_[i]; }
+
+std::size_t Netlist::input_index(SignalId id) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), id);
+  return it == inputs_.end() ? kNoSignal : static_cast<std::size_t>(it - inputs_.begin());
+}
+
+SignalId Netlist::get_const(bool value) {
+  SignalId& slot = value ? const1_ : const0_;
+  if (slot == kNoSignal) {
+    slot = static_cast<SignalId>(nodes_.size());
+    nodes_.push_back(Node{value ? GateType::kConst1 : GateType::kConst0, kNoSignal, kNoSignal});
+  }
+  return slot;
+}
+
+SignalId Netlist::strash_lookup(GateType type, SignalId a, SignalId b) const {
+  const auto it = strash_.find(strash_key(type, a, b));
+  if (it == strash_.end()) return kNoSignal;
+  for (const SignalId id : it->second) {
+    const Node& n = nodes_[id];
+    if (n.type == type && n.fanin0 == a && n.fanin1 == b) return id;
+  }
+  return kNoSignal;
+}
+
+void Netlist::strash_insert(GateType type, SignalId a, SignalId b, SignalId id) {
+  strash_[strash_key(type, a, b)].push_back(id);
+}
+
+SignalId Netlist::create_node(GateType type, SignalId a, SignalId b) {
+  const SignalId hit = strash_lookup(type, a, b);
+  if (hit != kNoSignal) return hit;
+  const auto id = static_cast<SignalId>(nodes_.size());
+  nodes_.push_back(Node{type, a, b});
+  strash_insert(type, a, b, id);
+  return id;
+}
+
+SignalId Netlist::add_gate(GateType type, SignalId a, SignalId b) {
+  return add_gate_impl(type, a, b, /*native=*/false);
+}
+
+SignalId Netlist::add_gate_native(GateType type, SignalId a, SignalId b) {
+  return add_gate_impl(type, a, b, /*native=*/true);
+}
+
+SignalId Netlist::add_gate_impl(GateType type, SignalId a, SignalId b, bool native) {
+  switch (type) {
+    case GateType::kInput:
+      throw std::invalid_argument("add_gate: use add_input for primary inputs");
+    case GateType::kConst0: return get_const(false);
+    case GateType::kConst1: return get_const(true);
+    case GateType::kBuf:    return a;
+    case GateType::kNot: {
+      const Node& n = nodes_[a];
+      if (n.type == GateType::kNot) return n.fanin0;  // double negation
+      if (n.type == GateType::kConst0) return get_const(true);
+      if (n.type == GateType::kConst1) return get_const(false);
+      return create_node(GateType::kNot, a, kNoSignal);
+    }
+    default: break;
+  }
+
+  assert(a < nodes_.size() && b < nodes_.size());
+  auto [base, negated] = base_of(type);
+  auto finish = [this, &negated](SignalId s) { return negated ? add_not(s) : s; };
+
+  const auto type_of = [this](SignalId s) { return nodes_[s].type; };
+  const auto complement_of = [this](SignalId x, SignalId y) {
+    return (nodes_[x].type == GateType::kNot && nodes_[x].fanin0 == y) ||
+           (nodes_[y].type == GateType::kNot && nodes_[y].fanin0 == x);
+  };
+
+  if (base == GateType::kXor && !native) {
+    // Push inverters out of XOR fanins: xor(~a, b) == ~xor(a, b). Skipped in
+    // native mode, where the caller needs the requested cell type verbatim.
+    if (type_of(a) == GateType::kNot) {
+      a = nodes_[a].fanin0;
+      negated = !negated;
+    }
+    if (type_of(b) == GateType::kNot) {
+      b = nodes_[b].fanin0;
+      negated = !negated;
+    }
+  }
+  if (a > b) std::swap(a, b);  // all two-input gates are commutative
+
+  // Constant and structural folding on the base function.
+  const GateType ta = type_of(a), tb = type_of(b);
+  switch (base) {
+    case GateType::kAnd:
+      if (ta == GateType::kConst0 || tb == GateType::kConst0) return finish(get_const(false));
+      if (ta == GateType::kConst1) return finish(b);
+      if (tb == GateType::kConst1) return finish(a);
+      if (a == b) return finish(a);
+      if (complement_of(a, b)) return finish(get_const(false));
+      break;
+    case GateType::kOr:
+      if (ta == GateType::kConst1 || tb == GateType::kConst1) return finish(get_const(true));
+      if (ta == GateType::kConst0) return finish(b);
+      if (tb == GateType::kConst0) return finish(a);
+      if (a == b) return finish(a);
+      if (complement_of(a, b)) return finish(get_const(true));
+      break;
+    case GateType::kXor:
+      if (ta == GateType::kConst0) return finish(b);
+      if (tb == GateType::kConst0) return finish(a);
+      if (ta == GateType::kConst1) return negated ? b : add_not(b);
+      if (tb == GateType::kConst1) return negated ? a : add_not(a);
+      if (a == b) return finish(get_const(false));
+      if (complement_of(a, b)) return finish(get_const(true));
+      break;
+    default:
+      throw std::logic_error("add_gate: unexpected gate type");
+  }
+  if (native && negated) return create_node(negated_of(base), a, b);
+  return finish(create_node(base, a, b));
+}
+
+void Netlist::add_output(std::string name, SignalId signal) {
+  assert(signal < nodes_.size());
+  outputs_.emplace_back(std::move(name), signal);
+}
+
+std::vector<SignalId> Netlist::reachable_topo_order() const {
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<SignalId> stack;
+  for (const auto& [name, sig] : outputs_) stack.push_back(sig);
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (reachable[id]) continue;
+    reachable[id] = true;
+    const Node& n = nodes_[id];
+    if (n.fanin0 != kNoSignal) stack.push_back(n.fanin0);
+    if (n.fanin1 != kNoSignal) stack.push_back(n.fanin1);
+  }
+  // Node ids are already topologically ordered by construction.
+  std::vector<SignalId> order;
+  for (SignalId id = 0; id < nodes_.size(); ++id) {
+    if (reachable[id]) order.push_back(id);
+  }
+  return order;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  std::vector<unsigned> level(nodes_.size(), 0);
+  std::vector<double> arrival(nodes_.size(), 0.0);
+  for (const SignalId id : reachable_topo_order()) {
+    const Node& n = nodes_[id];
+    if (n.type == GateType::kInput || n.type == GateType::kConst0 ||
+        n.type == GateType::kConst1) {
+      continue;
+    }
+    const unsigned l0 = n.fanin0 != kNoSignal ? level[n.fanin0] : 0;
+    const unsigned l1 = n.fanin1 != kNoSignal ? level[n.fanin1] : 0;
+    const double a0 = n.fanin0 != kNoSignal ? arrival[n.fanin0] : 0.0;
+    const double a1 = n.fanin1 != kNoSignal ? arrival[n.fanin1] : 0.0;
+    // Inverters contribute delay but not a cascade level.
+    level[id] = std::max(l0, l1) + (is_two_input(n.type) ? 1 : 0);
+    arrival[id] = std::max(a0, a1) + gate_delay(n.type);
+    s.area += gate_area(n.type);
+    if (is_two_input(n.type)) {
+      ++s.two_input;
+      if (is_exor_type(n.type)) ++s.exors;
+    } else if (n.type == GateType::kNot) {
+      ++s.inverters;
+    }
+  }
+  for (const auto& [name, sig] : outputs_) {
+    s.cascades = std::max(s.cascades, level[sig]);
+    s.delay = std::max(s.delay, arrival[sig]);
+  }
+  s.gates = s.two_input + s.inverters;
+  return s;
+}
+
+std::vector<std::uint64_t> Netlist::simulate64(
+    const std::vector<std::uint64_t>& in_words) const {
+  if (in_words.size() != inputs_.size()) {
+    throw std::invalid_argument("simulate64: wrong number of input words");
+  }
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) value[inputs_[i]] = in_words[i];
+  for (SignalId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type == GateType::kInput) continue;
+    const std::uint64_t a = n.fanin0 != kNoSignal ? value[n.fanin0] : 0;
+    const std::uint64_t b = n.fanin1 != kNoSignal ? value[n.fanin1] : 0;
+    value[id] = gate_eval64(n.type, a, b);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(outputs_.size());
+  for (const auto& [name, sig] : outputs_) out.push_back(value[sig]);
+  return out;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& inputs) const {
+  std::vector<std::uint64_t> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) words[i] = inputs[i] ? 1 : 0;
+  const std::vector<std::uint64_t> out = simulate64(words);
+  std::vector<bool> result(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) result[i] = out[i] & 1;
+  return result;
+}
+
+std::string Netlist::to_dot() const {
+  std::ostringstream out;
+  out << "digraph netlist {\n  rankdir=LR;\n";
+  for (const SignalId id : reachable_topo_order()) {
+    const Node& n = nodes_[id];
+    if (n.type == GateType::kInput) {
+      const std::size_t i = input_index(id);
+      out << "  n" << id << " [shape=box,label=\""
+          << (i != kNoSignal ? input_names_[i] : "?") << "\"];\n";
+      continue;
+    }
+    out << "  n" << id << " [label=\"" << gate_name(n.type) << "\"];\n";
+    if (n.fanin0 != kNoSignal) out << "  n" << n.fanin0 << " -> n" << id << ";\n";
+    if (n.fanin1 != kNoSignal) out << "  n" << n.fanin1 << " -> n" << id << ";\n";
+  }
+  for (const auto& [name, sig] : outputs_) {
+    out << "  out_" << name << " [shape=doublecircle,label=\"" << name << "\"];\n";
+    out << "  n" << sig << " -> out_" << name << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::size_t Netlist::absorb_inverters() {
+  // Count fanouts over the reachable cone (outputs count as fanout).
+  const std::vector<SignalId> order = reachable_topo_order();
+  std::vector<unsigned> fanout(nodes_.size(), 0);
+  for (const SignalId id : order) {
+    const Node& n = nodes_[id];
+    if (n.fanin0 != kNoSignal) ++fanout[n.fanin0];
+    if (n.fanin1 != kNoSignal) ++fanout[n.fanin1];
+  }
+  std::vector<bool> is_po(nodes_.size(), false);
+  for (const auto& [name, sig] : outputs_) {
+    ++fanout[sig];
+    is_po[sig] = true;
+  }
+
+  // Rebuild into a fresh netlist, merging NOT(g) with single-fanout base g.
+  Netlist fresh;
+  std::vector<SignalId> map(nodes_.size(), kNoSignal);
+  std::size_t merges = 0;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const SignalId ni = fresh.add_input(input_names_[i]);
+    map[inputs_[i]] = ni;
+  }
+  for (const SignalId id : order) {
+    const Node& n = nodes_[id];
+    if (map[id] != kNoSignal) continue;  // inputs already mapped
+    switch (n.type) {
+      case GateType::kConst0: map[id] = fresh.get_const(false); break;
+      case GateType::kConst1: map[id] = fresh.get_const(true); break;
+      case GateType::kNot: {
+        const Node& g = nodes_[n.fanin0];
+        if ((g.type == GateType::kAnd || g.type == GateType::kOr ||
+             g.type == GateType::kXor) &&
+            fanout[n.fanin0] == 1 && !is_po[n.fanin0]) {
+          // Merge into a native NAND/NOR/XNOR (add_gate would re-decompose
+          // the negated type into base gate + inverter).
+          map[id] = fresh.add_gate_native(negated_of(g.type), map[g.fanin0], map[g.fanin1]);
+          ++merges;
+        } else {
+          map[id] = fresh.add_not(map[n.fanin0]);
+        }
+        break;
+      }
+      case GateType::kInput:
+        break;  // already mapped
+      default:
+        map[id] = fresh.add_gate(n.type, map[n.fanin0], map[n.fanin1]);
+        break;
+    }
+  }
+  for (const auto& [name, sig] : outputs_) fresh.add_output(name, map[sig]);
+  *this = std::move(fresh);
+  return merges;
+}
+
+}  // namespace bidec

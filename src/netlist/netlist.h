@@ -1,0 +1,115 @@
+// A combinational netlist of two-input gates over named primary inputs and
+// outputs. Nodes are created in topological order and structurally hashed:
+// constant folding and idempotence rules run at construction, and an
+// identical (type, fanins) gate is never created twice (paper Section 6
+// relies on this on top of the functional reuse cache).
+#ifndef BIDEC_NETLIST_NETLIST_H
+#define BIDEC_NETLIST_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace bidec {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = 0xffffffffu;
+
+/// Aggregate quality metrics of a netlist (computed over the cone reachable
+/// from the primary outputs). Matches the columns of the paper's Table 2.
+struct NetlistStats {
+  std::size_t gates = 0;        ///< two-input gates plus inverters
+  std::size_t two_input = 0;    ///< two-input gates only
+  std::size_t exors = 0;        ///< XOR/XNOR gates
+  std::size_t inverters = 0;
+  unsigned cascades = 0;        ///< logic levels (two-input gate depth)
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+class Netlist {
+ public:
+  struct Node {
+    GateType type = GateType::kConst0;
+    SignalId fanin0 = kNoSignal;
+    SignalId fanin1 = kNoSignal;
+  };
+
+  Netlist() = default;
+
+  // --- construction -------------------------------------------------------
+  SignalId add_input(std::string name);
+  [[nodiscard]] SignalId get_const(bool value);
+  /// Create (or reuse) a gate; applies constant folding and local rewrite
+  /// rules, so the returned signal may be an existing node or even a fanin.
+  /// Negated types (NAND/NOR/XNOR) are canonicalized into base gate plus
+  /// inverter so the structural hashing shares maximally; the inverter
+  /// absorption pass re-merges them at the end.
+  SignalId add_gate(GateType type, SignalId a, SignalId b = kNoSignal);
+  /// Like add_gate but keeps the requested (possibly negated) type as one
+  /// native node when no folding applies. Used by the technology mapper and
+  /// the inverter-absorption pass, where the gate type must match a library
+  /// cell exactly.
+  SignalId add_gate_native(GateType type, SignalId a, SignalId b = kNoSignal);
+  SignalId add_not(SignalId a) { return add_gate(GateType::kNot, a); }
+  SignalId add_and(SignalId a, SignalId b) { return add_gate(GateType::kAnd, a, b); }
+  SignalId add_or(SignalId a, SignalId b) { return add_gate(GateType::kOr, a, b); }
+  SignalId add_xor(SignalId a, SignalId b) { return add_gate(GateType::kXor, a, b); }
+  void add_output(std::string name, SignalId signal);
+
+  // --- structure ----------------------------------------------------------
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(SignalId id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return inputs_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return outputs_.size(); }
+  [[nodiscard]] const std::vector<SignalId>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] SignalId output_signal(std::size_t i) const { return outputs_[i].second; }
+  [[nodiscard]] const std::string& output_name(std::size_t i) const { return outputs_[i].first; }
+  [[nodiscard]] const std::string& input_name(std::size_t i) const;
+  /// Index of the primary input a node id refers to; kNoSignal if not a PI.
+  [[nodiscard]] std::size_t input_index(SignalId id) const;
+
+  /// Nodes reachable from the outputs, in topological order (inputs first).
+  [[nodiscard]] std::vector<SignalId> reachable_topo_order() const;
+
+  // --- metrics -----------------------------------------------------------
+  [[nodiscard]] NetlistStats stats() const;
+
+  // --- simulation --------------------------------------------------------
+  /// 64-way parallel simulation: `in_words[i]` holds 64 stacked values of
+  /// input i; returns one word per output.
+  [[nodiscard]] std::vector<std::uint64_t> simulate64(
+      const std::vector<std::uint64_t>& in_words) const;
+  /// Single-pattern evaluation.
+  [[nodiscard]] std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Merge inverters into their single two-input fanin gate where possible
+  /// (AND+NOT -> NAND etc.), reducing area per the cost table. Keeps
+  /// functionality; returns the number of merges performed.
+  std::size_t absorb_inverters();
+
+  /// Graphviz rendering of the reachable cone (inputs as boxes, gates
+  /// labelled with their type, outputs as double circles).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  SignalId add_gate_impl(GateType type, SignalId a, SignalId b, bool native);
+  [[nodiscard]] SignalId strash_lookup(GateType type, SignalId a, SignalId b) const;
+  void strash_insert(GateType type, SignalId a, SignalId b, SignalId id);
+  SignalId create_node(GateType type, SignalId a, SignalId b);
+
+  std::vector<Node> nodes_;
+  std::vector<SignalId> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::pair<std::string, SignalId>> outputs_;
+  std::unordered_map<std::uint64_t, std::vector<SignalId>> strash_;
+  SignalId const0_ = kNoSignal;
+  SignalId const1_ = kNoSignal;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_NETLIST_NETLIST_H

@@ -1,0 +1,191 @@
+#include "sop/cover.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bidec {
+
+Cover Cover::universe(unsigned num_vars) {
+  Cover c(num_vars);
+  c.add(Cube(num_vars));
+  return c;
+}
+
+Cover Cover::from_strings(std::span<const std::string> rows) {
+  if (rows.empty()) throw std::invalid_argument("Cover::from_strings: empty");
+  Cover c(static_cast<unsigned>(rows.front().size()));
+  for (const std::string& row : rows) c.add(Cube::from_string(row));
+  return c;
+}
+
+Cover Cover::from_bdd(BddManager& mgr, const Bdd& lower, const Bdd& upper) {
+  Cover c(mgr.num_vars());
+  for (const CubeLits& lits : mgr.isop(lower, upper)) c.add(Cube::from_lits(lits));
+  return c;
+}
+
+std::size_t Cover::literal_count() const noexcept {
+  std::size_t n = 0;
+  for (const Cube& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+bool Cover::eval(std::uint64_t minterm) const noexcept {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [minterm](const Cube& c) { return c.contains_minterm(minterm); });
+}
+
+unsigned Cover::most_binate_variable() const {
+  unsigned best = num_vars_;
+  long best_score = -1;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    long pos = 0, neg = 0;
+    for (const Cube& c : cubes_) {
+      const int lit = c.literal(v);
+      if (lit == 1) ++pos;
+      if (lit == 0) ++neg;
+    }
+    if (pos == 0 || neg == 0) continue;  // unate in v
+    const long score = pos + neg;
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+Cover Cover::cofactor(unsigned v, bool val) const {
+  Cover r(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (auto cf = c.cofactor(v, val)) r.add(std::move(*cf));
+  }
+  return r;
+}
+
+Cover Cover::cofactor(const Cube& cube) const {
+  Cover r(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (!c.intersects(cube)) continue;
+    Cube cf = c;
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      if (cube.literal(v) >= 0) cf.clear_literal(v);
+    }
+    r.add(std::move(cf));
+  }
+  return r;
+}
+
+bool Cover::is_tautology() const {
+  // Fast exits.
+  for (const Cube& c : cubes_) {
+    if (c.is_universal()) return true;
+  }
+  if (cubes_.empty()) return false;
+
+  const unsigned v = most_binate_variable();
+  if (v == num_vars_) {
+    // Unate cover: tautology iff it contains the universal cube (already
+    // checked above).
+    return false;
+  }
+  return cofactor(v, false).is_tautology() && cofactor(v, true).is_tautology();
+}
+
+bool Cover::covers_cube(const Cube& c) const { return cofactor(c).is_tautology(); }
+
+Cover Cover::complement() const {
+  // Base cases.
+  for (const Cube& c : cubes_) {
+    if (c.is_universal()) return Cover(num_vars_);  // complement of 1 is 0
+  }
+  if (cubes_.empty()) return universe(num_vars_);
+  if (cubes_.size() == 1) {
+    // DeMorgan on one cube: one cube per complemented literal.
+    Cover r(num_vars_);
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      const int lit = cubes_[0].literal(v);
+      if (lit < 0) continue;
+      Cube c(num_vars_);
+      c.set_literal(v, lit == 0);
+      r.add(std::move(c));
+    }
+    return r;
+  }
+
+  unsigned v = most_binate_variable();
+  if (v == num_vars_) {
+    // Unate cover: split on any variable that appears at all.
+    for (unsigned u = 0; u < num_vars_; ++u) {
+      const bool used = std::any_of(cubes_.begin(), cubes_.end(),
+                                    [u](const Cube& c) { return c.literal(u) >= 0; });
+      if (used) {
+        v = u;
+        break;
+      }
+    }
+    if (v == num_vars_) return Cover(num_vars_);  // all-universal handled above
+  }
+
+  Cover lo = cofactor(v, false).complement();
+  Cover hi = cofactor(v, true).complement();
+  Cover r(num_vars_);
+  for (Cube c : lo.cubes()) {
+    c.set_literal(v, false);
+    r.add(std::move(c));
+  }
+  for (Cube c : hi.cubes()) {
+    c.set_literal(v, true);
+    r.add(std::move(c));
+  }
+  r.remove_single_cube_containment();
+  return r;
+}
+
+Cover Cover::sharp_cube(const Cube& cube) const {
+  Cover r(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (!c.intersects(cube)) {
+      r.add(c);
+      continue;
+    }
+    // c & ~cube: peel one conflicting-free literal of `cube` at a time.
+    Cube rest = c;
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      const int lit = cube.literal(v);
+      if (lit < 0) continue;
+      if (rest.literal(v) >= 0) continue;  // already fixed consistently
+      Cube piece = rest;
+      piece.set_literal(v, lit == 0);  // opposite polarity escapes `cube`
+      r.add(std::move(piece));
+      rest.set_literal(v, lit == 1);
+    }
+    // The final `rest` lies fully inside `cube` and is dropped.
+  }
+  r.remove_single_cube_containment();
+  return r;
+}
+
+void Cover::remove_single_cube_containment() {
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].contains(cubes_[i])) {
+        // Break ties between identical cubes by index.
+        contained = !(cubes_[i].contains(cubes_[j]) && i < j);
+      }
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_.swap(kept);
+}
+
+Bdd Cover::to_bdd(BddManager& mgr) const {
+  Bdd sum = mgr.bdd_false();
+  for (const Cube& c : cubes_) sum |= c.to_bdd(mgr);
+  return sum;
+}
+
+}  // namespace bidec

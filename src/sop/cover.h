@@ -1,0 +1,65 @@
+// Covers (cube lists) with the classical unate-recursive operations:
+// tautology checking, complementation, sharp, cube-cover containment.
+// These are the primitives espresso-lite and the factoring pass build on.
+#ifndef BIDEC_SOP_COVER_H
+#define BIDEC_SOP_COVER_H
+
+#include <span>
+
+#include "sop/cube.h"
+
+namespace bidec {
+
+class Cover {
+ public:
+  explicit Cover(unsigned num_vars) : num_vars_(num_vars) {}
+  Cover(unsigned num_vars, std::vector<Cube> cubes)
+      : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+  /// Cover with a single universal cube (constant 1).
+  [[nodiscard]] static Cover universe(unsigned num_vars);
+  /// Parse one cube string per line element.
+  [[nodiscard]] static Cover from_strings(std::span<const std::string> rows);
+  /// Extract a cover from a BDD interval via ISOP.
+  [[nodiscard]] static Cover from_bdd(BddManager& mgr, const Bdd& lower, const Bdd& upper);
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cubes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cubes_.empty(); }
+  [[nodiscard]] const Cube& cube(std::size_t i) const { return cubes_[i]; }
+  [[nodiscard]] const std::vector<Cube>& cubes() const noexcept { return cubes_; }
+  [[nodiscard]] std::vector<Cube>& cubes() noexcept { return cubes_; }
+  void add(Cube c) { cubes_.push_back(std::move(c)); }
+
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+  [[nodiscard]] bool eval(std::uint64_t minterm) const noexcept;
+
+  /// Unate-recursive tautology check.
+  [[nodiscard]] bool is_tautology() const;
+  /// True iff this cover evaluates to 1 on every minterm of `c`.
+  [[nodiscard]] bool covers_cube(const Cube& c) const;
+  /// Cofactor w.r.t. a cube (Shannon cofactor of the cover).
+  [[nodiscard]] Cover cofactor(const Cube& c) const;
+  [[nodiscard]] Cover cofactor(unsigned v, bool val) const;
+  /// Recursive complement.
+  [[nodiscard]] Cover complement() const;
+  /// this AND NOT(cube) as a cover (disjoint sharp).
+  [[nodiscard]] Cover sharp_cube(const Cube& c) const;
+
+  /// Remove cubes contained in another cube of the cover.
+  void remove_single_cube_containment();
+
+  [[nodiscard]] Bdd to_bdd(BddManager& mgr) const;
+
+  /// The variable appearing in the most cubes with both polarities (most
+  /// binate); returns num_vars() if the cover is unate.
+  [[nodiscard]] unsigned most_binate_variable() const;
+
+ private:
+  unsigned num_vars_;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_SOP_COVER_H

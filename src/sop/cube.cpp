@@ -1,0 +1,154 @@
+#include "sop/cube.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+std::size_t word_count(unsigned num_vars) { return (num_vars + 63) / 64; }
+}  // namespace
+
+Cube::Cube(unsigned num_vars)
+    : num_vars_(num_vars), pos_(word_count(num_vars), 0), neg_(word_count(num_vars), 0) {}
+
+Cube Cube::from_string(const std::string& s) {
+  Cube c(static_cast<unsigned>(s.size()));
+  for (unsigned v = 0; v < s.size(); ++v) {
+    if (s[v] == '1') {
+      c.set_literal(v, true);
+    } else if (s[v] == '0') {
+      c.set_literal(v, false);
+    } else if (s[v] != '-') {
+      throw std::invalid_argument("Cube::from_string: bad character");
+    }
+  }
+  return c;
+}
+
+Cube Cube::from_lits(const CubeLits& lits) {
+  Cube c(static_cast<unsigned>(lits.size()));
+  for (unsigned v = 0; v < lits.size(); ++v) {
+    if (lits[v] >= 0) c.set_literal(v, lits[v] == 1);
+  }
+  return c;
+}
+
+int Cube::literal(unsigned v) const noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  if (pos_[v >> 6] & bit) return 1;
+  if (neg_[v >> 6] & bit) return 0;
+  return -1;
+}
+
+void Cube::set_literal(unsigned v, bool positive) noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  if (positive) {
+    pos_[v >> 6] |= bit;
+    neg_[v >> 6] &= ~bit;
+  } else {
+    neg_[v >> 6] |= bit;
+    pos_[v >> 6] &= ~bit;
+  }
+}
+
+void Cube::clear_literal(unsigned v) noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  pos_[v >> 6] &= ~bit;
+  neg_[v >> 6] &= ~bit;
+}
+
+unsigned Cube::num_literals() const noexcept {
+  unsigned n = 0;
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    n += static_cast<unsigned>(__builtin_popcountll(pos_[w] | neg_[w]));
+  }
+  return n;
+}
+
+bool Cube::contains(const Cube& other) const noexcept {
+  // Every literal of this cube must appear (same polarity) in `other`.
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    if ((pos_[w] & ~other.pos_[w]) != 0) return false;
+    if ((neg_[w] & ~other.neg_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool Cube::intersects(const Cube& other) const noexcept {
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    if ((pos_[w] & other.neg_[w]) != 0) return false;
+    if ((neg_[w] & other.pos_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::optional<Cube> Cube::intersect(const Cube& other) const {
+  if (!intersects(other)) return std::nullopt;
+  Cube r(num_vars_);
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    r.pos_[w] = pos_[w] | other.pos_[w];
+    r.neg_[w] = neg_[w] | other.neg_[w];
+  }
+  return r;
+}
+
+unsigned Cube::distance(const Cube& other) const noexcept {
+  unsigned d = 0;
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    d += static_cast<unsigned>(
+        __builtin_popcountll((pos_[w] & other.neg_[w]) | (neg_[w] & other.pos_[w])));
+  }
+  return d;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  Cube r(num_vars_);
+  for (std::size_t w = 0; w < pos_.size(); ++w) {
+    r.pos_[w] = pos_[w] & other.pos_[w];
+    r.neg_[w] = neg_[w] & other.neg_[w];
+  }
+  return r;
+}
+
+bool Cube::contains_minterm(std::uint64_t m) const noexcept {
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    const int lit = literal(v);
+    if (lit < 0) continue;
+    if (static_cast<int>((m >> v) & 1) != lit) return false;
+  }
+  return true;
+}
+
+std::optional<Cube> Cube::cofactor(unsigned v, bool val) const {
+  const int lit = literal(v);
+  if (lit >= 0 && lit != static_cast<int>(val)) return std::nullopt;
+  Cube r = *this;
+  r.clear_literal(v);
+  return r;
+}
+
+bool Cube::operator==(const Cube& other) const noexcept {
+  return num_vars_ == other.num_vars_ && pos_ == other.pos_ && neg_ == other.neg_;
+}
+
+std::string Cube::to_string() const {
+  std::string s(num_vars_, '-');
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    const int lit = literal(v);
+    if (lit == 1) s[v] = '1';
+    if (lit == 0) s[v] = '0';
+  }
+  return s;
+}
+
+CubeLits Cube::to_lits() const {
+  CubeLits lits(num_vars_, -1);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    lits[v] = static_cast<signed char>(literal(v));
+  }
+  return lits;
+}
+
+Bdd Cube::to_bdd(BddManager& mgr) const { return mgr.make_cube(to_lits()); }
+
+}  // namespace bidec

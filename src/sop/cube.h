@@ -1,0 +1,67 @@
+// Cubes (products of literals) over n variables, stored as positive/negative
+// literal bitmasks. This is the data type of the two-level engine used by
+// the SIS-like baseline (espresso-lite minimization and factoring).
+#ifndef BIDEC_SOP_CUBE_H
+#define BIDEC_SOP_CUBE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"  // for CubeLits interop
+
+namespace bidec {
+
+class Cube {
+ public:
+  /// The universal cube (no literals) over `num_vars` variables.
+  explicit Cube(unsigned num_vars);
+
+  /// Parse from espresso notation: one char per variable, '0'/'1'/'-'.
+  [[nodiscard]] static Cube from_string(const std::string& s);
+  [[nodiscard]] static Cube from_lits(const CubeLits& lits);
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+
+  /// Literal of variable v: -1 absent, 0 negative, 1 positive.
+  [[nodiscard]] int literal(unsigned v) const noexcept;
+  void set_literal(unsigned v, bool positive) noexcept;
+  void clear_literal(unsigned v) noexcept;
+
+  [[nodiscard]] unsigned num_literals() const noexcept;
+  [[nodiscard]] bool is_universal() const noexcept { return num_literals() == 0; }
+
+  /// True iff this cube's set of minterms contains the other's.
+  [[nodiscard]] bool contains(const Cube& other) const noexcept;
+  /// True iff the two cubes share at least one minterm (no conflicting var).
+  [[nodiscard]] bool intersects(const Cube& other) const noexcept;
+  /// Product of two cubes; nullopt when they conflict in some variable.
+  [[nodiscard]] std::optional<Cube> intersect(const Cube& other) const;
+  /// Number of variables where the cubes have opposite literals.
+  [[nodiscard]] unsigned distance(const Cube& other) const noexcept;
+  /// Smallest cube containing both (literal-wise union of minterm sets).
+  [[nodiscard]] Cube supercube(const Cube& other) const;
+
+  /// True iff the cube contains the minterm whose bit v is (m >> v) & 1.
+  [[nodiscard]] bool contains_minterm(std::uint64_t m) const noexcept;
+
+  /// Cofactor w.r.t. v = val: nullopt if the cube requires v != val,
+  /// otherwise the cube with v's literal dropped.
+  [[nodiscard]] std::optional<Cube> cofactor(unsigned v, bool val) const;
+
+  [[nodiscard]] bool operator==(const Cube& other) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] CubeLits to_lits() const;
+  [[nodiscard]] Bdd to_bdd(BddManager& mgr) const;
+
+ private:
+  unsigned num_vars_;
+  std::vector<std::uint64_t> pos_;
+  std::vector<std::uint64_t> neg_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_SOP_CUBE_H

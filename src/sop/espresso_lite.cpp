@@ -1,0 +1,122 @@
+#include "sop/espresso_lite.h"
+
+#include <algorithm>
+
+namespace bidec {
+
+namespace {
+
+/// True iff `c` intersects no cube of `off` (i.e. c is an implicant of
+/// on+dc).
+bool disjoint_from(const Cube& c, const Cover& off) {
+  return std::none_of(off.cubes().begin(), off.cubes().end(),
+                      [&c](const Cube& o) { return c.intersects(o); });
+}
+
+}  // namespace
+
+Cover espresso_expand(const Cover& on, const Cover& off) {
+  Cover result(on.num_vars());
+  // Expand large cubes first so they absorb the small ones.
+  std::vector<Cube> order = on.cubes();
+  std::sort(order.begin(), order.end(), [](const Cube& a, const Cube& b) {
+    return a.num_literals() < b.num_literals();
+  });
+  for (Cube c : order) {
+    // Already absorbed by an expanded cube?
+    const bool absorbed =
+        std::any_of(result.cubes().begin(), result.cubes().end(),
+                    [&c](const Cube& r) { return r.contains(c); });
+    if (absorbed) continue;
+    // Raise literals one at a time while the cube stays off-set-free.
+    for (unsigned v = 0; v < on.num_vars(); ++v) {
+      if (c.literal(v) < 0) continue;
+      Cube raised = c;
+      raised.clear_literal(v);
+      if (disjoint_from(raised, off)) c = raised;
+    }
+    result.add(std::move(c));
+  }
+  result.remove_single_cube_containment();
+  return result;
+}
+
+Cover espresso_irredundant(const Cover& on, const Cover& dc) {
+  // Greedy: drop any cube covered by the rest of the cover plus don't-cares.
+  std::vector<Cube> kept = on.cubes();
+  // Try to drop large-literal (small) cubes first.
+  std::sort(kept.begin(), kept.end(), [](const Cube& a, const Cube& b) {
+    return a.num_literals() > b.num_literals();
+  });
+  for (std::size_t i = 0; i < kept.size();) {
+    Cover rest(on.num_vars());
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.add(kept[j]);
+    }
+    for (const Cube& d : dc.cubes()) rest.add(d);
+    if (rest.covers_cube(kept[i])) {
+      kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return Cover(on.num_vars(), std::move(kept));
+}
+
+Cover espresso_reduce(const Cover& on, const Cover& dc) {
+  // Shrink each cube to the supercube of its essential part (the minterms
+  // no other cube and no don't-care covers), enabling the next expand to
+  // move in a different direction.
+  std::vector<Cube> cubes = on.cubes();
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    Cover others(on.num_vars());
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (j != i) others.add(cubes[j]);
+    }
+    for (const Cube& d : dc.cubes()) others.add(d);
+    // Essential part: cube_i minus everything else, as a cover.
+    Cover essential(on.num_vars());
+    essential.add(cubes[i]);
+    for (const Cube& o : others.cubes()) {
+      if (const auto clipped = o.intersect(cubes[i])) {
+        essential = essential.sharp_cube(*clipped);
+      }
+      if (essential.empty()) break;
+    }
+    if (essential.empty()) continue;  // fully redundant; irredundant removes it
+    Cube shrunk = essential.cube(0);
+    for (std::size_t k = 1; k < essential.size(); ++k) {
+      shrunk = shrunk.supercube(essential.cube(k));
+    }
+    cubes[i] = shrunk;
+  }
+  return Cover(on.num_vars(), std::move(cubes));
+}
+
+EspressoResult espresso_lite(const Cover& on, const Cover& dc) {
+  Cover off_builder(on.num_vars());
+  for (const Cube& c : on.cubes()) off_builder.add(c);
+  for (const Cube& d : dc.cubes()) off_builder.add(d);
+  const Cover off = off_builder.complement();
+
+  Cover current = on;
+  current.remove_single_cube_containment();
+  std::size_t best_cost = current.size() * 1000 + current.literal_count();
+  EspressoResult result{current, 0};
+  for (std::size_t iter = 0; iter < 16; ++iter) {
+    current = espresso_expand(current, off);
+    current = espresso_irredundant(current, dc);
+    const std::size_t cost = current.size() * 1000 + current.literal_count();
+    result.iterations = iter + 1;
+    if (cost < best_cost) {
+      best_cost = cost;
+      result.cover = current;
+    } else {
+      break;
+    }
+    current = espresso_reduce(current, dc);
+  }
+  return result;
+}
+
+}  // namespace bidec

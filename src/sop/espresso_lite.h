@@ -1,0 +1,29 @@
+// A compact reimplementation of the espresso EXPAND / IRREDUNDANT / REDUCE
+// loop. This is the "simplify" step of the SIS-like baseline flow the paper
+// compares against (SIS ran "resub -a; simplify -m" before mapping).
+// Heuristic, not exact: quality is espresso-like, runtime is polynomial in
+// cover size per iteration.
+#ifndef BIDEC_SOP_ESPRESSO_LITE_H
+#define BIDEC_SOP_ESPRESSO_LITE_H
+
+#include "sop/cover.h"
+
+namespace bidec {
+
+struct EspressoResult {
+  Cover cover;
+  std::size_t iterations = 0;
+};
+
+/// Minimize `on` against the don't-care cover `dc`. The result covers every
+/// minterm of `on`, no minterm of the implicit off-set, and is irredundant.
+[[nodiscard]] EspressoResult espresso_lite(const Cover& on, const Cover& dc);
+
+/// Single passes, exposed for unit tests.
+[[nodiscard]] Cover espresso_expand(const Cover& on, const Cover& off);
+[[nodiscard]] Cover espresso_irredundant(const Cover& on, const Cover& dc);
+[[nodiscard]] Cover espresso_reduce(const Cover& on, const Cover& dc);
+
+}  // namespace bidec
+
+#endif  // BIDEC_SOP_ESPRESSO_LITE_H

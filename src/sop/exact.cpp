@@ -1,0 +1,146 @@
+#include "sop/exact.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+/// Quine-McCluskey cube: `value` holds the fixed bits, `mask` marks
+/// don't-care positions (mask bit set = variable absent from the cube).
+struct QmCube {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+  auto operator<=>(const QmCube&) const = default;
+};
+
+Cube to_cube(const QmCube& q, unsigned num_vars) {
+  Cube c(num_vars);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if ((q.mask >> v) & 1) continue;
+    c.set_literal(v, (q.value >> v) & 1);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const TruthTable& on, const TruthTable& dc) {
+  const unsigned nv = on.num_vars();
+  if (nv > 16) throw std::invalid_argument("prime_implicants: too many variables");
+  const TruthTable care = on | dc;
+
+  std::set<QmCube> current;
+  for (std::uint64_t m = 0; m < care.num_minterms(); ++m) {
+    if (care.get(m)) current.insert(QmCube{static_cast<std::uint32_t>(m), 0});
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<QmCube> next;
+    std::set<QmCube> merged;
+    // Group by mask: only same-shape cubes can merge.
+    for (auto it = current.begin(); it != current.end(); ++it) {
+      for (auto jt = std::next(it); jt != current.end(); ++jt) {
+        if (it->mask != jt->mask) continue;
+        const std::uint32_t diff = it->value ^ jt->value;
+        if (__builtin_popcount(diff) != 1) continue;
+        next.insert(QmCube{it->value & ~diff, it->mask | diff});
+        merged.insert(*it);
+        merged.insert(*jt);
+      }
+    }
+    for (const QmCube& q : current) {
+      if (merged.count(q) == 0) primes.push_back(to_cube(q, nv));
+    }
+    current.swap(next);
+  }
+  return primes;
+}
+
+namespace {
+
+/// Branch-and-bound minimum unate covering: rows = on-set minterms, columns
+/// = primes. Returns indices of the chosen primes.
+class MinCover {
+ public:
+  MinCover(std::vector<std::vector<std::size_t>> rows, std::size_t num_columns)
+      : rows_(std::move(rows)), num_columns_(num_columns) {}
+
+  std::vector<std::size_t> solve() {
+    best_.assign(num_columns_, 0);  // sentinel: "all columns" upper bound
+    std::iota(best_.begin(), best_.end(), std::size_t{0});
+    std::vector<std::size_t> chosen;
+    std::vector<bool> covered(rows_.size(), false);
+    branch(chosen, covered);
+    return best_;
+  }
+
+ private:
+  void branch(std::vector<std::size_t>& chosen, std::vector<bool>& covered) {
+    if (chosen.size() + 1 > best_.size()) return;  // bound (+1: need >= 1 more)
+    // Find the uncovered row with the fewest choices (fail-first).
+    std::size_t pick = rows_.size();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (covered[r]) continue;
+      if (pick == rows_.size() || rows_[r].size() < rows_[pick].size()) pick = r;
+    }
+    if (pick == rows_.size()) {
+      if (chosen.size() < best_.size()) best_ = chosen;
+      return;
+    }
+    if (chosen.size() + 1 >= best_.size()) return;  // cannot improve
+    for (const std::size_t col : rows_[pick]) {
+      std::vector<bool> saved = covered;
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (!covered[r] &&
+            std::find(rows_[r].begin(), rows_[r].end(), col) != rows_[r].end()) {
+          covered[r] = true;
+        }
+      }
+      chosen.push_back(col);
+      branch(chosen, covered);
+      chosen.pop_back();
+      covered = std::move(saved);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> rows_;
+  std::size_t num_columns_;
+  std::vector<std::size_t> best_;
+};
+
+}  // namespace
+
+Cover exact_minimum_sop(const TruthTable& on, const TruthTable& dc) {
+  const unsigned nv = on.num_vars();
+  const std::vector<Cube> primes = prime_implicants(on, dc);
+  if (on.is_zero()) return Cover(nv);
+
+  // Covering table: one row per on-set minterm.
+  std::vector<std::vector<std::size_t>> rows;
+  for (std::uint64_t m = 0; m < on.num_minterms(); ++m) {
+    if (!on.get(m)) continue;
+    std::vector<std::size_t> cols;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (primes[p].contains_minterm(m)) cols.push_back(p);
+    }
+    rows.push_back(std::move(cols));
+  }
+
+  MinCover solver(std::move(rows), primes.size());
+  const std::vector<std::size_t> chosen = solver.solve();
+  Cover result(nv);
+  for (const std::size_t p : chosen) result.add(primes[p]);
+  return result;
+}
+
+std::size_t exact_minimum_cube_count(const TruthTable& on, const TruthTable& dc) {
+  return exact_minimum_sop(on, dc).size();
+}
+
+}  // namespace bidec

@@ -1,0 +1,26 @@
+// Exact two-level minimization (Quine-McCluskey prime generation plus
+// branch-and-bound covering). Exponential; intended for functions of up to
+// ~10 variables, where it serves as the golden quality reference for
+// espresso-lite in tests and benches.
+#ifndef BIDEC_SOP_EXACT_H
+#define BIDEC_SOP_EXACT_H
+
+#include "sop/cover.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+
+/// All prime implicants of the interval [on, on | dc].
+[[nodiscard]] std::vector<Cube> prime_implicants(const TruthTable& on, const TruthTable& dc);
+
+/// A minimum-cube-count cover of `on` using only care minterms (don't-cares
+/// may be covered for free). Ties are broken toward fewer literals.
+[[nodiscard]] Cover exact_minimum_sop(const TruthTable& on, const TruthTable& dc);
+
+/// Just the minimum cube count (slightly cheaper than materializing).
+[[nodiscard]] std::size_t exact_minimum_cube_count(const TruthTable& on,
+                                                   const TruthTable& dc);
+
+}  // namespace bidec
+
+#endif  // BIDEC_SOP_EXACT_H

@@ -1,0 +1,220 @@
+#include "tt/truth_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+namespace {
+constexpr std::uint64_t kVarMask[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+std::size_t word_count(unsigned num_vars) {
+  return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+}  // namespace
+
+TruthTable::TruthTable(unsigned num_vars) : num_vars_(num_vars) {
+  if (num_vars > 26) throw std::invalid_argument("TruthTable: too many variables");
+  words_.assign(word_count(num_vars), 0);
+}
+
+void TruthTable::mask_tail() noexcept {
+  if (num_vars_ < 6) words_[0] &= (std::uint64_t{1} << (1u << num_vars_)) - 1;
+}
+
+TruthTable TruthTable::zeros(unsigned num_vars) { return TruthTable(num_vars); }
+
+TruthTable TruthTable::ones(unsigned num_vars) {
+  TruthTable t(num_vars);
+  std::fill(t.words_.begin(), t.words_.end(), ~std::uint64_t{0});
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::projection(unsigned num_vars, unsigned v) {
+  TruthTable t(num_vars);
+  if (v >= num_vars) throw std::out_of_range("TruthTable::projection");
+  if (v < 6) {
+    std::fill(t.words_.begin(), t.words_.end(), kVarMask[v]);
+  } else {
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w) {
+      if ((w / block) & 1) t.words_[w] = ~std::uint64_t{0};
+    }
+  }
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::from_function(unsigned num_vars,
+                                     const std::function<bool(std::uint64_t)>& fn) {
+  TruthTable t(num_vars);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (fn(m)) t.set(m, true);
+  }
+  return t;
+}
+
+TruthTable TruthTable::random(unsigned num_vars, std::mt19937_64& rng, double density) {
+  TruthTable t(num_vars);
+  std::bernoulli_distribution bit(density);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (bit(rng)) t.set(m, true);
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_binary_string(const std::string& bits) {
+  unsigned nv = 0;
+  while ((std::uint64_t{1} << nv) < bits.size()) ++nv;
+  if ((std::uint64_t{1} << nv) != bits.size()) {
+    throw std::invalid_argument("from_binary_string: length must be a power of two");
+  }
+  TruthTable t(nv);
+  for (std::uint64_t m = 0; m < bits.size(); ++m) {
+    if (bits[m] == '1') {
+      t.set(m, true);
+    } else if (bits[m] != '0') {
+      throw std::invalid_argument("from_binary_string: invalid character");
+    }
+  }
+  return t;
+}
+
+bool TruthTable::get(std::uint64_t minterm) const noexcept {
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+}
+
+void TruthTable::set(std::uint64_t minterm, bool value) noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
+  if (value) {
+    words_[minterm >> 6] |= bit;
+  } else {
+    words_[minterm >> 6] &= ~bit;
+  }
+}
+
+bool TruthTable::is_zero() const noexcept {
+  return std::all_of(words_.begin(), words_.end(), [](std::uint64_t w) { return w == 0; });
+}
+
+bool TruthTable::is_ones() const noexcept { return *this == ones(num_vars_); }
+
+std::uint64_t TruthTable::count_ones() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t w : words_) n += static_cast<std::uint64_t>(__builtin_popcountll(w));
+  return n;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& g) const {
+  assert(num_vars_ == g.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & g.words_[i];
+  return r;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& g) const {
+  assert(num_vars_ == g.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] | g.words_[i];
+  return r;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& g) const {
+  assert(num_vars_ == g.num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] ^ g.words_[i];
+  return r;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+  r.mask_tail();
+  return r;
+}
+
+TruthTable TruthTable::operator-(const TruthTable& g) const { return *this & ~g; }
+
+bool TruthTable::operator==(const TruthTable& g) const {
+  return num_vars_ == g.num_vars_ && words_ == g.words_;
+}
+
+TruthTable TruthTable::cofactor(unsigned v, bool val) const {
+  TruthTable r(num_vars_);
+  for (std::uint64_t m = 0; m < num_minterms(); ++m) {
+    std::uint64_t src = m;
+    if (val) {
+      src |= (std::uint64_t{1} << v);
+    } else {
+      src &= ~(std::uint64_t{1} << v);
+    }
+    if (get(src)) r.set(m, true);
+  }
+  return r;
+}
+
+TruthTable TruthTable::exists(unsigned v) const { return cofactor(v, false) | cofactor(v, true); }
+TruthTable TruthTable::forall(unsigned v) const { return cofactor(v, false) & cofactor(v, true); }
+TruthTable TruthTable::derivative(unsigned v) const {
+  return cofactor(v, false) ^ cofactor(v, true);
+}
+
+TruthTable TruthTable::exists(std::span<const unsigned> vars) const {
+  TruthTable r = *this;
+  for (const unsigned v : vars) r = r.exists(v);
+  return r;
+}
+
+TruthTable TruthTable::forall(std::span<const unsigned> vars) const {
+  TruthTable r = *this;
+  for (const unsigned v : vars) r = r.forall(v);
+  return r;
+}
+
+bool TruthTable::depends_on(unsigned v) const {
+  return !(cofactor(v, false) ^ cofactor(v, true)).is_zero();
+}
+
+Bdd TruthTable::to_bdd(BddManager& mgr) const {
+  if (mgr.num_vars() < num_vars_) {
+    throw std::invalid_argument("to_bdd: manager has too few variables");
+  }
+  // Build bottom-up by Shannon expansion on the highest variable; minterm
+  // blocks halve at each level.
+  std::function<Bdd(unsigned, std::uint64_t)> build =
+      [&](unsigned var_count, std::uint64_t offset) -> Bdd {
+    if (var_count == 0) return get(offset) ? mgr.bdd_true() : mgr.bdd_false();
+    const unsigned v = var_count - 1;
+    Bdd lo = build(v, offset);
+    Bdd hi = build(v, offset | (std::uint64_t{1} << v));
+    return mgr.ite(mgr.var(v), hi, lo);
+  };
+  return build(num_vars_, 0);
+}
+
+TruthTable TruthTable::from_bdd(BddManager& mgr, const Bdd& f, unsigned num_vars) {
+  TruthTable t(num_vars);
+  std::vector<bool> assign(mgr.num_vars(), false);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    for (unsigned v = 0; v < num_vars; ++v) assign[v] = (m >> v) & 1;
+    if (mgr.eval(f, assign)) t.set(m, true);
+  }
+  return t;
+}
+
+std::string TruthTable::to_binary_string() const {
+  std::string s(num_minterms(), '0');
+  for (std::uint64_t m = 0; m < num_minterms(); ++m) {
+    if (get(m)) s[m] = '1';
+  }
+  return s;
+}
+
+}  // namespace bidec

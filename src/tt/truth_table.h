@@ -1,0 +1,90 @@
+// Dense truth tables over up to 26 variables, used as the brute-force golden
+// model in tests (BDD operations, decomposability checks, derived components
+// are all validated against this representation) and by the benchmark
+// function generators.
+#ifndef BIDEC_TT_TRUTH_TABLE_H
+#define BIDEC_TT_TRUTH_TABLE_H
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bidec {
+
+class Bdd;
+class BddManager;
+
+/// A completely specified Boolean function of `num_vars()` variables stored
+/// as a bit vector of 2^n entries (minterm i = value under the assignment
+/// whose bit k is (i >> k) & 1).
+class TruthTable {
+ public:
+  /// Constant-zero table of `num_vars` variables.
+  explicit TruthTable(unsigned num_vars);
+
+  [[nodiscard]] static TruthTable zeros(unsigned num_vars);
+  [[nodiscard]] static TruthTable ones(unsigned num_vars);
+  /// Projection of variable `v`.
+  [[nodiscard]] static TruthTable projection(unsigned num_vars, unsigned v);
+  /// Table built by evaluating `fn` on every minterm (assignment bits).
+  [[nodiscard]] static TruthTable from_function(
+      unsigned num_vars, const std::function<bool(std::uint64_t)>& fn);
+  /// Random table; each minterm is 1 with probability `density`.
+  [[nodiscard]] static TruthTable random(unsigned num_vars, std::mt19937_64& rng,
+                                         double density = 0.5);
+  /// Parse a string of '0'/'1' characters, minterm 0 first.
+  [[nodiscard]] static TruthTable from_binary_string(const std::string& bits);
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_minterms() const noexcept {
+    return std::uint64_t{1} << num_vars_;
+  }
+
+  [[nodiscard]] bool get(std::uint64_t minterm) const noexcept;
+  void set(std::uint64_t minterm, bool value) noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool is_ones() const noexcept;
+  [[nodiscard]] std::uint64_t count_ones() const noexcept;
+
+  [[nodiscard]] TruthTable operator&(const TruthTable& g) const;
+  [[nodiscard]] TruthTable operator|(const TruthTable& g) const;
+  [[nodiscard]] TruthTable operator^(const TruthTable& g) const;
+  [[nodiscard]] TruthTable operator~() const;
+  /// Boolean difference: `f & ~g`.
+  [[nodiscard]] TruthTable operator-(const TruthTable& g) const;
+  [[nodiscard]] bool operator==(const TruthTable& g) const;
+
+  /// Cofactor w.r.t. variable `v` (result still has num_vars variables and
+  /// does not depend on v).
+  [[nodiscard]] TruthTable cofactor(unsigned v, bool val) const;
+  [[nodiscard]] TruthTable exists(unsigned v) const;
+  [[nodiscard]] TruthTable forall(unsigned v) const;
+  [[nodiscard]] TruthTable exists(std::span<const unsigned> vars) const;
+  [[nodiscard]] TruthTable forall(std::span<const unsigned> vars) const;
+  /// Boolean derivative w.r.t. `v`.
+  [[nodiscard]] TruthTable derivative(unsigned v) const;
+  [[nodiscard]] bool depends_on(unsigned v) const;
+
+  /// Transfer to a BDD (the manager must have at least num_vars variables).
+  [[nodiscard]] Bdd to_bdd(BddManager& mgr) const;
+  /// Build from a BDD by evaluating all 2^n assignments.
+  [[nodiscard]] static TruthTable from_bdd(BddManager& mgr, const Bdd& f,
+                                           unsigned num_vars);
+
+  /// '0'/'1' string, minterm 0 first (inverse of from_binary_string).
+  [[nodiscard]] std::string to_binary_string() const;
+
+ private:
+  void mask_tail() noexcept;
+
+  unsigned num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_TT_TRUTH_TABLE_H

@@ -1,0 +1,63 @@
+#include "verify/verifier.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+std::vector<Bdd> netlist_to_bdds(BddManager& mgr, const Netlist& net) {
+  if (mgr.num_vars() < net.num_inputs()) {
+    throw std::invalid_argument("netlist_to_bdds: manager has too few variables");
+  }
+  std::vector<Bdd> value(net.num_nodes());
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    value[net.inputs()[i]] = mgr.var(static_cast<unsigned>(i));
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    switch (n.type) {
+      case GateType::kInput: break;
+      case GateType::kConst0: value[id] = mgr.bdd_false(); break;
+      case GateType::kConst1: value[id] = mgr.bdd_true(); break;
+      case GateType::kBuf: value[id] = value[n.fanin0]; break;
+      case GateType::kNot: value[id] = ~value[n.fanin0]; break;
+      case GateType::kAnd: value[id] = value[n.fanin0] & value[n.fanin1]; break;
+      case GateType::kOr: value[id] = value[n.fanin0] | value[n.fanin1]; break;
+      case GateType::kXor: value[id] = value[n.fanin0] ^ value[n.fanin1]; break;
+      case GateType::kNand: value[id] = ~(value[n.fanin0] & value[n.fanin1]); break;
+      case GateType::kNor: value[id] = ~(value[n.fanin0] | value[n.fanin1]); break;
+      case GateType::kXnor: value[id] = ~(value[n.fanin0] ^ value[n.fanin1]); break;
+    }
+  }
+  std::vector<Bdd> outputs;
+  outputs.reserve(net.num_outputs());
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    outputs.push_back(value[net.output_signal(o)]);
+  }
+  return outputs;
+}
+
+VerifyResult verify_against_isfs(BddManager& mgr, const Netlist& net,
+                                 std::span<const Isf> spec) {
+  if (spec.size() != net.num_outputs()) {
+    throw std::invalid_argument("verify_against_isfs: output count mismatch");
+  }
+  const std::vector<Bdd> funcs = netlist_to_bdds(mgr, net);
+  for (std::size_t o = 0; o < funcs.size(); ++o) {
+    if (!spec[o].is_compatible(funcs[o])) return VerifyResult{false, o};
+  }
+  return VerifyResult{};
+}
+
+VerifyResult verify_equivalent(BddManager& mgr, const Netlist& a, const Netlist& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    throw std::invalid_argument("verify_equivalent: interface mismatch");
+  }
+  const std::vector<Bdd> fa = netlist_to_bdds(mgr, a);
+  const std::vector<Bdd> fb = netlist_to_bdds(mgr, b);
+  for (std::size_t o = 0; o < fa.size(); ++o) {
+    if (fa[o] != fb[o]) return VerifyResult{false, o};
+  }
+  return VerifyResult{};
+}
+
+}  // namespace bidec

@@ -1,0 +1,38 @@
+// BDD-based verification, the paper's correctness check ("The correctness
+// of the resulting networks has been tested using a BDD-based verifier"):
+// collapse a netlist into one BDD per output and compare against the
+// specification interval Q <= f <= ~R, or against another netlist.
+#ifndef BIDEC_VERIFY_VERIFIER_H
+#define BIDEC_VERIFY_VERIFIER_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+/// Collapse: one BDD per primary output; netlist input i maps to BDD
+/// variable i (the manager must have enough variables).
+[[nodiscard]] std::vector<Bdd> netlist_to_bdds(BddManager& mgr, const Netlist& net);
+
+struct VerifyResult {
+  bool ok = true;
+  std::size_t first_failed_output = 0;  ///< valid when !ok
+  [[nodiscard]] explicit operator bool() const noexcept { return ok; }
+};
+
+/// Check that every output of the netlist realizes a function compatible
+/// with the corresponding ISF.
+[[nodiscard]] VerifyResult verify_against_isfs(BddManager& mgr, const Netlist& net,
+                                               std::span<const Isf> spec);
+
+/// Combinational equivalence of two netlists with identical interfaces.
+[[nodiscard]] VerifyResult verify_equivalent(BddManager& mgr, const Netlist& a,
+                                             const Netlist& b);
+
+}  // namespace bidec
+
+#endif  // BIDEC_VERIFY_VERIFIER_H

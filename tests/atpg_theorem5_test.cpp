@@ -1,0 +1,102 @@
+// Theorem 5: netlists produced by the bi-decomposition algorithm (grouping
+// per Fig. 6, derivation per Theorems 3/4) are fully testable for single
+// stuck-at faults. Checked exactly with the BDD-based ATPG on random ISFs
+// and on structured benchmark functions.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/atpg.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+class Theorem5Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem5Random, RandomIsfNetlistsAreFullyTestable) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 5 + GetParam() % 3;
+  BddManager mgr(nv);
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, 0.25);
+  const Isf isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+
+  BiDecomposer dec(mgr);
+  dec.add_output("f", isf);
+  const AtpgResult res = run_atpg(mgr, dec.netlist());
+  EXPECT_EQ(res.redundant, 0u)
+      << res.redundant << " of " << res.total_faults << " faults are redundant";
+  EXPECT_DOUBLE_EQ(res.coverage(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem5Random, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Theorem5, BenchmarkNetlistsAreFullyTestable) {
+  for (const char* name : {"9sym", "rd84", "5xp1"}) {
+    const Benchmark& bench = find_benchmark(name);
+    BddManager mgr(bench.num_inputs);
+    const std::vector<Isf> spec = bench.build(mgr);
+    BiDecomposer dec(mgr, {}, bench.input_names());
+    const auto out_names = bench.output_names();
+    for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(out_names[o], spec[o]);
+    const AtpgResult res = run_atpg(mgr, dec.netlist());
+    EXPECT_EQ(res.redundant, 0u) << name;
+  }
+}
+
+TEST(Theorem5, ExorComponentRedundancyIsRemovable) {
+  // Known boundary of Theorem 5 in this implementation: EXOR components
+  // derived with don't-cares (Fig. 4, not the Theorem 3/4 formulas the
+  // theorem's proof covers) can leave a few redundant faults. The
+  // redundancy-removal pass (the paper's future-work ATPG integration)
+  // restores full testability without changing the function.
+  const Benchmark& bench = find_benchmark("t481");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  BiDecomposer dec(mgr, {}, bench.input_names());
+  dec.add_output("f", spec[0]);
+  Netlist net = dec.netlist();
+  const std::vector<Bdd> before = netlist_to_bdds(mgr, net);
+  (void)remove_redundancies(mgr, net);
+  const std::vector<Bdd> after = netlist_to_bdds(mgr, net);
+  EXPECT_EQ(before[0], after[0]);  // functionality preserved
+  const AtpgResult res = run_atpg(mgr, net);
+  EXPECT_EQ(res.redundant, 0u);
+  EXPECT_DOUBLE_EQ(res.coverage(), 1.0);
+}
+
+TEST(Theorem5, HoldsAfterInverterAbsorption) {
+  // The NAND/NOR/XNOR mapping must not introduce redundancy either.
+  std::mt19937_64 rng(99);
+  BddManager mgr(6);
+  const TruthTable on = TruthTable::random(6, rng, 0.5);
+  const Isf isf = Isf::from_csf(on.to_bdd(mgr));
+  BiDecomposer dec(mgr);
+  dec.add_output("f", isf);
+  dec.finish();
+  const AtpgResult res = run_atpg(mgr, dec.netlist());
+  EXPECT_EQ(res.redundant, 0u);
+}
+
+TEST(Theorem5, MultiOutputSharedLogicRemainsTestable) {
+  std::mt19937_64 rng(100);
+  BddManager mgr(6);
+  std::vector<Isf> spec;
+  for (int o = 0; o < 3; ++o) {
+    const TruthTable on = TruthTable::random(6, rng, 0.5);
+    spec.push_back(Isf::from_csf(on.to_bdd(mgr)));
+  }
+  BiDecomposer dec(mgr);
+  for (std::size_t o = 0; o < spec.size(); ++o) {
+    dec.add_output("f" + std::to_string(o), spec[o]);
+  }
+  const AtpgResult res = run_atpg(mgr, dec.netlist());
+  EXPECT_EQ(res.redundant, 0u);
+}
+
+}  // namespace
+}  // namespace bidec

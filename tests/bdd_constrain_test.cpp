@@ -1,0 +1,113 @@
+// Generalized cofactors (constrain / restrict) and the restrict-based
+// don't-care cover minimization.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.h"
+#include "isf/isf.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+class ConstrainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstrainProperty, AgreesOnCareSet) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4 + GetParam() % 4;
+  BddManager mgr(nv);
+  const TruthTable f_tt = TruthTable::random(nv, rng);
+  TruthTable c_tt = TruthTable::random(nv, rng, 0.4);
+  if (c_tt.is_zero()) c_tt.set(0, true);
+  const Bdd f = f_tt.to_bdd(mgr);
+  const Bdd c = c_tt.to_bdd(mgr);
+
+  for (const Bdd& g : {mgr.constrain(f, c), mgr.restrict_to(f, c)}) {
+    // g & c == f & c: the generalized cofactor agrees with f wherever the
+    // care set holds.
+    EXPECT_EQ(g & c, f & c);
+  }
+}
+
+TEST_P(ConstrainProperty, RestrictKeepsSupportWithinF) {
+  std::mt19937_64 rng(GetParam() + 77);
+  const unsigned nv = 6;
+  BddManager mgr(nv);
+  // f over the first 3 variables only; care set over all 6.
+  const TruthTable f3 = TruthTable::random(3, rng);
+  Bdd f = mgr.bdd_false();
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    if (!f3.get(m)) continue;
+    CubeLits lits(nv, -1);
+    for (unsigned v = 0; v < 3; ++v) lits[v] = static_cast<signed char>((m >> v) & 1);
+    f |= mgr.make_cube(lits);
+  }
+  TruthTable c_tt = TruthTable::random(nv, rng, 0.5);
+  if (c_tt.is_zero()) c_tt.set(5, true);
+  const Bdd c = c_tt.to_bdd(mgr);
+
+  const Bdd r = mgr.restrict_to(f, c);
+  for (unsigned v = 3; v < nv; ++v) {
+    EXPECT_FALSE(mgr.depends_on(r, v)) << "restrict leaked variable " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Constrain, Identities) {
+  BddManager mgr(3);
+  const Bdd f = mgr.var(0) ^ mgr.var(1);
+  EXPECT_EQ(mgr.constrain(f, mgr.bdd_true()), f);
+  EXPECT_EQ(mgr.constrain(f, f), mgr.bdd_true());
+  EXPECT_EQ(mgr.constrain(mgr.bdd_true(), mgr.var(2)), mgr.bdd_true());
+  EXPECT_EQ(mgr.constrain(mgr.bdd_false(), mgr.var(2)), mgr.bdd_false());
+  EXPECT_THROW((void)mgr.constrain(f, mgr.bdd_false()), std::invalid_argument);
+  EXPECT_THROW((void)mgr.restrict_to(f, mgr.bdd_false()), std::invalid_argument);
+}
+
+TEST(Constrain, CubeCareSetIsCofactor) {
+  // constrain(f, literal-cube) equals the ordinary cofactor.
+  std::mt19937_64 rng(5);
+  BddManager mgr(4);
+  const Bdd f = TruthTable::random(4, rng).to_bdd(mgr);
+  const Bdd cube = mgr.var(1) & ~mgr.var(3);
+  const Bdd expected = mgr.cofactor(mgr.cofactor(f, 1, true), 3, false);
+  EXPECT_EQ(mgr.constrain(f, cube), expected);
+}
+
+TEST(Constrain, TendsToShrink) {
+  // On a dense care set the restrict result should not be (much) larger
+  // than f; on structured examples it is strictly smaller.
+  BddManager mgr(6);
+  Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3)) |
+          (mgr.var(4) & mgr.var(5));
+  const Bdd care = mgr.var(0) & mgr.var(1);  // f == 1 on the whole care set
+  const Bdd r = mgr.restrict_to(f, care);
+  EXPECT_EQ(r, mgr.bdd_true());
+}
+
+TEST(MinimizedCover, CompatibleAndNoLarger) {
+  std::mt19937_64 rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    BddManager mgr(7);
+    const TruthTable on = TruthTable::random(7, rng, 0.4);
+    const TruthTable dc = TruthTable::random(7, rng, 0.4);
+    const Isf isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    const Bdd cover = isf.minimized_cover();
+    EXPECT_TRUE(isf.is_compatible(cover)) << trial;
+    // The restrict cover is meant to shrink the diagram; it is not a hard
+    // guarantee, so only assert it never blows up.
+    EXPECT_LE(cover.dag_size(), 2 * isf.q().dag_size() + 2) << trial;
+  }
+}
+
+TEST(MinimizedCover, CsfPassthrough) {
+  BddManager mgr(3);
+  const Bdd f = mgr.var(0) | mgr.var(1);
+  const Isf isf = Isf::from_csf(f);
+  EXPECT_EQ(isf.minimized_cover(), f);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,142 @@
+// Model queries and covers: sat_count, cube/minterm picking, ISOP.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+TEST(BddSatCount, MatchesTruthTableCount) {
+  std::mt19937_64 rng(11);
+  for (unsigned nv = 2; nv <= 8; ++nv) {
+    BddManager mgr(nv);
+    const TruthTable t = TruthTable::random(nv, rng);
+    const Bdd f = t.to_bdd(mgr);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f), static_cast<double>(t.count_ones())) << nv;
+  }
+}
+
+TEST(BddSatCount, Constants) {
+  BddManager mgr(5);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_false()), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_true()), 32.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(3)), 16.0);
+}
+
+TEST(BddPickCube, CubeIsContainedInFunction) {
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddManager mgr(6);
+    TruthTable t = TruthTable::random(6, rng, 0.3);
+    if (t.is_zero()) t.set(5, true);
+    const Bdd f = t.to_bdd(mgr);
+    const Bdd cube = mgr.pick_one_cube(f);
+    EXPECT_FALSE(cube.is_false());
+    EXPECT_TRUE(cube.implies(f));
+  }
+}
+
+TEST(BddPickCube, ThrowsOnEmptyFunction) {
+  BddManager mgr(3);
+  EXPECT_THROW((void)mgr.pick_one_cube(mgr.bdd_false()), std::invalid_argument);
+}
+
+TEST(BddPickCube, TautologyGivesUniversalCube) {
+  BddManager mgr(3);
+  const CubeLits lits = mgr.pick_one_cube_lits(mgr.bdd_true());
+  for (const signed char l : lits) EXPECT_EQ(l, -1);
+}
+
+TEST(BddPickMinterm, MintermSatisfiesFunction) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddManager mgr(7);
+    TruthTable t = TruthTable::random(7, rng, 0.2);
+    if (t.is_zero()) t.set(17, true);
+    const Bdd f = t.to_bdd(mgr);
+    const std::vector<bool> m = mgr.pick_one_minterm(f);
+    EXPECT_TRUE(mgr.eval(f, m));
+  }
+}
+
+TEST(BddPickMinterm, DeterministicChoice) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(1) | mgr.var(3);
+  // Prefers the 0-branch: x1=0 then x3=1 is the lexicographically first path.
+  const std::vector<bool> m = mgr.pick_one_minterm(f);
+  EXPECT_FALSE(m[1]);
+  EXPECT_TRUE(m[3]);
+}
+
+class IsopProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsopProperty, CoverLiesInInterval) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 3 + static_cast<unsigned>(GetParam() % 5);
+  BddManager mgr(nv);
+  const TruthTable on = TruthTable::random(nv, rng, 0.35);
+  const TruthTable dc = TruthTable::random(nv, rng, 0.25);
+  const Bdd lower = (on - dc).to_bdd(mgr);
+  const Bdd upper = lower | dc.to_bdd(mgr);
+
+  const std::vector<CubeLits> cover = mgr.isop(lower, upper);
+  const Bdd cover_fn = mgr.cover_to_bdd(cover);
+  EXPECT_TRUE(lower.implies(cover_fn));
+  EXPECT_TRUE(cover_fn.implies(upper));
+  EXPECT_EQ(cover_fn, mgr.isop_bdd(lower, upper));
+}
+
+TEST_P(IsopProperty, CoverIsIrredundant) {
+  std::mt19937_64 rng(GetParam() + 100);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const TruthTable on = TruthTable::random(nv, rng, 0.4);
+  const Bdd f = on.to_bdd(mgr);
+  const std::vector<CubeLits> cover = mgr.isop(f, f);
+  // Dropping any single cube must lose an on-set point.
+  for (std::size_t skip = 0; skip < cover.size(); ++skip) {
+    Bdd partial = mgr.bdd_false();
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      if (i != skip) partial |= mgr.make_cube(cover[i]);
+    }
+    EXPECT_NE(partial, f) << "cube " << skip << " is redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Isop, ExactFunctionCoverEqualsFunction) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3));
+  EXPECT_EQ(mgr.isop_bdd(f, f), f);
+}
+
+TEST(Isop, RejectsInvertedInterval) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0);
+  EXPECT_THROW((void)mgr.isop(a | mgr.var(1), a), std::invalid_argument);
+}
+
+TEST(Isop, ConstantsAreTrivial) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.isop(mgr.bdd_false(), mgr.bdd_false()).empty());
+  const auto taut = mgr.isop(mgr.bdd_true(), mgr.bdd_true());
+  ASSERT_EQ(taut.size(), 1u);
+  for (const signed char l : taut[0]) EXPECT_EQ(l, -1);
+}
+
+TEST(Isop, UsesDontCaresToShrinkCover) {
+  BddManager mgr(4);
+  // on = minterm 0000, dc = everything else with x0=0: cover can be ~x0.
+  const Bdd lower = mgr.make_cube(CubeLits{0, 0, 0, 0});
+  const Bdd upper = ~mgr.var(0);
+  const auto cover = mgr.isop(lower, upper);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(mgr.make_cube(cover[0]), upper);
+}
+
+}  // namespace
+}  // namespace bidec

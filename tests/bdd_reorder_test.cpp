@@ -1,0 +1,139 @@
+// Variable-ordering utilities: cross-manager transfer, order evaluation,
+// FORCE and sifting heuristics on order-sensitive functions.
+#include "bdd/bdd_reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+/// The classic order-sensitive function: x0&x1 | x2&x3 | ... built over an
+/// INTERLEAVED variable numbering, so the identity order is bad and the
+/// paired order is linear.
+Bdd interleaved_and_or(BddManager& mgr, unsigned pairs) {
+  // Pair i couples variable i with variable pairs + i.
+  Bdd f = mgr.bdd_false();
+  for (unsigned i = 0; i < pairs; ++i) f |= mgr.var(i) & mgr.var(pairs + i);
+  return f;
+}
+
+TEST(BddTransfer, IdentityPreservesFunction) {
+  std::mt19937_64 rng(7);
+  BddManager src(6), dst(6);
+  const TruthTable t = TruthTable::random(6, rng);
+  const Bdd f = t.to_bdd(src);
+  const Bdd g = bdd_transfer(dst, f);
+  EXPECT_EQ(TruthTable::from_bdd(dst, g, 6), t);
+  EXPECT_EQ(g.manager(), &dst);
+}
+
+TEST(BddTransfer, RenamesVariables) {
+  BddManager src(3), dst(5);
+  const Bdd f = src.var(0) & ~src.var(2);
+  const unsigned var_map[] = {4, 1, 0};
+  const Bdd g = bdd_transfer(dst, f, var_map);
+  EXPECT_EQ(g, dst.var(4) & ~dst.var(0));
+}
+
+TEST(BddTransfer, RejectsShortMap) {
+  BddManager src(3), dst(3);
+  const Bdd f = src.var(0);
+  const unsigned var_map[] = {0, 1};
+  EXPECT_THROW((void)bdd_transfer(dst, f, var_map), std::invalid_argument);
+}
+
+TEST(BddTransfer, SharedNodesStayShared) {
+  BddManager src(6), dst(6);
+  const Bdd shared = src.var(2) & src.var(3);
+  const Bdd f = (src.var(0) & shared) | (src.var(1) & shared);
+  const Bdd g = bdd_transfer(dst, f);
+  EXPECT_EQ(g.dag_size(), f.dag_size());
+}
+
+TEST(OrderEval, PairedOrderBeatsInterleaved) {
+  const unsigned pairs = 5;
+  BddManager mgr(2 * pairs);
+  const Bdd f = interleaved_and_or(mgr, pairs);
+  const Bdd fs[] = {f};
+
+  std::vector<unsigned> identity(2 * pairs);
+  std::iota(identity.begin(), identity.end(), 0u);
+  std::vector<unsigned> paired;
+  for (unsigned i = 0; i < pairs; ++i) {
+    paired.push_back(i);
+    paired.push_back(pairs + i);
+  }
+  const std::size_t bad = size_under_order(mgr, fs, identity);
+  const std::size_t good = size_under_order(mgr, fs, paired);
+  EXPECT_LT(good, bad);
+  EXPECT_EQ(good, 2 * pairs + 2u);  // linear-size BDD: 2p internal nodes + 2 terminals
+}
+
+TEST(OrderEval, InvertOrderRoundTrip) {
+  const std::vector<unsigned> order{3, 1, 0, 2};
+  const std::vector<unsigned> inv = invert_order(order);
+  EXPECT_EQ(inv, (std::vector<unsigned>{2, 1, 3, 0}));
+  for (unsigned level = 0; level < order.size(); ++level) {
+    EXPECT_EQ(inv[order[level]], level);
+  }
+}
+
+TEST(ForceOrder, ImprovesInterleavedAndOr) {
+  const unsigned pairs = 6;
+  BddManager mgr(2 * pairs);
+  const Bdd f = interleaved_and_or(mgr, pairs);
+  const Bdd fs[] = {f};
+  std::vector<unsigned> identity(2 * pairs);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const std::vector<unsigned> order = force_order(mgr, fs);
+  EXPECT_LE(size_under_order(mgr, fs, order), size_under_order(mgr, fs, identity));
+  // Must be a permutation.
+  std::vector<unsigned> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, identity);
+}
+
+TEST(SiftOrder, FindsLinearOrderForAndOr) {
+  const unsigned pairs = 4;
+  BddManager mgr(2 * pairs);
+  const Bdd f = interleaved_and_or(mgr, pairs);
+  const Bdd fs[] = {f};
+  const std::vector<unsigned> order = sift_order(mgr, fs, /*rounds=*/2);
+  // The optimum for this function is 3n/2 + ... ~ linear; sifting must get
+  // within a factor of the paired order.
+  std::vector<unsigned> paired;
+  for (unsigned i = 0; i < pairs; ++i) {
+    paired.push_back(i);
+    paired.push_back(pairs + i);
+  }
+  EXPECT_LE(size_under_order(mgr, fs, order),
+            size_under_order(mgr, fs, paired) + 2);
+}
+
+TEST(SiftOrder, NeverWorseThanIdentity) {
+  std::mt19937_64 rng(17);
+  BddManager mgr(7);
+  const TruthTable t = TruthTable::random(7, rng, 0.3);
+  const Bdd f = t.to_bdd(mgr);
+  const Bdd fs[] = {f};
+  std::vector<unsigned> identity(7);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const std::vector<unsigned> order = sift_order(mgr, fs);
+  EXPECT_LE(size_under_order(mgr, fs, order), size_under_order(mgr, fs, identity));
+}
+
+TEST(ForceOrder, EmptyAndConstantInputs) {
+  BddManager mgr(4);
+  const std::vector<Bdd> none;
+  EXPECT_EQ(force_order(mgr, none).size(), 4u);
+  const Bdd fs[] = {mgr.bdd_true()};
+  EXPECT_EQ(force_order(mgr, fs).size(), 4u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,189 @@
+// Benchmark generators: interface sizes match the paper's tables; the
+// exactly-defined functions have their known mathematical properties.
+#include "benchgen/benchgen.h"
+
+#include <gtest/gtest.h>
+
+namespace bidec {
+namespace {
+
+TEST(Benchgen, Table2SuiteMatchesPaperInterface) {
+  // Columns "ins"/"outs" of Table 2.
+  const struct {
+    const char* name;
+    unsigned ins, outs;
+  } expected[] = {
+      {"9sym", 9, 1},  {"alu4", 14, 8},  {"cps", 24, 109}, {"duke2", 22, 29},
+      {"e64", 65, 65}, {"misex2", 25, 18}, {"pdc", 16, 40}, {"spla", 16, 46},
+      {"vg2", 25, 8},  {"16sym8", 16, 1},
+  };
+  const auto& suite = table2_suite();
+  ASSERT_EQ(suite.size(), std::size(expected));
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i].name);
+    EXPECT_EQ(suite[i].num_inputs, expected[i].ins) << suite[i].name;
+    EXPECT_EQ(suite[i].num_outputs, expected[i].outs) << suite[i].name;
+  }
+}
+
+TEST(Benchgen, Table3SuiteNames) {
+  const auto& suite = table3_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite.front().name, "5xp1");
+  EXPECT_EQ(suite.back().name, "t481");
+}
+
+TEST(Benchgen, FindBenchmarkThrowsOnUnknown) {
+  EXPECT_THROW((void)find_benchmark("nope"), std::out_of_range);
+  EXPECT_EQ(find_benchmark("9sym").num_inputs, 9u);
+}
+
+TEST(Benchgen, BuildsMatchDeclaredOutputCount) {
+  for (const Benchmark& b : full_suite()) {
+    if (b.num_inputs > 30) continue;  // keep the test quick; e64 covered below
+    BddManager mgr(b.num_inputs);
+    const std::vector<Isf> isfs = b.build(mgr);
+    EXPECT_EQ(isfs.size(), b.num_outputs) << b.name;
+    for (const Isf& isf : isfs) {
+      EXPECT_TRUE((isf.q() & isf.r()).is_false()) << b.name;
+    }
+  }
+}
+
+TEST(Benchgen, WeightIndicatorsPartitionTheSpace) {
+  BddManager mgr(6);
+  const std::vector<Bdd> w = weight_indicators(mgr, 6);
+  ASSERT_EQ(w.size(), 7u);
+  Bdd union_all = mgr.bdd_false();
+  for (const Bdd& wk : w) union_all |= wk;
+  EXPECT_TRUE(union_all.is_true());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    for (std::size_t j = i + 1; j < w.size(); ++j) {
+      EXPECT_TRUE((w[i] & w[j]).is_false());
+    }
+  }
+  // Binomial counts.
+  EXPECT_DOUBLE_EQ(mgr.sat_count(w[3]), 20.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(w[0]), 1.0);
+}
+
+TEST(Benchgen, NineSymIsTotallySymmetricWithCorrectWindow) {
+  BddManager mgr(9);
+  const std::vector<Isf> isfs = find_benchmark("9sym").build(mgr);
+  const Bdd f = isfs[0].q();
+  // Symmetry: swapping any two adjacent variables preserves the function.
+  std::vector<unsigned> perm(9);
+  for (unsigned v = 0; v < 9; ++v) perm[v] = v;
+  std::swap(perm[2], perm[3]);
+  EXPECT_EQ(mgr.permute(f, perm), f);
+  // Window: on iff weight in {3..6}.
+  std::vector<bool> in(9, false);
+  for (unsigned k = 0; k < 9; ++k) in[k] = k < 3;  // weight 3
+  EXPECT_TRUE(mgr.eval(f, in));
+  in[3] = in[4] = in[5] = true;  // weight 6
+  EXPECT_TRUE(mgr.eval(f, in));
+  in[6] = true;  // weight 7
+  EXPECT_FALSE(mgr.eval(f, in));
+  EXPECT_FALSE(mgr.eval(f, std::vector<bool>(9, false)));  // weight 0
+}
+
+TEST(Benchgen, RdFamilyEncodesTheWeight) {
+  const struct {
+    const char* name;
+    unsigned ins, outs;
+  } rds[] = {{"rd53", 5, 3}, {"rd73", 7, 3}, {"rd84", 8, 4}};
+  for (const auto& rd : rds) {
+    BddManager mgr(rd.ins);
+    const std::vector<Isf> isfs = find_benchmark(rd.name).build(mgr);
+    ASSERT_EQ(isfs.size(), rd.outs) << rd.name;
+    for (unsigned weight = 0; weight <= rd.ins; ++weight) {
+      std::vector<bool> in(rd.ins, false);
+      for (unsigned k = 0; k < weight; ++k) in[k] = true;
+      for (unsigned bit = 0; bit < rd.outs; ++bit) {
+        EXPECT_EQ(mgr.eval(isfs[bit].q(), in), ((weight >> bit) & 1) != 0)
+            << rd.name << " weight " << weight << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(Benchgen, AluAddOperation) {
+  // alu2 stand-in: ctl=0 is ADD over 3-bit operands.
+  const Benchmark& b = find_benchmark("alu2");
+  BddManager mgr(b.num_inputs);
+  const std::vector<Isf> isfs = b.build(mgr);
+  // a=3 (011), b=5 (101) -> sum=8 (1000).
+  std::vector<bool> in(10, false);
+  in[0] = true;  in[1] = true;            // a = 3
+  in[3] = true;  in[5] = true;            // b = 5
+  // ctl bits 6..9 all 0 -> ADD
+  unsigned result = 0;
+  for (unsigned bit = 0; bit < 4; ++bit) {
+    if (mgr.eval(isfs[bit].q(), in)) result |= 1u << bit;
+  }
+  EXPECT_EQ(result, 8u);
+}
+
+TEST(Benchgen, T481IsExorOfTwoHalves) {
+  BddManager mgr(16);
+  const Bdd f = find_benchmark("t481").build(mgr)[0].q();
+  // The function must be EXOR-separable between variables {0..7} and {8..15}:
+  // its derivative w.r.t. any first-half variable is independent of the
+  // second half.
+  const unsigned vars0[] = {0};
+  const Bdd d = mgr.derivative(f, 0);
+  for (unsigned v = 8; v < 16; ++v) EXPECT_FALSE(mgr.depends_on(d, v));
+  (void)vars0;
+}
+
+TEST(Benchgen, E64IsOneHot) {
+  BddManager mgr(65);
+  const std::vector<Isf> isfs = find_benchmark("e64").build(mgr);
+  ASSERT_EQ(isfs.size(), 65u);
+  // At most one output is on for any input: outputs are pairwise disjoint.
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_TRUE((isfs[i].q() & isfs[i + 1].q()).is_false());
+  }
+  // out_3 = ~x0 ~x1 ~x2 x3.
+  EXPECT_EQ(isfs[3].q(),
+            ~mgr.var(0) & ~mgr.var(1) & ~mgr.var(2) & mgr.var(3));
+}
+
+TEST(Benchgen, RandomPlaIsDeterministic) {
+  const PlaFile p1 = random_control_pla(10, 5, 20, 3, 6, 2, 0.1, 42);
+  const PlaFile p2 = random_control_pla(10, 5, 20, 3, 6, 2, 0.1, 42);
+  ASSERT_EQ(p1.rows.size(), p2.rows.size());
+  for (std::size_t i = 0; i < p1.rows.size(); ++i) {
+    EXPECT_EQ(p1.rows[i].inputs, p2.rows[i].inputs);
+    EXPECT_EQ(p1.rows[i].outputs, p2.rows[i].outputs);
+  }
+  const PlaFile p3 = random_control_pla(10, 5, 20, 3, 6, 2, 0.1, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < p1.rows.size(); ++i) {
+    any_diff |= p1.rows[i].inputs != p3.rows[i].inputs;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Benchgen, RandomPlaRespectsLiteralBounds) {
+  const PlaFile pla = random_control_pla(12, 4, 30, 4, 7, 2, 0.0, 7);
+  for (const PlaFile::Row& row : pla.rows) {
+    const auto lits = static_cast<unsigned>(
+        std::count_if(row.inputs.begin(), row.inputs.end(),
+                      [](char c) { return c != '-'; }));
+    EXPECT_LE(lits, 7u);
+    EXPECT_GE(lits, 1u);
+  }
+}
+
+TEST(Benchgen, StandInsAreFlagged) {
+  EXPECT_FALSE(find_benchmark("9sym").stand_in);
+  EXPECT_FALSE(find_benchmark("rd84").stand_in);
+  EXPECT_FALSE(find_benchmark("16sym8").stand_in);
+  EXPECT_TRUE(find_benchmark("alu4").stand_in);
+  EXPECT_TRUE(find_benchmark("cps").stand_in);
+  EXPECT_TRUE(find_benchmark("t481").stand_in);
+}
+
+}  // namespace
+}  // namespace bidec

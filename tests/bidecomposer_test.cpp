@@ -1,0 +1,218 @@
+// End-to-end behaviour of the recursive decomposer (Fig. 7): on random
+// ISFs, structured functions and multi-output specs, the produced CSF is
+// compatible, the netlist realizes exactly that CSF, and option toggles
+// behave as documented.
+#include "bidec/bidecomposer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+Isf random_isf(BddManager& mgr, unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return Isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+}
+
+void expect_netlist_matches(BddManager& mgr, BiDecomposer& dec, const Bdd& func,
+                            SignalId sig) {
+  dec.netlist().add_output("t", sig);
+  const std::vector<Bdd> out = netlist_to_bdds(mgr, dec.netlist());
+  EXPECT_EQ(out.back(), func);
+}
+
+struct DecompCase {
+  unsigned num_vars;
+  double dc_density;
+  std::uint64_t seed;
+};
+
+class DecomposeRandom : public ::testing::TestWithParam<DecompCase> {};
+
+TEST_P(DecomposeRandom, CompatibleAndNetlistConsistent) {
+  const auto [nv, dc_density, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, dc_density);
+  BiDecomposer dec(mgr);
+  const auto [func, sig] = dec.decompose(isf);
+  EXPECT_TRUE(isf.is_compatible(func));
+  expect_netlist_matches(mgr, dec, func, sig);
+  EXPECT_GE(dec.stats().calls, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecomposeRandom,
+    ::testing::Values(DecompCase{3, 0.0, 1}, DecompCase{4, 0.0, 2},
+                      DecompCase{4, 0.3, 3}, DecompCase{5, 0.0, 4},
+                      DecompCase{5, 0.3, 5}, DecompCase{6, 0.2, 6},
+                      DecompCase{6, 0.5, 7}, DecompCase{7, 0.1, 8},
+                      DecompCase{7, 0.4, 9}, DecompCase{8, 0.25, 10}),
+    [](const auto& info) {
+      return "v" + std::to_string(info.param.num_vars) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Decompose, ConstantFunctions) {
+  BddManager mgr(3);
+  BiDecomposer dec(mgr);
+  const auto [f0, s0] = dec.decompose(Isf::from_csf(mgr.bdd_false()));
+  EXPECT_TRUE(f0.is_false());
+  const auto [f1, s1] = dec.decompose(Isf::from_csf(mgr.bdd_true()));
+  EXPECT_TRUE(f1.is_true());
+  EXPECT_NE(s0, s1);
+}
+
+TEST(Decompose, SingleLiteralCostsNoGates) {
+  BddManager mgr(3);
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(Isf::from_csf(mgr.var(1)));
+  EXPECT_EQ(f, mgr.var(1));
+  dec.netlist().add_output("f", sig);
+  EXPECT_EQ(dec.netlist().stats().gates, 0u);
+}
+
+TEST(Decompose, ParityUsesExorGates) {
+  BddManager mgr(6);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 6; ++v) parity ^= mgr.var(v);
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(Isf::from_csf(parity));
+  EXPECT_EQ(f, parity);
+  dec.netlist().add_output("p", sig);
+  const NetlistStats s = dec.netlist().stats();
+  // A 6-input parity needs exactly 5 XOR gates, and a balanced tree has
+  // depth 3.
+  EXPECT_EQ(s.exors, 5u);
+  EXPECT_EQ(s.two_input, 5u);
+  EXPECT_LE(s.cascades, 3u);
+  EXPECT_GT(dec.stats().strong_exor, 0u);
+  EXPECT_EQ(dec.stats().weak_total(), 0u);
+}
+
+TEST(Decompose, NoExorOptionForcesAndOrNetlist) {
+  BddManager mgr(5);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 5; ++v) parity ^= mgr.var(v);
+  BidecOptions options;
+  options.use_exor = false;
+  options.absorb_inverters = false;
+  BiDecomposer dec(mgr, options);
+  const auto [f, sig] = dec.decompose(Isf::from_csf(parity));
+  EXPECT_EQ(f, parity);
+  dec.netlist().add_output("p", sig);
+  EXPECT_EQ(dec.netlist().stats().exors, 0u);
+  EXPECT_EQ(dec.stats().strong_exor, 0u);
+}
+
+TEST(Decompose, WeakOnlyModeStillCorrect) {
+  std::mt19937_64 rng(41);
+  BddManager mgr(6);
+  const Isf isf = random_isf(mgr, 6, rng, 0.2);
+  BidecOptions options;
+  options.use_strong = false;
+  BiDecomposer dec(mgr, options);
+  const auto [f, sig] = dec.decompose(isf);
+  EXPECT_TRUE(isf.is_compatible(f));
+  EXPECT_EQ(dec.stats().strong_total(), 0u);
+}
+
+TEST(Decompose, CacheSharesLogicAcrossOutputs) {
+  BddManager mgr(6);
+  const Bdd shared = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const Bdd f1 = shared ^ mgr.var(4);
+  const Bdd f2 = shared ^ mgr.var(5);
+  BiDecomposer dec(mgr);
+  dec.add_output("f1", Isf::from_csf(f1));
+  const std::size_t gates_after_first = dec.netlist().stats().gates;
+  dec.add_output("f2", Isf::from_csf(f2));
+  const std::size_t gates_after_second = dec.netlist().stats().gates;
+  // The shared cone must not be rebuilt: the second output costs at most
+  // a couple of gates on top.
+  EXPECT_LE(gates_after_second - gates_after_first, 2u);
+  EXPECT_GT(dec.stats().cache_hits + dec.stats().cache_complement_hits, 0u);
+}
+
+TEST(Decompose, CacheDisabledStillCorrect) {
+  std::mt19937_64 rng(42);
+  BddManager mgr(5);
+  const Isf isf = random_isf(mgr, 5, rng, 0.3);
+  BidecOptions options;
+  options.use_cache = false;
+  BiDecomposer dec(mgr, options);
+  const auto [f, sig] = dec.decompose(isf);
+  EXPECT_TRUE(isf.is_compatible(f));
+  EXPECT_EQ(dec.stats().cache_hits, 0u);
+  EXPECT_EQ(dec.stats().cache_lookups, 0u);
+}
+
+TEST(Decompose, MultiOutputVerifiesAgainstSpec) {
+  std::mt19937_64 rng(43);
+  BddManager mgr(6);
+  std::vector<Isf> spec;
+  for (int o = 0; o < 4; ++o) spec.push_back(random_isf(mgr, 6, rng, 0.2));
+  BiDecomposer dec(mgr);
+  for (std::size_t o = 0; o < spec.size(); ++o) {
+    dec.add_output("f" + std::to_string(o), spec[o]);
+  }
+  dec.finish();
+  EXPECT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);
+}
+
+TEST(Decompose, FinishAbsorbsInverters) {
+  BddManager mgr(4);
+  // ~(a & b) & ~(c | d): inverter-heavy before mapping.
+  const Bdd f = ~(mgr.var(0) & mgr.var(1)) & ~(mgr.var(2) | mgr.var(3));
+  BiDecomposer dec(mgr);
+  dec.add_output("f", Isf::from_csf(f));
+  const std::size_t inverters_before = dec.netlist().stats().inverters;
+  dec.finish();
+  const std::vector<Isf> spec{Isf::from_csf(f)};
+  EXPECT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);
+  EXPECT_LE(dec.netlist().stats().inverters, inverters_before);
+}
+
+TEST(Decompose, DontCaresReduceCost) {
+  // A dense spec vs the same spec with 60% don't-cares: the ISF version
+  // must never need more gates.
+  std::mt19937_64 rng(44);
+  BddManager mgr(7);
+  const TruthTable on = TruthTable::random(7, rng, 0.5);
+  const TruthTable dc = TruthTable::random(7, rng, 0.6);
+  const Isf full = Isf::from_csf(on.to_bdd(mgr));
+  const Isf loose((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+
+  BiDecomposer dec_full(mgr);
+  dec_full.add_output("f", full);
+  BiDecomposer dec_loose(mgr);
+  dec_loose.add_output("f", loose);
+  EXPECT_LE(dec_loose.netlist().stats().gates, dec_full.netlist().stats().gates);
+}
+
+TEST(Decompose, StatsAccounting) {
+  std::mt19937_64 rng(45);
+  BddManager mgr(6);
+  const Isf isf = random_isf(mgr, 6, rng, 0.3);
+  BiDecomposer dec(mgr);
+  (void)dec.decompose(isf);
+  const BidecStats& s = dec.stats();
+  EXPECT_EQ(s.calls, s.terminal_cases + s.cache_hits + s.cache_complement_hits +
+                         s.strong_total() + s.weak_total() + s.shannon_fallback);
+  EXPECT_GE(s.cache_lookups, s.cache_hits + s.cache_complement_hits);
+}
+
+TEST(Decompose, InputNamesAreUsed) {
+  BddManager mgr(3);
+  BiDecomposer dec(mgr, {}, {"alpha", "beta", "gamma"});
+  EXPECT_EQ(dec.netlist().input_name(0), "alpha");
+  EXPECT_EQ(dec.netlist().input_name(2), "gamma");
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,140 @@
+// BLIF writer/reader: round-tripping preserves functionality; the reader
+// handles general covers and rejects sequential constructs.
+#include "io/blif.h"
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+Netlist example_netlist() {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const SignalId g1 = net.add_xor(a, b);
+  const SignalId g2 = net.add_gate(GateType::kNand, g1, c);
+  const SignalId g3 = net.add_or(g2, net.add_not(a));
+  net.add_output("y", g3);
+  net.add_output("p", g1);
+  return net;
+}
+
+TEST(Blif, WriterEmitsStructure) {
+  const std::string text = write_blif(example_netlist(), "example");
+  EXPECT_NE(text.find(".model example"), std::string::npos);
+  EXPECT_NE(text.find(".inputs a b c"), std::string::npos);
+  EXPECT_NE(text.find(".outputs y p"), std::string::npos);
+  EXPECT_NE(text.find(".names"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  const Netlist original = example_netlist();
+  const Netlist reread = read_blif_string(write_blif(original, "m"));
+  ASSERT_EQ(reread.num_inputs(), original.num_inputs());
+  ASSERT_EQ(reread.num_outputs(), original.num_outputs());
+  BddManager mgr(static_cast<unsigned>(original.num_inputs()));
+  EXPECT_TRUE(verify_equivalent(mgr, original, reread).ok);
+}
+
+TEST(Blif, RoundTripAllGateTypes) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  unsigned idx = 0;
+  for (const GateType t : {GateType::kAnd, GateType::kOr, GateType::kXor,
+                           GateType::kNand, GateType::kNor, GateType::kXnor}) {
+    // Build each gate type directly (bypassing derived-type decomposition by
+    // absorbing later would complicate matters; add_gate may simplify, so
+    // check the output count instead of the structure).
+    net.add_output("o" + std::to_string(idx++), net.add_gate(t, a, b));
+  }
+  net.add_output("inv", net.add_not(a));
+  net.add_output("c0", net.get_const(false));
+  net.add_output("c1", net.get_const(true));
+  const Netlist reread = read_blif_string(write_blif(net, "gates"));
+  BddManager mgr(2);
+  EXPECT_TRUE(verify_equivalent(mgr, net, reread).ok);
+}
+
+TEST(Blif, ReaderHandlesWideCovers) {
+  const char* text = R"(.model wide
+.inputs a b c d
+.outputs y
+.names a b c d y
+1--1 1
+01-- 1
+--10 1
+.end
+)";
+  const Netlist net = read_blif_string(text);
+  // y = a&d | ~a&b | c&~d.
+  EXPECT_TRUE(net.evaluate({true, false, false, true})[0]);
+  EXPECT_TRUE(net.evaluate({false, true, false, false})[0]);
+  EXPECT_TRUE(net.evaluate({false, false, true, false})[0]);
+  EXPECT_FALSE(net.evaluate({true, false, false, false})[0]);
+}
+
+TEST(Blif, ReaderHandlesOffsetCover) {
+  const char* text = R"(.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+)";
+  const Netlist net = read_blif_string(text);  // y = ~(a & b)
+  EXPECT_FALSE(net.evaluate({true, true})[0]);
+  EXPECT_TRUE(net.evaluate({true, false})[0]);
+}
+
+TEST(Blif, ReaderHandlesConstants) {
+  const char* text = ".model k\n.inputs a\n.outputs z o\n.names z\n.names o\n1\n.end\n";
+  const Netlist net = read_blif_string(text);
+  EXPECT_FALSE(net.evaluate({false})[0]);
+  EXPECT_TRUE(net.evaluate({false})[1]);
+}
+
+TEST(Blif, ReaderFollowsDependenciesOutOfOrder) {
+  // g is used before it is defined.
+  const char* text = R"(.model ooo
+.inputs a b
+.outputs y
+.names g a y
+11 1
+.names a b g
+10 1
+01 1
+.end
+)";
+  const Netlist net = read_blif_string(text);  // y = (a^b) & a = a & ~b
+  EXPECT_TRUE(net.evaluate({true, false})[0]);
+  EXPECT_FALSE(net.evaluate({true, true})[0]);
+}
+
+TEST(Blif, ReaderRejectsLatchesCyclesAndUndriven) {
+  EXPECT_THROW((void)read_blif_string(".model m\n.inputs a\n.outputs q\n"
+                                      ".latch a q 0\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_blif_string(".model m\n.inputs a\n.outputs y\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_blif_string(".model m\n.inputs a\n.outputs y\n"
+                                      ".names y y\n1 1\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(Blif, SaveLoadRoundTrip) {
+  const Netlist original = example_netlist();
+  const std::string path = ::testing::TempDir() + "/roundtrip.blif";
+  save_blif(original, "m", path);
+  const Netlist loaded = load_blif(path);
+  BddManager mgr(3);
+  EXPECT_TRUE(verify_equivalent(mgr, original, loaded).ok);
+}
+
+}  // namespace
+}  // namespace bidec

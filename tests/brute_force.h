@@ -1,0 +1,85 @@
+// Shared brute-force oracles for the decomposability theorems: functions of
+// up to 4 variables are represented as 16-bit masks, and decomposability is
+// decided by enumerating every pair of component functions. Used to validate
+// Theorem 1 (OR), its AND dual, Theorem 2 and Fig. 4 (EXOR).
+#ifndef BIDEC_TESTS_BRUTE_FORCE_H
+#define BIDEC_TESTS_BRUTE_FORCE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "isf/isf.h"
+
+namespace bidec::testing {
+
+/// Mask of all minterms of an n-variable function (n <= 4).
+inline std::uint16_t full_mask(unsigned n) {
+  return static_cast<std::uint16_t>((1u << (1u << n)) - 1u);
+}
+
+/// Truth mask of a BDD over the first n variables.
+inline std::uint16_t bdd_to_mask(BddManager& mgr, const Bdd& f, unsigned n) {
+  std::uint16_t mask = 0;
+  std::vector<bool> in(mgr.num_vars(), false);
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    for (unsigned v = 0; v < n; ++v) in[v] = (m >> v) & 1;
+    if (mgr.eval(f, in)) mask |= static_cast<std::uint16_t>(1u << m);
+  }
+  return mask;
+}
+
+/// All functions of n variables (n <= 4) that do not depend on the variables
+/// in `banned`, as full-space truth masks.
+inline std::vector<std::uint16_t> functions_independent_of(
+    unsigned n, std::span<const unsigned> banned) {
+  std::vector<unsigned> free_vars;
+  for (unsigned v = 0; v < n; ++v) {
+    bool is_banned = false;
+    for (const unsigned b : banned) is_banned |= (b == v);
+    if (!is_banned) free_vars.push_back(v);
+  }
+  const unsigned k = static_cast<unsigned>(free_vars.size());
+  std::vector<std::uint16_t> result;
+  result.reserve(1u << (1u << k));
+  for (std::uint32_t bits = 0; bits < (1u << (1u << k)); ++bits) {
+    std::uint16_t lifted = 0;
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      unsigned idx = 0;
+      for (unsigned i = 0; i < k; ++i) idx |= ((m >> free_vars[i]) & 1u) << i;
+      if ((bits >> idx) & 1u) lifted |= static_cast<std::uint16_t>(1u << m);
+    }
+    result.push_back(lifted);
+  }
+  return result;
+}
+
+enum class BruteGate { kOr, kAnd, kExor };
+
+/// Exhaustive decomposability: exists fA independent of xb and fB
+/// independent of xa with Q <= gate(fA, fB) <= ~R?
+inline bool brute_force_decomposable(BddManager& mgr, const Isf& isf, unsigned n,
+                                     std::span<const unsigned> xa,
+                                     std::span<const unsigned> xb, BruteGate gate) {
+  const std::uint16_t q = bdd_to_mask(mgr, isf.q(), n);
+  const std::uint16_t r = bdd_to_mask(mgr, isf.r(), n);
+  const std::vector<std::uint16_t> fas = functions_independent_of(n, xb);
+  const std::vector<std::uint16_t> fbs = functions_independent_of(n, xa);
+  for (const std::uint16_t fa : fas) {
+    for (const std::uint16_t fb : fbs) {
+      std::uint16_t f = 0;
+      switch (gate) {
+        case BruteGate::kOr: f = fa | fb; break;
+        case BruteGate::kAnd: f = fa & fb; break;
+        case BruteGate::kExor: f = fa ^ fb; break;
+      }
+      if ((q & ~f) == 0 && (f & r) == 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bidec::testing
+
+#endif  // BIDEC_TESTS_BRUTE_FORCE_H

@@ -1,0 +1,188 @@
+// Theorem 1 (OR-decomposability), its AND dual, Theorem 2 (EXOR with
+// singleton sets) and the weak-decomposition gain tests, all validated
+// against exhaustive enumeration of component functions.
+#include "bidec/check.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "brute_force.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+using testing::BruteGate;
+using testing::brute_force_decomposable;
+
+Isf random_isf(BddManager& mgr, unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return Isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+}
+
+class CheckVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckVsBruteForce, OrTheorem1AllSingletonPairs) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.25);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      EXPECT_EQ(check_or_decomposable(isf, xa, xb),
+                brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kOr))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(CheckVsBruteForce, AndDualAllSingletonPairs) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.25);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      EXPECT_EQ(check_and_decomposable(isf, xa, xb),
+                brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kAnd))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(CheckVsBruteForce, OrTheorem1LargerSets) {
+  std::mt19937_64 rng(GetParam() + 2000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.3);
+  const unsigned xa[] = {0, 1}, xb[] = {2};
+  EXPECT_EQ(check_or_decomposable(isf, xa, xb),
+            brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kOr));
+  const unsigned xa2[] = {0}, xb2[] = {1, 3};
+  EXPECT_EQ(check_or_decomposable(isf, xa2, xb2),
+            brute_force_decomposable(mgr, isf, nv, xa2, xb2, BruteGate::kOr));
+}
+
+TEST_P(CheckVsBruteForce, ExorTheorem2AllSingletonPairs) {
+  std::mt19937_64 rng(GetParam() + 3000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.2);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      EXPECT_EQ(check_exor_decomposable_11(isf, a, b),
+                brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kExor))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckVsBruteForce, ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(CheckOr, KnownDecomposableExample) {
+  // Paper Fig. 3: F = OR(a+b, c+d) is OR-decomposable with XA={c,d}, XB={a,b}.
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) | mgr.var(1)) | (mgr.var(2) | mgr.var(3));
+  const Isf isf = Isf::from_csf(f);
+  const unsigned xa[] = {2, 3}, xb[] = {0, 1};
+  EXPECT_TRUE(check_or_decomposable(isf, xa, xb));
+}
+
+TEST(CheckOr, AndOfXorsIsNotOrDecomposable) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) ^ mgr.var(1)) & (mgr.var(2) ^ mgr.var(3));
+  const Isf isf = Isf::from_csf(f);
+  const unsigned xa[] = {0, 1}, xb[] = {2, 3};
+  EXPECT_FALSE(check_or_decomposable(isf, xa, xb));
+  EXPECT_TRUE(check_and_decomposable(isf, xa, xb));  // but it is AND-decomposable
+  // With the XOR pairs split apart, neither works.
+  const unsigned xa2[] = {0}, xb2[] = {1};
+  EXPECT_FALSE(check_or_decomposable(isf, xa2, xb2));
+  EXPECT_FALSE(check_and_decomposable(isf, xa2, xb2));
+}
+
+TEST(CheckExor, ParityIsExorDecomposableEverywhere) {
+  BddManager mgr(5);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 5; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  for (unsigned a = 0; a < 5; ++a) {
+    for (unsigned b = a + 1; b < 5; ++b) {
+      EXPECT_TRUE(check_exor_decomposable_11(isf, a, b)) << a << "," << b;
+    }
+  }
+}
+
+TEST(CheckExor, AndIsNotExorDecomposable) {
+  BddManager mgr(3);
+  const Isf isf = Isf::from_csf(mgr.var(0) & mgr.var(1) & mgr.var(2));
+  EXPECT_FALSE(check_exor_decomposable_11(isf, 0, 1));
+}
+
+TEST(IsfDerivative, MatchesTruthTableDerivativeForCsf) {
+  std::mt19937_64 rng(7);
+  BddManager mgr(5);
+  const TruthTable t = TruthTable::random(5, rng);
+  const Isf isf = Isf::from_csf(t.to_bdd(mgr));
+  for (unsigned v = 0; v < 5; ++v) {
+    const Isf d = isf_derivative(isf, v);
+    // For a CSF the derivative is completely specified.
+    EXPECT_TRUE(d.is_csf()) << v;
+    EXPECT_EQ(TruthTable::from_bdd(mgr, d.q(), 5), t.derivative(v)) << v;
+  }
+}
+
+TEST(IsfDerivative, DerivativeOfIsfIsConsistent) {
+  std::mt19937_64 rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    BddManager mgr(4);
+    const TruthTable on = TruthTable::random(4, rng, 0.4);
+    const TruthTable dc = TruthTable::random(4, rng, 0.3);
+    const Isf isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    for (unsigned v = 0; v < 4; ++v) {
+      // Constructing the Isf validates Q & R = 0 internally.
+      const Isf d = isf_derivative(isf, v);
+      EXPECT_TRUE((d.q() & d.r()).is_false());
+    }
+  }
+}
+
+TEST(CheckWeak, GainMatchesDefinition) {
+  std::mt19937_64 rng(9);
+  BddManager mgr(4);
+  const Isf isf = random_isf(mgr, 4, rng, 0.3);
+  for (unsigned v = 0; v < 4; ++v) {
+    const unsigned xa[] = {v};
+    const double or_gain = weak_or_gain(isf, xa);
+    EXPECT_EQ(check_weak_or_useful(isf, xa), or_gain > 0.0);
+    EXPECT_DOUBLE_EQ(or_gain,
+                     mgr.sat_count(isf.q() - mgr.exists(isf.r(), xa)));
+    const double and_gain = weak_and_gain(isf, xa);
+    EXPECT_EQ(check_weak_and_useful(isf, xa), and_gain > 0.0);
+  }
+}
+
+TEST(CheckWeak, ParityHasNoWeakGain) {
+  // For parity, exists_v R is the tautology for every v, so no weak
+  // decomposition gains don't-cares (the strong EXOR path must be taken).
+  BddManager mgr(4);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 4; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  for (unsigned v = 0; v < 4; ++v) {
+    const unsigned xa[] = {v};
+    EXPECT_FALSE(check_weak_or_useful(isf, xa));
+    EXPECT_FALSE(check_weak_and_useful(isf, xa));
+  }
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,173 @@
+// Theorems 3/4 and the weak variants: derived component ISFs are proper
+// intervals, respect the variable sets, and composing ANY compatible cover
+// of A with the B derived from it yields a function compatible with F.
+#include "bidec/derive.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bidec/check.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+Isf random_isf(BddManager& mgr, unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return Isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+}
+
+class DeriveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeriveProperty, StrongOrComposition) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 5;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.35);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      if (!check_or_decomposable(isf, xa, xb)) continue;
+
+      const Isf fa_isf = derive_or_component_a(isf, xa, xb);
+      // A is independent of X_B.
+      EXPECT_FALSE(mgr.depends_on(fa_isf.q(), b));
+      EXPECT_FALSE(mgr.depends_on(fa_isf.r(), b));
+
+      const Bdd fa = fa_isf.any_cover();
+      const Isf fb_isf = derive_or_component_b(isf, fa, xa);
+      EXPECT_FALSE(mgr.depends_on(fb_isf.q(), a));
+      EXPECT_FALSE(mgr.depends_on(fb_isf.r(), a));
+
+      const Bdd fb = fb_isf.any_cover();
+      EXPECT_TRUE(isf.is_compatible(fa | fb)) << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(DeriveProperty, StrongAndComposition) {
+  std::mt19937_64 rng(GetParam() + 111);
+  const unsigned nv = 5;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.35);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      if (!check_and_decomposable(isf, xa, xb)) continue;
+      const Isf fa_isf = derive_and_component_a(isf, xa, xb);
+      EXPECT_FALSE(mgr.depends_on(fa_isf.q(), b));
+      const Bdd fa = fa_isf.any_cover();
+      const Isf fb_isf = derive_and_component_b(isf, fa, xa);
+      EXPECT_FALSE(mgr.depends_on(fb_isf.q(), a));
+      const Bdd fb = fb_isf.any_cover();
+      EXPECT_TRUE(isf.is_compatible(fa & fb)) << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(DeriveProperty, StrongOrWithEveryCompatibleCoverOfA) {
+  // Theorem 4 must work for EVERY fa in the interval of A, not just the
+  // canonical one; enumerate covers on a small case.
+  std::mt19937_64 rng(GetParam() + 222);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.4);
+  const unsigned xa[] = {0}, xb[] = {1};
+  if (!check_or_decomposable(isf, xa, xb)) return;
+  const Isf fa_isf = derive_or_component_a(isf, xa, xb);
+  // Enumerate compatible fa: iterate over all functions of vars {0,2,3}.
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    TruthTable fa_tt(nv);
+    for (unsigned m = 0; m < 16; ++m) {
+      const unsigned idx = (m & 1) | ((m >> 1) & 0x6);  // vars 0,2,3 packed
+      if ((bits >> idx) & 1) fa_tt.set(m, true);
+    }
+    const Bdd fa = fa_tt.to_bdd(mgr);
+    if (!fa_isf.is_compatible(fa)) continue;
+    const Isf fb_isf = derive_or_component_b(isf, fa, xa);
+    const Bdd fb = fb_isf.any_cover();
+    ASSERT_TRUE(isf.is_compatible(fa | fb)) << "fa bits " << bits;
+  }
+}
+
+TEST_P(DeriveProperty, WeakOrComposition) {
+  std::mt19937_64 rng(GetParam() + 333);
+  const unsigned nv = 5;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.3);
+  for (unsigned v = 0; v < nv; ++v) {
+    const unsigned xa[] = {v};
+    const Isf fa_isf = derive_weak_or_component_a(isf, xa);
+    // A gains don't-cares: its on-set shrinks, never grows.
+    EXPECT_TRUE(fa_isf.q().implies(isf.q()));
+    EXPECT_EQ(fa_isf.r(), isf.r());
+    if (check_weak_or_useful(isf, xa)) {
+      EXPECT_NE(fa_isf.q(), isf.q());  // strict gain
+    }
+    const Bdd fa = fa_isf.any_cover();
+    const Isf fb_isf = derive_weak_or_component_b(isf, fa, xa);
+    EXPECT_FALSE(mgr.depends_on(fb_isf.q(), v));
+    EXPECT_FALSE(mgr.depends_on(fb_isf.r(), v));
+    const Bdd fb = fb_isf.any_cover();
+    EXPECT_TRUE(isf.is_compatible(fa | fb)) << "v=" << v;
+  }
+}
+
+TEST_P(DeriveProperty, WeakAndComposition) {
+  std::mt19937_64 rng(GetParam() + 444);
+  const unsigned nv = 5;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.3);
+  for (unsigned v = 0; v < nv; ++v) {
+    const unsigned xa[] = {v};
+    const Isf fa_isf = derive_weak_and_component_a(isf, xa);
+    EXPECT_TRUE(fa_isf.r().implies(isf.r()));
+    EXPECT_EQ(fa_isf.q(), isf.q());
+    const Bdd fa = fa_isf.any_cover();
+    const Isf fb_isf = derive_weak_and_component_b(isf, fa, xa);
+    EXPECT_FALSE(mgr.depends_on(fb_isf.q(), v));
+    const Bdd fb = fb_isf.any_cover();
+    EXPECT_TRUE(isf.is_compatible(fa & fb)) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeriveProperty, ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Derive, PaperFig3Example) {
+  // F = (a | b) | (c | d) decomposed with XA={c,d}, XB={a,b} (Fig. 3 left).
+  BddManager mgr(4);
+  const Bdd expected = mgr.var(0) | mgr.var(1) | mgr.var(2) | mgr.var(3);
+  const Isf isf = Isf::from_csf(expected);
+  const unsigned xa[] = {2, 3}, xb[] = {0, 1};
+  ASSERT_TRUE(check_or_decomposable(isf, xa, xb));
+  const Isf fa_isf = derive_or_component_a(isf, xa, xb);
+  const Bdd fa = fa_isf.any_cover();
+  EXPECT_EQ(fa, mgr.var(2) | mgr.var(3));
+  const Isf fb_isf = derive_or_component_b(isf, fa, xa);
+  const Bdd fb = fb_isf.any_cover();
+  EXPECT_EQ(fa | fb, expected);
+}
+
+TEST(Derive, ComponentIntervalsAreConsistentByConstruction) {
+  // Isf's constructor throws when Q & R != 0; derivation must never produce
+  // an inconsistent interval for a decomposable grouping.
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    BddManager mgr(5);
+    const Isf isf = random_isf(mgr, 5, rng, 0.3);
+    const unsigned xa[] = {static_cast<unsigned>(trial % 5)},
+                   xb[] = {static_cast<unsigned>((trial + 2) % 5)};
+    if (!check_or_decomposable(isf, xa, xb)) continue;
+    EXPECT_NO_THROW({
+      const Isf fa_isf = derive_or_component_a(isf, xa, xb);
+      const Isf fb_isf = derive_or_component_b(isf, fa_isf.any_cover(), xa);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,213 @@
+// Edge-case and robustness pack: degenerate specifications, parser fuzzing
+// (malformed input must throw, never crash), GC pressure during long
+// operation sequences, and regression cases found during development.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bidec/flow.h"
+#include "io/blif.h"
+#include "io/pla.h"
+#include "mv/mv_isf.h"
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+// --- degenerate specifications ----------------------------------------------
+
+TEST(EdgeCases, FullyUnspecifiedFunction) {
+  BddManager mgr(4);
+  const Isf anything(mgr.bdd_false(), mgr.bdd_false());
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(anything);
+  // Cheapest cover of "anything" is a constant.
+  EXPECT_TRUE(f.is_false() || f.is_true());
+  dec.netlist().add_output("f", sig);
+  EXPECT_EQ(dec.netlist().stats().gates, 0u);
+}
+
+TEST(EdgeCases, SingleMintermOnSet) {
+  BddManager mgr(6);
+  const Bdd q = mgr.make_cube(CubeLits{1, 0, 1, 0, 1, 0});
+  const Isf isf(q, ~q);
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(isf);
+  EXPECT_EQ(f, q);
+  dec.netlist().add_output("f", sig);
+  // A 6-literal product: 5 AND-class gates + inverters.
+  EXPECT_LE(dec.netlist().stats().two_input, 5u);
+}
+
+TEST(EdgeCases, AllOutputsIdentical) {
+  std::mt19937_64 rng(1);
+  BddManager mgr(5);
+  const Bdd f = TruthTable::random(5, rng).to_bdd(mgr);
+  std::vector<Isf> spec(6, Isf::from_csf(f));
+  BiDecomposer dec(mgr);
+  for (int o = 0; o < 6; ++o) dec.add_output("f" + std::to_string(o), spec[o]);
+  // The cache collapses outputs 2..6 to the first cone.
+  EXPECT_GE(dec.stats().cache_hits, 5u);
+  EXPECT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);
+}
+
+TEST(EdgeCases, ComplementaryOutputsShareViaInverter) {
+  std::mt19937_64 rng(2);
+  BddManager mgr(5);
+  const Bdd f = TruthTable::random(5, rng).to_bdd(mgr);
+  std::vector<Isf> spec{Isf::from_csf(f), Isf::from_csf(~f)};
+  BiDecomposer dec(mgr);
+  dec.add_output("f", spec[0]);
+  const std::size_t before = dec.netlist().stats().two_input;
+  dec.add_output("g", spec[1]);
+  EXPECT_EQ(dec.netlist().stats().two_input, before);  // only an inverter added
+  EXPECT_GE(dec.stats().cache_complement_hits, 1u);
+  EXPECT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);
+}
+
+TEST(EdgeCases, OneVariableManager) {
+  BddManager mgr(1);
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(Isf::from_csf(mgr.var(0)));
+  EXPECT_EQ(f, mgr.var(0));
+  const auto [g, sig2] = dec.decompose(Isf::from_csf(~mgr.var(0)));
+  EXPECT_EQ(g, ~mgr.var(0));
+}
+
+TEST(EdgeCases, WideManagerSparseSupport) {
+  // 40 variables, function touches only three of them.
+  BddManager mgr(40);
+  const Bdd f = (mgr.var(7) & mgr.var(23)) ^ mgr.var(39);
+  const std::vector<Isf> spec{Isf::from_csf(f)};
+  const FlowResult res = synthesize_bidecomp(mgr, spec, {}, {});
+  EXPECT_TRUE(verify_against_isfs(mgr, res.netlist, spec).ok);
+  EXPECT_LE(res.netlist.stats().two_input, 2u);
+}
+
+// --- parser fuzzing -----------------------------------------------------------
+
+TEST(ParserFuzz, PlaGarbageNeverCrashes) {
+  std::mt19937_64 rng(3);
+  const std::string alphabet = ".io01-~ e\npft\t x2";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 200);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) text += alphabet[pick(rng)];
+    try {
+      const PlaFile pla = PlaFile::parse_string(text);
+      // Accepted input must be internally consistent.
+      for (const auto& row : pla.rows) {
+        EXPECT_EQ(row.inputs.size(), pla.num_inputs);
+        EXPECT_EQ(row.outputs.size(), pla.num_outputs);
+      }
+    } catch (const std::exception&) {
+      // throwing is the expected failure mode
+    }
+  }
+}
+
+TEST(ParserFuzz, BlifGarbageNeverCrashes) {
+  std::mt19937_64 rng(4);
+  const std::string alphabet = ".namesinputsoutputsmodel 01-\nab\t";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 200);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) text += alphabet[pick(rng)];
+    try {
+      (void)read_blif_string(text);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, MutatedValidPlaStaysSane) {
+  const std::string valid = ".i 3\n.o 2\n1-0 10\n01- 11\n111 0-\n.e\n";
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = valid;
+    text[pos(rng)] = static_cast<char>(ch(rng));
+    try {
+      const PlaFile pla = PlaFile::parse_string(text);
+      BddManager mgr(pla.num_inputs > 0 ? pla.num_inputs : 1);
+      if (pla.num_inputs > 0 && pla.num_inputs <= 8) {
+        (void)pla.to_isfs(mgr);  // semantic layer must also hold up
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+// --- GC pressure --------------------------------------------------------------
+
+TEST(GcPressure, LongOperationSequenceStaysCorrect) {
+  BddManager mgr(10, /*initial_capacity=*/1u << 12);
+  mgr.set_gc_threshold(2000);  // force frequent collections
+  std::mt19937_64 rng(6);
+  Bdd acc = mgr.bdd_false();
+  TruthTable acc_tt(10);
+  for (int step = 0; step < 60; ++step) {
+    const TruthTable t = TruthTable::random(10, rng, 0.3);
+    const Bdd f = t.to_bdd(mgr);
+    switch (step % 3) {
+      case 0: acc = acc | f; acc_tt = acc_tt | t; break;
+      case 1: acc = acc ^ f; acc_tt = acc_tt ^ t; break;
+      case 2: acc = acc & ~f; acc_tt = acc_tt & ~t; break;
+    }
+  }
+  EXPECT_GE(mgr.stats().gc_runs, 1u);
+  EXPECT_EQ(TruthTable::from_bdd(mgr, acc, 10), acc_tt);
+}
+
+TEST(GcPressure, DecomposerUnderTightThreshold) {
+  BddManager mgr(8, 1u << 12);
+  mgr.set_gc_threshold(3000);
+  std::mt19937_64 rng(7);
+  const TruthTable on = TruthTable::random(8, rng, 0.5);
+  const Isf isf = Isf::from_csf(on.to_bdd(mgr));
+  BiDecomposer dec(mgr);
+  const auto [f, sig] = dec.decompose(isf);
+  EXPECT_TRUE(isf.is_compatible(f));
+}
+
+// --- regressions ---------------------------------------------------------------
+
+TEST(Regression, XorOfNotFanninsInNativeMode) {
+  // add_gate_native must not strip inverters (the mapper relies on it).
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId na = net.add_not(a);
+  const SignalId x = net.add_gate_native(GateType::kXor, na, b);
+  EXPECT_EQ(net.node(x).type, GateType::kXor);  // not folded into XNOR
+  // Non-native mode does strip.
+  const SignalId y = net.add_xor(na, b);
+  EXPECT_EQ(net.node(y).type, GateType::kNot);
+}
+
+TEST(Regression, SupportOfCompletelySpecifiedMvFunction) {
+  // MvIsf::support must not evaluate support(Q|R) (a tautology for CSFs).
+  BddManager mgr(3);
+  std::vector<Bdd> sets{~mgr.var(0), mgr.var(0) & ~mgr.var(2), mgr.var(0) & mgr.var(2)};
+  const auto f = MvIsf::from_value_sets(mgr, sets);
+  EXPECT_EQ(f.support(), (std::vector<unsigned>{0, 2}));
+}
+
+TEST(Regression, AbsorbInvertersTwiceIsIdempotent) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("y", net.add_not(net.add_and(a, b)));
+  EXPECT_EQ(net.absorb_inverters(), 1u);
+  EXPECT_EQ(net.absorb_inverters(), 0u);
+  EXPECT_FALSE(net.evaluate({true, true})[0]);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,136 @@
+// espresso-lite: the result must stay inside the care interval, remain
+// irredundant, and never be worse than the input cover.
+#include "sop/espresso_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+TruthTable cover_to_tt(const Cover& c) {
+  return TruthTable::from_function(c.num_vars(),
+                                   [&c](std::uint64_t m) { return c.eval(m); });
+}
+
+Cover tt_to_minterm_cover(const TruthTable& t) {
+  Cover c(t.num_vars());
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (!t.get(m)) continue;
+    Cube cube(t.num_vars());
+    for (unsigned v = 0; v < t.num_vars(); ++v) cube.set_literal(v, (m >> v) & 1);
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+class EspressoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EspressoProperty, ResultInsideCareInterval) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4 + GetParam() % 3;
+  const TruthTable on = TruthTable::random(nv, rng, 0.35);
+  const TruthTable dc = TruthTable::random(nv, rng, 0.2) - on;
+  const Cover on_cover = tt_to_minterm_cover(on);
+  const Cover dc_cover = tt_to_minterm_cover(dc);
+
+  const EspressoResult res = espresso_lite(on_cover, dc_cover);
+  const TruthTable result = cover_to_tt(res.cover);
+  // Covers every on-set minterm.
+  EXPECT_TRUE((on - result).is_zero());
+  // Never touches the off-set.
+  const TruthTable off = ~(on | dc);
+  EXPECT_TRUE((result & off).is_zero());
+  EXPECT_GE(res.iterations, 1u);
+}
+
+TEST_P(EspressoProperty, NeverWorseThanInput) {
+  std::mt19937_64 rng(GetParam() + 70);
+  const unsigned nv = 5;
+  const TruthTable on = TruthTable::random(nv, rng, 0.4);
+  const Cover on_cover = tt_to_minterm_cover(on);
+  const EspressoResult res = espresso_lite(on_cover, Cover(nv));
+  EXPECT_LE(res.cover.size(), on_cover.size());
+}
+
+TEST_P(EspressoProperty, ResultIsIrredundant) {
+  std::mt19937_64 rng(GetParam() + 140);
+  const unsigned nv = 4;
+  const TruthTable on = TruthTable::random(nv, rng, 0.4);
+  const Cover minimized = espresso_lite(tt_to_minterm_cover(on), Cover(nv)).cover;
+  // Removing any cube must uncover some on-set minterm (no dc here).
+  for (std::size_t skip = 0; skip < minimized.size(); ++skip) {
+    Cover rest(nv);
+    for (std::size_t i = 0; i < minimized.size(); ++i) {
+      if (i != skip) rest.add(minimized.cube(i));
+    }
+    EXPECT_NE(cover_to_tt(rest), on) << "cube " << skip << " redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspressoProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Espresso, MergesAdjacentMinterms) {
+  // on = {00, 01} over 2 vars: must merge into the single cube "0-" (var0=0).
+  TruthTable on(2);
+  on.set(0b00, true);
+  on.set(0b10, true);  // var1 = 1, var0 = 0
+  const Cover minimized = espresso_lite(tt_to_minterm_cover(on), Cover(2)).cover;
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized.cube(0).to_string(), "0-");
+}
+
+TEST(Espresso, UsesDontCaresToExpand) {
+  // on = minterm 11, dc = {01, 10}: the tautology-free best cover is one
+  // cube covering on plus whatever dc it wants; literal count must drop to 1
+  // or 0 literals.
+  TruthTable on(2), dc(2);
+  on.set(0b11, true);
+  dc.set(0b01, true);
+  dc.set(0b10, true);
+  const Cover minimized =
+      espresso_lite(tt_to_minterm_cover(on), tt_to_minterm_cover(dc)).cover;
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_LE(minimized.cube(0).num_literals(), 1u);
+}
+
+TEST(Espresso, ExpandAgainstOffset) {
+  const std::string on_rows[] = {"110", "100"};
+  const std::string off_rows[] = {"0--", "--1"};
+  const Cover expanded =
+      espresso_expand(Cover::from_strings(on_rows), Cover::from_strings(off_rows));
+  // Both cubes expand to 1-0 and merge.
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded.cube(0).to_string(), "1-0");
+}
+
+TEST(Espresso, IrredundantDropsCoveredCube) {
+  const std::string rows[] = {"1--", "-1-", "11-"};
+  const Cover irr = espresso_irredundant(
+      Cover::from_strings(rows), Cover(3));
+  EXPECT_EQ(irr.size(), 2u);
+}
+
+TEST(Espresso, ReduceShrinksOverlappingCube) {
+  // Two overlapping cubes: after reduce, at least one shrinks but the union
+  // is preserved together with expand.
+  const std::string rows[] = {"1--", "-1-"};
+  const Cover original = Cover::from_strings(rows);
+  const Cover reduced = espresso_reduce(original, Cover(3));
+  EXPECT_EQ(cover_to_tt(reduced) | cover_to_tt(original), cover_to_tt(original));
+  // Reduction never grows a cube.
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    EXPECT_TRUE(original.cube(i).contains(reduced.cube(i)));
+  }
+}
+
+TEST(Espresso, EmptyOnSet) {
+  const EspressoResult res = espresso_lite(Cover(3), Cover(3));
+  EXPECT_TRUE(res.cover.empty());
+}
+
+}  // namespace
+}  // namespace bidec

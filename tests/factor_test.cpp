@@ -1,0 +1,113 @@
+// Algebraic factoring: the netlist realizes exactly the cover function and
+// balanced trees keep the depth logarithmic.
+#include "baseline/factor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+TruthTable cover_to_tt(const Cover& c) {
+  return TruthTable::from_function(c.num_vars(),
+                                   [&c](std::uint64_t m) { return c.eval(m); });
+}
+
+Cover random_cover(unsigned nv, unsigned cubes, std::mt19937_64& rng) {
+  Cover c(nv);
+  std::uniform_int_distribution<int> lit(-2, 1);  // bias toward '-'
+  for (unsigned i = 0; i < cubes; ++i) {
+    Cube cube(nv);
+    for (unsigned v = 0; v < nv; ++v) {
+      const int l = lit(rng);
+      if (l >= 0) cube.set_literal(v, l == 1);
+    }
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+struct FactorFixture {
+  Netlist net;
+  std::vector<SignalId> inputs;
+
+  explicit FactorFixture(unsigned nv) {
+    for (unsigned v = 0; v < nv; ++v) inputs.push_back(net.add_input("x" + std::to_string(v)));
+  }
+};
+
+TEST(BalancedTree, DepthIsLogarithmic) {
+  FactorFixture fx(8);
+  const SignalId root = build_balanced_tree(fx.net, GateType::kAnd, fx.inputs);
+  fx.net.add_output("y", root);
+  const NetlistStats s = fx.net.stats();
+  EXPECT_EQ(s.two_input, 7u);
+  EXPECT_EQ(s.cascades, 3u);  // log2(8)
+}
+
+TEST(BalancedTree, EmptyGivesNeutralConstant) {
+  FactorFixture fx(2);
+  EXPECT_EQ(build_balanced_tree(fx.net, GateType::kAnd, {}),
+            fx.net.get_const(true));
+  EXPECT_EQ(build_balanced_tree(fx.net, GateType::kOr, {}),
+            fx.net.get_const(false));
+}
+
+TEST(BalancedTree, SingleSignalPassesThrough) {
+  FactorFixture fx(2);
+  const SignalId sigs[] = {fx.inputs[1]};
+  EXPECT_EQ(build_balanced_tree(fx.net, GateType::kOr, sigs), fx.inputs[1]);
+}
+
+TEST(Factor, EmptyAndUniversalCovers) {
+  FactorFixture fx(3);
+  EXPECT_EQ(factor_cover(fx.net, Cover(3), fx.inputs), fx.net.get_const(false));
+  EXPECT_EQ(factor_cover(fx.net, Cover::universe(3), fx.inputs), fx.net.get_const(true));
+}
+
+TEST(Factor, SingleCube) {
+  FactorFixture fx(3);
+  const std::string rows[] = {"1-0"};
+  const SignalId y = factor_cover(fx.net, Cover::from_strings(rows), fx.inputs);
+  fx.net.add_output("y", y);
+  EXPECT_TRUE(fx.net.evaluate({true, false, false})[0]);
+  EXPECT_TRUE(fx.net.evaluate({true, true, false})[0]);
+  EXPECT_FALSE(fx.net.evaluate({true, false, true})[0]);
+}
+
+TEST(Factor, SharedLiteralIsFactoredOut) {
+  // F = a b + a c = a (b + c): 2 gates instead of 3.
+  FactorFixture fx(3);
+  const std::string rows[] = {"11-", "1-1"};
+  const SignalId y = factor_cover(fx.net, Cover::from_strings(rows), fx.inputs);
+  fx.net.add_output("y", y);
+  EXPECT_EQ(fx.net.stats().two_input, 2u);
+}
+
+TEST(Factor, RandomCoversRealizeExactFunction) {
+  std::mt19937_64 rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    const unsigned nv = 3 + trial % 4;
+    const Cover cover = random_cover(nv, 1 + trial % 7, rng);
+    FactorFixture fx(nv);
+    fx.net.add_output("y", factor_cover(fx.net, cover, fx.inputs));
+    BddManager mgr(nv);
+    const std::vector<Bdd> out = netlist_to_bdds(mgr, fx.net);
+    EXPECT_EQ(out[0], cover.to_bdd(mgr)) << trial;
+  }
+}
+
+TEST(Factor, NegativeLiteralsShareInverters) {
+  FactorFixture fx(2);
+  const std::string rows[] = {"0-", "-0"};  // ~a + ~b
+  fx.net.add_output("y", factor_cover(fx.net, Cover::from_strings(rows), fx.inputs));
+  // One inverter per input at most (strash shares them).
+  EXPECT_LE(fx.net.stats().inverters, 2u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,194 @@
+// Variable grouping (Figs. 5/6), the best-grouping cost function and the
+// weak grouping of Section 7.
+#include "bidec/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bidec/exor_check.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+Isf random_isf(BddManager& mgr, unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return Isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+}
+
+bool disjoint_sets(const VarGrouping& g) {
+  for (const unsigned a : g.xa) {
+    for (const unsigned b : g.xb) {
+      if (a == b) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Grouping, OrGroupingOfDisjointOrFunction) {
+  BddManager mgr(6);
+  const Bdd f = (mgr.var(0) & mgr.var(1) & mgr.var(2)) | (mgr.var(3) & mgr.var(4) & mgr.var(5));
+  const Isf isf = Isf::from_csf(f);
+  const auto support = isf.support();
+  const VarGrouping g = group_variables_or(isf, support, {});
+  ASSERT_FALSE(g.empty());
+  EXPECT_TRUE(disjoint_sets(g));
+  EXPECT_TRUE(check_or_decomposable(isf, g.xa, g.xb));
+  // The ideal grouping separates {0,1,2} from {3,4,5} completely.
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.imbalance(), 0u);
+}
+
+TEST(Grouping, AndGroupingOfConjunction) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) | mgr.var(1)) & (mgr.var(2) | mgr.var(3));
+  const Isf isf = Isf::from_csf(f);
+  const VarGrouping g = group_variables_and(isf, isf.support(), {});
+  ASSERT_FALSE(g.empty());
+  EXPECT_TRUE(check_and_decomposable(isf, g.xa, g.xb));
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(Grouping, ExorGroupingOfParity) {
+  BddManager mgr(6);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 6; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  const VarGrouping g = group_variables_exor(isf, isf.support(), {});
+  ASSERT_FALSE(g.empty());
+  // Parity admits a full split.
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_TRUE(check_exor_bidecomp(isf, g.xa, g.xb).has_value());
+}
+
+TEST(Grouping, NonDecomposableReturnsEmpty) {
+  // A 3-input majority-with-a-twist that is not strongly bi-decomposable:
+  // 2-out-of-3 majority is not OR/AND/EXOR bi-decomposable with singleton
+  // private sets.
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd maj = (a & b) | (a & c) | (b & c);
+  const Isf isf = Isf::from_csf(maj);
+  EXPECT_TRUE(group_variables_or(isf, isf.support(), {}).empty());
+  EXPECT_TRUE(group_variables_and(isf, isf.support(), {}).empty());
+  EXPECT_TRUE(group_variables_exor(isf, isf.support(), {}).empty());
+  EXPECT_FALSE(find_best_grouping(isf, isf.support(), {}).has_value());
+}
+
+TEST(Grouping, GroupingsAlwaysValidOnRandomIsfs) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddManager mgr(6);
+    const Isf isf = random_isf(mgr, 6, rng, 0.4);
+    const auto support = isf.support();
+    if (support.size() < 2) continue;
+    if (const VarGrouping g = group_variables_or(isf, support, {}); !g.empty()) {
+      EXPECT_TRUE(disjoint_sets(g));
+      EXPECT_TRUE(check_or_decomposable(isf, g.xa, g.xb));
+    }
+    if (const VarGrouping g = group_variables_and(isf, support, {}); !g.empty()) {
+      EXPECT_TRUE(check_and_decomposable(isf, g.xa, g.xb));
+    }
+    if (const VarGrouping g = group_variables_exor(isf, support, {}); !g.empty()) {
+      EXPECT_TRUE(check_exor_bidecomp(isf, g.xa, g.xb).has_value());
+    }
+  }
+}
+
+TEST(Grouping, BestGroupingPrefersLargerSets) {
+  // F = or of two 3-var halves: OR grouping covers all 6 variables, EXOR
+  // generally cannot; the best grouping must be the OR one.
+  BddManager mgr(6);
+  const Bdd f = (mgr.var(0) & mgr.var(1) & mgr.var(2)) | (mgr.var(3) & mgr.var(4) & mgr.var(5));
+  const Isf isf = Isf::from_csf(f);
+  const auto best = find_best_grouping(isf, isf.support(), {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->gate, GateKind::kOr);
+  EXPECT_EQ(best->grouping.size(), 6u);
+}
+
+TEST(Grouping, BalanceCostBreaksTies) {
+  // On 4-var parity the full split is found and the canonical
+  // power-of-two-aligned partition is perfectly balanced.
+  BddManager mgr(4);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 4; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  const auto best = find_best_grouping(isf, isf.support(), {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->grouping.size(), 4u);
+  EXPECT_EQ(best->grouping.imbalance(), 0u);
+}
+
+TEST(Grouping, CanonicalSplitKeepsLogDepthOnOddSizes) {
+  // 5-var parity: the canonical split is 4|1 (largest power of two below the
+  // size), which preserves the ceil(log2 n) tree depth while maximizing
+  // shared low blocks across outputs.
+  BddManager mgr(5);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 5; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  const auto best = find_best_grouping(isf, isf.support(), {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->grouping.size(), 5u);
+  EXPECT_EQ(best->grouping.xa.size(), 4u);
+  EXPECT_EQ(best->grouping.xb.size(), 1u);
+}
+
+TEST(Grouping, WeakGroupingFindsGain) {
+  std::mt19937_64 rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddManager mgr(5);
+    const Isf isf = random_isf(mgr, 5, rng, 0.2);
+    const auto support = isf.support();
+    if (support.size() < 3) continue;
+    const auto weak = group_variables_weak(isf, support, {});
+    if (!weak) continue;
+    EXPECT_EQ(weak->xa.size(), 1u);  // default weak_xa_size = 1
+    if (weak->gate == GateKind::kOr) {
+      EXPECT_TRUE(check_weak_or_useful(isf, weak->xa));
+    } else {
+      EXPECT_TRUE(check_weak_and_useful(isf, weak->xa));
+    }
+  }
+}
+
+TEST(Grouping, WeakGroupingRespectsXaSizeOption) {
+  std::mt19937_64 rng(33);
+  BddManager mgr(6);
+  const Isf isf = random_isf(mgr, 6, rng, 0.1);
+  BidecOptions options;
+  options.weak_xa_size = 2;
+  const auto weak = group_variables_weak(isf, isf.support(), options);
+  if (weak) {
+    EXPECT_LE(weak->xa.size(), 2u);
+  }
+}
+
+TEST(Grouping, WeakGroupingEmptyForParity) {
+  BddManager mgr(4);
+  Bdd parity = mgr.bdd_false();
+  for (unsigned v = 0; v < 4; ++v) parity ^= mgr.var(v);
+  const Isf isf = Isf::from_csf(parity);
+  EXPECT_FALSE(group_variables_weak(isf, isf.support(), {}).has_value());
+}
+
+TEST(Grouping, RegroupOptionStaysValid) {
+  std::mt19937_64 rng(34);
+  BidecOptions options;
+  options.regroup = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    BddManager mgr(6);
+    const Isf isf = random_isf(mgr, 6, rng, 0.5);
+    const auto support = isf.support();
+    if (support.size() < 2) continue;
+    if (const VarGrouping g = group_variables_or(isf, support, options); !g.empty()) {
+      EXPECT_TRUE(check_or_decomposable(isf, g.xa, g.xb));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,144 @@
+// Cross-module integration: the full PLA -> decompose -> BLIF -> verify
+// pipeline, three-flow agreement on benchmarks, and the paper's headline
+// structural claims on small instances.
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.h"
+#include "baseline/bds_like.h"
+#include "baseline/sis_like.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "io/blif.h"
+#include "io/pla.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+Netlist decompose_benchmark(BddManager& mgr, const Benchmark& bench,
+                            const BidecOptions& options = {}) {
+  const std::vector<Isf> spec = bench.build(mgr);
+  BiDecomposer dec(mgr, options, bench.input_names());
+  const auto names = bench.output_names();
+  for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(names[o], spec[o]);
+  dec.finish();
+  return std::move(dec.netlist());
+}
+
+TEST(Integration, PlaToBlifPipeline) {
+  const char* pla_text = R"(.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+1--1 10
+-11- 11
+0--0 -1
+1010 0-
+.e
+)";
+  const PlaFile pla = PlaFile::parse_string(pla_text);
+  BddManager mgr(pla.num_inputs);
+  const std::vector<Isf> spec = pla.to_isfs(mgr);
+
+  std::vector<std::string> in_names, out_names;
+  for (unsigned i = 0; i < pla.num_inputs; ++i) in_names.push_back(pla.input_name(i));
+  for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
+
+  BiDecomposer dec(mgr, {}, in_names);
+  for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(out_names[o], spec[o]);
+  dec.finish();
+  ASSERT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);
+
+  // Write BLIF, read it back, and verify the round trip against the spec.
+  const std::string blif = write_blif(dec.netlist(), "pipeline");
+  const Netlist reread = read_blif_string(blif);
+  EXPECT_TRUE(verify_against_isfs(mgr, reread, spec).ok);
+  EXPECT_TRUE(verify_equivalent(mgr, dec.netlist(), reread).ok);
+}
+
+TEST(Integration, ThreeFlowsAgreeOnRd84) {
+  const Benchmark& bench = find_benchmark("rd84");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+
+  const Netlist ours = decompose_benchmark(mgr, bench);
+  const Netlist sis = sis_like_synthesize(mgr, spec, bench.input_names(),
+                                          bench.output_names());
+  const Netlist bds = bds_like_synthesize(mgr, spec, bench.input_names(),
+                                          bench.output_names());
+  EXPECT_TRUE(verify_against_isfs(mgr, ours, spec).ok);
+  EXPECT_TRUE(verify_against_isfs(mgr, sis, spec).ok);
+  EXPECT_TRUE(verify_against_isfs(mgr, bds, spec).ok);
+  // Spec is completely specified, so all three netlists are equivalent.
+  EXPECT_TRUE(verify_equivalent(mgr, ours, sis).ok);
+  EXPECT_TRUE(verify_equivalent(mgr, ours, bds).ok);
+}
+
+TEST(Integration, BiDecompBeatsSisLikeOnExorIntensive9sym) {
+  // The Table 2 headline on the EXOR-intensive row: the bi-decomposition
+  // netlist is shallower and faster with fewer gates, realized with EXOR
+  // gates the two-level flow cannot produce. (Area is roughly tied on this
+  // row: our strash-heavy baseline factors the symmetric SOP into the
+  // optimal weight-counting DP network of cheap NAND/NOR gates, which real
+  // SIS's mapper did not; see EXPERIMENTS.md.)
+  const Benchmark& bench = find_benchmark("9sym");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const Netlist ours = decompose_benchmark(mgr, bench);
+  const Netlist sis = sis_like_synthesize(mgr, spec, {}, {});
+  EXPECT_LT(ours.stats().delay, sis.stats().delay);
+  EXPECT_LT(ours.stats().cascades, sis.stats().cascades);
+  EXPECT_LT(ours.stats().gates, sis.stats().gates);
+  EXPECT_LE(ours.stats().area, sis.stats().area * 1.15);
+  EXPECT_GT(ours.stats().exors, 0u);
+  EXPECT_EQ(sis.stats().exors, 0u);
+}
+
+TEST(Integration, StrongBeatsWeakOnlyOnT481) {
+  // The Table 3 conjecture: strong bi-decomposition produces smaller
+  // netlists than a weak-only flow (the paper's model of BDS).
+  const Benchmark& bench = find_benchmark("t481");
+  BddManager mgr(bench.num_inputs);
+  BidecOptions weak_only;
+  weak_only.use_strong = false;
+  const Netlist strong = decompose_benchmark(mgr, bench);
+  const Netlist weak = decompose_benchmark(mgr, bench, weak_only);
+  const std::vector<Isf> spec = bench.build(mgr);
+  EXPECT_TRUE(verify_against_isfs(mgr, strong, spec).ok);
+  EXPECT_TRUE(verify_against_isfs(mgr, weak, spec).ok);
+  EXPECT_LT(strong.stats().area, weak.stats().area);
+}
+
+TEST(Integration, CacheReducesGateCountOnMultiOutput) {
+  const Benchmark& bench = find_benchmark("rd84");
+  BddManager mgr(bench.num_inputs);
+  BidecOptions no_cache;
+  no_cache.use_cache = false;
+  const Netlist with_cache = decompose_benchmark(mgr, bench);
+  const Netlist without_cache = decompose_benchmark(mgr, bench, no_cache);
+  // Structural hashing still dedups identical gates, so the difference can
+  // be small, but the cache must never hurt.
+  EXPECT_LE(with_cache.stats().gates, without_cache.stats().gates);
+}
+
+TEST(Integration, DecomposedBenchmarkIsFullyTestable) {
+  const Benchmark& bench = find_benchmark("rd84");
+  BddManager mgr(bench.num_inputs);
+  const Netlist net = decompose_benchmark(mgr, bench);
+  const AtpgResult atpg = run_atpg(mgr, net);
+  EXPECT_DOUBLE_EQ(atpg.coverage(), 1.0);
+}
+
+TEST(Integration, WeakOnlyStillVerifiesOnPlaBenchmark) {
+  const Benchmark& bench = find_benchmark("misex2");
+  BddManager mgr(bench.num_inputs);
+  BidecOptions weak_only;
+  weak_only.use_strong = false;
+  const Netlist net = decompose_benchmark(mgr, bench, weak_only);
+  const std::vector<Isf> spec = bench.build(mgr);
+  EXPECT_TRUE(verify_against_isfs(mgr, net, spec).ok);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,134 @@
+// ISF layer: interval semantics, compatibility (Theorem 6), covers,
+// inessential-variable removal.
+#include "isf/isf.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+TEST(Isf, ConstructionRejectsOverlap) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0);
+  EXPECT_THROW(Isf(a, a), std::invalid_argument);
+  EXPECT_THROW(Isf(a, a & mgr.var(1)), std::invalid_argument);
+  EXPECT_NO_THROW(Isf(a, ~a));
+}
+
+TEST(Isf, FromCsfHasEmptyDc) {
+  BddManager mgr(3);
+  const Bdd f = mgr.var(0) ^ mgr.var(1);
+  const Isf isf = Isf::from_csf(f);
+  EXPECT_TRUE(isf.is_csf());
+  EXPECT_TRUE(isf.dc().is_false());
+  EXPECT_EQ(isf.any_cover(), f);
+}
+
+TEST(Isf, FromOnDcPartitionsTheSpace) {
+  BddManager mgr(3);
+  const Bdd on = mgr.var(0) & mgr.var(1);
+  const Bdd dc = mgr.var(2) & ~mgr.var(0);
+  const Isf isf = Isf::from_on_dc(on, dc);
+  EXPECT_EQ(isf.q() | isf.r() | isf.dc(), mgr.bdd_true());
+  EXPECT_TRUE((isf.q() & isf.r()).is_false());
+  EXPECT_TRUE((isf.q() & isf.dc()).is_false());
+  EXPECT_EQ(isf.dc(), dc);
+}
+
+TEST(Isf, CompatibilityTheorem6) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  const Isf isf(a & b, ~a & ~b);  // dc where exactly one is true
+  EXPECT_TRUE(isf.is_compatible(a & b));
+  EXPECT_TRUE(isf.is_compatible(a));      // a covers Q, misses R
+  EXPECT_TRUE(isf.is_compatible(a | b));
+  EXPECT_FALSE(isf.is_compatible(~a));    // misses Q
+  EXPECT_FALSE(isf.is_compatible(mgr.bdd_true()));  // hits R
+  // Complement compatibility.
+  EXPECT_TRUE(isf.is_compatible_complement((~(a & b) & (a | b)) | (~a & ~b)));
+  EXPECT_TRUE(isf.is_compatible_complement(~a));
+  EXPECT_FALSE(isf.is_compatible_complement(a));
+}
+
+TEST(Isf, AdmitsConstants) {
+  BddManager mgr(2);
+  EXPECT_TRUE(Isf(mgr.bdd_false(), mgr.var(0)).admits_const0());
+  EXPECT_FALSE(Isf(mgr.var(0), ~mgr.var(0)).admits_const0());
+  EXPECT_TRUE(Isf(mgr.var(0), mgr.bdd_false()).admits_const1());
+}
+
+TEST(Isf, AnyCoverIsCompatible) {
+  std::mt19937_64 rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    BddManager mgr(6);
+    const TruthTable on = TruthTable::random(6, rng, 0.4);
+    const TruthTable dc = TruthTable::random(6, rng, 0.3);
+    const Isf isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    EXPECT_TRUE(isf.is_compatible(isf.any_cover()));
+  }
+}
+
+TEST(Isf, SupportIsUnionOfBounds) {
+  BddManager mgr(4);
+  const Isf isf(mgr.var(0) & mgr.var(1), ~mgr.var(0) & mgr.var(3));
+  EXPECT_EQ(isf.support(), (std::vector<unsigned>{0, 1, 3}));
+}
+
+TEST(Isf, CofactorBothBounds) {
+  BddManager mgr(3);
+  const Isf isf(mgr.var(0) & mgr.var(1), ~mgr.var(0));
+  const Isf c = isf.cofactor(0, true);
+  EXPECT_EQ(c.q(), mgr.var(1));
+  EXPECT_TRUE(c.r().is_false());
+}
+
+TEST(Isf, InessentialVariableDetected) {
+  BddManager mgr(3);
+  // Q = x0 & x2, R = ~x0 & x2: x2 only gates whether the point is a care
+  // point; the interval admits a cover (x0) independent of x2 -> x2 is
+  // inessential, x0 is not.
+  const Isf isf(mgr.var(0) & mgr.var(2), ~mgr.var(0) & mgr.var(2));
+  EXPECT_TRUE(isf.variable_inessential(2));
+  EXPECT_FALSE(isf.variable_inessential(0));
+  const Isf reduced = isf.remove_inessential_variables();
+  EXPECT_EQ(reduced.support(), std::vector<unsigned>{0});
+  // The reduced interval is a sub-problem whose covers still work: x0 is
+  // compatible with the original.
+  EXPECT_TRUE(isf.is_compatible(reduced.any_cover()));
+}
+
+TEST(Isf, CsfHasNoInessentialSupportVariables) {
+  std::mt19937_64 rng(22);
+  BddManager mgr(5);
+  const TruthTable t = TruthTable::random(5, rng);
+  const Isf isf = Isf::from_csf(t.to_bdd(mgr));
+  const Isf reduced = isf.remove_inessential_variables();
+  // For a CSF the support cannot shrink.
+  EXPECT_EQ(reduced.support(), isf.support());
+}
+
+TEST(Isf, RemovalPreservesCompatibility) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    BddManager mgr(5);
+    const TruthTable on = TruthTable::random(5, rng, 0.3);
+    const TruthTable dc = TruthTable::random(5, rng, 0.5);
+    const Isf isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    const Isf reduced = isf.remove_inessential_variables();
+    EXPECT_LE(reduced.support().size(), isf.support().size());
+    EXPECT_TRUE(isf.is_compatible(reduced.any_cover())) << trial;
+  }
+}
+
+TEST(Isf, ManagerMismatchRejected) {
+  BddManager mgr1(2), mgr2(2);
+  EXPECT_THROW(Isf(mgr1.var(0), mgr2.var(1)), std::invalid_argument);
+  EXPECT_THROW(Isf(Bdd{}, Bdd{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,293 @@
+// Multiple-valued bi-decomposition (the paper's future-work extension):
+// threshold encoding, MAX/MIN checks against brute force, component
+// derivation, the full MV decomposer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mv/mv_decompose.h"
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+/// A random completely specified k-valued function as a TruthTable of
+/// values (index = minterm, entry = value).
+std::vector<unsigned> random_mv_values(unsigned nv, unsigned k, std::mt19937_64& rng) {
+  std::uniform_int_distribution<unsigned> pick(0, k - 1);
+  std::vector<unsigned> values(std::size_t{1} << nv);
+  for (auto& v : values) v = pick(rng);
+  return values;
+}
+
+MvIsf mv_from_values(BddManager& mgr, const std::vector<unsigned>& values, unsigned k) {
+  const auto nv = static_cast<unsigned>(std::countr_zero(values.size()));
+  std::vector<Bdd> sets(k, mgr.bdd_false());
+  for (std::uint64_t m = 0; m < values.size(); ++m) {
+    CubeLits lits(nv, -1);
+    for (unsigned v = 0; v < nv; ++v) lits[v] = static_cast<signed char>((m >> v) & 1);
+    sets[values[m]] |= mgr.make_cube(lits);
+  }
+  return MvIsf::from_value_sets(mgr, std::move(sets));
+}
+
+/// Brute-force MAX/MIN decomposability for tiny completely specified MV
+/// functions: enumerate all component functions over the reduced spaces.
+bool brute_force_mv_decomposable(const std::vector<unsigned>& values, unsigned nv,
+                                 unsigned k, std::span<const unsigned> xa,
+                                 std::span<const unsigned> xb, bool is_max) {
+  // Components: A independent of xb, B independent of xa.
+  const auto independent_index = [nv](std::uint64_t m, std::span<const unsigned> banned) {
+    std::uint64_t idx = 0;
+    unsigned bit = 0;
+    for (unsigned v = 0; v < nv; ++v) {
+      bool is_banned = false;
+      for (const unsigned b : banned) is_banned |= b == v;
+      if (is_banned) continue;
+      idx |= ((m >> v) & 1) << bit;
+      ++bit;
+    }
+    return idx;
+  };
+  const unsigned free_a = nv - static_cast<unsigned>(xb.size());
+  const unsigned free_b = nv - static_cast<unsigned>(xa.size());
+  const std::uint64_t na = std::uint64_t{1} << free_a;
+  const std::uint64_t nb = std::uint64_t{1} << free_b;
+  // Enumerate all k^na * k^nb pairs -- only feasible for tiny sizes.
+  std::vector<unsigned> fa(na, 0), fb(nb, 0);
+  const auto advance = [k](std::vector<unsigned>& digits) {
+    for (auto& d : digits) {
+      if (++d < k) return true;
+      d = 0;
+    }
+    return false;
+  };
+  do {
+    std::fill(fb.begin(), fb.end(), 0u);
+    do {
+      bool ok = true;
+      for (std::uint64_t m = 0; m < (std::uint64_t{1} << nv) && ok; ++m) {
+        const unsigned a = fa[independent_index(m, xb)];
+        const unsigned b = fb[independent_index(m, xa)];
+        const unsigned val = is_max ? std::max(a, b) : std::min(a, b);
+        ok = val == values[m];
+      }
+      if (ok) return true;
+    } while (advance(fb));
+  } while (advance(fa));
+  return false;
+}
+
+TEST(MvIsf, FromValueSetsThresholds) {
+  BddManager mgr(2);
+  // F(a,b): value = a + b (0..2), a 3-valued half adder sum.
+  std::vector<Bdd> sets(3);
+  const Bdd a = mgr.var(0), b = mgr.var(1);
+  sets[0] = ~a & ~b;
+  sets[1] = a ^ b;
+  sets[2] = a & b;
+  const MvIsf f = MvIsf::from_value_sets(mgr, sets);
+  EXPECT_EQ(f.num_values(), 3u);
+  EXPECT_EQ(f.threshold(1).q(), a | b);   // F >= 1
+  EXPECT_EQ(f.threshold(2).q(), a & b);   // F >= 2
+  EXPECT_TRUE(f.threshold(1).is_csf());
+}
+
+TEST(MvIsf, RejectsOverlappingSets) {
+  BddManager mgr(2);
+  std::vector<Bdd> sets{mgr.var(0), mgr.var(0) & mgr.var(1)};
+  EXPECT_THROW((void)MvIsf::from_value_sets(mgr, sets), std::invalid_argument);
+}
+
+TEST(MvIsf, RejectsNonMonotoneChain) {
+  BddManager mgr(2);
+  std::vector<Isf> chain;
+  chain.push_back(Isf::from_csf(mgr.var(0)));
+  chain.push_back(Isf::from_csf(mgr.var(1)));  // not nested in var(0)
+  EXPECT_THROW((void)MvIsf::from_thresholds(std::move(chain)), std::invalid_argument);
+}
+
+TEST(MvIsf, UnspecifiedInputsAllowEverything) {
+  BddManager mgr(2);
+  std::vector<Bdd> sets(3, mgr.bdd_false());
+  sets[0] = ~mgr.var(0) & ~mgr.var(1);
+  sets[2] = mgr.var(0) & mgr.var(1);
+  const MvIsf f = MvIsf::from_value_sets(mgr, sets);  // 01,10 unspecified
+  EXPECT_EQ(f.min_allowed({false, false}), 0u);
+  EXPECT_EQ(f.max_allowed({false, false}), 0u);
+  EXPECT_EQ(f.min_allowed({true, false}), 0u);
+  EXPECT_EQ(f.max_allowed({true, false}), 2u);
+  EXPECT_TRUE(f.value_allowed({true, false}, 1));
+  EXPECT_FALSE(f.value_allowed({true, true}, 0));
+}
+
+TEST(MvIsf, MonotoneCoversAreNestedAndCompatible) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    BddManager mgr(4);
+    const std::vector<unsigned> values = random_mv_values(4, 4, rng);
+    const MvIsf f = mv_from_values(mgr, values, 4);
+    const std::vector<Bdd> covers = f.monotone_covers();
+    ASSERT_EQ(covers.size(), 3u);
+    EXPECT_TRUE(covers[1].implies(covers[0]));
+    EXPECT_TRUE(covers[2].implies(covers[1]));
+    for (unsigned j = 1; j <= 3; ++j) {
+      EXPECT_TRUE(f.threshold(j).is_compatible(covers[j - 1])) << trial << " " << j;
+    }
+  }
+}
+
+TEST(MvCheck, MaxOfDisjointHalves) {
+  // F = MAX(g(a,b), h(c,d)) is MAX-decomposable with xa={0,1}, xb={2,3}.
+  BddManager mgr(4);
+  std::vector<Bdd> g_sets{~mgr.var(0), mgr.var(0) & ~mgr.var(1), mgr.var(0) & mgr.var(1)};
+  std::vector<Bdd> h_sets{~mgr.var(2), mgr.var(2) & ~mgr.var(3), mgr.var(2) & mgr.var(3)};
+  // Compose MAX pointwise into value sets.
+  std::vector<unsigned> values(16);
+  for (unsigned m = 0; m < 16; ++m) {
+    const unsigned g = (m & 1) ? ((m & 2) ? 2 : 1) : 0;
+    const unsigned h = (m & 4) ? ((m & 8) ? 2 : 1) : 0;
+    values[m] = std::max(g, h);
+  }
+  const MvIsf f = mv_from_values(mgr, values, 3);
+  const unsigned xa[] = {0, 1}, xb[] = {2, 3};
+  EXPECT_TRUE(check_max_decomposable(f, xa, xb));
+}
+
+class MvCheckVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvCheckVsBruteForce, SingletonPairsThreeValues) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 3, k = 3;
+  BddManager mgr(nv);
+  const std::vector<unsigned> values = random_mv_values(nv, k, rng);
+  const MvIsf f = mv_from_values(mgr, values, k);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = a + 1; b < nv; ++b) {
+      const unsigned xa[] = {a}, xb[] = {b};
+      EXPECT_EQ(check_max_decomposable(f, xa, xb),
+                brute_force_mv_decomposable(values, nv, k, xa, xb, true))
+          << "max xa=" << a << " xb=" << b;
+      EXPECT_EQ(check_min_decomposable(f, xa, xb),
+                brute_force_mv_decomposable(values, nv, k, xa, xb, false))
+          << "min xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvCheckVsBruteForce, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(MvDerive, ComponentsComposeBack) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned nv = 4, k = 3;
+    BddManager mgr(nv);
+    const std::vector<unsigned> values = random_mv_values(nv, k, rng);
+    const MvIsf f = mv_from_values(mgr, values, k);
+    for (unsigned a = 0; a < nv; ++a) {
+      for (unsigned b = a + 1; b < nv; ++b) {
+        const unsigned xa[] = {a}, xb[] = {b};
+        if (!check_max_decomposable(f, xa, xb)) continue;
+        const MvIsf fa = derive_max_component_a(f, xa, xb);
+        const std::vector<Bdd> fa_covers = fa.monotone_covers();
+        const MvIsf fb = derive_max_component_b(f, fa_covers, xa);
+        const std::vector<Bdd> fb_covers = fb.monotone_covers();
+        // MAX composition: per-threshold OR must be compatible with f.
+        for (unsigned j = 1; j < k; ++j) {
+          EXPECT_TRUE(f.threshold(j).is_compatible(fa_covers[j - 1] | fb_covers[j - 1]))
+              << "trial " << trial << " level " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(MvDecompose, RealizesRandomFunctionsExactly) {
+  std::mt19937_64 rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    const unsigned nv = 4 + trial % 2, k = 3 + trial % 2;
+    BddManager mgr(nv);
+    const std::vector<unsigned> values = random_mv_values(nv, k, rng);
+    const MvIsf f = mv_from_values(mgr, values, k);
+    const MvRealization real = decompose_mv(f);
+    ASSERT_EQ(real.netlist.num_outputs(), k - 1);
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << nv); ++m) {
+      std::vector<bool> in(nv);
+      for (unsigned v = 0; v < nv; ++v) in[v] = (m >> v) & 1;
+      EXPECT_EQ(mv_evaluate(real.netlist, in), values[m])
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(MvDecompose, ThresholdOutputsAreMonotone) {
+  std::mt19937_64 rng(22);
+  BddManager mgr(5);
+  const std::vector<unsigned> values = random_mv_values(5, 4, rng);
+  const MvIsf f = mv_from_values(mgr, values, 4);
+  const MvRealization real = decompose_mv(f);
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    std::vector<bool> in(5);
+    for (unsigned v = 0; v < 5; ++v) in[v] = (m >> v) & 1;
+    const std::vector<bool> outs = real.netlist.evaluate(in);
+    for (std::size_t j = 1; j < outs.size(); ++j) {
+      EXPECT_LE(outs[j], outs[j - 1]) << "thresholds not nested at minterm " << m;
+    }
+  }
+}
+
+TEST(MvDecompose, FindsMaxStructure) {
+  // MAX of two independent 3-valued halves: the MV-level split must fire.
+  BddManager mgr(4);
+  std::vector<unsigned> values(16);
+  for (unsigned m = 0; m < 16; ++m) {
+    const unsigned g = (m & 1) + ((m >> 1) & 1);       // 0..2 over a,b
+    const unsigned h = ((m >> 2) & 1) + ((m >> 3) & 1);  // 0..2 over c,d
+    values[m] = std::max(g, h);
+  }
+  const MvIsf f = mv_from_values(mgr, values, 3);
+  const MvRealization real = decompose_mv(f);
+  EXPECT_GE(real.max_splits, 1u);
+  for (unsigned m = 0; m < 16; ++m) {
+    std::vector<bool> in(4);
+    for (unsigned v = 0; v < 4; ++v) in[v] = (m >> v) & 1;
+    EXPECT_EQ(mv_evaluate(real.netlist, in), values[m]);
+  }
+}
+
+TEST(MvDecompose, FindsMinStructure) {
+  BddManager mgr(4);
+  std::vector<unsigned> values(16);
+  for (unsigned m = 0; m < 16; ++m) {
+    const unsigned g = (m & 1) + ((m >> 1) & 1);
+    const unsigned h = ((m >> 2) & 1) + ((m >> 3) & 1);
+    values[m] = std::min(g, h);
+  }
+  const MvIsf f = mv_from_values(mgr, values, 3);
+  const MvRealization real = decompose_mv(f);
+  EXPECT_GE(real.min_splits, 1u);
+  for (unsigned m = 0; m < 16; ++m) {
+    std::vector<bool> in(4);
+    for (unsigned v = 0; v < 4; ++v) in[v] = (m >> v) & 1;
+    EXPECT_EQ(mv_evaluate(real.netlist, in), values[m]);
+  }
+}
+
+TEST(MvDecompose, BinaryCaseDegeneratesToBidecomp) {
+  // k = 2 is ordinary binary decomposition with one threshold.
+  std::mt19937_64 rng(23);
+  BddManager mgr(5);
+  const std::vector<unsigned> values = random_mv_values(5, 2, rng);
+  const MvIsf f = mv_from_values(mgr, values, 2);
+  const MvRealization real = decompose_mv(f);
+  ASSERT_EQ(real.netlist.num_outputs(), 1u);
+  for (unsigned m = 0; m < 32; ++m) {
+    std::vector<bool> in(5);
+    for (unsigned v = 0; v < 5; ++v) in[v] = (m >> v) & 1;
+    EXPECT_EQ(mv_evaluate(real.netlist, in), values[m]);
+  }
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,222 @@
+// Netlist substrate: structural hashing, folding rules, metrics, parallel
+// simulation and inverter absorption.
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace bidec {
+namespace {
+
+TEST(Netlist, InputsAndOutputs) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("y", net.add_and(a, b));
+  EXPECT_EQ(net.num_inputs(), 2u);
+  EXPECT_EQ(net.num_outputs(), 1u);
+  EXPECT_EQ(net.input_name(0), "a");
+  EXPECT_EQ(net.output_name(0), "y");
+  EXPECT_EQ(net.input_index(a), 0u);
+  EXPECT_EQ(net.input_index(b), 1u);
+}
+
+TEST(Netlist, StructuralHashingMergesDuplicates) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId g1 = net.add_and(a, b);
+  const SignalId g2 = net.add_and(b, a);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(net.add_xor(a, b), net.add_xor(b, a));
+  EXPECT_EQ(net.add_not(g1), net.add_not(g1));
+}
+
+TEST(Netlist, ConstantFolding) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId c0 = net.get_const(false);
+  const SignalId c1 = net.get_const(true);
+  EXPECT_EQ(net.add_and(a, c0), c0);
+  EXPECT_EQ(net.add_and(a, c1), a);
+  EXPECT_EQ(net.add_or(a, c1), c1);
+  EXPECT_EQ(net.add_or(a, c0), a);
+  EXPECT_EQ(net.add_xor(a, c0), a);
+  EXPECT_EQ(net.add_xor(a, c1), net.add_not(a));
+  EXPECT_EQ(net.add_gate(GateType::kNand, a, c1), net.add_not(a));
+  EXPECT_EQ(net.add_gate(GateType::kNor, a, a), net.add_not(a));
+}
+
+TEST(Netlist, IdempotenceAndComplementRules) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId na = net.add_not(a);
+  EXPECT_EQ(net.add_and(a, a), a);
+  EXPECT_EQ(net.add_or(a, a), a);
+  EXPECT_EQ(net.add_xor(a, a), net.get_const(false));
+  EXPECT_EQ(net.add_and(a, na), net.get_const(false));
+  EXPECT_EQ(net.add_or(a, na), net.get_const(true));
+  EXPECT_EQ(net.add_xor(a, na), net.get_const(true));
+  EXPECT_EQ(net.add_not(na), a);  // double negation
+}
+
+TEST(Netlist, XorInverterPushing) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  // xor(~a, b) == ~xor(a, b): the base XOR node must be shared.
+  const SignalId x1 = net.add_xor(net.add_not(a), b);
+  const SignalId x2 = net.add_xor(a, b);
+  EXPECT_EQ(x1, net.add_not(x2));
+  // xor(~a, ~b) == xor(a, b).
+  EXPECT_EQ(net.add_xor(net.add_not(a), net.add_not(b)), x2);
+}
+
+TEST(Netlist, StatsCountsAndLevels) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const SignalId g1 = net.add_and(a, b);
+  const SignalId g2 = net.add_xor(g1, c);
+  net.add_output("y", g2);
+  const NetlistStats s = net.stats();
+  EXPECT_EQ(s.two_input, 2u);
+  EXPECT_EQ(s.exors, 1u);
+  EXPECT_EQ(s.inverters, 0u);
+  EXPECT_EQ(s.gates, 2u);
+  EXPECT_EQ(s.cascades, 2u);
+  EXPECT_DOUBLE_EQ(s.area, 3.0 + 5.0);
+  EXPECT_DOUBLE_EQ(s.delay, 1.2 + 2.1);
+}
+
+TEST(Netlist, StatsIgnoreDanglingLogic) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  (void)net.add_xor(a, b);  // dangling
+  net.add_output("y", net.add_and(a, b));
+  const NetlistStats s = net.stats();
+  EXPECT_EQ(s.two_input, 1u);
+  EXPECT_EQ(s.exors, 0u);
+}
+
+TEST(Netlist, InverterDelayCountsButNotCascades) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId y = net.add_and(net.add_not(a), b);
+  net.add_output("y", y);
+  const NetlistStats s = net.stats();
+  EXPECT_EQ(s.cascades, 1u);
+  EXPECT_DOUBLE_EQ(s.delay, 0.5 + 1.2);
+  EXPECT_EQ(s.inverters, 1u);
+  EXPECT_EQ(s.gates, 2u);
+}
+
+TEST(Netlist, Simulate64MatchesEvaluate) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  net.add_output("y", net.add_or(net.add_and(a, b), net.add_not(c)));
+  net.add_output("z", net.add_xor(a, c));
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const std::vector<bool> out = net.evaluate(in);
+    const bool y = ((m & 1) && (m & 2)) || !(m & 4);
+    const bool z = ((m & 1) != 0) != ((m & 4) != 0);
+    EXPECT_EQ(out[0], y) << m;
+    EXPECT_EQ(out[1], z) << m;
+  }
+}
+
+TEST(Netlist, Simulate64StacksPatterns) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("y", net.add_and(a, b));
+  const std::vector<std::uint64_t> out = net.simulate64({0b1100, 0b1010});
+  EXPECT_EQ(out[0] & 0xF, 0b1000u);
+}
+
+TEST(Netlist, Simulate64RejectsWrongArity) {
+  Netlist net;
+  net.add_input("a");
+  EXPECT_THROW((void)net.simulate64({1, 2}), std::invalid_argument);
+}
+
+TEST(Netlist, AbsorbInvertersCreatesNegatedGates) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId y = net.add_not(net.add_and(a, b));  // should become NAND
+  net.add_output("y", y);
+  const std::size_t merges = net.absorb_inverters();
+  EXPECT_EQ(merges, 1u);
+  const NetlistStats s = net.stats();
+  EXPECT_EQ(s.inverters, 0u);
+  EXPECT_EQ(s.two_input, 1u);
+  EXPECT_DOUBLE_EQ(s.area, 2.0);  // NAND is cheaper than AND+INV
+  // Functionality preserved.
+  EXPECT_EQ(net.evaluate({true, true})[0], false);
+  EXPECT_EQ(net.evaluate({true, false})[0], true);
+}
+
+TEST(Netlist, AbsorbKeepsSharedGateIntact) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId g = net.add_and(a, b);
+  net.add_output("y", net.add_not(g));
+  net.add_output("z", g);  // g has another fanout: no merge allowed
+  const std::size_t merges = net.absorb_inverters();
+  EXPECT_EQ(merges, 0u);
+  EXPECT_EQ(net.evaluate({true, true})[0], false);
+  EXPECT_EQ(net.evaluate({true, true})[1], true);
+}
+
+TEST(Netlist, ReachableTopoOrderIsTopological) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId g1 = net.add_or(a, b);
+  const SignalId g2 = net.add_xor(g1, a);
+  net.add_output("y", g2);
+  const std::vector<SignalId> order = net.reachable_topo_order();
+  std::vector<std::size_t> pos(net.num_nodes(), SIZE_MAX);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const SignalId id : order) {
+    const Netlist::Node& n = net.node(id);
+    if (n.fanin0 != kNoSignal) {
+      EXPECT_LT(pos[n.fanin0], pos[id]);
+    }
+    if (n.fanin1 != kNoSignal) {
+      EXPECT_LT(pos[n.fanin1], pos[id]);
+    }
+  }
+}
+
+TEST(Netlist, AddGateRejectsInputType) {
+  Netlist net;
+  EXPECT_THROW((void)net.add_gate(GateType::kInput, 0, 0), std::invalid_argument);
+}
+
+TEST(GateTables, AreaDelayRatiosFromPaper) {
+  // Section 8: EXOR:NOR area ratio 5:2, delay ratio 2.1:1.0.
+  EXPECT_DOUBLE_EQ(gate_area(GateType::kXor) / gate_area(GateType::kNor), 5.0 / 2.0);
+  EXPECT_DOUBLE_EQ(gate_delay(GateType::kXor) / gate_delay(GateType::kNor), 2.1);
+}
+
+TEST(GateTables, Eval64Semantics) {
+  const std::uint64_t a = 0b1100, b = 0b1010;
+  EXPECT_EQ(gate_eval64(GateType::kAnd, a, b) & 0xF, 0b1000u);
+  EXPECT_EQ(gate_eval64(GateType::kOr, a, b) & 0xF, 0b1110u);
+  EXPECT_EQ(gate_eval64(GateType::kXor, a, b) & 0xF, 0b0110u);
+  EXPECT_EQ(gate_eval64(GateType::kNand, a, b) & 0xF, 0b0111u);
+  EXPECT_EQ(gate_eval64(GateType::kNor, a, b) & 0xF, 0b0001u);
+  EXPECT_EQ(gate_eval64(GateType::kXnor, a, b) & 0xF, 0b1001u);
+  EXPECT_EQ(gate_eval64(GateType::kNot, a, 0) & 0xF, 0b0011u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,130 @@
+// Espresso PLA parsing, serialization and ISF semantics of the f/fd/fr
+// output types.
+#include "io/pla.h"
+
+#include <gtest/gtest.h>
+
+namespace bidec {
+namespace {
+
+constexpr const char* kSmallPla = R"(# a 2-input 2-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.type fd
+.p 4
+1-0 10
+01- 11
+111 0-
+000 01
+.e
+)";
+
+TEST(Pla, ParseBasics) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  EXPECT_EQ(pla.num_inputs, 3u);
+  EXPECT_EQ(pla.num_outputs, 2u);
+  EXPECT_EQ(pla.type, PlaFile::Type::kFD);
+  ASSERT_EQ(pla.rows.size(), 4u);
+  EXPECT_EQ(pla.rows[0].inputs, "1-0");
+  EXPECT_EQ(pla.rows[0].outputs, "10");
+  EXPECT_EQ(pla.input_name(0), "a");
+  EXPECT_EQ(pla.output_name(1), "g");
+}
+
+TEST(Pla, DefaultNamesWhenUnnamed) {
+  const PlaFile pla = PlaFile::parse_string(".i 2\n.o 1\n11 1\n.e\n");
+  EXPECT_EQ(pla.input_name(1), "in1");
+  EXPECT_EQ(pla.output_name(0), "out0");
+}
+
+TEST(Pla, WriteParseRoundTrip) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  const PlaFile again = PlaFile::parse_string(pla.write());
+  EXPECT_EQ(again.num_inputs, pla.num_inputs);
+  EXPECT_EQ(again.num_outputs, pla.num_outputs);
+  EXPECT_EQ(again.type, pla.type);
+  ASSERT_EQ(again.rows.size(), pla.rows.size());
+  for (std::size_t i = 0; i < pla.rows.size(); ++i) {
+    EXPECT_EQ(again.rows[i].inputs, pla.rows[i].inputs);
+    EXPECT_EQ(again.rows[i].outputs, pla.rows[i].outputs);
+  }
+  EXPECT_EQ(again.input_names, pla.input_names);
+}
+
+TEST(Pla, JoinedCubeFormatAccepted) {
+  // Some writers omit the space between planes.
+  const PlaFile pla = PlaFile::parse_string(".i 2\n.o 1\n111\n001\n.e\n");
+  ASSERT_EQ(pla.rows.size(), 2u);
+  EXPECT_EQ(pla.rows[0].inputs, "11");
+  EXPECT_EQ(pla.rows[0].outputs, "1");
+}
+
+TEST(Pla, TildeIsOffAlias) {
+  const PlaFile pla = PlaFile::parse_string(".i 1\n.o 2\n1 1~\n.e\n");
+  EXPECT_EQ(pla.rows[0].outputs, "10");
+}
+
+TEST(Pla, MalformedInputsRejected) {
+  EXPECT_THROW((void)PlaFile::parse_string("11 1\n"), std::runtime_error);
+  EXPECT_THROW((void)PlaFile::parse_string(".i 2\n.o 1\n1 1\n"), std::runtime_error);
+  EXPECT_THROW((void)PlaFile::parse_string(".i 2\n.o 1\n2- 1\n"), std::runtime_error);
+  EXPECT_THROW((void)PlaFile::parse_string(".i 2\n.o 1\n-- x\n"), std::runtime_error);
+  EXPECT_THROW((void)PlaFile::parse_string(".i 2\n.o 1\n.type xx\n"), std::runtime_error);
+  EXPECT_THROW((void)PlaFile::load("/nonexistent/file.pla"), std::runtime_error);
+}
+
+TEST(Pla, FdSemantics) {
+  BddManager mgr(3);
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  const std::vector<Isf> isfs = pla.to_isfs(mgr);
+  ASSERT_EQ(isfs.size(), 2u);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  // Output f: on = a~c + ~a b; no don't-cares ('0' marks nothing in fd).
+  EXPECT_EQ(isfs[0].q(), (a & ~c) | (~a & b));
+  EXPECT_TRUE(isfs[0].dc().is_false());
+  // Output g: on = ~a b + ~a~b~c; dc = abc (the '-' in row three).
+  EXPECT_EQ(isfs[1].q(), (~a & b) | (~a & ~b & ~c));
+  EXPECT_EQ(isfs[1].dc(), a & b & c);
+}
+
+TEST(Pla, FSemanticsHasNoDontCares) {
+  BddManager mgr(2);
+  const PlaFile pla = PlaFile::parse_string(".i 2\n.o 1\n.type f\n11 1\n00 -\n.e\n");
+  const std::vector<Isf> isfs = pla.to_isfs(mgr);
+  // '-' in a type-f file does not mark don't-cares.
+  EXPECT_TRUE(isfs[0].is_csf());
+  EXPECT_EQ(isfs[0].q(), mgr.var(0) & mgr.var(1));
+}
+
+TEST(Pla, FrSemantics) {
+  BddManager mgr(2);
+  const PlaFile pla =
+      PlaFile::parse_string(".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n");
+  const std::vector<Isf> isfs = pla.to_isfs(mgr);
+  EXPECT_EQ(isfs[0].q(), mgr.var(0) & mgr.var(1));
+  EXPECT_EQ(isfs[0].r(), ~mgr.var(0) & ~mgr.var(1));
+  // Everything else is don't-care.
+  EXPECT_EQ(isfs[0].dc(), mgr.var(0) ^ mgr.var(1));
+}
+
+TEST(Pla, OnSetAndDcSetAccessors) {
+  BddManager mgr(3);
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  EXPECT_EQ(pla.on_set(mgr, 0), (a & ~c) | (~a & b));
+  EXPECT_TRUE(pla.dc_set(mgr, 0).is_false());
+  EXPECT_EQ(pla.dc_set(mgr, 1), a & b & c);
+}
+
+TEST(Pla, SaveLoadRoundTrip) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  const std::string path = ::testing::TempDir() + "/roundtrip.pla";
+  pla.save(path);
+  const PlaFile again = PlaFile::load(path);
+  EXPECT_EQ(again.rows.size(), pla.rows.size());
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,106 @@
+// Component-reuse cache (Section 6 / Theorem 6).
+#include "bidec/reuse_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace bidec {
+namespace {
+
+TEST(ReuseCache, MissOnEmptyCache) {
+  BddManager mgr(4);
+  ReuseCache cache(mgr);
+  const Isf isf = Isf::from_csf(mgr.var(0) & mgr.var(1));
+  EXPECT_FALSE(cache.lookup(isf, isf.support()).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReuseCache, ExactFunctionHit) {
+  BddManager mgr(4);
+  ReuseCache cache(mgr);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  cache.insert(f, 42);
+  const Isf isf = Isf::from_csf(f);
+  const auto hit = cache.lookup(isf, isf.support());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->signal, 42u);
+  EXPECT_FALSE(hit->complemented);
+  EXPECT_EQ(hit->func, f);
+}
+
+TEST(ReuseCache, IntervalCompatibleHit) {
+  BddManager mgr(4);
+  ReuseCache cache(mgr);
+  const Bdd f = mgr.var(0) | mgr.var(1);  // cached component
+  cache.insert(f, 7);
+  // An ISF with don't-cares that f satisfies: Q = x0, R = ~x0 & ~x1.
+  const Isf isf(mgr.var(0), ~mgr.var(0) & ~mgr.var(1));
+  const auto hit = cache.lookup(isf, isf.support());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->signal, 7u);
+  EXPECT_TRUE(isf.is_compatible(hit->func));
+}
+
+TEST(ReuseCache, ComplementHit) {
+  BddManager mgr(4);
+  ReuseCache cache(mgr);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  cache.insert(f, 9);
+  const Isf isf = Isf::from_csf(~f);
+  const auto hit = cache.lookup(isf, isf.support());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->complemented);
+  EXPECT_EQ(hit->func, ~f);
+  EXPECT_EQ(hit->signal, 9u);
+}
+
+TEST(ReuseCache, SupportMismatchMisses) {
+  BddManager mgr(4);
+  ReuseCache cache(mgr);
+  cache.insert(mgr.var(0) & mgr.var(1), 1);
+  // Same shape over different variables: different support bucket.
+  const Isf isf = Isf::from_csf(mgr.var(2) & mgr.var(3));
+  EXPECT_FALSE(cache.lookup(isf, isf.support()).has_value());
+}
+
+TEST(ReuseCache, DuplicateInsertIsIdempotent) {
+  BddManager mgr(3);
+  ReuseCache cache(mgr);
+  const Bdd f = mgr.var(0) ^ mgr.var(1);
+  cache.insert(f, 1);
+  cache.insert(f, 2);  // same function: kept once (first signal wins)
+  EXPECT_EQ(cache.size(), 1u);
+  const Isf isf = Isf::from_csf(f);
+  EXPECT_EQ(cache.lookup(isf, isf.support())->signal, 1u);
+}
+
+TEST(ReuseCache, MultipleFunctionsSameSupport) {
+  BddManager mgr(3);
+  ReuseCache cache(mgr);
+  cache.insert(mgr.var(0) & mgr.var(1), 1);
+  cache.insert(mgr.var(0) | mgr.var(1), 2);
+  cache.insert(mgr.var(0) ^ mgr.var(1), 3);
+  EXPECT_EQ(cache.size(), 3u);
+  const Isf want_or = Isf::from_csf(mgr.var(0) | mgr.var(1));
+  EXPECT_EQ(cache.lookup(want_or, want_or.support())->signal, 2u);
+  const Isf want_xor = Isf::from_csf(mgr.var(0) ^ mgr.var(1));
+  EXPECT_EQ(cache.lookup(want_xor, want_xor.support())->signal, 3u);
+}
+
+TEST(ReuseCache, SurvivesGarbageCollection) {
+  BddManager mgr(6);
+  ReuseCache cache(mgr);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  cache.insert(f, 5);
+  // Churn the manager to force a collection.
+  for (int i = 0; i < 500; ++i) {
+    (void)(mgr.var(i % 6) ^ mgr.var((i + 1) % 6) ^ mgr.var((i + 2) % 6));
+  }
+  mgr.collect_garbage();
+  const Isf isf = Isf::from_csf(f);
+  const auto hit = cache.lookup(isf, isf.support());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->signal, 5u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,139 @@
+// Cover operations validated against the truth-table model.
+#include "sop/cover.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+TruthTable cover_to_tt(const Cover& c) {
+  return TruthTable::from_function(c.num_vars(),
+                                   [&c](std::uint64_t m) { return c.eval(m); });
+}
+
+Cover random_cover(unsigned nv, unsigned cubes, std::mt19937_64& rng) {
+  Cover c(nv);
+  std::uniform_int_distribution<int> lit(-1, 1);
+  for (unsigned i = 0; i < cubes; ++i) {
+    Cube cube(nv);
+    for (unsigned v = 0; v < nv; ++v) {
+      const int l = lit(rng);
+      if (l >= 0) cube.set_literal(v, l == 1);
+    }
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+TEST(Cover, EvalMatchesUnionOfCubes) {
+  const std::string rows[] = {"1-0", "011"};
+  const Cover c = Cover::from_strings(rows);
+  const TruthTable t = cover_to_tt(c);
+  EXPECT_EQ(t.count_ones(), 3u);  // 1-0 has two minterms, 011 one
+}
+
+TEST(Cover, TautologyVsTruthTable) {
+  std::mt19937_64 rng(51);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Cover c = random_cover(4, 1 + trial % 8, rng);
+    EXPECT_EQ(c.is_tautology(), cover_to_tt(c).is_ones()) << trial;
+  }
+}
+
+TEST(Cover, TautologyEdgeCases) {
+  Cover empty(3);
+  EXPECT_FALSE(empty.is_tautology());
+  EXPECT_TRUE(Cover::universe(3).is_tautology());
+  const std::string split[] = {"1--", "0--"};
+  EXPECT_TRUE(Cover::from_strings(split).is_tautology());
+}
+
+TEST(Cover, ComplementVsTruthTable) {
+  std::mt19937_64 rng(52);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Cover c = random_cover(4, 1 + trial % 6, rng);
+    EXPECT_EQ(cover_to_tt(c.complement()), ~cover_to_tt(c)) << trial;
+  }
+}
+
+TEST(Cover, ComplementOfConstants) {
+  EXPECT_TRUE(Cover(3).complement().is_tautology());
+  EXPECT_TRUE(Cover::universe(3).complement().empty());
+}
+
+TEST(Cover, SharpCubeVsTruthTable) {
+  std::mt19937_64 rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Cover c = random_cover(4, 1 + trial % 5, rng);
+    Cube cut(4);
+    std::uniform_int_distribution<int> lit(-1, 1);
+    for (unsigned v = 0; v < 4; ++v) {
+      const int l = lit(rng);
+      if (l >= 0) cut.set_literal(v, l == 1);
+    }
+    const TruthTable cut_tt = TruthTable::from_function(
+        4, [&cut](std::uint64_t m) { return cut.contains_minterm(m); });
+    EXPECT_EQ(cover_to_tt(c.sharp_cube(cut)), cover_to_tt(c) - cut_tt) << trial;
+  }
+}
+
+TEST(Cover, CofactorVsTruthTable) {
+  std::mt19937_64 rng(54);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Cover c = random_cover(4, 3, rng);
+    for (unsigned v = 0; v < 4; ++v) {
+      EXPECT_EQ(cover_to_tt(c.cofactor(v, true)), cover_to_tt(c).cofactor(v, true));
+      EXPECT_EQ(cover_to_tt(c.cofactor(v, false)), cover_to_tt(c).cofactor(v, false));
+    }
+  }
+}
+
+TEST(Cover, CoversCube) {
+  const std::string rows[] = {"1--", "-1-"};
+  const Cover c = Cover::from_strings(rows);
+  EXPECT_TRUE(c.covers_cube(Cube::from_string("11-")));
+  EXPECT_TRUE(c.covers_cube(Cube::from_string("1-0")));
+  EXPECT_FALSE(c.covers_cube(Cube::from_string("--1")));
+}
+
+TEST(Cover, SingleCubeContainmentRemoval) {
+  const std::string rows[] = {"1--", "11-", "110", "0-1"};
+  Cover c = Cover::from_strings(rows);
+  c.remove_single_cube_containment();
+  EXPECT_EQ(c.size(), 2u);  // only "1--" and "0-1" survive
+}
+
+TEST(Cover, ContainmentRemovalKeepsOneOfIdenticalCubes) {
+  const std::string rows[] = {"1-0", "1-0", "1-0"};
+  Cover c = Cover::from_strings(rows);
+  c.remove_single_cube_containment();
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cover, MostBinateVariable) {
+  // Variable 0 appears in both polarities twice; variable 1 once each.
+  const std::string rows[] = {"10-", "01-", "1-1", "0-0"};
+  const Cover c = Cover::from_strings(rows);
+  EXPECT_EQ(c.most_binate_variable(), 0u);
+  const std::string unate_rows[] = {"1--", "-1-"};
+  EXPECT_EQ(Cover::from_strings(unate_rows).most_binate_variable(), 3u);  // == num_vars
+}
+
+TEST(Cover, FromBddRoundTrip) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3));
+  const Cover c = Cover::from_bdd(mgr, f, f);
+  EXPECT_EQ(c.to_bdd(mgr), f);
+}
+
+TEST(Cover, LiteralCount) {
+  const std::string rows[] = {"1-0", "011"};
+  EXPECT_EQ(Cover::from_strings(rows).literal_count(), 5u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,107 @@
+// Cube algebra of the two-level engine.
+#include "sop/cube.h"
+
+#include <gtest/gtest.h>
+
+namespace bidec {
+namespace {
+
+TEST(Cube, UniversalCube) {
+  const Cube c(5);
+  EXPECT_TRUE(c.is_universal());
+  EXPECT_EQ(c.num_literals(), 0u);
+  for (unsigned v = 0; v < 5; ++v) EXPECT_EQ(c.literal(v), -1);
+  for (unsigned m = 0; m < 32; ++m) EXPECT_TRUE(c.contains_minterm(m));
+}
+
+TEST(Cube, StringRoundTrip) {
+  const Cube c = Cube::from_string("1-0-1");
+  EXPECT_EQ(c.to_string(), "1-0-1");
+  EXPECT_EQ(c.literal(0), 1);
+  EXPECT_EQ(c.literal(1), -1);
+  EXPECT_EQ(c.literal(2), 0);
+  EXPECT_EQ(c.num_literals(), 3u);
+  EXPECT_THROW((void)Cube::from_string("1x"), std::invalid_argument);
+}
+
+TEST(Cube, SetClearLiterals) {
+  Cube c(3);
+  c.set_literal(1, true);
+  EXPECT_EQ(c.literal(1), 1);
+  c.set_literal(1, false);  // flip polarity
+  EXPECT_EQ(c.literal(1), 0);
+  c.clear_literal(1);
+  EXPECT_EQ(c.literal(1), -1);
+}
+
+TEST(Cube, ContainsIsMintermContainment) {
+  const Cube big = Cube::from_string("1--");
+  const Cube small = Cube::from_string("1-0");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+  EXPECT_FALSE(big.contains(Cube::from_string("0--")));
+}
+
+TEST(Cube, IntersectAndDistance) {
+  const Cube a = Cube::from_string("1-0");
+  const Cube b = Cube::from_string("11-");
+  const auto i = a.intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->to_string(), "110");
+  const Cube c = Cube::from_string("0--");
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersect(c).has_value());
+  EXPECT_EQ(a.distance(c), 1u);
+  EXPECT_EQ(Cube::from_string("10-").distance(Cube::from_string("01-")), 2u);
+}
+
+TEST(Cube, SupercubeIsSmallestCommonSuperset) {
+  const Cube a = Cube::from_string("110");
+  const Cube b = Cube::from_string("100");
+  const Cube s = a.supercube(b);
+  EXPECT_EQ(s.to_string(), "1-0");
+  EXPECT_TRUE(s.contains(a));
+  EXPECT_TRUE(s.contains(b));
+}
+
+TEST(Cube, MintermMembership) {
+  const Cube c = Cube::from_string("1-0");
+  EXPECT_TRUE(c.contains_minterm(0b001));   // a=1,b=0,c=0
+  EXPECT_TRUE(c.contains_minterm(0b011));
+  EXPECT_FALSE(c.contains_minterm(0b101));  // c=1 conflicts
+  EXPECT_FALSE(c.contains_minterm(0b000));  // a=0 conflicts
+}
+
+TEST(Cube, CofactorDropsOrKills) {
+  const Cube c = Cube::from_string("1-0");
+  EXPECT_EQ(c.cofactor(0, true)->to_string(), "--0");
+  EXPECT_FALSE(c.cofactor(0, false).has_value());
+  EXPECT_EQ(c.cofactor(1, true)->to_string(), "1-0");  // absent literal
+}
+
+TEST(Cube, WideCubesSpanWordBoundary) {
+  Cube c(80);
+  c.set_literal(3, true);
+  c.set_literal(70, false);
+  EXPECT_EQ(c.num_literals(), 2u);
+  EXPECT_EQ(c.literal(70), 0);
+  Cube d(80);
+  d.set_literal(70, true);
+  EXPECT_FALSE(c.intersects(d));
+}
+
+TEST(Cube, LitsAndBddInterop) {
+  BddManager mgr(4);
+  const Cube c = Cube::from_string("1--0");
+  EXPECT_EQ(c.to_bdd(mgr), mgr.var(0) & ~mgr.var(3));
+  EXPECT_EQ(Cube::from_lits(c.to_lits()), c);
+}
+
+TEST(Cube, Equality) {
+  EXPECT_EQ(Cube::from_string("1-0"), Cube::from_string("1-0"));
+  EXPECT_FALSE(Cube::from_string("1-0") == Cube::from_string("1-1"));
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,126 @@
+// Exact minimization: prime generation and minimum covers on hand-checked
+// functions, plus the quality yardstick for espresso-lite.
+#include "sop/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sop/espresso_lite.h"
+
+namespace bidec {
+namespace {
+
+TruthTable cover_to_tt(const Cover& c, unsigned nv) {
+  return TruthTable::from_function(nv, [&c](std::uint64_t m) { return c.eval(m); });
+}
+
+Cover tt_to_minterm_cover(const TruthTable& t) {
+  Cover c(t.num_vars());
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (!t.get(m)) continue;
+    Cube cube(t.num_vars());
+    for (unsigned v = 0; v < t.num_vars(); ++v) cube.set_literal(v, (m >> v) & 1);
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+TEST(Primes, SingleCubeFunction) {
+  // f = x0 & ~x1 over 3 vars: exactly one prime.
+  const TruthTable f = TruthTable::from_function(
+      3, [](std::uint64_t m) { return (m & 1) && !(m & 2); });
+  const std::vector<Cube> primes = prime_implicants(f, TruthTable::zeros(3));
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].to_string(), "10-");
+}
+
+TEST(Primes, XorHasAllMintermsAsPrimes) {
+  const TruthTable f = TruthTable::from_function(
+      2, [](std::uint64_t m) { return ((m & 1) != 0) != ((m & 2) != 0); });
+  const std::vector<Cube> primes = prime_implicants(f, TruthTable::zeros(2));
+  EXPECT_EQ(primes.size(), 2u);  // 10 and 01 cannot merge
+}
+
+TEST(Primes, ClassicTextbookExample) {
+  // f = sum of minterms {0,1,2,5,6,7} over 3 vars (a classic QM exercise)
+  // has primes: ~x1~x2(00-... in our bit order), etc. Check count and that
+  // every prime is an implicant and maximal.
+  TruthTable f(3);
+  for (const unsigned m : {0u, 1u, 2u, 5u, 6u, 7u}) f.set(m, true);
+  const std::vector<Cube> primes = prime_implicants(f, TruthTable::zeros(3));
+  for (const Cube& p : primes) {
+    // Implicant: all minterms inside f.
+    for (std::uint64_t m = 0; m < 8; ++m) {
+      if (p.contains_minterm(m)) EXPECT_TRUE(f.get(m)) << p.to_string();
+    }
+    // Maximal: dropping any literal leaves f.
+    for (unsigned v = 0; v < 3; ++v) {
+      if (p.literal(v) < 0) continue;
+      Cube raised = p;
+      raised.clear_literal(v);
+      bool inside = true;
+      for (std::uint64_t m = 0; m < 8; ++m) {
+        if (raised.contains_minterm(m) && !f.get(m)) inside = false;
+      }
+      EXPECT_FALSE(inside) << p.to_string() << " is not maximal in " << v;
+    }
+  }
+}
+
+TEST(Exact, CoverEqualsFunction) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned nv = 4;
+    const TruthTable on = TruthTable::random(nv, rng, 0.4);
+    const Cover cover = exact_minimum_sop(on, TruthTable::zeros(nv));
+    EXPECT_EQ(cover_to_tt(cover, nv), on) << trial;
+  }
+}
+
+TEST(Exact, UsesDontCares) {
+  // on = {11}, dc = {01, 10}: one cube suffices and may cover dc.
+  TruthTable on(2), dc(2);
+  on.set(3, true);
+  dc.set(1, true);
+  dc.set(2, true);
+  const Cover cover = exact_minimum_sop(on, dc);
+  ASSERT_EQ(cover.size(), 1u);
+  // The cover must include the on-set and avoid the off-set (empty here
+  // besides minterm 0).
+  EXPECT_TRUE(cover.eval(3));
+  EXPECT_FALSE(cover.eval(0));
+}
+
+TEST(Exact, KnownMinimumSizes) {
+  // 2-of-3 majority needs exactly 3 cubes.
+  const TruthTable maj = TruthTable::from_function(
+      3, [](std::uint64_t m) { return __builtin_popcountll(m) >= 2; });
+  EXPECT_EQ(exact_minimum_cube_count(maj, TruthTable::zeros(3)), 3u);
+  // 3-input parity needs 4 minterm cubes.
+  const TruthTable par = TruthTable::from_function(
+      3, [](std::uint64_t m) { return __builtin_popcountll(m) % 2 == 1; });
+  EXPECT_EQ(exact_minimum_cube_count(par, TruthTable::zeros(3)), 4u);
+  // Constants.
+  EXPECT_EQ(exact_minimum_cube_count(TruthTable::zeros(3), TruthTable::zeros(3)), 0u);
+  EXPECT_EQ(exact_minimum_cube_count(TruthTable::ones(3), TruthTable::zeros(3)), 1u);
+}
+
+class EspressoQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EspressoQuality, WithinOneCubeOfExact) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4 + GetParam() % 2;
+  const TruthTable on = TruthTable::random(nv, rng, 0.35);
+  const TruthTable dc = TruthTable::random(nv, rng, 0.15) - on;
+  const std::size_t exact = exact_minimum_cube_count(on, dc);
+  const EspressoResult res =
+      espresso_lite(tt_to_minterm_cover(on), tt_to_minterm_cover(dc));
+  EXPECT_GE(res.cover.size(), exact);  // exact really is a lower bound
+  EXPECT_LE(res.cover.size(), exact + 2) << "espresso quality gap too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspressoQuality, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace bidec

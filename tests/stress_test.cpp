@@ -1,0 +1,148 @@
+// Randomized cross-cutting stress: every option combination of the
+// decomposer against random multi-output ISFs, BDS-like dominator splits on
+// structured functions, netlist pipelines through BLIF round trips. These
+// are the "kitchen sink" safety nets on top of the per-module suites.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/bds_like.h"
+#include "bidec/flow.h"
+#include "io/blif.h"
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+struct OptionCase {
+  bool exor;
+  bool strong;
+  bool cache;
+  bool balance;
+  bool absorb;
+  unsigned pairs;
+};
+
+class DecomposerOptionMatrix : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(DecomposerOptionMatrix, AllCombinationsVerify) {
+  const OptionCase oc = GetParam();
+  std::mt19937_64 rng(0xbeef ^ (oc.exor << 1) ^ (oc.strong << 2) ^ (oc.cache << 3) ^
+                      (oc.balance << 4) ^ (oc.absorb << 5) ^ oc.pairs);
+  for (int trial = 0; trial < 4; ++trial) {
+    const unsigned nv = 5 + trial % 3;
+    BddManager mgr(nv);
+    std::vector<Isf> spec;
+    for (int o = 0; o < 3; ++o) {
+      const TruthTable on = TruthTable::random(nv, rng, 0.5);
+      const TruthTable dc = TruthTable::random(nv, rng, 0.25);
+      spec.emplace_back((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    }
+    FlowOptions options;
+    options.bidec.use_exor = oc.exor;
+    options.bidec.use_strong = oc.strong;
+    options.bidec.use_cache = oc.cache;
+    options.bidec.balance_cost = oc.balance;
+    options.bidec.absorb_inverters = oc.absorb;
+    options.bidec.grouping_pairs = oc.pairs;
+    const FlowResult res = synthesize_bidecomp(mgr, spec, {}, {}, options);
+    ASSERT_TRUE(verify_against_isfs(mgr, res.netlist, spec).ok)
+        << "exor=" << oc.exor << " strong=" << oc.strong << " cache=" << oc.cache
+        << " balance=" << oc.balance << " absorb=" << oc.absorb
+        << " pairs=" << oc.pairs << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DecomposerOptionMatrix,
+    ::testing::Values(OptionCase{true, true, true, true, true, 4},
+                      OptionCase{false, true, true, true, true, 4},
+                      OptionCase{true, false, true, true, true, 4},
+                      OptionCase{true, true, false, true, true, 4},
+                      OptionCase{true, true, true, false, true, 4},
+                      OptionCase{true, true, true, true, false, 4},
+                      OptionCase{true, true, true, true, true, 1},
+                      OptionCase{false, false, false, false, false, 1},
+                      OptionCase{true, true, true, true, true, 8}),
+    [](const auto& info) {
+      const OptionCase& o = info.param;
+      std::string s;
+      s += o.exor ? "X" : "x";
+      s += o.strong ? "S" : "s";
+      s += o.cache ? "C" : "c";
+      s += o.balance ? "B" : "b";
+      s += o.absorb ? "A" : "a";
+      s += std::to_string(o.pairs);
+      return s;
+    });
+
+TEST(BdsDominators, ConjunctiveStructureIsFound) {
+  // F = (a | b) & (c | d) & (e | f): the BDD has 1-dominators; the
+  // dominator-driven BDS flow must find the AND split and stay close to the
+  // optimal 5 gates.
+  BddManager mgr(6);
+  const Bdd f = (mgr.var(0) | mgr.var(1)) & (mgr.var(2) | mgr.var(3)) &
+                (mgr.var(4) | mgr.var(5));
+  const std::vector<Isf> spec{Isf::from_csf(f)};
+  const Netlist net = bds_like_synthesize(mgr, spec, {}, {}, /*absorb=*/false);
+  EXPECT_TRUE(verify_against_isfs(mgr, net, spec).ok);
+  EXPECT_LE(net.stats().two_input, 6u);  // 3 ORs + 2 ANDs (+ slack 1)
+  EXPECT_EQ(net.stats().inverters, 0u);
+}
+
+TEST(BdsDominators, DisjunctiveStructureIsFound) {
+  BddManager mgr(6);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3)) |
+                (mgr.var(4) & mgr.var(5));
+  const std::vector<Isf> spec{Isf::from_csf(f)};
+  const Netlist net = bds_like_synthesize(mgr, spec, {}, {}, /*absorb=*/false);
+  EXPECT_TRUE(verify_against_isfs(mgr, net, spec).ok);
+  EXPECT_LE(net.stats().two_input, 6u);
+}
+
+TEST(BdsDominators, RandomFunctionsAlwaysCorrect) {
+  std::mt19937_64 rng(0xd0d0);
+  for (int trial = 0; trial < 15; ++trial) {
+    const unsigned nv = 4 + trial % 4;
+    BddManager mgr(nv);
+    std::vector<Isf> spec;
+    for (int o = 0; o < 2; ++o) {
+      const TruthTable on = TruthTable::random(nv, rng, 0.4);
+      const TruthTable dc = TruthTable::random(nv, rng, 0.2);
+      spec.emplace_back((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+    }
+    const Netlist net = bds_like_synthesize(mgr, spec, {}, {});
+    EXPECT_TRUE(verify_against_isfs(mgr, net, spec).ok) << trial;
+  }
+}
+
+TEST(Pipelines, DecomposeMapBlifRoundTrip) {
+  std::mt19937_64 rng(0xfeed);
+  BddManager mgr(6);
+  std::vector<Isf> spec;
+  for (int o = 0; o < 3; ++o) {
+    spec.push_back(Isf::from_csf(TruthTable::random(6, rng).to_bdd(mgr)));
+  }
+  FlowOptions options;
+  options.reorder = OrderHeuristic::kSift;
+  options.library = CellLibrary::nand_inv();
+  const FlowResult res = synthesize_bidecomp(mgr, spec, {}, {}, options);
+  const Netlist reread = read_blif_string(write_blif(res.netlist, "pipe"));
+  EXPECT_TRUE(verify_against_isfs(mgr, reread, spec).ok);
+  EXPECT_TRUE(verify_equivalent(mgr, res.netlist, reread).ok);
+}
+
+TEST(Pipelines, NetlistDotIsWellFormed) {
+  BddManager mgr(3);
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0) ^ (mgr.var(1) & mgr.var(2)))};
+  const FlowResult res = synthesize_bidecomp(mgr, spec, {"a", "b", "c"}, {"y"});
+  const std::string dot = res.netlist.to_dot();
+  EXPECT_NE(dot.find("digraph netlist"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_EQ(dot.find("buf"), std::string::npos);  // no transient gates leak
+}
+
+}  // namespace
+}  // namespace bidec

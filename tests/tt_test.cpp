@@ -1,0 +1,109 @@
+// The golden model itself gets direct tests on small hand-checked cases.
+#include "tt/truth_table.h"
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+namespace {
+
+TEST(TruthTable, ZerosAndOnes) {
+  const TruthTable z = TruthTable::zeros(4);
+  const TruthTable o = TruthTable::ones(4);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(o.is_ones());
+  EXPECT_EQ(z.count_ones(), 0u);
+  EXPECT_EQ(o.count_ones(), 16u);
+  EXPECT_EQ(~z, o);
+}
+
+TEST(TruthTable, TailMaskingOnSmallTables) {
+  const TruthTable o = TruthTable::ones(2);
+  EXPECT_EQ(o.count_ones(), 4u);
+  EXPECT_TRUE((~o).is_zero());
+}
+
+TEST(TruthTable, ProjectionBelowAndAboveWordBoundary) {
+  for (const unsigned nv : {3u, 7u, 8u}) {
+    for (unsigned v = 0; v < nv; ++v) {
+      const TruthTable p = TruthTable::projection(nv, v);
+      for (std::uint64_t m = 0; m < (std::uint64_t{1} << nv); ++m) {
+        EXPECT_EQ(p.get(m), ((m >> v) & 1) != 0) << "nv=" << nv << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(TruthTable, ProjectionOutOfRangeThrows) {
+  EXPECT_THROW((void)TruthTable::projection(3, 3), std::out_of_range);
+}
+
+TEST(TruthTable, SetGetRoundTrip) {
+  TruthTable t(5);
+  t.set(17, true);
+  t.set(3, true);
+  t.set(17, false);
+  EXPECT_FALSE(t.get(17));
+  EXPECT_TRUE(t.get(3));
+  EXPECT_EQ(t.count_ones(), 1u);
+}
+
+TEST(TruthTable, FromFunctionMajority) {
+  const TruthTable maj = TruthTable::from_function(3, [](std::uint64_t m) {
+    return __builtin_popcountll(m) >= 2;
+  });
+  EXPECT_EQ(maj.count_ones(), 4u);
+  EXPECT_TRUE(maj.get(0b011));
+  EXPECT_FALSE(maj.get(0b100));
+}
+
+TEST(TruthTable, BinaryStringRoundTrip) {
+  const TruthTable t = TruthTable::from_binary_string("01101001");
+  EXPECT_EQ(t.num_vars(), 3u);
+  EXPECT_EQ(t.to_binary_string(), "01101001");
+  EXPECT_THROW((void)TruthTable::from_binary_string("011"), std::invalid_argument);
+  EXPECT_THROW((void)TruthTable::from_binary_string("0a"), std::invalid_argument);
+}
+
+TEST(TruthTable, CofactorIsIndependentOfVariable) {
+  const TruthTable t = TruthTable::from_function(
+      4, [](std::uint64_t m) { return ((m & 1) != 0) != ((m >> 3) != 0); });
+  const TruthTable c0 = t.cofactor(0, false);
+  EXPECT_FALSE(c0.depends_on(0));
+  // Shannon expansion reconstructs the function.
+  const TruthTable x0 = TruthTable::projection(4, 0);
+  EXPECT_EQ((x0 & t.cofactor(0, true)) | (~x0 & c0), t);
+}
+
+TEST(TruthTable, QuantifierDuality) {
+  const TruthTable t = TruthTable::from_function(
+      5, [](std::uint64_t m) { return (m * 2654435761u) % 7 < 3; });
+  for (unsigned v = 0; v < 5; ++v) {
+    EXPECT_EQ(~t.exists(v), (~t).forall(v)) << v;
+    EXPECT_EQ(t.derivative(v), t.cofactor(v, false) ^ t.cofactor(v, true));
+  }
+}
+
+TEST(TruthTable, OperatorsMatchBitwiseSemantics) {
+  const TruthTable a = TruthTable::projection(3, 0);
+  const TruthTable b = TruthTable::projection(3, 1);
+  EXPECT_EQ((a & b).count_ones(), 2u);
+  EXPECT_EQ((a | b).count_ones(), 6u);
+  EXPECT_EQ((a ^ b).count_ones(), 4u);
+  EXPECT_EQ((a - b).count_ones(), 2u);
+}
+
+TEST(TruthTable, BddRoundTripLarge) {
+  std::mt19937_64 rng(99);
+  const TruthTable t = TruthTable::random(10, rng);
+  BddManager mgr(10);
+  EXPECT_EQ(TruthTable::from_bdd(mgr, t.to_bdd(mgr), 10), t);
+}
+
+TEST(TruthTable, TooManyVariablesThrows) {
+  EXPECT_THROW(TruthTable t(27), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bidec

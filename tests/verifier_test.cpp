@@ -1,0 +1,123 @@
+// The BDD-based verifier: collapse correctness, ISF compatibility checking
+// and mutation detection.
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+TEST(Verifier, CollapseMatchesSimulation) {
+  std::mt19937_64 rng(81);
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  net.add_output("y", net.add_gate(GateType::kNand, net.add_xor(a, b), c));
+  net.add_output("z", net.add_gate(GateType::kNor, a, net.add_not(c)));
+  BddManager mgr(3);
+  const std::vector<Bdd> funcs = netlist_to_bdds(mgr, net);
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const std::vector<bool> out = net.evaluate(in);
+    EXPECT_EQ(mgr.eval(funcs[0], in), out[0]) << m;
+    EXPECT_EQ(mgr.eval(funcs[1], in), out[1]) << m;
+  }
+}
+
+TEST(Verifier, AcceptsCompatibleImplementation) {
+  BddManager mgr(2);
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("y", net.add_or(a, b));
+  // Spec requires 1 only on a&b, forbids only on ~a&~b: a|b is compatible.
+  const std::vector<Isf> spec{Isf(mgr.var(0) & mgr.var(1), ~mgr.var(0) & ~mgr.var(1))};
+  EXPECT_TRUE(verify_against_isfs(mgr, net, spec).ok);
+}
+
+TEST(Verifier, RejectsIncompatibleOutputAndReportsIndex) {
+  BddManager mgr(2);
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("y0", net.add_and(a, b));
+  net.add_output("y1", net.add_and(a, b));  // wrong for the second spec
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0) & mgr.var(1)),
+                              Isf::from_csf(mgr.var(0) | mgr.var(1))};
+  const VerifyResult res = verify_against_isfs(mgr, net, spec);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.first_failed_output, 1u);
+}
+
+TEST(Verifier, OutputCountMismatchThrows) {
+  BddManager mgr(2);
+  Netlist net;
+  net.add_input("a");
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0))};
+  EXPECT_THROW((void)verify_against_isfs(mgr, net, spec), std::invalid_argument);
+}
+
+TEST(Verifier, EquivalenceOfStructurallyDifferentNetlists) {
+  Netlist n1;
+  {
+    const SignalId a = n1.add_input("a");
+    const SignalId b = n1.add_input("b");
+    n1.add_output("y", n1.add_not(n1.add_and(a, b)));  // ~(a&b)
+  }
+  Netlist n2;
+  {
+    const SignalId a = n2.add_input("a");
+    const SignalId b = n2.add_input("b");
+    n2.add_output("y", n2.add_or(n2.add_not(a), n2.add_not(b)));  // ~a | ~b
+  }
+  BddManager mgr(2);
+  EXPECT_TRUE(verify_equivalent(mgr, n1, n2).ok);
+}
+
+TEST(Verifier, DetectsSingleGateMutation) {
+  std::mt19937_64 rng(82);
+  BddManager mgr(5);
+  Netlist good;
+  std::vector<SignalId> in;
+  for (unsigned v = 0; v < 5; ++v) in.push_back(good.add_input("x" + std::to_string(v)));
+  const SignalId g1 = good.add_and(in[0], in[1]);
+  const SignalId g2 = good.add_xor(g1, in[2]);
+  const SignalId g3 = good.add_or(g2, good.add_and(in[3], in[4]));
+  good.add_output("y", g3);
+
+  Netlist bad;
+  std::vector<SignalId> bin;
+  for (unsigned v = 0; v < 5; ++v) bin.push_back(bad.add_input("x" + std::to_string(v)));
+  const SignalId h1 = bad.add_or(bin[0], bin[1]);  // mutated gate type
+  const SignalId h2 = bad.add_xor(h1, bin[2]);
+  const SignalId h3 = bad.add_or(h2, bad.add_and(bin[3], bin[4]));
+  bad.add_output("y", h3);
+
+  EXPECT_FALSE(verify_equivalent(mgr, good, bad).ok);
+}
+
+TEST(Verifier, InterfaceMismatchThrows) {
+  Netlist n1;
+  n1.add_input("a");
+  Netlist n2;
+  n2.add_input("a");
+  n2.add_input("b");
+  BddManager mgr(2);
+  EXPECT_THROW((void)verify_equivalent(mgr, n1, n2), std::invalid_argument);
+}
+
+TEST(Verifier, ManagerTooSmallThrows) {
+  Netlist net;
+  net.add_input("a");
+  net.add_input("b");
+  BddManager mgr(1);
+  EXPECT_THROW((void)netlist_to_bdds(mgr, net), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bidec
