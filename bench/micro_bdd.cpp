@@ -17,15 +17,32 @@ Bdd random_function(BddManager& mgr, unsigned nv, std::mt19937_64& rng) {
   return t.to_bdd(mgr);
 }
 
+// Per-benchmark substrate counters via the reset_stats() snapshot hook:
+// reset at loop entry so the reported rates describe only the measured
+// region (construction work and prior benchmarks don't bleed in).
+void report_bdd_counters(benchmark::State& state, const BddManager& mgr) {
+  const BddStats s = mgr.stats();  // copy = snapshot
+  const std::size_t unique_total = s.unique_hits + s.unique_misses;
+  state.counters["cache_hit_rate"] =
+      s.cache_lookups != 0 ? static_cast<double>(s.cache_hits) / s.cache_lookups : 0.0;
+  state.counters["unique_hit_rate"] =
+      unique_total != 0 ? static_cast<double>(s.unique_hits) / unique_total : 0.0;
+  state.counters["peak_nodes"] = static_cast<double>(s.peak_nodes);
+  state.counters["steps"] = benchmark::Counter(
+      static_cast<double>(mgr.steps_used()), benchmark::Counter::kIsRate);
+}
+
 void BM_BddAnd(benchmark::State& state) {
   const unsigned nv = static_cast<unsigned>(state.range(0));
   BddManager mgr(nv);
   std::mt19937_64 rng(1);
   const Bdd f = random_function(mgr, nv, rng);
   const Bdd g = random_function(mgr, nv, rng);
+  mgr.reset_stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(f & g);
   }
+  report_bdd_counters(state, mgr);
 }
 BENCHMARK(BM_BddAnd)->Arg(8)->Arg(10)->Arg(12);
 
@@ -36,9 +53,11 @@ void BM_BddIte(benchmark::State& state) {
   const Bdd f = random_function(mgr, nv, rng);
   const Bdd g = random_function(mgr, nv, rng);
   const Bdd h = random_function(mgr, nv, rng);
+  mgr.reset_stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(mgr.ite(f, g, h));
   }
+  report_bdd_counters(state, mgr);
 }
 BENCHMARK(BM_BddIte)->Arg(8)->Arg(12);
 
@@ -52,9 +71,11 @@ void BM_BddExists(benchmark::State& state) {
     vars.push_back(v * 2);
   }
   const Bdd cube = mgr.make_cube(vars);
+  mgr.reset_stats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(mgr.exists(f, cube));
   }
+  report_bdd_counters(state, mgr);
 }
 BENCHMARK(BM_BddExists)->Arg(1)->Arg(3)->Arg(6);
 

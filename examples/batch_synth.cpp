@@ -1,0 +1,195 @@
+// Batch front-end to the parallel synthesis engine: decompose every
+// PLA/BLIF file in a directory (or an explicit file list) across N worker
+// threads, verify each result against its specification, and emit a
+// summary table plus a metrics JSON file.
+//
+//   batch_synth <dir | files...> [options]
+//     --jobs N            worker threads (default: hardware concurrency)
+//     --timeout-ms T      per-job wall-time deadline (0 = none)
+//     --step-budget S     per-job BDD step budget (0 = none)
+//     --json <file>       write the full metrics report as JSON
+//     --out-dir <dir>     write each synthesized netlist as <name>.blif
+//     --reorder <none|force|sift>
+//     --weak-only --no-exor --no-cache
+//     --no-verify         skip the per-job BDD verification
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "io/blif.h"
+
+namespace {
+
+using namespace bidec;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: batch_synth <dir | files...> [--jobs N] [--timeout-ms T]\n"
+               "       [--step-budget S] [--json out.json] [--out-dir dir]\n"
+               "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
+               "       [--no-cache] [--no-verify]\n");
+  return 2;
+}
+
+bool has_spec_extension(const fs::path& p) {
+  return p.extension() == ".pla" || p.extension() == ".blif";
+}
+
+// Strict: the whole token must be digits. strtoul would silently map
+// garbage ("--jobs banana") to 0, i.e. to the default.
+bool parse_unsigned(const char* flag, const char* v, std::uint64_t& out) {
+  if (!v || *v == '\0') return false;
+  std::uint64_t n = 0;
+  for (const char* p = v; *p; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, v);
+      return false;
+    }
+    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  out = n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  EngineOptions engine_opts;
+  FlowOptions flow;
+  std::string json_path, out_dir;
+  bool verify = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--jobs") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--jobs", next(), n)) return usage();
+      engine_opts.num_workers = static_cast<unsigned>(n);
+    } else if (a == "--timeout-ms") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--timeout-ms", next(), n)) return usage();
+      engine_opts.default_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (a == "--step-budget") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--step-budget", next(), n)) return usage();
+      engine_opts.default_step_budget = n;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (!v) return usage();
+      json_path = v;
+    } else if (a == "--out-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      out_dir = v;
+    } else if (a == "--reorder") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "none") == 0) {
+        flow.reorder = OrderHeuristic::kNone;
+      } else if (std::strcmp(v, "force") == 0) {
+        flow.reorder = OrderHeuristic::kForce;
+      } else if (std::strcmp(v, "sift") == 0) {
+        flow.reorder = OrderHeuristic::kSift;
+      } else {
+        return usage();
+      }
+    } else if (a == "--weak-only") {
+      flow.bidec.use_strong = false;
+    } else if (a == "--no-exor") {
+      flow.bidec.use_exor = false;
+    } else if (a == "--no-cache") {
+      flow.bidec.use_cache = false;
+    } else if (a == "--no-verify") {
+      verify = false;
+    } else if (!a.empty() && a[0] != '-') {
+      inputs.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  try {
+    // Expand directories into their .pla/.blif members, sorted for
+    // reproducible job ids.
+    std::vector<fs::path> files;
+    for (const std::string& in : inputs) {
+      const fs::path p(in);
+      if (fs::is_directory(p)) {
+        for (const fs::directory_entry& e : fs::directory_iterator(p)) {
+          if (e.is_regular_file() && has_spec_extension(e.path())) {
+            files.push_back(e.path());
+          }
+        }
+      } else {
+        files.push_back(p);
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no .pla/.blif files found\n");
+      return 2;
+    }
+
+    BatchEngine engine(engine_opts);
+    for (const fs::path& f : files) {
+      JobSpec spec;
+      spec.name = f.filename().string();
+      spec.source = f.string();
+      spec.flow = flow;
+      spec.verify = verify;
+      engine.submit(std::move(spec));
+    }
+
+    const BatchOutcome outcome = engine.run();
+    const EngineReport& sum = outcome.summary;
+
+    std::printf("%-24s %-13s %6s %6s %8s %6s %10s %10s\n", "job", "status",
+                "gates", "exors", "area", "levels", "wall_ms", "peak_nodes");
+    for (const JobResult& r : outcome.results) {
+      const JobReport& rep = r.report;
+      std::printf("%-24s %-13s %6zu %6zu %8.0f %6u %10.2f %10zu\n",
+                  rep.name.c_str(), to_string(rep.status), rep.gates, rep.exors,
+                  rep.area, rep.levels, rep.wall_ms, rep.peak_nodes);
+      if (!rep.error.empty()) {
+        std::printf("    %s\n", rep.error.c_str());
+      }
+    }
+    std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
+                "%zu error; batch %.1f ms (cpu %.1f ms), %zu gates total\n",
+                sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
+                sum.errors, sum.wall_ms, sum.total_job_ms, sum.total_gates);
+
+    if (!out_dir.empty()) {
+      fs::create_directories(out_dir);
+      for (const JobResult& r : outcome.results) {
+        if (r.report.status != JobStatus::kOk) continue;
+        const fs::path out =
+            fs::path(out_dir) / (fs::path(r.report.name).stem().string() + ".blif");
+        save_blif(r.netlist, fs::path(r.report.name).stem().string(), out.string());
+      }
+      std::printf("wrote %zu netlists to %s\n", sum.ok, out_dir.c_str());
+    }
+    if (!json_path.empty()) {
+      std::ofstream js(json_path);
+      if (!js) throw std::runtime_error("cannot open " + json_path);
+      js << sum.to_json() << "\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return sum.errors == 0 && sum.verify_failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

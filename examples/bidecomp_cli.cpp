@@ -3,7 +3,7 @@
 // verify, optionally run ATPG, and write BLIF/DOT. This is the interface a
 // downstream user scripts against.
 //
-//   bidecomp_cli <input.{pla,blif}> [options]
+//   bidecomp_cli <input.{pla,blif}>... [options]
 //     -o <file.blif>        write the synthesized netlist
 //     --dot <file.dot>      write a Graphviz rendering
 //     --lib <file.genlib>   map onto this cell library (simplified genlib)
@@ -12,14 +12,23 @@
 //     --atpg                run stuck-at ATPG and report coverage
 //     --sweep               remove redundancies after synthesis
 //     --stats               print decomposition statistics
+//     --jobs N              worker threads for multi-file invocations
+//     --timeout-ms T        per-job deadline for multi-file invocations
+//
+// A single input file runs the sequential flow exactly as before. Several
+// input files are dispatched through the parallel batch engine (-o/--dot/
+// --lib/--atpg/--sweep apply to the single-file path only).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "atpg/atpg.h"
 #include "bidec/flow.h"
+#include "engine/batch_engine.h"
 #include "io/blif.h"
 #include "io/pla.h"
 #include "verify/verifier.h"
@@ -29,7 +38,7 @@ namespace {
 using namespace bidec;
 
 struct CliArgs {
-  std::string input;
+  std::vector<std::string> inputs;
   std::string output_blif;
   std::string output_dot;
   std::string library;
@@ -37,6 +46,8 @@ struct CliArgs {
   bool atpg = false;
   bool sweep = false;
   bool stats = false;
+  unsigned jobs = 0;
+  std::uint32_t timeout_ms = 0;
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -46,11 +57,57 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bidecomp_cli <input.{pla,blif}> [-o out.blif] [--dot out.dot]\n"
+               "usage: bidecomp_cli <input.{pla,blif}>... [-o out.blif] [--dot out.dot]\n"
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
-               "       [--atpg] [--sweep] [--stats]\n");
+               "       [--atpg] [--sweep] [--stats] [--jobs N] [--timeout-ms T]\n");
   return 2;
+}
+
+// Strict: the whole token must be digits. strtoul would silently map
+// garbage ("--jobs banana") to 0, i.e. to the default.
+bool parse_unsigned(const char* flag, const char* v, std::uint64_t& out) {
+  if (!v || *v == '\0') return false;
+  std::uint64_t n = 0;
+  for (const char* p = v; *p; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, v);
+      return false;
+    }
+    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  out = n;
+  return true;
+}
+
+/// Multi-file path: push every input through the batch engine and print one
+/// summary line per file.
+int run_batch(const CliArgs& args) {
+  EngineOptions opts;
+  opts.num_workers = args.jobs;
+  opts.default_timeout_ms = args.timeout_ms;
+  opts.keep_netlists = false;
+  BatchEngine engine(opts);
+  for (const std::string& path : args.inputs) {
+    JobSpec spec;
+    spec.source = path;
+    spec.flow = args.flow;
+    engine.submit(std::move(spec));
+  }
+  const BatchOutcome outcome = engine.run();
+  for (const JobResult& r : outcome.results) {
+    const JobReport& rep = r.report;
+    std::printf("%-32s %-13s %zu gates (%zu exors), area %.0f, %u levels, %.1f ms\n",
+                rep.name.c_str(), to_string(rep.status), rep.gates, rep.exors,
+                rep.area, rep.levels, rep.wall_ms);
+    if (!rep.error.empty()) std::printf("    %s\n", rep.error.c_str());
+  }
+  const EngineReport& sum = outcome.summary;
+  std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
+              "%zu error in %.1f ms\n",
+              sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
+              sum.errors, sum.wall_ms);
+  return sum.ok == sum.jobs ? 0 : 1;
 }
 
 }  // namespace
@@ -100,13 +157,23 @@ int main(int argc, char** argv) {
       args.sweep = true;
     } else if (a == "--stats") {
       args.stats = true;
-    } else if (args.input.empty() && a[0] != '-') {
-      args.input = a;
+    } else if (a == "--jobs") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--jobs", next(), n)) return usage();
+      args.jobs = static_cast<unsigned>(n);
+    } else if (a == "--timeout-ms") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--timeout-ms", next(), n)) return usage();
+      args.timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (!a.empty() && a[0] != '-') {
+      args.inputs.push_back(a);
     } else {
       return usage();
     }
   }
-  if (args.input.empty()) return usage();
+  if (args.inputs.empty()) return usage();
+  if (args.inputs.size() > 1) return run_batch(args);
+  const std::string& input = args.inputs.front();
 
   try {
     // --- read the specification --------------------------------------------
@@ -116,17 +183,17 @@ int main(int argc, char** argv) {
     std::vector<Isf> spec;
     std::vector<std::string> in_names, out_names;
     unsigned num_inputs = 0;
-    if (ends_with(args.input, ".pla")) {
-      const PlaFile pla = PlaFile::load(args.input);
+    if (ends_with(input, ".pla")) {
+      const PlaFile pla = PlaFile::load(input);
       num_inputs = pla.num_inputs;
       mgr = std::make_unique<BddManager>(num_inputs);
       spec = pla.to_isfs(*mgr);
       for (unsigned i = 0; i < pla.num_inputs; ++i) in_names.push_back(pla.input_name(i));
       for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
-      std::printf("read PLA %s: %u in, %u out, %zu cubes\n", args.input.c_str(),
+      std::printf("read PLA %s: %u in, %u out, %zu cubes\n", input.c_str(),
                   pla.num_inputs, pla.num_outputs, pla.rows.size());
-    } else if (ends_with(args.input, ".blif")) {
-      const Netlist original = load_blif(args.input);
+    } else if (ends_with(input, ".blif")) {
+      const Netlist original = load_blif(input);
       num_inputs = static_cast<unsigned>(original.num_inputs());
       mgr = std::make_unique<BddManager>(num_inputs);
       const std::vector<Bdd> funcs = netlist_to_bdds(*mgr, original);
@@ -138,7 +205,7 @@ int main(int argc, char** argv) {
         out_names.push_back(original.output_name(o));
       }
       std::printf("read BLIF %s: %u in, %zu out, %zu gates (collapsed to BDDs)\n",
-                  args.input.c_str(), num_inputs, original.num_outputs(),
+                  input.c_str(), num_inputs, original.num_outputs(),
                   original.stats().gates);
     } else {
       std::fprintf(stderr, "error: input must end in .pla or .blif\n");

@@ -17,10 +17,12 @@
 #ifndef BIDEC_BDD_BDD_H
 #define BIDEC_BDD_BDD_H
 
+#include <chrono>
 #include <cstdint>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -103,6 +105,15 @@ class Bdd {
 /// A cube as a vector of literal codes, one per variable:
 /// -1 = variable absent, 0 = negative literal, 1 = positive literal.
 using CubeLits = std::vector<signed char>;
+
+/// Thrown by BDD operations when the manager's cooperative abort limit
+/// (step budget or deadline, see BddManager::set_step_budget /
+/// set_deadline) is exceeded. The manager stays consistent: all live
+/// handles remain valid and operations may continue after clear_abort().
+class BddAbortError : public std::runtime_error {
+ public:
+  explicit BddAbortError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Statistics counters exposed for benchmarking and tests.
 struct BddStats {
@@ -231,10 +242,33 @@ class BddManager {
   /// Graphviz dot rendering of the DAG.
   [[nodiscard]] std::string to_dot(const Bdd& f) const;
 
+  // --- cooperative abort ---------------------------------------------------
+  // Recursive cores count "steps" (one per recursive apply/quantifier call)
+  // and throw BddAbortError when a configured limit is exceeded. This is the
+  // hook the batch engine uses to cancel runaway jobs: managers stay
+  // single-threaded, the owner of the manager sets a budget before an
+  // operation and catches the abort.
+  /// Abort any operation once `max_steps` further recursive steps have run
+  /// (0 = unlimited). Counted from the moment of this call.
+  void set_step_budget(std::uint64_t max_steps) noexcept;
+  /// Abort any operation running past `deadline` (checked every few
+  /// thousand steps, so granularity is coarse but overhead negligible).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept;
+  /// Remove both limits. The step counter itself is kept (see steps_used).
+  void clear_abort() noexcept;
+  /// Copy the remaining budget/deadline of `src` onto this manager; used
+  /// when a flow transfers work into a helper manager mid-job.
+  void adopt_abort_limits(const BddManager& src) noexcept;
+  /// Recursive steps executed since construction or reset_stats().
+  [[nodiscard]] std::uint64_t steps_used() const noexcept { return steps_; }
+
   // --- memory management -------------------------------------------------------
   /// Nodes currently alive (reachable or not yet collected).
   [[nodiscard]] std::size_t live_node_count() const noexcept;
   [[nodiscard]] const BddStats& stats() const noexcept { return stats_; }
+  /// Zero all counters and restart the peak-node high-water mark from the
+  /// current live count; per-job metrics on a reused manager start here.
+  void reset_stats() noexcept;
   /// Force a mark-and-sweep collection now.
   void collect_garbage();
   /// Collections trigger automatically when live nodes exceed this value at
@@ -302,6 +336,17 @@ class BddManager {
   [[nodiscard]] unsigned level_of(NodeId id) const noexcept { return nodes_[id].var; }
   [[nodiscard]] std::vector<bool> cube_var_mask(NodeId cube) const;
 
+  // Cooperative abort: called at the head of every recursive core step.
+  // The hot path is one increment plus two predictable branches; the
+  // deadline clock is consulted only every 8192 steps.
+  void check_step() {
+    ++steps_;
+    if (step_budget_ != 0 && steps_ > step_budget_) throw_step_abort();
+    if (has_deadline_ && (steps_ & 0x1fffu) == 0) check_deadline();
+  }
+  [[noreturn]] void throw_step_abort() const;
+  void check_deadline() const;  // throws BddAbortError past the deadline
+
   Bdd wrap(NodeId id) noexcept { return Bdd(this, id); }
 
   unsigned num_vars_;
@@ -315,6 +360,12 @@ class BddManager {
   std::size_t gc_threshold_;
   bool in_operation_ = false;  // guards against GC during recursion
   BddStats stats_;
+
+  // cooperative abort state (see set_step_budget / set_deadline)
+  std::uint64_t steps_ = 0;
+  std::uint64_t step_budget_ = 0;  // 0 = unlimited
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 
   // scratch marks for traversals
   mutable std::vector<bool> mark_;

@@ -110,6 +110,51 @@ std::size_t BddManager::live_node_count() const noexcept {
   return nodes_.size() - free_count_;
 }
 
+void BddManager::reset_stats() noexcept {
+  stats_ = BddStats{};
+  stats_.live_nodes = live_node_count();
+  stats_.peak_nodes = stats_.live_nodes;
+  steps_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative abort
+// ---------------------------------------------------------------------------
+
+void BddManager::set_step_budget(std::uint64_t max_steps) noexcept {
+  step_budget_ = max_steps == 0 ? 0 : steps_ + max_steps;
+}
+
+void BddManager::set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+  has_deadline_ = true;
+  deadline_ = deadline;
+}
+
+void BddManager::clear_abort() noexcept {
+  step_budget_ = 0;
+  has_deadline_ = false;
+}
+
+void BddManager::adopt_abort_limits(const BddManager& src) noexcept {
+  if (src.step_budget_ != 0) {
+    const std::uint64_t remaining =
+        src.step_budget_ > src.steps_ ? src.step_budget_ - src.steps_ : 1;
+    step_budget_ = steps_ + remaining;
+  }
+  has_deadline_ = src.has_deadline_;
+  deadline_ = src.deadline_;
+}
+
+void BddManager::throw_step_abort() const {
+  throw BddAbortError("BDD operation aborted: step budget exceeded");
+}
+
+void BddManager::check_deadline() const {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    throw BddAbortError("BDD operation aborted: deadline exceeded");
+  }
+}
+
 void BddManager::collect_garbage() {
   // Mark every node reachable from an externally referenced root.
   std::vector<bool> marked(nodes_.size(), false);
@@ -292,6 +337,7 @@ Bdd BddManager::make_cube(const CubeLits& lits) {
 NodeId BddManager::not_rec(NodeId f) { return ite_rec(f, kFalseId, kTrueId); }
 
 NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  check_step();
   // Terminal rules.
   if (f == kTrueId) return g;
   if (f == kFalseId) return h;

@@ -23,6 +23,7 @@ std::vector<bool> BddManager::cube_var_mask(NodeId cube) const {
 
 NodeId BddManager::quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned max_qvar,
                              bool existential, NodeId cube_id) {
+  check_step();
   if (f <= kTrueId) return f;
   const Node& n = nodes_[f];
   if (n.var > max_qvar) return f;  // no quantified variable below this level
@@ -87,6 +88,7 @@ Bdd BddManager::forall(const Bdd& f, std::span<const unsigned> vars) {
 
 NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& qvars,
                                   unsigned max_qvar, NodeId cube_id) {
+  check_step();
   if (f == kFalseId || g == kFalseId) return kFalseId;
   if (f == kTrueId && g == kTrueId) return kTrueId;
   if (f == kTrueId) return quant_rec(g, qvars, max_qvar, true, cube_id);
@@ -148,6 +150,7 @@ Bdd BddManager::cofactor(const Bdd& f, unsigned v, bool val) {
 }
 
 NodeId BddManager::cofactor_cube_rec(NodeId f, NodeId cube) {
+  check_step();
   if (f <= kTrueId || cube == kTrueId) return f;
   const unsigned vf = level_of(f);
   const Node& c = nodes_[cube];
@@ -183,6 +186,7 @@ Bdd BddManager::cofactor_cube(const Bdd& f, const Bdd& cube) {
 // ---------------------------------------------------------------------------
 
 NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
+  check_step();
   if (c == kTrueId || f <= kTrueId) return f;
   if (f == c) return kTrueId;
   const std::uint32_t tag = restrict_mode ? kOpRestrict : kOpConstrain;
@@ -233,6 +237,7 @@ Bdd BddManager::restrict_to(const Bdd& f, const Bdd& c) {
 // ---------------------------------------------------------------------------
 
 NodeId BddManager::compose_rec(NodeId f, unsigned v, NodeId g) {
+  check_step();
   if (f <= kTrueId) return f;
   const Node& n = nodes_[f];
   if (n.var > v) return f;  // v cannot appear below its own level

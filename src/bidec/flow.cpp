@@ -88,6 +88,9 @@ FlowResult synthesize_bidecomp(BddManager& mgr, std::span<const Isf> spec,
     // Transfer the specification into a manager under the chosen order:
     // original variable order[level] becomes variable `level`.
     BddManager ordered(n);
+    // A job-level step budget or deadline must also cancel work done in the
+    // helper manager, or a reordered job could dodge its timeout.
+    ordered.adopt_abort_limits(mgr);
     const std::vector<unsigned> var_map = invert_order(result.order);
     std::vector<Isf> moved;
     moved.reserve(spec.size());

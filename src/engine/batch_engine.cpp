@@ -1,0 +1,268 @@
+#include "engine/batch_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "io/blif.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Per-worker state. The manager is private to one thread and reused across
+// jobs with matching variable counts; reset_stats() at job start keeps the
+// per-job metrics clean, collect_garbage() drops the previous job's nodes.
+struct Worker {
+  std::unique_ptr<BddManager> mgr;
+
+  BddManager& manager_for(unsigned num_vars) {
+    if (!mgr || mgr->num_vars() != num_vars) {
+      mgr = std::make_unique<BddManager>(num_vars);
+    } else {
+      mgr->collect_garbage();
+      mgr->reset_stats();
+    }
+    return *mgr;
+  }
+};
+
+// Clears the abort limits on scope exit (including exceptional exit), so a
+// timed-out job never leaks its deadline into the worker's next job.
+struct AbortLimitGuard {
+  BddManager& mgr;
+  ~AbortLimitGuard() { mgr.clear_abort(); }
+};
+
+// The specification a worker materialized into its manager. Destroyed
+// before the manager can be recycled (Bdd handles must die first).
+struct MaterializedSpec {
+  std::vector<Isf> isfs;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+};
+
+// Parse/load phase: everything manager-independent about the source.
+// Returns the input count so the worker can size its manager.
+unsigned source_num_inputs(const JobSpec& spec, PlaFile& pla, Netlist& blif,
+                           bool& is_pla) {
+  if (const auto* path = std::get_if<std::string>(&spec.source)) {
+    if (ends_with(*path, ".pla")) {
+      pla = PlaFile::load(*path);
+      is_pla = true;
+      return pla.num_inputs;
+    }
+    if (ends_with(*path, ".blif")) {
+      blif = load_blif(*path);
+      is_pla = false;
+      return static_cast<unsigned>(blif.num_inputs());
+    }
+    throw std::runtime_error("job source must end in .pla or .blif: " + *path);
+  }
+  pla = std::get<PlaFile>(spec.source);
+  is_pla = true;
+  return pla.num_inputs;
+}
+
+MaterializedSpec materialize(BddManager& mgr, const PlaFile& pla,
+                             const Netlist& blif, bool is_pla) {
+  MaterializedSpec spec;
+  if (is_pla) {
+    spec.isfs = pla.to_isfs(mgr);
+    for (unsigned i = 0; i < pla.num_inputs; ++i) {
+      spec.input_names.push_back(pla.input_name(i));
+    }
+    for (unsigned o = 0; o < pla.num_outputs; ++o) {
+      spec.output_names.push_back(pla.output_name(o));
+    }
+  } else {
+    const std::vector<Bdd> funcs = netlist_to_bdds(mgr, blif);
+    for (const Bdd& f : funcs) spec.isfs.push_back(Isf::from_csf(f));
+    for (std::size_t i = 0; i < blif.num_inputs(); ++i) {
+      spec.input_names.push_back(blif.input_name(i));
+    }
+    for (std::size_t o = 0; o < blif.num_outputs(); ++o) {
+      spec.output_names.push_back(blif.output_name(o));
+    }
+  }
+  return spec;
+}
+
+JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id,
+                  Worker& worker) {
+  JobResult result;
+  JobReport& rep = result.report;
+  rep.job_id = job_id;
+  rep.name = spec.name;
+  rep.worker = worker_id;
+  const Clock::time_point t0 = Clock::now();
+
+  BddManager* mgr = nullptr;
+  try {
+    PlaFile pla;
+    Netlist blif;
+    bool is_pla = false;
+    const unsigned num_vars = source_num_inputs(spec, pla, blif, is_pla);
+
+    mgr = &worker.manager_for(num_vars);
+    if (spec.step_budget != 0) mgr->set_step_budget(spec.step_budget);
+    if (spec.timeout_ms != 0) {
+      mgr->set_deadline(t0 + std::chrono::milliseconds(spec.timeout_ms));
+    }
+    const AbortLimitGuard guard{*mgr};
+
+    {
+      // Inner scope: every Bdd handle dies before the worker reuses or
+      // replaces its manager for the next job.
+      MaterializedSpec m = materialize(*mgr, pla, blif, is_pla);
+      rep.num_inputs = num_vars;
+      rep.num_outputs = static_cast<unsigned>(m.isfs.size());
+
+      FlowResult flow = synthesize_bidecomp(*mgr, m.isfs, m.input_names,
+                                            m.output_names, spec.flow);
+      if (spec.verify) {
+        const VerifyResult v = verify_against_isfs(*mgr, flow.netlist, m.isfs);
+        if (!v.ok) {
+          rep.status = JobStatus::kVerifyFailed;
+          rep.error = "output " + std::to_string(v.first_failed_output) +
+                      " incompatible with its specification";
+        }
+      }
+      rep.bidec = flow.stats;
+      const NetlistStats ns = flow.netlist.stats();
+      rep.gates = ns.gates;
+      rep.two_input = ns.two_input;
+      rep.exors = ns.exors;
+      rep.inverters = ns.inverters;
+      rep.levels = ns.cascades;
+      rep.area = ns.area;
+      rep.delay = ns.delay;
+      result.netlist = std::move(flow.netlist);
+    }
+  } catch (const BddAbortError&) {
+    rep.status = JobStatus::kTimeout;
+    result.netlist = Netlist{};
+  } catch (const std::exception& e) {
+    rep.status = JobStatus::kError;
+    rep.error = e.what();
+    result.netlist = Netlist{};
+  }
+
+  rep.wall_ms = ms_since(t0);
+  if (mgr != nullptr) {
+    const BddStats& s = mgr->stats();
+    rep.bdd_steps = mgr->steps_used();
+    rep.peak_nodes = s.peak_nodes;
+    rep.gc_runs = s.gc_runs;
+    const std::size_t unique_total = s.unique_hits + s.unique_misses;
+    rep.unique_hit_rate =
+        unique_total != 0 ? static_cast<double>(s.unique_hits) / unique_total : 0.0;
+    rep.cache_hit_rate = s.cache_lookups != 0
+                             ? static_cast<double>(s.cache_hits) / s.cache_lookups
+                             : 0.0;
+  }
+  return result;
+}
+
+EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
+                       double wall_ms) {
+  EngineReport sum;
+  sum.jobs = results.size();
+  sum.workers = workers;
+  sum.wall_ms = wall_ms;
+  for (const JobResult& r : results) {
+    const JobReport& rep = r.report;
+    switch (rep.status) {
+      case JobStatus::kOk: ++sum.ok; break;
+      case JobStatus::kTimeout: ++sum.timeouts; break;
+      case JobStatus::kVerifyFailed: ++sum.verify_failures; break;
+      case JobStatus::kError: ++sum.errors; break;
+    }
+    sum.total_job_ms += rep.wall_ms;
+    sum.total_gates += rep.gates;
+    sum.total_exors += rep.exors;
+    sum.job_reports.push_back(rep);
+  }
+  return sum;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(EngineOptions options) : options_(options) {}
+
+std::size_t BatchEngine::submit(JobSpec spec) {
+  if (spec.name.empty()) {
+    if (const auto* path = std::get_if<std::string>(&spec.source)) {
+      spec.name = *path;
+    } else {
+      spec.name = "job" + std::to_string(queue_.size());
+    }
+  }
+  if (spec.step_budget == 0) spec.step_budget = options_.default_step_budget;
+  if (spec.timeout_ms == 0) spec.timeout_ms = options_.default_timeout_ms;
+  queue_.push_back(std::move(spec));
+  return queue_.size() - 1;
+}
+
+BatchOutcome BatchEngine::run() {
+  const Clock::time_point t0 = Clock::now();
+  const std::size_t num_jobs = queue_.size();
+  std::vector<JobResult> results(num_jobs);
+
+  unsigned workers = options_.num_workers != 0
+                         ? options_.num_workers
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(num_jobs, 1)));
+
+  std::mutex queue_mutex;
+  std::size_t next_job = 0;
+  auto drain = [&](std::size_t worker_id) {
+    Worker worker;
+    for (;;) {
+      std::size_t i;
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        if (next_job >= num_jobs) return;
+        i = next_job++;
+      }
+      // Each slot of `results` is written by exactly one worker; the join
+      // below publishes them to the caller.
+      results[i] = run_job(queue_[i], i, worker_id, worker);
+      if (!options_.keep_netlists) results[i].netlist = Netlist{};
+    }
+  };
+
+  if (workers <= 1) {
+    drain(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain, w);
+    for (std::thread& t : pool) t.join();
+  }
+  queue_.clear();
+
+  BatchOutcome outcome;
+  outcome.summary = aggregate(results, workers, ms_since(t0));
+  outcome.results = std::move(results);
+  return outcome;
+}
+
+}  // namespace bidec

@@ -1,0 +1,63 @@
+// Parallel batch-synthesis engine: a fixed pool of worker threads draining
+// a mutex-guarded queue of synthesis jobs. Each worker owns a private
+// BddManager (the ROBDD package is single-threaded by design; nothing in
+// it is shared across workers), materializes each job's manager-independent
+// spec locally, runs synthesize_bidecomp, verifies, and fills in a
+// JobReport. A per-job step budget / deadline cancels runaway BDD blow-ups
+// through the manager's cooperative abort hook, so one pathological job
+// ends with JobStatus::kTimeout while the rest of the pool keeps draining.
+#ifndef BIDEC_ENGINE_BATCH_ENGINE_H
+#define BIDEC_ENGINE_BATCH_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/job.h"
+
+namespace bidec {
+
+struct EngineOptions {
+  /// Worker threads (0 = hardware concurrency, capped at the job count).
+  unsigned num_workers = 0;
+  /// Default per-job BDD step budget for specs that leave it 0 (0 = none).
+  std::uint64_t default_step_budget = 0;
+  /// Default per-job wall-time deadline for specs that leave it 0 (0 = none).
+  std::uint32_t default_timeout_ms = 0;
+  /// Keep synthesized netlists in the results (drop to save memory when
+  /// only the metrics matter).
+  bool keep_netlists = true;
+};
+
+/// Everything run() produces: one result per submitted job (indexed by the
+/// id submit() returned) plus the aggregate report.
+struct BatchOutcome {
+  std::vector<JobResult> results;
+  EngineReport summary;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(EngineOptions options = {});
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Enqueue one job; returns its id (the index in BatchOutcome::results).
+  /// Engine-level defaults are applied to zero-valued per-job limits here.
+  std::size_t submit(JobSpec spec);
+
+  /// Run all submitted jobs to completion and clear the queue. Safe to
+  /// submit() and run() again afterwards.
+  [[nodiscard]] BatchOutcome run();
+
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t pending_jobs() const noexcept { return queue_.size(); }
+
+ private:
+  EngineOptions options_;
+  std::vector<JobSpec> queue_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_ENGINE_BATCH_ENGINE_H

@@ -1,0 +1,111 @@
+// Manager-independent job descriptions and per-job reports for the batch
+// synthesis engine. `Bdd` handles are bound to one BddManager, so a job is
+// submitted as a *specification source* (a PLA/BLIF path or an in-memory
+// PLA cover) that the executing worker materializes into its private
+// manager before running the ordinary synthesize_bidecomp flow.
+#ifndef BIDEC_ENGINE_JOB_H
+#define BIDEC_ENGINE_JOB_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bidec/flow.h"
+#include "io/pla.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+enum class JobStatus {
+  kOk,            ///< synthesized and (if requested) verified
+  kTimeout,       ///< cancelled by step budget or deadline (BddAbortError)
+  kVerifyFailed,  ///< synthesized but the verifier rejected an output
+  kError,         ///< load/parse/synthesis raised an error
+};
+
+[[nodiscard]] const char* to_string(JobStatus status) noexcept;
+
+/// One unit of work. Everything here is manager-independent and immutable
+/// while the engine runs, so specs can be built on any thread.
+struct JobSpec {
+  std::string name;  ///< label for reports; defaults to the path if empty
+
+  /// Where the specification comes from: a path ending in .pla or .blif,
+  /// or an already-parsed PLA cover.
+  std::variant<std::string, PlaFile> source;
+
+  FlowOptions flow;
+
+  /// Cancel the job after this many BDD steps (0 = engine default).
+  std::uint64_t step_budget = 0;
+  /// Cancel the job after this much wall time (0 = engine default).
+  std::uint32_t timeout_ms = 0;
+  /// Check the result against the specification with the BDD verifier.
+  bool verify = true;
+};
+
+/// Everything measured about one finished job.
+struct JobReport {
+  std::size_t job_id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kOk;
+  std::string error;  ///< message for kError / failing output for kVerifyFailed
+
+  std::size_t worker = 0;  ///< index of the worker thread that ran the job
+  double wall_ms = 0.0;
+
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+
+  // BDD substrate metrics, measured on the worker's manager since the
+  // job-start reset_stats() call.
+  std::uint64_t bdd_steps = 0;
+  std::size_t peak_nodes = 0;
+  std::size_t gc_runs = 0;
+  double unique_hit_rate = 0.0;
+  double cache_hit_rate = 0.0;
+
+  // Decomposition call counters (empty unless the flow ran to completion).
+  BidecStats bidec;
+
+  // Gate counts by type of the produced netlist.
+  std::size_t gates = 0;
+  std::size_t two_input = 0;
+  std::size_t exors = 0;
+  std::size_t inverters = 0;
+  unsigned levels = 0;
+  double area = 0.0;
+  double delay = 0.0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Report plus the synthesized netlist (valid only for kOk/kVerifyFailed;
+/// netlists are plain DAGs with no manager dependency).
+struct JobResult {
+  JobReport report;
+  Netlist netlist;
+};
+
+/// Engine-level aggregate over one run() call.
+struct EngineReport {
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t timeouts = 0;
+  std::size_t verify_failures = 0;
+  std::size_t errors = 0;
+  unsigned workers = 0;
+  double wall_ms = 0.0;        ///< end-to-end batch wall time
+  double total_job_ms = 0.0;   ///< sum of per-job wall times
+  std::size_t total_gates = 0;
+  std::size_t total_exors = 0;
+  std::vector<JobReport> job_reports;
+
+  /// Full serialization: aggregate fields plus one object per job.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_ENGINE_JOB_H

@@ -1,0 +1,107 @@
+// JSON serialization of job and engine reports. Hand-rolled emitter: the
+// schema is flat and fixed, and the repo takes no external dependencies.
+#include "engine/job.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bidec {
+
+const char* to_string(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kVerifyFailed: return "verify_failed";
+    case JobStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control characters);
+// job names come from file paths, which may contain anything.
+void append_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string JobReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\": " << job_id << ", \"name\": ";
+  append_json_string(os, name);
+  os << ", \"status\": \"" << to_string(status) << "\", \"worker\": " << worker
+     << ", \"wall_ms\": ";
+  append_double(os, wall_ms);
+  os << ", \"inputs\": " << num_inputs << ", \"outputs\": " << num_outputs;
+  os << ", \"bdd\": {\"steps\": " << bdd_steps << ", \"peak_nodes\": " << peak_nodes
+     << ", \"gc_runs\": " << gc_runs << ", \"unique_hit_rate\": ";
+  append_double(os, unique_hit_rate);
+  os << ", \"cache_hit_rate\": ";
+  append_double(os, cache_hit_rate);
+  os << "}, \"decomposition\": {\"calls\": " << bidec.calls
+     << ", \"strong_or\": " << bidec.strong_or
+     << ", \"strong_and\": " << bidec.strong_and
+     << ", \"strong_exor\": " << bidec.strong_exor
+     << ", \"weak_or\": " << bidec.weak_or << ", \"weak_and\": " << bidec.weak_and
+     << ", \"cache_hits\": " << bidec.cache_hits
+     << ", \"terminal_cases\": " << bidec.terminal_cases << "}";
+  os << ", \"netlist\": {\"gates\": " << gates << ", \"two_input\": " << two_input
+     << ", \"exors\": " << exors << ", \"inverters\": " << inverters
+     << ", \"levels\": " << levels << ", \"area\": ";
+  append_double(os, area);
+  os << ", \"delay\": ";
+  append_double(os, delay);
+  os << "}";
+  if (!error.empty()) {
+    os << ", \"error\": ";
+    append_json_string(os, error);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string EngineReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"jobs\": " << jobs << ", \"ok\": " << ok << ", \"timeouts\": " << timeouts
+     << ", \"verify_failures\": " << verify_failures << ", \"errors\": " << errors
+     << ", \"workers\": " << workers << ", \"wall_ms\": ";
+  append_double(os, wall_ms);
+  os << ", \"total_job_ms\": ";
+  append_double(os, total_job_ms);
+  os << ", \"total_gates\": " << total_gates << ", \"total_exors\": " << total_exors
+     << ", \"job_reports\": [";
+  for (std::size_t i = 0; i < job_reports.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << job_reports[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace bidec
