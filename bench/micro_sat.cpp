@@ -1,0 +1,167 @@
+// Microbenchmarks of the SAT subsystem: raw CDCL search on pigeonhole
+// instances, Tseitin encoding throughput, and the miter checks the SAT
+// verifier and SAT-ATPG run on Table-2-sized netlists (benchgen stand-ins,
+// since the original MCNC files are not redistributable offline).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "atpg/sat_atpg.h"
+#include "benchgen/benchgen.h"
+#include "bidec/flow.h"
+#include "sat/tseitin.h"
+#include "verify/sat_verifier.h"
+
+namespace bidec {
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::TseitinEncoder;
+using sat::Var;
+
+void add_php(Solver& s, unsigned pigeons, unsigned holes) {
+  std::vector<std::vector<Var>> p(pigeons);
+  for (unsigned i = 0; i < pigeons; ++i) {
+    for (unsigned j = 0; j < holes; ++j) p[i].push_back(s.new_var());
+  }
+  for (unsigned i = 0; i < pigeons; ++i) {
+    std::vector<Lit> at_least;
+    for (unsigned j = 0; j < holes; ++j) at_least.push_back(sat::mk_lit(p[i][j]));
+    s.add_clause(std::move(at_least));
+  }
+  for (unsigned j = 0; j < holes; ++j) {
+    for (unsigned i1 = 0; i1 < pigeons; ++i1) {
+      for (unsigned i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_clause({sat::mk_lit(p[i1][j], true), sat::mk_lit(p[i2][j], true)});
+      }
+    }
+  }
+}
+
+FlowResult synthesize_standin(BddManager& mgr, const StructuredSpecParams& params,
+                              const FlowOptions& options = {}) {
+  const std::vector<Isf> spec = random_structured_spec(mgr, params);
+  std::vector<std::string> in_names, out_names;
+  for (unsigned i = 0; i < params.inputs; ++i) in_names.push_back("x" + std::to_string(i));
+  for (unsigned o = 0; o < params.outputs; ++o) out_names.push_back("y" + std::to_string(o));
+  return synthesize_bidecomp(mgr, spec, in_names, out_names, options);
+}
+
+void report_solver_counters(benchmark::State& state, const Solver::Stats& stats) {
+  state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+  state.counters["propagations"] = benchmark::Counter(
+      static_cast<double>(stats.propagations), benchmark::Counter::kIsRate);
+  state.counters["learned"] = static_cast<double>(stats.learned);
+}
+
+// CDCL on the unsatisfiable PHP(n+1, n): pure search throughput, no
+// encoding involved. Exercises learning, restarts, and clause reduction.
+void BM_SatPigeonhole(benchmark::State& state) {
+  const unsigned holes = static_cast<unsigned>(state.range(0));
+  Solver::Stats last{};
+  for (auto _ : state) {
+    Solver s;
+    add_php(s, holes + 1, holes);
+    benchmark::DoNotOptimize(s.solve());
+    last = s.stats();
+  }
+  report_solver_counters(state, last);
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+// Tseitin encoding of a synthesized netlist (clause generation only).
+void BM_TseitinEncodeNetlist(benchmark::State& state) {
+  StructuredSpecParams params;
+  params.inputs = static_cast<unsigned>(state.range(0));
+  params.outputs = 8;
+  params.internal_nodes = 80;
+  params.seed = 5;
+  BddManager mgr(params.inputs);
+  const FlowResult flow = synthesize_standin(mgr, params);
+
+  for (auto _ : state) {
+    Solver s;
+    TseitinEncoder enc(s);
+    const std::vector<Var> in_vars = enc.add_vars(flow.netlist.num_inputs());
+    benchmark::DoNotOptimize(enc.encode_netlist(flow.netlist, in_vars));
+  }
+  state.counters["gates"] = static_cast<double>(flow.netlist.stats().gates);
+}
+BENCHMARK(BM_TseitinEncodeNetlist)->Arg(10)->Arg(12)->Arg(16);
+
+// The SAT verifier end to end on a Table-2 stand-in: synthesize once, then
+// measure the per-output miter checks against the cover rows.
+void BM_SatVerifyAgainstPla(benchmark::State& state) {
+  const PlaFile pla = random_control_pla(/*inputs=*/12, /*outputs=*/6, /*cubes=*/40,
+                                         /*min_lits=*/2, /*max_lits=*/6,
+                                         /*outs_per_cube=*/2, /*dc_fraction=*/0.1,
+                                         /*seed=*/7);
+  BddManager mgr(pla.num_inputs);
+  const std::vector<Isf> spec = pla.to_isfs(mgr);
+  std::vector<std::string> in_names, out_names;
+  for (unsigned i = 0; i < pla.num_inputs; ++i) in_names.push_back(pla.input_name(i));
+  for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
+  const FlowResult flow = synthesize_bidecomp(mgr, spec, in_names, out_names);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat_verify_against_pla(flow.netlist, pla));
+  }
+}
+BENCHMARK(BM_SatVerifyAgainstPla);
+
+// Netlist-vs-netlist equivalence miter between two structurally different
+// implementations of the same spec (with and without EXOR gates).
+void BM_SatEquivalenceMiter(benchmark::State& state) {
+  StructuredSpecParams params;
+  params.inputs = static_cast<unsigned>(state.range(0));
+  params.outputs = 6;
+  params.internal_nodes = 60;
+  params.xor_fraction = 0.2;
+  params.seed = 11;
+  BddManager mgr(params.inputs);
+  const FlowResult flow = synthesize_standin(mgr, params);
+  FlowOptions alt;
+  alt.bidec.use_exor = false;
+  const FlowResult flow2 = synthesize_standin(mgr, params, alt);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat_verify_equivalent(flow.netlist, flow2.netlist));
+  }
+}
+BENCHMARK(BM_SatEquivalenceMiter)->Arg(10)->Arg(14);
+
+// Full SAT-ATPG over a decomposed netlist: one incremental solver, one
+// assumption-driven solve per stuck-at fault. Dominated by small SAT calls,
+// so this measures the incremental-assumption path rather than deep search.
+void BM_SatAtpgFullFaultList(benchmark::State& state) {
+  StructuredSpecParams params;
+  params.inputs = 10;
+  params.outputs = 4;
+  params.internal_nodes = 50;
+  params.seed = 13;
+  BddManager mgr(params.inputs);
+  const FlowResult flow = synthesize_standin(mgr, params);
+
+  SatAtpgResult last{};
+  Solver::Stats stats{};
+  for (auto _ : state) {
+    SatAtpg atpg(flow.netlist);
+    last = {};
+    for (const Fault& fault : enumerate_faults(flow.netlist)) {
+      const SatFaultResult r = atpg.test_fault(fault);
+      ++last.total_faults;
+      if (r.cls == FaultClass::kTestable) ++last.testable;
+    }
+    stats = atpg.solver_stats();
+  }
+  state.counters["faults"] = static_cast<double>(last.total_faults);
+  report_solver_counters(state, stats);
+}
+BENCHMARK(BM_SatAtpgFullFaultList);
+
+}  // namespace
+}  // namespace bidec
+
+BENCHMARK_MAIN();

@@ -11,13 +11,15 @@
 //     --out-dir <dir>     write each synthesized netlist as <name>.blif
 //     --reorder <none|force|sift>
 //     --weak-only --no-exor --no-cache
-//     --no-verify         skip the per-job BDD verification
+//     --verify <engine>   none|bdd|sat|both (default bdd)
+//     --no-verify         alias for --verify none
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,7 +36,7 @@ int usage() {
                "usage: batch_synth <dir | files...> [--jobs N] [--timeout-ms T]\n"
                "       [--step-budget S] [--json out.json] [--out-dir dir]\n"
                "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
-               "       [--no-cache] [--no-verify]\n");
+               "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n");
   return 2;
 }
 
@@ -65,7 +67,7 @@ int main(int argc, char** argv) {
   EngineOptions engine_opts;
   FlowOptions flow;
   std::string json_path, out_dir;
-  bool verify = true;
+  VerifyEngine verify = VerifyEngine::kBdd;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -110,8 +112,17 @@ int main(int argc, char** argv) {
       flow.bidec.use_exor = false;
     } else if (a == "--no-cache") {
       flow.bidec.use_cache = false;
+    } else if (a == "--verify") {
+      const char* v = next();
+      if (!v) return usage();
+      const std::optional<VerifyEngine> engine = parse_verify_engine(v);
+      if (!engine) {
+        std::fprintf(stderr, "error: --verify expects none|bdd|sat|both, got '%s'\n", v);
+        return usage();
+      }
+      verify = *engine;
     } else if (a == "--no-verify") {
-      verify = false;
+      verify = VerifyEngine::kNone;
     } else if (!a.empty() && a[0] != '-') {
       inputs.push_back(a);
     } else {

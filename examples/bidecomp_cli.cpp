@@ -12,17 +12,24 @@
 //     --atpg                run stuck-at ATPG and report coverage
 //     --sweep               remove redundancies after synthesis
 //     --stats               print decomposition statistics
+//     --verify=<engine>     none|bdd|sat|both (default bdd); sat checks the
+//                           netlist straight against the PLA cover / original
+//                           BLIF with the CDCL engine, both cross-checks
 //     --jobs N              worker threads for multi-file invocations
 //     --timeout-ms T        per-job deadline for multi-file invocations
 //
 // A single input file runs the sequential flow exactly as before. Several
 // input files are dispatched through the parallel batch engine (-o/--dot/
 // --lib/--atpg/--sweep apply to the single-file path only).
+//
+// Exit codes: 0 success, 1 load/synthesis error, 2 usage, 3 verification
+// failure (the netlist was produced but an engine rejected an output).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +38,7 @@
 #include "engine/batch_engine.h"
 #include "io/blif.h"
 #include "io/pla.h"
+#include "verify/sat_verifier.h"
 #include "verify/verifier.h"
 
 namespace {
@@ -46,9 +54,12 @@ struct CliArgs {
   bool atpg = false;
   bool sweep = false;
   bool stats = false;
+  VerifyEngine verify = VerifyEngine::kBdd;
   unsigned jobs = 0;
   std::uint32_t timeout_ms = 0;
 };
+
+constexpr int kExitVerifyFailed = 3;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -60,7 +71,8 @@ int usage() {
                "usage: bidecomp_cli <input.{pla,blif}>... [-o out.blif] [--dot out.dot]\n"
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
-               "       [--atpg] [--sweep] [--stats] [--jobs N] [--timeout-ms T]\n");
+               "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
+               "       [--jobs N] [--timeout-ms T]\n");
   return 2;
 }
 
@@ -92,6 +104,7 @@ int run_batch(const CliArgs& args) {
     JobSpec spec;
     spec.source = path;
     spec.flow = args.flow;
+    spec.verify = args.verify;
     engine.submit(std::move(spec));
   }
   const BatchOutcome outcome = engine.run();
@@ -101,13 +114,18 @@ int run_batch(const CliArgs& args) {
                 rep.name.c_str(), to_string(rep.status), rep.gates, rep.exors,
                 rep.area, rep.levels, rep.wall_ms);
     if (!rep.error.empty()) std::printf("    %s\n", rep.error.c_str());
+    for (const std::size_t o : rep.failed_outputs) {
+      std::printf("    failed output %zu (bdd=%d sat=%d)\n", o, rep.bdd_verdict,
+                  rep.sat_verdict);
+    }
   }
   const EngineReport& sum = outcome.summary;
   std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
               "%zu error in %.1f ms\n",
               sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
               sum.errors, sum.wall_ms);
-  return sum.ok == sum.jobs ? 0 : 1;
+  if (sum.ok == sum.jobs) return 0;
+  return sum.verify_failures != 0 ? kExitVerifyFailed : 1;
 }
 
 }  // namespace
@@ -151,6 +169,15 @@ int main(int argc, char** argv) {
       args.flow.bidec.use_cache = false;
     } else if (a == "--no-map") {
       args.flow.bidec.absorb_inverters = false;
+    } else if (a == "--verify" || a.rfind("--verify=", 0) == 0) {
+      const char* v = a == "--verify" ? next() : a.c_str() + std::strlen("--verify=");
+      if (!v) return usage();
+      const std::optional<VerifyEngine> engine = parse_verify_engine(v);
+      if (!engine) {
+        std::fprintf(stderr, "error: --verify expects none|bdd|sat|both, got '%s'\n", v);
+        return usage();
+      }
+      args.verify = *engine;
     } else if (a == "--atpg") {
       args.atpg = true;
     } else if (a == "--sweep") {
@@ -183,8 +210,14 @@ int main(int argc, char** argv) {
     std::vector<Isf> spec;
     std::vector<std::string> in_names, out_names;
     unsigned num_inputs = 0;
+    // The raw sources outlive the flow so the SAT verifier can check the
+    // result against them directly (no BDD involvement).
+    PlaFile pla;
+    Netlist original;
+    bool is_pla = false;
     if (ends_with(input, ".pla")) {
-      const PlaFile pla = PlaFile::load(input);
+      pla = PlaFile::load(input);
+      is_pla = true;
       num_inputs = pla.num_inputs;
       mgr = std::make_unique<BddManager>(num_inputs);
       spec = pla.to_isfs(*mgr);
@@ -193,7 +226,7 @@ int main(int argc, char** argv) {
       std::printf("read PLA %s: %u in, %u out, %zu cubes\n", input.c_str(),
                   pla.num_inputs, pla.num_outputs, pla.rows.size());
     } else if (ends_with(input, ".blif")) {
-      const Netlist original = load_blif(input);
+      original = load_blif(input);
       num_inputs = static_cast<unsigned>(original.num_inputs());
       mgr = std::make_unique<BddManager>(num_inputs);
       const std::vector<Bdd> funcs = netlist_to_bdds(*mgr, original);
@@ -225,15 +258,35 @@ int main(int argc, char** argv) {
     }
 
     // --- verify + report ----------------------------------------------------
-    const VerifyResult ok = verify_against_isfs(*mgr, res.netlist, spec);
-    if (!ok.ok) {
-      std::fprintf(stderr, "VERIFICATION FAILED on output %zu\n", ok.first_failed_output);
-      return 1;
+    // Each requested engine reports every failing output by index, name, and
+    // engine; any failure exits with the dedicated code so scripts can tell
+    // a bad netlist (3) from a bad input (1).
+    bool verify_failed = false;
+    const auto report_failures = [&](const char* engine, const VerifyResult& v) {
+      if (v.ok) return;
+      verify_failed = true;
+      for (const std::size_t o : v.failed_outputs) {
+        const char* name = o < out_names.size() ? out_names[o].c_str() : "?";
+        std::fprintf(stderr, "VERIFICATION FAILED [%s] on output %zu (%s)\n",
+                     engine, o, name);
+      }
+    };
+    if (args.verify == VerifyEngine::kBdd || args.verify == VerifyEngine::kBoth) {
+      report_failures("bdd", verify_against_isfs(*mgr, res.netlist, spec));
     }
+    if (args.verify == VerifyEngine::kSat || args.verify == VerifyEngine::kBoth) {
+      report_failures("sat", is_pla ? sat_verify_against_pla(res.netlist, pla)
+                                    : sat_verify_equivalent(res.netlist, original));
+    }
+    if (verify_failed) return kExitVerifyFailed;
     const NetlistStats s = res.netlist.stats();
     std::printf("synthesized: %zu gates (%zu exors, %zu inverters), area %.0f, "
-                "%u levels, delay %.1f -- verified OK\n",
-                s.gates, s.exors, s.inverters, s.area, s.cascades, s.delay);
+                "%u levels, delay %.1f -- %s\n",
+                s.gates, s.exors, s.inverters, s.area, s.cascades, s.delay,
+                args.verify == VerifyEngine::kNone
+                    ? "not verified"
+                    : (std::string("verified OK (") + to_string(args.verify) + ")")
+                          .c_str());
     if (args.stats) {
       const BidecStats& d = res.stats;
       std::printf("calls=%zu strong(or/and/exor)=%zu/%zu/%zu weak(or/and)=%zu/%zu "

@@ -1,0 +1,130 @@
+#include "atpg/sat_atpg.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+SatAtpg::SatAtpg(const Netlist& net, std::uint64_t conflict_budget)
+    : net_(net), enc_(solver_), topo_(net.reachable_topo_order()) {
+  solver_.set_conflict_budget(conflict_budget);
+  in_vars_ = enc_.add_vars(net.num_inputs());
+  good_lit_.assign(net.num_nodes(), sat::kUndefLit);
+  for (const SignalId id : topo_) {
+    const Netlist::Node& n = net.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        good_lit_[id] = sat::mk_lit(in_vars_[net.input_index(id)]);
+        break;
+      case GateType::kConst0:
+        good_lit_[id] = enc_.constant(false);
+        break;
+      case GateType::kConst1:
+        good_lit_[id] = enc_.constant(true);
+        break;
+      default:
+        good_lit_[id] = enc_.encode_gate(
+            n.type, good_lit_[n.fanin0],
+            n.fanin1 != kNoSignal ? good_lit_[n.fanin1] : sat::kUndefLit);
+        break;
+    }
+  }
+}
+
+SatFaultResult SatAtpg::test_fault(const Fault& fault) {
+  if (fault.node >= net_.num_nodes()) {
+    throw std::invalid_argument("test_fault: fault node out of range");
+  }
+  // Faulty copy of the fanout cone only: every node downstream of the fault
+  // site gets a fresh literal; fanins outside the cone keep the shared good
+  // encoding (this mirrors simulate_with_fault's semantics exactly, pin
+  // faults included).
+  std::vector<Lit> faulty(net_.num_nodes(), sat::kUndefLit);
+  std::vector<bool> affected(net_.num_nodes(), false);
+  const Lit stuck = enc_.constant(fault.stuck_value);
+  for (const SignalId id : topo_) {
+    const Netlist::Node& n = net_.node(id);
+    const bool is_site = id == fault.node;
+    const bool fanin_affected =
+        (n.fanin0 != kNoSignal && affected[n.fanin0]) ||
+        (n.fanin1 != kNoSignal && affected[n.fanin1]);
+    if (!is_site && !fanin_affected) continue;
+    affected[id] = true;
+    if (is_site && fault.pin < 0) {
+      faulty[id] = stuck;
+      continue;
+    }
+    const auto pick = [&](SignalId f) {
+      return affected[f] ? faulty[f] : good_lit_[f];
+    };
+    Lit a = n.fanin0 != kNoSignal ? pick(n.fanin0) : sat::kUndefLit;
+    Lit b = n.fanin1 != kNoSignal ? pick(n.fanin1) : sat::kUndefLit;
+    if (is_site) {
+      if (fault.pin == 0) a = stuck;
+      if (fault.pin == 1) b = stuck;
+    }
+    faulty[id] = enc_.encode_gate(n.type, a, b);
+  }
+
+  // Miter over the affected outputs, gated by a fresh activation literal so
+  // the clauses are disabled (not deleted) once this fault is classified.
+  std::vector<Lit> activation_clause;
+  const Lit act = sat::mk_lit(enc_.add_var());
+  activation_clause.push_back(~act);
+  for (std::size_t o = 0; o < net_.num_outputs(); ++o) {
+    const SignalId sig = net_.output_signal(o);
+    if (!affected[sig]) continue;
+    activation_clause.push_back(enc_.encode_xor(good_lit_[sig], faulty[sig]));
+  }
+  SatFaultResult result;
+  if (activation_clause.size() == 1) {
+    // Fault effect cannot reach any primary output.
+    result.cls = FaultClass::kRedundant;
+    return result;
+  }
+  solver_.add_clause(std::move(activation_clause));
+  switch (solver_.solve({act})) {
+    case Solver::Result::kSat:
+      result.cls = FaultClass::kTestable;
+      result.test.reserve(net_.num_inputs());
+      for (const Var v : in_vars_) result.test.push_back(solver_.model_value(v));
+      break;
+    case Solver::Result::kUnsat:
+      result.cls = FaultClass::kRedundant;
+      break;
+    case Solver::Result::kUnknown:
+      result.cls = FaultClass::kAborted;
+      break;
+  }
+  solver_.add_clause({~act});  // retire this fault's miter
+  return result;
+}
+
+SatAtpgResult run_sat_atpg(const Netlist& net, std::uint64_t conflict_budget) {
+  SatAtpg atpg(net, conflict_budget);
+  SatAtpgResult result;
+  const std::vector<Fault> faults = enumerate_faults(net);
+  result.total_faults = faults.size();
+  for (const Fault& fault : faults) {
+    SatFaultResult r = atpg.test_fault(fault);
+    switch (r.cls) {
+      case FaultClass::kTestable:
+        ++result.testable;
+        result.generated_tests.emplace_back(fault, std::move(r.test));
+        break;
+      case FaultClass::kRedundant:
+        ++result.redundant;
+        result.redundant_faults.push_back(fault);
+        break;
+      case FaultClass::kAborted:
+        ++result.aborted;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bidec

@@ -1,0 +1,69 @@
+// SAT-based test generation: the independent backend next to the exact
+// BDD-based one in atpg.h. The good circuit is Tseitin-encoded once into an
+// incremental CDCL solver; each fault then adds a faulty copy of only the
+// fault's fanout cone (fanins outside the cone reuse the good circuit's
+// variables) plus a miter over the affected outputs, and the miter is
+// activated with a solver assumption — so learned clauses about the good
+// circuit are shared across the whole fault list. A satisfying assignment
+// is a test vector; an unsatisfiable miter proves the fault redundant.
+#ifndef BIDEC_ATPG_SAT_ATPG_H
+#define BIDEC_ATPG_SAT_ATPG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "netlist/netlist.h"
+#include "sat/tseitin.h"
+
+namespace bidec {
+
+enum class FaultClass : std::uint8_t {
+  kTestable,   ///< the returned vector distinguishes faulty from good
+  kRedundant,  ///< provably untestable (miter UNSAT)
+  kAborted,    ///< conflict budget exhausted before a verdict
+};
+
+struct SatFaultResult {
+  FaultClass cls = FaultClass::kAborted;
+  std::vector<bool> test;  ///< one value per primary input when kTestable
+};
+
+class SatAtpg {
+ public:
+  /// Encode the good circuit of `net`. `conflict_budget` bounds the solver
+  /// effort per fault (0 = decide every fault exactly).
+  explicit SatAtpg(const Netlist& net, std::uint64_t conflict_budget = 0);
+
+  /// Classify one fault (and produce a test vector when testable).
+  [[nodiscard]] SatFaultResult test_fault(const Fault& fault);
+
+  [[nodiscard]] const sat::Solver::Stats& solver_stats() const noexcept {
+    return solver_.stats();
+  }
+
+ private:
+  const Netlist& net_;
+  sat::Solver solver_;
+  sat::TseitinEncoder enc_;
+  std::vector<sat::Var> in_vars_;
+  std::vector<sat::Lit> good_lit_;      ///< per netlist node, good value
+  std::vector<SignalId> topo_;          ///< reachable cone, inputs first
+};
+
+/// Aggregate over the complete single-stuck-at fault list of `net`.
+struct SatAtpgResult {
+  std::size_t total_faults = 0;
+  std::size_t testable = 0;
+  std::size_t redundant = 0;
+  std::size_t aborted = 0;
+  std::vector<Fault> redundant_faults;
+  std::vector<std::pair<Fault, std::vector<bool>>> generated_tests;
+};
+
+[[nodiscard]] SatAtpgResult run_sat_atpg(const Netlist& net,
+                                         std::uint64_t conflict_budget = 0);
+
+}  // namespace bidec
+
+#endif  // BIDEC_ATPG_SAT_ATPG_H

@@ -1,0 +1,58 @@
+#include "bidec/sat_check.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sat/tseitin.h"
+
+namespace bidec {
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::TseitinEncoder;
+using sat::Var;
+
+/// Q(x) & R(x') & R(x'') with x' free over xa, x'' free over xb, both tied
+/// to x elsewhere. Decomposable iff UNSAT.
+bool or_decomposable_two_copy(const Bdd& q, const Bdd& r, unsigned num_vars,
+                              std::span<const unsigned> xa,
+                              std::span<const unsigned> xb) {
+  Solver solver;
+  TseitinEncoder enc(solver);
+  const std::vector<Var> x = enc.add_vars(num_vars);
+  const std::vector<Var> x1 = enc.add_vars(num_vars);
+  const std::vector<Var> x2 = enc.add_vars(num_vars);
+  std::vector<bool> in_xa(num_vars, false);
+  std::vector<bool> in_xb(num_vars, false);
+  for (const unsigned v : xa) in_xa.at(v) = true;
+  for (const unsigned v : xb) in_xb.at(v) = true;
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if (!in_xa[v]) enc.add_equal(sat::mk_lit(x1[v]), sat::mk_lit(x[v]));
+    if (!in_xb[v]) enc.add_equal(sat::mk_lit(x2[v]), sat::mk_lit(x[v]));
+  }
+  const Lit q_lit = enc.encode_bdd(q, x);
+  const Lit r1_lit = enc.encode_bdd(r, x1);
+  const Lit r2_lit = enc.encode_bdd(r, x2);
+  switch (solver.solve({q_lit, r1_lit, r2_lit})) {
+    case Solver::Result::kSat: return false;
+    case Solver::Result::kUnsat: return true;
+    case Solver::Result::kUnknown: break;
+  }
+  throw std::runtime_error("sat_check: solver returned unknown");
+}
+
+}  // namespace
+
+bool sat_check_or_decomposable(const Isf& f, std::span<const unsigned> xa,
+                               std::span<const unsigned> xb) {
+  return or_decomposable_two_copy(f.q(), f.r(), f.manager()->num_vars(), xa, xb);
+}
+
+bool sat_check_and_decomposable(const Isf& f, std::span<const unsigned> xa,
+                                std::span<const unsigned> xb) {
+  // Same dual as check_and_decomposable: AND-decompose F = OR-decompose (R, Q).
+  return or_decomposable_two_copy(f.r(), f.q(), f.manager()->num_vars(), xa, xb);
+}
+
+}  // namespace bidec

@@ -1,0 +1,31 @@
+// SAT-based decomposability checks: the two-copy CNF encoding of Theorem 1
+// (after Chen/Janota/Marques-Silva's QBF formulation of bi-decomposition),
+// existentially collapsed so a plain SAT call decides it. F = (Q, R) is
+// OR-bi-decomposable with (X_A, X_B) iff
+//   Q(x) & R(x') & R(x'')  is unsatisfiable,
+// where x' ranges freely over X_A but equals x elsewhere, and x'' ranges
+// freely over X_B but equals x elsewhere — the satisfying assignments are
+// exactly the witnesses of Q & exists_{X_A} R & exists_{X_B} R from the BDD
+// formula in check.h, so both engines must agree verdict-for-verdict.
+#ifndef BIDEC_BIDEC_SAT_CHECK_H
+#define BIDEC_BIDEC_SAT_CHECK_H
+
+#include <span>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+/// SAT counterpart of check_or_decomposable (Theorem 1).
+[[nodiscard]] bool sat_check_or_decomposable(const Isf& f,
+                                             std::span<const unsigned> xa,
+                                             std::span<const unsigned> xb);
+
+/// SAT counterpart of check_and_decomposable (the OR dual on (R, Q)).
+[[nodiscard]] bool sat_check_and_decomposable(const Isf& f,
+                                              std::span<const unsigned> xa,
+                                              std::span<const unsigned> xb);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_SAT_CHECK_H

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "io/blif.h"
+#include "verify/sat_verifier.h"
 #include "verify/verifier.h"
 
 namespace bidec {
@@ -136,12 +137,49 @@ JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id
 
       FlowResult flow = synthesize_bidecomp(*mgr, m.isfs, m.input_names,
                                             m.output_names, spec.flow);
-      if (spec.verify) {
-        const VerifyResult v = verify_against_isfs(*mgr, flow.netlist, m.isfs);
-        if (!v.ok) {
+      if (spec.verify != VerifyEngine::kNone) {
+        DualVerifyResult v;
+        if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
+          v.bdd_ran = true;
+          v.bdd = verify_against_isfs(*mgr, flow.netlist, m.isfs);
+          rep.bdd_verdict = v.bdd.ok ? 1 : 0;
+        }
+        if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
+          // The SAT engine checks against the *source* (cover rows or the
+          // original BLIF network), not the materialized BDDs, so it shares
+          // no reasoning with the synthesis substrate.
+          v.sat_ran = true;
+          v.sat = is_pla ? sat_verify_against_pla(flow.netlist, pla)
+                         : sat_verify_equivalent(flow.netlist, blif);
+          rep.sat_verdict = v.sat.ok ? 1 : 0;
+        }
+        rep.verify_engine = spec.verify;
+        rep.failed_outputs = v.bdd.failed_outputs;
+        for (const std::size_t o : v.sat.failed_outputs) {
+          if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
+              rep.failed_outputs.end()) {
+            rep.failed_outputs.push_back(o);
+          }
+        }
+        std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
+        if (!v.agree()) {
           rep.status = JobStatus::kVerifyFailed;
-          rep.error = "output " + std::to_string(v.first_failed_output) +
-                      " incompatible with its specification";
+          rep.error = "verification engines disagree (bdd says " +
+                      std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
+                      std::string(v.sat.ok ? "pass" : "fail") +
+                      "): engine bug, not a netlist property";
+        } else if (!v.ok()) {
+          rep.status = JobStatus::kVerifyFailed;
+          std::string which = v.bdd_ran && !v.bdd.ok
+                                  ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
+                                  : "sat";
+          rep.error = "output " +
+                      std::to_string(rep.failed_outputs.empty()
+                                         ? std::size_t{0}
+                                         : rep.failed_outputs.front()) +
+                      " incompatible with its specification (engine: " + which +
+                      ", " + std::to_string(rep.failed_outputs.size()) +
+                      " failing output(s))";
         }
       }
       rep.bidec = flow.stats;

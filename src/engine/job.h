@@ -14,6 +14,7 @@
 #include "bidec/flow.h"
 #include "io/pla.h"
 #include "netlist/netlist.h"
+#include "verify/verifier.h"
 
 namespace bidec {
 
@@ -41,8 +42,11 @@ struct JobSpec {
   std::uint64_t step_budget = 0;
   /// Cancel the job after this much wall time (0 = engine default).
   std::uint32_t timeout_ms = 0;
-  /// Check the result against the specification with the BDD verifier.
-  bool verify = true;
+  /// Which engine(s) check the result against the specification. The SAT
+  /// engine verifies straight against the job source (PLA cover rows or the
+  /// original BLIF netlist), so kBoth cross-checks two independent
+  /// reasoning paths; a disagreement is reported as kVerifyFailed.
+  VerifyEngine verify = VerifyEngine::kBdd;
 };
 
 /// Everything measured about one finished job.
@@ -54,6 +58,15 @@ struct JobReport {
 
   std::size_t worker = 0;  ///< index of the worker thread that ran the job
   double wall_ms = 0.0;
+
+  /// Engine(s) that actually ran (kNone when verification was off or the
+  /// job died before the netlist existed). Verdicts: 1 = pass, 0 = fail,
+  /// -1 = that engine did not run.
+  VerifyEngine verify_engine = VerifyEngine::kNone;
+  int bdd_verdict = -1;
+  int sat_verdict = -1;
+  /// Output indices rejected by at least one engine that ran.
+  std::vector<std::size_t> failed_outputs;
 
   unsigned num_inputs = 0;
   unsigned num_outputs = 0;

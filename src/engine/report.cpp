@@ -30,10 +30,13 @@ void append_json_string(std::ostream& os, const std::string& s) {
       case '\n': os << "\\n"; break;
       case '\r': os << "\\r"; break;
       case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           os << buf;
         } else {
           os << c;
@@ -78,6 +81,14 @@ std::string JobReport::to_json() const {
   os << ", \"delay\": ";
   append_double(os, delay);
   os << "}";
+  os << ", \"verify\": {\"engine\": \"" << to_string(verify_engine)
+     << "\", \"bdd\": " << bdd_verdict << ", \"sat\": " << sat_verdict
+     << ", \"failed_outputs\": [";
+  for (std::size_t i = 0; i < failed_outputs.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << failed_outputs[i];
+  }
+  os << "]}";
   if (!error.empty()) {
     os << ", \"error\": ";
     append_json_string(os, error);

@@ -1,0 +1,510 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bidec::sat {
+
+namespace {
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its position in it.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  polarity_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, merge duplicates, drop top-level-false literals and
+  // detect tautologies / top-level-true literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  Lit prev = kUndefLit;
+  for (const Lit p : lits) {
+    if (value(p) == LBool::kTrue || p == ~prev) return true;  // satisfied / tautology
+    if (value(p) == LBool::kFalse || p == prev) continue;     // falsified / duplicate
+    out.push_back(p);
+    prev = p;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(out[0], kNoClause);
+    ok_ = propagate() == kNoClause;
+    return ok_;
+  }
+  const ClauseRef cref = alloc_clause(std::move(out), /*learned=*/false);
+  problem_clauses_.push_back(cref);
+  attach_clause(cref);
+  return true;
+}
+
+bool Solver::add_clause(std::initializer_list<Lit> lits) {
+  return add_clause(std::vector<Lit>(lits));
+}
+
+Solver::ClauseRef Solver::alloc_clause(std::vector<Lit> lits, bool learned) {
+  Clause c;
+  c.lits = std::move(lits);
+  c.learned = learned;
+  if (!free_refs_.empty()) {
+    const ClauseRef cref = free_refs_.back();
+    free_refs_.pop_back();
+    clauses_[cref] = std::move(c);
+    return cref;
+  }
+  clauses_.push_back(std::move(c));
+  return static_cast<ClauseRef>(clauses_.size() - 1);
+}
+
+void Solver::attach_clause(ClauseRef cref) {
+  const Clause& c = clauses_[cref];
+  assert(c.lits.size() >= 2);
+  // Watch the negations: when ~lits[k] is assigned, the clause needs a look.
+  watches_[(~c.lits[0]).code].push_back(Watcher{cref, c.lits[1]});
+  watches_[(~c.lits[1]).code].push_back(Watcher{cref, c.lits[0]});
+}
+
+void Solver::detach_clause(ClauseRef cref) {
+  const Clause& c = clauses_[cref];
+  for (const Lit w : {c.lits[0], c.lits[1]}) {
+    std::vector<Watcher>& ws = watches_[(~w).code];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::remove_clause(ClauseRef cref) {
+  detach_clause(cref);
+  clauses_[cref].deleted = true;
+  clauses_[cref].lits.clear();
+  clauses_[cref].lits.shrink_to_fit();
+  free_refs_.push_back(cref);
+}
+
+bool Solver::clause_locked(ClauseRef cref) const {
+  const Clause& c = clauses_[cref];
+  const Var v = c.lits[0].var();
+  return value(c.lits[0]) == LBool::kTrue && reason_[v] == cref;
+}
+
+void Solver::unchecked_enqueue(Lit p, ClauseRef from) {
+  assert(value(p) == LBool::kUndef);
+  assigns_[p.var()] = p.negated() ? LBool::kFalse : LBool::kTrue;
+  polarity_[p.var()] = !p.negated();
+  level_[p.var()] = decision_level();
+  reason_[p.var()] = from;
+  trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef confl = kNoClause;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; visit watchers of ~p
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p.code];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i++];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      // Ensure the false literal (~p) sits at position 1.
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      const Lit first = c.lits[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code].push_back(Watcher{w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = w;
+      if (value(first) == LBool::kFalse) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+        break;
+      }
+      unchecked_enqueue(first, w.cref);
+    }
+    ws.resize(j);
+    if (confl != kNoClause) break;
+  }
+  return confl;
+}
+
+void Solver::cancel_until(unsigned lvl) {
+  if (decision_level() <= lvl) return;
+  for (std::size_t i = trail_.size(); i > trail_lim_[lvl];) {
+    --i;
+    const Var v = trail_[i].var();
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = kNoClause;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(trail_lim_[lvl]);
+  trail_lim_.resize(lvl);
+  qhead_ = trail_.size();
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (const ClauseRef cref : learned_clauses_) clauses_[cref].activity *= 1e-20;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+// First-UIP conflict analysis (MiniSat's analyze): walk the trail backwards
+// resolving on literals of the current decision level until a single one
+// remains; the rest form the learned clause.
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt,
+                     unsigned& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+
+  int path_count = 0;
+  Lit p = kUndefLit;
+  std::size_t index = trail_.size();
+
+  do {
+    assert(confl != kNoClause);
+    Clause& c = clauses_[confl];
+    if (c.learned) bump_clause(c);
+    for (std::size_t j = (p == kUndefLit) ? 0 : 1; j < c.lits.size(); ++j) {
+      const Lit q = c.lits[j];
+      if (seen_[q.var()] == 0 && level_[q.var()] > 0) {
+        bump_var(q.var());
+        seen_[q.var()] = 1;
+        if (level_[q.var()] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Select the next seen literal from the trail to resolve on.
+    while (seen_[trail_[--index].var()] == 0) {
+    }
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Local minimization: drop a literal whose reason clause is entirely
+  // covered by the remaining learned literals (self-subsumption). The seen
+  // flags of erased literals must be cleared too, so keep the full list.
+  const std::vector<Lit> to_clear = out_learnt;
+  const auto new_end = std::remove_if(
+      out_learnt.begin() + 1, out_learnt.end(),
+      [this](Lit l) { return literal_redundant(l); });
+  out_learnt.erase(new_end, out_learnt.end());
+
+  // Find the backtrack level: the highest level below the current one.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_[out_learnt[i].var()] > level_[out_learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+
+  for (const Lit l : to_clear) seen_[l.var()] = 0;
+}
+
+bool Solver::literal_redundant(Lit l) const {
+  const ClauseRef r = reason_[l.var()];
+  if (r == kNoClause) return false;
+  const Clause& c = clauses_[r];
+  for (std::size_t j = 1; j < c.lits.size(); ++j) {
+    const Lit q = c.lits[j];
+    if (seen_[q.var()] == 0 && level_[q.var()] > 0) return false;
+  }
+  return true;
+}
+
+// Compute the subset of assumptions sufficient for the conflict on `p`
+// (p is an assumption found false under the earlier assumptions).
+void Solver::analyze_final(Lit p) {
+  conflict_.clear();
+  conflict_.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i > trail_lim_[0];) {
+    --i;
+    const Var v = trail_[i].var();
+    if (seen_[v] == 0) continue;
+    if (reason_[v] == kNoClause) {
+      // A decision here is necessarily one of the assumptions.
+      assert(level_[v] > 0);
+      conflict_.push_back(trail_[i]);
+    } else {
+      const Clause& c = clauses_[reason_[v]];
+      for (std::size_t j = 1; j < c.lits.size(); ++j) {
+        if (level_[c.lits[j].var()] > 0) seen_[c.lits[j].var()] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value(v) == LBool::kUndef) {
+      ++stats_.decisions;
+      return mk_lit(v, !polarity_[v]);  // phase saving
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::reduce_db() {
+  // Remove the less active half of the learned clauses (never locked ones,
+  // i.e. clauses currently acting as a reason on the trail).
+  std::sort(learned_clauses_.begin(), learned_clauses_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              return clauses_[a].activity < clauses_[b].activity;
+            });
+  std::vector<ClauseRef> kept;
+  kept.reserve(learned_clauses_.size());
+  const std::size_t target = learned_clauses_.size() / 2;
+  for (std::size_t i = 0; i < learned_clauses_.size(); ++i) {
+    const ClauseRef cref = learned_clauses_[i];
+    if (i < target && clauses_[cref].lits.size() > 2 && !clause_locked(cref)) {
+      remove_clause(cref);
+      ++stats_.deleted_learned;
+    } else {
+      kept.push_back(cref);
+    }
+  }
+  learned_clauses_ = std::move(kept);
+}
+
+Solver::Result Solver::search(std::uint64_t max_conflicts_this_restart) {
+  std::uint64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) return Result::kUnsat;
+
+      unsigned bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], kNoClause);
+      } else {
+        const ClauseRef cref = alloc_clause(learnt, /*learned=*/true);
+        learned_clauses_.push_back(cref);
+        attach_clause(cref);
+        bump_clause(clauses_[cref]);
+        unchecked_enqueue(learnt[0], cref);
+        ++stats_.learned;
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      continue;
+    }
+
+    // No conflict.
+    if (conflict_budget_ != 0 &&
+        stats_.conflicts - conflicts_at_solve_start_ >= conflict_budget_) {
+      cancel_until(0);
+      return Result::kUnknown;
+    }
+    if (conflicts_here >= max_conflicts_this_restart) {
+      ++stats_.restarts;
+      cancel_until(0);
+      return Result::kUnknown;  // restart: the caller loops
+    }
+    if (static_cast<double>(learned_clauses_.size()) >= max_learnts_ &&
+        decision_level() == 0) {
+      reduce_db();
+    }
+
+    // Assumptions are asserted as pseudo-decisions below real decisions.
+    Lit next = kUndefLit;
+    while (decision_level() < assumptions_.size()) {
+      const Lit a = assumptions_[decision_level()];
+      if (value(a) == LBool::kTrue) {
+        new_decision_level();  // already implied: dummy level
+      } else if (value(a) == LBool::kFalse) {
+        analyze_final(~a);
+        return Result::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kUndefLit) {
+      next = pick_branch_lit();
+      if (next == kUndefLit) return Result::kSat;  // all variables assigned
+    }
+    new_decision_level();
+    unchecked_enqueue(next, kNoClause);
+  }
+}
+
+Solver::Result Solver::solve(std::span<const Lit> assumptions) {
+  model_.clear();
+  conflict_.clear();
+  if (!ok_) return Result::kUnsat;
+
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflicts_at_solve_start_ = stats_.conflicts;
+  if (max_learnts_ <= 0.0) {
+    max_learnts_ = std::max(1000.0, static_cast<double>(problem_clauses_.size()) / 3.0);
+  }
+
+  Result status = Result::kUnknown;
+  for (std::uint64_t restarts = 0; status == Result::kUnknown; ++restarts) {
+    status = search(luby(restarts) * kRestartBase);
+    if (status == Result::kUnknown && conflict_budget_ != 0 &&
+        stats_.conflicts - conflicts_at_solve_start_ >= conflict_budget_) {
+      break;  // budget exhausted, keep kUnknown
+    }
+    max_learnts_ *= 1.02;
+  }
+
+  if (status == Result::kSat) {
+    model_.resize(num_vars());
+    for (Var v = 0; v < num_vars(); ++v) model_[v] = value(v) == LBool::kTrue;
+  }
+  cancel_until(0);
+  assumptions_.clear();
+  return status;
+}
+
+Solver::Result Solver::solve(std::initializer_list<Lit> assumptions) {
+  return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()));
+}
+
+bool Solver::model_value(Var v) const {
+  return v < model_.size() && model_[v];
+}
+
+// --- activity heap ---------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_pos_[heap_[0]] = 0;
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+}  // namespace bidec::sat

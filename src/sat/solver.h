@@ -1,0 +1,210 @@
+// Self-contained CDCL SAT solver in the MiniSat lineage: two-watched-literal
+// propagation, VSIDS-style variable activities with phase saving, first-UIP
+// clause learning with local minimization, Luby restarts, learned-clause
+// database reduction and incremental solving under assumptions.
+//
+// This is the second reasoning engine of the repository, next to the ROBDD
+// package: every correctness claim checked with BDDs (netlist validity,
+// Theorem-5 testability, the decomposability conditions) has a SAT
+// formulation, so the two engines cross-check each other (see
+// verify/sat_verifier.h, atpg/sat_atpg.h, bidec/sat_check.h and the
+// QBF-based bi-decomposition paper referenced in PAPERS.md).
+#ifndef BIDEC_SAT_SOLVER_H
+#define BIDEC_SAT_SOLVER_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace bidec::sat {
+
+/// 0-based variable index.
+using Var = std::uint32_t;
+
+inline constexpr Var kNoVar = 0xffffffffu;
+
+/// A literal packed as 2*var + sign (sign bit set = negated literal).
+struct Lit {
+  std::uint32_t code = 0xffffffffu;
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return (code & 1u) != 0; }
+  [[nodiscard]] constexpr Lit operator~() const noexcept { return Lit{code ^ 1u}; }
+  [[nodiscard]] constexpr bool operator==(const Lit& o) const noexcept = default;
+};
+
+/// Literal of variable `v`, positive unless `negated`.
+[[nodiscard]] constexpr Lit mk_lit(Var v, bool negated = false) noexcept {
+  return Lit{(v << 1) | static_cast<std::uint32_t>(negated)};
+}
+
+inline constexpr Lit kUndefLit{};
+
+class Solver {
+ public:
+  enum class Result {
+    kSat,      ///< satisfiable; a model is available
+    kUnsat,    ///< unsatisfiable (under the given assumptions)
+    kUnknown,  ///< conflict budget exhausted before a verdict
+  };
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;        ///< learned clauses ever added
+    std::uint64_t deleted_learned = 0;  ///< removed by database reduction
+  };
+
+  Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // --- problem construction ----------------------------------------------
+  Var new_var();
+  [[nodiscard]] std::size_t num_vars() const noexcept { return assigns_.size(); }
+  [[nodiscard]] Lit lit(Var v, bool negated = false) const noexcept {
+    return mk_lit(v, negated);
+  }
+
+  /// Add a clause (disjunction of `lits`). Literals false at the top level
+  /// are dropped, duplicates merged; returns false once the formula is
+  /// known unsatisfiable without search. Clauses may be added between
+  /// solve() calls (incremental interface).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits);
+
+  // --- solving ------------------------------------------------------------
+  /// Solve under the given assumptions (temporarily asserted literals).
+  [[nodiscard]] Result solve(std::span<const Lit> assumptions);
+  [[nodiscard]] Result solve(std::initializer_list<Lit> assumptions);
+  [[nodiscard]] Result solve() { return solve(std::span<const Lit>{}); }
+
+  /// Abort with Result::kUnknown after this many conflicts per solve()
+  /// call (0 = no limit).
+  void set_conflict_budget(std::uint64_t max_conflicts) noexcept {
+    conflict_budget_ = max_conflicts;
+  }
+
+  // --- results ------------------------------------------------------------
+  /// Model access after Result::kSat. Variables the search never assigned
+  /// report false.
+  [[nodiscard]] bool model_value(Var v) const;
+  [[nodiscard]] bool model_value(Lit l) const { return model_value(l.var()) != l.negated(); }
+
+  /// After Result::kUnsat under assumptions: a subset of the assumptions
+  /// whose conjunction is already contradictory (the "failed" assumptions).
+  [[nodiscard]] const std::vector<Lit>& conflict() const noexcept { return conflict_; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = 0xffffffffu;
+
+  // 2-bit assignment: value of the *variable*.
+  enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  // One watcher entry: the clause plus a cached "blocker" literal whose
+  // satisfaction lets propagation skip the clause without touching it.
+  struct Watcher {
+    ClauseRef cref = kNoClause;
+    Lit blocker = kUndefLit;
+  };
+
+  [[nodiscard]] LBool value(Var v) const noexcept { return assigns_[v]; }
+  [[nodiscard]] LBool value(Lit l) const noexcept {
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return (v == LBool::kTrue) != l.negated() ? LBool::kTrue : LBool::kFalse;
+  }
+  [[nodiscard]] unsigned decision_level() const noexcept {
+    return static_cast<unsigned>(trail_lim_.size());
+  }
+
+  ClauseRef alloc_clause(std::vector<Lit> lits, bool learned);
+  void attach_clause(ClauseRef cref);
+  void detach_clause(ClauseRef cref);
+  void remove_clause(ClauseRef cref);
+  [[nodiscard]] bool clause_locked(ClauseRef cref) const;
+
+  void new_decision_level() { trail_lim_.push_back(trail_.size()); }
+  void unchecked_enqueue(Lit p, ClauseRef from);
+  [[nodiscard]] ClauseRef propagate();
+  void cancel_until(unsigned level);
+
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, unsigned& out_btlevel);
+  [[nodiscard]] bool literal_redundant(Lit l) const;
+  void analyze_final(Lit p);
+
+  [[nodiscard]] Lit pick_branch_lit();
+  Result search(std::uint64_t max_conflicts_this_restart);
+  void reduce_db();
+
+  // VSIDS activity bookkeeping.
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= kVarDecay; }
+  void bump_clause(Clause& c);
+  void decay_clause_activity() { cla_inc_ /= kClauseDecay; }
+
+  // Activity-ordered max-heap over variables (MiniSat's order heap).
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_contains(Var v) const { return heap_pos_[v] >= 0; }
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+  static constexpr std::uint64_t kRestartBase = 100;
+
+  bool ok_ = true;
+
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> free_refs_;  ///< reusable slots of removed clauses
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learned_clauses_;
+  std::vector<std::vector<Watcher>> watches_;  ///< indexed by Lit::code
+
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;  ///< saved phase (last assigned value)
+  std::vector<unsigned> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;  ///< -1 when not in the heap
+
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_;
+  std::vector<bool> model_;
+
+  mutable std::vector<std::uint8_t> seen_;
+
+  std::uint64_t conflict_budget_ = 0;
+  std::uint64_t conflicts_at_solve_start_ = 0;
+  double max_learnts_ = 0.0;
+
+  Stats stats_;
+};
+
+}  // namespace bidec::sat
+
+#endif  // BIDEC_SAT_SOLVER_H

@@ -1,0 +1,184 @@
+#include "sat/tseitin.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bidec::sat {
+
+std::vector<Var> TseitinEncoder::add_vars(std::size_t n) {
+  std::vector<Var> vars;
+  vars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) vars.push_back(solver_.new_var());
+  return vars;
+}
+
+Lit TseitinEncoder::constant(bool value) {
+  if (true_var_ == kNoVar) {
+    true_var_ = solver_.new_var();
+    solver_.add_clause({mk_lit(true_var_)});
+  }
+  return mk_lit(true_var_, !value);
+}
+
+Lit TseitinEncoder::encode_and(Lit a, Lit b) {
+  const Lit n = mk_lit(solver_.new_var());
+  solver_.add_clause({~n, a});
+  solver_.add_clause({~n, b});
+  solver_.add_clause({n, ~a, ~b});
+  return n;
+}
+
+Lit TseitinEncoder::encode_or(Lit a, Lit b) {
+  const Lit n = mk_lit(solver_.new_var());
+  solver_.add_clause({n, ~a});
+  solver_.add_clause({n, ~b});
+  solver_.add_clause({~n, a, b});
+  return n;
+}
+
+Lit TseitinEncoder::encode_xor(Lit a, Lit b) {
+  const Lit n = mk_lit(solver_.new_var());
+  solver_.add_clause({~n, a, b});
+  solver_.add_clause({~n, ~a, ~b});
+  solver_.add_clause({n, ~a, b});
+  solver_.add_clause({n, a, ~b});
+  return n;
+}
+
+Lit TseitinEncoder::encode_gate(GateType type, Lit a, Lit b) {
+  switch (type) {
+    case GateType::kConst0: return constant(false);
+    case GateType::kConst1: return constant(true);
+    case GateType::kInput:
+    case GateType::kBuf: return a;
+    case GateType::kNot: return ~a;
+    case GateType::kAnd: return encode_and(a, b);
+    case GateType::kOr: return encode_or(a, b);
+    case GateType::kXor: return encode_xor(a, b);
+    case GateType::kNand: return ~encode_and(a, b);
+    case GateType::kNor: return ~encode_or(a, b);
+    case GateType::kXnor: return ~encode_xor(a, b);
+  }
+  throw std::invalid_argument("encode_gate: unknown gate type");
+}
+
+void TseitinEncoder::add_equal(Lit a, Lit b) {
+  solver_.add_clause({~a, b});
+  solver_.add_clause({a, ~b});
+}
+
+std::vector<Lit> TseitinEncoder::encode_netlist(const Netlist& net,
+                                                std::span<const Var> in_vars) {
+  if (in_vars.size() < net.num_inputs()) {
+    throw std::invalid_argument("encode_netlist: too few input variables");
+  }
+  std::vector<Lit> value(net.num_nodes(), kUndefLit);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    value[net.inputs()[i]] = mk_lit(in_vars[i]);
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    if (n.type == GateType::kInput) continue;
+    const Lit a = n.fanin0 != kNoSignal ? value[n.fanin0] : kUndefLit;
+    const Lit b = n.fanin1 != kNoSignal ? value[n.fanin1] : kUndefLit;
+    value[id] = encode_gate(n.type, a, b);
+  }
+  std::vector<Lit> outputs;
+  outputs.reserve(net.num_outputs());
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    outputs.push_back(value[net.output_signal(o)]);
+  }
+  return outputs;
+}
+
+Lit TseitinEncoder::encode_cube(std::string_view pattern,
+                                std::span<const Var> in_vars) {
+  if (pattern.size() > in_vars.size()) {
+    throw std::invalid_argument("encode_cube: too few input variables");
+  }
+  std::vector<Lit> lits;
+  for (std::size_t v = 0; v < pattern.size(); ++v) {
+    if (pattern[v] == '1') {
+      lits.push_back(mk_lit(in_vars[v]));
+    } else if (pattern[v] == '0') {
+      lits.push_back(mk_lit(in_vars[v], /*negated=*/true));
+    }
+  }
+  if (lits.empty()) return constant(true);
+  if (lits.size() == 1) return lits[0];
+  const Lit c = mk_lit(solver_.new_var());
+  std::vector<Lit> long_clause{c};
+  for (const Lit l : lits) {
+    solver_.add_clause({~c, l});
+    long_clause.push_back(~l);
+  }
+  solver_.add_clause(std::move(long_clause));
+  return c;
+}
+
+Lit TseitinEncoder::encode_cover(const PlaFile& pla, std::span<const Var> in_vars,
+                                 unsigned o, char match) {
+  if (o >= pla.num_outputs) {
+    throw std::invalid_argument("encode_cover: output index out of range");
+  }
+  std::vector<Lit> cubes;
+  for (const PlaFile::Row& row : pla.rows) {
+    if (row.outputs[o] == match) cubes.push_back(encode_cube(row.inputs, in_vars));
+  }
+  if (cubes.empty()) return constant(false);
+  if (cubes.size() == 1) return cubes[0];
+  const Lit d = mk_lit(solver_.new_var());
+  std::vector<Lit> long_clause{~d};
+  for (const Lit c : cubes) {
+    solver_.add_clause({d, ~c});
+    long_clause.push_back(c);
+  }
+  solver_.add_clause(std::move(long_clause));
+  return d;
+}
+
+Lit TseitinEncoder::encode_bdd(const Bdd& f, std::span<const Var> in_vars) {
+  if (!f.is_valid()) throw std::invalid_argument("encode_bdd: invalid BDD handle");
+  if (f.is_const()) return constant(f.is_true());
+
+  std::unordered_map<NodeId, Lit> node_lit;
+  // Iterative DFS over the shared DAG: children first, then define the node.
+  std::vector<Bdd> stack{f};
+  while (!stack.empty()) {
+    const Bdd g = stack.back();
+    if (g.is_const() || node_lit.count(g.id()) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const Bdd lo = g.low();
+    const Bdd hi = g.high();
+    const bool lo_ready = lo.is_const() || node_lit.count(lo.id()) != 0;
+    const bool hi_ready = hi.is_const() || node_lit.count(hi.id()) != 0;
+    if (!lo_ready || !hi_ready) {
+      if (!lo_ready) stack.push_back(lo);
+      if (!hi_ready) stack.push_back(hi);
+      continue;
+    }
+    stack.pop_back();
+    const unsigned v = g.top_var();
+    if (v >= in_vars.size()) {
+      throw std::invalid_argument("encode_bdd: too few input variables");
+    }
+    const Lit x = mk_lit(in_vars[v]);
+    const Lit l = lo.is_const() ? constant(lo.is_true()) : node_lit.at(lo.id());
+    const Lit h = hi.is_const() ? constant(hi.is_true()) : node_lit.at(hi.id());
+    const Lit n = mk_lit(solver_.new_var());
+    // n <-> ITE(x, h, l), plus the two redundant clauses that let unit
+    // propagation fire when both branches agree.
+    solver_.add_clause({~n, ~x, h});
+    solver_.add_clause({~n, x, l});
+    solver_.add_clause({n, ~x, ~h});
+    solver_.add_clause({n, x, ~l});
+    solver_.add_clause({~n, l, h});
+    solver_.add_clause({n, ~l, ~h});
+    node_lit.emplace(g.id(), n);
+  }
+  return node_lit.at(f.id());
+}
+
+}  // namespace bidec::sat

@@ -1,0 +1,77 @@
+// Tseitin transformation layer: turns the repo's function representations
+// (two-input-gate netlists, espresso PLA covers, ROBDDs) into CNF over a
+// sat::Solver. Every encode_* call introduces auxiliary variables with
+// defining clauses and returns a literal equivalent to the encoded function,
+// so callers compose conditions with assumptions (e.g. the miter checks in
+// verify/sat_verifier.cpp and the two-copy decomposability encoding in
+// bidec/sat_check.cpp).
+#ifndef BIDEC_SAT_TSEITIN_H
+#define BIDEC_SAT_TSEITIN_H
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "io/pla.h"
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace bidec::sat {
+
+class TseitinEncoder {
+ public:
+  explicit TseitinEncoder(Solver& solver) : solver_(solver) {}
+
+  [[nodiscard]] Solver& solver() noexcept { return solver_; }
+
+  /// Fresh solver variables (used as circuit inputs or BDD variables).
+  Var add_var() { return solver_.new_var(); }
+  std::vector<Var> add_vars(std::size_t n);
+
+  /// A literal fixed to `value` (one shared variable, created on demand).
+  Lit constant(bool value);
+
+  // --- gate primitives ----------------------------------------------------
+  // Each returns a literal defined (via new clauses) to equal the gate
+  // function of its operands. Negation is free in CNF, so the negated gate
+  // types reuse their base gate's encoding.
+  Lit encode_and(Lit a, Lit b);
+  Lit encode_or(Lit a, Lit b);
+  Lit encode_xor(Lit a, Lit b);
+  /// Any GateType (arity from gate_arity; `b` ignored for 1-input types).
+  Lit encode_gate(GateType type, Lit a, Lit b);
+  /// Assert a == b (two binary clauses).
+  void add_equal(Lit a, Lit b);
+
+  // --- structure encodings ------------------------------------------------
+  /// Encode the reachable cone of `net`; netlist input i is represented by
+  /// in_vars[i]. Returns one literal per primary output.
+  std::vector<Lit> encode_netlist(const Netlist& net, std::span<const Var> in_vars);
+
+  /// Cube over the inputs, one character per variable: '0' negative
+  /// literal, '1' positive, '-' absent. Returns a literal equal to the
+  /// cube's conjunction.
+  Lit encode_cube(std::string_view pattern, std::span<const Var> in_vars);
+
+  /// Disjunction of the input cubes of every PLA row whose output-plane
+  /// character for output `o` equals `match` ('1' for the on-set cover,
+  /// '0' for the off-set cover of .type fr files, '-' for the dc cover).
+  Lit encode_cover(const PlaFile& pla, std::span<const Var> in_vars, unsigned o,
+                   char match);
+
+  /// Encode a BDD as CNF: one auxiliary variable per internal node with the
+  /// Shannon-expansion (ITE) clauses; BDD variable v maps to in_vars[v].
+  /// Independent recursive engines meet here: the *structure* comes from the
+  /// BDD, but the returned literal's semantics are checked by SAT search.
+  Lit encode_bdd(const Bdd& f, std::span<const Var> in_vars);
+
+ private:
+  Solver& solver_;
+  Var true_var_ = kNoVar;
+};
+
+}  // namespace bidec::sat
+
+#endif  // BIDEC_SAT_TSEITIN_H

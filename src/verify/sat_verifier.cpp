@@ -1,0 +1,139 @@
+#include "verify/sat_verifier.h"
+
+#include <stdexcept>
+
+#include "sat/tseitin.h"
+
+namespace bidec {
+
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::TseitinEncoder;
+using sat::Var;
+
+VerifyResult result_from_failures(std::vector<std::size_t> failed) {
+  VerifyResult res;
+  if (!failed.empty()) {
+    res.ok = false;
+    res.first_failed_output = failed.front();
+    res.failed_outputs = std::move(failed);
+  }
+  return res;
+}
+
+/// Solve under assumptions and insist on a definite verdict: the verifier
+/// runs without a conflict budget, so kUnknown cannot happen.
+bool satisfiable(Solver& solver, std::initializer_list<Lit> assumptions) {
+  const Solver::Result r = solver.solve(assumptions);
+  if (r == Solver::Result::kUnknown) {
+    throw std::runtime_error("sat verifier: solver returned unknown");
+  }
+  return r == Solver::Result::kSat;
+}
+
+}  // namespace
+
+VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla) {
+  if (pla.num_outputs != net.num_outputs() || pla.num_inputs != net.num_inputs()) {
+    throw std::invalid_argument("sat_verify_against_pla: interface mismatch");
+  }
+  Solver solver;
+  TseitinEncoder enc(solver);
+  const std::vector<Var> in = enc.add_vars(net.num_inputs());
+  const std::vector<Lit> f = enc.encode_netlist(net, in);
+
+  std::vector<std::size_t> failed;
+  for (unsigned o = 0; o < pla.num_outputs; ++o) {
+    const Lit on = enc.encode_cover(pla, in, o, '1');
+    bool q_violated = false;
+    bool r_violated = false;
+    switch (pla.type) {
+      case PlaFile::Type::kF:
+        // Q = on, R = ~on.
+        q_violated = satisfiable(solver, {on, ~f[o]});
+        r_violated = satisfiable(solver, {~on, f[o]});
+        break;
+      case PlaFile::Type::kFD: {
+        // Q = on - dc, R = ~(on | dc)  (matches Isf::from_on_dc).
+        const Lit dc = enc.encode_cover(pla, in, o, '-');
+        q_violated = satisfiable(solver, {on, ~dc, ~f[o]});
+        r_violated = satisfiable(solver, {~on, ~dc, f[o]});
+        break;
+      }
+      case PlaFile::Type::kFR: {
+        // Q = on - off, R = off  (matches PlaFile::to_isfs).
+        const Lit off = enc.encode_cover(pla, in, o, '0');
+        q_violated = satisfiable(solver, {on, ~off, ~f[o]});
+        r_violated = satisfiable(solver, {off, f[o]});
+        break;
+      }
+    }
+    if (q_violated || r_violated) failed.push_back(o);
+  }
+  return result_from_failures(std::move(failed));
+}
+
+VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> spec) {
+  if (spec.size() != net.num_outputs()) {
+    throw std::invalid_argument("sat_verify_against_isfs: output count mismatch");
+  }
+  Solver solver;
+  TseitinEncoder enc(solver);
+  // BDD variables beyond the netlist inputs are unconstrained, which is
+  // exactly existential quantification — the same semantics the BDD check
+  // Q & ~f == 0 gives them.
+  std::size_t num_in_vars = net.num_inputs();
+  for (const Isf& isf : spec) {
+    if (isf.is_valid()) {
+      num_in_vars = std::max<std::size_t>(num_in_vars, isf.manager()->num_vars());
+    }
+  }
+  const std::vector<Var> in = enc.add_vars(num_in_vars);
+  const std::vector<Lit> f = enc.encode_netlist(net, in);
+
+  std::vector<std::size_t> failed;
+  for (std::size_t o = 0; o < spec.size(); ++o) {
+    const Lit q = enc.encode_bdd(spec[o].q(), in);
+    const Lit r = enc.encode_bdd(spec[o].r(), in);
+    const bool q_violated = satisfiable(solver, {q, ~f[o]});
+    const bool r_violated = satisfiable(solver, {r, f[o]});
+    if (q_violated || r_violated) failed.push_back(o);
+  }
+  return result_from_failures(std::move(failed));
+}
+
+VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    throw std::invalid_argument("sat_verify_equivalent: interface mismatch");
+  }
+  Solver solver;
+  TseitinEncoder enc(solver);
+  const std::vector<Var> in = enc.add_vars(a.num_inputs());
+  const std::vector<Lit> fa = enc.encode_netlist(a, in);
+  const std::vector<Lit> fb = enc.encode_netlist(b, in);
+
+  std::vector<std::size_t> failed;
+  for (std::size_t o = 0; o < fa.size(); ++o) {
+    const Lit miter = enc.encode_xor(fa[o], fb[o]);
+    if (satisfiable(solver, {miter})) failed.push_back(o);
+  }
+  return result_from_failures(std::move(failed));
+}
+
+DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
+                                     const Netlist& net, std::span<const Isf> spec) {
+  DualVerifyResult res;
+  if (engine == VerifyEngine::kBdd || engine == VerifyEngine::kBoth) {
+    res.bdd = verify_against_isfs(mgr, net, spec);
+    res.bdd_ran = true;
+  }
+  if (engine == VerifyEngine::kSat || engine == VerifyEngine::kBoth) {
+    res.sat = sat_verify_against_isfs(net, spec);
+    res.sat_ran = true;
+  }
+  return res;
+}
+
+}  // namespace bidec

@@ -1,0 +1,64 @@
+// SAT-based verification: the independent second opinion next to the
+// BDD-based verifier. Each check is a miter solved by the CDCL engine in
+// src/sat/ — a netlist output is wrong iff some input assignment violates
+// Q <= f <= ~R (or distinguishes two netlists), i.e. iff the corresponding
+// CNF is satisfiable. The checks share one incremental solver per call and
+// select the output/bound under test with assumptions.
+//
+// sat_verify_against_pla is fully BDD-free: the bounds come straight from
+// the PLA cover rows, so an agreement with verify_against_isfs really does
+// cross-check the two reasoning engines end to end.
+#ifndef BIDEC_VERIFY_SAT_VERIFIER_H
+#define BIDEC_VERIFY_SAT_VERIFIER_H
+
+#include <span>
+
+#include "io/pla.h"
+#include "isf/isf.h"
+#include "netlist/netlist.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+
+/// Check every output of `net` against the PLA specification: Q <= f <= ~R
+/// with (Q, R) taken from the cover rows under the file's .type semantics
+/// (mirroring PlaFile::to_isfs, including the on-minus-dc rule of fd/fr).
+[[nodiscard]] VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla);
+
+/// Check every output against an ISF interval. The CNF for Q and R is the
+/// Tseitin encoding of their BDDs, so this variant shares the *structure*
+/// with the BDD substrate but none of the reasoning.
+[[nodiscard]] VerifyResult sat_verify_against_isfs(const Netlist& net,
+                                                   std::span<const Isf> spec);
+
+/// Combinational equivalence of two netlists with identical interfaces
+/// (per-output XOR miters over shared input variables).
+[[nodiscard]] VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b);
+
+/// Outcome of running the selected engine(s) on one netlist/spec pair.
+struct DualVerifyResult {
+  bool bdd_ran = false;
+  bool sat_ran = false;
+  VerifyResult bdd;
+  VerifyResult sat;
+
+  /// Every engine that ran accepted the netlist.
+  [[nodiscard]] bool ok() const noexcept {
+    return (!bdd_ran || bdd.ok) && (!sat_ran || sat.ok);
+  }
+  /// False only when both engines ran and returned different verdicts —
+  /// that is a bug in one of the engines, not in the netlist.
+  [[nodiscard]] bool agree() const noexcept {
+    return !(bdd_ran && sat_ran) || bdd.ok == sat.ok;
+  }
+};
+
+/// Dispatch on a VerifyEngine: run the BDD verifier and/or the SAT verifier
+/// against the ISF specification. `mgr` must be the spec's manager.
+[[nodiscard]] DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
+                                                   const Netlist& net,
+                                                   std::span<const Isf> spec);
+
+}  // namespace bidec
+
+#endif  // BIDEC_VERIFY_SAT_VERIFIER_H

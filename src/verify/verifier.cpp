@@ -4,6 +4,38 @@
 
 namespace bidec {
 
+const char* to_string(VerifyEngine engine) noexcept {
+  switch (engine) {
+    case VerifyEngine::kNone: return "none";
+    case VerifyEngine::kBdd: return "bdd";
+    case VerifyEngine::kSat: return "sat";
+    case VerifyEngine::kBoth: return "both";
+  }
+  return "unknown";
+}
+
+std::optional<VerifyEngine> parse_verify_engine(std::string_view name) {
+  if (name == "none") return VerifyEngine::kNone;
+  if (name == "bdd") return VerifyEngine::kBdd;
+  if (name == "sat") return VerifyEngine::kSat;
+  if (name == "both") return VerifyEngine::kBoth;
+  return std::nullopt;
+}
+
+namespace {
+
+VerifyResult result_from_failures(std::vector<std::size_t> failed) {
+  VerifyResult res;
+  if (!failed.empty()) {
+    res.ok = false;
+    res.first_failed_output = failed.front();
+    res.failed_outputs = std::move(failed);
+  }
+  return res;
+}
+
+}  // namespace
+
 std::vector<Bdd> netlist_to_bdds(BddManager& mgr, const Netlist& net) {
   if (mgr.num_vars() < net.num_inputs()) {
     throw std::invalid_argument("netlist_to_bdds: manager has too few variables");
@@ -42,10 +74,11 @@ VerifyResult verify_against_isfs(BddManager& mgr, const Netlist& net,
     throw std::invalid_argument("verify_against_isfs: output count mismatch");
   }
   const std::vector<Bdd> funcs = netlist_to_bdds(mgr, net);
+  std::vector<std::size_t> failed;
   for (std::size_t o = 0; o < funcs.size(); ++o) {
-    if (!spec[o].is_compatible(funcs[o])) return VerifyResult{false, o};
+    if (!spec[o].is_compatible(funcs[o])) failed.push_back(o);
   }
-  return VerifyResult{};
+  return result_from_failures(std::move(failed));
 }
 
 VerifyResult verify_equivalent(BddManager& mgr, const Netlist& a, const Netlist& b) {
@@ -54,10 +87,11 @@ VerifyResult verify_equivalent(BddManager& mgr, const Netlist& a, const Netlist&
   }
   const std::vector<Bdd> fa = netlist_to_bdds(mgr, a);
   const std::vector<Bdd> fb = netlist_to_bdds(mgr, b);
+  std::vector<std::size_t> failed;
   for (std::size_t o = 0; o < fa.size(); ++o) {
-    if (fa[o] != fb[o]) return VerifyResult{false, o};
+    if (fa[o] != fb[o]) failed.push_back(o);
   }
-  return VerifyResult{};
+  return result_from_failures(std::move(failed));
 }
 
 }  // namespace bidec

@@ -6,7 +6,10 @@
 #define BIDEC_VERIFY_VERIFIER_H
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "isf/isf.h"
@@ -18,9 +21,20 @@ namespace bidec {
 /// variable i (the manager must have enough variables).
 [[nodiscard]] std::vector<Bdd> netlist_to_bdds(BddManager& mgr, const Netlist& net);
 
+/// Which verification engine(s) to run. The BDD verifier collapses the
+/// netlist over the specification's manager; the SAT verifier (see
+/// sat_verifier.h) solves miters over a CNF encoding and shares no code
+/// with the BDD substrate, so kBoth is a genuine cross-engine check.
+enum class VerifyEngine : std::uint8_t { kNone, kBdd, kSat, kBoth };
+
+[[nodiscard]] const char* to_string(VerifyEngine engine) noexcept;
+/// Parse "none"/"bdd"/"sat"/"both"; std::nullopt on anything else.
+[[nodiscard]] std::optional<VerifyEngine> parse_verify_engine(std::string_view name);
+
 struct VerifyResult {
   bool ok = true;
-  std::size_t first_failed_output = 0;  ///< valid when !ok
+  std::size_t first_failed_output = 0;        ///< valid when !ok
+  std::vector<std::size_t> failed_outputs;    ///< every failing output index
   [[nodiscard]] explicit operator bool() const noexcept { return ok; }
 };
 

@@ -192,6 +192,78 @@ TEST(BatchEngine, ReportSerializesToJson) {
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
 }
 
+TEST(BatchEngine, JsonEscapesPathologicalJobNames) {
+  // Job names come from file paths, which can contain anything; the JSON
+  // string emitter must escape quotes, backslashes, and every control
+  // character (including \b and \f, which have dedicated short escapes).
+  JobReport rep;
+  rep.name = "evil\"name\\with\nnew\rline\ttab\bbell\fform\x01raw\x1f end";
+  const std::string json = rep.to_json();
+
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnew\\rline\\ttab\\bbell"
+                      "\\fform\\u0001raw\\u001f end"),
+            std::string::npos)
+      << json;
+  // No raw control characters may survive into the output.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  // The result must still be structurally balanced despite the escapes.
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(BatchEngine, SatAndDualEngineVerification) {
+  // The same job, verified by each engine selection: all must pass, and the
+  // report must show which engines ran and their verdicts.
+  const std::vector<PlaFile> plas = make_workload(1);
+  for (const VerifyEngine engine :
+       {VerifyEngine::kNone, VerifyEngine::kBdd, VerifyEngine::kSat,
+        VerifyEngine::kBoth}) {
+    BatchEngine batch(EngineOptions{});
+    JobSpec spec;
+    spec.name = std::string("verify-") + to_string(engine);
+    spec.source = plas[0];
+    spec.verify = engine;
+    batch.submit(std::move(spec));
+    const BatchOutcome outcome = batch.run();
+    ASSERT_EQ(outcome.results.size(), 1u);
+    const JobReport& rep = outcome.results[0].report;
+    EXPECT_EQ(rep.status, JobStatus::kOk) << to_string(engine) << ": " << rep.error;
+    EXPECT_TRUE(rep.failed_outputs.empty());
+
+    const bool bdd_expected =
+        engine == VerifyEngine::kBdd || engine == VerifyEngine::kBoth;
+    const bool sat_expected =
+        engine == VerifyEngine::kSat || engine == VerifyEngine::kBoth;
+    EXPECT_EQ(rep.bdd_verdict, bdd_expected ? 1 : -1) << to_string(engine);
+    EXPECT_EQ(rep.sat_verdict, sat_expected ? 1 : -1) << to_string(engine);
+    EXPECT_EQ(rep.verify_engine,
+              engine == VerifyEngine::kNone ? VerifyEngine::kNone : engine);
+
+    // The verdicts surface in the JSON report.
+    const std::string json = rep.to_json();
+    EXPECT_NE(json.find(std::string("\"engine\": \"") + to_string(rep.verify_engine) +
+                        "\""),
+              std::string::npos)
+        << json;
+  }
+}
+
 TEST(BatchEngine, MissingFileReportsErrorNotCrash) {
   BatchEngine engine(EngineOptions{});
   JobSpec spec;

@@ -1,0 +1,199 @@
+// SAT-based test generation cross-checked against the exact BDD-based
+// classifier: both backends must agree on testable/redundant for every
+// single-stuck-at fault, and every SAT-generated test vector must actually
+// detect its fault in the fault simulator.
+#include "atpg/sat_atpg.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+// Does `test` distinguish the faulty circuit from the good one?
+bool detects(const Netlist& net, const Fault& fault, const std::vector<bool>& test) {
+  std::vector<std::uint64_t> words;
+  words.reserve(test.size());
+  for (const bool b : test) words.push_back(b ? 1 : 0);
+  const std::vector<std::uint64_t> good = net.simulate64(words);
+  const std::vector<std::uint64_t> bad = simulate_with_fault(net, words, fault);
+  for (std::size_t o = 0; o < good.size(); ++o) {
+    if (((good[o] ^ bad[o]) & 1u) != 0) return true;
+  }
+  return false;
+}
+
+// Exact BDD classification: redundant iff faulty and good functions agree
+// everywhere.
+bool bdd_redundant(BddManager& mgr, const Netlist& net, const Fault& fault) {
+  const std::vector<Bdd> good = netlist_to_bdds(mgr, net);
+  const std::vector<Bdd> bad = faulty_netlist_to_bdds(mgr, net, fault);
+  Bdd diff = mgr.bdd_false();
+  for (std::size_t o = 0; o < good.size(); ++o) diff |= good[o] ^ bad[o];
+  return diff.is_false();
+}
+
+Netlist random_netlist(std::mt19937_64& rng, unsigned inputs) {
+  Netlist net;
+  std::vector<SignalId> pool;
+  for (unsigned i = 0; i < inputs; ++i) {
+    pool.push_back(net.add_input("i" + std::to_string(i)));
+  }
+  const GateType types[] = {GateType::kNot, GateType::kAnd,  GateType::kOr,
+                            GateType::kXor, GateType::kNand, GateType::kNor,
+                            GateType::kXnor};
+  for (int g = 0; g < 10; ++g) {
+    const GateType t = types[rng() % std::size(types)];
+    const SignalId a = pool[rng() % pool.size()];
+    const SignalId b = pool[rng() % pool.size()];
+    pool.push_back(gate_arity(t) == 1 ? net.add_gate(t, a) : net.add_gate(t, a, b));
+  }
+  net.add_output("f", pool.back());
+  net.add_output("g", pool[pool.size() - 2]);
+  return net;
+}
+
+TEST(SatAtpg, AgreesWithBddExactOnRandomNetlists) {
+  // Random netlists deliberately contain redundant faults (reconvergence,
+  // duplicated fanins), so both verdicts get exercised.
+  std::mt19937_64 rng(41);
+  std::size_t redundant_seen = 0;
+  std::size_t testable_seen = 0;
+  for (int round = 0; round < 15; ++round) {
+    const unsigned inputs = 4;
+    const Netlist net = random_netlist(rng, inputs);
+    BddManager mgr(inputs);
+    SatAtpg atpg(net);
+    for (const Fault& fault : enumerate_faults(net)) {
+      const SatFaultResult res = atpg.test_fault(fault);
+      ASSERT_NE(res.cls, FaultClass::kAborted);
+      const bool redundant = bdd_redundant(mgr, net, fault);
+      ASSERT_EQ(res.cls == FaultClass::kRedundant, redundant)
+          << "round " << round << " fault node " << fault.node << " pin "
+          << fault.pin << " sa" << fault.stuck_value;
+      if (redundant) {
+        ++redundant_seen;
+      } else {
+        ++testable_seen;
+        ASSERT_EQ(res.test.size(), net.num_inputs());
+        ASSERT_TRUE(detects(net, fault, res.test))
+            << "round " << round << " fault node " << fault.node << " pin "
+            << fault.pin << " sa" << fault.stuck_value;
+      }
+    }
+  }
+  // The sweep must have seen both classes, or it tested nothing.
+  EXPECT_GT(redundant_seen, 0u);
+  EXPECT_GT(testable_seen, 0u);
+}
+
+TEST(SatAtpg, Theorem5NetlistsAreFullyTestable) {
+  // The SAT backend independently confirms Theorem 5 on decomposed
+  // benchmark netlists: no redundant faults, and every generated vector
+  // detects its fault in the simulator.
+  for (const char* name : {"9sym", "rd84", "5xp1"}) {
+    const Benchmark& bench = find_benchmark(name);
+    BddManager mgr(bench.num_inputs);
+    const std::vector<Isf> spec = bench.build(mgr);
+    BiDecomposer dec(mgr, {}, bench.input_names());
+    const auto out_names = bench.output_names();
+    for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(out_names[o], spec[o]);
+    const Netlist& net = dec.netlist();
+
+    const SatAtpgResult res = run_sat_atpg(net);
+    EXPECT_EQ(res.redundant, 0u) << name;
+    EXPECT_EQ(res.aborted, 0u) << name;
+    EXPECT_EQ(res.testable, res.total_faults) << name;
+    for (const auto& [fault, test] : res.generated_tests) {
+      ASSERT_TRUE(detects(net, fault, test)) << name;
+    }
+  }
+}
+
+TEST(SatAtpg, RedundantFaultListMatchesBddAtpgOnT481) {
+  // t481's EXOR components derived with don't-cares leave redundant faults
+  // (the Theorem 5 boundary case); the SAT and BDD backends must flag the
+  // exact same fault list.
+  const Benchmark& bench = find_benchmark("t481");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  BiDecomposer dec(mgr, {}, bench.input_names());
+  dec.add_output("f", spec[0]);
+  const Netlist& net = dec.netlist();
+
+  const AtpgResult bdd_res = run_atpg(mgr, net);
+  const SatAtpgResult sat_res = run_sat_atpg(net);
+  ASSERT_EQ(sat_res.aborted, 0u);
+  EXPECT_EQ(sat_res.total_faults, bdd_res.total_faults);
+  EXPECT_EQ(sat_res.redundant, bdd_res.redundant);
+
+  const auto key = [](const Fault& f) {
+    return std::make_tuple(f.node, f.pin, f.stuck_value);
+  };
+  ASSERT_EQ(sat_res.redundant_faults.size(), bdd_res.redundant_faults.size());
+  for (std::size_t i = 0; i < sat_res.redundant_faults.size(); ++i) {
+    // Both backends walk enumerate_faults() in order, so the lists line up.
+    EXPECT_EQ(key(sat_res.redundant_faults[i]), key(bdd_res.redundant_faults[i]));
+  }
+  for (const auto& [fault, test] : sat_res.generated_tests) {
+    ASSERT_TRUE(detects(net, fault, test));
+  }
+}
+
+TEST(SatAtpg, PinFaultsOnInvertersAndSharedFanins) {
+  // x -> NOT -> AND(x, ~x): the AND output is constant 0, so its stem SA0
+  // is redundant but SA1 is testable; pin faults distinguish the two uses
+  // of x.
+  Netlist net;
+  const SignalId x = net.add_input("x");
+  const SignalId y = net.add_input("y");
+  const SignalId nx = net.add_gate_native(GateType::kNot, x);
+  const SignalId a = net.add_gate_native(GateType::kAnd, x, nx);
+  const SignalId f = net.add_gate_native(GateType::kOr, a, y);
+  net.add_output("f", f);
+
+  BddManager mgr(2);
+  SatAtpg atpg(net);
+  for (const Fault& fault : enumerate_faults(net)) {
+    const SatFaultResult res = atpg.test_fault(fault);
+    ASSERT_NE(res.cls, FaultClass::kAborted);
+    EXPECT_EQ(res.cls == FaultClass::kRedundant, bdd_redundant(mgr, net, fault))
+        << "fault node " << fault.node << " pin " << fault.pin << " sa"
+        << fault.stuck_value;
+    if (res.cls == FaultClass::kTestable) {
+      EXPECT_TRUE(detects(net, fault, res.test));
+    }
+  }
+}
+
+TEST(SatAtpg, GenerousBudgetMatchesExactRun) {
+  std::mt19937_64 rng(43);
+  const Netlist net = random_netlist(rng, 4);
+  const SatAtpgResult exact = run_sat_atpg(net);
+  const SatAtpgResult budgeted = run_sat_atpg(net, /*conflict_budget=*/100000);
+  EXPECT_EQ(budgeted.testable, exact.testable);
+  EXPECT_EQ(budgeted.redundant, exact.redundant);
+  EXPECT_EQ(budgeted.aborted, 0u);
+}
+
+TEST(SatAtpg, SolverStatsAccumulateAcrossFaults) {
+  std::mt19937_64 rng(44);
+  const Netlist net = random_netlist(rng, 4);
+  SatAtpg atpg(net);
+  const std::vector<Fault> faults = enumerate_faults(net);
+  for (const Fault& f : faults) (void)atpg.test_fault(f);
+  // One incremental solver served every fault.
+  EXPECT_GT(atpg.solver_stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,139 @@
+// The SAT-based two-copy decomposability check must agree with Theorem 1's
+// BDD formula (and the brute-force component enumeration) on exhaustive
+// sweeps of small random ISFs, for OR and the AND dual alike.
+#include "bidec/sat_check.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bidec/check.h"
+#include "brute_force.h"
+#include "tt/truth_table.h"
+
+namespace bidec {
+namespace {
+
+using testing::BruteGate;
+using testing::brute_force_decomposable;
+
+Isf random_isf(BddManager& mgr, unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return Isf((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+}
+
+class SatCheckVsTheorem1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatCheckVsTheorem1, OrAllSingletonPairs) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.25);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      const bool bdd = check_or_decomposable(isf, xa, xb);
+      const bool sat = sat_check_or_decomposable(isf, xa, xb);
+      EXPECT_EQ(sat, bdd) << "xa=" << a << " xb=" << b;
+      // And both equal the ground truth from component enumeration.
+      EXPECT_EQ(sat, brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kOr))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(SatCheckVsTheorem1, AndDualAllSingletonPairs) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.25);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      const bool bdd = check_and_decomposable(isf, xa, xb);
+      const bool sat = sat_check_and_decomposable(isf, xa, xb);
+      EXPECT_EQ(sat, bdd) << "xa=" << a << " xb=" << b;
+      EXPECT_EQ(sat, brute_force_decomposable(mgr, isf, nv, xa, xb, BruteGate::kAnd))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(SatCheckVsTheorem1, LargerPrivateSets) {
+  std::mt19937_64 rng(GetParam() + 2000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const Isf isf = random_isf(mgr, nv, rng, 0.3);
+  const unsigned xa[] = {0, 1}, xb[] = {2};
+  EXPECT_EQ(sat_check_or_decomposable(isf, xa, xb),
+            check_or_decomposable(isf, xa, xb));
+  const unsigned xa2[] = {0}, xb2[] = {1, 3};
+  EXPECT_EQ(sat_check_or_decomposable(isf, xa2, xb2),
+            check_or_decomposable(isf, xa2, xb2));
+  const unsigned xa3[] = {0, 2}, xb3[] = {1, 3};
+  EXPECT_EQ(sat_check_or_decomposable(isf, xa3, xb3),
+            check_or_decomposable(isf, xa3, xb3));
+  EXPECT_EQ(sat_check_and_decomposable(isf, xa3, xb3),
+            check_and_decomposable(isf, xa3, xb3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatCheckVsTheorem1,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(SatCheck, KnownDecomposableExample) {
+  // f = x0 | x1 is OR-decomposable with XA={0}, XB={1} (take fA = x0,
+  // fB = x1) but not AND-decomposable with those sets.
+  BddManager mgr(2);
+  const Isf f = Isf::from_csf(mgr.var(0) | mgr.var(1));
+  const unsigned xa[] = {0}, xb[] = {1};
+  EXPECT_TRUE(sat_check_or_decomposable(f, xa, xb));
+  EXPECT_FALSE(sat_check_and_decomposable(f, xa, xb));
+
+  const Isf g = Isf::from_csf(mgr.var(0) & mgr.var(1));
+  EXPECT_TRUE(sat_check_and_decomposable(g, xa, xb));
+  EXPECT_FALSE(sat_check_or_decomposable(g, xa, xb));
+}
+
+TEST(SatCheck, DontCaresEnableDecomposition) {
+  // XOR is not OR-decomposable as a completely specified function, but an
+  // interval that contains OR (Q = minterms where exactly one input is 1,
+  // R = the 00 minterm only, 11 free) is.
+  BddManager mgr(2);
+  const Bdd x = mgr.var(0), y = mgr.var(1);
+  const unsigned xa[] = {0}, xb[] = {1};
+  EXPECT_FALSE(sat_check_or_decomposable(Isf::from_csf(x ^ y), xa, xb));
+  const Isf loose(x ^ y, ~x & ~y);
+  EXPECT_TRUE(sat_check_or_decomposable(loose, xa, xb));
+}
+
+TEST(SatCheck, SixVariableSweepMatchesBdd) {
+  // Beyond the brute-force range: 6-variable ISFs, SAT vs the Theorem 1
+  // formula on random bipartitions.
+  std::mt19937_64 rng(77);
+  const unsigned nv = 6;
+  BddManager mgr(nv);
+  for (int round = 0; round < 10; ++round) {
+    const Isf isf = random_isf(mgr, nv, rng, 0.35);
+    std::vector<unsigned> xa, xb;
+    for (unsigned v = 0; v < nv; ++v) {
+      switch (rng() % 3) {
+        case 0: xa.push_back(v); break;
+        case 1: xb.push_back(v); break;
+        default: break;  // common set
+      }
+    }
+    if (xa.empty() || xb.empty()) continue;
+    EXPECT_EQ(sat_check_or_decomposable(isf, xa, xb),
+              check_or_decomposable(isf, xa, xb))
+        << "round " << round;
+    EXPECT_EQ(sat_check_and_decomposable(isf, xa, xb),
+              check_and_decomposable(isf, xa, xb))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace bidec

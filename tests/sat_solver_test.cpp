@@ -1,0 +1,223 @@
+// The CDCL core: propagation, learning, restarts, assumptions, budgets —
+// cross-checked against brute-force enumeration on random 3-SAT instances
+// and on the classic pigeonhole family.
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace bidec::sat {
+namespace {
+
+using Result = Solver::Result;
+
+Lit pos(Var v) { return mk_lit(v); }
+Lit neg(Var v) { return mk_lit(v, true); }
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, SingleUnitClause) {
+  Solver s;
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x)}));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(x));
+}
+
+TEST(SatSolver, ContradictingUnitsAreUnsatWithoutSearch) {
+  Solver s;
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x)}));
+  EXPECT_FALSE(s.add_clause({neg(x)}));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, TautologyAndDuplicatesAreNormalized) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), neg(x), pos(y)}));  // tautology: no-op
+  ASSERT_TRUE(s.add_clause({pos(y), pos(y), pos(y)}));  // collapses to unit
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(y));
+}
+
+TEST(SatSolver, PropagationChain) {
+  // x0 -> x1 -> ... -> x9, with x0 asserted.
+  Solver s;
+  std::vector<Var> x;
+  for (int i = 0; i < 10; ++i) x.push_back(s.new_var());
+  ASSERT_TRUE(s.add_clause({pos(x[0])}));
+  for (int i = 0; i + 1 < 10; ++i) ASSERT_TRUE(s.add_clause({neg(x[i]), pos(x[i + 1])}));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.model_value(x[i])) << i;
+}
+
+TEST(SatSolver, SmallUnsatCore) {
+  // (x | y) & (x | ~y) & (~x | y) & (~x | ~y) is unsatisfiable.
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
+  ASSERT_TRUE(s.add_clause({pos(x), neg(y)}));
+  ASSERT_TRUE(s.add_clause({neg(x), pos(y)}));
+  s.add_clause({neg(x), neg(y)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes, no sharing.
+// Unsatisfiable, and famously hard for resolution — exercises learning and
+// restarts well beyond what unit propagation can settle.
+void add_php(Solver& s, unsigned pigeons, unsigned holes) {
+  std::vector<std::vector<Var>> p(pigeons);
+  for (unsigned i = 0; i < pigeons; ++i) {
+    for (unsigned j = 0; j < holes; ++j) p[i].push_back(s.new_var());
+  }
+  for (unsigned i = 0; i < pigeons; ++i) {
+    std::vector<Lit> at_least;
+    for (unsigned j = 0; j < holes; ++j) at_least.push_back(pos(p[i][j]));
+    s.add_clause(std::move(at_least));
+  }
+  for (unsigned j = 0; j < holes; ++j) {
+    for (unsigned i1 = 0; i1 < pigeons; ++i1) {
+      for (unsigned i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_clause({neg(p[i1][j]), neg(p[i2][j])});
+      }
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (const unsigned holes : {3u, 4u, 5u}) {
+    Solver s;
+    add_php(s, holes + 1, holes);
+    EXPECT_EQ(s.solve(), Result::kUnsat) << "PHP(" << holes + 1 << "," << holes << ")";
+    if (holes == 5) {
+      EXPECT_GT(s.stats().conflicts, 0u);
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeSatWhenHolesSuffice) {
+  Solver s;
+  add_php(s, 4, 4);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  add_php(s, 8, 7);  // hard enough that 5 conflicts cannot decide it
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), Result::kUnknown);
+  s.set_conflict_budget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, AssumptionsFlipVerdictWithoutMutation) {
+  // (x | y), assume ~x ~y -> UNSAT; solver still SAT afterwards.
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
+  EXPECT_EQ(s.solve({neg(x), neg(y)}), Result::kUnsat);
+  const std::vector<Lit>& core = s.conflict();
+  EXPECT_FALSE(core.empty());
+  EXPECT_LE(core.size(), 2u);
+  EXPECT_EQ(s.solve({neg(x)}), Result::kSat);
+  EXPECT_TRUE(s.model_value(y));
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, IncrementalClauseAdditionBetweenSolves) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  ASSERT_TRUE(s.add_clause({neg(x)}));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.model_value(x));
+  EXPECT_TRUE(s.model_value(y));
+  s.add_clause({neg(y)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, FailedAssumptionIsReported) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  const Var z = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(x), pos(y)}));  // x -> y
+  ASSERT_TRUE(s.add_clause({neg(y), pos(z)}));  // y -> z
+  ASSERT_EQ(s.solve({pos(x), neg(z)}), Result::kUnsat);
+  // The conflict must mention only (a subset of) the assumptions.
+  for (const Lit l : s.conflict()) {
+    EXPECT_TRUE(l == pos(x) || l == neg(z) || l == ~pos(x) || l == ~neg(z));
+  }
+}
+
+// Reference brute-force check for random instances.
+bool brute_force_sat(unsigned num_vars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+    bool all = true;
+    for (const std::vector<Lit>& c : clauses) {
+      bool any = false;
+      for (const Lit l : c) any |= (((m >> l.var()) & 1u) != 0) != l.negated();
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(SatSolver, RandomThreeSatMatchesBruteForce) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const unsigned nv = 4 + static_cast<unsigned>(rng() % 7);  // 4..10 vars
+    // Around the phase-transition density so both verdicts occur.
+    const unsigned nc = static_cast<unsigned>(4.3 * nv) + static_cast<unsigned>(rng() % 5);
+    Solver s;
+    std::vector<Var> vars;
+    for (unsigned v = 0; v < nv; ++v) vars.push_back(s.new_var());
+    std::vector<std::vector<Lit>> clauses;
+    for (unsigned c = 0; c < nc; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        cl.push_back(mk_lit(vars[rng() % nv], (rng() & 1) != 0));
+      }
+      clauses.push_back(cl);
+      s.add_clause(std::move(cl));
+    }
+    const bool expected = brute_force_sat(nv, clauses);
+    const Result got = s.solve();
+    ASSERT_EQ(got, expected ? Result::kSat : Result::kUnsat) << "round " << round;
+    if (got == Result::kSat) {
+      // The model must actually satisfy every clause.
+      for (const std::vector<Lit>& c : clauses) {
+        bool any = false;
+        for (const Lit l : c) any |= s.model_value(l);
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+TEST(SatSolver, StatsArepopulated) {
+  Solver s;
+  add_php(s, 6, 5);
+  ASSERT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().decisions, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace bidec::sat

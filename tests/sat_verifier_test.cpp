@@ -1,0 +1,250 @@
+// Cross-engine verification: the SAT miter verifier and the BDD verifier
+// must return identical verdicts — pass and fail alike — on random
+// netlist/spec pairs, on synthesized benchmark netlists, and on deliberate
+// mutations. Per-output failure lists must agree too.
+#include "verify/sat_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "bidec/flow.h"
+#include "io/pla.h"
+#include "verify/verifier.h"
+
+namespace bidec {
+namespace {
+
+// Random netlist over `inputs` inputs with `outputs` outputs.
+Netlist random_netlist(std::mt19937_64& rng, unsigned inputs, unsigned outputs) {
+  Netlist net;
+  std::vector<SignalId> pool;
+  for (unsigned i = 0; i < inputs; ++i) {
+    pool.push_back(net.add_input("i" + std::to_string(i)));
+  }
+  const GateType types[] = {GateType::kNot, GateType::kAnd,  GateType::kOr,
+                            GateType::kXor, GateType::kNand, GateType::kNor,
+                            GateType::kXnor};
+  for (int g = 0; g < 10; ++g) {
+    const GateType t = types[rng() % std::size(types)];
+    const SignalId a = pool[rng() % pool.size()];
+    const SignalId b = pool[rng() % pool.size()];
+    pool.push_back(gate_arity(t) == 1 ? net.add_gate(t, a) : net.add_gate(t, a, b));
+  }
+  for (unsigned o = 0; o < outputs; ++o) {
+    net.add_output("o" + std::to_string(o), pool[pool.size() - 1 - (o % pool.size())]);
+  }
+  return net;
+}
+
+// Random PLA text over `inputs`/`outputs` with the given .type.
+PlaFile random_pla(std::mt19937_64& rng, unsigned inputs, unsigned outputs,
+                   const char* type) {
+  std::string text = ".i " + std::to_string(inputs) + "\n.o " +
+                     std::to_string(outputs) + "\n.type " + type + "\n";
+  const unsigned rows = 3 + rng() % 4;
+  for (unsigned r = 0; r < rows; ++r) {
+    std::string in, out;
+    for (unsigned i = 0; i < inputs; ++i) in += "01-"[rng() % 3];
+    for (unsigned o = 0; o < outputs; ++o) out += "01-"[rng() % 3];
+    text += in + " " + out + "\n";
+  }
+  text += ".e\n";
+  return PlaFile::parse_string(text);
+}
+
+// The heart of the cross-engine contract: on *arbitrary* netlist/PLA pairs
+// (most of which fail verification), both engines return the same verdict
+// and flag the same outputs, for every PLA .type semantics.
+TEST(SatVerifier, VerdictsMatchBddVerifierOnRandomPairs) {
+  std::mt19937_64 rng(31);
+  const char* types[] = {"f", "fd", "fr"};
+  for (int round = 0; round < 60; ++round) {
+    const unsigned inputs = 3 + rng() % 3;   // 3..5
+    const unsigned outputs = 1 + rng() % 3;  // 1..3
+    const PlaFile pla = random_pla(rng, inputs, outputs, types[round % 3]);
+    const Netlist net = random_netlist(rng, inputs, outputs);
+
+    BddManager mgr(inputs);
+    const std::vector<Isf> spec = pla.to_isfs(mgr);
+    const VerifyResult bdd = verify_against_isfs(mgr, net, spec);
+    const VerifyResult sat_pla = sat_verify_against_pla(net, pla);
+    const VerifyResult sat_isf = sat_verify_against_isfs(net, spec);
+
+    ASSERT_EQ(bdd.ok, sat_pla.ok) << "round " << round << " type " << types[round % 3];
+    ASSERT_EQ(bdd.ok, sat_isf.ok) << "round " << round;
+    ASSERT_EQ(bdd.failed_outputs, sat_pla.failed_outputs) << "round " << round;
+    ASSERT_EQ(bdd.failed_outputs, sat_isf.failed_outputs) << "round " << round;
+    if (!bdd.ok) {
+      ASSERT_EQ(bdd.first_failed_output, sat_pla.first_failed_output);
+    }
+  }
+}
+
+TEST(SatVerifier, SynthesizedBenchmarksPassBothEngines) {
+  // Small/medium members of the paper suites; every synthesized netlist
+  // must satisfy Q <= f <= ~R under both engines, and PLA-backed specs are
+  // additionally checked straight against their cover rows (no BDDs at all
+  // on that path).
+  for (const char* name : {"9sym", "rd84", "5xp1", "misex2", "t481"}) {
+    const Benchmark& b = find_benchmark(name);
+    BddManager mgr(b.num_inputs);
+    const std::vector<Isf> spec = b.build(mgr);
+    const FlowResult flow =
+        synthesize_bidecomp(mgr, spec, b.input_names(), b.output_names());
+
+    const VerifyResult bdd = verify_against_isfs(mgr, flow.netlist, spec);
+    const VerifyResult sat = sat_verify_against_isfs(flow.netlist, spec);
+    EXPECT_TRUE(bdd.ok) << name;
+    EXPECT_TRUE(sat.ok) << name;
+    if (b.pla) {
+      const VerifyResult sat_pla = sat_verify_against_pla(flow.netlist, *b.pla);
+      EXPECT_TRUE(sat_pla.ok) << name << " (cover rows)";
+    }
+  }
+}
+
+TEST(SatVerifier, MutationIsRejectedByBothEngines) {
+  // Synthesize a benchmark, then mutate the netlist output (invert it);
+  // both engines must reject, flagging the same output.
+  const Benchmark& b = find_benchmark("rd84");
+  BddManager mgr(b.num_inputs);
+  const std::vector<Isf> spec = b.build(mgr);
+  FlowResult flow = synthesize_bidecomp(mgr, spec, b.input_names(), b.output_names());
+
+  Netlist mutated;
+  for (std::size_t i = 0; i < flow.netlist.num_inputs(); ++i) {
+    mutated.add_input(flow.netlist.input_name(i));
+  }
+  // Rebuild, then invert output 1.
+  {
+    std::vector<SignalId> map(flow.netlist.num_nodes(), kNoSignal);
+    for (std::size_t i = 0; i < flow.netlist.num_inputs(); ++i) {
+      map[flow.netlist.inputs()[i]] = mutated.inputs()[i];
+    }
+    for (const SignalId id : flow.netlist.reachable_topo_order()) {
+      const Netlist::Node& n = flow.netlist.node(id);
+      if (n.type == GateType::kInput) continue;
+      if (n.type == GateType::kConst0) { map[id] = mutated.get_const(false); continue; }
+      if (n.type == GateType::kConst1) { map[id] = mutated.get_const(true); continue; }
+      map[id] = gate_arity(n.type) == 1
+                    ? mutated.add_gate(n.type, map[n.fanin0])
+                    : mutated.add_gate(n.type, map[n.fanin0], map[n.fanin1]);
+    }
+    for (std::size_t o = 0; o < flow.netlist.num_outputs(); ++o) {
+      SignalId s = map[flow.netlist.output_signal(o)];
+      if (o == 1) s = mutated.add_not(s);
+      mutated.add_output(flow.netlist.output_name(o), s);
+    }
+  }
+
+  const VerifyResult bdd = verify_against_isfs(mgr, mutated, spec);
+  const VerifyResult sat = sat_verify_against_isfs(mutated, spec);
+  ASSERT_FALSE(bdd.ok);
+  ASSERT_FALSE(sat.ok);
+  EXPECT_EQ(bdd.failed_outputs, sat.failed_outputs);
+  EXPECT_EQ(sat.failed_outputs, (std::vector<std::size_t>{1}));
+}
+
+TEST(SatVerifier, EquivalenceMiters) {
+  // (x & y) | z == (x | z) & (y | z); flipping one gate breaks it.
+  Netlist a;
+  {
+    const SignalId x = a.add_input("x"), y = a.add_input("y"), z = a.add_input("z");
+    a.add_output("f", a.add_or(a.add_and(x, y), z));
+  }
+  Netlist b;
+  {
+    const SignalId x = b.add_input("x"), y = b.add_input("y"), z = b.add_input("z");
+    b.add_output("f", b.add_and(b.add_or(x, z), b.add_or(y, z)));
+  }
+  EXPECT_TRUE(sat_verify_equivalent(a, b).ok);
+
+  Netlist c;
+  {
+    const SignalId x = c.add_input("x"), y = c.add_input("y"), z = c.add_input("z");
+    c.add_output("f", c.add_and(c.add_or(x, z), c.add_xor(y, z)));
+  }
+  const VerifyResult bad = sat_verify_equivalent(a, c);
+  ASSERT_FALSE(bad.ok);
+  EXPECT_EQ(bad.failed_outputs, (std::vector<std::size_t>{0}));
+
+  BddManager mgr(3);
+  EXPECT_TRUE(verify_equivalent(mgr, a, b).ok);
+  EXPECT_FALSE(verify_equivalent(mgr, a, c).ok);
+}
+
+TEST(SatVerifier, EveryFailingOutputIsListed) {
+  // Spec demands f0 = x, f1 = y; the netlist swaps them, so both outputs
+  // fail under both engines.
+  Netlist net;
+  const SignalId x = net.add_input("x");
+  const SignalId y = net.add_input("y");
+  net.add_output("f0", y);
+  net.add_output("f1", x);
+  BddManager mgr(2);
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0)), Isf::from_csf(mgr.var(1))};
+  const VerifyResult bdd = verify_against_isfs(mgr, net, spec);
+  const VerifyResult sat = sat_verify_against_isfs(net, spec);
+  const std::vector<std::size_t> both{0, 1};
+  EXPECT_EQ(bdd.failed_outputs, both);
+  EXPECT_EQ(sat.failed_outputs, both);
+  EXPECT_EQ(bdd.first_failed_output, 0u);
+  EXPECT_EQ(sat.first_failed_output, 0u);
+}
+
+TEST(SatVerifier, InterfaceMismatchThrows) {
+  Netlist a;
+  a.add_output("f", a.add_input("x"));
+  Netlist b;
+  const SignalId x = b.add_input("x");
+  const SignalId y = b.add_input("y");
+  b.add_output("f", b.add_and(x, y));
+  EXPECT_THROW((void)sat_verify_equivalent(a, b), std::invalid_argument);
+
+  BddManager mgr(1);
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0)),
+                              Isf::from_csf(~mgr.var(0))};
+  EXPECT_THROW((void)sat_verify_against_isfs(a, spec), std::invalid_argument);
+}
+
+TEST(SatVerifier, VerifyWithEnginesDispatch) {
+  Netlist net;
+  net.add_output("f", net.add_input("x"));
+  BddManager mgr(1);
+  const std::vector<Isf> spec{Isf::from_csf(mgr.var(0))};
+
+  const DualVerifyResult none = verify_with_engines(VerifyEngine::kNone, mgr, net, spec);
+  EXPECT_FALSE(none.bdd_ran);
+  EXPECT_FALSE(none.sat_ran);
+  EXPECT_TRUE(none.ok());
+  EXPECT_TRUE(none.agree());
+
+  const DualVerifyResult bdd = verify_with_engines(VerifyEngine::kBdd, mgr, net, spec);
+  EXPECT_TRUE(bdd.bdd_ran);
+  EXPECT_FALSE(bdd.sat_ran);
+  EXPECT_TRUE(bdd.ok());
+
+  const DualVerifyResult both = verify_with_engines(VerifyEngine::kBoth, mgr, net, spec);
+  EXPECT_TRUE(both.bdd_ran);
+  EXPECT_TRUE(both.sat_ran);
+  EXPECT_TRUE(both.ok());
+  EXPECT_TRUE(both.agree());
+}
+
+TEST(SatVerifier, EngineNamesRoundTrip) {
+  for (const VerifyEngine e : {VerifyEngine::kNone, VerifyEngine::kBdd,
+                               VerifyEngine::kSat, VerifyEngine::kBoth}) {
+    const auto parsed = parse_verify_engine(to_string(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_FALSE(parse_verify_engine("simulation").has_value());
+  EXPECT_FALSE(parse_verify_engine("").has_value());
+}
+
+}  // namespace
+}  // namespace bidec
