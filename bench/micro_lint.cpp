@@ -1,0 +1,131 @@
+// Microbenchmarks of the static-analysis subsystem: BLIF parsing into the
+// lenient RawNetlist IR, full netlist linting at several design sizes, the
+// Netlist -> RawNetlist adapter, and BddManager::audit(). Gate counts are
+// reported as items so throughput shows up as gates/second.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "benchgen/benchgen.h"
+#include "bidec/flow.h"
+#include "lint/netlist_lint.h"
+
+namespace bidec {
+namespace {
+
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+/// A clean synthetic design: a balanced reduction tree of alternating
+/// AND/XOR/OR gates over `inputs` primary inputs (inputs - 1 gates, plus an
+/// output buffer), emitted as BLIF text.
+std::string tree_blif(unsigned inputs) {
+  std::ostringstream out;
+  out << ".inputs";
+  for (unsigned i = 0; i < inputs; ++i) out << " i" << i;
+  out << "\n.outputs f\n";
+  std::vector<std::string> layer;
+  layer.reserve(inputs);
+  for (unsigned i = 0; i < inputs; ++i) layer.push_back(numbered_name("i", i));
+  unsigned next_id = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> reduced;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string name = numbered_name("t", next_id++);
+      out << ".names " << layer[i] << " " << layer[i + 1] << " " << name << "\n";
+      switch (next_id % 3) {
+        case 0: out << "11 1\n"; break;
+        case 1: out << "10 1\n01 1\n"; break;
+        default: out << "1- 1\n-1 1\n"; break;
+      }
+      reduced.push_back(name);
+    }
+    if (layer.size() % 2 == 1) reduced.push_back(layer.back());
+    layer.swap(reduced);
+  }
+  out << ".names " << layer.front() << " f\n1 1\n.end\n";
+  return out.str();
+}
+
+void BM_ParseBlif(benchmark::State& state) {
+  const std::string blif = tree_blif(static_cast<unsigned>(state.range(0)));
+  std::size_t gates = 0;
+  for (auto _ : state) {
+    const RawNetlist net = RawNetlist::parse_blif_string(blif);
+    gates = net.gates.size();
+    benchmark::DoNotOptimize(net.gates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * gates));
+}
+BENCHMARK(BM_ParseBlif)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_LintCleanTree(benchmark::State& state) {
+  const RawNetlist net =
+      RawNetlist::parse_blif_string(tree_blif(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    const LintReport rep = lint_netlist(net);
+    benchmark::DoNotOptimize(rep.clean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * net.gates.size()));
+}
+BENCHMARK(BM_LintCleanTree)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_LintWithSupportCones(benchmark::State& state) {
+  // The opt-in NL109 structural pass adds a per-gate support bitset sweep;
+  // measure its overhead against BM_LintCleanTree at the same size.
+  const RawNetlist net =
+      RawNetlist::parse_blif_string(tree_blif(static_cast<unsigned>(state.range(0))));
+  NetlistLintOptions options;
+  options.check_support = true;
+  for (auto _ : state) {
+    const LintReport rep = lint_netlist(net, options);
+    benchmark::DoNotOptimize(rep.findings().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * net.gates.size()));
+}
+BENCHMARK(BM_LintWithSupportCones)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_LintSynthesizedBenchmark(benchmark::State& state) {
+  // End-to-end shape on a real flow output: strict Netlist -> RawNetlist
+  // adapter plus the full rule sweep, as the --lint gate runs it per job.
+  const Benchmark& bench = find_benchmark("misex2");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const FlowResult res = synthesize_bidecomp(mgr, spec, bench.input_names(),
+                                             bench.output_names(), FlowOptions{});
+  for (auto _ : state) {
+    const LintReport rep = lint_netlist(res.netlist);
+    benchmark::DoNotOptimize(rep.clean());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * res.netlist.num_nodes()));
+}
+BENCHMARK(BM_LintSynthesizedBenchmark);
+
+void BM_BddAudit(benchmark::State& state) {
+  // Audit cost scales with the node store; populate it with a decomposition
+  // workload first, then measure the read-only sweep.
+  const Benchmark& bench = find_benchmark(state.range(0) == 0 ? "9sym" : "misex2");
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  const FlowResult res = synthesize_bidecomp(mgr, spec, bench.input_names(),
+                                             bench.output_names(), FlowOptions{});
+  benchmark::DoNotOptimize(res.netlist.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.audit().empty());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * mgr.live_node_count()));
+}
+BENCHMARK(BM_BddAudit)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bidec
+
+BENCHMARK_MAIN();

@@ -16,6 +16,14 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 using sat::Lit;
 using sat::Solver;
 using sat::TseitinEncoder;
@@ -44,8 +52,8 @@ FlowResult synthesize_standin(BddManager& mgr, const StructuredSpecParams& param
                               const FlowOptions& options = {}) {
   const std::vector<Isf> spec = random_structured_spec(mgr, params);
   std::vector<std::string> in_names, out_names;
-  for (unsigned i = 0; i < params.inputs; ++i) in_names.push_back("x" + std::to_string(i));
-  for (unsigned o = 0; o < params.outputs; ++o) out_names.push_back("y" + std::to_string(o));
+  for (unsigned i = 0; i < params.inputs; ++i) in_names.push_back(numbered_name("x", i));
+  for (unsigned o = 0; o < params.outputs; ++o) out_names.push_back(numbered_name("y", o));
   return synthesize_bidecomp(mgr, spec, in_names, out_names, options);
 }
 

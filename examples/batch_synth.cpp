@@ -13,6 +13,8 @@
 //     --weak-only --no-exor --no-cache
 //     --verify <engine>   none|bdd|sat|both (default bdd)
 //     --no-verify         alias for --verify none
+//     --lint <mode>       off|warn|error (default off); post-synthesis
+//                         structural lint gate, findings land in the JSON
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -36,7 +38,8 @@ int usage() {
                "usage: batch_synth <dir | files...> [--jobs N] [--timeout-ms T]\n"
                "       [--step-budget S] [--json out.json] [--out-dir dir]\n"
                "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
-               "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n");
+               "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n"
+               "       [--lint off|warn|error]\n");
   return 2;
 }
 
@@ -123,6 +126,15 @@ int main(int argc, char** argv) {
       verify = *engine;
     } else if (a == "--no-verify") {
       verify = VerifyEngine::kNone;
+    } else if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
+      const char* v = a == "--lint" ? next() : a.c_str() + std::strlen("--lint=");
+      if (!v) return usage();
+      const std::optional<LintMode> mode = parse_lint_mode(v);
+      if (!mode) {
+        std::fprintf(stderr, "error: --lint expects off|warn|error, got '%s'\n", v);
+        return usage();
+      }
+      flow.lint = *mode;
     } else if (!a.empty() && a[0] != '-') {
       inputs.push_back(a);
     } else {
@@ -178,9 +190,11 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
-                "%zu error; batch %.1f ms (cpu %.1f ms), %zu gates total\n",
+                "%zu lint-failed, %zu error; batch %.1f ms (cpu %.1f ms), "
+                "%zu gates total\n",
                 sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
-                sum.errors, sum.wall_ms, sum.total_job_ms, sum.total_gates);
+                sum.lint_failures, sum.errors, sum.wall_ms, sum.total_job_ms,
+                sum.total_gates);
 
     if (!out_dir.empty()) {
       fs::create_directories(out_dir);

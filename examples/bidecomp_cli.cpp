@@ -12,6 +12,9 @@
 //     --atpg                run stuck-at ATPG and report coverage
 //     --sweep               remove redundancies after synthesis
 //     --stats               print decomposition statistics
+//     --lint=<mode>         off|warn|error (default off); run the structural
+//                           netlist linter on the result. warn prints
+//                           findings, error also exits with code 4
 //     --verify=<engine>     none|bdd|sat|both (default bdd); sat checks the
 //                           netlist straight against the PLA cover / original
 //                           BLIF with the CDCL engine, both cross-checks
@@ -23,7 +26,8 @@
 // --lib/--atpg/--sweep apply to the single-file path only).
 //
 // Exit codes: 0 success, 1 load/synthesis error, 2 usage, 3 verification
-// failure (the netlist was produced but an engine rejected an output).
+// failure (the netlist was produced but an engine rejected an output),
+// 4 lint gate failure (--lint=error and the linter found problems).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -60,6 +64,7 @@ struct CliArgs {
 };
 
 constexpr int kExitVerifyFailed = 3;
+constexpr int kExitLintFailed = 4;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -72,7 +77,7 @@ int usage() {
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
                "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
-               "       [--jobs N] [--timeout-ms T]\n");
+               "       [--lint=off|warn|error] [--jobs N] [--timeout-ms T]\n");
   return 2;
 }
 
@@ -114,6 +119,10 @@ int run_batch(const CliArgs& args) {
                 rep.name.c_str(), to_string(rep.status), rep.gates, rep.exors,
                 rep.area, rep.levels, rep.wall_ms);
     if (!rep.error.empty()) std::printf("    %s\n", rep.error.c_str());
+    for (const LintFinding& f : rep.lint.findings()) {
+      std::printf("    lint %s:%s: %s [%s]\n", f.rule.c_str(),
+                  to_string(f.severity), f.message.c_str(), f.object.c_str());
+    }
     for (const std::size_t o : rep.failed_outputs) {
       std::printf("    failed output %zu (bdd=%d sat=%d)\n", o, rep.bdd_verdict,
                   rep.sat_verdict);
@@ -121,11 +130,12 @@ int run_batch(const CliArgs& args) {
   }
   const EngineReport& sum = outcome.summary;
   std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
-              "%zu error in %.1f ms\n",
+              "%zu lint-failed, %zu error in %.1f ms\n",
               sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
-              sum.errors, sum.wall_ms);
+              sum.lint_failures, sum.errors, sum.wall_ms);
   if (sum.ok == sum.jobs) return 0;
-  return sum.verify_failures != 0 ? kExitVerifyFailed : 1;
+  if (sum.verify_failures != 0) return kExitVerifyFailed;
+  return sum.lint_failures != 0 ? kExitLintFailed : 1;
 }
 
 }  // namespace
@@ -178,6 +188,15 @@ int main(int argc, char** argv) {
         return usage();
       }
       args.verify = *engine;
+    } else if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
+      const char* v = a == "--lint" ? next() : a.c_str() + std::strlen("--lint=");
+      if (!v) return usage();
+      const std::optional<LintMode> mode = parse_lint_mode(v);
+      if (!mode) {
+        std::fprintf(stderr, "error: --lint expects off|warn|error, got '%s'\n", v);
+        return usage();
+      }
+      args.flow.lint = *mode;
     } else if (a == "--atpg") {
       args.atpg = true;
     } else if (a == "--sweep") {
@@ -279,6 +298,15 @@ int main(int argc, char** argv) {
                                     : sat_verify_equivalent(res.netlist, original));
     }
     if (verify_failed) return kExitVerifyFailed;
+    if (args.flow.lint != LintMode::kOff && !res.lint.clean()) {
+      std::fputs(res.lint.to_text().c_str(), stderr);
+      std::fprintf(stderr, "lint: %zu error(s), %zu warning(s)\n",
+                   res.lint.errors(), res.lint.warnings());
+      if (args.flow.lint == LintMode::kError &&
+          res.lint.has_findings(LintSeverity::kWarning)) {
+        return kExitLintFailed;
+      }
+    }
     const NetlistStats s = res.netlist.stats();
     std::printf("synthesized: %zu gates (%zu exors, %zu inverters), area %.0f, "
                 "%u levels, delay %.1f -- %s\n",

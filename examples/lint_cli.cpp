@@ -1,0 +1,94 @@
+// bidec_lint: standalone structural netlist linter. Reads BLIF files with a
+// deliberately lenient parser (combinational loops, undriven and
+// multiply-driven nets, wide gates — everything the strict flow reader
+// rejects outright — stay representable) and reports findings with stable
+// rule ids. See DESIGN.md section 10 for the rule catalog.
+//
+//   bidec_lint <file.blif>... [options]
+//     --json       emit one JSON report per file instead of text lines
+//     --support    enable the NL109 structural support-inflation rule
+//     --relaxed    demote redundancy rules (NL104/NL105/NL108) to info
+//     --quiet      no output, exit code only
+//
+// Exit codes: 0 all files clean, 1 findings reported, 2 usage,
+// 3 a file could not be read or parsed at all.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/netlist_lint.h"
+
+namespace {
+
+using namespace bidec;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bidec_lint <file.blif>... [--json] [--support] [--relaxed]\n"
+               "       [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  NetlistLintOptions options;
+  bool json = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--support") {
+      options.check_support = true;
+    } else if (a == "--relaxed") {
+      options.relaxed_redundancy = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] != '-') {
+      inputs.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  bool any_findings = false;
+  bool any_io_error = false;
+  for (const std::string& path : inputs) {
+    RawNetlist net;
+    try {
+      net = RawNetlist::load_blif(path);
+    } catch (const std::exception& e) {
+      any_io_error = true;
+      if (!quiet) std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      continue;
+    }
+    const LintReport report = lint_netlist(net, options);
+    if (!report.clean()) any_findings = true;
+    if (quiet) continue;
+    if (json) {
+      std::printf("{\"file\": \"%s\", \"report\": %s}\n", path.c_str(),
+                  report.to_json().c_str());
+    } else if (report.clean()) {
+      std::printf("%s: clean (%zu gates)\n", path.c_str(), net.gates.size());
+    } else {
+      std::string text = report.to_text();
+      // Prefix every finding line with the file name, compiler-style.
+      std::string prefixed;
+      std::size_t start = 0;
+      while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        prefixed += path + ": " + text.substr(start, end - start) + "\n";
+        start = end + 1;
+      }
+      std::fputs(prefixed.c_str(), stdout);
+      std::printf("%s: %zu error(s), %zu warning(s)\n", path.c_str(),
+                  report.errors(), report.warnings());
+    }
+  }
+  if (any_io_error) return 3;
+  return any_findings ? 1 : 0;
+}

@@ -25,6 +25,14 @@ namespace bidec {
 
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 /// Structural substitution: the BDD obtained from `f` by replacing the node
 /// with id `target` by the constant `value`. Memoized per (root, call).
 class NodeReplacer {
@@ -216,7 +224,7 @@ Netlist bds_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
   inputs.reserve(mgr.num_vars());
   for (unsigned v = 0; v < mgr.num_vars(); ++v) {
     const std::string name =
-        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+        v < input_names.size() ? input_names[v] : numbered_name("x", v);
     inputs.push_back(net.add_input(name));
   }
 
@@ -224,7 +232,7 @@ Netlist bds_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
   for (std::size_t o = 0; o < outputs.size(); ++o) {
     const Bdd f = outputs[o].minimized_cover();
     const std::string name =
-        o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+        o < output_names.size() ? output_names[o] : numbered_name("f", o);
     net.add_output(name, builder.build(f));
   }
   if (absorb_inverters) net.absorb_inverters();

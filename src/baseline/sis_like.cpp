@@ -5,6 +5,16 @@
 
 namespace bidec {
 
+namespace {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
 Netlist sis_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
                             const std::vector<std::string>& input_names,
                             const std::vector<std::string>& output_names,
@@ -14,7 +24,7 @@ Netlist sis_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
   inputs.reserve(mgr.num_vars());
   for (unsigned v = 0; v < mgr.num_vars(); ++v) {
     const std::string name =
-        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+        v < input_names.size() ? input_names[v] : numbered_name("x", v);
     inputs.push_back(net.add_input(name));
   }
 
@@ -30,7 +40,7 @@ Netlist sis_like_synthesize(BddManager& mgr, std::span<const Isf> outputs,
     }
     const SignalId root = factor_cover(net, on, inputs);
     const std::string name =
-        o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+        o < output_names.size() ? output_names[o] : numbered_name("f", o);
     net.add_output(name, root);
   }
   if (options.absorb_inverters) net.absorb_inverters();

@@ -115,6 +115,26 @@ class BddAbortError : public std::runtime_error {
   explicit BddAbortError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a handle of one BddManager is passed into an operation of a
+/// different manager (or an invalid handle into any operation). Node ids are
+/// only meaningful inside their own manager, so mixing corrupts the unique
+/// table silently — the per-worker-manager batch engine makes this the
+/// easiest serious mistake to write. Every public operation validates its
+/// operands up front so the mistake fails loudly at the call site.
+class BddOwnershipError : public std::logic_error {
+ public:
+  explicit BddOwnershipError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// One invariant violation found by BddManager::audit(). `rule` is a stable
+/// BM2xx id (catalogued in lint/diagnostics.h); `object` names the node or
+/// cache slot ("node 17", "cache 42").
+struct BddAuditFinding {
+  std::string rule;
+  std::string object;
+  std::string message;
+};
+
 /// Statistics counters exposed for benchmarking and tests.
 struct BddStats {
   std::size_t live_nodes = 0;      ///< allocated minus freed
@@ -242,6 +262,17 @@ class BddManager {
   /// Graphviz dot rendering of the DAG.
   [[nodiscard]] std::string to_dot(const Bdd& f) const;
 
+  // --- self audit ----------------------------------------------------------
+  /// Full structural audit of the manager: unique-table canonicity (no
+  /// duplicate (var, lo, hi) triples, no redundant lo == hi nodes, variable
+  /// order strictly increasing on every edge, every live node findable in
+  /// its hash bucket), free-list and reference-count consistency against a
+  /// full sweep of the node store, computed-cache entry validity, and
+  /// terminal invariants. Purely read-only and allocation-light; returns
+  /// structured findings (empty = healthy) instead of asserting, so it is
+  /// callable from tests and production gates in any build type.
+  [[nodiscard]] std::vector<BddAuditFinding> audit() const;
+
   // --- cooperative abort ---------------------------------------------------
   // Recursive cores count "steps" (one per recursive apply/quantifier call)
   // and throw BddAbortError when a configured limit is exceeded. This is the
@@ -278,6 +309,9 @@ class BddManager {
 
  private:
   friend class Bdd;
+  // Test-only corruption hook: the audit tests define this struct to poke
+  // private node storage and verify every audit rule actually fires.
+  friend struct BddTestCorruptor;
 
   struct Node {
     std::uint32_t var;   // level == variable index; terminals use var = num_vars
@@ -335,6 +369,14 @@ class BddManager {
   void maybe_gc();
   [[nodiscard]] unsigned level_of(NodeId id) const noexcept { return nodes_[id].var; }
   [[nodiscard]] std::vector<bool> cube_var_mask(NodeId cube) const;
+
+  // Cross-manager misuse detector: every public operation taking handles
+  // calls this on each operand. One pointer compare on the hot path; the
+  // throw lives out of line (bdd_audit.cpp).
+  void ensure_owned(const Bdd& f, const char* op) const {
+    if (f.manager() != this) throw_ownership(f, op);
+  }
+  [[noreturn]] void throw_ownership(const Bdd& f, const char* op) const;
 
   // Cooperative abort: called at the head of every recursive core step.
   // The hot path is one increment plus two predictable branches; the

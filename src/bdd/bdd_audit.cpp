@@ -1,0 +1,203 @@
+// BddManager::audit(): read-only structural self-check of the node store,
+// unique table, free list and computed cache, plus the out-of-line throw of
+// the cross-manager ownership guard. Findings carry the BM2xx rule ids from
+// lint/diagnostics.h; an empty result means every invariant holds. The audit
+// never throws and never mutates, so it is safe to call mid-flow, from tests
+// in Release builds (where the internal asserts compile away), and from the
+// batch engine's post-job gate.
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+namespace {
+
+// Rule ids, mirrored from lint/diagnostics.h (the bdd library sits below
+// the lint library and must not depend on it).
+constexpr const char* kDuplicateTriple = "BM201";
+constexpr const char* kRedundantNode = "BM202";
+constexpr const char* kLevelOrder = "BM203";
+constexpr const char* kVarRange = "BM204";
+constexpr const char* kChainMiss = "BM205";
+constexpr const char* kFreeList = "BM206";
+constexpr const char* kStatsDrift = "BM207";
+constexpr const char* kCacheDead = "BM208";
+constexpr const char* kCacheTag = "BM209";
+constexpr const char* kTerminal = "BM210";
+
+std::string node_name(NodeId id) { return "node " + std::to_string(id); }
+
+}  // namespace
+
+void BddManager::throw_ownership(const Bdd& f, const char* op) const {
+  if (f.manager() == nullptr) {
+    throw BddOwnershipError(std::string("BddManager::") + op +
+                            ": invalid (default-constructed) handle");
+  }
+  throw BddOwnershipError(std::string("BddManager::") + op +
+                          ": handle belongs to a different BddManager (node " +
+                          std::to_string(f.id()) +
+                          " of a foreign manager passed into this one)");
+}
+
+std::vector<BddAuditFinding> BddManager::audit() const {
+  std::vector<BddAuditFinding> out;
+  const auto add = [&out](const char* rule, std::string object, std::string message) {
+    out.push_back(BddAuditFinding{rule, std::move(object), std::move(message)});
+  };
+  const std::size_t n = nodes_.size();
+
+  // --- terminal invariants -------------------------------------------------
+  for (const NodeId t : {kFalseId, kTrueId}) {
+    const Node& node = nodes_[t];
+    if (node.var != num_vars_) {
+      add(kTerminal, node_name(t),
+          "terminal level is " + std::to_string(node.var) + ", expected " +
+              std::to_string(num_vars_));
+    }
+    if (node.refs == 0) {
+      add(kTerminal, node_name(t), "terminal lost its permanent reference");
+    }
+  }
+
+  // --- free list vs. tombstones -------------------------------------------
+  std::vector<bool> on_free_list(n, false);
+  {
+    std::size_t walked = 0;
+    NodeId id = free_list_;
+    while (id != kInvalidId && walked <= n) {
+      if (id >= n) {
+        add(kFreeList, node_name(id), "free-list pointer out of range");
+        break;
+      }
+      if (on_free_list[id]) {
+        add(kFreeList, node_name(id), "free list is cyclic");
+        break;
+      }
+      on_free_list[id] = true;
+      ++walked;
+      if (nodes_[id].var != kInvalidId) {
+        add(kFreeList, node_name(id), "free-list slot is not tombstoned");
+      }
+      if (nodes_[id].refs != 0) {
+        add(kFreeList, node_name(id),
+            "free-list slot still carries " + std::to_string(nodes_[id].refs) +
+                " external reference(s)");
+      }
+      id = nodes_[id].lo;  // lo doubles as the next-free pointer
+    }
+    if (walked != free_count_) {
+      add(kFreeList, "free list",
+          "free list holds " + std::to_string(walked) + " slots but free_count is " +
+              std::to_string(free_count_));
+    }
+    for (NodeId i = 2; i < n; ++i) {
+      if (nodes_[i].var == kInvalidId && !on_free_list[i]) {
+        add(kFreeList, node_name(i), "tombstoned slot is not on the free list");
+      }
+    }
+  }
+
+  // --- per-node canonicity -------------------------------------------------
+  std::map<std::tuple<unsigned, NodeId, NodeId>, NodeId> triples;
+  const std::size_t mask = unique_table_.size() - 1;
+  for (NodeId id = 2; id < n; ++id) {
+    const Node& node = nodes_[id];
+    if (node.var == kInvalidId) continue;  // free slot
+    if (node.var >= num_vars_) {
+      add(kVarRange, node_name(id),
+          "variable " + std::to_string(node.var) + " out of range (num_vars " +
+              std::to_string(num_vars_) + ")");
+      continue;
+    }
+    bool children_ok = true;
+    for (const NodeId child : {node.lo, node.hi}) {
+      if (child >= n) {
+        add(kVarRange, node_name(id),
+            "child " + std::to_string(child) + " out of range");
+        children_ok = false;
+      } else if (child >= 2 && nodes_[child].var == kInvalidId) {
+        add(kVarRange, node_name(id),
+            "child " + std::to_string(child) + " is a freed slot");
+        children_ok = false;
+      }
+    }
+    if (!children_ok) continue;
+    if (node.lo == node.hi) {
+      add(kRedundantNode, node_name(id),
+          "both branches reach node " + std::to_string(node.lo) +
+              "; the reduction rule should have removed this node");
+    }
+    if (level_of(node.lo) <= node.var || level_of(node.hi) <= node.var) {
+      add(kLevelOrder, node_name(id),
+          "child level not strictly below the node's level " +
+              std::to_string(node.var) + " (lo level " +
+              std::to_string(level_of(node.lo)) + ", hi level " +
+              std::to_string(level_of(node.hi)) + ")");
+    }
+    const auto [it, inserted] =
+        triples.emplace(std::make_tuple(node.var, node.lo, node.hi), id);
+    if (!inserted) {
+      add(kDuplicateTriple, node_name(id),
+          "same (var, lo, hi) triple as node " + std::to_string(it->second) +
+              "; the unique table no longer canonicalizes");
+    }
+    // The node must be discoverable through its own hash bucket, or every
+    // future make_node of this triple silently duplicates it.
+    bool found = false;
+    std::size_t chain_len = 0;
+    for (NodeId c = unique_table_[unique_hash(node.var, node.lo, node.hi) & mask];
+         c != kInvalidId && chain_len <= n; c = nodes_[c].next, ++chain_len) {
+      if (c == id) {
+        found = true;
+        break;
+      }
+      if (c >= n) break;
+    }
+    if (!found) {
+      add(kChainMiss, node_name(id),
+          "live node is absent from its unique-table bucket chain");
+    }
+  }
+
+  // --- statistics ----------------------------------------------------------
+  if (stats_.live_nodes != n - free_count_) {
+    add(kStatsDrift, "stats",
+        "live_nodes counter says " + std::to_string(stats_.live_nodes) +
+            " but the store holds " + std::to_string(n - free_count_));
+  }
+
+  // --- computed cache ------------------------------------------------------
+  for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+    const CacheEntry& e = cache_[slot];
+    if (e.tag == 0) continue;  // empty
+    const std::uint32_t op = e.tag & 0xffu;
+    if (op < kOpIte || op > kOpRestrict) {
+      add(kCacheTag, "cache " + std::to_string(slot),
+          "unknown operation tag " + std::to_string(e.tag));
+      continue;
+    }
+    if (op != kOpCompose && (e.tag >> 8) != 0) {
+      add(kCacheTag, "cache " + std::to_string(slot),
+          "tag " + std::to_string(e.tag) + " carries payload bits but is not compose");
+    }
+    for (const NodeId ref : {e.a, e.b, e.c, e.result}) {
+      if (ref >= n) {
+        add(kCacheDead, "cache " + std::to_string(slot),
+            "entry references out-of-range node " + std::to_string(ref));
+      } else if (ref >= 2 && nodes_[ref].var == kInvalidId) {
+        add(kCacheDead, "cache " + std::to_string(slot),
+            "entry references freed node " + std::to_string(ref) +
+                "; the cache must be cleared when nodes die");
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace bidec

@@ -10,6 +10,7 @@
 namespace bidec {
 
 double BddManager::sat_count(const Bdd& f) {
+  ensure_owned(f, "sat_count");
   std::unordered_map<NodeId, double> memo;
   memo[kFalseId] = 0.0;
   memo[kTrueId] = 1.0;
@@ -40,6 +41,7 @@ double BddManager::sat_count(const Bdd& f) {
 }
 
 CubeLits BddManager::pick_one_cube_lits(const Bdd& f) {
+  ensure_owned(f, "pick_one_cube");
   if (f.is_false()) throw std::invalid_argument("pick_one_cube: function is empty");
   CubeLits lits(num_vars_, -1);
   NodeId id = f.id();
@@ -91,6 +93,8 @@ struct IsopResult {
 }  // namespace
 
 std::vector<CubeLits> BddManager::isop(const Bdd& lower, const Bdd& upper) {
+  ensure_owned(lower, "isop");
+  ensure_owned(upper, "isop");
   if (!(lower - upper).is_false()) {
     throw std::invalid_argument("isop: lower bound must imply upper bound");
   }

@@ -6,6 +6,7 @@
 namespace bidec {
 
 std::string BddManager::to_string(const Bdd& f) const {
+  ensure_owned(f, "to_string");
   std::ostringstream out;
   if (f.is_false()) return "const0";
   if (f.is_true()) return "const1";
@@ -26,6 +27,7 @@ std::string BddManager::to_string(const Bdd& f) const {
 }
 
 std::string BddManager::to_dot(const Bdd& f) const {
+  ensure_owned(f, "to_dot");
   std::ostringstream out;
   out << "digraph bdd {\n"
       << "  node [shape=circle];\n"
@@ -36,7 +38,9 @@ std::string BddManager::to_dot(const Bdd& f) const {
   auto name = [](NodeId id) {
     if (id == kFalseId) return std::string("t0");
     if (id == kTrueId) return std::string("t1");
-    return "n" + std::to_string(id);
+    std::string s = "n";  // two statements: GCC 12's -Wrestrict misfires on
+    s += std::to_string(id);  // `"n" + std::to_string(id)` inlined here
+    return s;
   };
   while (!stack.empty()) {
     const NodeId id = stack.back();

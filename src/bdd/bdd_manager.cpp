@@ -372,21 +372,30 @@ NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
 }
 
 Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  ensure_owned(f, "ite");
+  ensure_owned(g, "ite");
+  ensure_owned(h, "ite");
   maybe_gc();
   return wrap(ite_rec(f.id(), g.id(), h.id()));
 }
 
 Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "apply_and");
+  ensure_owned(g, "apply_and");
   maybe_gc();
   return wrap(ite_rec(f.id(), g.id(), kFalseId));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "apply_or");
+  ensure_owned(g, "apply_or");
   maybe_gc();
   return wrap(ite_rec(f.id(), kTrueId, g.id()));
 }
 
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "apply_xor");
+  ensure_owned(g, "apply_xor");
   maybe_gc();
   // xor(f, g) = ite(f, ~g, g); normalize operand order (xor is commutative).
   NodeId a = f.id(), b = g.id();
@@ -396,6 +405,8 @@ Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
 }
 
 Bdd BddManager::apply_xnor(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "apply_xnor");
+  ensure_owned(g, "apply_xnor");
   maybe_gc();
   NodeId a = f.id(), b = g.id();
   if (a > b) std::swap(a, b);
@@ -404,11 +415,14 @@ Bdd BddManager::apply_xnor(const Bdd& f, const Bdd& g) {
 }
 
 Bdd BddManager::apply_not(const Bdd& f) {
+  ensure_owned(f, "apply_not");
   maybe_gc();
   return wrap(not_rec(f.id()));
 }
 
 Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "apply_sharp");
+  ensure_owned(g, "apply_sharp");
   maybe_gc();
   const NodeId ng = not_rec(g.id());
   return wrap(ite_rec(f.id(), ng, kFalseId));
@@ -419,16 +433,19 @@ Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
 // ---------------------------------------------------------------------------
 
 unsigned BddManager::top_var(const Bdd& f) const {
+  ensure_owned(f, "top_var");
   assert(!f.is_const());
   return nodes_[f.id()].var;
 }
 
 Bdd BddManager::low(const Bdd& f) {
+  ensure_owned(f, "low");
   assert(!f.is_const());
   return wrap(nodes_[f.id()].lo);
 }
 
 Bdd BddManager::high(const Bdd& f) {
+  ensure_owned(f, "high");
   assert(!f.is_const());
   return wrap(nodes_[f.id()].hi);
 }
@@ -443,7 +460,9 @@ std::size_t BddManager::dag_size(std::span<const Bdd> fs) const {
   std::vector<NodeId> stack;
   std::size_t count = 0;
   for (const Bdd& f : fs) {
-    if (f.is_valid()) stack.push_back(f.id());
+    if (!f.is_valid()) continue;  // default handles count as the empty set
+    ensure_owned(f, "dag_size");
+    stack.push_back(f.id());
   }
   while (!stack.empty()) {
     const NodeId id = stack.back();
@@ -460,6 +479,7 @@ std::size_t BddManager::dag_size(std::span<const Bdd> fs) const {
 }
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& inputs) const {
+  ensure_owned(f, "eval");
   NodeId id = f.id();
   while (id > kTrueId) {
     const Node& n = nodes_[id];

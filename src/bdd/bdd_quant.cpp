@@ -65,6 +65,8 @@ unsigned max_set_bit(const std::vector<bool>& mask) {
 }  // namespace
 
 Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  ensure_owned(f, "exists");
+  ensure_owned(cube, "exists");
   maybe_gc();
   if (cube.is_true()) return f;
   const std::vector<bool> mask = cube_var_mask(cube.id());
@@ -76,6 +78,8 @@ Bdd BddManager::exists(const Bdd& f, std::span<const unsigned> vars) {
 }
 
 Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  ensure_owned(f, "forall");
+  ensure_owned(cube, "forall");
   maybe_gc();
   if (cube.is_true()) return f;
   const std::vector<bool> mask = cube_var_mask(cube.id());
@@ -130,6 +134,9 @@ NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& q
 }
 
 Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  ensure_owned(f, "and_exists");
+  ensure_owned(g, "and_exists");
+  ensure_owned(cube, "and_exists");
   maybe_gc();
   const std::vector<bool> mask = cube_var_mask(cube.id());
   return wrap(and_exists_rec(f.id(), g.id(), mask, max_set_bit(mask), cube.id()));
@@ -144,6 +151,7 @@ Bdd BddManager::derivative(const Bdd& f, unsigned v) {
 // ---------------------------------------------------------------------------
 
 Bdd BddManager::cofactor(const Bdd& f, unsigned v, bool val) {
+  ensure_owned(f, "cofactor");
   maybe_gc();
   // Implemented as compose(f, v, const): cheap and cacheable.
   return wrap(compose_rec(f.id(), v, val ? kTrueId : kFalseId));
@@ -176,6 +184,8 @@ NodeId BddManager::cofactor_cube_rec(NodeId f, NodeId cube) {
 }
 
 Bdd BddManager::cofactor_cube(const Bdd& f, const Bdd& cube) {
+  ensure_owned(f, "cofactor_cube");
+  ensure_owned(cube, "cofactor_cube");
   maybe_gc();
   if (cube.is_false()) throw std::invalid_argument("cofactor_cube: empty cube");
   return wrap(cofactor_cube_rec(f.id(), cube.id()));
@@ -221,12 +231,16 @@ NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
 }
 
 Bdd BddManager::constrain(const Bdd& f, const Bdd& c) {
+  ensure_owned(f, "constrain");
+  ensure_owned(c, "constrain");
   if (c.is_false()) throw std::invalid_argument("constrain: empty care set");
   maybe_gc();
   return wrap(constrain_rec(f.id(), c.id(), /*restrict_mode=*/false));
 }
 
 Bdd BddManager::restrict_to(const Bdd& f, const Bdd& c) {
+  ensure_owned(f, "restrict_to");
+  ensure_owned(c, "restrict_to");
   if (c.is_false()) throw std::invalid_argument("restrict_to: empty care set");
   maybe_gc();
   return wrap(constrain_rec(f.id(), c.id(), /*restrict_mode=*/true));
@@ -266,6 +280,8 @@ NodeId BddManager::compose_rec(NodeId f, unsigned v, NodeId g) {
 }
 
 Bdd BddManager::compose(const Bdd& f, unsigned v, const Bdd& g) {
+  ensure_owned(f, "compose");
+  ensure_owned(g, "compose");
   maybe_gc();
   if (v >= num_vars_) throw std::out_of_range("compose: variable out of range");
   return wrap(compose_rec(f.id(), v, g.id()));
@@ -275,6 +291,8 @@ Bdd BddManager::vector_compose(const Bdd& f, std::span<const Bdd> subst) {
   if (subst.size() != num_vars_) {
     throw std::invalid_argument("vector_compose: need one function per variable");
   }
+  ensure_owned(f, "vector_compose");
+  for (const Bdd& s : subst) ensure_owned(s, "vector_compose");
   maybe_gc();
   // Evaluate bottom-up over the DAG with an explicit memo. Handles are used
   // for intermediate results so GC cannot be an issue (it is disabled during
@@ -340,6 +358,7 @@ void BddManager::support_rec(NodeId f, std::vector<bool>& seen,
 }
 
 std::vector<unsigned> BddManager::support_vars(const Bdd& f) {
+  ensure_owned(f, "support_vars");
   std::vector<bool> seen(num_vars_, false);
   std::vector<NodeId> visited;
   mark_.assign(nodes_.size(), false);
@@ -352,6 +371,8 @@ std::vector<unsigned> BddManager::support_vars(const Bdd& f) {
 }
 
 std::vector<unsigned> BddManager::support_vars(const Bdd& f, const Bdd& g) {
+  ensure_owned(f, "support_vars");
+  ensure_owned(g, "support_vars");
   std::vector<bool> seen(num_vars_, false);
   std::vector<NodeId> visited;
   mark_.assign(nodes_.size(), false);
@@ -369,6 +390,7 @@ Bdd BddManager::support_cube(const Bdd& f) {
 }
 
 bool BddManager::depends_on(const Bdd& f, unsigned v) {
+  ensure_owned(f, "depends_on");
   // Cheap check without building cofactors: scan for a node labelled v.
   mark_.assign(nodes_.size(), false);
   std::vector<NodeId> stack{f.id()};

@@ -25,11 +25,21 @@
 
 namespace bidec {
 
+namespace {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
 std::vector<std::string> Benchmark::input_names() const {
   if (pla && !pla->input_names.empty()) return pla->input_names;
   std::vector<std::string> names;
   names.reserve(num_inputs);
-  for (unsigned i = 0; i < num_inputs; ++i) names.push_back("x" + std::to_string(i));
+  for (unsigned i = 0; i < num_inputs; ++i) names.push_back(numbered_name("x", i));
   return names;
 }
 
@@ -37,7 +47,7 @@ std::vector<std::string> Benchmark::output_names() const {
   if (pla && !pla->output_names.empty()) return pla->output_names;
   std::vector<std::string> names;
   names.reserve(num_outputs);
-  for (unsigned o = 0; o < num_outputs; ++o) names.push_back("f" + std::to_string(o));
+  for (unsigned o = 0; o < num_outputs; ++o) names.push_back(numbered_name("f", o));
   return names;
 }
 
@@ -88,7 +98,8 @@ Benchmark make_sym16() {
 
 Benchmark make_rd(unsigned inputs, unsigned outputs) {
   Benchmark b;
-  b.name = "rd" + std::to_string(inputs) + std::to_string(outputs);
+  b.name = numbered_name("rd", inputs);
+  b.name += std::to_string(outputs);
   b.num_inputs = inputs;
   b.num_outputs = outputs;
   b.note = "exact: " + std::to_string(inputs) + "-input weight encoder (" +

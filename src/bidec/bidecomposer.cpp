@@ -9,13 +9,23 @@
 
 namespace bidec {
 
+namespace {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
 BiDecomposer::BiDecomposer(BddManager& mgr, BidecOptions options,
                            std::vector<std::string> input_names)
     : mgr_(mgr), options_(options), cache_(mgr) {
   var_signal_.reserve(mgr.num_vars());
   for (unsigned v = 0; v < mgr.num_vars(); ++v) {
     std::string name =
-        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+        v < input_names.size() ? input_names[v] : numbered_name("x", v);
     var_signal_.push_back(net_.add_input(std::move(name)));
   }
 }
@@ -153,10 +163,28 @@ BiDecomposer::Result BiDecomposer::combine(GateKind gate, const Result& a,
   throw std::logic_error("combine: unreachable");
 }
 
+// Exact Theorem-5 precondition: a strong split's components must both have
+// strictly smaller support than the parent, or the recursion makes no
+// progress. Violations are recorded as NL109 findings rather than thrown —
+// the decomposition result is still functionally correct, only the size
+// argument of the theorem is broken.
+void BiDecomposer::check_strong_support(const char* gate, std::size_t parent_support,
+                                        const Result& component) {
+  const std::size_t comp = mgr_.support_vars(component.func).size();
+  if (comp < parent_support) return;
+  lint_.add(std::string(kRuleSupportInflation), LintSeverity::kError,
+            std::string("strong ") + gate + " split",
+            std::string("strong ") + gate + " component supports " +
+                std::to_string(comp) + " of the parent's " +
+                std::to_string(parent_support) +
+                " variables; Theorem 5 requires strictly fewer");
+}
+
 BiDecomposer::Result BiDecomposer::decompose_strong(const Isf& isf,
                                                     const BestGrouping& best) {
   const std::span<const unsigned> xa(best.grouping.xa);
   const std::span<const unsigned> xb(best.grouping.xb);
+  const std::size_t parent = isf.support().size();
   switch (best.gate) {
     case GateKind::kOr: {
       ++stats_.strong_or;
@@ -164,6 +192,8 @@ BiDecomposer::Result BiDecomposer::decompose_strong(const Isf& isf,
       const Result a = bidecompose(isf_a);
       const Isf isf_b = derive_or_component_b(isf, a.func, xa);
       const Result b = bidecompose(isf_b);
+      check_strong_support("OR", parent, a);
+      check_strong_support("OR", parent, b);
       return combine(GateKind::kOr, a, b);
     }
     case GateKind::kAnd: {
@@ -172,6 +202,8 @@ BiDecomposer::Result BiDecomposer::decompose_strong(const Isf& isf,
       const Result a = bidecompose(isf_a);
       const Isf isf_b = derive_and_component_b(isf, a.func, xa);
       const Result b = bidecompose(isf_b);
+      check_strong_support("AND", parent, a);
+      check_strong_support("AND", parent, b);
       return combine(GateKind::kAnd, a, b);
     }
     case GateKind::kExor: {
@@ -183,6 +215,8 @@ BiDecomposer::Result BiDecomposer::decompose_strong(const Isf& isf,
       }
       const Result a = bidecompose(comps->a);
       const Result b = bidecompose(comps->b);
+      check_strong_support("EXOR", parent, a);
+      check_strong_support("EXOR", parent, b);
       return combine(GateKind::kExor, a, b);
     }
   }

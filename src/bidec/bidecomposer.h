@@ -14,6 +14,7 @@
 #include "bidec/reuse_cache.h"
 #include "bidec/stats.h"
 #include "isf/isf.h"
+#include "lint/diagnostics.h"
 #include "netlist/netlist.h"
 
 namespace bidec {
@@ -40,6 +41,14 @@ class BiDecomposer {
   [[nodiscard]] const BidecStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const BidecOptions& options() const noexcept { return options_; }
 
+  /// Self-audit findings collected during decomposition. Today this is the
+  /// exact Theorem-5 precondition: every strong-split component must have
+  /// strictly smaller support than its parent (rule NL109). Weak splits are
+  /// exempt — their second component legitimately keeps full support — which
+  /// is why this check lives here, where the split kind is known, and not in
+  /// the structural netlist linter.
+  [[nodiscard]] const LintReport& lint() const noexcept { return lint_; }
+
   /// Run the inverter-absorption mapping once all outputs are added (called
   /// by finish(); exposed for tests). Invalidates cached SignalIds.
   void map_inverters();
@@ -57,6 +66,8 @@ class BiDecomposer {
   Result terminal_case(const Isf& isf, std::span<const unsigned> support);
   Result combine(GateKind gate, const Result& a, const Result& b);
   Result decompose_strong(const Isf& isf, const BestGrouping& best);
+  void check_strong_support(const char* gate, std::size_t parent_support,
+                            const Result& component);
   Result decompose_weak(const Isf& isf, const WeakGrouping& weak);
   Result decompose_shannon(const Isf& isf, unsigned v);
 
@@ -64,6 +75,7 @@ class BiDecomposer {
   BidecOptions options_;
   Netlist net_;
   BidecStats stats_;
+  LintReport lint_;
   ReuseCache cache_;
   std::vector<SignalId> var_signal_;  // BDD variable -> netlist input
 };

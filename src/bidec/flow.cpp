@@ -8,6 +8,16 @@
 namespace bidec {
 
 namespace {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
+namespace {
 
 /// Rebuild `net` with its primary inputs permuted back into the original
 /// variable order: input slot `order[level]` of the result is driven by
@@ -20,7 +30,7 @@ Netlist restore_input_order(const Netlist& net, std::span<const unsigned> order,
   orig_inputs.reserve(order.size());
   for (unsigned v = 0; v < order.size(); ++v) {
     const std::string name =
-        v < input_names.size() ? input_names[v] : "x" + std::to_string(v);
+        v < input_names.size() ? input_names[v] : numbered_name("x", v);
     orig_inputs.push_back(fresh.add_input(name));
   }
   std::vector<SignalId> map(net.num_nodes(), kNoSignal);
@@ -78,11 +88,12 @@ FlowResult synthesize_bidecomp(BddManager& mgr, std::span<const Isf> spec,
     BiDecomposer dec(mgr, options.bidec, input_names);
     for (std::size_t o = 0; o < spec.size(); ++o) {
       const std::string name =
-          o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+          o < output_names.size() ? output_names[o] : numbered_name("f", o);
       dec.add_output(name, spec[o]);
     }
     dec.finish();
     result.stats = dec.stats();
+    result.lint.merge(dec.lint());
     result.netlist = std::move(dec.netlist());
   } else {
     // Transfer the specification into a manager under the chosen order:
@@ -112,21 +123,25 @@ FlowResult synthesize_bidecomp(BddManager& mgr, std::span<const Isf> spec,
     for (unsigned level = 0; level < n; ++level) {
       const unsigned v = result.order[level];
       level_names.push_back(v < input_names.size() ? input_names[v]
-                                                   : "x" + std::to_string(v));
+                                                   : numbered_name("x", v));
     }
     BiDecomposer dec(ordered, options.bidec, level_names);
     for (std::size_t o = 0; o < moved.size(); ++o) {
       const std::string name =
-          o < output_names.size() ? output_names[o] : "f" + std::to_string(o);
+          o < output_names.size() ? output_names[o] : numbered_name("f", o);
       dec.add_output(name, moved[o]);
     }
     dec.finish();
     result.stats = dec.stats();
+    result.lint.merge(dec.lint());
     result.netlist = restore_input_order(dec.netlist(), result.order, input_names);
   }
 
   if (options.library) {
     result.netlist = map_to_library(result.netlist, *options.library);
+  }
+  if (options.lint != LintMode::kOff) {
+    result.lint.merge(lint_netlist(result.netlist));
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bidec/bidecomposer.h"
+#include "lint/netlist_lint.h"
 #include "netlist/library.h"
 
 namespace bidec {
@@ -27,6 +28,11 @@ struct FlowOptions {
   OrderHeuristic reorder = OrderHeuristic::kNone;
   /// Map onto this library after decomposition (absorbing inverters first).
   std::optional<CellLibrary> library;
+  /// kOff skips linting entirely; kWarn/kError run the structural netlist
+  /// linter over the result and collect the decomposer's Theorem-5 findings
+  /// into FlowResult::lint. The flow itself never fails on findings — the
+  /// caller (CLI, batch engine) applies the policy.
+  LintMode lint = LintMode::kOff;
 };
 
 struct FlowResult {
@@ -35,6 +41,7 @@ struct FlowResult {
   std::vector<unsigned> order;  ///< order[level] = original variable
   std::size_t bdd_nodes_before = 0;  ///< shared spec size, original order
   std::size_t bdd_nodes_after = 0;   ///< shared spec size, chosen order
+  LintReport lint;  ///< empty unless FlowOptions::lint requested a run
 };
 
 /// Decompose `spec` (over `mgr`) into a netlist whose primary inputs are in

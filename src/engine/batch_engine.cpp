@@ -16,6 +16,14 @@ namespace bidec {
 
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
@@ -183,6 +191,15 @@ JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id
         }
       }
       rep.bidec = flow.stats;
+      rep.lint = flow.lint;
+      if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
+          rep.lint.has_findings(LintSeverity::kWarning)) {
+        rep.status = JobStatus::kLintFailed;
+        rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
+                    " error(s), " + std::to_string(rep.lint.warnings()) +
+                    " warning(s); first: " + rep.lint.findings().front().rule +
+                    " " + rep.lint.findings().front().message;
+      }
       const NetlistStats ns = flow.netlist.stats();
       rep.gates = ns.gates;
       rep.two_input = ns.two_input;
@@ -230,6 +247,7 @@ EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
       case JobStatus::kOk: ++sum.ok; break;
       case JobStatus::kTimeout: ++sum.timeouts; break;
       case JobStatus::kVerifyFailed: ++sum.verify_failures; break;
+      case JobStatus::kLintFailed: ++sum.lint_failures; break;
       case JobStatus::kError: ++sum.errors; break;
     }
     sum.total_job_ms += rep.wall_ms;
@@ -249,7 +267,7 @@ std::size_t BatchEngine::submit(JobSpec spec) {
     if (const auto* path = std::get_if<std::string>(&spec.source)) {
       spec.name = *path;
     } else {
-      spec.name = "job" + std::to_string(queue_.size());
+      spec.name = numbered_name("job", queue_.size());
     }
   }
   if (spec.step_budget == 0) spec.step_budget = options_.default_step_budget;

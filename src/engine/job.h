@@ -22,6 +22,7 @@ enum class JobStatus {
   kOk,            ///< synthesized and (if requested) verified
   kTimeout,       ///< cancelled by step budget or deadline (BddAbortError)
   kVerifyFailed,  ///< synthesized but the verifier rejected an output
+  kLintFailed,    ///< synthesized but the post-synthesis lint gate rejected it
   kError,         ///< load/parse/synthesis raised an error
 };
 
@@ -47,6 +48,10 @@ struct JobSpec {
   /// original BLIF netlist), so kBoth cross-checks two independent
   /// reasoning paths; a disagreement is reported as kVerifyFailed.
   VerifyEngine verify = VerifyEngine::kBdd;
+
+  // The post-synthesis lint gate is configured through `flow.lint`:
+  // kWarn records findings in the JobReport, kError additionally fails the
+  // job (kLintFailed) when any warning-or-worse finding exists.
 };
 
 /// Everything measured about one finished job.
@@ -83,6 +88,9 @@ struct JobReport {
   BidecStats bidec;
 
   // Gate counts by type of the produced netlist.
+  /// Structural lint findings (empty unless JobSpec::flow.lint ran).
+  LintReport lint;
+
   std::size_t gates = 0;
   std::size_t two_input = 0;
   std::size_t exors = 0;
@@ -107,6 +115,7 @@ struct EngineReport {
   std::size_t ok = 0;
   std::size_t timeouts = 0;
   std::size_t verify_failures = 0;
+  std::size_t lint_failures = 0;
   std::size_t errors = 0;
   unsigned workers = 0;
   double wall_ms = 0.0;        ///< end-to-end batch wall time

@@ -12,6 +12,7 @@ const char* to_string(JobStatus status) noexcept {
     case JobStatus::kOk: return "ok";
     case JobStatus::kTimeout: return "timeout";
     case JobStatus::kVerifyFailed: return "verify_failed";
+    case JobStatus::kLintFailed: return "lint_failed";
     case JobStatus::kError: return "error";
   }
   return "unknown";
@@ -89,6 +90,9 @@ std::string JobReport::to_json() const {
     os << failed_outputs[i];
   }
   os << "]}";
+  if (!lint.clean()) {
+    os << ", \"lint\": " << lint.to_json();
+  }
   if (!error.empty()) {
     os << ", \"error\": ";
     append_json_string(os, error);
@@ -100,7 +104,8 @@ std::string JobReport::to_json() const {
 std::string EngineReport::to_json() const {
   std::ostringstream os;
   os << "{\"jobs\": " << jobs << ", \"ok\": " << ok << ", \"timeouts\": " << timeouts
-     << ", \"verify_failures\": " << verify_failures << ", \"errors\": " << errors
+     << ", \"verify_failures\": " << verify_failures
+     << ", \"lint_failures\": " << lint_failures << ", \"errors\": " << errors
      << ", \"workers\": " << workers << ", \"wall_ms\": ";
   append_double(os, wall_ms);
   os << ", \"total_job_ms\": ";

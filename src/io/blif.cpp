@@ -18,7 +18,9 @@ namespace {
 std::string signal_name(const Netlist& net, SignalId id) {
   const std::size_t pi = net.input_index(id);
   if (pi != kNoSignal) return net.input_name(pi);
-  return "n" + std::to_string(id);
+  std::string s = "n";  // two statements: GCC 12's -Wrestrict misfires on
+  s += std::to_string(id);  // `"n" + std::to_string(id)` inlined here
+  return s;
 }
 
 }  // namespace

@@ -7,6 +7,16 @@
 namespace bidec {
 
 namespace {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
+namespace {
 
 std::vector<std::string> split_tokens(const std::string& line) {
   std::istringstream ss(line);
@@ -132,11 +142,11 @@ void PlaFile::save(const std::string& path) const {
 }
 
 std::string PlaFile::input_name(unsigned i) const {
-  return i < input_names.size() ? input_names[i] : "in" + std::to_string(i);
+  return i < input_names.size() ? input_names[i] : numbered_name("in", i);
 }
 
 std::string PlaFile::output_name(unsigned i) const {
-  return i < output_names.size() ? output_names[i] : "out" + std::to_string(i);
+  return i < output_names.size() ? output_names[i] : numbered_name("out", i);
 }
 
 namespace {

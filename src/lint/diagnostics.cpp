@@ -1,0 +1,126 @@
+#include "lint/diagnostics.h"
+
+#include <sstream>
+#include <utility>
+
+namespace bidec {
+
+namespace {
+
+// Shared with engine/report.cpp in spirit; duplicated here because the lint
+// library must not depend on the engine.
+void append_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const char* to_string(LintSeverity severity) noexcept {
+  switch (severity) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void LintReport::add(std::string rule, LintSeverity severity, std::string object,
+                     std::string message) {
+  if (severity == LintSeverity::kError) ++errors_;
+  if (severity == LintSeverity::kWarning) ++warnings_;
+  findings_.push_back(LintFinding{std::move(rule), severity, std::move(object),
+                                  std::move(message)});
+}
+
+void LintReport::merge(const LintReport& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(), other.findings_.end());
+  errors_ += other.errors_;
+  warnings_ += other.warnings_;
+}
+
+bool LintReport::has_findings(LintSeverity at_least) const noexcept {
+  for (const LintFinding& f : findings_) {
+    if (f.severity >= at_least) return true;
+  }
+  return false;
+}
+
+std::size_t LintReport::count_rule(std::string_view rule) const noexcept {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings_) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  for (const LintFinding& f : findings_) {
+    os << f.rule << ':' << to_string(f.severity) << ": " << f.message;
+    if (!f.object.empty()) os << " [" << f.object << ']';
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"errors\": " << errors_ << ", \"warnings\": " << warnings_
+     << ", \"findings\": [";
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    const LintFinding& f = findings_[i];
+    if (i != 0) os << ", ";
+    os << "{\"rule\": \"" << f.rule << "\", \"severity\": \"" << to_string(f.severity)
+       << "\", \"object\": ";
+    append_json_string(os, f.object);
+    os << ", \"message\": ";
+    append_json_string(os, f.message);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string_view lint_rule_title(std::string_view rule) noexcept {
+  if (rule == kRuleLoop) return "combinational loop";
+  if (rule == kRuleUndriven) return "undriven net";
+  if (rule == kRuleMultiDriven) return "multiply-driven net";
+  if (rule == kRuleDangling) return "dangling net";
+  if (rule == kRuleDeadCone) return "dead cone";
+  if (rule == kRuleArity) return "gate arity violation";
+  if (rule == kRuleLibrary) return "library membership violation";
+  if (rule == kRuleDuplicateGate) return "duplicate gate";
+  if (rule == kRuleSupportInflation) return "component support not reduced";
+  if (rule == kRuleBddDuplicateTriple) return "duplicate unique-table triple";
+  if (rule == kRuleBddRedundantNode) return "redundant BDD node";
+  if (rule == kRuleBddLevelOrder) return "variable-order violation";
+  if (rule == kRuleBddVarRange) return "variable index out of range";
+  if (rule == kRuleBddChainMiss) return "unique-table chain miss";
+  if (rule == kRuleBddFreeList) return "free-list corruption";
+  if (rule == kRuleBddStatsDrift) return "live-node counter drift";
+  if (rule == kRuleBddCacheDead) return "computed-cache entry references freed node";
+  if (rule == kRuleBddCacheTag) return "computed-cache entry with unknown tag";
+  if (rule == kRuleBddTerminal) return "terminal invariant violation";
+  return {};
+}
+
+}  // namespace bidec

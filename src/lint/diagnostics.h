@@ -1,0 +1,89 @@
+// Structured diagnostics shared by every bidec_lint analyzer. A finding is
+// one rule violation anchored to a named object (a net, a gate, a BDD node
+// or a cache slot); a report is an ordered list of findings plus severity
+// counters. Analyzers never assert or abort: they return findings and leave
+// the policy (warn, fail the job, exit non-zero) to the caller.
+#ifndef BIDEC_LINT_DIAGNOSTICS_H
+#define BIDEC_LINT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bidec {
+
+enum class LintSeverity { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(LintSeverity severity) noexcept;
+
+/// One rule violation. `rule` is a stable identifier from the catalog below
+/// (tests and downstream tooling match on it); `object` names the offending
+/// net/gate/node; `message` is the human-readable explanation.
+struct LintFinding {
+  std::string rule;
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string object;
+  std::string message;
+};
+
+/// Ordered list of findings with severity counters and serializers.
+class LintReport {
+ public:
+  void add(std::string rule, LintSeverity severity, std::string object,
+           std::string message);
+  void merge(const LintReport& other);
+
+  [[nodiscard]] const std::vector<LintFinding>& findings() const noexcept {
+    return findings_;
+  }
+  [[nodiscard]] bool clean() const noexcept { return findings_.empty(); }
+  [[nodiscard]] std::size_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t warnings() const noexcept { return warnings_; }
+  /// True iff at least one finding with severity `at_least` or higher.
+  [[nodiscard]] bool has_findings(LintSeverity at_least) const noexcept;
+  /// Number of findings carrying this exact rule id.
+  [[nodiscard]] std::size_t count_rule(std::string_view rule) const noexcept;
+
+  /// One line per finding: "<rule>:<severity>: <message> [<object>]".
+  [[nodiscard]] std::string to_text() const;
+  /// JSON object {"findings": [...], "errors": N, "warnings": N}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<LintFinding> findings_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+// --- rule catalog ----------------------------------------------------------
+// Netlist linter (structural, no simulation). Stable ids: tests, JobReport
+// JSON consumers and CI greps depend on these strings.
+inline constexpr std::string_view kRuleLoop = "NL101";            ///< combinational loop
+inline constexpr std::string_view kRuleUndriven = "NL102";        ///< net used but never driven
+inline constexpr std::string_view kRuleMultiDriven = "NL103";     ///< net with more than one driver
+inline constexpr std::string_view kRuleDangling = "NL104";        ///< gate output with no reader
+inline constexpr std::string_view kRuleDeadCone = "NL105";        ///< gate outside every output cone
+inline constexpr std::string_view kRuleArity = "NL106";           ///< gate with more than two fanins
+inline constexpr std::string_view kRuleLibrary = "NL107";         ///< cover not in the two-input library
+inline constexpr std::string_view kRuleDuplicateGate = "NL108";   ///< structurally identical gates
+inline constexpr std::string_view kRuleSupportInflation = "NL109"; ///< Theorem-5 precondition violated
+
+// BDD-manager auditor (see BddManager::audit).
+inline constexpr std::string_view kRuleBddDuplicateTriple = "BM201";  ///< unique table has duplicate (var,lo,hi)
+inline constexpr std::string_view kRuleBddRedundantNode = "BM202";    ///< node with lo == hi survived reduction
+inline constexpr std::string_view kRuleBddLevelOrder = "BM203";       ///< child level not below parent level
+inline constexpr std::string_view kRuleBddVarRange = "BM204";         ///< node labelled with an out-of-range variable
+inline constexpr std::string_view kRuleBddChainMiss = "BM205";        ///< live node absent from its hash bucket chain
+inline constexpr std::string_view kRuleBddFreeList = "BM206";         ///< free-list slot referenced or miscounted
+inline constexpr std::string_view kRuleBddStatsDrift = "BM207";       ///< live_nodes counter disagrees with storage
+inline constexpr std::string_view kRuleBddCacheDead = "BM208";        ///< computed-cache entry references a freed node
+inline constexpr std::string_view kRuleBddCacheTag = "BM209";         ///< computed-cache entry with unknown op tag
+inline constexpr std::string_view kRuleBddTerminal = "BM210";         ///< terminal node invariants broken
+
+/// Short human title for a rule id (empty for unknown ids).
+[[nodiscard]] std::string_view lint_rule_title(std::string_view rule) noexcept;
+
+}  // namespace bidec
+
+#endif  // BIDEC_LINT_DIAGNOSTICS_H

@@ -1,0 +1,395 @@
+#include "lint/netlist_lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace bidec {
+
+namespace {
+
+constexpr std::size_t kNoGate = static_cast<std::size_t>(-1);
+
+/// Name-interned view of a RawNetlist with driver/reader indices, built once
+/// and shared by all rules.
+struct NetIndex {
+  std::vector<std::string> names;                  // net index -> name
+  std::unordered_map<std::string, std::size_t> id; // name -> net index
+  std::vector<bool> is_input;
+  std::vector<bool> is_output;
+  std::vector<std::size_t> driver;       // first driving gate, kNoGate if none
+  std::vector<unsigned> driver_count;    // gate drivers (PIs counted separately)
+  std::vector<unsigned> reader_count;    // gate fanin references + PO references
+  std::vector<std::size_t> gate_net;     // gate index -> output net index
+  std::vector<std::vector<std::size_t>> gate_fanins;  // gate -> fanin net indices
+
+  std::size_t intern(const std::string& name) {
+    const auto [it, inserted] = id.emplace(name, names.size());
+    if (inserted) {
+      names.push_back(name);
+      is_input.push_back(false);
+      is_output.push_back(false);
+      driver.push_back(kNoGate);
+      driver_count.push_back(0);
+      reader_count.push_back(0);
+    }
+    return it->second;
+  }
+
+  explicit NetIndex(const RawNetlist& net) {
+    for (const std::string& in : net.inputs) is_input[intern(in)] = true;
+    for (const std::string& out : net.outputs) {
+      const std::size_t n = intern(out);
+      is_output[n] = true;
+      ++reader_count[n];
+    }
+    gate_net.reserve(net.gates.size());
+    gate_fanins.reserve(net.gates.size());
+    for (std::size_t g = 0; g < net.gates.size(); ++g) {
+      const RawGate& gate = net.gates[g];
+      const std::size_t out = intern(gate.output);
+      gate_net.push_back(out);
+      if (driver[out] == kNoGate) driver[out] = g;
+      ++driver_count[out];
+      std::vector<std::size_t> fanins;
+      fanins.reserve(gate.fanins.size());
+      for (const std::string& f : gate.fanins) {
+        const std::size_t fn = intern(f);
+        ++reader_count[fn];
+        fanins.push_back(fn);
+      }
+      gate_fanins.push_back(std::move(fanins));
+    }
+  }
+};
+
+/// Strongly connected components of the gate dependency graph (edge: gate ->
+/// driver of one of its fanins), iterative Tarjan. Returned in reverse
+/// topological order: a component's dependencies appear before it.
+struct SccResult {
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<std::size_t> component_of;  // gate -> component index
+  std::vector<bool> cyclic;               // component has >1 gate or a self-loop
+};
+
+SccResult find_sccs(const NetIndex& ix) {
+  const std::size_t n = ix.gate_net.size();
+  SccResult out;
+  out.component_of.assign(n, kNoGate);
+
+  std::vector<std::uint32_t> index(n, 0), lowlink(n, 0);
+  std::vector<bool> visited(n, false), on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::uint32_t counter = 1;
+
+  struct Frame {
+    std::size_t gate;
+    std::size_t next_fanin;
+  };
+  std::vector<Frame> call;
+
+  const auto fanin_gate = [&ix](std::size_t gate, std::size_t i) {
+    const std::size_t net = ix.gate_fanins[gate][i];
+    return ix.driver[net];
+  };
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      const std::size_t g = fr.gate;
+      if (fr.next_fanin == 0) {
+        visited[g] = true;
+        index[g] = lowlink[g] = counter++;
+        stack.push_back(g);
+        on_stack[g] = true;
+      }
+      bool descended = false;
+      while (fr.next_fanin < ix.gate_fanins[g].size()) {
+        const std::size_t w = fanin_gate(g, fr.next_fanin++);
+        if (w == kNoGate) continue;  // undriven or PI fanin: no edge
+        if (!visited[w]) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[g] = std::min(lowlink[g], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[g] == index[g]) {
+        std::vector<std::size_t> comp;
+        std::size_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = out.components.size();
+          comp.push_back(w);
+        } while (w != g);
+        bool self_loop = false;
+        if (comp.size() == 1) {
+          for (const std::size_t f : ix.gate_fanins[comp[0]]) {
+            if (ix.driver[f] == comp[0]) self_loop = true;
+          }
+        }
+        out.cyclic.push_back(comp.size() > 1 || self_loop);
+        out.components.push_back(std::move(comp));
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        Frame& parent = call.back();
+        lowlink[parent.gate] = std::min(lowlink[parent.gate], lowlink[g]);
+      }
+    }
+  }
+  return out;
+}
+
+/// Bit-set support of each net over the primary inputs.
+class SupportTable {
+ public:
+  SupportTable(std::size_t num_nets, std::size_t num_inputs)
+      : words_((num_inputs + 63) / 64),
+        bits_(num_nets * std::max<std::size_t>(words_, 1), 0) {}
+
+  void set_input(std::size_t net, std::size_t input_index) {
+    word(net)[input_index / 64] |= std::uint64_t{1} << (input_index % 64);
+  }
+  void add(std::size_t dst, std::size_t src) {
+    std::uint64_t* d = word(dst);
+    const std::uint64_t* s = word(src);
+    for (std::size_t i = 0; i < words_; ++i) d[i] |= s[i];
+  }
+  [[nodiscard]] bool equal(std::size_t a, std::size_t b) const {
+    const std::uint64_t* pa = word(a);
+    const std::uint64_t* pb = word(b);
+    for (std::size_t i = 0; i < words_; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool empty(std::size_t a) const {
+    const std::uint64_t* p = word(a);
+    for (std::size_t i = 0; i < words_; ++i) {
+      if (p[i] != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t* word(std::size_t net) {
+    return bits_.data() + net * words_;
+  }
+  [[nodiscard]] const std::uint64_t* word(std::size_t net) const {
+    return bits_.data() + net * words_;
+  }
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+void rule_connectivity(const RawNetlist& net, const NetIndex& ix, LintReport& rep) {
+  for (std::size_t n = 0; n < ix.names.size(); ++n) {
+    const unsigned drivers = ix.driver_count[n] + (ix.is_input[n] ? 1 : 0);
+    if (drivers > 1) {
+      rep.add(std::string(kRuleMultiDriven), LintSeverity::kError, ix.names[n],
+              "net has " + std::to_string(drivers) + " drivers" +
+                  (ix.is_input[n] ? " (one of them the primary input declaration)"
+                                  : ""));
+    }
+    if (drivers == 0 && ix.reader_count[n] > 0) {
+      rep.add(std::string(kRuleUndriven), LintSeverity::kError, ix.names[n],
+              ix.is_output[n] && ix.reader_count[n] == 1
+                  ? "primary output is never driven"
+                  : "net is read but never driven and is not a primary input");
+    }
+  }
+  (void)net;
+}
+
+void rule_loops(const NetIndex& ix, const SccResult& scc, LintReport& rep) {
+  for (std::size_t c = 0; c < scc.components.size(); ++c) {
+    if (!scc.cyclic[c]) continue;
+    const std::vector<std::size_t>& comp = scc.components[c];
+    std::string members;
+    for (std::size_t i = 0; i < comp.size() && i < 4; ++i) {
+      if (i != 0) members += ", ";
+      members += ix.names[ix.gate_net[comp[i]]];
+    }
+    if (comp.size() > 4) members += ", ...";
+    rep.add(std::string(kRuleLoop), LintSeverity::kError,
+            ix.names[ix.gate_net[comp.front()]],
+            "combinational loop through " + std::to_string(comp.size()) +
+                " gate(s): " + members);
+  }
+}
+
+void rule_reachability(const RawNetlist& net, const NetIndex& ix,
+                       const NetlistLintOptions& options, LintReport& rep) {
+  // BFS from the primary outputs through first drivers.
+  std::vector<bool> reached(ix.gate_net.size(), false);
+  std::vector<std::size_t> work;
+  for (std::size_t n = 0; n < ix.names.size(); ++n) {
+    if (ix.is_output[n] && ix.driver[n] != kNoGate) work.push_back(ix.driver[n]);
+  }
+  while (!work.empty()) {
+    const std::size_t g = work.back();
+    work.pop_back();
+    if (reached[g]) continue;
+    reached[g] = true;
+    for (const std::size_t f : ix.gate_fanins[g]) {
+      if (ix.driver[f] != kNoGate && !reached[ix.driver[f]]) {
+        work.push_back(ix.driver[f]);
+      }
+    }
+  }
+  const LintSeverity sev =
+      options.relaxed_redundancy ? LintSeverity::kInfo : LintSeverity::kWarning;
+  for (std::size_t g = 0; g < ix.gate_net.size(); ++g) {
+    if (reached[g]) continue;
+    const std::size_t out = ix.gate_net[g];
+    if (ix.reader_count[out] == 0) {
+      rep.add(std::string(kRuleDangling), sev, ix.names[out],
+              "gate output is never read and is not a primary output (line " +
+                  std::to_string(net.gates[g].line) + ")");
+    } else {
+      rep.add(std::string(kRuleDeadCone), sev, ix.names[out],
+              "gate is outside every primary-output cone (line " +
+                  std::to_string(net.gates[g].line) + ")");
+    }
+  }
+}
+
+void rule_gates(const RawNetlist& net, const NetIndex& ix,
+                const NetlistLintOptions& options, LintReport& rep) {
+  struct DupKey {
+    GateType type;
+    std::size_t a, b;
+    bool operator==(const DupKey&) const = default;
+  };
+  struct DupHash {
+    std::size_t operator()(const DupKey& k) const noexcept {
+      return (static_cast<std::size_t>(k.type) * 0x9e3779b9u) ^ (k.a * 31) ^ k.b;
+    }
+  };
+  std::unordered_map<DupKey, std::size_t, DupHash> seen;
+  const LintSeverity dup_sev =
+      options.relaxed_redundancy ? LintSeverity::kInfo : LintSeverity::kWarning;
+
+  for (std::size_t g = 0; g < net.gates.size(); ++g) {
+    const RawGate& gate = net.gates[g];
+    if (gate.fanins.size() > 2) {
+      rep.add(std::string(kRuleArity), LintSeverity::kError, gate.output,
+              "gate has " + std::to_string(gate.fanins.size()) +
+                  " fanins; the netlist contract is two-input gates (line " +
+                  std::to_string(gate.line) + ")");
+      continue;  // arity already reported; classification is meaningless
+    }
+    const std::optional<GateType> type = gate.classify();
+    if (!type || gate_arity(*type) != gate.fanins.size()) {
+      rep.add(std::string(kRuleLibrary), LintSeverity::kError, gate.output,
+              std::string("cover does not compute a library cell function") +
+                  (type ? " (degenerate: reduces to " +
+                              std::string(gate_name(*type)) + ")"
+                        : "") +
+                  " (line " + std::to_string(gate.line) + ")");
+      continue;
+    }
+    // Duplicate detection over canonical (type, fanins); buffers are exempt
+    // (they are BLIF output-name aliasing, not logic).
+    if (gate_arity(*type) >= 1 && *type != GateType::kBuf) {
+      std::size_t a = ix.gate_fanins[g][0];
+      std::size_t b = gate.fanins.size() == 2 ? ix.gate_fanins[g][1] : kNoGate;
+      if (b != kNoGate && is_commutative(*type) && a > b) std::swap(a, b);
+      const auto [it, inserted] = seen.emplace(DupKey{*type, a, b}, g);
+      if (!inserted) {
+        rep.add(std::string(kRuleDuplicateGate), dup_sev, gate.output,
+                "structurally identical to gate driving '" +
+                    net.gates[it->second].output + "' (" +
+                    std::string(gate_name(*type)) + " with the same fanins, line " +
+                    std::to_string(gate.line) + ")");
+      }
+    }
+  }
+}
+
+void rule_support(const RawNetlist& net, const NetIndex& ix, const SccResult& scc,
+                  LintReport& rep) {
+  SupportTable support(ix.names.size(), net.inputs.size());
+  std::size_t input_index = 0;
+  for (const std::string& in : net.inputs) {
+    support.set_input(ix.id.at(in), input_index++);
+  }
+  // SCCs arrive dependencies-first; propagate supports in that order and
+  // skip cyclic components (their support is not well defined).
+  for (std::size_t c = 0; c < scc.components.size(); ++c) {
+    if (scc.cyclic[c]) continue;
+    for (const std::size_t g : scc.components[c]) {
+      const std::size_t out = ix.gate_net[g];
+      if (ix.driver[out] != g) continue;  // only the first driver defines a net
+      for (const std::size_t f : ix.gate_fanins[g]) support.add(out, f);
+    }
+  }
+  for (std::size_t c = 0; c < scc.components.size(); ++c) {
+    if (scc.cyclic[c]) continue;
+    for (const std::size_t g : scc.components[c]) {
+      const RawGate& gate = net.gates[g];
+      if (gate.fanins.size() != 2) continue;
+      const std::optional<GateType> type = gate.classify();
+      if (!type || !is_two_input(*type)) continue;
+      const std::size_t out = ix.gate_net[g];
+      if (ix.driver[out] != g || support.empty(out)) continue;
+      for (int side = 0; side < 2; ++side) {
+        const std::size_t f = ix.gate_fanins[g][side];
+        if (support.equal(f, out)) {
+          rep.add(std::string(kRuleSupportInflation), LintSeverity::kWarning,
+                  gate.output,
+                  "fanin '" + gate.fanins[side] +
+                      "' already spans the gate's whole input support; a "
+                      "strong bi-decomposition component must have strictly "
+                      "smaller support (line " +
+                      std::to_string(gate.line) + ")");
+          break;  // one finding per gate
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_netlist(const RawNetlist& net, const NetlistLintOptions& options) {
+  LintReport rep;
+  const NetIndex ix(net);
+  const SccResult scc = find_sccs(ix);
+  rule_connectivity(net, ix, rep);
+  rule_loops(ix, scc, rep);
+  rule_reachability(net, ix, options, rep);
+  rule_gates(net, ix, options, rep);
+  if (options.check_support) rule_support(net, ix, scc, rep);
+  return rep;
+}
+
+LintReport lint_netlist(const Netlist& net, const NetlistLintOptions& options) {
+  return lint_netlist(RawNetlist::from_netlist(net), options);
+}
+
+const char* to_string(LintMode mode) noexcept {
+  switch (mode) {
+    case LintMode::kOff: return "off";
+    case LintMode::kWarn: return "warn";
+    case LintMode::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::optional<LintMode> parse_lint_mode(std::string_view name) {
+  if (name == "off") return LintMode::kOff;
+  if (name == "warn") return LintMode::kWarn;
+  if (name == "error") return LintMode::kError;
+  return std::nullopt;
+}
+
+}  // namespace bidec

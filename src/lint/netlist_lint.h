@@ -1,0 +1,58 @@
+// Structural netlist linter: audits a RawNetlist (or an in-memory Netlist)
+// against the paper's netlist contract without evaluating the function.
+//
+// Rules (see diagnostics.h for the id catalog):
+//   NL101  combinational loop (SCCs of the gate dependency graph)
+//   NL102  undriven net (read by a gate or an output, no driver, not a PI)
+//   NL103  multiply-driven net (two .names blocks, or a driver on a PI)
+//   NL104  dangling net (gate output with no reader that is not a PO)
+//   NL105  dead cone (gate with readers, but outside every PO cone)
+//   NL106  gate arity violation (more than two fanins)
+//   NL107  library membership violation (cover computes no library cell
+//          function, or a degenerate one for its fanin count)
+//   NL108  duplicate gate (structurally identical type+fanins; buffers are
+//          exempt, they are BLIF name-aliasing plumbing)
+//   NL109  support inflation (a two-input gate one of whose fanin cones
+//          already spans the gate's whole input support)
+//
+// NL109 is the structural shadow of the Theorem-5 precondition ("both
+// strong-split components have strictly smaller support"). It is exact for
+// strong-split gates — a strong split can never produce a full-support
+// component — but ordinary circuits (a full adder's carry) and weak splits
+// legitimately contain such gates, so the rule is opt-in here. The exact
+// per-split check runs inside BiDecomposer, where strong and weak splits
+// are distinguishable, and surfaces through FlowResult::lint.
+#ifndef BIDEC_LINT_NETLIST_LINT_H
+#define BIDEC_LINT_NETLIST_LINT_H
+
+#include "lint/diagnostics.h"
+#include "lint/raw_netlist.h"
+
+namespace bidec {
+
+struct NetlistLintOptions {
+  /// Enable the structural NL109 support-inflation rule (see header note).
+  bool check_support = false;
+  /// Demote NL104/NL105/NL108 (redundancy-class rules) to info severity.
+  bool relaxed_redundancy = false;
+};
+
+/// Run every netlist rule over a raw (possibly malformed) netlist.
+[[nodiscard]] LintReport lint_netlist(const RawNetlist& net,
+                                      const NetlistLintOptions& options = {});
+
+/// Lint the PO-reachable cone of an in-memory netlist (what write_blif
+/// ships); construction-orphaned scaffolding nodes are not audited.
+[[nodiscard]] LintReport lint_netlist(const Netlist& net,
+                                      const NetlistLintOptions& options = {});
+
+/// How lint findings gate a synthesis flow or batch job.
+enum class LintMode { kOff, kWarn, kError };
+
+[[nodiscard]] const char* to_string(LintMode mode) noexcept;
+/// Parse "off"/"warn"/"error"; std::nullopt on anything else.
+[[nodiscard]] std::optional<LintMode> parse_lint_mode(std::string_view name);
+
+}  // namespace bidec
+
+#endif  // BIDEC_LINT_NETLIST_LINT_H

@@ -1,0 +1,220 @@
+#include "lint/raw_netlist.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+/// Truth table of a cover over `n <= 2` fanins, as a bitmask over the 2^n
+/// input patterns (bit i = value under pattern i, fanin0 = bit 0 of i).
+std::optional<unsigned> cover_truth(const RawGate& g) {
+  const std::size_t n = g.fanins.size();
+  if (n > 2) return std::nullopt;
+  const unsigned patterns = 1u << n;
+
+  // Split rows into planes + the (single, per BLIF) output phase.
+  bool on_set = true;
+  std::vector<std::string> planes;
+  for (const std::string& row : g.rows) {
+    const auto space = row.find(' ');
+    if (n == 0) {
+      // Constant block: a bare "1" row means const1; no rows means const0.
+      on_set = true;
+      planes.push_back("");
+      continue;
+    }
+    if (space == std::string::npos) return std::nullopt;
+    const std::string plane = row.substr(0, space);
+    if (plane.size() != n) return std::nullopt;
+    planes.push_back(plane);
+    on_set = row.substr(space + 1) == "1";
+  }
+
+  unsigned covered = 0;
+  for (const std::string& plane : planes) {
+    for (unsigned p = 0; p < patterns; ++p) {
+      bool match = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        const char c = plane[i];
+        const bool bit = (p >> i) & 1u;
+        if ((c == '1' && !bit) || (c == '0' && bit)) {
+          match = false;
+          break;
+        }
+        if (c != '0' && c != '1' && c != '-') return std::nullopt;
+      }
+      if (match) covered |= 1u << p;
+    }
+  }
+  if (n == 0) return g.rows.empty() ? 0u : 1u;
+  const unsigned all = (1u << patterns) - 1;
+  return on_set ? covered : (~covered & all);
+}
+
+}  // namespace
+
+std::optional<GateType> RawGate::classify() const {
+  const std::optional<unsigned> tt = cover_truth(*this);
+  if (!tt) return std::nullopt;
+  switch (fanins.size()) {
+    case 0:
+      return *tt != 0 ? GateType::kConst1 : GateType::kConst0;
+    case 1:
+      switch (*tt) {
+        case 0x0: return GateType::kConst0;
+        case 0x1: return GateType::kNot;
+        case 0x2: return GateType::kBuf;
+        case 0x3: return GateType::kConst1;
+      }
+      return std::nullopt;
+    case 2:
+      switch (*tt) {
+        case 0x0: return GateType::kConst0;
+        case 0x1: return GateType::kNor;
+        case 0x6: return GateType::kXor;
+        case 0x7: return GateType::kNand;
+        case 0x8: return GateType::kAnd;
+        case 0x9: return GateType::kXnor;
+        case 0xe: return GateType::kOr;
+        case 0xf: return GateType::kConst1;
+        default: return std::nullopt;  // degenerate or non-library function
+      }
+    default:
+      return std::nullopt;
+  }
+}
+
+RawNetlist RawNetlist::parse_blif(std::istream& in) {
+  RawNetlist net;
+  RawGate* current = nullptr;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto pos = raw.find('#'); pos != std::string::npos) raw.erase(pos);
+    while (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      std::string next;
+      if (!std::getline(in, next)) break;
+      ++line_no;
+      raw += next;
+    }
+    std::istringstream ss(raw);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+    if (head == ".names") {
+      if (tokens.size() < 2) {
+        throw std::runtime_error("BLIF: .names without signals (line " +
+                                 std::to_string(line_no) + ")");
+      }
+      RawGate gate;
+      gate.output = tokens.back();
+      gate.fanins.assign(tokens.begin() + 1, tokens.end() - 1);
+      gate.line = line_no;
+      net.gates.push_back(std::move(gate));
+      current = &net.gates.back();
+    } else if (head == ".inputs") {
+      net.inputs.insert(net.inputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      net.outputs.insert(net.outputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".latch") {
+      throw std::runtime_error("BLIF: sequential models are not supported");
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      current = nullptr;  // unknown directive: skip, like the strict reader
+    } else {
+      if (current == nullptr) {
+        throw std::runtime_error("BLIF: cover row outside .names (line " +
+                                 std::to_string(line_no) + ")");
+      }
+      if (tokens.size() == 1 && current->fanins.empty()) {
+        current->rows.push_back(tokens[0]);
+      } else if (tokens.size() == 2) {
+        if (tokens[0].size() != current->fanins.size()) {
+          throw std::runtime_error("BLIF: cover row width mismatch (line " +
+                                   std::to_string(line_no) + ")");
+        }
+        current->rows.push_back(tokens[0] + " " + tokens[1]);
+      } else {
+        throw std::runtime_error("BLIF: malformed cover row (line " +
+                                 std::to_string(line_no) + ")");
+      }
+    }
+  }
+  return net;
+}
+
+RawNetlist RawNetlist::parse_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_blif(ss);
+}
+
+RawNetlist RawNetlist::load_blif(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("BLIF: cannot open " + path);
+  return parse_blif(in);
+}
+
+RawNetlist RawNetlist::from_netlist(const Netlist& net) {
+  RawNetlist raw;
+  const auto name_of = [&net](SignalId id) {
+    const std::size_t pi = net.input_index(id);
+    if (pi != kNoSignal) return net.input_name(pi);
+    std::string s = "n";  // two statements: GCC 12's -Wrestrict misfires on
+    s += std::to_string(id);  // `"n" + std::to_string(id)` inlined here
+    return s;
+  };
+
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    raw.inputs.push_back(net.input_name(i));
+  }
+  for (const SignalId id : net.reachable_topo_order()) {
+    const Netlist::Node& n = net.node(id);
+    if (n.type == GateType::kInput) continue;
+    RawGate gate;
+    gate.output = name_of(id);
+    if (n.fanin0 != kNoSignal) gate.fanins.push_back(name_of(n.fanin0));
+    if (n.fanin1 != kNoSignal) gate.fanins.push_back(name_of(n.fanin1));
+    switch (n.type) {
+      case GateType::kConst0: break;
+      case GateType::kConst1: gate.rows = {"1"}; break;
+      case GateType::kBuf: gate.rows = {"1 1"}; break;
+      case GateType::kNot: gate.rows = {"0 1"}; break;
+      case GateType::kAnd: gate.rows = {"11 1"}; break;
+      case GateType::kOr: gate.rows = {"1- 1", "-1 1"}; break;
+      case GateType::kXor: gate.rows = {"10 1", "01 1"}; break;
+      case GateType::kNand: gate.rows = {"0- 1", "-0 1"}; break;
+      case GateType::kNor: gate.rows = {"00 1"}; break;
+      case GateType::kXnor: gate.rows = {"00 1", "11 1"}; break;
+      case GateType::kInput: break;  // unreachable
+    }
+    raw.gates.push_back(std::move(gate));
+  }
+  // Like write_blif: a buffer row connects each declared output name to the
+  // internal net driving it, unless the output *is* the internal net (a
+  // primary input fed straight through keeps its own name).
+  for (std::size_t o = 0; o < net.num_outputs(); ++o) {
+    const std::string internal = name_of(net.output_signal(o));
+    const std::string& out_name = net.output_name(o);
+    raw.outputs.push_back(out_name);
+    if (internal != out_name) {
+      RawGate buf;
+      buf.output = out_name;
+      buf.fanins = {internal};
+      buf.rows = {"1 1"};
+      raw.gates.push_back(std::move(buf));
+    }
+  }
+  return raw;
+}
+
+}  // namespace bidec

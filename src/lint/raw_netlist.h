@@ -1,0 +1,59 @@
+// Lenient net-level IR for the structural linter. The strict BLIF reader in
+// io/blif.h rebuilds designs through Netlist::add_gate, which makes loops,
+// multiply-driven nets and over-arity gates *unrepresentable* (it throws on
+// the first one it meets). A linter has the opposite requirement: it must
+// load a malformed design completely and report every defect with a rule id.
+// RawNetlist therefore keeps exactly what the file said: a flat list of
+// named gates with name-based fanins, no structural hashing, no rewriting,
+// and no topological-order requirement.
+#ifndef BIDEC_LINT_RAW_NETLIST_H
+#define BIDEC_LINT_RAW_NETLIST_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+/// One `.names` block (or one Netlist node): output net, fanin nets in file
+/// order, and the cover rows as written ("<plane> <value>", or just
+/// "<value>" for constants).
+struct RawGate {
+  std::string output;
+  std::vector<std::string> fanins;
+  std::vector<std::string> rows;
+  int line = 0;  ///< 1-based source line of the .names head (0 = synthetic)
+
+  /// Library classification of the cover: the GateType whose function the
+  /// cover computes, or nullopt when the cover matches no library cell
+  /// (over-arity gates and non-standard two-input functions).
+  [[nodiscard]] std::optional<GateType> classify() const;
+};
+
+struct RawNetlist {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<RawGate> gates;
+
+  /// Lenient BLIF parse: keeps duplicate drivers, forward references and
+  /// arbitrary-arity covers. Throws std::runtime_error only on input that
+  /// has no structural reading at all (cover row outside .names, row width
+  /// mismatch, sequential models).
+  [[nodiscard]] static RawNetlist parse_blif(std::istream& in);
+  [[nodiscard]] static RawNetlist parse_blif_string(const std::string& text);
+  [[nodiscard]] static RawNetlist load_blif(const std::string& path);
+
+  /// Adapter for in-memory results of the synthesis flow: exports the cone
+  /// reachable from the primary outputs (matching what write_blif ships;
+  /// scaffolding nodes orphaned by folding or inverter absorption are not
+  /// part of the circuit).
+  [[nodiscard]] static RawNetlist from_netlist(const Netlist& net);
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_LINT_RAW_NETLIST_H

@@ -10,6 +10,14 @@ namespace bidec {
 
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 /// Repair a per-level derived chain into a monotone one by accumulating the
 /// requirement sets downward (Q'_j = union of Q_i for i >= j). Safe because
 /// R is monotone non-decreasing, so higher-level requirements never clash
@@ -193,7 +201,7 @@ class MvDecomposer {
 
   MvRealization finish(const Bundle& top) {
     for (std::size_t j = 0; j < top.sigs.size(); ++j) {
-      dec_.netlist().add_output("t" + std::to_string(j + 1), top.sigs[j]);
+      dec_.netlist().add_output(numbered_name("t", j + 1), top.sigs[j]);
     }
     dec_.finish();
     MvRealization r;

@@ -1,0 +1,310 @@
+// Tests for BddManager::audit() and the cross-manager ownership guard.
+//
+// Healthy managers — fresh, mid-computation, after dropping handles, after
+// GC — must audit clean. Every BM2xx rule is then exercised by corrupting
+// the manager's private state through BddTestCorruptor (a friend of
+// BddManager declared for exactly this purpose) and asserting the audit
+// reports the corresponding rule id.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+// Test-only corruption hook (friend of BddManager): pokes private node
+// storage so each audit invariant can be violated in isolation.
+struct BddTestCorruptor {
+  using Node = BddManager::Node;
+
+  static std::size_t bucket_of(BddManager& m, unsigned var, NodeId lo, NodeId hi) {
+    return m.unique_hash(var, lo, hi) & (m.unique_table_.size() - 1);
+  }
+
+  /// Append a fresh live node linked into its correct bucket, keeping the
+  /// stats counter consistent so only the intended rule fires.
+  static NodeId append_node(BddManager& m, unsigned var, NodeId lo, NodeId hi) {
+    Node node{var, lo, hi, kInvalidId, 1};
+    const std::size_t b = bucket_of(m, var, lo, hi);
+    node.next = m.unique_table_[b];
+    m.nodes_.push_back(node);
+    const NodeId id = static_cast<NodeId>(m.nodes_.size() - 1);
+    m.unique_table_[b] = id;
+    ++m.stats_.live_nodes;
+    return id;
+  }
+
+  static void set_var(BddManager& m, NodeId id, std::uint32_t var) {
+    m.nodes_[id].var = var;
+  }
+  static void set_hi(BddManager& m, NodeId id, NodeId hi) { m.nodes_[id].hi = hi; }
+  static void set_refs(BddManager& m, NodeId id, std::uint32_t refs) {
+    m.nodes_[id].refs = refs;
+  }
+  static void bump_live_nodes(BddManager& m) { ++m.stats_.live_nodes; }
+
+  static void unlink_from_bucket(BddManager& m, NodeId id) {
+    const Node& n = m.nodes_[id];
+    NodeId* link = &m.unique_table_[bucket_of(m, n.var, n.lo, n.hi)];
+    while (*link != kInvalidId) {
+      if (*link == id) {
+        *link = m.nodes_[id].next;
+        return;
+      }
+      link = &m.nodes_[*link].next;
+    }
+  }
+
+  static void set_cache(BddManager& m, std::size_t slot, std::uint32_t tag,
+                        NodeId a, NodeId b, NodeId c, NodeId result) {
+    m.cache_[slot] = BddManager::CacheEntry{tag, a, b, c, result};
+  }
+
+  static std::uint32_t op_ite() { return BddManager::kOpIte; }
+};
+
+namespace {
+
+bool has_rule(const std::vector<BddAuditFinding>& findings, const std::string& rule) {
+  for (const BddAuditFinding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string dump(const std::vector<BddAuditFinding>& findings) {
+  std::string out;
+  for (const BddAuditFinding& f : findings) {
+    out += f.rule + " [" + f.object + "] " + f.message + "\n";
+  }
+  return out;
+}
+
+// --- healthy managers --------------------------------------------------------
+
+TEST(BddAudit, FreshManagerIsClean) {
+  BddManager mgr(6);
+  EXPECT_TRUE(mgr.audit().empty()) << dump(mgr.audit());
+}
+
+TEST(BddAudit, CleanAfterMixedOperations) {
+  BddManager mgr(8);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | ~mgr.var(2);
+  const Bdd g = mgr.exists(f, mgr.make_cube({0u}));
+  const Bdd h = mgr.compose(f, 2, g ^ mgr.var(5));
+  const Bdd k = mgr.constrain(h, mgr.var(1) | mgr.var(3));
+  (void)mgr.support_vars(k);
+  (void)mgr.sat_count(f);
+  EXPECT_TRUE(mgr.audit().empty()) << dump(mgr.audit());
+}
+
+TEST(BddAudit, CleanWithUncollectedGarbageAndAfterGc) {
+  BddManager mgr(8);
+  Bdd keep = mgr.var(0) ^ mgr.var(1);
+  {
+    Bdd scratch = mgr.bdd_false();
+    for (unsigned v = 0; v + 1 < mgr.num_vars(); ++v) {
+      scratch |= mgr.var(v) & mgr.var(v + 1);
+    }
+  }  // scratch dies: dead nodes linger until the next collection
+  EXPECT_TRUE(mgr.audit().empty()) << dump(mgr.audit());
+  mgr.collect_garbage();
+  EXPECT_TRUE(mgr.audit().empty()) << dump(mgr.audit());
+  EXPECT_TRUE(keep.is_valid());
+}
+
+// --- per-rule corruption -----------------------------------------------------
+
+TEST(BddAudit, DuplicateTripleFires201) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(2);  // node (2, false, true)
+  BddTestCorruptor::append_node(mgr, 2, kFalseId, kTrueId);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM201")) << dump(findings);
+  (void)f;
+}
+
+TEST(BddAudit, RedundantNodeFires202) {
+  BddManager mgr(4);
+  BddTestCorruptor::append_node(mgr, 0, kTrueId, kTrueId);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM202")) << dump(findings);
+  EXPECT_FALSE(has_rule(findings, "BM207")) << dump(findings);
+}
+
+TEST(BddAudit, LevelOrderViolationFires203) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  // Sink the root to its child's level: order is no longer strict.
+  BddTestCorruptor::set_var(mgr, f.id(), 1);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM203")) << dump(findings);
+}
+
+TEST(BddAudit, VariableOutOfRangeFires204) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(3);
+  BddTestCorruptor::set_var(mgr, f.id(), mgr.num_vars() + 3);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM204")) << dump(findings);
+}
+
+TEST(BddAudit, DanglingChildPointerFires204) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(1);
+  BddTestCorruptor::set_hi(mgr, f.id(), 9999);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM204")) << dump(findings);
+}
+
+TEST(BddAudit, BucketChainMissFires205) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(0) | mgr.var(2);
+  BddTestCorruptor::unlink_from_bucket(mgr, f.id());
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM205")) << dump(findings);
+}
+
+TEST(BddAudit, OrphanTombstoneFires206) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(2);
+  // Tombstone the slot without threading it onto the free list.
+  BddTestCorruptor::set_var(mgr, f.id(), kInvalidId);
+  BddTestCorruptor::set_refs(mgr, f.id(), 0);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM206")) << dump(findings);
+}
+
+TEST(BddAudit, StatsDriftFires207) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  BddTestCorruptor::bump_live_nodes(mgr);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM207")) << dump(findings);
+  (void)f;
+}
+
+TEST(BddAudit, CacheDeadReferenceFires208) {
+  BddManager mgr(4);
+  BddTestCorruptor::set_cache(mgr, 0, BddTestCorruptor::op_ite(), kFalseId,
+                              kTrueId, kFalseId, 123456);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM208")) << dump(findings);
+}
+
+TEST(BddAudit, UnknownCacheTagFires209) {
+  BddManager mgr(4);
+  BddTestCorruptor::set_cache(mgr, 0, 0x7f, kFalseId, kFalseId, kFalseId, kTrueId);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM209")) << dump(findings);
+}
+
+TEST(BddAudit, NonComposePayloadBitsFire209) {
+  BddManager mgr(4);
+  BddTestCorruptor::set_cache(mgr, 0, BddTestCorruptor::op_ite() | (5u << 8),
+                              kFalseId, kFalseId, kFalseId, kTrueId);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM209")) << dump(findings);
+}
+
+TEST(BddAudit, BrokenTerminalFires210) {
+  BddManager mgr(4);
+  BddTestCorruptor::set_refs(mgr, kTrueId, 0);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM210")) << dump(findings);
+}
+
+TEST(BddAudit, TerminalLevelDriftFires210) {
+  BddManager mgr(4);
+  BddTestCorruptor::set_var(mgr, kFalseId, 0);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM210")) << dump(findings);
+}
+
+// --- cross-manager ownership guard ------------------------------------------
+
+TEST(BddOwnership, ForeignHandleThrowsFromConnectives) {
+  BddManager a(4);
+  BddManager b(4);
+  const Bdd fa = a.var(0);
+  const Bdd fb = b.var(0);
+  EXPECT_THROW((void)a.apply_and(fa, fb), BddOwnershipError);
+  EXPECT_THROW((void)a.apply_or(fb, fa), BddOwnershipError);
+  EXPECT_THROW((void)a.apply_not(fb), BddOwnershipError);
+  EXPECT_THROW((void)a.ite(fa, fb, fa), BddOwnershipError);
+  // Operator syntax dispatches to the left operand's manager.
+  EXPECT_THROW((void)(fa & fb), BddOwnershipError);
+  EXPECT_THROW((void)(fa ^ fb), BddOwnershipError);
+}
+
+TEST(BddOwnership, ForeignHandleThrowsFromQuantifiersAndQueries) {
+  BddManager a(4);
+  BddManager b(4);
+  const Bdd fa = a.var(1) & a.var(2);
+  const Bdd fb = b.var(1);
+  const Bdd cube_b = b.make_cube({1u});
+  EXPECT_THROW((void)a.exists(fa, cube_b), BddOwnershipError);
+  EXPECT_THROW((void)a.forall(fb, a.make_cube({1u})), BddOwnershipError);
+  EXPECT_THROW((void)a.and_exists(fa, fb, a.make_cube({1u})), BddOwnershipError);
+  EXPECT_THROW((void)a.cofactor(fb, 1, true), BddOwnershipError);
+  EXPECT_THROW((void)a.restrict_to(fa, fb), BddOwnershipError);
+  EXPECT_THROW((void)a.compose(fa, 1, fb), BddOwnershipError);
+  EXPECT_THROW((void)a.support_vars(fb), BddOwnershipError);
+  EXPECT_THROW((void)a.depends_on(fb, 1), BddOwnershipError);
+  EXPECT_THROW((void)a.sat_count(fb), BddOwnershipError);
+  EXPECT_THROW((void)a.to_string(fb), BddOwnershipError);
+}
+
+TEST(BddOwnership, DefaultConstructedHandleThrowsWithDistinctMessage) {
+  BddManager mgr(4);
+  const Bdd invalid;
+  try {
+    (void)mgr.apply_not(invalid);
+    FAIL() << "expected BddOwnershipError";
+  } catch (const BddOwnershipError& e) {
+    EXPECT_NE(std::string(e.what()).find("default-constructed"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)mgr.apply_and(mgr.var(0), Bdd());
+    FAIL() << "expected BddOwnershipError";
+  } catch (const BddOwnershipError& e) {
+    EXPECT_NE(std::string(e.what()).find("default-constructed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BddOwnership, ForeignHandleMessageNamesTheOperation) {
+  BddManager a(4);
+  BddManager b(4);
+  const Bdd fb = b.var(0);
+  try {
+    (void)a.apply_xor(a.var(0), fb);
+    FAIL() << "expected BddOwnershipError";
+  } catch (const BddOwnershipError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("apply_xor"), std::string::npos) << what;
+    EXPECT_NE(what.find("different BddManager"), std::string::npos) << what;
+  }
+}
+
+TEST(BddOwnership, SharedDagSizeSkipsInvalidHandles) {
+  BddManager mgr(4);
+  const std::vector<Bdd> fs = {mgr.var(0) & mgr.var(1), Bdd(), mgr.var(2)};
+  EXPECT_GT(mgr.dag_size(fs), 0u);  // invalid entries are skipped, not fatal
+}
+
+TEST(BddOwnership, ManagerStaysUsableAfterOwnershipError) {
+  BddManager a(4);
+  BddManager b(4);
+  const Bdd fa = a.var(0);
+  EXPECT_THROW((void)a.apply_and(fa, b.var(0)), BddOwnershipError);
+  const Bdd g = fa | a.var(1);  // the failed call must not corrupt anything
+  EXPECT_FALSE(g.is_const());
+  EXPECT_TRUE(a.audit().empty());
+}
+
+}  // namespace
+}  // namespace bidec

@@ -150,9 +150,14 @@ INSTANTIATE_TEST_SUITE_P(Random, BddVsTruthTable,
                                            RandomCase{5, 5}, RandomCase{6, 6},
                                            RandomCase{6, 7}, RandomCase{7, 8},
                                            RandomCase{8, 9}, RandomCase{8, 10}),
-                         [](const auto& info) {
-                           return "v" + std::to_string(info.param.num_vars) + "_s" +
-                                  std::to_string(info.param.seed);
+                         // `pinfo`, not `info`: the macro body has its own
+                         // `info` that -Wshadow would flag.
+                         [](const auto& pinfo) {
+                           std::string s = "v";  // two statements per append:
+                           s += std::to_string(pinfo.param.num_vars);
+                           s += "_s";  // GCC 12's -Wrestrict misfires on the
+                           s += std::to_string(pinfo.param.seed);  // operator+ chain
+                           return s;
                          });
 
 }  // namespace

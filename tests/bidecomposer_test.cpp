@@ -54,9 +54,14 @@ INSTANTIATE_TEST_SUITE_P(
                       DecompCase{5, 0.3, 5}, DecompCase{6, 0.2, 6},
                       DecompCase{6, 0.5, 7}, DecompCase{7, 0.1, 8},
                       DecompCase{7, 0.4, 9}, DecompCase{8, 0.25, 10}),
-    [](const auto& info) {
-      return "v" + std::to_string(info.param.num_vars) + "_s" +
-             std::to_string(info.param.seed);
+    // `pinfo`, not `info`: the macro body has its own `info` that
+    // -Wshadow would flag.
+    [](const auto& pinfo) {
+      std::string s = "v";  // two statements per append: GCC 12's -Wrestrict
+      s += std::to_string(pinfo.param.num_vars);  // misfires on the operator+
+      s += "_s";  // chain once inlined
+      s += std::to_string(pinfo.param.seed);
+      return s;
     });
 
 TEST(Decompose, ConstantFunctions) {
@@ -159,7 +164,9 @@ TEST(Decompose, MultiOutputVerifiesAgainstSpec) {
   for (int o = 0; o < 4; ++o) spec.push_back(random_isf(mgr, 6, rng, 0.2));
   BiDecomposer dec(mgr);
   for (std::size_t o = 0; o < spec.size(); ++o) {
-    dec.add_output("f" + std::to_string(o), spec[o]);
+    std::string name = "f";  // two statements: GCC 12's -Wrestrict misfires
+    name += std::to_string(o);  // on `"f" + std::to_string(o)` inlined here
+    dec.add_output(name, spec[o]);
   }
   dec.finish();
   EXPECT_TRUE(verify_against_isfs(mgr, dec.netlist(), spec).ok);

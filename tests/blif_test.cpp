@@ -51,7 +51,9 @@ TEST(Blif, RoundTripAllGateTypes) {
     // Build each gate type directly (bypassing derived-type decomposition by
     // absorbing later would complicate matters; add_gate may simplify, so
     // check the output count instead of the structure).
-    net.add_output("o" + std::to_string(idx++), net.add_gate(t, a, b));
+    std::string name = "o";  // two statements: GCC 12's -Wrestrict
+    name += std::to_string(idx++);  // misfires on the operator+ form here
+    net.add_output(name, net.add_gate(t, a, b));
   }
   net.add_output("inv", net.add_not(a));
   net.add_output("c0", net.get_const(false));

@@ -13,6 +13,14 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 // A deterministic workload of multi-output covers. dc_fraction = 0 keeps the
 // specifications completely specified, so *any* correct implementation of a
 // given spec computes the same functions and sequential-vs-parallel
@@ -58,7 +66,7 @@ TEST(BatchEngine, FourWorkerBatchMatchesSequentialFlow) {
   BatchEngine engine(opts);
   for (int i = 0; i < kJobs; ++i) {
     JobSpec spec;
-    spec.name = "job" + std::to_string(i);
+    spec.name = numbered_name("job", i);
     spec.source = plas[i];
     ASSERT_EQ(engine.submit(std::move(spec)), static_cast<std::size_t>(i));
   }
@@ -92,7 +100,7 @@ TEST(BatchEngine, StarvedJobTimesOutWithoutStallingPool) {
   std::size_t starved_id = 0;
   for (int i = 0; i < 5; ++i) {
     JobSpec spec;
-    spec.name = "job" + std::to_string(i);
+    spec.name = numbered_name("job", i);
     spec.source = plas[i];
     if (i == 2) {
       spec.step_budget = 16;  // far below what materialization alone needs
@@ -143,7 +151,7 @@ TEST(BatchEngine, WorkerManagerReuseKeepsMetricsIsolated) {
   BatchEngine engine(opts);
   for (int i = 0; i < 2; ++i) {
     JobSpec spec;
-    spec.name = "twin" + std::to_string(i);
+    spec.name = numbered_name("twin", i);
     spec.source = plas[0];
     engine.submit(std::move(spec));
   }
@@ -169,7 +177,7 @@ TEST(BatchEngine, ReportSerializesToJson) {
   BatchEngine engine(opts);
   for (int i = 0; i < 2; ++i) {
     JobSpec spec;
-    spec.name = "json" + std::to_string(i);
+    spec.name = numbered_name("json", i);
     spec.source = plas[i];
     engine.submit(std::move(spec));
   }

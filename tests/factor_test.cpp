@@ -12,7 +12,15 @@
 namespace bidec {
 namespace {
 
-TruthTable cover_to_tt(const Cover& c) {
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+[[maybe_unused]] TruthTable cover_to_tt(const Cover& c) {
   return TruthTable::from_function(c.num_vars(),
                                    [&c](std::uint64_t m) { return c.eval(m); });
 }
@@ -36,7 +44,7 @@ struct FactorFixture {
   std::vector<SignalId> inputs;
 
   explicit FactorFixture(unsigned nv) {
-    for (unsigned v = 0; v < nv; ++v) inputs.push_back(net.add_input("x" + std::to_string(v)));
+    for (unsigned v = 0; v < nv; ++v) inputs.push_back(net.add_input(numbered_name("x", v)));
   }
 };
 

@@ -59,8 +59,10 @@ TEST_P(FlowReorder, InterfaceOrderIsPreservedUnderReordering) {
 
 INSTANTIATE_TEST_SUITE_P(Heuristics, FlowReorder,
                          ::testing::Values(OrderHeuristic::kForce, OrderHeuristic::kSift),
-                         [](const auto& info) {
-                           return info.param == OrderHeuristic::kForce ? "force" : "sift";
+                         // `pinfo`, not `info`: the macro body has its
+                         // own `info` that -Wshadow would flag.
+                         [](const auto& pinfo) {
+                           return pinfo.param == OrderHeuristic::kForce ? "force" : "sift";
                          });
 
 TEST(Flow, SiftShrinksOrderSensitiveSpec) {

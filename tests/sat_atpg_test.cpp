@@ -19,6 +19,14 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 // Does `test` distinguish the faulty circuit from the good one?
 bool detects(const Netlist& net, const Fault& fault, const std::vector<bool>& test) {
   std::vector<std::uint64_t> words;
@@ -46,7 +54,7 @@ Netlist random_netlist(std::mt19937_64& rng, unsigned inputs) {
   Netlist net;
   std::vector<SignalId> pool;
   for (unsigned i = 0; i < inputs; ++i) {
-    pool.push_back(net.add_input("i" + std::to_string(i)));
+    pool.push_back(net.add_input(numbered_name("i", i)));
   }
   const GateType types[] = {GateType::kNot, GateType::kAnd,  GateType::kOr,
                             GateType::kXor, GateType::kNand, GateType::kNor,

@@ -15,6 +15,14 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 using sat::Lit;
 using sat::Solver;
 using sat::TseitinEncoder;
@@ -65,7 +73,7 @@ TEST(Tseitin, NetlistEncodingMatchesEvaluate) {
   for (int round = 0; round < 25; ++round) {
     Netlist net;
     std::vector<SignalId> pool;
-    for (int i = 0; i < 5; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
+    for (int i = 0; i < 5; ++i) pool.push_back(net.add_input(numbered_name("i", i)));
     const GateType types[] = {GateType::kNot,  GateType::kAnd, GateType::kOr,
                               GateType::kXor,  GateType::kNand, GateType::kNor,
                               GateType::kXnor};
@@ -76,7 +84,7 @@ TEST(Tseitin, NetlistEncodingMatchesEvaluate) {
       pool.push_back(gate_arity(t) == 1 ? net.add_gate(t, a) : net.add_gate(t, a, b));
     }
     for (int o = 0; o < 3; ++o) {
-      net.add_output("o" + std::to_string(o), pool[pool.size() - 1 - o]);
+      net.add_output(numbered_name("o", o), pool[pool.size() - 1 - o]);
     }
 
     Solver s;

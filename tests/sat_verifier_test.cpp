@@ -18,12 +18,20 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 // Random netlist over `inputs` inputs with `outputs` outputs.
 Netlist random_netlist(std::mt19937_64& rng, unsigned inputs, unsigned outputs) {
   Netlist net;
   std::vector<SignalId> pool;
   for (unsigned i = 0; i < inputs; ++i) {
-    pool.push_back(net.add_input("i" + std::to_string(i)));
+    pool.push_back(net.add_input(numbered_name("i", i)));
   }
   const GateType types[] = {GateType::kNot, GateType::kAnd,  GateType::kOr,
                             GateType::kXor, GateType::kNand, GateType::kNor,
@@ -35,7 +43,7 @@ Netlist random_netlist(std::mt19937_64& rng, unsigned inputs, unsigned outputs) 
     pool.push_back(gate_arity(t) == 1 ? net.add_gate(t, a) : net.add_gate(t, a, b));
   }
   for (unsigned o = 0; o < outputs; ++o) {
-    net.add_output("o" + std::to_string(o), pool[pool.size() - 1 - (o % pool.size())]);
+    net.add_output(numbered_name("o", o), pool[pool.size() - 1 - (o % pool.size())]);
   }
   return net;
 }

@@ -52,7 +52,9 @@ TEST(Primes, ClassicTextbookExample) {
   for (const Cube& p : primes) {
     // Implicant: all minterms inside f.
     for (std::uint64_t m = 0; m < 8; ++m) {
-      if (p.contains_minterm(m)) EXPECT_TRUE(f.get(m)) << p.to_string();
+      if (p.contains_minterm(m)) {
+        EXPECT_TRUE(f.get(m)) << p.to_string();
+      }
     }
     // Maximal: dropping any literal leaves f.
     for (unsigned v = 0; v < 3; ++v) {

@@ -65,8 +65,10 @@ INSTANTIATE_TEST_SUITE_P(
                       OptionCase{true, true, true, true, true, 1},
                       OptionCase{false, false, false, false, false, 1},
                       OptionCase{true, true, true, true, true, 8}),
-    [](const auto& info) {
-      const OptionCase& o = info.param;
+    // `pinfo`, not `info`: the macro body has its own `info` that
+    // -Wshadow would flag.
+    [](const auto& pinfo) {
+      const OptionCase& o = pinfo.param;
       std::string s;
       s += o.exor ? "X" : "x";
       s += o.strong ? "S" : "s";

@@ -11,6 +11,14 @@
 namespace bidec {
 namespace {
 
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
 TEST(Verifier, CollapseMatchesSimulation) {
   std::mt19937_64 rng(81);
   Netlist net;
@@ -84,7 +92,7 @@ TEST(Verifier, DetectsSingleGateMutation) {
   BddManager mgr(5);
   Netlist good;
   std::vector<SignalId> in;
-  for (unsigned v = 0; v < 5; ++v) in.push_back(good.add_input("x" + std::to_string(v)));
+  for (unsigned v = 0; v < 5; ++v) in.push_back(good.add_input(numbered_name("x", v)));
   const SignalId g1 = good.add_and(in[0], in[1]);
   const SignalId g2 = good.add_xor(g1, in[2]);
   const SignalId g3 = good.add_or(g2, good.add_and(in[3], in[4]));
@@ -92,7 +100,7 @@ TEST(Verifier, DetectsSingleGateMutation) {
 
   Netlist bad;
   std::vector<SignalId> bin;
-  for (unsigned v = 0; v < 5; ++v) bin.push_back(bad.add_input("x" + std::to_string(v)));
+  for (unsigned v = 0; v < 5; ++v) bin.push_back(bad.add_input(numbered_name("x", v)));
   const SignalId h1 = bad.add_or(bin[0], bin[1]);  // mutated gate type
   const SignalId h2 = bad.add_xor(h1, bin[2]);
   const SignalId h3 = bad.add_or(h2, bad.add_and(bin[3], bin[4]));
