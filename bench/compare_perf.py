@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a perf_gate run against checked-in baselines.
+
+Usage:
+    compare_perf.py --baseline-dir . --current-dir build/perf [--threshold 0.25]
+
+Reads BENCH_bdd.json / BENCH_bidec.json from both directories and fails
+(exit 1) when any benchmark's median ns/op regressed by more than
+`threshold` (default 25%) relative to the baseline. Benchmarks present on
+only one side are reported but never fatal: the gate must not block PRs
+that add or retire benchmarks.
+
+Only the Python standard library is used, so the script runs anywhere the
+CI image has python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_suite(path: str) -> dict[str, dict]:
+    """Return {bench name: record} from one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {rec["name"]: rec for rec in doc.get("benches", [])}
+
+
+def compare_file(baseline_path: str, current_path: str, threshold: float) -> list[str]:
+    """Return a list of human-readable regression lines (empty = pass)."""
+    baseline = load_suite(baseline_path)
+    current = load_suite(current_path)
+    regressions: list[str] = []
+
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  ~ {name}: only in baseline (retired?)")
+            continue
+        if name not in baseline:
+            print(f"  ~ {name}: new benchmark, no baseline yet")
+            continue
+        base_ns = float(baseline[name]["ns_per_op"])
+        cur_ns = float(current[name]["ns_per_op"])
+        if base_ns <= 0.0:
+            continue
+        ratio = cur_ns / base_ns
+        marker = "ok"
+        if ratio > 1.0 + threshold:
+            marker = "REGRESSION"
+            regressions.append(
+                f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op "
+                f"({(ratio - 1.0) * 100.0:+.1f}%, limit +{threshold * 100.0:.0f}%)"
+            )
+        print(f"  {marker:>10} {name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({(ratio - 1.0) * 100.0:+.1f}%)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the checked-in BENCH_*.json baselines")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding the freshly measured BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional slowdown tolerated before failing (default 0.25)")
+    args = parser.parse_args()
+
+    all_regressions: list[str] = []
+    compared = 0
+    for suite in ("BENCH_bdd.json", "BENCH_bidec.json"):
+        baseline_path = os.path.join(args.baseline_dir, suite)
+        current_path = os.path.join(args.current_dir, suite)
+        if not os.path.exists(baseline_path):
+            print(f"~ no baseline {baseline_path}; skipping {suite}")
+            continue
+        if not os.path.exists(current_path):
+            print(f"ERROR: baseline exists but current run produced no {current_path}")
+            return 2
+        print(f"{suite}:")
+        all_regressions.extend(compare_file(baseline_path, current_path, args.threshold))
+        compared += 1
+
+    if compared == 0:
+        print("ERROR: no suites compared (bad --baseline-dir?)")
+        return 2
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s) beyond the "
+              f"{args.threshold * 100.0:.0f}% budget:")
+        for line in all_regressions:
+            print(f"  {line}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,512 @@
+// Reproducible performance gate for the BDD substrate and the
+// bi-decomposition flow.
+//
+// Unlike the google-benchmark micro harnesses (micro_bdd.cpp, ...), this
+// runner executes a *fixed protocol* — pinned seeds, a fixed repetition
+// count, median-of-runs — and emits machine-readable JSON (BENCH_bdd.json,
+// BENCH_bidec.json) with per-op nanoseconds plus the kernel-behaviour
+// counters (computed-cache hit rate, GC runs / pause time, peak live
+// nodes). The emitted files are the trajectory future PRs must not regress:
+// bench/compare_perf.py diffs a fresh run against the checked-in baselines
+// and fails on >25% regression (see the perf-gate CI job and the README
+// "Performance" section).
+//
+// Usage:
+//   perf_gate [--quick] [--reps N] [--out-dir DIR] [--commit HASH] [--only RE]
+//
+// --quick lowers the repetition count (3 instead of 7) but keeps every
+// workload and size identical, so quick-mode numbers are directly
+// comparable against full-protocol baselines.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "tt/truth_table.h"
+#include "verify/verifier.h"
+
+namespace bidec::gate {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One repetition's measurement: wall time over `ops` operations plus a
+// snapshot of the manager counters taken after the timed region.
+struct RepSample {
+  double ns_per_op = 0.0;
+  std::uint64_t ops = 0;
+  BddStats stats;
+  std::uint64_t steps = 0;
+  std::uint64_t sink = 0;  // anti-DCE checksum; not compared across kernels
+};
+
+struct BenchRecord {
+  std::string name;
+  std::string suite;  // "bdd" or "bidec"
+  double ns_per_op_median = 0.0;
+  std::uint64_t ops = 0;
+  unsigned reps = 0;
+  // Kernel-behaviour counters from the median repetition.
+  double cache_hit_rate = 0.0;
+  double unique_hit_rate = 0.0;
+  std::size_t gc_runs = 0;
+  double gc_ms = 0.0;
+  std::size_t peak_nodes = 0;
+  std::uint64_t steps = 0;
+};
+
+double hit_rate(std::size_t hits, std::size_t total) {
+  return total != 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+// Runs `body` `reps` times and folds the samples into one record, taking
+// the median repetition by ns_per_op (ties keep the earlier repetition, so
+// the protocol is deterministic given deterministic workloads).
+template <typename Body>
+BenchRecord run_bench(const std::string& name, unsigned reps, Body&& body) {
+  std::vector<RepSample> samples;
+  samples.reserve(reps);
+  for (unsigned r = 0; r < reps; ++r) samples.push_back(body());
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return samples[a].ns_per_op < samples[b].ns_per_op;
+  });
+  const RepSample& med = samples[order[order.size() / 2]];
+
+  BenchRecord rec;
+  rec.name = name;
+  rec.ns_per_op_median = med.ns_per_op;
+  rec.ops = med.ops;
+  rec.reps = reps;
+  rec.cache_hit_rate = hit_rate(med.stats.cache_hits, med.stats.cache_lookups);
+  rec.unique_hit_rate =
+      hit_rate(med.stats.unique_hits, med.stats.unique_hits + med.stats.unique_misses);
+  rec.gc_runs = med.stats.gc_runs;
+  rec.gc_ms = med.stats.gc_ms;
+  rec.peak_nodes = med.stats.peak_nodes;
+  rec.steps = med.steps;
+  return rec;
+}
+
+std::vector<Bdd> random_functions(BddManager& mgr, unsigned nv, unsigned count,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Bdd> fs;
+  fs.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    fs.push_back(TruthTable::random(std::min(nv, 12u), rng).to_bdd(mgr));
+  }
+  return fs;
+}
+
+// Measures `ops` applications of `op` over a fresh manager built by
+// `setup`. The timed region excludes setup; stats are reset at its start so
+// the counters describe only the measured work.
+template <typename Setup, typename Op>
+RepSample timed_rep(unsigned nv, Setup&& setup, Op&& op) {
+  BddManager mgr(nv);
+  auto state = setup(mgr);
+  mgr.reset_stats();
+  RepSample s;
+  const Clock::time_point t0 = Clock::now();
+  s.ops = op(mgr, state, s.sink);
+  const double sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  s.ns_per_op = s.ops != 0 ? sec * 1e9 / static_cast<double>(s.ops) : 0.0;
+  s.stats = mgr.stats();
+  s.steps = mgr.steps_used();
+  return s;
+}
+
+// --- BDD suite --------------------------------------------------------------
+
+// Pairwise conjunction over random 12-var functions.
+RepSample rep_and_pairs() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 20, 101); },
+      [](BddManager&, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : fs) {
+          for (const Bdd& g : fs) {
+            sink += (f & g).id();
+            ++ops;
+          }
+        }
+        return ops;
+      });
+}
+
+RepSample rep_ite() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 12, 102); },
+      [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (std::size_t i = 0; i < fs.size(); ++i) {
+          for (std::size_t j = 0; j < fs.size(); ++j) {
+            const Bdd& h = fs[(i + j) % fs.size()];
+            sink += m.ite(fs[i], fs[j], h).id();
+            ++ops;
+          }
+        }
+        return ops;
+      });
+}
+
+// De Morgan ladder: negation-heavy alternation of NAND/NOR steps. With a
+// traversal-based NOT every rung re-walks the accumulated diagram; with
+// complement edges each negation is O(1).
+RepSample rep_negation_chain() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 16, 103); },
+      [](BddManager&, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        Bdd acc = fs[0];
+        for (unsigned round = 0; round < 24; ++round) {
+          for (const Bdd& f : fs) {
+            acc = (round & 1) != 0 ? ~(acc & f) : ~(acc | f);
+            ++ops;
+          }
+        }
+        sink += acc.id();
+        return ops;
+      });
+}
+
+RepSample rep_xor_negated() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 16, 104); },
+      [](BddManager&, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : fs) {
+          for (const Bdd& g : fs) {
+            sink += (f ^ ~g).id() + (~f ^ g).id();
+            ops += 2;
+          }
+        }
+        return ops;
+      });
+}
+
+struct QuantState {
+  std::vector<Bdd> fs;
+  Bdd cube;
+};
+
+QuantState quant_state(BddManager& m, std::uint64_t seed) {
+  QuantState st;
+  st.fs = random_functions(m, 12, 16, seed);
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < m.num_vars(); v += 2) vars.push_back(v);
+  st.cube = m.make_cube(vars);
+  return st;
+}
+
+// Quantification over plain and negated operands: the Theorems 1-4 checks
+// quantify complemented intermediates constantly, so ~f quantifications are
+// first-class citizens of the workload.
+RepSample rep_exists_negated() {
+  return timed_rep(
+      12, [](BddManager& m) { return quant_state(m, 105); },
+      [](BddManager& m, QuantState& st, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : st.fs) {
+          sink += m.exists(f, st.cube).id() + m.exists(~f, st.cube).id();
+          ops += 2;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_forall_negated() {
+  return timed_rep(
+      12, [](BddManager& m) { return quant_state(m, 106); },
+      [](BddManager& m, QuantState& st, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : st.fs) {
+          sink += m.forall(f, st.cube).id() + m.forall(~f, st.cube).id();
+          ops += 2;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_and_exists() {
+  return timed_rep(
+      12, [](BddManager& m) { return quant_state(m, 107); },
+      [](BddManager& m, QuantState& st, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (std::size_t i = 0; i + 1 < st.fs.size(); ++i) {
+          sink += m.and_exists(st.fs[i], st.fs[i + 1], st.cube).id();
+          ++ops;
+        }
+        return ops;
+      });
+}
+
+// The paper's decomposability checks as written in Theorems 1/2: nested
+// sharp + forall/exists over complemented cofactor pairs.
+RepSample rep_theorem_check() {
+  return timed_rep(
+      12, [](BddManager& m) { return quant_state(m, 108); },
+      [](BddManager& m, QuantState& st, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (std::size_t i = 0; i + 1 < st.fs.size(); ++i) {
+          const Bdd& q = st.fs[i];
+          const Bdd& r = st.fs[i + 1];
+          const Bdd left = m.exists(q, st.cube);
+          const Bdd right = m.forall(~r, st.cube);
+          sink += (left - right).id();
+          sink += m.and_exists(q, ~r, st.cube).id();
+          ops += 4;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_compose() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 12, 109); },
+      [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+          sink += m.compose(fs[i], 6, fs[i + 1]).id();
+          ++ops;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_isop() {
+  return timed_rep(
+      10, [](BddManager& m) { return random_functions(m, 10, 6, 110); },
+      [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : fs) {
+          sink += m.isop(f, f).size();
+          ++ops;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_sat_count() {
+  return timed_rep(
+      12, [](BddManager& m) { return random_functions(m, 12, 8, 111); },
+      [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (const Bdd& f : fs) {
+          sink += static_cast<std::uint64_t>(m.sat_count(f));
+          sink += static_cast<std::uint64_t>(m.sat_count(~f));
+          ops += 2;
+        }
+        return ops;
+      });
+}
+
+RepSample rep_symmetric_build() {
+  return timed_rep(
+      24, [](BddManager&) { return 0; },
+      [](BddManager& m, int&, std::uint64_t& sink) -> std::uint64_t {
+        std::vector<unsigned> weights;
+        for (unsigned k = 8; k <= 16; ++k) weights.push_back(k);
+        sink += symmetric_function(m, 24, weights).id();
+        return 1;
+      });
+}
+
+// GC churn: a small threshold forces collections mid-workload; the same
+// conjunctions are re-requested after every collection, so a kernel whose
+// computed cache survives GC re-derives far less.
+RepSample rep_gc_churn() {
+  return timed_rep(
+      12,
+      [](BddManager& m) {
+        m.set_gc_threshold(6000);
+        return random_functions(m, 12, 10, 112);
+      },
+      [](BddManager&, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        for (unsigned round = 0; round < 30; ++round) {
+          for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+            // Dead intermediate (pressure) ...
+            (void)(fs[i] ^ fs[i + 1]);
+            // ... plus a stable query whose cache line should survive.
+            sink += (fs[i] & fs[i + 1]).id();
+            ops += 2;
+          }
+        }
+        return ops;
+      });
+}
+
+// --- bidec suite ------------------------------------------------------------
+
+RepSample rep_bidec(const Benchmark& bench) {
+  RepSample s;
+  BddManager mgr(bench.num_inputs);
+  const std::vector<Isf> spec = bench.build(mgr);
+  mgr.reset_stats();
+  const Clock::time_point t0 = Clock::now();
+  BiDecomposer dec(mgr, {}, bench.input_names());
+  const auto names = bench.output_names();
+  for (std::size_t o = 0; o < spec.size(); ++o) dec.add_output(names[o], spec[o]);
+  dec.finish();
+  const double sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  s.ops = 1;
+  s.ns_per_op = sec * 1e9;
+  s.stats = mgr.stats();
+  s.steps = mgr.steps_used();
+  s.sink = dec.netlist().stats().gates;
+  if (!verify_against_isfs(mgr, dec.netlist(), spec).ok) {
+    std::fprintf(stderr, "perf_gate: %s failed verification\n", bench.name.c_str());
+    std::exit(2);
+  }
+  return s;
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+void append_json(std::string& out, const BenchRecord& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"ops\": %llu, "
+                "\"reps\": %u, \"cache_hit_rate\": %.4f, \"unique_hit_rate\": "
+                "%.4f, \"gc_runs\": %zu, \"gc_ms\": %.3f, \"peak_nodes\": %zu, "
+                "\"steps\": %llu}",
+                r.name.c_str(), r.ns_per_op_median,
+                static_cast<unsigned long long>(r.ops), r.reps, r.cache_hit_rate,
+                r.unique_hit_rate, r.gc_runs, r.gc_ms, r.peak_nodes,
+                static_cast<unsigned long long>(r.steps));
+  out += buf;
+}
+
+void write_suite(const std::string& path, const std::string& suite,
+                 const std::string& commit, const std::string& mode, unsigned reps,
+                 const std::vector<BenchRecord>& records) {
+  std::string out = "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"suite\": \"" + suite + "\",\n";
+  out += "  \"commit\": \"" + commit + "\",\n";
+  out += "  \"mode\": \"" + mode + "\",\n";
+  out += "  \"reps\": " + std::to_string(reps) + ",\n";
+  out += "  \"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    append_json(out, records[i]);
+    if (i + 1 != records.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "perf_gate: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << out;
+  std::printf("wrote %s (%zu benches)\n", path.c_str(), records.size());
+}
+
+}  // namespace
+}  // namespace bidec::gate
+
+int main(int argc, char** argv) {
+  using namespace bidec;
+  using namespace bidec::gate;
+
+  unsigned reps = 7;
+  bool quick = false;
+  std::string out_dir = ".";
+  std::string commit;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      reps = 3;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--commit" && i + 1 < argc) {
+      commit = argv[++i];
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_gate [--quick] [--reps N] [--out-dir DIR] "
+                   "[--commit HASH] [--only SUBSTR]\n");
+      return 1;
+    }
+  }
+  if (reps == 0) reps = 1;
+  if (commit.empty()) {
+    const char* sha = std::getenv("GITHUB_SHA");
+    commit = sha != nullptr ? sha : "unknown";
+  }
+  const std::string mode = quick ? "quick" : "full";
+
+  struct Entry {
+    const char* name;
+    RepSample (*fn)();
+  };
+  const Entry bdd_suite[] = {
+      {"and_pairs_12", rep_and_pairs},
+      {"ite_12", rep_ite},
+      {"negation_chain_12", rep_negation_chain},
+      {"xor_negated_12", rep_xor_negated},
+      {"exists_negated_12", rep_exists_negated},
+      {"forall_negated_12", rep_forall_negated},
+      {"and_exists_12", rep_and_exists},
+      {"theorem_check_12", rep_theorem_check},
+      {"compose_12", rep_compose},
+      {"isop_10", rep_isop},
+      {"sat_count_12", rep_sat_count},
+      {"symmetric_24", rep_symmetric_build},
+      {"gc_churn_12", rep_gc_churn},
+  };
+
+  std::vector<BenchRecord> bdd_records;
+  for (const Entry& e : bdd_suite) {
+    if (!only.empty() && std::string(e.name).find(only) == std::string::npos) continue;
+    BenchRecord rec = run_bench(e.name, reps, e.fn);
+    rec.suite = "bdd";
+    std::printf("%-24s %12.1f ns/op  cache %.3f  gc %zu  peak %zu\n",
+                rec.name.c_str(), rec.ns_per_op_median, rec.cache_hit_rate,
+                rec.gc_runs, rec.peak_nodes);
+    bdd_records.push_back(std::move(rec));
+  }
+
+  const char* bidec_names[] = {"5xp1", "rd84", "9sym", "misex2", "duke2"};
+  std::vector<BenchRecord> bidec_records;
+  for (const char* name : bidec_names) {
+    if (!only.empty() && std::string(name).find(only) == std::string::npos) continue;
+    const Benchmark& bench = find_benchmark(name);
+    BenchRecord rec =
+        run_bench(std::string("bidec_") + name, reps, [&] { return rep_bidec(bench); });
+    rec.suite = "bidec";
+    std::printf("%-24s %12.1f ns/op  cache %.3f  gc %zu  peak %zu\n",
+                rec.name.c_str(), rec.ns_per_op_median, rec.cache_hit_rate,
+                rec.gc_runs, rec.peak_nodes);
+    bidec_records.push_back(std::move(rec));
+  }
+
+  if (!bdd_records.empty()) {
+    write_suite(out_dir + "/BENCH_bdd.json", "bdd", commit, mode, reps, bdd_records);
+  }
+  if (!bidec_records.empty()) {
+    write_suite(out_dir + "/BENCH_bidec.json", "bidec", commit, mode, reps,
+                bidec_records);
+  }
+  return 0;
+}

@@ -1,10 +1,22 @@
-// ROBDD package: reduced ordered binary decision diagrams with a unique
-// table, a computed table, reference-counted external handles and
-// mark-and-sweep garbage collection.
+// ROBDD package: reduced ordered binary decision diagrams with complement
+// edges, per-variable unique subtables, a resizable two-way computed table
+// with aging, reference-counted external handles and mark-and-sweep garbage
+// collection that sweeps (rather than clears) the computed table.
 //
 // This is the substrate the bi-decomposition algorithm of
 // Mishchenko/Steinbach/Perkowski (DAC 2001) runs on; the paper used BuDDy
-// 1.9, this package implements the same ROBDD model (no complement edges).
+// 1.9, this package implements the same ROBDD model extended with the
+// CUDD-style complement-edge representation, so negation is O(1) and a
+// function and its complement share one DAG.
+//
+// Representation: a `NodeId` is an *edge* — the node index shifted left by
+// one with the complement flag in bit 0. The single terminal node lives at
+// index 0 and denotes the constant FALSE in its regular polarity, so the
+// edge constants keep their historical values: kFalseId == 0 (regular
+// terminal) and kTrueId == 1 (complemented terminal). Canonicity rule: the
+// high (then) edge of every stored node is regular; make_node() complements
+// both children and tags the returned edge when a caller asks for a
+// complemented high edge.
 //
 // Usage:
 //   BddManager mgr(8);
@@ -29,7 +41,8 @@
 
 namespace bidec {
 
-/// Index of a BDD node inside its manager. 0 and 1 are the terminals.
+/// Edge to a BDD node inside its manager: (node index << 1) | complement.
+/// 0 and 1 are the constant edges (both polarities of the terminal node).
 using NodeId = std::uint32_t;
 
 inline constexpr NodeId kFalseId = 0;
@@ -91,7 +104,8 @@ class Bdd {
   /// True iff this function and `g` have an empty intersection.
   [[nodiscard]] bool disjoint_with(const Bdd& g) const;
 
-  /// Number of distinct nodes in this function's DAG (terminals included).
+  /// Number of distinct nodes in this function's DAG (the shared terminal
+  /// counted once; with complement edges f and ~f have the same size).
   [[nodiscard]] std::size_t dag_size() const;
 
  private:
@@ -140,10 +154,15 @@ struct BddStats {
   std::size_t live_nodes = 0;      ///< allocated minus freed
   std::size_t peak_nodes = 0;      ///< high-water mark of live nodes
   std::size_t gc_runs = 0;         ///< completed garbage collections
+  double gc_ms = 0.0;              ///< total wall time spent collecting
   std::size_t unique_hits = 0;     ///< unique-table lookups that hit
   std::size_t unique_misses = 0;   ///< unique-table lookups that created a node
   std::size_t cache_hits = 0;      ///< computed-table hits
   std::size_t cache_lookups = 0;   ///< computed-table probes
+  std::size_t cache_inserts = 0;   ///< computed-table stores
+  std::size_t cache_resizes = 0;   ///< computed-table growth events
+  std::size_t cache_swept = 0;     ///< entries dropped by GC sweeps (dead operands)
+  std::size_t cache_kept = 0;      ///< entries that survived GC sweeps
 };
 
 /// Manager owning all nodes of one BDD universe with a fixed variable count.
@@ -181,6 +200,7 @@ class BddManager {
   [[nodiscard]] Bdd apply_or(const Bdd& f, const Bdd& g);
   [[nodiscard]] Bdd apply_xor(const Bdd& f, const Bdd& g);
   [[nodiscard]] Bdd apply_xnor(const Bdd& f, const Bdd& g);
+  /// O(1): flips the complement bit of the edge.
   [[nodiscard]] Bdd apply_not(const Bdd& f);
   /// `f & ~g` (Boolean SHARP of the paper's formulas).
   [[nodiscard]] Bdd apply_sharp(const Bdd& f, const Bdd& g);
@@ -231,6 +251,12 @@ class BddManager {
   [[nodiscard]] std::size_t dag_size(const Bdd& f) const;
   /// DAG size of a set of functions with shared nodes counted once.
   [[nodiscard]] std::size_t dag_size(std::span<const Bdd> fs) const;
+  /// Live nodes labelled with variable `v` (from the per-variable unique
+  /// subtable; O(1)). Level scans — sifting cost models, audit cross-checks
+  /// — read this instead of walking global chains.
+  [[nodiscard]] std::size_t level_node_count(unsigned v) const;
+  /// All per-level counts at once (index = variable).
+  [[nodiscard]] std::vector<std::size_t> level_profile() const;
 
   // --- model queries -------------------------------------------------------
   /// Evaluate under a complete assignment (inputs[i] = value of variable i).
@@ -258,19 +284,23 @@ class BddManager {
 
   // --- debugging / IO ---------------------------------------------------------
   /// Multi-line structural dump (one node per line) for debugging.
+  /// Complemented edges are rendered with a `~` prefix.
   [[nodiscard]] std::string to_string(const Bdd& f) const;
-  /// Graphviz dot rendering of the DAG.
+  /// Graphviz dot rendering of the DAG (complemented edges drawn with a dot
+  /// arrowhead, as in the CUDD manual).
   [[nodiscard]] std::string to_dot(const Bdd& f) const;
 
   // --- self audit ----------------------------------------------------------
   /// Full structural audit of the manager: unique-table canonicity (no
   /// duplicate (var, lo, hi) triples, no redundant lo == hi nodes, variable
   /// order strictly increasing on every edge, every live node findable in
-  /// its hash bucket), free-list and reference-count consistency against a
-  /// full sweep of the node store, computed-cache entry validity, and
-  /// terminal invariants. Purely read-only and allocation-light; returns
-  /// structured findings (empty = healthy) instead of asserting, so it is
-  /// callable from tests and production gates in any build type.
+  /// its per-variable subtable bucket, high edges regular), complement-edge
+  /// and terminal invariants, free-list and reference-count consistency
+  /// against a full sweep of the node store, per-level subtable counters,
+  /// and computed-cache entry validity. Purely read-only and
+  /// allocation-light; returns structured findings (empty = healthy)
+  /// instead of asserting, so it is callable from tests and production
+  /// gates in any build type.
   [[nodiscard]] std::vector<BddAuditFinding> audit() const;
 
   // --- cooperative abort ---------------------------------------------------
@@ -300,12 +330,30 @@ class BddManager {
   /// Zero all counters and restart the peak-node high-water mark from the
   /// current live count; per-job metrics on a reused manager start here.
   void reset_stats() noexcept;
-  /// Force a mark-and-sweep collection now.
+  /// Force a mark-and-sweep collection now. Computed-table entries whose
+  /// operands and result all survive are kept (swept, not cleared), so
+  /// long-running decompositions do not re-derive everything after a
+  /// collection.
   void collect_garbage();
   /// Collections trigger automatically when live nodes exceed this value at
-  /// the entry of a public operation (then the threshold doubles if little
-  /// was reclaimed).
-  void set_gc_threshold(std::size_t threshold) noexcept { gc_threshold_ = threshold; }
+  /// the entry of a public operation. The effective threshold adapts: it
+  /// doubles when a collection reclaims little, and decays back toward the
+  /// configured value when collections leave the heap far below it (so a
+  /// one-off spike cannot permanently disable GC pressure on a reused
+  /// manager). This call (re)sets both the current threshold and the decay
+  /// floor.
+  void set_gc_threshold(std::size_t threshold) noexcept {
+    gc_threshold_ = threshold;
+    gc_floor_ = threshold;
+  }
+  /// Current effective auto-GC trigger (observing the adaptive behaviour).
+  [[nodiscard]] std::size_t gc_threshold() const noexcept { return gc_threshold_; }
+  /// Cap the computed table at `max_entries` slots (rounded up to a power
+  /// of two). The table starts small and doubles with insert pressure up to
+  /// this budget.
+  void set_cache_budget(std::size_t max_entries) noexcept;
+  /// Current computed-table capacity in entries.
+  [[nodiscard]] std::size_t cache_entries() const noexcept { return cache_.size(); }
 
  private:
   friend class Bdd;
@@ -313,19 +361,50 @@ class BddManager {
   // private node storage and verify every audit rule actually fires.
   friend struct BddTestCorruptor;
 
+  // --- edge helpers ---------------------------------------------------------
+  // A NodeId is (index << 1) | complement; these never touch memory.
+  [[nodiscard]] static constexpr std::uint32_t edge_index(NodeId e) noexcept {
+    return e >> 1;
+  }
+  [[nodiscard]] static constexpr NodeId edge_not(NodeId e) noexcept { return e ^ 1u; }
+  [[nodiscard]] static constexpr NodeId edge_regular(NodeId e) noexcept {
+    return e & ~NodeId{1};
+  }
+  [[nodiscard]] static constexpr NodeId edge_complement_bit(NodeId e) noexcept {
+    return e & 1u;
+  }
+  [[nodiscard]] static constexpr bool edge_complemented(NodeId e) noexcept {
+    return (e & 1u) != 0;
+  }
+  [[nodiscard]] static constexpr NodeId make_edge(std::uint32_t index,
+                                                  NodeId complement) noexcept {
+    return (index << 1) | complement;
+  }
+
   struct Node {
-    std::uint32_t var;   // level == variable index; terminals use var = num_vars
-    NodeId lo;           // also: next free slot when on the free list
-    NodeId hi;
-    NodeId next;         // unique-table chain
-    std::uint32_t refs;  // external references (handles)
+    std::uint32_t var;   // level == variable index; terminal uses var = num_vars
+    NodeId lo;           // edge; also: next free *index* when on the free list
+    NodeId hi;           // edge; regular by the canonicity rule
+    std::uint32_t next;  // node index chain within the per-variable subtable
+    std::uint32_t refs;  // external references (handles), shared by both polarities
   };
 
-  // Computed-table entry: exact operand match (tag 0 = empty slot).
+  // One unique subtable per variable (BuDDy/CUDD style): hash chains only
+  // ever contain nodes of one level, so level scans and sifting never walk
+  // foreign nodes, and each subtable grows independently of the others.
+  struct VarTable {
+    std::vector<std::uint32_t> buckets;  // node-index chain heads, pow2 size
+    std::size_t count = 0;               // live nodes at this level
+  };
+
+  // Computed-table entry. Two entries form one bucket; `stamp` implements
+  // aging (the older entry of a full bucket is evicted), so hot entries
+  // survive collisions. tag 0 = empty slot.
   struct CacheEntry {
     std::uint32_t tag = 0;
     NodeId a = 0, b = 0, c = 0;
     NodeId result = kInvalidId;
+    std::uint32_t stamp = 0;
   };
 
   // Tags for the computed table. kCompose packs the substituted variable
@@ -338,7 +417,9 @@ class BddManager {
     kOpCompose = 5,  // tag = kOpCompose | (var << 8)
     kOpConstrain = 6,
     kOpRestrict = 7,
+    kOpCofCube = 8,
   };
+  static constexpr std::uint32_t kOpLast = kOpCofCube;
 
   // reference management (used by Bdd handles)
   void inc_ref(NodeId id) noexcept;
@@ -346,17 +427,19 @@ class BddManager {
 
   // node construction
   NodeId make_node(unsigned var, NodeId lo, NodeId hi);
-  NodeId alloc_slot();
-  void grow_unique_table();
-  [[nodiscard]] std::size_t unique_hash(unsigned var, NodeId lo, NodeId hi) const noexcept;
+  std::uint32_t alloc_slot();
+  void grow_subtable(unsigned var);
+  [[nodiscard]] std::size_t unique_hash(NodeId lo, NodeId hi) const noexcept;
 
   // computed table
+  [[nodiscard]] std::size_t cache_bucket(std::uint32_t tag, NodeId a, NodeId b,
+                                         NodeId c) const noexcept;
   [[nodiscard]] NodeId cache_lookup(std::uint32_t tag, NodeId a, NodeId b, NodeId c) noexcept;
-  void cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c, NodeId result) noexcept;
+  void cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c, NodeId result);
+  void grow_cache();
 
-  // recursive cores (work on raw ids; never trigger GC)
+  // recursive cores (work on raw edges; never trigger GC)
   NodeId ite_rec(NodeId f, NodeId g, NodeId h);
-  NodeId not_rec(NodeId f);
   NodeId quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned max_qvar,
                    bool existential, NodeId cube_id);
   NodeId and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& qvars,
@@ -367,7 +450,23 @@ class BddManager {
   void support_rec(NodeId f, std::vector<bool>& seen, std::vector<NodeId>& visited) const;
 
   void maybe_gc();
-  [[nodiscard]] unsigned level_of(NodeId id) const noexcept { return nodes_[id].var; }
+  [[nodiscard]] unsigned level_of(NodeId e) const noexcept {
+    return nodes_[edge_index(e)].var;
+  }
+  // Functional cofactors of an edge: the stored children with the edge's
+  // complement bit pushed through.
+  [[nodiscard]] NodeId lo_of(NodeId e) const noexcept {
+    return nodes_[edge_index(e)].lo ^ edge_complement_bit(e);
+  }
+  [[nodiscard]] NodeId hi_of(NodeId e) const noexcept {
+    return nodes_[edge_index(e)].hi ^ edge_complement_bit(e);
+  }
+  // Deterministic operand order for commutative standard triples: by top
+  // level, ties by regular edge value.
+  [[nodiscard]] bool edge_before(NodeId a, NodeId b) const noexcept {
+    const unsigned la = level_of(a), lb = level_of(b);
+    return la < lb || (la == lb && edge_regular(a) < edge_regular(b));
+  }
   [[nodiscard]] std::vector<bool> cube_var_mask(NodeId cube) const;
 
   // Cross-manager misuse detector: every public operation taking handles
@@ -392,14 +491,18 @@ class BddManager {
   Bdd wrap(NodeId id) noexcept { return Bdd(this, id); }
 
   unsigned num_vars_;
-  std::vector<Node> nodes_;
-  NodeId free_list_ = kInvalidId;
+  std::vector<Node> nodes_;              // indexed by node index (not edge)
+  std::uint32_t free_list_ = kInvalidId;  // node-index chain through Node::lo
   std::size_t free_count_ = 0;
 
-  std::vector<NodeId> unique_table_;  // bucket heads, power-of-two size
-  std::vector<CacheEntry> cache_;     // power-of-two size
+  std::vector<VarTable> subtables_;  // one unique subtable per variable
+  std::vector<CacheEntry> cache_;    // 2-entry buckets, power-of-two size
+  std::size_t cache_budget_ = 1u << 20;  // max entries; growth stops here
+  std::size_t cache_inserts_since_grow_ = 0;
+  std::uint32_t cache_tick_ = 0;  // aging clock (wrap-around is harmless)
 
   std::size_t gc_threshold_;
+  std::size_t gc_floor_;       // decay floor for the adaptive threshold
   bool in_operation_ = false;  // guards against GC during recursion
   BddStats stats_;
 
@@ -409,7 +512,7 @@ class BddManager {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
 
-  // scratch marks for traversals
+  // scratch marks for traversals (indexed by node index)
   mutable std::vector<bool> mark_;
 };
 

@@ -1,6 +1,7 @@
 // BddManager::audit(): read-only structural self-check of the node store,
-// unique table, free list and computed cache, plus the out-of-line throw of
-// the cross-manager ownership guard. Findings carry the BM2xx rule ids from
+// per-variable unique subtables, free list, complement-edge canonicity and
+// the computed cache, plus the out-of-line throw of the cross-manager
+// ownership guard. Findings carry the BM2xx rule ids from
 // lint/diagnostics.h; an empty result means every invariant holds. The audit
 // never throws and never mutates, so it is safe to call mid-flow, from tests
 // in Release builds (where the internal asserts compile away), and from the
@@ -28,8 +29,11 @@ constexpr const char* kStatsDrift = "BM207";
 constexpr const char* kCacheDead = "BM208";
 constexpr const char* kCacheTag = "BM209";
 constexpr const char* kTerminal = "BM210";
+constexpr const char* kComplementHigh = "BM211";
+constexpr const char* kTaggedTerminal = "BM212";
+constexpr const char* kSubtableDrift = "BM213";
 
-std::string node_name(NodeId id) { return "node " + std::to_string(id); }
+std::string node_name(std::uint32_t idx) { return "node " + std::to_string(idx); }
 
 }  // namespace
 
@@ -52,15 +56,25 @@ std::vector<BddAuditFinding> BddManager::audit() const {
   const std::size_t n = nodes_.size();
 
   // --- terminal invariants -------------------------------------------------
-  for (const NodeId t : {kFalseId, kTrueId}) {
-    const Node& node = nodes_[t];
-    if (node.var != num_vars_) {
-      add(kTerminal, node_name(t),
-          "terminal level is " + std::to_string(node.var) + ", expected " +
+  // A single terminal node lives at index 0; edges 0/1 are its two
+  // polarities.
+  {
+    const Node& t = nodes_[0];
+    if (t.var != num_vars_) {
+      add(kTerminal, node_name(0),
+          "terminal level is " + std::to_string(t.var) + ", expected " +
               std::to_string(num_vars_));
     }
-    if (node.refs == 0) {
-      add(kTerminal, node_name(t), "terminal lost its permanent reference");
+    if (t.refs == 0) {
+      add(kTerminal, node_name(0), "terminal lost its permanent reference");
+    }
+    // Tagged-terminal rule: the terminal's self-edges must be the regular
+    // false edge; a complement tag (or a pointer elsewhere) here would make
+    // constant folds like `e <= kTrueId` silently wrong.
+    if (t.lo != kFalseId || t.hi != kFalseId) {
+      add(kTaggedTerminal, node_name(0),
+          "terminal self-edges must be the regular false edge (lo " +
+              std::to_string(t.lo) + ", hi " + std::to_string(t.hi) + ")");
     }
   }
 
@@ -68,34 +82,34 @@ std::vector<BddAuditFinding> BddManager::audit() const {
   std::vector<bool> on_free_list(n, false);
   {
     std::size_t walked = 0;
-    NodeId id = free_list_;
-    while (id != kInvalidId && walked <= n) {
-      if (id >= n) {
-        add(kFreeList, node_name(id), "free-list pointer out of range");
+    std::uint32_t idx = free_list_;
+    while (idx != kInvalidId && walked <= n) {
+      if (idx >= n) {
+        add(kFreeList, node_name(idx), "free-list pointer out of range");
         break;
       }
-      if (on_free_list[id]) {
-        add(kFreeList, node_name(id), "free list is cyclic");
+      if (on_free_list[idx]) {
+        add(kFreeList, node_name(idx), "free list is cyclic");
         break;
       }
-      on_free_list[id] = true;
+      on_free_list[idx] = true;
       ++walked;
-      if (nodes_[id].var != kInvalidId) {
-        add(kFreeList, node_name(id), "free-list slot is not tombstoned");
+      if (nodes_[idx].var != kInvalidId) {
+        add(kFreeList, node_name(idx), "free-list slot is not tombstoned");
       }
-      if (nodes_[id].refs != 0) {
-        add(kFreeList, node_name(id),
-            "free-list slot still carries " + std::to_string(nodes_[id].refs) +
+      if (nodes_[idx].refs != 0) {
+        add(kFreeList, node_name(idx),
+            "free-list slot still carries " + std::to_string(nodes_[idx].refs) +
                 " external reference(s)");
       }
-      id = nodes_[id].lo;  // lo doubles as the next-free pointer
+      idx = nodes_[idx].lo;  // lo doubles as the next-free index
     }
     if (walked != free_count_) {
       add(kFreeList, "free list",
           "free list holds " + std::to_string(walked) + " slots but free_count is " +
               std::to_string(free_count_));
     }
-    for (NodeId i = 2; i < n; ++i) {
+    for (std::uint32_t i = 1; i < n; ++i) {
       if (nodes_[i].var == kInvalidId && !on_free_list[i]) {
         add(kFreeList, node_name(i), "tombstoned slot is not on the free list");
       }
@@ -103,64 +117,93 @@ std::vector<BddAuditFinding> BddManager::audit() const {
   }
 
   // --- per-node canonicity -------------------------------------------------
-  std::map<std::tuple<unsigned, NodeId, NodeId>, NodeId> triples;
-  const std::size_t mask = unique_table_.size() - 1;
-  for (NodeId id = 2; id < n; ++id) {
-    const Node& node = nodes_[id];
+  std::map<std::tuple<unsigned, NodeId, NodeId>, std::uint32_t> triples;
+  std::vector<std::size_t> level_counts(num_vars_, 0);
+  for (std::uint32_t idx = 1; idx < n; ++idx) {
+    const Node& node = nodes_[idx];
     if (node.var == kInvalidId) continue;  // free slot
-    if (node.var >= num_vars_) {
-      add(kVarRange, node_name(id),
+    if (node.var == num_vars_) {
+      // Only index 0 may carry the terminal level: a stray second terminal
+      // breaks canonicity (two spellings of a constant).
+      add(kTaggedTerminal, node_name(idx),
+          "non-root node carries the terminal level " + std::to_string(num_vars_));
+      continue;
+    }
+    if (node.var > num_vars_) {
+      add(kVarRange, node_name(idx),
           "variable " + std::to_string(node.var) + " out of range (num_vars " +
               std::to_string(num_vars_) + ")");
       continue;
     }
+    ++level_counts[node.var];
     bool children_ok = true;
     for (const NodeId child : {node.lo, node.hi}) {
-      if (child >= n) {
-        add(kVarRange, node_name(id),
-            "child " + std::to_string(child) + " out of range");
+      const std::uint32_t child_idx = edge_index(child);
+      if (child_idx >= n) {
+        add(kVarRange, node_name(idx),
+            "child edge " + std::to_string(child) + " out of range");
         children_ok = false;
-      } else if (child >= 2 && nodes_[child].var == kInvalidId) {
-        add(kVarRange, node_name(id),
-            "child " + std::to_string(child) + " is a freed slot");
+      } else if (child_idx != 0 && nodes_[child_idx].var == kInvalidId) {
+        add(kVarRange, node_name(idx),
+            "child edge " + std::to_string(child) + " targets a freed slot");
         children_ok = false;
       }
     }
     if (!children_ok) continue;
+    if (edge_complemented(node.hi)) {
+      // Complement-edge canonicity: the stored high edge is regular;
+      // make_node pushes a complemented high into the parent edge. A tagged
+      // high edge here means two spellings of the same function can coexist.
+      add(kComplementHigh, node_name(idx),
+          "stored high edge " + std::to_string(node.hi) +
+              " is complemented; canonical form requires a regular high edge");
+    }
     if (node.lo == node.hi) {
-      add(kRedundantNode, node_name(id),
-          "both branches reach node " + std::to_string(node.lo) +
+      add(kRedundantNode, node_name(idx),
+          "both branches are edge " + std::to_string(node.lo) +
               "; the reduction rule should have removed this node");
     }
     if (level_of(node.lo) <= node.var || level_of(node.hi) <= node.var) {
-      add(kLevelOrder, node_name(id),
+      add(kLevelOrder, node_name(idx),
           "child level not strictly below the node's level " +
               std::to_string(node.var) + " (lo level " +
               std::to_string(level_of(node.lo)) + ", hi level " +
               std::to_string(level_of(node.hi)) + ")");
     }
     const auto [it, inserted] =
-        triples.emplace(std::make_tuple(node.var, node.lo, node.hi), id);
+        triples.emplace(std::make_tuple(node.var, node.lo, node.hi), idx);
     if (!inserted) {
-      add(kDuplicateTriple, node_name(id),
+      add(kDuplicateTriple, node_name(idx),
           "same (var, lo, hi) triple as node " + std::to_string(it->second) +
               "; the unique table no longer canonicalizes");
     }
-    // The node must be discoverable through its own hash bucket, or every
-    // future make_node of this triple silently duplicates it.
+    // The node must be discoverable through its own subtable bucket, or
+    // every future make_node of this triple silently duplicates it.
+    const VarTable& table = subtables_[node.var];
     bool found = false;
     std::size_t chain_len = 0;
-    for (NodeId c = unique_table_[unique_hash(node.var, node.lo, node.hi) & mask];
+    for (std::uint32_t c = table.buckets[unique_hash(node.lo, node.hi) &
+                                        (table.buckets.size() - 1)];
          c != kInvalidId && chain_len <= n; c = nodes_[c].next, ++chain_len) {
-      if (c == id) {
+      if (c == idx) {
         found = true;
         break;
       }
       if (c >= n) break;
     }
     if (!found) {
-      add(kChainMiss, node_name(id),
-          "live node is absent from its unique-table bucket chain");
+      add(kChainMiss, node_name(idx),
+          "live node is absent from its level-" + std::to_string(node.var) +
+              " subtable bucket chain");
+    }
+  }
+
+  // --- per-level subtable counters ----------------------------------------
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (subtables_[v].count != level_counts[v]) {
+      add(kSubtableDrift, "subtable " + std::to_string(v),
+          "level counter says " + std::to_string(subtables_[v].count) +
+              " node(s) but the store holds " + std::to_string(level_counts[v]));
     }
   }
 
@@ -176,7 +219,7 @@ std::vector<BddAuditFinding> BddManager::audit() const {
     const CacheEntry& e = cache_[slot];
     if (e.tag == 0) continue;  // empty
     const std::uint32_t op = e.tag & 0xffu;
-    if (op < kOpIte || op > kOpRestrict) {
+    if (op < kOpIte || op > kOpLast) {
       add(kCacheTag, "cache " + std::to_string(slot),
           "unknown operation tag " + std::to_string(e.tag));
       continue;
@@ -186,13 +229,14 @@ std::vector<BddAuditFinding> BddManager::audit() const {
           "tag " + std::to_string(e.tag) + " carries payload bits but is not compose");
     }
     for (const NodeId ref : {e.a, e.b, e.c, e.result}) {
-      if (ref >= n) {
+      const std::uint32_t ref_idx = edge_index(ref);
+      if (ref_idx >= n) {
         add(kCacheDead, "cache " + std::to_string(slot),
-            "entry references out-of-range node " + std::to_string(ref));
-      } else if (ref >= 2 && nodes_[ref].var == kInvalidId) {
+            "entry references out-of-range edge " + std::to_string(ref));
+      } else if (ref_idx != 0 && nodes_[ref_idx].var == kInvalidId) {
         add(kCacheDead, "cache " + std::to_string(slot),
-            "entry references freed node " + std::to_string(ref) +
-                "; the cache must be cleared when nodes die");
+            "entry references freed node " + std::to_string(ref_idx) +
+                "; GC must sweep entries whose operands die");
       }
     }
   }

@@ -11,32 +11,40 @@ namespace bidec {
 
 double BddManager::sat_count(const Bdd& f) {
   ensure_owned(f, "sat_count");
-  std::unordered_map<NodeId, double> memo;
-  memo[kFalseId] = 0.0;
-  memo[kTrueId] = 1.0;
-  // count(f) over the variables strictly below level(f); scale at the end.
-  // memo stores counts normalized to "fraction of assignments of the
-  // variables below the node's level": we instead store minterm counts over
-  // all variables below level(node), computed recursively.
+  // memo[i] = minterm count of node i's *regular* function over the
+  // variables at or below its level; a complemented edge at level v counts
+  // the complement, 2^(num_vars - v) - memo[i]. No nodes are created here,
+  // so Node references stay stable.
+  std::unordered_map<std::uint32_t, double> memo;
+  memo[0] = 0.0;  // regular terminal = FALSE
   struct Rec {
     BddManager& m;
-    std::unordered_map<NodeId, double>& memo;
-    double operator()(NodeId id) {
-      const auto it = memo.find(id);
-      if (it != memo.end()) return it->second;
-      const Node& n = m.nodes_[id];
-      const double lo = (*this)(n.lo);
-      const double hi = (*this)(n.hi);
-      const unsigned lo_gap = m.level_of(n.lo) - n.var - 1;
-      const unsigned hi_gap = m.level_of(n.hi) - n.var - 1;
-      const double r = lo * std::ldexp(1.0, static_cast<int>(lo_gap)) +
-                       hi * std::ldexp(1.0, static_cast<int>(hi_gap));
-      memo.emplace(id, r);
-      return r;
+    std::unordered_map<std::uint32_t, double>& memo;
+    // Count of edge `e` over the variables [level(e), num_vars).
+    double operator()(NodeId e) {
+      const std::uint32_t idx = edge_index(e);
+      double base;
+      const auto it = memo.find(idx);
+      if (it != memo.end()) {
+        base = it->second;
+      } else {
+        const Node& n = m.nodes_[idx];
+        const double lo = (*this)(n.lo);
+        const double hi = (*this)(n.hi);
+        const unsigned lo_gap = m.level_of(n.lo) - n.var - 1;
+        const unsigned hi_gap = m.level_of(n.hi) - n.var - 1;
+        base = lo * std::ldexp(1.0, static_cast<int>(lo_gap)) +
+               hi * std::ldexp(1.0, static_cast<int>(hi_gap));
+        memo.emplace(idx, base);
+      }
+      if (edge_complemented(e)) {
+        return std::ldexp(1.0, static_cast<int>(m.num_vars_ - m.level_of(e))) - base;
+      }
+      return base;
     }
   } rec{*this, memo};
   const double at_top = rec(f.id());
-  const unsigned gap = level_of(f.id());
+  const unsigned gap = level_of(f.id());  // free variables above the root
   return at_top * std::ldexp(1.0, static_cast<int>(gap));
 }
 
@@ -44,16 +52,17 @@ CubeLits BddManager::pick_one_cube_lits(const Bdd& f) {
   ensure_owned(f, "pick_one_cube");
   if (f.is_false()) throw std::invalid_argument("pick_one_cube: function is empty");
   CubeLits lits(num_vars_, -1);
-  NodeId id = f.id();
-  while (id > kTrueId) {
-    const Node& n = nodes_[id];
+  NodeId e = f.id();
+  while (e > kTrueId) {
+    const unsigned v = level_of(e);
+    const NodeId lo = lo_of(e);
     // Deterministic choice: prefer the 0-branch when it is not empty.
-    if (n.lo != kFalseId) {
-      lits[n.var] = 0;
-      id = n.lo;
+    if (lo != kFalseId) {
+      lits[v] = 0;
+      e = lo;
     } else {
-      lits[n.var] = 1;
-      id = n.hi;
+      lits[v] = 1;
+      e = hi_of(e);
     }
   }
   return lits;
@@ -117,22 +126,22 @@ std::vector<CubeLits> BddManager::isop(const Bdd& lower, const Bdd& upper) {
       res.cubes.emplace_back(num_vars_, static_cast<signed char>(-1));  // tautology cube
     } else {
       const unsigned v = std::min(level_of(l), level_of(u));
-      const NodeId l0 = level_of(l) == v ? nodes_[l].lo : l;
-      const NodeId l1 = level_of(l) == v ? nodes_[l].hi : l;
-      const NodeId u0 = level_of(u) == v ? nodes_[u].lo : u;
-      const NodeId u1 = level_of(u) == v ? nodes_[u].hi : u;
+      const NodeId l0 = level_of(l) == v ? lo_of(l) : l;
+      const NodeId l1 = level_of(l) == v ? hi_of(l) : l;
+      const NodeId u0 = level_of(u) == v ? lo_of(u) : u;
+      const NodeId u1 = level_of(u) == v ? hi_of(u) : u;
 
       // Cubes that must contain literal ~v: needed where the function must
       // be 1 with v=0 but may not be 1 with v=1.
-      const NodeId nl0 = ite_rec(l0, not_rec(u1), kFalseId);
+      const NodeId nl0 = ite_rec(l0, edge_not(u1), kFalseId);
       const IsopResult c0 = self(self, nl0, u0);
       // Cubes that must contain literal v.
-      const NodeId nl1 = ite_rec(l1, not_rec(u0), kFalseId);
+      const NodeId nl1 = ite_rec(l1, edge_not(u0), kFalseId);
       const IsopResult c1 = self(self, nl1, u1);
 
       // What remains uncovered must be covered by cubes without v.
-      const NodeId rem0 = ite_rec(l0, not_rec(c0.func), kFalseId);
-      const NodeId rem1 = ite_rec(l1, not_rec(c1.func), kFalseId);
+      const NodeId rem0 = ite_rec(l0, edge_not(c0.func), kFalseId);
+      const NodeId rem1 = ite_rec(l1, edge_not(c1.func), kFalseId);
       const NodeId ld = ite_rec(rem0, kTrueId, rem1);
       const NodeId ud = ite_rec(u0, u1, kFalseId);
       const IsopResult cd = self(self, ld, ud);

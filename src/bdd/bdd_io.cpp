@@ -1,27 +1,51 @@
 // Human-readable dumps of BDDs for debugging and documentation.
+// Complemented edges are rendered with a `~` prefix (text) or a dotted
+// style (graphviz); node names are node indices, so f and ~f print the
+// same DAG with different root polarity.
 #include "bdd/bdd.h"
 
 #include <sstream>
 
 namespace bidec {
 
+namespace {
+
+// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered(const char* prefix, std::uint32_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
+
 std::string BddManager::to_string(const Bdd& f) const {
   ensure_owned(f, "to_string");
   std::ostringstream out;
   if (f.is_false()) return "const0";
   if (f.is_true()) return "const1";
+  // Edge spelling: constants as const0/const1, else [~]n<index>.
+  auto edge_name = [](NodeId e) {
+    if (e == kFalseId) return std::string("const0");
+    if (e == kTrueId) return std::string("const1");
+    std::string s = edge_complemented(e) ? "~n" : "n";
+    s += std::to_string(edge_index(e));
+    return s;
+  };
   mark_.assign(nodes_.size(), false);
-  std::vector<NodeId> stack{f.id()};
-  out << "root " << f.id() << "\n";
+  std::vector<std::uint32_t> stack{edge_index(f.id())};
+  out << "root " << edge_name(f.id()) << "\n";
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (id <= kTrueId || mark_[id]) continue;
-    mark_[id] = true;
-    const Node& n = nodes_[id];
-    out << "  n" << id << " = ITE(x" << n.var << ", n" << n.hi << ", n" << n.lo << ")\n";
-    stack.push_back(n.lo);
-    stack.push_back(n.hi);
+    if (idx == 0 || mark_[idx]) continue;
+    mark_[idx] = true;
+    const Node& n = nodes_[idx];
+    out << "  n" << idx << " = ITE(x" << n.var << ", " << edge_name(n.hi) << ", "
+        << edge_name(n.lo) << ")\n";
+    stack.push_back(edge_index(n.lo));
+    stack.push_back(edge_index(n.hi));
   }
   return out.str();
 }
@@ -31,28 +55,31 @@ std::string BddManager::to_dot(const Bdd& f) const {
   std::ostringstream out;
   out << "digraph bdd {\n"
       << "  node [shape=circle];\n"
-      << "  t0 [shape=box,label=\"0\"];\n"
-      << "  t1 [shape=box,label=\"1\"];\n";
-  mark_.assign(nodes_.size(), false);
-  std::vector<NodeId> stack{f.id()};
-  auto name = [](NodeId id) {
-    if (id == kFalseId) return std::string("t0");
-    if (id == kTrueId) return std::string("t1");
-    std::string s = "n";  // two statements: GCC 12's -Wrestrict misfires on
-    s += std::to_string(id);  // `"n" + std::to_string(id)` inlined here
-    return s;
+      << "  t0 [shape=box,label=\"0\"];\n";
+  auto name = [](NodeId e) {
+    if (edge_index(e) == 0) return std::string("t0");
+    return numbered("n", edge_index(e));
   };
+  // Root pseudo-node shows the entry polarity (dotted = complemented).
+  out << "  root [shape=plaintext,label=\"f\"];\n";
+  out << "  root -> " << name(f.id())
+      << (edge_complemented(f.id()) ? " [style=dotted];\n" : ";\n");
+  mark_.assign(nodes_.size(), false);
+  std::vector<std::uint32_t> stack{edge_index(f.id())};
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (id <= kTrueId || mark_[id]) continue;
-    mark_[id] = true;
-    const Node& n = nodes_[id];
-    out << "  n" << id << " [label=\"x" << n.var << "\"];\n";
-    out << "  n" << id << " -> " << name(n.lo) << " [style=dashed];\n";
-    out << "  n" << id << " -> " << name(n.hi) << ";\n";
-    stack.push_back(n.lo);
-    stack.push_back(n.hi);
+    if (idx == 0 || mark_[idx]) continue;
+    mark_[idx] = true;
+    const Node& n = nodes_[idx];
+    out << "  n" << idx << " [label=\"x" << n.var << "\"];\n";
+    // Low edges dashed; complemented edges additionally dotted (they can
+    // only occur on low edges by the regular-high canonicity rule).
+    out << "  n" << idx << " -> " << name(n.lo)
+        << (edge_complemented(n.lo) ? " [style=dotted];\n" : " [style=dashed];\n");
+    out << "  n" << idx << " -> " << name(n.hi) << ";\n";
+    stack.push_back(edge_index(n.lo));
+    stack.push_back(edge_index(n.hi));
   }
   out << "}\n";
   return out.str();

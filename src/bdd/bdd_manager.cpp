@@ -1,9 +1,12 @@
-// Core of the ROBDD package: node storage, unique table, computed table,
-// garbage collection, ITE and the Boolean connectives derived from it.
+// Core of the ROBDD package: node storage, per-variable unique subtables,
+// the aging computed table, garbage collection, ITE and the Boolean
+// connectives derived from it. Nodes are addressed by complement edges
+// (see bdd.h); everything in this file works on raw edges.
 #include "bdd/bdd.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 namespace bidec {
@@ -85,25 +88,33 @@ std::size_t Bdd::dag_size() const { return mgr_->dag_size(*this); }
 // ---------------------------------------------------------------------------
 
 BddManager::BddManager(unsigned num_vars, std::size_t initial_capacity)
-    : num_vars_(num_vars), gc_threshold_(std::max<std::size_t>(initial_capacity, 1u << 12)) {
+    : num_vars_(num_vars),
+      gc_threshold_(std::max<std::size_t>(initial_capacity, 1u << 12)),
+      gc_floor_(gc_threshold_) {
   nodes_.reserve(initial_capacity);
-  // Terminals live at ids 0 (false) and 1 (true); var == num_vars marks them
-  // as below every real level. They are permanently referenced.
+  // The single terminal node lives at index 0 and denotes FALSE in its
+  // regular polarity (edge 0); edge 1 is its complement, TRUE. var ==
+  // num_vars marks it as below every real level. Permanently referenced.
   nodes_.push_back(Node{num_vars_, kFalseId, kFalseId, kInvalidId, 1});
-  nodes_.push_back(Node{num_vars_, kTrueId, kTrueId, kInvalidId, 1});
-  unique_table_.assign(round_up_pow2(initial_capacity), kInvalidId);
-  cache_.assign(round_up_pow2(initial_capacity), CacheEntry{});
-  stats_.live_nodes = 2;
-  stats_.peak_nodes = 2;
+  // Per-variable unique subtables start small and grow independently.
+  subtables_.resize(num_vars_);
+  for (VarTable& t : subtables_) t.buckets.assign(16, kInvalidId);
+  // The computed table starts at the initial capacity and doubles with
+  // insert pressure up to cache_budget_.
+  cache_.assign(std::max<std::size_t>(round_up_pow2(initial_capacity), 1024),
+                CacheEntry{});
+  cache_budget_ = std::max(cache_budget_, cache_.size());
+  stats_.live_nodes = 1;
+  stats_.peak_nodes = 1;
 }
 
 BddManager::~BddManager() = default;
 
-void BddManager::inc_ref(NodeId id) noexcept { ++nodes_[id].refs; }
+void BddManager::inc_ref(NodeId id) noexcept { ++nodes_[edge_index(id)].refs; }
 
 void BddManager::dec_ref(NodeId id) noexcept {
-  assert(nodes_[id].refs > 0);
-  --nodes_[id].refs;
+  assert(nodes_[edge_index(id)].refs > 0);
+  --nodes_[edge_index(id)].refs;
 }
 
 std::size_t BddManager::live_node_count() const noexcept {
@@ -115,6 +126,11 @@ void BddManager::reset_stats() noexcept {
   stats_.live_nodes = live_node_count();
   stats_.peak_nodes = stats_.live_nodes;
   steps_ = 0;
+}
+
+void BddManager::set_cache_budget(std::size_t max_entries) noexcept {
+  cache_budget_ =
+      std::max(round_up_pow2(std::max<std::size_t>(max_entries, 2)), cache_.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -156,45 +172,84 @@ void BddManager::check_deadline() const {
 }
 
 void BddManager::collect_garbage() {
-  // Mark every node reachable from an externally referenced root.
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[kFalseId] = marked[kTrueId] = true;
-  std::vector<NodeId> stack;
-  for (NodeId id = 2; id < nodes_.size(); ++id) {
-    if (nodes_[id].refs > 0 && nodes_[id].var != kInvalidId) stack.push_back(id);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Mark every node (index) reachable from an externally referenced root.
+  std::vector<std::uint8_t> marked(nodes_.size(), 0);  // bytes, not bits:
+  marked[0] = 1;  // the cache sweep below reads this 4x per entry  (terminal)
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (nodes_[idx].refs > 0 && nodes_[idx].var != kInvalidId) stack.push_back(idx);
   }
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (marked[id]) continue;
-    marked[id] = true;
-    if (!marked[nodes_[id].lo]) stack.push_back(nodes_[id].lo);
-    if (!marked[nodes_[id].hi]) stack.push_back(nodes_[id].hi);
+    if (marked[idx]) continue;
+    marked[idx] = 1;
+    const std::uint32_t lo_idx = edge_index(nodes_[idx].lo);
+    const std::uint32_t hi_idx = edge_index(nodes_[idx].hi);
+    if (!marked[lo_idx]) stack.push_back(lo_idx);
+    if (!marked[hi_idx]) stack.push_back(hi_idx);
   }
 
-  // Sweep: rebuild the free list and the unique table from survivors.
-  std::fill(unique_table_.begin(), unique_table_.end(), kInvalidId);
+  // Sweep: rebuild the free list and the per-variable subtables from
+  // survivors.
+  for (VarTable& t : subtables_) {
+    std::fill(t.buckets.begin(), t.buckets.end(), kInvalidId);
+    t.count = 0;
+  }
   free_list_ = kInvalidId;
   free_count_ = 0;
-  const std::size_t mask = unique_table_.size() - 1;
-  for (NodeId id = 2; id < nodes_.size(); ++id) {
-    Node& n = nodes_[id];
-    if (!marked[id]) {
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    Node& n = nodes_[idx];
+    if (!marked[idx]) {
       n.var = kInvalidId;  // tombstone: slot is free
       n.lo = free_list_;
-      free_list_ = id;
+      free_list_ = idx;
       ++free_count_;
       continue;
     }
-    if (n.var == kInvalidId) continue;  // already free before this GC
-    const std::size_t h = unique_hash(n.var, n.lo, n.hi) & mask;
-    n.next = unique_table_[h];
-    unique_table_[h] = id;
+    VarTable& t = subtables_[n.var];
+    const std::size_t h = unique_hash(n.lo, n.hi) & (t.buckets.size() - 1);
+    n.next = t.buckets[h];
+    t.buckets[h] = idx;
+    ++t.count;
   }
-  // Cached results may reference dead nodes: drop everything.
-  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+
+  // Sweep the computed table: an entry survives iff every node it touches
+  // survived, so long decompositions keep their derived results across
+  // collections instead of re-deriving everything.
+  std::size_t kept = 0;
+  std::size_t dropped = 0;
+  for (CacheEntry& e : cache_) {
+    if (e.tag == 0) continue;
+    // Bitwise & on the byte flags: survival is ~50/50 during churn, so
+    // short-circuit branches here mispredict constantly.
+    const bool alive = (marked[edge_index(e.a)] & marked[edge_index(e.b)] &
+                        marked[edge_index(e.c)] & marked[edge_index(e.result)]) != 0;
+    if (alive) {
+      ++kept;
+    } else {
+      e = CacheEntry{};
+      ++dropped;
+    }
+  }
+  stats_.cache_kept += kept;
+  stats_.cache_swept += dropped;
+
   stats_.live_nodes = nodes_.size() - free_count_;
   ++stats_.gc_runs;
+  stats_.gc_ms += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  // Threshold decay: when a collection leaves the heap far below the
+  // trigger, relax a spike-inflated trigger back toward the configured
+  // floor. Runs on forced collections too (the batch engine forces one
+  // between jobs on reused managers), so a one-off spike cannot permanently
+  // disable GC pressure for small follow-on jobs.
+  while (gc_threshold_ / 2 >= gc_floor_ && stats_.live_nodes * 4 <= gc_threshold_) {
+    gc_threshold_ /= 2;
+  }
 }
 
 void BddManager::maybe_gc() {
@@ -202,91 +257,156 @@ void BddManager::maybe_gc() {
   const std::size_t before = live_node_count();
   collect_garbage();
   // If the collection freed less than a quarter, grow the threshold so we
-  // do not thrash.
+  // do not thrash. (collect_garbage shrinks it back once reclaim improves.)
   if (live_node_count() > before - before / 4) gc_threshold_ *= 2;
 }
 
 // ---------------------------------------------------------------------------
-// Unique table / node construction
+// Unique subtables / node construction
 // ---------------------------------------------------------------------------
 
-std::size_t BddManager::unique_hash(unsigned var, NodeId lo, NodeId hi) const noexcept {
+std::size_t BddManager::unique_hash(NodeId lo, NodeId hi) const noexcept {
   return static_cast<std::size_t>(
-      mix64((static_cast<std::uint64_t>(var) << 48) ^
-            (static_cast<std::uint64_t>(lo) << 24) ^ hi));
+      mix64((static_cast<std::uint64_t>(lo) << 32) ^ hi));
 }
 
-NodeId BddManager::alloc_slot() {
+std::uint32_t BddManager::alloc_slot() {
   if (free_list_ != kInvalidId) {
-    const NodeId id = free_list_;
-    free_list_ = nodes_[id].lo;
+    const std::uint32_t idx = free_list_;
+    free_list_ = nodes_[idx].lo;
     --free_count_;
-    return id;
+    return idx;
   }
   nodes_.push_back(Node{});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
-void BddManager::grow_unique_table() {
-  const std::size_t new_size = unique_table_.size() * 2;
-  std::vector<NodeId> fresh(new_size, kInvalidId);
+void BddManager::grow_subtable(unsigned var) {
+  VarTable& t = subtables_[var];
+  const std::size_t new_size = t.buckets.size() * 2;
+  std::vector<std::uint32_t> fresh(new_size, kInvalidId);
   const std::size_t mask = new_size - 1;
-  for (NodeId id = 2; id < nodes_.size(); ++id) {
-    Node& n = nodes_[id];
-    if (n.var == kInvalidId) continue;
-    const std::size_t h = unique_hash(n.var, n.lo, n.hi) & mask;
-    n.next = fresh[h];
-    fresh[h] = id;
+  for (const std::uint32_t head : t.buckets) {
+    for (std::uint32_t idx = head; idx != kInvalidId;) {
+      const std::uint32_t next = nodes_[idx].next;
+      const std::size_t h = unique_hash(nodes_[idx].lo, nodes_[idx].hi) & mask;
+      nodes_[idx].next = fresh[h];
+      fresh[h] = idx;
+      idx = next;
+    }
   }
-  unique_table_.swap(fresh);
+  t.buckets.swap(fresh);
 }
 
 NodeId BddManager::make_node(unsigned var, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
+  // Canonicity: the stored high edge is regular. A complemented high edge
+  // is normalized by complementing both children and tagging the result.
+  const NodeId out_c = edge_complement_bit(hi);
+  lo ^= out_c;
+  hi ^= out_c;
   assert(var < num_vars_);
   assert(level_of(lo) > var && level_of(hi) > var);
-  const std::size_t mask = unique_table_.size() - 1;
-  const std::size_t h = unique_hash(var, lo, hi) & mask;
-  for (NodeId id = unique_table_[h]; id != kInvalidId; id = nodes_[id].next) {
-    const Node& n = nodes_[id];
-    if (n.var == var && n.lo == lo && n.hi == hi) {
+  VarTable& table = subtables_[var];
+  const std::size_t h = unique_hash(lo, hi) & (table.buckets.size() - 1);
+  for (std::uint32_t idx = table.buckets[h]; idx != kInvalidId; idx = nodes_[idx].next) {
+    const Node& n = nodes_[idx];
+    if (n.lo == lo && n.hi == hi) {
       ++stats_.unique_hits;
-      return id;
+      return make_edge(idx, out_c);
     }
   }
   ++stats_.unique_misses;
-  const NodeId id = alloc_slot();
-  nodes_[id] = Node{var, lo, hi, unique_table_[h], 0};
-  unique_table_[h] = id;
+  const std::uint32_t idx = alloc_slot();
+  nodes_[idx] = Node{var, lo, hi, table.buckets[h], 0};
+  table.buckets[h] = idx;
+  ++table.count;
   stats_.live_nodes = live_node_count();
   stats_.peak_nodes = std::max(stats_.peak_nodes, stats_.live_nodes);
-  if (stats_.live_nodes * 2 > unique_table_.size()) grow_unique_table();
-  return id;
+  if (table.count * 2 > table.buckets.size()) grow_subtable(var);
+  return make_edge(idx, out_c);
 }
 
 // ---------------------------------------------------------------------------
 // Computed table
 // ---------------------------------------------------------------------------
 
+std::size_t BddManager::cache_bucket(std::uint32_t tag, NodeId a, NodeId b,
+                                     NodeId c) const noexcept {
+  // One multiply-mix over the folded triple: the full key is compared on
+  // probe, so hash aliasing only costs an occasional miss, never a wrong
+  // result. Folding keeps the hot path at a single mix64.
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(a) << 32) ^
+            (static_cast<std::uint64_t>(b) << 11) ^
+            (static_cast<std::uint64_t>(tag) << 54) ^ c);
+  return static_cast<std::size_t>(h & (cache_.size() / 2 - 1)) * 2;
+}
+
 NodeId BddManager::cache_lookup(std::uint32_t tag, NodeId a, NodeId b, NodeId c) noexcept {
   ++stats_.cache_lookups;
-  const std::uint64_t h =
-      mix64((static_cast<std::uint64_t>(tag) << 32) ^ a) ^
-      mix64((static_cast<std::uint64_t>(b) << 32) ^ c);
-  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
-  if (e.tag == tag && e.a == a && e.b == b && e.c == c) {
+  const std::size_t base = cache_bucket(tag, a, b, c);
+  CacheEntry& e0 = cache_[base];
+  // A slot-0 hit is read-only: the entry is already in the preferred slot,
+  // and its insert/promote-time stamp is recent enough for aging. Keeping
+  // stores off the common path keeps the line clean for the next probe.
+  if (e0.tag == tag && e0.a == a && e0.b == b && e0.c == c) {
     ++stats_.cache_hits;
-    return e.result;
+    return e0.result;
+  }
+  CacheEntry& e1 = cache_[base + 1];
+  if (e1.tag == tag && e1.a == a && e1.b == b && e1.c == c) {
+    ++stats_.cache_hits;
+    // Refresh the stamp so aging eviction keeps the hot entry; no slot
+    // promotion — the extra stores cost more than the second compare saves.
+    e1.stamp = ++cache_tick_;
+    return e1.result;
   }
   return kInvalidId;
 }
 
 void BddManager::cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c,
-                              NodeId result) noexcept {
-  const std::uint64_t h =
-      mix64((static_cast<std::uint64_t>(tag) << 32) ^ a) ^
-      mix64((static_cast<std::uint64_t>(b) << 32) ^ c);
-  cache_[h & (cache_.size() - 1)] = CacheEntry{tag, a, b, c, result};
+                              NodeId result) {
+  ++stats_.cache_inserts;
+  if (++cache_inserts_since_grow_ > cache_.size()) {
+    // Grow under insert pressure, but only while the table is small relative
+    // to the live working set (about one entry per live node): an oversized cache
+    // is a net loss — every probe leaves L2 and every GC sweep walks it.
+    const std::size_t target = std::min(
+        cache_budget_, round_up_pow2(live_node_count()));
+    if (cache_.size() < target) {
+      grow_cache();
+    } else {
+      cache_inserts_since_grow_ = 0;
+    }
+  }
+  const std::size_t base = cache_bucket(tag, a, b, c);
+  CacheEntry& e0 = cache_[base];
+  CacheEntry& e1 = cache_[base + 1];
+  // Aging: fill an empty slot if there is one, otherwise evict the entry
+  // with the older stamp so hot entries survive collisions.
+  CacheEntry& victim =
+      e0.tag == 0 ? e0 : (e1.tag == 0 ? e1 : (e0.stamp <= e1.stamp ? e0 : e1));
+  victim = CacheEntry{tag, a, b, c, result, ++cache_tick_};
+}
+
+void BddManager::grow_cache() {
+  const std::size_t new_size = std::min(cache_.size() * 2, cache_budget_);
+  if (new_size <= cache_.size()) return;
+  std::vector<CacheEntry> old;
+  old.swap(cache_);
+  cache_.assign(new_size, CacheEntry{});
+  for (const CacheEntry& e : old) {
+    if (e.tag == 0) continue;
+    const std::size_t base = cache_bucket(e.tag, e.a, e.b, e.c);
+    CacheEntry& e0 = cache_[base];
+    CacheEntry& e1 = cache_[base + 1];
+    CacheEntry& victim =
+        e0.tag == 0 ? e0 : (e1.tag == 0 ? e1 : (e0.stamp <= e1.stamp ? e0 : e1));
+    if (victim.tag == 0 || victim.stamp <= e.stamp) victim = e;
+  }
+  cache_inserts_since_grow_ = 0;
+  ++stats_.cache_resizes;
 }
 
 // ---------------------------------------------------------------------------
@@ -334,8 +454,6 @@ Bdd BddManager::make_cube(const CubeLits& lits) {
 // ITE and connectives
 // ---------------------------------------------------------------------------
 
-NodeId BddManager::not_rec(NodeId f) { return ite_rec(f, kFalseId, kTrueId); }
-
 NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
   check_step();
   // Terminal rules.
@@ -343,32 +461,81 @@ NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
   if (f == kFalseId) return h;
   if (g == h) return g;
   if (g == kTrueId && h == kFalseId) return f;
-  // ite(f, f, h) == ite(f, 1, h); ite(f, g, f) == ite(f, g, 0).
-  if (f == g) g = kTrueId;
-  if (f == h) h = kFalseId;
+  if (g == kFalseId && h == kTrueId) return edge_not(f);
+  // Absorb operands equal (or complementary) to the selector:
+  // ite(f, f, h) = ite(f, 1, h); ite(f, ~f, h) = ite(f, 0, h); dually for h.
+  if (f == g) {
+    g = kTrueId;
+  } else if (f == edge_not(g)) {
+    g = kFalseId;
+  }
+  if (f == h) {
+    h = kFalseId;
+  } else if (f == edge_not(h)) {
+    h = kTrueId;
+  }
+  if (g == h) return g;
+  if (g == kTrueId && h == kFalseId) return f;
+  if (g == kFalseId && h == kTrueId) return edge_not(f);
 
-  // Commutative normalizations improve cache hit rates:
-  // OR:  ite(f, 1, h) == ite(h, 1, f);  AND: ite(f, g, 0) == ite(g, f, 0).
-  if (g == kTrueId && h > f) std::swap(f, h);
-  if (h == kFalseId && g < f) std::swap(f, g);
+  // Standard-triple normalization (Brace/Rudell/Bryant): order the two
+  // non-constant operands of the commutative forms deterministically so
+  // AND/OR/NOR/NAND/XOR spellings of the same function share cache lines.
+  if (g == kTrueId) {  // OR: ite(f, 1, h) = ite(h, 1, f)
+    if (edge_before(h, f)) std::swap(f, h);
+  } else if (h == kFalseId) {  // AND: ite(f, g, 0) = ite(g, f, 0)
+    if (edge_before(g, f)) std::swap(f, g);
+  } else if (g == kFalseId) {  // NOR: ite(f, 0, h) = ite(~h, 0, ~f)
+    if (edge_before(h, f)) {
+      const NodeId t = edge_not(h);
+      h = edge_not(f);
+      f = t;
+    }
+  } else if (h == kTrueId) {  // NAND: ite(f, g, 1) = ite(~g, ~f, 1)
+    if (edge_before(g, f)) {
+      const NodeId t = edge_not(g);
+      g = edge_not(f);
+      f = t;
+    }
+  } else if (g == edge_not(h)) {  // XOR: ite(f, g, ~g) = ite(g, f, ~f)
+    if (edge_before(g, f)) {
+      const NodeId t = g;
+      g = f;
+      h = edge_not(f);
+      f = t;
+    }
+  }
+
+  // Complement canonicalization: the selector and the then-branch are made
+  // regular; a complemented then-branch complements the cached result.
+  if (edge_complemented(f)) {
+    f = edge_not(f);
+    std::swap(g, h);
+  }
+  NodeId out_c = 0;
+  if (edge_complemented(g)) {
+    out_c = 1;
+    g = edge_not(g);
+    h = edge_not(h);
+  }
 
   const NodeId cached = cache_lookup(kOpIte, f, g, h);
-  if (cached != kInvalidId) return cached;
+  if (cached != kInvalidId) return cached ^ out_c;
 
   const unsigned vf = level_of(f), vg = level_of(g), vh = level_of(h);
   const unsigned v = std::min({vf, vg, vh});
-  const NodeId f0 = vf == v ? nodes_[f].lo : f;
-  const NodeId f1 = vf == v ? nodes_[f].hi : f;
-  const NodeId g0 = vg == v ? nodes_[g].lo : g;
-  const NodeId g1 = vg == v ? nodes_[g].hi : g;
-  const NodeId h0 = vh == v ? nodes_[h].lo : h;
-  const NodeId h1 = vh == v ? nodes_[h].hi : h;
+  const NodeId f0 = vf == v ? lo_of(f) : f;
+  const NodeId f1 = vf == v ? hi_of(f) : f;
+  const NodeId g0 = vg == v ? lo_of(g) : g;
+  const NodeId g1 = vg == v ? hi_of(g) : g;
+  const NodeId h0 = vh == v ? lo_of(h) : h;
+  const NodeId h1 = vh == v ? hi_of(h) : h;
 
   const NodeId r0 = ite_rec(f0, g0, h0);
   const NodeId r1 = ite_rec(f1, g1, h1);
   const NodeId r = make_node(v, r0, r1);
   cache_insert(kOpIte, f, g, h, r);
-  return r;
+  return r ^ out_c;
 }
 
 Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
@@ -397,35 +564,28 @@ Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_xor");
   ensure_owned(g, "apply_xor");
   maybe_gc();
-  // xor(f, g) = ite(f, ~g, g); normalize operand order (xor is commutative).
-  NodeId a = f.id(), b = g.id();
-  if (a > b) std::swap(a, b);
-  const NodeId nb = not_rec(b);
-  return wrap(ite_rec(a, nb, b));
+  // xor(f, g) = ite(f, ~g, g); the XOR standard triple normalizes order.
+  return wrap(ite_rec(f.id(), edge_not(g.id()), g.id()));
 }
 
 Bdd BddManager::apply_xnor(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_xnor");
   ensure_owned(g, "apply_xnor");
   maybe_gc();
-  NodeId a = f.id(), b = g.id();
-  if (a > b) std::swap(a, b);
-  const NodeId nb = not_rec(b);
-  return wrap(ite_rec(a, b, nb));
+  return wrap(ite_rec(f.id(), g.id(), edge_not(g.id())));
 }
 
 Bdd BddManager::apply_not(const Bdd& f) {
   ensure_owned(f, "apply_not");
-  maybe_gc();
-  return wrap(not_rec(f.id()));
+  // O(1): with complement edges negation is a bit flip, no traversal.
+  return wrap(edge_not(f.id()));
 }
 
 Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_sharp");
   ensure_owned(g, "apply_sharp");
   maybe_gc();
-  const NodeId ng = not_rec(g.id());
-  return wrap(ite_rec(f.id(), ng, kFalseId));
+  return wrap(ite_rec(f.id(), edge_not(g.id()), kFalseId));
 }
 
 // ---------------------------------------------------------------------------
@@ -435,19 +595,32 @@ Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
 unsigned BddManager::top_var(const Bdd& f) const {
   ensure_owned(f, "top_var");
   assert(!f.is_const());
-  return nodes_[f.id()].var;
+  return nodes_[edge_index(f.id())].var;
 }
 
 Bdd BddManager::low(const Bdd& f) {
   ensure_owned(f, "low");
   assert(!f.is_const());
-  return wrap(nodes_[f.id()].lo);
+  return wrap(lo_of(f.id()));
 }
 
 Bdd BddManager::high(const Bdd& f) {
   ensure_owned(f, "high");
   assert(!f.is_const());
-  return wrap(nodes_[f.id()].hi);
+  return wrap(hi_of(f.id()));
+}
+
+std::size_t BddManager::level_node_count(unsigned v) const {
+  if (v >= num_vars_) {
+    throw std::out_of_range("BddManager::level_node_count: index out of range");
+  }
+  return subtables_[v].count;
+}
+
+std::vector<std::size_t> BddManager::level_profile() const {
+  std::vector<std::size_t> counts(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) counts[v] = subtables_[v].count;
+  return counts;
 }
 
 std::size_t BddManager::dag_size(const Bdd& f) const {
@@ -457,22 +630,22 @@ std::size_t BddManager::dag_size(const Bdd& f) const {
 
 std::size_t BddManager::dag_size(std::span<const Bdd> fs) const {
   mark_.assign(nodes_.size(), false);
-  std::vector<NodeId> stack;
+  std::vector<std::uint32_t> stack;
   std::size_t count = 0;
   for (const Bdd& f : fs) {
     if (!f.is_valid()) continue;  // default handles count as the empty set
     ensure_owned(f, "dag_size");
-    stack.push_back(f.id());
+    stack.push_back(edge_index(f.id()));
   }
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (mark_[id]) continue;
-    mark_[id] = true;
+    if (mark_[idx]) continue;
+    mark_[idx] = true;
     ++count;
-    if (id > kTrueId) {
-      stack.push_back(nodes_[id].lo);
-      stack.push_back(nodes_[id].hi);
+    if (idx != 0) {
+      stack.push_back(edge_index(nodes_[idx].lo));
+      stack.push_back(edge_index(nodes_[idx].hi));
     }
   }
   return count;
@@ -480,12 +653,14 @@ std::size_t BddManager::dag_size(std::span<const Bdd> fs) const {
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& inputs) const {
   ensure_owned(f, "eval");
-  NodeId id = f.id();
-  while (id > kTrueId) {
-    const Node& n = nodes_[id];
-    id = inputs[n.var] ? n.hi : n.lo;
+  NodeId e = f.id();
+  // The complement bit accumulates along the path (lo_of/hi_of push it
+  // through), so the final constant edge is already the answer.
+  while (e > kTrueId) {
+    const Node& n = nodes_[edge_index(e)];
+    e = (inputs[n.var] ? n.hi : n.lo) ^ edge_complement_bit(e);
   }
-  return id == kTrueId;
+  return e == kTrueId;
 }
 
 }  // namespace bidec

@@ -1,6 +1,13 @@
 // Quantification, cofactoring, composition and support extraction.
 // These are the operators the bi-decomposition theorems (Thms 1-4) are
 // expressed with.
+//
+// Complement-edge discipline: the recursive cores normalize their function
+// operand to a regular edge whenever the operator is complement-linear
+// (cofactors, constrain/restrict, compose: op(~f) == ~op(f)), so f and ~f
+// share all recursion work and computed-table entries. Quantifiers are not
+// complement-linear but satisfy the dual ∃x ~f == ~(∀x f), so a
+// complemented operand flips the quantifier instead.
 #include "bdd/bdd.h"
 
 #include <algorithm>
@@ -12,11 +19,11 @@ namespace bidec {
 // Decode the variables of a positive cube into a level mask.
 std::vector<bool> BddManager::cube_var_mask(NodeId cube) const {
   std::vector<bool> mask(num_vars_, false);
-  for (NodeId id = cube; id > kTrueId; id = nodes_[id].hi) {
-    if (nodes_[id].lo != kFalseId) {
+  for (NodeId e = cube; e > kTrueId; e = hi_of(e)) {
+    if (lo_of(e) != kFalseId) {
       throw std::invalid_argument("quantifier cube must be a positive cube");
     }
-    mask[nodes_[id].var] = true;
+    mask[level_of(e)] = true;
   }
   return mask;
 }
@@ -25,13 +32,19 @@ NodeId BddManager::quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned 
                              bool existential, NodeId cube_id) {
   check_step();
   if (f <= kTrueId) return f;
-  const Node& n = nodes_[f];
+  // ∃x ~f == ~(∀x f): strip the complement bit by flipping the quantifier.
+  if (edge_complemented(f)) {
+    return edge_not(quant_rec(edge_not(f), qvars, max_qvar, !existential, cube_id));
+  }
+  const Node& n = nodes_[edge_index(f)];
   if (n.var > max_qvar) return f;  // no quantified variable below this level
 
   const std::uint32_t tag = existential ? kOpExists : kOpForall;
   const NodeId cached = cache_lookup(tag, f, cube_id, 0);
   if (cached != kInvalidId) return cached;
 
+  // f is regular, so the stored children are the functional cofactors. Copy
+  // them out: `n` dangles once recursion grows the node store.
   const NodeId lo = n.lo, hi = n.hi;
   const unsigned v = n.var;
   NodeId r;
@@ -98,7 +111,8 @@ NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& q
   if (f == kTrueId) return quant_rec(g, qvars, max_qvar, true, cube_id);
   if (g == kTrueId) return quant_rec(f, qvars, max_qvar, true, cube_id);
   if (f == g) return quant_rec(f, qvars, max_qvar, true, cube_id);
-  if (f > g) std::swap(f, g);  // AND is commutative
+  if (f == edge_not(g)) return kFalseId;  // f & ~f
+  if (f > g) std::swap(f, g);             // AND is commutative
 
   const unsigned vf = level_of(f), vg = level_of(g);
   const unsigned v = std::min(vf, vg);
@@ -110,10 +124,10 @@ NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& q
   const NodeId cached = cache_lookup(kOpAndExists, f, g, cube_id);
   if (cached != kInvalidId) return cached;
 
-  const NodeId f0 = vf == v ? nodes_[f].lo : f;
-  const NodeId f1 = vf == v ? nodes_[f].hi : f;
-  const NodeId g0 = vg == v ? nodes_[g].lo : g;
-  const NodeId g1 = vg == v ? nodes_[g].hi : g;
+  const NodeId f0 = vf == v ? lo_of(f) : f;
+  const NodeId f1 = vf == v ? hi_of(f) : f;
+  const NodeId g0 = vg == v ? lo_of(g) : g;
+  const NodeId g1 = vg == v ? hi_of(g) : g;
 
   NodeId r;
   if (qvars[v]) {
@@ -160,26 +174,29 @@ Bdd BddManager::cofactor(const Bdd& f, unsigned v, bool val) {
 NodeId BddManager::cofactor_cube_rec(NodeId f, NodeId cube) {
   check_step();
   if (f <= kTrueId || cube == kTrueId) return f;
+  // Complement-linear: (~f)|_c == ~(f|_c).
+  if (edge_complemented(f)) return edge_not(cofactor_cube_rec(edge_not(f), cube));
   const unsigned vf = level_of(f);
-  const Node& c = nodes_[cube];
   // Advance the cube past levels above f.
-  if (c.var < vf) {
-    return cofactor_cube_rec(f, c.lo == kFalseId ? c.hi : c.lo);
+  if (level_of(cube) < vf) {
+    return cofactor_cube_rec(f, lo_of(cube) == kFalseId ? hi_of(cube) : lo_of(cube));
   }
-  const NodeId cached = cache_lookup(kOpCompose, f, cube, kInvalidId);
+  const NodeId cached = cache_lookup(kOpCofCube, f, cube, 0);
   if (cached != kInvalidId) return cached;
-  const Node& n = nodes_[f];
+  const Node& n = nodes_[edge_index(f)];
+  const NodeId lo = n.lo, hi = n.hi;  // f regular: functional cofactors
   NodeId r;
-  if (c.var == vf) {
-    const bool positive = c.lo == kFalseId;
-    const NodeId next = positive ? c.hi : c.lo;
-    r = cofactor_cube_rec(positive ? n.hi : n.lo, next);
+  if (level_of(cube) == vf) {
+    const bool positive = lo_of(cube) == kFalseId;
+    const NodeId next = positive ? hi_of(cube) : lo_of(cube);
+    r = cofactor_cube_rec(positive ? hi : lo, next);
   } else {
-    const NodeId r0 = cofactor_cube_rec(n.lo, cube);
-    const NodeId r1 = cofactor_cube_rec(n.hi, cube);
-    r = make_node(n.var, r0, r1);
+    const unsigned var = n.var;
+    const NodeId r0 = cofactor_cube_rec(lo, cube);
+    const NodeId r1 = cofactor_cube_rec(hi, cube);
+    r = make_node(var, r0, r1);
   }
-  cache_insert(kOpCompose, f, cube, kInvalidId, r);
+  cache_insert(kOpCofCube, f, cube, 0, r);
   return r;
 }
 
@@ -198,7 +215,10 @@ Bdd BddManager::cofactor_cube(const Bdd& f, const Bdd& cube) {
 NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
   check_step();
   if (c == kTrueId || f <= kTrueId) return f;
+  // Complement-linear in f: constrain(~f, c) == ~constrain(f, c).
+  if (edge_complemented(f)) return edge_not(constrain_rec(edge_not(f), c, restrict_mode));
   if (f == c) return kTrueId;
+  if (f == edge_not(c)) return kFalseId;
   const std::uint32_t tag = restrict_mode ? kOpRestrict : kOpConstrain;
   const NodeId cached = cache_lookup(tag, f, c, 0);
   if (cached != kInvalidId) return cached;
@@ -208,14 +228,14 @@ NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
   if (restrict_mode && vc < vf) {
     // The care set constrains a variable f does not depend on: quantify it
     // away so the result's support stays within f's.
-    const NodeId c_or = ite_rec(nodes_[c].lo, kTrueId, nodes_[c].hi);
+    const NodeId c_or = ite_rec(lo_of(c), kTrueId, hi_of(c));
     r = constrain_rec(f, c_or, restrict_mode);
   } else {
     const unsigned v = std::min(vf, vc);
-    const NodeId f0 = vf == v ? nodes_[f].lo : f;
-    const NodeId f1 = vf == v ? nodes_[f].hi : f;
-    const NodeId c0 = vc == v ? nodes_[c].lo : c;
-    const NodeId c1 = vc == v ? nodes_[c].hi : c;
+    const NodeId f0 = vf == v ? lo_of(f) : f;
+    const NodeId f1 = vf == v ? hi_of(f) : f;
+    const NodeId c0 = vc == v ? lo_of(c) : c;
+    const NodeId c1 = vc == v ? hi_of(c) : c;
     if (c0 == kFalseId) {
       r = constrain_rec(f1, c1, restrict_mode);
     } else if (c1 == kFalseId) {
@@ -253,17 +273,19 @@ Bdd BddManager::restrict_to(const Bdd& f, const Bdd& c) {
 NodeId BddManager::compose_rec(NodeId f, unsigned v, NodeId g) {
   check_step();
   if (f <= kTrueId) return f;
-  const Node& n = nodes_[f];
+  // Complement-linear: compose(~f) == ~compose(f).
+  if (edge_complemented(f)) return edge_not(compose_rec(edge_not(f), v, g));
+  const Node& n = nodes_[edge_index(f)];
   if (n.var > v) return f;  // v cannot appear below its own level
   const std::uint32_t tag = kOpCompose | (v << 8);
   const NodeId cached = cache_lookup(tag, f, g, 0);
   if (cached != kInvalidId) return cached;
+  const NodeId lo = n.lo, hi = n.hi;  // f regular: functional cofactors
+  const unsigned var = n.var;
   NodeId r;
-  if (n.var == v) {
-    r = ite_rec(g, n.hi, n.lo);
+  if (var == v) {
+    r = ite_rec(g, hi, lo);
   } else {
-    const NodeId lo = n.lo, hi = n.hi;
-    const unsigned var = n.var;
     const NodeId r0 = compose_rec(lo, v, g);
     const NodeId r1 = compose_rec(hi, v, g);
     // The substituted function may depend on variables above this level, so
@@ -294,38 +316,40 @@ Bdd BddManager::vector_compose(const Bdd& f, std::span<const Bdd> subst) {
   ensure_owned(f, "vector_compose");
   for (const Bdd& s : subst) ensure_owned(s, "vector_compose");
   maybe_gc();
-  // Evaluate bottom-up over the DAG with an explicit memo. Handles are used
-  // for intermediate results so GC cannot be an issue (it is disabled during
-  // the loop anyway since we never call maybe_gc here).
-  std::vector<NodeId> order;
+  // Evaluate bottom-up over the DAG with an explicit memo indexed by node
+  // index; memo[i] is the composed image of node i's *regular* function, so
+  // a complemented child edge complements the memoized image. Handles are
+  // used for intermediate results so GC cannot be an issue (it is disabled
+  // during the loop anyway since we never call maybe_gc here).
+  std::vector<std::uint32_t> order;
   mark_.assign(nodes_.size(), false);
-  std::vector<NodeId> stack{f.id()};
-  while (!stack.empty()) {  // iterative post-order via two phases
-    const NodeId id = stack.back();
+  std::vector<std::uint32_t> stack{edge_index(f.id())};
+  while (!stack.empty()) {
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (id <= kTrueId || mark_[id]) continue;
-    mark_[id] = true;
-    order.push_back(id);
-    stack.push_back(nodes_[id].lo);
-    stack.push_back(nodes_[id].hi);
+    if (idx == 0 || mark_[idx]) continue;
+    mark_[idx] = true;
+    order.push_back(idx);
+    stack.push_back(edge_index(nodes_[idx].lo));
+    stack.push_back(edge_index(nodes_[idx].hi));
   }
-  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
     return nodes_[a].var > nodes_[b].var;  // deepest levels first
   });
   std::vector<NodeId> memo(nodes_.size(), kInvalidId);
-  memo[kFalseId] = kFalseId;
-  memo[kTrueId] = kTrueId;
+  memo[0] = kFalseId;  // terminal maps to itself
   std::vector<Bdd> keep;  // protect intermediates across ite_rec calls
   keep.reserve(order.size());
-  for (const NodeId id : order) {
-    const Node n = nodes_[id];
-    const NodeId lo = memo[n.lo], hi = memo[n.hi];
-    assert(lo != kInvalidId && hi != kInvalidId);
+  for (const std::uint32_t idx : order) {
+    const Node n = nodes_[idx];
+    assert(memo[edge_index(n.lo)] != kInvalidId && memo[edge_index(n.hi)] != kInvalidId);
+    const NodeId lo = memo[edge_index(n.lo)] ^ edge_complement_bit(n.lo);
+    const NodeId hi = memo[edge_index(n.hi)] ^ edge_complement_bit(n.hi);
     const NodeId r = ite_rec(subst[n.var].id(), hi, lo);
-    memo[id] = r;
+    memo[idx] = r;
     keep.push_back(wrap(r));
   }
-  return wrap(memo[f.id()]);
+  return wrap(memo[edge_index(f.id())] ^ edge_complement_bit(f.id()));
 }
 
 Bdd BddManager::permute(const Bdd& f, std::span<const unsigned> perm) {
@@ -344,16 +368,16 @@ Bdd BddManager::permute(const Bdd& f, std::span<const unsigned> perm) {
 
 void BddManager::support_rec(NodeId f, std::vector<bool>& seen,
                              std::vector<NodeId>& visited) const {
-  std::vector<NodeId> stack{f};
+  std::vector<std::uint32_t> stack{edge_index(f)};
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (id <= kTrueId || mark_[id]) continue;
-    mark_[id] = true;
-    visited.push_back(id);
-    seen[nodes_[id].var] = true;
-    stack.push_back(nodes_[id].lo);
-    stack.push_back(nodes_[id].hi);
+    if (idx == 0 || mark_[idx]) continue;
+    mark_[idx] = true;
+    visited.push_back(idx);
+    seen[nodes_[idx].var] = true;
+    stack.push_back(edge_index(nodes_[idx].lo));
+    stack.push_back(edge_index(nodes_[idx].hi));
   }
 }
 
@@ -393,17 +417,17 @@ bool BddManager::depends_on(const Bdd& f, unsigned v) {
   ensure_owned(f, "depends_on");
   // Cheap check without building cofactors: scan for a node labelled v.
   mark_.assign(nodes_.size(), false);
-  std::vector<NodeId> stack{f.id()};
+  std::vector<std::uint32_t> stack{edge_index(f.id())};
   while (!stack.empty()) {
-    const NodeId id = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    if (id <= kTrueId || mark_[id]) continue;
-    const Node& n = nodes_[id];
+    if (idx == 0 || mark_[idx]) continue;
+    const Node& n = nodes_[idx];
     if (n.var == v) return true;
     if (n.var > v) continue;  // ordered: v cannot appear deeper
-    mark_[id] = true;
-    stack.push_back(n.lo);
-    stack.push_back(n.hi);
+    mark_[idx] = true;
+    stack.push_back(edge_index(n.lo));
+    stack.push_back(edge_index(n.hi));
   }
   return false;
 }

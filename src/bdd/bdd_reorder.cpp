@@ -121,10 +121,22 @@ std::vector<unsigned> sift_order(BddManager& mgr, std::span<const Bdd> fs,
   std::iota(order.begin(), order.end(), 0u);
   if (fs.empty() || n < 2) return order;
 
+  // Rudell's heuristic: sift the heaviest levels first, so the early (most
+  // expensive) moves act on the variables with the most nodes. The
+  // per-variable unique subtables make this profile an O(num_vars) read.
+  const std::vector<std::size_t> profile = mgr.level_profile();
+  std::vector<unsigned> sift_vars(n);
+  std::iota(sift_vars.begin(), sift_vars.end(), 0u);
+  std::sort(sift_vars.begin(), sift_vars.end(), [&profile](unsigned x, unsigned y) {
+    return profile[x] > profile[y] || (profile[x] == profile[y] && x < y);
+  });
+
   std::size_t best_size = size_under_order(mgr, fs, order);
   for (unsigned round = 0; round < rounds; ++round) {
     bool improved = false;
-    for (unsigned pos = 0; pos < n; ++pos) {
+    for (const unsigned v_sift : sift_vars) {
+      const unsigned pos = static_cast<unsigned>(
+          std::find(order.begin(), order.end(), v_sift) - order.begin());
       // Try moving the variable currently at `pos` to every other slot.
       std::vector<unsigned> best_local = order;
       std::size_t best_local_size = best_size;

@@ -231,6 +231,11 @@ JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id
     rep.cache_hit_rate = s.cache_lookups != 0
                              ? static_cast<double>(s.cache_hits) / s.cache_lookups
                              : 0.0;
+    rep.gc_ms = s.gc_ms;
+    rep.cache_inserts = s.cache_inserts;
+    rep.cache_resizes = s.cache_resizes;
+    rep.cache_swept = s.cache_swept;
+    rep.cache_kept = s.cache_kept;
   }
   return result;
 }

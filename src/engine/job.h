@@ -81,8 +81,14 @@ struct JobReport {
   std::uint64_t bdd_steps = 0;
   std::size_t peak_nodes = 0;
   std::size_t gc_runs = 0;
+  double gc_ms = 0.0;  ///< wall time spent inside collect_garbage
   double unique_hit_rate = 0.0;
   double cache_hit_rate = 0.0;
+  // Computed-cache dynamics (aging two-way buckets, GC-surviving entries).
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_resizes = 0;
+  std::uint64_t cache_swept = 0;  ///< entries dropped by GC (dead operands)
+  std::uint64_t cache_kept = 0;   ///< entries that survived GC sweeps
 
   // Decomposition call counters (empty unless the flow ran to completion).
   BidecStats bidec;

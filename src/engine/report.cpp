@@ -68,6 +68,11 @@ std::string JobReport::to_json() const {
   append_double(os, unique_hit_rate);
   os << ", \"cache_hit_rate\": ";
   append_double(os, cache_hit_rate);
+  os << ", \"gc_ms\": ";
+  append_double(os, gc_ms);
+  os << ", \"cache_inserts\": " << cache_inserts
+     << ", \"cache_resizes\": " << cache_resizes
+     << ", \"cache_swept\": " << cache_swept << ", \"cache_kept\": " << cache_kept;
   os << "}, \"decomposition\": {\"calls\": " << bidec.calls
      << ", \"strong_or\": " << bidec.strong_or
      << ", \"strong_and\": " << bidec.strong_and

@@ -120,6 +120,9 @@ std::string_view lint_rule_title(std::string_view rule) noexcept {
   if (rule == kRuleBddCacheDead) return "computed-cache entry references freed node";
   if (rule == kRuleBddCacheTag) return "computed-cache entry with unknown tag";
   if (rule == kRuleBddTerminal) return "terminal invariant violation";
+  if (rule == kRuleBddComplementHigh) return "complemented high edge stored";
+  if (rule == kRuleBddTaggedTerminal) return "tagged-terminal rule violation";
+  if (rule == kRuleBddSubtableDrift) return "per-level subtable counter drift";
   return {};
 }
 

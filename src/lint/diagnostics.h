@@ -80,6 +80,9 @@ inline constexpr std::string_view kRuleBddStatsDrift = "BM207";       ///< live_
 inline constexpr std::string_view kRuleBddCacheDead = "BM208";        ///< computed-cache entry references a freed node
 inline constexpr std::string_view kRuleBddCacheTag = "BM209";         ///< computed-cache entry with unknown op tag
 inline constexpr std::string_view kRuleBddTerminal = "BM210";         ///< terminal node invariants broken
+inline constexpr std::string_view kRuleBddComplementHigh = "BM211";   ///< stored high edge carries a complement tag
+inline constexpr std::string_view kRuleBddTaggedTerminal = "BM212";   ///< stray terminal or tagged terminal self-edge
+inline constexpr std::string_view kRuleBddSubtableDrift = "BM213";    ///< per-level subtable counter disagrees with storage
 
 /// Short human title for a rule id (empty for unknown ids).
 [[nodiscard]] std::string_view lint_rule_title(std::string_view rule) noexcept;

@@ -15,42 +15,59 @@
 namespace bidec {
 
 // Test-only corruption hook (friend of BddManager): pokes private node
-// storage so each audit invariant can be violated in isolation.
+// storage so each audit invariant can be violated in isolation. NodeId
+// parameters are edges (as returned by Bdd::id()); the corruptor resolves
+// them to node slots itself.
 struct BddTestCorruptor {
   using Node = BddManager::Node;
 
+  static std::uint32_t index_of(NodeId e) { return BddManager::edge_index(e); }
+  static NodeId complement(NodeId e) { return BddManager::edge_not(e); }
+
   static std::size_t bucket_of(BddManager& m, unsigned var, NodeId lo, NodeId hi) {
-    return m.unique_hash(var, lo, hi) & (m.unique_table_.size() - 1);
+    return m.unique_hash(lo, hi) & (m.subtables_[var].buckets.size() - 1);
   }
 
-  /// Append a fresh live node linked into its correct bucket, keeping the
-  /// stats counter consistent so only the intended rule fires.
+  /// Append a fresh live node linked into its correct subtable bucket,
+  /// keeping the stats and level counters consistent so only the intended
+  /// rule fires. `lo`/`hi` are edges and are stored verbatim (no
+  /// canonicalization — that is the point).
   static NodeId append_node(BddManager& m, unsigned var, NodeId lo, NodeId hi) {
     Node node{var, lo, hi, kInvalidId, 1};
     const std::size_t b = bucket_of(m, var, lo, hi);
-    node.next = m.unique_table_[b];
+    node.next = m.subtables_[var].buckets[b];
     m.nodes_.push_back(node);
-    const NodeId id = static_cast<NodeId>(m.nodes_.size() - 1);
-    m.unique_table_[b] = id;
+    const std::uint32_t idx = static_cast<std::uint32_t>(m.nodes_.size() - 1);
+    m.subtables_[var].buckets[b] = idx;
+    ++m.subtables_[var].count;
     ++m.stats_.live_nodes;
-    return id;
+    return BddManager::make_edge(idx, 0);
   }
 
-  static void set_var(BddManager& m, NodeId id, std::uint32_t var) {
-    m.nodes_[id].var = var;
+  static void set_var(BddManager& m, NodeId e, std::uint32_t var) {
+    m.nodes_[index_of(e)].var = var;
   }
-  static void set_hi(BddManager& m, NodeId id, NodeId hi) { m.nodes_[id].hi = hi; }
-  static void set_refs(BddManager& m, NodeId id, std::uint32_t refs) {
-    m.nodes_[id].refs = refs;
+  static void set_lo(BddManager& m, NodeId e, NodeId lo) {
+    m.nodes_[index_of(e)].lo = lo;
+  }
+  static void set_hi(BddManager& m, NodeId e, NodeId hi) {
+    m.nodes_[index_of(e)].hi = hi;
+  }
+  static void set_refs(BddManager& m, NodeId e, std::uint32_t refs) {
+    m.nodes_[index_of(e)].refs = refs;
   }
   static void bump_live_nodes(BddManager& m) { ++m.stats_.live_nodes; }
+  static void set_subtable_count(BddManager& m, unsigned var, std::size_t count) {
+    m.subtables_[var].count = count;
+  }
 
-  static void unlink_from_bucket(BddManager& m, NodeId id) {
-    const Node& n = m.nodes_[id];
-    NodeId* link = &m.unique_table_[bucket_of(m, n.var, n.lo, n.hi)];
+  static void unlink_from_bucket(BddManager& m, NodeId e) {
+    const std::uint32_t idx = index_of(e);
+    const Node& n = m.nodes_[idx];
+    std::uint32_t* link = &m.subtables_[n.var].buckets[bucket_of(m, n.var, n.lo, n.hi)];
     while (*link != kInvalidId) {
-      if (*link == id) {
-        *link = m.nodes_[id].next;
+      if (*link == idx) {
+        *link = m.nodes_[idx].next;
         return;
       }
       link = &m.nodes_[*link].next;
@@ -59,7 +76,7 @@ struct BddTestCorruptor {
 
   static void set_cache(BddManager& m, std::size_t slot, std::uint32_t tag,
                         NodeId a, NodeId b, NodeId c, NodeId result) {
-    m.cache_[slot] = BddManager::CacheEntry{tag, a, b, c, result};
+    m.cache_[slot] = BddManager::CacheEntry{tag, a, b, c, result, 1};
   }
 
   static std::uint32_t op_ite() { return BddManager::kOpIte; }
@@ -115,12 +132,26 @@ TEST(BddAudit, CleanWithUncollectedGarbageAndAfterGc) {
   EXPECT_TRUE(keep.is_valid());
 }
 
+TEST(BddAudit, CleanUnderRandomNegationWrapping) {
+  // Complement edges thread through every operation; a mixed workload with
+  // explicit negations at every step must keep all invariants.
+  BddManager mgr(8);
+  Bdd acc = mgr.var(0);
+  for (unsigned v = 1; v < 8; ++v) {
+    acc = (v % 2 != 0) ? ~(acc & mgr.var(v)) : (~acc ^ mgr.nvar(v));
+  }
+  const Bdd q = ~mgr.exists(~acc, mgr.make_cube({1u, 3u}));
+  (void)mgr.forall(q, mgr.make_cube({0u}));
+  mgr.collect_garbage();
+  EXPECT_TRUE(mgr.audit().empty()) << dump(mgr.audit());
+}
+
 // --- per-rule corruption -----------------------------------------------------
 
 TEST(BddAudit, DuplicateTripleFires201) {
   BddManager mgr(4);
-  const Bdd f = mgr.var(2);  // node (2, false, true)
-  BddTestCorruptor::append_node(mgr, 2, kFalseId, kTrueId);
+  const Bdd f = mgr.var(2);  // stores node (2, true, false) + complement edge
+  BddTestCorruptor::append_node(mgr, 2, kTrueId, kFalseId);
   const auto findings = mgr.audit();
   EXPECT_TRUE(has_rule(findings, "BM201")) << dump(findings);
   (void)f;
@@ -128,7 +159,8 @@ TEST(BddAudit, DuplicateTripleFires201) {
 
 TEST(BddAudit, RedundantNodeFires202) {
   BddManager mgr(4);
-  BddTestCorruptor::append_node(mgr, 0, kTrueId, kTrueId);
+  const Bdd x = mgr.nvar(1);  // regular edge to the var-1 node
+  BddTestCorruptor::append_node(mgr, 0, x.id(), x.id());
   const auto findings = mgr.audit();
   EXPECT_TRUE(has_rule(findings, "BM202")) << dump(findings);
   EXPECT_FALSE(has_rule(findings, "BM207")) << dump(findings);
@@ -211,7 +243,7 @@ TEST(BddAudit, NonComposePayloadBitsFire209) {
 
 TEST(BddAudit, BrokenTerminalFires210) {
   BddManager mgr(4);
-  BddTestCorruptor::set_refs(mgr, kTrueId, 0);
+  BddTestCorruptor::set_refs(mgr, kTrueId, 0);  // both polarities share node 0
   const auto findings = mgr.audit();
   EXPECT_TRUE(has_rule(findings, "BM210")) << dump(findings);
 }
@@ -221,6 +253,46 @@ TEST(BddAudit, TerminalLevelDriftFires210) {
   BddTestCorruptor::set_var(mgr, kFalseId, 0);
   const auto findings = mgr.audit();
   EXPECT_TRUE(has_rule(findings, "BM210")) << dump(findings);
+}
+
+TEST(BddAudit, StoredComplementedHighEdgeFires211) {
+  BddManager mgr(4);
+  const Bdd x = mgr.nvar(1);  // regular edge to the var-1 node
+  // make_node would push this complement into the parent edge; storing it
+  // raw violates the regular-high-edge canonicity rule.
+  BddTestCorruptor::append_node(mgr, 0, kFalseId,
+                                BddTestCorruptor::complement(x.id()));
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM211")) << dump(findings);
+  EXPECT_FALSE(has_rule(findings, "BM205")) << dump(findings);
+}
+
+TEST(BddAudit, StrayTerminalNodeFires212) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(2);
+  // A second node at the terminal level is a non-canonical constant.
+  BddTestCorruptor::set_var(mgr, f.id(), mgr.num_vars());
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM212")) << dump(findings);
+  EXPECT_FALSE(has_rule(findings, "BM204")) << dump(findings);
+}
+
+TEST(BddAudit, TaggedTerminalSelfEdgeFires212) {
+  BddManager mgr(4);
+  // The terminal's self-edges must stay the regular false edge; a tag here
+  // would flip constant folding everywhere.
+  BddTestCorruptor::set_lo(mgr, kFalseId, kTrueId);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM212")) << dump(findings);
+}
+
+TEST(BddAudit, SubtableCountDriftFires213) {
+  BddManager mgr(4);
+  const Bdd f = mgr.var(1);
+  BddTestCorruptor::set_subtable_count(mgr, 1, 5);
+  const auto findings = mgr.audit();
+  EXPECT_TRUE(has_rule(findings, "BM213")) << dump(findings);
+  (void)f;
 }
 
 // --- cross-manager ownership guard ------------------------------------------

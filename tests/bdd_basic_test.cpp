@@ -113,7 +113,7 @@ TEST(BddBasic, MakeCubeFromLits) {
 TEST(BddBasic, DagSizeCountsSharedNodesOnce) {
   BddManager mgr(4);
   const Bdd a = mgr.var(0);
-  EXPECT_EQ(a.dag_size(), 3u);  // node + two terminals
+  EXPECT_EQ(a.dag_size(), 2u);  // node + the shared terminal (complement edges)
   const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
   const Bdd fs[] = {f, f};
   EXPECT_EQ(mgr.dag_size(fs), f.dag_size());
@@ -183,6 +183,79 @@ TEST(BddBasic, ToStringAndDotAreNonEmpty) {
   EXPECT_NE(mgr.to_dot(f).find("digraph"), std::string::npos);
   EXPECT_EQ(mgr.to_string(mgr.bdd_false()), "const0");
   EXPECT_EQ(mgr.to_string(mgr.bdd_true()), "const1");
+}
+
+TEST(BddBasic, ComputedCacheSurvivesGarbageCollection) {
+  // GC sweeps only the cache entries whose operands died; results about live
+  // nodes stay cached, so recomputing after a forced collection must hit.
+  BddManager mgr(10);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const Bdd g = (mgr.var(4) ^ mgr.var(5)) | mgr.var(6);
+  const Bdd r = f & g;
+  mgr.collect_garbage();
+  const BddStats after_gc = mgr.stats();
+  EXPECT_GT(after_gc.cache_kept, 0u);  // the f&g entry survived the sweep
+  const Bdd r2 = f & g;
+  EXPECT_EQ(r2, r);
+  EXPECT_GT(mgr.stats().cache_hits, after_gc.cache_hits)
+      << "recomputation after GC should be a cache hit, not a rebuild";
+}
+
+TEST(BddBasic, GcSweepsCacheEntriesOfDeadNodes) {
+  BddManager mgr(10);
+  {
+    Bdd scratch = mgr.bdd_false();
+    for (unsigned i = 0; i + 1 < 10; ++i) scratch |= mgr.var(i) & mgr.var(i + 1);
+  }  // every intermediate dies here
+  mgr.collect_garbage();
+  EXPECT_GT(mgr.stats().cache_swept, 0u)
+      << "entries referencing reclaimed nodes must leave the cache";
+}
+
+TEST(BddBasic, GcThresholdGrowsAndDecaysBackToFloor) {
+  // Regression for the threshold ratchet: maybe_gc doubles the threshold
+  // when a collection reclaims little, but collect_garbage must decay it
+  // again once the live set shrinks — otherwise one transient spike disables
+  // automatic GC for the manager's remaining lifetime (the batch engine
+  // reuses managers across jobs, so the ratchet leaked across jobs).
+  BddManager mgr(16);
+  mgr.set_gc_threshold(64);
+  const std::size_t floor = mgr.gc_threshold();
+  // Spike: hold everything live so auto-GC keeps reclaiming nothing and the
+  // threshold ratchets upward.
+  std::vector<Bdd> held;
+  Bdd acc = mgr.bdd_true();
+  for (unsigned round = 0; round < 6 && mgr.gc_threshold() <= floor; ++round) {
+    for (unsigned i = 0; i + 1 < 16; ++i) {
+      acc = acc ^ (mgr.var(i) & mgr.var(i + 1));
+      held.push_back(acc);
+    }
+  }
+  ASSERT_GT(mgr.gc_threshold(), floor) << "test needs the threshold to ratchet up";
+  // Drop the spike; repeated collections must walk the threshold back down.
+  held.clear();
+  acc = mgr.bdd_true();
+  for (int i = 0; i < 20 && mgr.gc_threshold() > floor; ++i) mgr.collect_garbage();
+  EXPECT_EQ(mgr.gc_threshold(), floor)
+      << "threshold must decay to the configured floor after the live set shrinks";
+}
+
+TEST(BddBasic, CacheGrowsTowardBudgetAndReportsEntries) {
+  BddManager mgr(14, /*initial_capacity=*/1024);
+  const std::size_t initial = mgr.cache_entries();
+  mgr.set_cache_budget(1u << 16);
+  Bdd acc = mgr.bdd_false();
+  for (unsigned i = 0; i < 14; ++i) {
+    for (unsigned j = i + 1; j < 14; ++j) {
+      acc ^= mgr.var(i) & mgr.var(j);
+    }
+  }
+  (void)acc;
+  EXPECT_GT(mgr.stats().cache_inserts, 0u);
+  if (mgr.stats().cache_resizes > 0) {
+    EXPECT_GT(mgr.cache_entries(), initial);
+  }
+  EXPECT_LE(mgr.cache_entries(), 1u << 16);
 }
 
 TEST(BddBasic, StatsTrackNodesAndCache) {

@@ -2,6 +2,7 @@
 // truth-table golden model on randomized functions of 3..8 variables.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "bdd/bdd.h"
@@ -142,6 +143,108 @@ TEST_P(BddVsTruthTable, PairSupportIsUnion) {
         std::find(pair_support.begin(), pair_support.end(), v) != pair_support.end();
     EXPECT_EQ(got, expect) << "var " << v;
   }
+}
+
+// --- complement-edge trips ---------------------------------------------------
+// With complement edges, negation is an O(1) bit flip and f / ~f share every
+// node. Each operation must commute with random negation wrapping of its
+// operands; the dense truth-table golden keeps the check exact.
+
+TEST_P(BddVsTruthTable, DoubleNegationIsIdentityAndFree) {
+  EXPECT_EQ(~~f_, f_);
+  EXPECT_EQ(~~g_, g_);
+  // O(1) negation: no new nodes, and both polarities share the whole DAG.
+  const std::size_t live = mgr_->live_node_count();
+  const Bdd nf = ~f_;
+  EXPECT_EQ(mgr_->live_node_count(), live);
+  EXPECT_EQ(nf.dag_size(), f_.dag_size());
+}
+
+TEST_P(BddVsTruthTable, ConnectivesUnderRandomNegationWrapping) {
+  std::bernoulli_distribution coin(0.5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const bool cf = coin(rng_), cg = coin(rng_), cout = coin(rng_);
+    const Bdd wf = cf ? ~f_ : f_;
+    const Bdd wg = cg ? ~g_ : g_;
+    const TruthTable tf = cf ? ~f_tt_ : f_tt_;
+    const TruthTable tg = cg ? ~g_tt_ : g_tt_;
+    const auto wrap = [&](const Bdd& h) { return cout ? ~h : h; };
+    const auto twrap = [&](const TruthTable& t) { return cout ? ~t : t; };
+    EXPECT_EQ(round_trip(wrap(wf & wg)), twrap(tf & tg));
+    EXPECT_EQ(round_trip(wrap(wf | wg)), twrap(tf | tg));
+    EXPECT_EQ(round_trip(wrap(wf ^ wg)), twrap(tf ^ tg));
+    EXPECT_EQ(round_trip(wrap(wf - wg)), twrap(tf - tg));
+    EXPECT_EQ(round_trip(wrap(mgr_->apply_xnor(wf, wg))), twrap(~(tf ^ tg)));
+    EXPECT_EQ(round_trip(wrap(mgr_->ite(wf, wg, ~wg))),
+              twrap((tf & tg) | (~tf & ~tg)));
+  }
+}
+
+TEST_P(BddVsTruthTable, QuantifiersUnderNegationWrapping) {
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < nv_; v += 2) vars.push_back(v);
+  // De Morgan for quantifiers: ~exists(~f) = forall(f) and vice versa — the
+  // kernel implements this as a complement-bit flip on the recursion.
+  EXPECT_EQ(~mgr_->exists(~f_, vars), mgr_->forall(f_, vars));
+  EXPECT_EQ(~mgr_->forall(~f_, vars), mgr_->exists(f_, vars));
+  EXPECT_EQ(round_trip(mgr_->exists(~f_, vars)), (~f_tt_).exists(vars));
+  EXPECT_EQ(round_trip(mgr_->forall(~f_, vars)), (~f_tt_).forall(vars));
+  const Bdd cube = mgr_->make_cube(vars);
+  EXPECT_EQ(mgr_->and_exists(~f_, ~g_, cube), mgr_->exists(~f_ & ~g_, cube));
+  for (unsigned v = 0; v < nv_; ++v) {
+    // The Boolean derivative is invariant under output negation.
+    EXPECT_EQ(mgr_->derivative(~f_, v), mgr_->derivative(f_, v));
+  }
+}
+
+TEST_P(BddVsTruthTable, StructuralOpsUnderNegationWrapping) {
+  for (unsigned v = 0; v < nv_; ++v) {
+    EXPECT_EQ(mgr_->cofactor(~f_, v, true), ~mgr_->cofactor(f_, v, true));
+    EXPECT_EQ(mgr_->cofactor(~f_, v, false), ~mgr_->cofactor(f_, v, false));
+  }
+  CubeLits lits(nv_, -1);
+  lits[0] = 0;
+  if (nv_ > 3) lits[3] = 1;
+  const Bdd cube = mgr_->make_cube(lits);
+  EXPECT_EQ(mgr_->cofactor_cube(~f_, cube), ~mgr_->cofactor_cube(f_, cube));
+  const unsigned v = nv_ / 2;
+  EXPECT_EQ(mgr_->compose(~f_, v, g_), ~mgr_->compose(f_, v, g_));
+  EXPECT_EQ(round_trip(mgr_->compose(f_, v, ~g_)),
+            (~g_tt_ & f_tt_.cofactor(v, true)) | (g_tt_ & f_tt_.cofactor(v, false)));
+  std::vector<Bdd> subst;
+  for (unsigned u = 0; u < nv_; ++u) subst.push_back(~mgr_->var(u));
+  // vector_compose with all-negated identity == permute-free input flip.
+  const Bdd flipped = mgr_->vector_compose(~f_, subst);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << nv_); ++m) {
+    std::vector<bool> in(nv_);
+    for (unsigned u = 0; u < nv_; ++u) in[u] = !((m >> u) & 1);
+    EXPECT_EQ(mgr_->eval(flipped, in), !f_tt_.get(m));
+  }
+}
+
+TEST_P(BddVsTruthTable, CountsAndSupportUnderNegation) {
+  const double total = std::ldexp(1.0, static_cast<int>(nv_));
+  EXPECT_DOUBLE_EQ(mgr_->sat_count(~f_), total - mgr_->sat_count(f_));
+  EXPECT_EQ(mgr_->support_vars(~f_), mgr_->support_vars(f_));
+  for (unsigned v = 0; v < nv_; ++v) {
+    EXPECT_EQ(mgr_->depends_on(~f_, v), mgr_->depends_on(f_, v));
+  }
+  if (!f_.is_const()) {
+    // A satisfying cube of ~f must evaluate f to false.
+    const Bdd cube = mgr_->pick_one_cube(~f_);
+    EXPECT_TRUE((cube & f_).is_false());
+  }
+}
+
+TEST_P(BddVsTruthTable, ConstrainAndRestrictUnderNegation) {
+  if (g_.is_const()) return;  // care set must be non-trivial
+  // Both generalized cofactors are linear in their first argument:
+  // op(~f, c) == ~op(f, c). They must also still agree with f on the care set.
+  const Bdd c = g_;
+  EXPECT_EQ(mgr_->constrain(~f_, c), ~mgr_->constrain(f_, c));
+  EXPECT_EQ(mgr_->restrict_to(~f_, c), ~mgr_->restrict_to(f_, c));
+  EXPECT_EQ(mgr_->constrain(~f_, c) & c, ~f_ & c);
+  EXPECT_EQ(mgr_->restrict_to(~f_, c) & c, ~f_ & c);
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, BddVsTruthTable,

@@ -71,7 +71,7 @@ TEST(OrderEval, PairedOrderBeatsInterleaved) {
   const std::size_t bad = size_under_order(mgr, fs, identity);
   const std::size_t good = size_under_order(mgr, fs, paired);
   EXPECT_LT(good, bad);
-  EXPECT_EQ(good, 2 * pairs + 2u);  // linear-size BDD: 2p internal nodes + 2 terminals
+  EXPECT_EQ(good, 2 * pairs + 1u);  // linear-size BDD: 2p internal nodes + 1 terminal
 }
 
 TEST(OrderEval, InvertOrderRoundTrip) {

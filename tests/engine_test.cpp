@@ -198,6 +198,22 @@ TEST(BatchEngine, ReportSerializesToJson) {
   EXPECT_NE(json.find("\"peak_nodes\""), std::string::npos);
   EXPECT_NE(json.find("\"strong_exor\""), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  // Kernel cache/GC dynamics must be visible per job.
+  EXPECT_NE(json.find("\"cache_hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_inserts\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_kept\""), std::string::npos);
+  EXPECT_NE(json.find("\"gc_ms\""), std::string::npos);
+
+  // The computed cache must actually be earning its keep: across a
+  // multi-job batch at least one job sees a non-zero hit rate and inserts.
+  bool any_hits = false, any_inserts = false;
+  for (const JobResult& r : outcome.results) {
+    ASSERT_EQ(r.report.status, JobStatus::kOk);
+    any_hits |= r.report.cache_hit_rate > 0.0;
+    any_inserts |= r.report.cache_inserts > 0;
+  }
+  EXPECT_TRUE(any_hits);
+  EXPECT_TRUE(any_inserts);
 }
 
 TEST(BatchEngine, JsonEscapesPathologicalJobNames) {
