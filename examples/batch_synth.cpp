@@ -7,6 +7,12 @@
 //     --jobs N            worker threads (default: hardware concurrency)
 //     --timeout-ms T      per-job wall-time deadline (0 = none)
 //     --step-budget S     per-job BDD step budget (0 = none)
+//     --node-budget N     per-job live-BDD-node cap (0 = none)
+//     --max-retries R     re-run budget-tripped jobs up to R times with
+//                         exponentially larger step budgets/deadlines
+//     --degrade           walk the degradation ladder on retries (cheaper
+//                         settings each rung, Shannon cofactoring last);
+//                         such results report status "degraded"
 //     --json <file>       write the full metrics report as JSON
 //     --out-dir <dir>     write each synthesized netlist as <name>.blif
 //     --reorder <none|force|sift>
@@ -36,7 +42,8 @@ namespace fs = std::filesystem;
 int usage() {
   std::fprintf(stderr,
                "usage: batch_synth <dir | files...> [--jobs N] [--timeout-ms T]\n"
-               "       [--step-budget S] [--json out.json] [--out-dir dir]\n"
+               "       [--step-budget S] [--node-budget N] [--max-retries R]\n"
+               "       [--degrade] [--json out.json] [--out-dir dir]\n"
                "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
                "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n"
                "       [--lint off|warn|error]\n");
@@ -89,6 +96,16 @@ int main(int argc, char** argv) {
       std::uint64_t n = 0;
       if (!parse_unsigned("--step-budget", next(), n)) return usage();
       engine_opts.default_step_budget = n;
+    } else if (a == "--node-budget") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--node-budget", next(), n)) return usage();
+      engine_opts.default_node_budget = static_cast<std::size_t>(n);
+    } else if (a == "--max-retries") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--max-retries", next(), n)) return usage();
+      engine_opts.default_max_retries = static_cast<unsigned>(n);
+    } else if (a == "--degrade") {
+      engine_opts.degrade = true;
     } else if (a == "--json") {
       const char* v = next();
       if (!v) return usage();
@@ -188,23 +205,33 @@ int main(int argc, char** argv) {
       if (!rep.error.empty()) {
         std::printf("    %s\n", rep.error.c_str());
       }
+      if (!rep.degradation.empty()) {
+        std::printf("    %u attempt(s), final rung %s\n", rep.attempts,
+                    to_string(rep.degradation.back().rung));
+      }
     }
-    std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
-                "%zu lint-failed, %zu error; batch %.1f ms (cpu %.1f ms), "
-                "%zu gates total\n",
-                sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
-                sum.lint_failures, sum.errors, sum.wall_ms, sum.total_job_ms,
-                sum.total_gates);
+    std::printf("%zu jobs on %u workers: %zu ok, %zu degraded, %zu timeout, "
+                "%zu verify-failed, %zu lint-failed, %zu error; batch %.1f ms "
+                "(cpu %.1f ms), %zu gates total\n",
+                sum.jobs, sum.workers, sum.ok, sum.degraded, sum.timeouts,
+                sum.verify_failures, sum.lint_failures, sum.errors, sum.wall_ms,
+                sum.total_job_ms, sum.total_gates);
 
     if (!out_dir.empty()) {
       fs::create_directories(out_dir);
+      std::size_t written = 0;
       for (const JobResult& r : outcome.results) {
-        if (r.report.status != JobStatus::kOk) continue;
+        // Degraded results are verified netlists too; only shaped cheaper.
+        if (r.report.status != JobStatus::kOk &&
+            r.report.status != JobStatus::kDegraded) {
+          continue;
+        }
         const fs::path out =
             fs::path(out_dir) / (fs::path(r.report.name).stem().string() + ".blif");
         save_blif(r.netlist, fs::path(r.report.name).stem().string(), out.string());
+        ++written;
       }
-      std::printf("wrote %zu netlists to %s\n", sum.ok, out_dir.c_str());
+      std::printf("wrote %zu netlists to %s\n", written, out_dir.c_str());
     }
     if (!json_path.empty()) {
       std::ofstream js(json_path);

@@ -20,6 +20,11 @@
 //                           BLIF with the CDCL engine, both cross-checks
 //     --jobs N              worker threads for multi-file invocations
 //     --timeout-ms T        per-job deadline for multi-file invocations
+//     --node-budget N       per-job live-BDD-node cap (multi-file)
+//     --max-retries R       retries after a budget/deadline trip (multi-file)
+//     --degrade             retry tripped jobs on progressively cheaper flow
+//                           settings, ending at forced Shannon cofactoring;
+//                           such results report status "degraded" (multi-file)
 //
 // A single input file runs the sequential flow exactly as before. Several
 // input files are dispatched through the parallel batch engine (-o/--dot/
@@ -61,6 +66,9 @@ struct CliArgs {
   VerifyEngine verify = VerifyEngine::kBdd;
   unsigned jobs = 0;
   std::uint32_t timeout_ms = 0;
+  std::size_t node_budget = 0;
+  unsigned max_retries = 0;
+  bool degrade = false;
 };
 
 constexpr int kExitVerifyFailed = 3;
@@ -77,7 +85,8 @@ int usage() {
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
                "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
-               "       [--lint=off|warn|error] [--jobs N] [--timeout-ms T]\n");
+               "       [--lint=off|warn|error] [--jobs N] [--timeout-ms T]\n"
+               "       [--node-budget N] [--max-retries R] [--degrade]\n");
   return 2;
 }
 
@@ -103,6 +112,9 @@ int run_batch(const CliArgs& args) {
   EngineOptions opts;
   opts.num_workers = args.jobs;
   opts.default_timeout_ms = args.timeout_ms;
+  opts.default_node_budget = args.node_budget;
+  opts.default_max_retries = args.max_retries;
+  opts.degrade = args.degrade;
   opts.keep_netlists = false;
   BatchEngine engine(opts);
   for (const std::string& path : args.inputs) {
@@ -119,6 +131,10 @@ int run_batch(const CliArgs& args) {
                 rep.name.c_str(), to_string(rep.status), rep.gates, rep.exors,
                 rep.area, rep.levels, rep.wall_ms);
     if (!rep.error.empty()) std::printf("    %s\n", rep.error.c_str());
+    if (!rep.degradation.empty()) {
+      std::printf("    %u attempt(s), final rung %s\n", rep.attempts,
+                  to_string(rep.degradation.back().rung));
+    }
     for (const LintFinding& f : rep.lint.findings()) {
       std::printf("    lint %s:%s: %s [%s]\n", f.rule.c_str(),
                   to_string(f.severity), f.message.c_str(), f.object.c_str());
@@ -129,11 +145,11 @@ int run_batch(const CliArgs& args) {
     }
   }
   const EngineReport& sum = outcome.summary;
-  std::printf("%zu jobs on %u workers: %zu ok, %zu timeout, %zu verify-failed, "
-              "%zu lint-failed, %zu error in %.1f ms\n",
-              sum.jobs, sum.workers, sum.ok, sum.timeouts, sum.verify_failures,
-              sum.lint_failures, sum.errors, sum.wall_ms);
-  if (sum.ok == sum.jobs) return 0;
+  std::printf("%zu jobs on %u workers: %zu ok, %zu degraded, %zu timeout, "
+              "%zu verify-failed, %zu lint-failed, %zu error in %.1f ms\n",
+              sum.jobs, sum.workers, sum.ok, sum.degraded, sum.timeouts,
+              sum.verify_failures, sum.lint_failures, sum.errors, sum.wall_ms);
+  if (sum.ok + sum.degraded == sum.jobs) return 0;
   if (sum.verify_failures != 0) return kExitVerifyFailed;
   return sum.lint_failures != 0 ? kExitLintFailed : 1;
 }
@@ -211,6 +227,16 @@ int main(int argc, char** argv) {
       std::uint64_t n = 0;
       if (!parse_unsigned("--timeout-ms", next(), n)) return usage();
       args.timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (a == "--node-budget") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--node-budget", next(), n)) return usage();
+      args.node_budget = static_cast<std::size_t>(n);
+    } else if (a == "--max-retries") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--max-retries", next(), n)) return usage();
+      args.max_retries = static_cast<unsigned>(n);
+    } else if (a == "--degrade") {
+      args.degrade = true;
     } else if (!a.empty() && a[0] != '-') {
       args.inputs.push_back(a);
     } else {

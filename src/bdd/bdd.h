@@ -149,6 +149,30 @@ struct BddAuditFinding {
   std::string message;
 };
 
+/// Observation/injection hooks at the manager's resource sites. Installed
+/// with BddManager::set_fault_injector; every hook defaults to a no-op, so
+/// the hot paths pay only a null-pointer compare when no injector is set.
+/// The fault layer (src/fault) implements this interface to make every
+/// failure path — node-budget trips, cache starvation, allocation failures
+/// at the unique-table growth site, deadline expiry at an exact step —
+/// reachable on demand and deterministically in tests and CI. Hooks may
+/// throw; the manager's abort machinery already guarantees the structure
+/// stays consistent across an exception from any of these sites.
+class BddFaultInjector {
+ public:
+  virtual ~BddFaultInjector();
+  /// After every recursive core step (`steps` = steps since reset_stats).
+  virtual void on_step(std::uint64_t steps);
+  /// Before a new node slot is claimed; `live_nodes` is the current count.
+  virtual void on_node_alloc(std::size_t live_nodes);
+  /// Before a computed-table insert; return true to drop the entry
+  /// (poison-eviction: correctness-neutral, the operation just recomputes).
+  virtual bool poison_cache_insert() noexcept;
+  /// At the entry of a unique-subtable growth (the allocation site a real
+  /// out-of-memory would hit first); may throw std::bad_alloc.
+  virtual void on_unique_table_grow(unsigned var, std::size_t new_buckets);
+};
+
 /// Statistics counters exposed for benchmarking and tests.
 struct BddStats {
   std::size_t live_nodes = 0;      ///< allocated minus freed
@@ -315,11 +339,25 @@ class BddManager {
   /// Abort any operation running past `deadline` (checked every few
   /// thousand steps, so granularity is coarse but overhead negligible).
   void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept;
-  /// Remove both limits. The step counter itself is kept (see steps_used).
+  /// Abort node construction once more than `max_live_nodes` nodes are
+  /// alive (0 = unlimited). Unlike the step budget this is a cap on a
+  /// *resource*, not on work: it models a memory ceiling, so the batch
+  /// engine can degrade a job to a cheaper algorithm instead of letting one
+  /// blow-up evict everything else on the machine.
+  void set_node_budget(std::size_t max_live_nodes) noexcept;
+  [[nodiscard]] std::size_t node_budget() const noexcept { return node_budget_; }
+  /// Remove all limits (step budget, deadline, node budget) and detach any
+  /// fault injector. The step counter itself is kept (see steps_used).
   void clear_abort() noexcept;
-  /// Copy the remaining budget/deadline of `src` onto this manager; used
-  /// when a flow transfers work into a helper manager mid-job.
+  /// Copy the remaining budget/deadline/node budget and the fault injector
+  /// of `src` onto this manager; used when a flow transfers work into a
+  /// helper manager mid-job.
   void adopt_abort_limits(const BddManager& src) noexcept;
+  /// Install (or with nullptr remove) a fault injector observing this
+  /// manager's resource sites. Not owned; must outlive its installation.
+  void set_fault_injector(BddFaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
   /// Recursive steps executed since construction or reset_stats().
   [[nodiscard]] std::uint64_t steps_used() const noexcept { return steps_; }
 
@@ -484,8 +522,10 @@ class BddManager {
     ++steps_;
     if (step_budget_ != 0 && steps_ > step_budget_) throw_step_abort();
     if (has_deadline_ && (steps_ & 0x1fffu) == 0) check_deadline();
+    if (fault_ != nullptr) fault_->on_step(steps_);
   }
   [[noreturn]] void throw_step_abort() const;
+  [[noreturn]] void throw_node_abort() const;
   void check_deadline() const;  // throws BddAbortError past the deadline
 
   Bdd wrap(NodeId id) noexcept { return Bdd(this, id); }
@@ -508,9 +548,11 @@ class BddManager {
 
   // cooperative abort state (see set_step_budget / set_deadline)
   std::uint64_t steps_ = 0;
-  std::uint64_t step_budget_ = 0;  // 0 = unlimited
+  std::uint64_t step_budget_ = 0;   // 0 = unlimited
+  std::size_t node_budget_ = 0;     // 0 = unlimited (cap on live nodes)
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+  BddFaultInjector* fault_ = nullptr;  // not owned; see set_fault_injector
 
   // scratch marks for traversals (indexed by node index)
   mutable std::vector<bool> mark_;

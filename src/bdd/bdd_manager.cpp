@@ -134,11 +134,25 @@ void BddManager::set_cache_budget(std::size_t max_entries) noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-injection hooks (no-op defaults; src/fault implements them)
+// ---------------------------------------------------------------------------
+
+BddFaultInjector::~BddFaultInjector() = default;
+void BddFaultInjector::on_step(std::uint64_t) {}
+void BddFaultInjector::on_node_alloc(std::size_t) {}
+bool BddFaultInjector::poison_cache_insert() noexcept { return false; }
+void BddFaultInjector::on_unique_table_grow(unsigned, std::size_t) {}
+
+// ---------------------------------------------------------------------------
 // Cooperative abort
 // ---------------------------------------------------------------------------
 
 void BddManager::set_step_budget(std::uint64_t max_steps) noexcept {
   step_budget_ = max_steps == 0 ? 0 : steps_ + max_steps;
+}
+
+void BddManager::set_node_budget(std::size_t max_live_nodes) noexcept {
+  node_budget_ = max_live_nodes;
 }
 
 void BddManager::set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
@@ -148,7 +162,9 @@ void BddManager::set_deadline(std::chrono::steady_clock::time_point deadline) no
 
 void BddManager::clear_abort() noexcept {
   step_budget_ = 0;
+  node_budget_ = 0;
   has_deadline_ = false;
+  fault_ = nullptr;
 }
 
 void BddManager::adopt_abort_limits(const BddManager& src) noexcept {
@@ -157,12 +173,18 @@ void BddManager::adopt_abort_limits(const BddManager& src) noexcept {
         src.step_budget_ > src.steps_ ? src.step_budget_ - src.steps_ : 1;
     step_budget_ = steps_ + remaining;
   }
+  node_budget_ = src.node_budget_;
   has_deadline_ = src.has_deadline_;
   deadline_ = src.deadline_;
+  fault_ = src.fault_;
 }
 
 void BddManager::throw_step_abort() const {
   throw BddAbortError("BDD operation aborted: step budget exceeded");
+}
+
+void BddManager::throw_node_abort() const {
+  throw BddAbortError("BDD operation aborted: node budget exceeded");
 }
 
 void BddManager::check_deadline() const {
@@ -284,6 +306,9 @@ std::uint32_t BddManager::alloc_slot() {
 void BddManager::grow_subtable(unsigned var) {
   VarTable& t = subtables_[var];
   const std::size_t new_size = t.buckets.size() * 2;
+  // The first allocation a real out-of-memory would hit; the injector can
+  // throw std::bad_alloc here, before any state is touched.
+  if (fault_ != nullptr) fault_->on_unique_table_grow(var, new_size);
   std::vector<std::uint32_t> fresh(new_size, kInvalidId);
   const std::size_t mask = new_size - 1;
   for (const std::uint32_t head : t.buckets) {
@@ -317,6 +342,10 @@ NodeId BddManager::make_node(unsigned var, NodeId lo, NodeId hi) {
     }
   }
   ++stats_.unique_misses;
+  // Resource cap and injection point, checked before any mutation so an
+  // abort here leaves the table exactly as it was.
+  if (node_budget_ != 0 && live_node_count() >= node_budget_) throw_node_abort();
+  if (fault_ != nullptr) fault_->on_node_alloc(live_node_count());
   const std::uint32_t idx = alloc_slot();
   nodes_[idx] = Node{var, lo, hi, table.buckets[h], 0};
   table.buckets[h] = idx;
@@ -367,6 +396,10 @@ NodeId BddManager::cache_lookup(std::uint32_t tag, NodeId a, NodeId b, NodeId c)
 
 void BddManager::cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c,
                               NodeId result) {
+  // Poison-eviction: dropping an insert is correctness-neutral (the result
+  // is simply recomputed on the next miss), so the injector can starve the
+  // computed table without ever producing a wrong answer.
+  if (fault_ != nullptr && fault_->poison_cache_insert()) return;
   ++stats_.cache_inserts;
   if (++cache_inserts_since_grow_ > cache_.size()) {
     // Grow under insert pressure, but only while the table is small relative

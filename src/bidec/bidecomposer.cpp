@@ -242,6 +242,37 @@ BiDecomposer::Result BiDecomposer::decompose_weak(const Isf& isf,
   return combine(GateKind::kAnd, a, b);
 }
 
+unsigned BiDecomposer::most_bound_variable(const Isf& isf,
+                                           std::span<const unsigned> support) {
+  // Count the nodes labelled with each variable across the Q and R DAGs
+  // (shared nodes once per function — close enough for a ranking). Walked
+  // through the public handle API: this runs only on the degraded fallback
+  // path, where clarity beats the cost of handle churn.
+  std::vector<std::size_t> counts(mgr_.num_vars(), 0);
+  std::vector<bool> seen;
+  for (const Bdd* root : {&isf.q(), &isf.r()}) {
+    seen.clear();
+    std::vector<Bdd> stack;
+    if (!root->is_const()) stack.push_back(*root);
+    while (!stack.empty()) {
+      const Bdd f = std::move(stack.back());
+      stack.pop_back();
+      const std::size_t idx = f.id() >> 1;  // node index, polarity-blind
+      if (idx >= seen.size()) seen.resize(idx + 1, false);
+      if (seen[idx]) continue;
+      seen[idx] = true;
+      ++counts[f.top_var()];
+      if (!f.low().is_const()) stack.push_back(f.low());
+      if (!f.high().is_const()) stack.push_back(f.high());
+    }
+  }
+  unsigned best = support.front();
+  for (const unsigned v : support) {
+    if (counts[v] > counts[best]) best = v;
+  }
+  return best;
+}
+
 BiDecomposer::Result BiDecomposer::decompose_shannon(const Isf& isf, unsigned v) {
   // F = (~v & F|v=0) | (v & F|v=1). Never reached for functions the paper's
   // flow handles (see Section 7 discussion); kept as a safety net so the
@@ -284,6 +315,12 @@ BiDecomposer::Result BiDecomposer::bidecompose(const Isf& isf_in) {
   Result result;
   if (support.size() <= 2) {
     result = terminal_case(isf, support);
+  } else if (options_.force_shannon) {
+    // Degradation-ladder terminal rung: no grouping search at all, just
+    // Shannon cofactoring on the most-bound variable. Guaranteed to
+    // terminate (every step removes one support variable) and every step
+    // costs two cofactors, so it survives budgets that starve the flow.
+    result = decompose_shannon(isf, most_bound_variable(isf, support));
   } else {
     std::optional<BestGrouping> best;
     if (options_.use_strong) best = find_best_grouping(isf, support, options_);

@@ -70,6 +70,11 @@ class BiDecomposer {
                             const Result& component);
   Result decompose_weak(const Isf& isf, const WeakGrouping& weak);
   Result decompose_shannon(const Isf& isf, unsigned v);
+  /// The support variable labelling the most nodes of Q and R together —
+  /// the variable the interval is most tightly bound by, so cofactoring on
+  /// it shrinks the DAGs fastest. Drives the forced-Shannon fallback.
+  [[nodiscard]] unsigned most_bound_variable(const Isf& isf,
+                                             std::span<const unsigned> support);
 
   BddManager& mgr_;
   BidecOptions options_;

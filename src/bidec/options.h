@@ -40,6 +40,14 @@ struct BidecOptions {
 
   /// Post-process the netlist by absorbing inverters into NAND/NOR/XNOR.
   bool absorb_inverters = true;
+
+  /// Skip the grouping searches entirely and recurse by Shannon cofactoring
+  /// on the most-bound variable (the one labelling the most nodes in the
+  /// interval's DAGs). Netlist quality is poor — this is the guaranteed
+  /// terminal rung of the batch engine's degradation ladder: every step is
+  /// two cofactors, so it finishes under node/step budgets that starve the
+  /// grouping-based flow. Off everywhere else.
+  bool force_shannon = false;
 };
 
 }  // namespace bidec

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <new>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -35,14 +37,21 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Per-worker state. The manager is private to one thread and reused across
-// jobs with matching variable counts; reset_stats() at job start keeps the
-// per-job metrics clean, collect_garbage() drops the previous job's nodes.
+// Hard cap on attempts per job: the ladder has four rungs and each retry
+// doubles the step budget, so anything beyond this is configuration error,
+// not persistence.
+constexpr unsigned kMaxAttempts = 8;
+
+// Per-worker state. The manager is private to one thread and (by default)
+// reused across jobs with matching variable counts; reset_stats() at job
+// start keeps the per-job metrics clean, collect_garbage() drops the
+// previous job's nodes. `fresh` forces a new manager per call — fault runs
+// and determinism tests need metrics independent of job co-location.
 struct Worker {
   std::unique_ptr<BddManager> mgr;
 
-  BddManager& manager_for(unsigned num_vars) {
-    if (!mgr || mgr->num_vars() != num_vars) {
+  BddManager& manager_for(unsigned num_vars, bool fresh) {
+    if (fresh || !mgr || mgr->num_vars() != num_vars) {
       mgr = std::make_unique<BddManager>(num_vars);
     } else {
       mgr->collect_garbage();
@@ -52,8 +61,9 @@ struct Worker {
   }
 };
 
-// Clears the abort limits on scope exit (including exceptional exit), so a
-// timed-out job never leaks its deadline into the worker's next job.
+// Clears the abort limits and detaches the fault injector on scope exit
+// (including exceptional exit), so a failed attempt never leaks its limits
+// into the next attempt or the worker's next job.
 struct AbortLimitGuard {
   BddManager& mgr;
   ~AbortLimitGuard() { mgr.clear_abort(); }
@@ -113,8 +123,65 @@ MaterializedSpec materialize(BddManager& mgr, const PlaFile& pla,
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Degradation ladder
+// ---------------------------------------------------------------------------
+
+/// Which rung attempt `a` of `attempts` runs on. The first attempt always
+/// uses the submitted settings; without `degrade`, every retry does too
+/// (plain backoff). With `degrade`, retries walk down the ladder and the
+/// final attempt is always the Shannon rung, so a degrading job's last try
+/// is the one that provably terminates.
+DegradeRung rung_for_attempt(unsigned a, unsigned attempts, bool degrade) {
+  if (a == 0 || !degrade) return DegradeRung::kFull;
+  if (a + 1 == attempts) return DegradeRung::kShannon;
+  switch (a) {
+    case 1: return DegradeRung::kCheapGrouping;
+    case 2: return DegradeRung::kWeakOnly;
+    default: return DegradeRung::kShannon;
+  }
+}
+
+/// The submitted flow options made progressively cheaper. Each rung
+/// includes everything the previous one dropped.
+FlowOptions flow_for_rung(const FlowOptions& base, DegradeRung rung) {
+  FlowOptions flow = base;
+  switch (rung) {
+    case DegradeRung::kFull: break;
+    case DegradeRung::kShannon:
+      flow.bidec.force_shannon = true;
+      [[fallthrough]];
+    case DegradeRung::kWeakOnly:
+      flow.bidec.use_strong = false;
+      [[fallthrough]];
+    case DegradeRung::kCheapGrouping:
+      flow.reorder = OrderHeuristic::kNone;
+      flow.bidec.grouping_pairs = 1;
+      flow.bidec.regroup = false;
+      break;
+  }
+  return flow;
+}
+
+/// Exponential backoff in work: attempt `a` runs under the base budget
+/// shifted left by `a` (0 stays 0 = unlimited).
+std::uint64_t backoff_steps(std::uint64_t base, unsigned a) {
+  if (base == 0) return 0;
+  const unsigned shift = std::min(a, 16u);
+  return base << shift;
+}
+
+std::uint32_t backoff_timeout(std::uint32_t base, unsigned a) {
+  if (base == 0) return 0;
+  const std::uint64_t scaled = static_cast<std::uint64_t>(base)
+                               << std::min(a, 16u);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(scaled, 0xffffffffu));
+}
+
 JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id,
-                  Worker& worker) {
+                  Worker& worker, const FaultPlan& plan, bool allow_worker_death,
+                  bool fresh_managers) {
   JobResult result;
   JobReport& rep = result.report;
   rep.job_id = job_id;
@@ -122,101 +189,168 @@ JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id
   rep.worker = worker_id;
   const Clock::time_point t0 = Clock::now();
 
+  // One injector per job, persisting across retry attempts: a `times = 1`
+  // fault kills the first attempt and lets the degraded retry through,
+  // which is exactly how a transient resource spike behaves.
+  std::optional<JobFaultInjector> injector;
+  if (!plan.empty()) {
+    injector.emplace(plan, job_id, worker_id, allow_worker_death);
+  }
+  const bool fresh = fresh_managers || !plan.empty();
+
+  const unsigned attempts =
+      std::min(spec.max_retries + 1, kMaxAttempts);
   BddManager* mgr = nullptr;
-  try {
-    PlaFile pla;
-    Netlist blif;
-    bool is_pla = false;
-    const unsigned num_vars = source_num_inputs(spec, pla, blif, is_pla);
 
-    mgr = &worker.manager_for(num_vars);
-    if (spec.step_budget != 0) mgr->set_step_budget(spec.step_budget);
-    if (spec.timeout_ms != 0) {
-      mgr->set_deadline(t0 + std::chrono::milliseconds(spec.timeout_ms));
-    }
-    const AbortLimitGuard guard{*mgr};
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    const DegradeRung rung = rung_for_attempt(attempt, attempts, spec.degrade);
+    DegradeStep step;
+    step.rung = rung;
+    step.step_budget = backoff_steps(spec.step_budget, attempt);
+    step.timeout_ms = backoff_timeout(spec.timeout_ms, attempt);
+    rep.attempts = attempt + 1;
+    const bool last_attempt = attempt + 1 == attempts;
 
-    {
-      // Inner scope: every Bdd handle dies before the worker reuses or
-      // replaces its manager for the next job.
-      MaterializedSpec m = materialize(*mgr, pla, blif, is_pla);
-      rep.num_inputs = num_vars;
-      rep.num_outputs = static_cast<unsigned>(m.isfs.size());
+    try {
+      PlaFile pla;
+      Netlist blif;
+      bool is_pla = false;
+      const unsigned num_vars = source_num_inputs(spec, pla, blif, is_pla);
 
-      FlowResult flow = synthesize_bidecomp(*mgr, m.isfs, m.input_names,
-                                            m.output_names, spec.flow);
-      if (spec.verify != VerifyEngine::kNone) {
-        DualVerifyResult v;
-        if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
-          v.bdd_ran = true;
-          v.bdd = verify_against_isfs(*mgr, flow.netlist, m.isfs);
-          rep.bdd_verdict = v.bdd.ok ? 1 : 0;
-        }
-        if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
-          // The SAT engine checks against the *source* (cover rows or the
-          // original BLIF network), not the materialized BDDs, so it shares
-          // no reasoning with the synthesis substrate.
-          v.sat_ran = true;
-          v.sat = is_pla ? sat_verify_against_pla(flow.netlist, pla)
-                         : sat_verify_equivalent(flow.netlist, blif);
-          rep.sat_verdict = v.sat.ok ? 1 : 0;
-        }
-        rep.verify_engine = spec.verify;
-        rep.failed_outputs = v.bdd.failed_outputs;
-        for (const std::size_t o : v.sat.failed_outputs) {
-          if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
-              rep.failed_outputs.end()) {
-            rep.failed_outputs.push_back(o);
+      mgr = &worker.manager_for(num_vars, fresh);
+      if (step.step_budget != 0) mgr->set_step_budget(step.step_budget);
+      if (step.timeout_ms != 0) {
+        mgr->set_deadline(Clock::now() +
+                          std::chrono::milliseconds(step.timeout_ms));
+      }
+      // The node budget is a memory cap: it does NOT back off with retries,
+      // the cheaper rungs have to fit under it.
+      if (spec.node_budget != 0) mgr->set_node_budget(spec.node_budget);
+      if (injector) mgr->set_fault_injector(&*injector);
+      const AbortLimitGuard guard{*mgr};
+
+      {
+        // Inner scope: every Bdd handle dies before the worker reuses or
+        // replaces its manager for the next attempt or job.
+        MaterializedSpec m = materialize(*mgr, pla, blif, is_pla);
+        rep.num_inputs = num_vars;
+        rep.num_outputs = static_cast<unsigned>(m.isfs.size());
+
+        FlowResult flow = synthesize_bidecomp(*mgr, m.isfs, m.input_names,
+                                              m.output_names,
+                                              flow_for_rung(spec.flow, rung));
+        rep.status = JobStatus::kOk;
+        rep.error.clear();
+        if (spec.verify != VerifyEngine::kNone) {
+          DualVerifyResult v;
+          if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
+            v.bdd_ran = true;
+            v.bdd = verify_against_isfs(*mgr, flow.netlist, m.isfs);
+            rep.bdd_verdict = v.bdd.ok ? 1 : 0;
+          }
+          if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
+            // The SAT engine checks against the *source* (cover rows or the
+            // original BLIF network), not the materialized BDDs, so it shares
+            // no reasoning with the synthesis substrate — degraded results
+            // included.
+            v.sat_ran = true;
+            v.sat = is_pla ? sat_verify_against_pla(flow.netlist, pla)
+                           : sat_verify_equivalent(flow.netlist, blif);
+            rep.sat_verdict = v.sat.ok ? 1 : 0;
+          }
+          rep.verify_engine = spec.verify;
+          rep.failed_outputs = v.bdd.failed_outputs;
+          for (const std::size_t o : v.sat.failed_outputs) {
+            if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
+                rep.failed_outputs.end()) {
+              rep.failed_outputs.push_back(o);
+            }
+          }
+          std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
+          if (!v.agree()) {
+            rep.status = JobStatus::kVerifyFailed;
+            rep.error = "verification engines disagree (bdd says " +
+                        std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
+                        std::string(v.sat.ok ? "pass" : "fail") +
+                        "): engine bug, not a netlist property";
+          } else if (!v.ok()) {
+            rep.status = JobStatus::kVerifyFailed;
+            std::string which = v.bdd_ran && !v.bdd.ok
+                                    ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
+                                    : "sat";
+            rep.error = "output " +
+                        std::to_string(rep.failed_outputs.empty()
+                                           ? std::size_t{0}
+                                           : rep.failed_outputs.front()) +
+                        " incompatible with its specification (engine: " + which +
+                        ", " + std::to_string(rep.failed_outputs.size()) +
+                        " failing output(s))";
           }
         }
-        std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
-        if (!v.agree()) {
-          rep.status = JobStatus::kVerifyFailed;
-          rep.error = "verification engines disagree (bdd says " +
-                      std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
-                      std::string(v.sat.ok ? "pass" : "fail") +
-                      "): engine bug, not a netlist property";
-        } else if (!v.ok()) {
-          rep.status = JobStatus::kVerifyFailed;
-          std::string which = v.bdd_ran && !v.bdd.ok
-                                  ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
-                                  : "sat";
-          rep.error = "output " +
-                      std::to_string(rep.failed_outputs.empty()
-                                         ? std::size_t{0}
-                                         : rep.failed_outputs.front()) +
-                      " incompatible with its specification (engine: " + which +
-                      ", " + std::to_string(rep.failed_outputs.size()) +
-                      " failing output(s))";
+        rep.bidec = flow.stats;
+        rep.lint = flow.lint;
+        if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
+            rep.lint.has_findings(LintSeverity::kWarning)) {
+          rep.status = JobStatus::kLintFailed;
+          rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
+                      " error(s), " + std::to_string(rep.lint.warnings()) +
+                      " warning(s); first: " + rep.lint.findings().front().rule +
+                      " " + rep.lint.findings().front().message;
         }
+        // A result produced below the submitted rung is degraded, not ok —
+        // it is correct (both verifiers just ran on it) but cheaper-shaped.
+        if (rung != DegradeRung::kFull && rep.status == JobStatus::kOk) {
+          rep.status = JobStatus::kDegraded;
+        }
+        const NetlistStats ns = flow.netlist.stats();
+        rep.gates = ns.gates;
+        rep.two_input = ns.two_input;
+        rep.exors = ns.exors;
+        rep.inverters = ns.inverters;
+        rep.levels = ns.cascades;
+        rep.area = ns.area;
+        rep.delay = ns.delay;
+        result.netlist = std::move(flow.netlist);
       }
-      rep.bidec = flow.stats;
-      rep.lint = flow.lint;
-      if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
-          rep.lint.has_findings(LintSeverity::kWarning)) {
-        rep.status = JobStatus::kLintFailed;
-        rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
-                    " error(s), " + std::to_string(rep.lint.warnings()) +
-                    " warning(s); first: " + rep.lint.findings().front().rule +
-                    " " + rep.lint.findings().front().message;
+      step.outcome = "ok";
+      step.success = true;
+      // The common case — first attempt, submitted settings, success —
+      // records no trail at all.
+      if (attempt != 0 || !rep.degradation.empty()) {
+        rep.degradation.push_back(std::move(step));
       }
-      const NetlistStats ns = flow.netlist.stats();
-      rep.gates = ns.gates;
-      rep.two_input = ns.two_input;
-      rep.exors = ns.exors;
-      rep.inverters = ns.inverters;
-      rep.levels = ns.cascades;
-      rep.area = ns.area;
-      rep.delay = ns.delay;
-      result.netlist = std::move(flow.netlist);
+      break;
+    } catch (const BddAbortError& e) {
+      // Budget or deadline trip: retryable resource exhaustion.
+      step.outcome = e.what();
+      rep.degradation.push_back(std::move(step));
+      if (last_attempt) {
+        rep.status = JobStatus::kTimeout;
+        rep.error = e.what();
+      }
+      result.netlist = Netlist{};
+    } catch (const std::bad_alloc&) {
+      // Synthetic (or real) allocation failure: retryable — the degraded
+      // rungs need less memory.
+      step.outcome = "allocation failure (std::bad_alloc)";
+      rep.degradation.push_back(std::move(step));
+      if (last_attempt) {
+        rep.status = JobStatus::kError;
+        rep.error = "allocation failure (std::bad_alloc)";
+      }
+      result.netlist = Netlist{};
+    } catch (const std::exception& e) {
+      // Anything else (parse error, missing file, logic error) is not a
+      // resource problem; retrying cannot help.
+      step.outcome = e.what();
+      if (!rep.degradation.empty() || attempt != 0) {
+        rep.degradation.push_back(std::move(step));
+      }
+      rep.status = JobStatus::kError;
+      rep.error = e.what();
+      result.netlist = Netlist{};
+      break;
     }
-  } catch (const BddAbortError&) {
-    rep.status = JobStatus::kTimeout;
-    result.netlist = Netlist{};
-  } catch (const std::exception& e) {
-    rep.status = JobStatus::kError;
-    rep.error = e.what();
-    result.netlist = Netlist{};
   }
 
   rep.wall_ms = ms_since(t0);
@@ -241,15 +375,17 @@ JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id
 }
 
 EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
-                       double wall_ms) {
+                       std::size_t worker_deaths, double wall_ms) {
   EngineReport sum;
   sum.jobs = results.size();
   sum.workers = workers;
+  sum.worker_deaths = worker_deaths;
   sum.wall_ms = wall_ms;
   for (const JobResult& r : results) {
     const JobReport& rep = r.report;
     switch (rep.status) {
       case JobStatus::kOk: ++sum.ok; break;
+      case JobStatus::kDegraded: ++sum.degraded; break;
       case JobStatus::kTimeout: ++sum.timeouts; break;
       case JobStatus::kVerifyFailed: ++sum.verify_failures; break;
       case JobStatus::kLintFailed: ++sum.lint_failures; break;
@@ -265,7 +401,7 @@ EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
 
 }  // namespace
 
-BatchEngine::BatchEngine(EngineOptions options) : options_(options) {}
+BatchEngine::BatchEngine(EngineOptions options) : options_(std::move(options)) {}
 
 std::size_t BatchEngine::submit(JobSpec spec) {
   if (spec.name.empty()) {
@@ -277,6 +413,9 @@ std::size_t BatchEngine::submit(JobSpec spec) {
   }
   if (spec.step_budget == 0) spec.step_budget = options_.default_step_budget;
   if (spec.timeout_ms == 0) spec.timeout_ms = options_.default_timeout_ms;
+  if (spec.node_budget == 0) spec.node_budget = options_.default_node_budget;
+  if (spec.max_retries == 0) spec.max_retries = options_.default_max_retries;
+  spec.degrade = spec.degrade || options_.degrade;
   queue_.push_back(std::move(spec));
   return queue_.size() - 1;
 }
@@ -292,36 +431,82 @@ BatchOutcome BatchEngine::run() {
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, std::max<std::size_t>(num_jobs, 1)));
 
+  // Shared scheduling state, all guarded by one mutex: the next fresh job,
+  // jobs re-queued by a dying worker, and the death count. A job id leaves
+  // this state exactly once per execution; a death puts its id back.
   std::mutex queue_mutex;
   std::size_t next_job = 0;
-  auto drain = [&](std::size_t worker_id) {
+  std::vector<std::size_t> requeued;
+  std::size_t deaths = 0;
+
+  auto pop_job = [&](std::size_t& i) {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    if (!requeued.empty()) {
+      i = requeued.back();
+      requeued.pop_back();
+      return true;
+    }
+    if (next_job >= num_jobs) return false;
+    i = next_job++;
+    return true;
+  };
+
+  auto drain = [&](std::size_t worker_id, bool allow_worker_death) {
     Worker worker;
     for (;;) {
       std::size_t i;
-      {
+      if (!pop_job(i)) return;
+      try {
+        // Each slot of `results` is written by exactly one worker; the join
+        // below publishes them to the caller.
+        results[i] = run_job(queue_[i], i, worker_id, worker, options_.fault,
+                             allow_worker_death, options_.fresh_managers);
+        if (!options_.keep_netlists) results[i].netlist = Netlist{};
+      } catch (const WorkerDeathFault&) {
+        // This worker is gone. Put the in-flight job back for the survivors
+        // and exit the thread; the queue keeps draining without us.
         const std::lock_guard<std::mutex> lock(queue_mutex);
-        if (next_job >= num_jobs) return;
-        i = next_job++;
+        requeued.push_back(i);
+        ++deaths;
+        return;
+      } catch (...) {
+        // Unknown exception type: record a clean failure for this job and
+        // keep the worker alive. Nothing may escape into std::thread —
+        // that would terminate the whole process.
+        JobResult failed;
+        failed.report.job_id = i;
+        failed.report.name = queue_[i].name;
+        failed.report.worker = worker_id;
+        failed.report.status = JobStatus::kError;
+        failed.report.error = "worker caught an unidentified exception";
+        results[i] = std::move(failed);
       }
-      // Each slot of `results` is written by exactly one worker; the join
-      // below publishes them to the caller.
-      results[i] = run_job(queue_[i], i, worker_id, worker);
-      if (!options_.keep_netlists) results[i].netlist = Netlist{};
     }
   };
 
   if (workers <= 1) {
-    drain(0);
+    drain(0, /*allow_worker_death=*/true);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain, w);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(drain, w, /*allow_worker_death=*/true);
+    }
     for (std::thread& t : pool) t.join();
   }
+
+  // Recovery pass: if every worker died (or the single inline worker did),
+  // jobs may remain. Run them on this thread with worker-death injection
+  // disabled — there is no pool left to kill, and the batch contract is
+  // that every submitted job gets a report.
+  if (!requeued.empty() || next_job < num_jobs) {
+    drain(workers, /*allow_worker_death=*/false);
+  }
+
   queue_.clear();
 
   BatchOutcome outcome;
-  outcome.summary = aggregate(results, workers, ms_since(t0));
+  outcome.summary = aggregate(results, workers, deaths, ms_since(t0));
   outcome.results = std::move(results);
   return outcome;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/job.h"
+#include "fault/fault.h"
 
 namespace bidec {
 
@@ -23,9 +24,26 @@ struct EngineOptions {
   std::uint64_t default_step_budget = 0;
   /// Default per-job wall-time deadline for specs that leave it 0 (0 = none).
   std::uint32_t default_timeout_ms = 0;
+  /// Default per-job live-node cap for specs that leave it 0 (0 = none).
+  std::size_t default_node_budget = 0;
+  /// Default retry count for specs that leave max_retries 0.
+  unsigned default_max_retries = 0;
+  /// Degradation-ladder policy for every submitted job (a spec can also opt
+  /// in individually; the engine default ORs in).
+  bool degrade = false;
   /// Keep synthesized netlists in the results (drop to save memory when
   /// only the metrics matter).
   bool keep_netlists = true;
+  /// Construct a fresh BddManager for every job instead of recycling the
+  /// worker's. Slower (no warm tables) but makes every per-job metric
+  /// independent of which jobs shared a worker — the determinism tests and
+  /// any non-empty fault plan need that isolation, so a non-empty `fault`
+  /// implies fresh managers regardless of this flag.
+  bool fresh_managers = false;
+  /// Deterministic fault plan replayed into every job (empty = none).
+  /// See fault/fault.h; exercised by tests and chaos CI, never in
+  /// production configurations.
+  FaultPlan fault;
 };
 
 /// Everything run() produces: one result per submitted job (indexed by the

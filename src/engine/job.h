@@ -20,13 +20,39 @@ namespace bidec {
 
 enum class JobStatus {
   kOk,            ///< synthesized and (if requested) verified
-  kTimeout,       ///< cancelled by step budget or deadline (BddAbortError)
+  kDegraded,      ///< synthesized and verified, but on a cheaper ladder rung
+                  ///< after resource exhaustion (see JobReport::degradation)
+  kTimeout,       ///< cancelled by step/node budget or deadline (all retries)
   kVerifyFailed,  ///< synthesized but the verifier rejected an output
   kLintFailed,    ///< synthesized but the post-synthesis lint gate rejected it
   kError,         ///< load/parse/synthesis raised an error
 };
 
 [[nodiscard]] const char* to_string(JobStatus status) noexcept;
+
+/// One rung of the degradation ladder, cheapest last. On a budget or
+/// deadline trip the engine retries the job one rung further down (with an
+/// exponentially grown step budget), ending at the Shannon rung, which
+/// decomposes any ISF under any budget that admits plain cofactoring.
+enum class DegradeRung : std::uint8_t {
+  kFull,           ///< the job's submitted flow options, unchanged
+  kCheapGrouping,  ///< no reordering, single grouping pair, no regrouping
+  kWeakOnly,       ///< additionally skip the strong-grouping search
+  kShannon,        ///< forced Shannon cofactoring: the guaranteed terminal rung
+};
+
+[[nodiscard]] const char* to_string(DegradeRung rung) noexcept;
+
+/// One attempt in a job's degradation trail: which rung ran under which
+/// limits and how it ended. `outcome` is "ok" for the successful attempt,
+/// otherwise the abort/exception message that triggered the next retry.
+struct DegradeStep {
+  DegradeRung rung = DegradeRung::kFull;
+  std::uint64_t step_budget = 0;  ///< effective budget of the attempt (0 = none)
+  std::uint32_t timeout_ms = 0;   ///< effective deadline of the attempt (0 = none)
+  std::string outcome;
+  bool success = false;
+};
 
 /// One unit of work. Everything here is manager-independent and immutable
 /// while the engine runs, so specs can be built on any thread.
@@ -43,6 +69,20 @@ struct JobSpec {
   std::uint64_t step_budget = 0;
   /// Cancel the job after this much wall time (0 = engine default).
   std::uint32_t timeout_ms = 0;
+  /// Cancel the job once its manager holds more than this many live BDD
+  /// nodes (0 = engine default). A resource cap, not a work cap: with
+  /// `degrade` set, a trip sends the job down the ladder instead of killing
+  /// it, and the cap stays constant across retries (memory does not grow
+  /// back just because we are retrying).
+  std::size_t node_budget = 0;
+  /// Re-run the job up to this many extra times after a budget/deadline
+  /// trip or an allocation failure, doubling the step budget and deadline
+  /// each time (exponential backoff in work, not in waiting).
+  unsigned max_retries = 0;
+  /// Walk the degradation ladder on retries: each retry uses progressively
+  /// cheaper flow settings, and the final retry always uses the Shannon
+  /// rung. Off: retries re-run the submitted settings with bigger budgets.
+  bool degrade = false;
   /// Which engine(s) check the result against the specification. The SAT
   /// engine verifies straight against the job source (PLA cover rows or the
   /// original BLIF netlist), so kBoth cross-checks two independent
@@ -63,6 +103,11 @@ struct JobReport {
 
   std::size_t worker = 0;  ///< index of the worker thread that ran the job
   double wall_ms = 0.0;
+
+  /// One entry per attempt, in order; empty when the first attempt with the
+  /// submitted settings succeeded (the common case records no trail).
+  std::vector<DegradeStep> degradation;
+  unsigned attempts = 1;  ///< attempts actually run (1 = no retries needed)
 
   /// Engine(s) that actually ran (kNone when verification was off or the
   /// job died before the netlist existed). Verdicts: 1 = pass, 0 = fail,
@@ -106,6 +151,12 @@ struct JobReport {
   double delay = 0.0;
 
   [[nodiscard]] std::string to_json() const;
+  /// Scheduling-independent serialization: everything in to_json() except
+  /// wall-clock times, the worker index, and the BDD substrate counters
+  /// (which depend on which jobs shared a worker's manager). With fresh
+  /// per-job managers this is byte-identical across runs and worker counts
+  /// — the contract the stress-determinism suite pins down.
+  [[nodiscard]] std::string to_stable_json() const;
 };
 
 /// Report plus the synthesized netlist (valid only for kOk/kVerifyFailed;
@@ -119,11 +170,16 @@ struct JobResult {
 struct EngineReport {
   std::size_t jobs = 0;
   std::size_t ok = 0;
+  std::size_t degraded = 0;  ///< finished+verified on a lower ladder rung
   std::size_t timeouts = 0;
   std::size_t verify_failures = 0;
   std::size_t lint_failures = 0;
   std::size_t errors = 0;
   unsigned workers = 0;
+  /// Worker threads lost mid-run (fault-injected or real); their in-flight
+  /// jobs were re-queued and finished by the surviving workers (or by the
+  /// engine's inline recovery pass when the whole pool died).
+  std::size_t worker_deaths = 0;
   double wall_ms = 0.0;        ///< end-to-end batch wall time
   double total_job_ms = 0.0;   ///< sum of per-job wall times
   std::size_t total_gates = 0;

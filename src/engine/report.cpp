@@ -10,10 +10,21 @@ namespace bidec {
 const char* to_string(JobStatus status) noexcept {
   switch (status) {
     case JobStatus::kOk: return "ok";
+    case JobStatus::kDegraded: return "degraded";
     case JobStatus::kTimeout: return "timeout";
     case JobStatus::kVerifyFailed: return "verify_failed";
     case JobStatus::kLintFailed: return "lint_failed";
     case JobStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(DegradeRung rung) noexcept {
+  switch (rung) {
+    case DegradeRung::kFull: return "full";
+    case DegradeRung::kCheapGrouping: return "cheap_grouping";
+    case DegradeRung::kWeakOnly: return "weak_only";
+    case DegradeRung::kShannon: return "shannon";
   }
   return "unknown";
 }
@@ -53,65 +64,104 @@ void append_double(std::ostream& os, double v) {
   os << buf;
 }
 
+// Shared emitter behind to_json / to_stable_json. `stable` omits every
+// field that depends on scheduling: wall-clock times, the worker index,
+// and the whole BDD substrate block (with recycled managers those counters
+// depend on which jobs shared a worker; to_stable_json documents that the
+// remaining fields are byte-identical across runs and -j levels).
+void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
+  os << "{\"id\": " << rep.job_id << ", \"name\": ";
+  append_json_string(os, rep.name);
+  os << ", \"status\": \"" << to_string(rep.status) << '"';
+  if (!stable) {
+    os << ", \"worker\": " << rep.worker << ", \"wall_ms\": ";
+    append_double(os, rep.wall_ms);
+  }
+  os << ", \"inputs\": " << rep.num_inputs << ", \"outputs\": " << rep.num_outputs;
+  os << ", \"attempts\": " << rep.attempts;
+  if (!rep.degradation.empty()) {
+    os << ", \"degradation\": [";
+    for (std::size_t i = 0; i < rep.degradation.size(); ++i) {
+      const DegradeStep& step = rep.degradation[i];
+      if (i != 0) os << ", ";
+      os << "{\"rung\": \"" << to_string(step.rung)
+         << "\", \"step_budget\": " << step.step_budget
+         << ", \"timeout_ms\": " << step.timeout_ms << ", \"outcome\": ";
+      append_json_string(os, step.outcome);
+      os << ", \"success\": " << (step.success ? "true" : "false") << "}";
+    }
+    os << "]";
+  }
+  if (!stable) {
+    os << ", \"bdd\": {\"steps\": " << rep.bdd_steps
+       << ", \"peak_nodes\": " << rep.peak_nodes
+       << ", \"gc_runs\": " << rep.gc_runs << ", \"unique_hit_rate\": ";
+    append_double(os, rep.unique_hit_rate);
+    os << ", \"cache_hit_rate\": ";
+    append_double(os, rep.cache_hit_rate);
+    os << ", \"gc_ms\": ";
+    append_double(os, rep.gc_ms);
+    os << ", \"cache_inserts\": " << rep.cache_inserts
+       << ", \"cache_resizes\": " << rep.cache_resizes
+       << ", \"cache_swept\": " << rep.cache_swept
+       << ", \"cache_kept\": " << rep.cache_kept << "}";
+  }
+  os << ", \"decomposition\": {\"calls\": " << rep.bidec.calls
+     << ", \"strong_or\": " << rep.bidec.strong_or
+     << ", \"strong_and\": " << rep.bidec.strong_and
+     << ", \"strong_exor\": " << rep.bidec.strong_exor
+     << ", \"weak_or\": " << rep.bidec.weak_or
+     << ", \"weak_and\": " << rep.bidec.weak_and
+     << ", \"cache_hits\": " << rep.bidec.cache_hits
+     << ", \"terminal_cases\": " << rep.bidec.terminal_cases << "}";
+  os << ", \"netlist\": {\"gates\": " << rep.gates
+     << ", \"two_input\": " << rep.two_input << ", \"exors\": " << rep.exors
+     << ", \"inverters\": " << rep.inverters << ", \"levels\": " << rep.levels
+     << ", \"area\": ";
+  append_double(os, rep.area);
+  os << ", \"delay\": ";
+  append_double(os, rep.delay);
+  os << "}";
+  os << ", \"verify\": {\"engine\": \"" << to_string(rep.verify_engine)
+     << "\", \"bdd\": " << rep.bdd_verdict << ", \"sat\": " << rep.sat_verdict
+     << ", \"failed_outputs\": [";
+  for (std::size_t i = 0; i < rep.failed_outputs.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << rep.failed_outputs[i];
+  }
+  os << "]}";
+  if (!rep.lint.clean()) {
+    os << ", \"lint\": " << rep.lint.to_json();
+  }
+  if (!rep.error.empty()) {
+    os << ", \"error\": ";
+    append_json_string(os, rep.error);
+  }
+  os << "}";
+}
+
 }  // namespace
 
 std::string JobReport::to_json() const {
   std::ostringstream os;
-  os << "{\"id\": " << job_id << ", \"name\": ";
-  append_json_string(os, name);
-  os << ", \"status\": \"" << to_string(status) << "\", \"worker\": " << worker
-     << ", \"wall_ms\": ";
-  append_double(os, wall_ms);
-  os << ", \"inputs\": " << num_inputs << ", \"outputs\": " << num_outputs;
-  os << ", \"bdd\": {\"steps\": " << bdd_steps << ", \"peak_nodes\": " << peak_nodes
-     << ", \"gc_runs\": " << gc_runs << ", \"unique_hit_rate\": ";
-  append_double(os, unique_hit_rate);
-  os << ", \"cache_hit_rate\": ";
-  append_double(os, cache_hit_rate);
-  os << ", \"gc_ms\": ";
-  append_double(os, gc_ms);
-  os << ", \"cache_inserts\": " << cache_inserts
-     << ", \"cache_resizes\": " << cache_resizes
-     << ", \"cache_swept\": " << cache_swept << ", \"cache_kept\": " << cache_kept;
-  os << "}, \"decomposition\": {\"calls\": " << bidec.calls
-     << ", \"strong_or\": " << bidec.strong_or
-     << ", \"strong_and\": " << bidec.strong_and
-     << ", \"strong_exor\": " << bidec.strong_exor
-     << ", \"weak_or\": " << bidec.weak_or << ", \"weak_and\": " << bidec.weak_and
-     << ", \"cache_hits\": " << bidec.cache_hits
-     << ", \"terminal_cases\": " << bidec.terminal_cases << "}";
-  os << ", \"netlist\": {\"gates\": " << gates << ", \"two_input\": " << two_input
-     << ", \"exors\": " << exors << ", \"inverters\": " << inverters
-     << ", \"levels\": " << levels << ", \"area\": ";
-  append_double(os, area);
-  os << ", \"delay\": ";
-  append_double(os, delay);
-  os << "}";
-  os << ", \"verify\": {\"engine\": \"" << to_string(verify_engine)
-     << "\", \"bdd\": " << bdd_verdict << ", \"sat\": " << sat_verdict
-     << ", \"failed_outputs\": [";
-  for (std::size_t i = 0; i < failed_outputs.size(); ++i) {
-    if (i != 0) os << ", ";
-    os << failed_outputs[i];
-  }
-  os << "]}";
-  if (!lint.clean()) {
-    os << ", \"lint\": " << lint.to_json();
-  }
-  if (!error.empty()) {
-    os << ", \"error\": ";
-    append_json_string(os, error);
-  }
-  os << "}";
+  emit_job_json(os, *this, /*stable=*/false);
+  return os.str();
+}
+
+std::string JobReport::to_stable_json() const {
+  std::ostringstream os;
+  emit_job_json(os, *this, /*stable=*/true);
   return os.str();
 }
 
 std::string EngineReport::to_json() const {
   std::ostringstream os;
-  os << "{\"jobs\": " << jobs << ", \"ok\": " << ok << ", \"timeouts\": " << timeouts
+  os << "{\"jobs\": " << jobs << ", \"ok\": " << ok
+     << ", \"degraded\": " << degraded << ", \"timeouts\": " << timeouts
      << ", \"verify_failures\": " << verify_failures
      << ", \"lint_failures\": " << lint_failures << ", \"errors\": " << errors
-     << ", \"workers\": " << workers << ", \"wall_ms\": ";
+     << ", \"workers\": " << workers << ", \"worker_deaths\": " << worker_deaths
+     << ", \"wall_ms\": ";
   append_double(os, wall_ms);
   os << ", \"total_job_ms\": ";
   append_double(os, total_job_ms);

@@ -1,0 +1,119 @@
+#include "fault/fault.h"
+
+#include <new>
+
+namespace bidec {
+
+namespace {
+
+// splitmix64: tiny, seedable, and stateless apart from one counter — the
+// right shape for "derive an independent deterministic stream per job".
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultPoint point) noexcept {
+  switch (point) {
+    case FaultPoint::kNodeBudgetTrip: return "node_budget_trip";
+    case FaultPoint::kCachePoison: return "cache_poison";
+    case FaultPoint::kUniqueGrowAlloc: return "unique_grow_alloc";
+    case FaultPoint::kDeadlineAtStep: return "deadline_at_step";
+    case FaultPoint::kWorkerDeath: return "worker_death";
+  }
+  return "unknown";
+}
+
+std::string FaultPlan::to_string() const {
+  std::string s = "seed=" + std::to_string(seed) + ":";
+  for (const FaultSpec& f : faults) {
+    s += " ";
+    s += bidec::to_string(f.point);
+    s += "@" + std::to_string(f.at);
+    if (f.job >= 0) s += " job=" + std::to_string(f.job);
+    if (f.worker >= 0) s += " worker=" + std::to_string(f.worker);
+  }
+  return s;
+}
+
+JobFaultInjector::JobFaultInjector(const FaultPlan& plan, std::size_t job_id,
+                                   std::size_t worker_id, bool allow_worker_death)
+    : worker_id_(worker_id),
+      // Mix the job id into the seed so every job draws an independent
+      // stream; the worker id is deliberately NOT mixed in — determinism
+      // must not depend on which worker picked the job up.
+      rng_(plan.seed ^ (0x9e3779b97f4a7c15ull * (job_id + 1))),
+      allow_worker_death_(allow_worker_death) {
+  for (const FaultSpec& spec : plan.faults) {
+    if (spec.job >= 0 && static_cast<std::size_t>(spec.job) != job_id) continue;
+    armed_.push_back(Armed{spec, 0, 0});
+  }
+}
+
+bool JobFaultInjector::should_fire(Armed& a) {
+  if (a.spec.times != 0 && a.fires >= a.spec.times) return false;
+  ++a.fires;
+  ++fired_;
+  return true;
+}
+
+double JobFaultInjector::next_uniform() noexcept {
+  return static_cast<double>(splitmix64(rng_) >> 11) * 0x1.0p-53;
+}
+
+void JobFaultInjector::on_step(std::uint64_t steps) {
+  for (Armed& a : armed_) {
+    switch (a.spec.point) {
+      case FaultPoint::kDeadlineAtStep:
+        if (steps >= a.spec.at && should_fire(a)) {
+          throw BddAbortError(
+              "BDD operation aborted: deadline exceeded (injected at step " +
+              std::to_string(a.spec.at) + ")");
+        }
+        break;
+      case FaultPoint::kWorkerDeath:
+        if (a.spec.worker >= 0 &&
+            static_cast<std::size_t>(a.spec.worker) != worker_id_) {
+          break;
+        }
+        if (allow_worker_death_ && steps >= a.spec.at && should_fire(a)) {
+          throw WorkerDeathFault{worker_id_, steps};
+        }
+        break;
+      default: break;
+    }
+  }
+}
+
+void JobFaultInjector::on_node_alloc(std::size_t) {
+  for (Armed& a : armed_) {
+    if (a.spec.point != FaultPoint::kNodeBudgetTrip) continue;
+    if (++a.count > a.spec.at && should_fire(a)) {
+      throw BddAbortError(
+          "BDD operation aborted: node budget exceeded (injected after " +
+          std::to_string(a.spec.at) + " allocations)");
+    }
+  }
+}
+
+bool JobFaultInjector::poison_cache_insert() noexcept {
+  bool poisoned = false;
+  for (Armed& a : armed_) {
+    if (a.spec.point != FaultPoint::kCachePoison) continue;
+    if (next_uniform() < a.spec.probability && should_fire(a)) poisoned = true;
+  }
+  return poisoned;
+}
+
+void JobFaultInjector::on_unique_table_grow(unsigned, std::size_t) {
+  for (Armed& a : armed_) {
+    if (a.spec.point != FaultPoint::kUniqueGrowAlloc) continue;
+    if (++a.count > a.spec.at && should_fire(a)) throw std::bad_alloc{};
+  }
+}
+
+}  // namespace bidec

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the synthesis engine: a seedable
+// FaultPlan describes *which* failure to provoke and *when* (node-budget
+// trips, computed-cache poison-eviction, synthetic allocation failure at the
+// unique-table growth site, deadline expiry at an exact BDD step, worker
+// death), and a per-job JobFaultInjector replays that plan through the
+// BddFaultInjector hooks of the worker's manager. All randomness is derived
+// from (plan.seed, job_id) only, never from scheduling, so the same plan
+// produces the same faults — and the same reports — on one worker or eight.
+#ifndef BIDEC_FAULT_FAULT_H
+#define BIDEC_FAULT_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+enum class FaultPoint : std::uint8_t {
+  kNodeBudgetTrip,   ///< BddAbortError after `at` node allocations
+  kCachePoison,      ///< drop computed-cache inserts with `probability`
+  kUniqueGrowAlloc,  ///< std::bad_alloc at the `at`-th unique-table growth
+  kDeadlineAtStep,   ///< BddAbortError at recursive step `at` (deterministic
+                     ///< stand-in for wall-clock deadline expiry)
+  kWorkerDeath,      ///< kill the executing worker thread at step `at`
+};
+
+[[nodiscard]] const char* to_string(FaultPoint point) noexcept;
+
+/// One fault to inject. `at` is the trigger threshold in the unit natural
+/// to the point (allocations, growth events, or recursive steps); `times`
+/// bounds how often the fault fires per job (so a plan can kill the first
+/// attempt of a job and let its degraded retry through).
+struct FaultSpec {
+  FaultPoint point = FaultPoint::kDeadlineAtStep;
+  std::uint64_t at = 0;
+  double probability = 1.0;  ///< kCachePoison: per-insert drop probability
+  int job = -1;              ///< restrict to this job id (-1 = every job)
+  int worker = -1;           ///< kWorkerDeath: this worker only (-1 = any)
+  unsigned times = 1;        ///< max firings per job (0 = unlimited)
+};
+
+/// A reproducible failure scenario: a seed plus the faults to inject.
+/// Immutable while an engine run is in flight; every worker derives its own
+/// injector state from it, so the plan itself is shared without locking.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+  FaultPlan& add(FaultSpec spec) {
+    faults.push_back(spec);
+    return *this;
+  }
+  /// Human-readable one-liner for logs: "seed=7: deadline_at_step@500, ...".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown out of the BDD substrate by a kWorkerDeath fault. Deliberately
+/// NOT derived from std::exception: it must fly through the engine's
+/// per-job error handling (which catches BddAbortError and std::exception)
+/// and reach the worker loop, exactly like an uncatchable crash would kill
+/// the thread — except the queue survives and the test can observe it.
+struct WorkerDeathFault {
+  std::size_t worker = 0;
+  std::uint64_t at_step = 0;
+};
+
+/// Replays a FaultPlan for one job through the manager hooks. Install with
+/// BddManager::set_fault_injector; the injector must outlive the job (the
+/// engine keeps it on the worker's stack). State (firing counters, RNG)
+/// persists across the job's retry attempts, so a `times = 1` fault kills
+/// attempt one and lets the degraded retry finish.
+class JobFaultInjector final : public BddFaultInjector {
+ public:
+  /// `allow_worker_death` is cleared on the engine's post-join recovery
+  /// pass, where there is no pool left to kill.
+  JobFaultInjector(const FaultPlan& plan, std::size_t job_id,
+                   std::size_t worker_id, bool allow_worker_death = true);
+
+  void on_step(std::uint64_t steps) override;
+  void on_node_alloc(std::size_t live_nodes) override;
+  bool poison_cache_insert() noexcept override;
+  void on_unique_table_grow(unsigned var, std::size_t new_buckets) override;
+
+  /// Total faults fired so far (all points), for assertions in tests.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t count = 0;  ///< events seen at this point (allocs, grows)
+    unsigned fires = 0;       ///< times this fault has fired for this job
+  };
+
+  [[nodiscard]] bool should_fire(Armed& a);
+  [[nodiscard]] double next_uniform() noexcept;
+
+  std::vector<Armed> armed_;  ///< plan entries that apply to this job
+  std::size_t worker_id_;
+  std::uint64_t rng_;  ///< splitmix64 state, seeded from (seed, job_id)
+  std::uint64_t fired_ = 0;
+  bool allow_worker_death_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_FAULT_FAULT_H

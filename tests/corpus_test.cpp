@@ -1,0 +1,162 @@
+// Golden regression corpus: every case in tests/corpus/ runs through the
+// full synthesis flow and BOTH verification engines, and its netlist stats
+// must match tests/corpus/expected.stats byte for byte. The corpus collects
+// prior bug reproducers (JSON-escaper names, a GC-threshold spike,
+// complement-edge negation cases) next to ordinary small functions, so any
+// change in decomposition behaviour shows up as a diff against the golden
+// file rather than as a silent drift.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.h"
+
+namespace bidec {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct GoldenStats {
+  unsigned inputs = 0;
+  unsigned outputs = 0;
+  std::size_t gates = 0;
+  std::size_t two_input = 0;
+  std::size_t exors = 0;
+  std::size_t inverters = 0;
+  unsigned levels = 0;
+};
+
+const char* corpus_dir() {
+#ifdef BIDEC_CORPUS_DIR
+  return BIDEC_CORPUS_DIR;
+#else
+  return "tests/corpus";
+#endif
+}
+
+std::map<std::string, GoldenStats> load_golden() {
+  std::ifstream in(fs::path(corpus_dir()) / "expected.stats");
+  EXPECT_TRUE(in.good()) << "cannot open expected.stats in " << corpus_dir();
+  std::map<std::string, GoldenStats> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string name;
+    GoldenStats s;
+    row >> name >> s.inputs >> s.outputs >> s.gates >> s.two_input >> s.exors >>
+        s.inverters >> s.levels;
+    EXPECT_FALSE(row.fail()) << "malformed expected.stats line: " << line;
+    golden.emplace(std::move(name), s);
+  }
+  return golden;
+}
+
+std::vector<std::string> list_cases() {
+  std::vector<std::string> cases;
+  for (const fs::directory_entry& e : fs::directory_iterator(corpus_dir())) {
+    const fs::path& p = e.path();
+    if (p.extension() == ".pla" || p.extension() == ".blif") {
+      cases.push_back(p.filename().string());
+    }
+  }
+  std::sort(cases.begin(), cases.end());
+  return cases;
+}
+
+// The corpus and the golden file must list exactly the same cases: a case
+// added without golden stats (or stale stats for a removed case) is itself
+// a regression.
+TEST(Corpus, GoldenFileCoversEveryCase) {
+  const std::map<std::string, GoldenStats> golden = load_golden();
+  const std::vector<std::string> cases = list_cases();
+  EXPECT_GE(cases.size(), 25u) << "corpus shrank below its seeded size";
+  for (const std::string& c : cases) {
+    EXPECT_TRUE(golden.count(c)) << c << " has no expected.stats entry";
+  }
+  for (const auto& [name, stats] : golden) {
+    EXPECT_TRUE(std::find(cases.begin(), cases.end(), name) != cases.end())
+        << "expected.stats lists missing case " << name;
+  }
+}
+
+TEST(Corpus, FullFlowMatchesGoldenAndBothVerifiersPass) {
+  const std::map<std::string, GoldenStats> golden = load_golden();
+  const std::vector<std::string> cases = list_cases();
+  ASSERT_FALSE(cases.empty());
+
+  BatchEngine engine;
+  for (const std::string& c : cases) {
+    JobSpec spec;
+    spec.name = c;
+    spec.source = (fs::path(corpus_dir()) / c).string();
+    spec.verify = VerifyEngine::kBoth;
+    spec.flow.lint = LintMode::kWarn;
+    engine.submit(std::move(spec));
+  }
+  const BatchOutcome outcome = engine.run();
+  ASSERT_EQ(outcome.results.size(), cases.size());
+
+  for (const JobResult& r : outcome.results) {
+    const JobReport& rep = r.report;
+    SCOPED_TRACE(rep.name);
+    EXPECT_EQ(rep.status, JobStatus::kOk) << rep.error;
+    EXPECT_EQ(rep.bdd_verdict, 1);
+    EXPECT_EQ(rep.sat_verdict, 1);
+    EXPECT_TRUE(rep.failed_outputs.empty());
+
+    const auto it = golden.find(rep.name);
+    ASSERT_NE(it, golden.end());
+    const GoldenStats& g = it->second;
+    EXPECT_EQ(rep.num_inputs, g.inputs);
+    EXPECT_EQ(rep.num_outputs, g.outputs);
+    EXPECT_EQ(rep.gates, g.gates);
+    EXPECT_EQ(rep.two_input, g.two_input);
+    EXPECT_EQ(rep.exors, g.exors);
+    EXPECT_EQ(rep.inverters, g.inverters);
+    EXPECT_EQ(rep.levels, g.levels);
+  }
+}
+
+// The JSON-escaper reproducer: signal names with quotes, backslashes and
+// commas must survive into valid report JSON (escaped, not raw).
+TEST(Corpus, JsonEscaperNamesProduceEscapedReport) {
+  BatchEngine engine;
+  JobSpec spec;
+  spec.name = "quote\"and\\slash.pla";
+  spec.source = (fs::path(corpus_dir()) / "json_names.pla").string();
+  spec.verify = VerifyEngine::kBoth;
+  engine.submit(std::move(spec));
+  const BatchOutcome outcome = engine.run();
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_EQ(outcome.results.front().report.status, JobStatus::kOk);
+
+  const std::string json = outcome.results.front().report.to_json();
+  EXPECT_NE(json.find("quote\\\"and\\\\slash.pla"), std::string::npos) << json;
+  // No raw (unescaped) quote may survive inside the name.
+  EXPECT_EQ(json.find("quote\"and"), std::string::npos) << json;
+}
+
+// Complement-edge reproducer: an output and its exact negation decompose
+// into a shared structure plus one inverter, and both verifiers accept it.
+TEST(Corpus, NegationPairSharesStructure) {
+  BatchEngine engine;
+  JobSpec spec;
+  spec.source = (fs::path(corpus_dir()) / "neg_pair.pla").string();
+  spec.verify = VerifyEngine::kBoth;
+  engine.submit(std::move(spec));
+  const BatchOutcome outcome = engine.run();
+  const JobReport& rep = outcome.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  // f and g = NOT f: the netlist must not duplicate the whole cone.
+  EXPECT_LE(rep.gates, 6u);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,366 @@
+// Fault-injection matrix over the batch engine: every FaultPoint, aimed at
+// different flow stages, must land a job in kOk/kDegraded or a *clean*
+// kTimeout/kError — never a crash, hang, or torn report — with a coherent
+// degradation trail and both verifiers passing on every degraded result.
+// Also pins the two systemic properties: worker death never strands the
+// queue, and one (seed, FaultPlan) produces byte-identical stable reports
+// regardless of run count or worker count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "fault/fault.h"
+
+namespace bidec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string corpus(const char* name) {
+#ifdef BIDEC_CORPUS_DIR
+  return (fs::path(BIDEC_CORPUS_DIR) / name).string();
+#else
+  return (fs::path("tests/corpus") / name).string();
+#endif
+}
+
+JobSpec heavy_job(bool degrade = true, unsigned max_retries = 2) {
+  JobSpec spec;
+  spec.source = corpus("gc_spike.pla");
+  spec.verify = VerifyEngine::kBoth;
+  spec.degrade = degrade;
+  spec.max_retries = max_retries;
+  return spec;
+}
+
+// Trail invariants shared by every matrix case: attempts and trail agree,
+// only the last entry may be the successful one, every failed entry names
+// its reason, and a degraded success happened below the full rung.
+void expect_coherent_trail(const JobReport& rep) {
+  SCOPED_TRACE(rep.name + " [" + to_string(rep.status) + "]");
+  if (rep.degradation.empty()) {
+    EXPECT_EQ(rep.attempts, 1u);
+    return;
+  }
+  EXPECT_EQ(rep.degradation.size(), rep.attempts);
+  for (std::size_t i = 0; i < rep.degradation.size(); ++i) {
+    const DegradeStep& step = rep.degradation[i];
+    EXPECT_FALSE(step.outcome.empty());
+    if (i + 1 < rep.degradation.size()) {
+      EXPECT_FALSE(step.success) << "non-final attempt marked successful";
+    }
+  }
+  const DegradeStep& last = rep.degradation.back();
+  const bool finished =
+      rep.status == JobStatus::kOk || rep.status == JobStatus::kDegraded;
+  EXPECT_EQ(last.success, finished);
+  if (rep.status == JobStatus::kDegraded) {
+    EXPECT_NE(last.rung, DegradeRung::kFull);
+    // Degraded means degraded-but-correct: both engines re-checked it.
+    EXPECT_EQ(rep.bdd_verdict, 1);
+    EXPECT_EQ(rep.sat_verdict, 1);
+  }
+}
+
+BatchOutcome run_one(JobSpec spec, FaultPlan plan) {
+  EngineOptions opts;
+  opts.num_workers = 1;
+  opts.fault = std::move(plan);
+  BatchEngine engine(std::move(opts));
+  engine.submit(std::move(spec));
+  return engine.run();
+}
+
+// --- injection point: node-budget trip -------------------------------------
+
+TEST(FaultInjection, NodeBudgetTripDegradesAndVerifies) {
+  FaultPlan plan;
+  plan.add({FaultPoint::kNodeBudgetTrip, /*at=*/500, 1.0, -1, -1, /*times=*/1});
+  const BatchOutcome out = run_one(heavy_job(), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  EXPECT_GE(rep.attempts, 2u);
+  expect_coherent_trail(rep);
+}
+
+TEST(FaultInjection, NodeBudgetTripWithoutRetriesFailsCleanly) {
+  FaultPlan plan;
+  plan.add({FaultPoint::kNodeBudgetTrip, /*at=*/500, 1.0, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(heavy_job(/*degrade=*/false, /*max_retries=*/0), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kTimeout);
+  EXPECT_NE(rep.error.find("node budget"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.attempts, 1u);
+  expect_coherent_trail(rep);
+}
+
+// The acceptance case for the ladder: a real (engine-level, not injected)
+// node budget that the full flow cannot fit under, rescued by the Shannon
+// rung — the job finishes *verified* instead of timing out.
+TEST(FaultInjection, ShannonRungRescuesNodeBudgetStarvedCorpusCase) {
+  JobSpec starved = heavy_job(/*degrade=*/false, /*max_retries=*/0);
+  starved.node_budget = 3000;
+  const BatchOutcome dead = run_one(std::move(starved), {});
+  EXPECT_EQ(dead.results.front().report.status, JobStatus::kTimeout);
+
+  JobSpec rescued = heavy_job(/*degrade=*/true, /*max_retries=*/1);
+  rescued.node_budget = 3000;
+  const BatchOutcome out = run_one(std::move(rescued), {});
+  const JobReport& rep = out.results.front().report;
+  ASSERT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  ASSERT_FALSE(rep.degradation.empty());
+  EXPECT_EQ(rep.degradation.back().rung, DegradeRung::kShannon);
+  EXPECT_EQ(rep.bdd_verdict, 1);
+  EXPECT_EQ(rep.sat_verdict, 1);
+  EXPECT_GT(rep.gates, 0u);
+  expect_coherent_trail(rep);
+  EXPECT_EQ(out.summary.degraded, 1u);
+}
+
+// --- injection point: computed-cache poison-eviction ------------------------
+
+TEST(FaultInjection, CachePoisonIsCorrectnessNeutral) {
+  const BatchOutcome clean = run_one(heavy_job(), {});
+  FaultPlan plan;
+  plan.add({FaultPoint::kCachePoison, 0, /*probability=*/1.0, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(heavy_job(), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  EXPECT_EQ(rep.bdd_verdict, 1);
+  EXPECT_EQ(rep.sat_verdict, 1);
+  // Dropping every insert starves the computed table...
+  EXPECT_EQ(rep.cache_inserts, 0u);
+  // ...but the produced netlist is the same one the clean run built.
+  EXPECT_EQ(rep.gates, clean.results.front().report.gates);
+  EXPECT_EQ(rep.exors, clean.results.front().report.exors);
+}
+
+TEST(FaultInjection, PartialCachePoisonStillSynthesizes) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.add({FaultPoint::kCachePoison, 0, /*probability=*/0.5, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(heavy_job(), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  EXPECT_EQ(rep.sat_verdict, 1);
+}
+
+// --- injection point: allocation failure at unique-table growth -------------
+
+TEST(FaultInjection, UniqueGrowAllocFailureDegrades) {
+  FaultPlan plan;
+  plan.add({FaultPoint::kUniqueGrowAlloc, /*at=*/1, 1.0, -1, -1, /*times=*/1});
+  const BatchOutcome out = run_one(heavy_job(), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  ASSERT_GE(rep.degradation.size(), 2u);
+  EXPECT_NE(rep.degradation.front().outcome.find("bad_alloc"), std::string::npos);
+  expect_coherent_trail(rep);
+}
+
+TEST(FaultInjection, PersistentAllocFailureIsCleanError) {
+  FaultPlan plan;
+  plan.add({FaultPoint::kUniqueGrowAlloc, /*at=*/0, 1.0, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(heavy_job(/*degrade=*/true, /*max_retries=*/2), plan);
+  const JobReport& rep = out.results.front().report;
+  // Every rung needs at least one table growth on this case, so all attempts
+  // die and the job ends in a clean kError carrying the allocation message.
+  EXPECT_EQ(rep.status, JobStatus::kError);
+  EXPECT_NE(rep.error.find("bad_alloc"), std::string::npos) << rep.error;
+  EXPECT_EQ(rep.attempts, 3u);
+  expect_coherent_trail(rep);
+}
+
+// --- injection point: deadline expiry at step N, across flow stages ---------
+
+// `at` sweeps the deadline across flow stages: materialization of the spec
+// BDDs (first steps), mid-decomposition, and deep into the run. Each must
+// end in kDegraded (the retry fits) or kOk (threshold past the job's total
+// steps, so it never fires) — never a crash.
+TEST(FaultInjection, DeadlineAtStepAcrossFlowStages) {
+  for (const std::uint64_t at : {std::uint64_t{5}, std::uint64_t{2000},
+                                 std::uint64_t{20000}}) {
+    SCOPED_TRACE("deadline at step " + std::to_string(at));
+    FaultPlan plan;
+    plan.add({FaultPoint::kDeadlineAtStep, at, 1.0, -1, -1, /*times=*/1});
+    const BatchOutcome out = run_one(heavy_job(), plan);
+    const JobReport& rep = out.results.front().report;
+    EXPECT_TRUE(rep.status == JobStatus::kOk || rep.status == JobStatus::kDegraded)
+        << to_string(rep.status) << ": " << rep.error;
+    EXPECT_EQ(rep.sat_verdict, 1);
+    expect_coherent_trail(rep);
+  }
+}
+
+TEST(FaultInjection, PersistentDeadlineExhaustsLadderCleanly) {
+  FaultPlan plan;
+  plan.add({FaultPoint::kDeadlineAtStep, /*at=*/5, 1.0, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(heavy_job(/*degrade=*/true, /*max_retries=*/3), plan);
+  const JobReport& rep = out.results.front().report;
+  EXPECT_EQ(rep.status, JobStatus::kTimeout);
+  EXPECT_EQ(rep.attempts, 4u);
+  ASSERT_EQ(rep.degradation.size(), 4u);
+  // The ladder walked all the way down; even the Shannon rung was killed.
+  EXPECT_EQ(rep.degradation.back().rung, DegradeRung::kShannon);
+  expect_coherent_trail(rep);
+}
+
+// --- injection point: worker death ------------------------------------------
+
+// A poisoned job kills every worker that picks it up; the queue must still
+// fully drain (survivors first, then the engine's inline recovery pass) and
+// every submitted job must end with a report.
+TEST(FaultInjection, WorkerDeathNeverStrandsTheQueue) {
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    EngineOptions opts;
+    opts.num_workers = workers;
+    opts.fault.add(
+        {FaultPoint::kWorkerDeath, /*at=*/50, 1.0, /*job=*/3, -1, /*times=*/1});
+    BatchEngine engine(std::move(opts));
+    const char* files[] = {"gc_spike.pla", "add2.pla", "xor4.pla",
+                           "gc_spike.pla", "achilles.pla", "exor_shared.pla",
+                           "maj3.pla", "dc_heavy.pla"};
+    for (const char* f : files) {
+      JobSpec spec;
+      spec.source = corpus(f);
+      spec.verify = VerifyEngine::kBoth;
+      engine.submit(std::move(spec));
+    }
+    const BatchOutcome out = engine.run();
+    ASSERT_EQ(out.results.size(), 8u);
+    EXPECT_GE(out.summary.worker_deaths, 1u);
+    EXPECT_LE(out.summary.worker_deaths, workers);
+    for (const JobResult& r : out.results) {
+      SCOPED_TRACE(r.report.name + " (job " + std::to_string(r.report.job_id) + ")");
+      EXPECT_EQ(r.report.status, JobStatus::kOk) << r.report.error;
+      EXPECT_EQ(r.report.sat_verdict, 1);
+    }
+    EXPECT_EQ(out.summary.ok, 8u);
+  }
+}
+
+TEST(FaultInjection, TargetedWorkerDeathSparesOtherWorkers) {
+  EngineOptions opts;
+  opts.num_workers = 2;
+  // Only worker 1 is killable, and only once per pickup; worker 0 (or the
+  // recovery pass) must finish everything.
+  opts.fault.add(
+      {FaultPoint::kWorkerDeath, /*at=*/10, 1.0, -1, /*worker=*/1, /*times=*/1});
+  BatchEngine engine(std::move(opts));
+  for (int i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.source = corpus("gc_spike.pla");
+    spec.verify = VerifyEngine::kBdd;
+    engine.submit(std::move(spec));
+  }
+  const BatchOutcome out = engine.run();
+  ASSERT_EQ(out.results.size(), 6u);
+  EXPECT_LE(out.summary.worker_deaths, 1u);
+  for (const JobResult& r : out.results) {
+    EXPECT_EQ(r.report.status, JobStatus::kOk) << r.report.error;
+  }
+}
+
+// --- matrix sweep: every point through the degradation ladder ---------------
+
+TEST(FaultInjection, EveryInjectionPointEndsDegradedOrCleanlyFailed) {
+  const FaultSpec specs[] = {
+      {FaultPoint::kNodeBudgetTrip, 300, 1.0, -1, -1, 1},
+      {FaultPoint::kCachePoison, 0, 1.0, -1, -1, 0},
+      {FaultPoint::kUniqueGrowAlloc, 1, 1.0, -1, -1, 1},
+      {FaultPoint::kDeadlineAtStep, 100, 1.0, -1, -1, 1},
+      {FaultPoint::kWorkerDeath, 100, 1.0, -1, -1, 1},
+  };
+  for (const FaultSpec& f : specs) {
+    SCOPED_TRACE(to_string(f.point));
+    EngineOptions opts;
+    opts.num_workers = 1;
+    opts.degrade = true;
+    opts.fault.add(f);
+    BatchEngine engine(std::move(opts));
+    engine.submit(heavy_job());
+    const BatchOutcome out = engine.run();
+    const JobReport& rep = out.results.front().report;
+    EXPECT_TRUE(rep.status == JobStatus::kOk || rep.status == JobStatus::kDegraded ||
+                rep.status == JobStatus::kTimeout || rep.status == JobStatus::kError)
+        << to_string(rep.status);
+    // Verified whenever a netlist exists; clean failure message otherwise.
+    if (rep.status == JobStatus::kOk || rep.status == JobStatus::kDegraded) {
+      EXPECT_EQ(rep.sat_verdict, 1);
+    } else {
+      EXPECT_FALSE(rep.error.empty());
+    }
+    expect_coherent_trail(rep);
+  }
+}
+
+// --- determinism ------------------------------------------------------------
+
+// Same seed + same FaultPlan ⇒ byte-identical stable reports, across three
+// repeat runs AND across one-worker vs eight-worker scheduling.
+TEST(FaultInjection, StableReportsAreByteIdenticalAcrossRunsAndWorkerCounts) {
+  const auto run_stable = [&](unsigned workers) {
+    EngineOptions opts;
+    opts.num_workers = workers;
+    opts.degrade = true;
+    opts.fault.seed = 42;
+    opts.fault.add({FaultPoint::kCachePoison, 0, 0.25, -1, -1, 0});
+    opts.fault.add({FaultPoint::kDeadlineAtStep, 3000, 1.0, /*job=*/0, -1, 1});
+    opts.fault.add({FaultPoint::kNodeBudgetTrip, 800, 1.0, /*job=*/2, -1, 1});
+    opts.fault.add({FaultPoint::kWorkerDeath, 100, 1.0, /*job=*/4, -1, 1});
+    BatchEngine engine(std::move(opts));
+    const char* files[] = {"gc_spike.pla", "add2.pla", "gc_spike.pla",
+                           "achilles.pla", "gc_spike.pla", "exor_shared.pla"};
+    for (const char* f : files) {
+      JobSpec spec;
+      spec.source = corpus(f);
+      spec.verify = VerifyEngine::kBoth;
+      spec.max_retries = 2;
+      engine.submit(std::move(spec));
+    }
+    const BatchOutcome out = engine.run();
+    std::string all;
+    for (const JobResult& r : out.results) {
+      all += r.report.to_stable_json();
+      all += '\n';
+    }
+    return all;
+  };
+
+  const std::string baseline = run_stable(1);
+  EXPECT_FALSE(baseline.empty());
+  for (int run = 0; run < 2; ++run) {
+    EXPECT_EQ(run_stable(1), baseline) << "-j1 repeat " << run;
+  }
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(run_stable(8), baseline) << "-j8 repeat " << run;
+  }
+}
+
+// Sanity on the injector itself: the per-job RNG stream depends on the job
+// id but never on the worker id, which is what makes the engine contract
+// above possible at all.
+TEST(FaultInjection, InjectorStreamIndependentOfWorkerId) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.add({FaultPoint::kCachePoison, 0, 0.5, -1, -1, 0});
+  JobFaultInjector a(plan, /*job_id=*/3, /*worker_id=*/0);
+  JobFaultInjector b(plan, /*job_id=*/3, /*worker_id=*/7);
+  JobFaultInjector c(plan, /*job_id=*/4, /*worker_id=*/0);
+  int same = 0, diff = 0;
+  for (int i = 0; i < 64; ++i) {
+    const bool pa = a.poison_cache_insert();
+    const bool pb = b.poison_cache_insert();
+    const bool pc = c.poison_cache_insert();
+    EXPECT_EQ(pa, pb) << "draw " << i;
+    (pa == pc ? same : diff) += 1;
+  }
+  EXPECT_GT(diff, 0) << "different jobs drew identical streams";
+}
+
+}  // namespace
+}  // namespace bidec
