@@ -1,0 +1,409 @@
+// Server-mode throughput gate: an in-process BidecServer hammered by real
+// loopback-socket clients, cold cross-job cache vs warm. Like perf_gate,
+// this runs a *fixed protocol* — pinned workload seeds, a fixed client
+// count and job mix, median-of-reps — and emits BENCH_server.json in the
+// schema bench/compare_perf.py diffs against the checked-in baseline.
+//
+// Two phases per repetition, identical job stream, identical warm-up:
+//   cold: ServerOptions::shared_cache = false — every job decomposes from
+//         scratch (the manager pool is still warm, so the measured delta
+//         is the component cache, not pool hygiene);
+//   warm: shared cache on and primed with one pass over the distinct
+//         specs, so the measured stream runs against a hot cache.
+//
+// Every response is checked: status must be "ok" and the BDD verifier
+// verdict 1 — a reuse hit that ships a wrong netlist fails the bench, not
+// just the numbers. --min-warm-speedup S (default 1.5) additionally fails
+// the run when warm throughput does not beat cold by the factor the server
+// mode promises; 0 disables the self-gate for exploratory runs.
+//
+// Usage:
+//   micro_server [--quick] [--clients N] [--jobs-per-client N] [--reps N]
+//                [--workers N] [--out-dir DIR] [--commit HASH]
+//                [--min-warm-speedup S]
+#include <algorithm>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace bidec::srvbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- minimal blocking line client (mirrors examples/bidec_client) --------
+
+class LineClient {
+ public:
+  explicit LineClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  bool send_line(const std::string& s) {
+    std::string line = s;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> recv_line() {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char tmp[8192];
+      const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// --- fixed workload ------------------------------------------------------
+
+/// Pinned-seed request lines: `distinct` different covers, serialized once.
+std::vector<std::string> make_request_pool(unsigned distinct) {
+  std::vector<std::string> pool;
+  for (unsigned s = 0; s < distinct; ++s) {
+    const PlaFile pla =
+        random_control_pla(/*inputs=*/10, /*outputs=*/3, /*cubes=*/28,
+                           /*min_lits=*/3, /*max_lits=*/6, /*outs_per_cube=*/2,
+                           /*dc_fraction=*/0.0, /*seed=*/1000 + s);
+    pool.push_back("\"pla\": \"" + json_escape(pla.write()) +
+                   "\", \"name\": \"bench" + std::to_string(s) + "\"");
+  }
+  return pool;
+}
+
+std::string request_line(std::uint64_t id, const std::string& pooled_spec) {
+  return "{\"op\": \"synth\", \"id\": " + std::to_string(id) + ", " +
+         pooled_spec + ", \"verify\": \"bdd\"}";
+}
+
+// --- one measured phase --------------------------------------------------
+
+struct PhaseResult {
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;  ///< closed-loop per-request latency
+  std::uint64_t jobs = 0;
+  std::uint64_t failures = 0;  ///< non-ok status or failed verifier verdict
+};
+
+/// `clients` closed-loop clients, each sending `jobs_per_client` requests
+/// round-robin over the pooled specs and waiting for each answer.
+PhaseResult run_phase(std::uint16_t port, unsigned clients,
+                      unsigned jobs_per_client,
+                      const std::vector<std::string>& pool) {
+  std::vector<std::thread> threads;
+  std::vector<PhaseResult> per_client(clients);
+  const auto t0 = Clock::now();
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PhaseResult& mine = per_client[c];
+      LineClient client(port);
+      if (!client.connected()) {
+        mine.failures += jobs_per_client;
+        return;
+      }
+      for (unsigned j = 0; j < jobs_per_client; ++j) {
+        const std::string& spec = pool[(c + j) % pool.size()];
+        const auto sent = Clock::now();
+        if (!client.send_line(request_line(j + 1, spec))) {
+          ++mine.failures;
+          continue;
+        }
+        const std::optional<std::string> line = client.recv_line();
+        const auto got = Clock::now();
+        ++mine.jobs;
+        mine.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(got - sent).count());
+        if (!line) {
+          ++mine.failures;
+          continue;
+        }
+        const std::optional<JsonValue> doc = JsonValue::parse(*line);
+        if (!doc || doc->get_string("status") != std::optional<std::string>("ok")) {
+          ++mine.failures;
+          continue;
+        }
+        const JsonValue* verify = doc->get("verify");
+        if (verify == nullptr || verify->get_uint("bdd") != 1u) ++mine.failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult total;
+  total.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  for (const PhaseResult& pc : per_client) {
+    total.jobs += pc.jobs;
+    total.failures += pc.failures;
+    total.latencies_ms.insert(total.latencies_ms.end(), pc.latencies_ms.begin(),
+                              pc.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  return total;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+/// One server lifecycle: start, one untimed warm-up pass over the distinct
+/// specs (heats the manager pool — and the component cache when enabled),
+/// the measured phase, stop.
+PhaseResult run_server_phase(bool shared_cache, unsigned workers,
+                             unsigned clients, unsigned jobs_per_client,
+                             const std::vector<std::string>& pool) {
+  ServerOptions opts;
+  opts.num_workers = workers;
+  opts.queue_capacity = 256;
+  opts.per_client_inflight = 16;
+  opts.shared_cache = shared_cache;
+  BidecServer server(opts);
+  server.start();
+
+  {
+    LineClient prime(server.port());
+    for (std::size_t i = 0; i < pool.size() && prime.connected(); ++i) {
+      prime.send_line(request_line(900 + i, pool[i]));
+      prime.recv_line();
+    }
+  }
+
+  PhaseResult result = run_phase(server.port(), clients, jobs_per_client, pool);
+  server.stop();
+  return result;
+}
+
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;  ///< median wall ns per completed job
+  std::uint64_t ops = 0;
+  unsigned reps = 0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t failures = 0;
+};
+
+void append_json(std::string& out, const BenchRecord& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"ops\": %llu, "
+                "\"reps\": %u, \"jobs_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"failures\": %llu}",
+                r.name.c_str(), r.ns_per_op,
+                static_cast<unsigned long long>(r.ops), r.reps, r.jobs_per_sec,
+                r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.failures));
+  out += buf;
+}
+
+void write_suite(const std::string& path, const std::string& commit,
+                 const std::string& mode, unsigned reps,
+                 const std::vector<BenchRecord>& records) {
+  std::string out = "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"suite\": \"server\",\n";
+  out += "  \"commit\": \"" + commit + "\",\n";
+  out += "  \"mode\": \"" + mode + "\",\n";
+  out += "  \"reps\": " + std::to_string(reps) + ",\n";
+  out += "  \"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    append_json(out, records[i]);
+    if (i + 1 != records.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "micro_server: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << out;
+  std::printf("wrote %s (%zu benches)\n", path.c_str(), records.size());
+}
+
+BenchRecord fold(const std::string& name, unsigned reps,
+                 const std::vector<PhaseResult>& samples) {
+  // Median repetition by wall time; ties keep the earlier one so the
+  // protocol is deterministic for deterministic workloads.
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return samples[a].wall_ms < samples[b].wall_ms;
+  });
+  const PhaseResult& med = samples[order[order.size() / 2]];
+
+  BenchRecord rec;
+  rec.name = name;
+  rec.reps = reps;
+  rec.ops = med.jobs;
+  if (med.jobs != 0) {
+    rec.ns_per_op = med.wall_ms * 1e6 / static_cast<double>(med.jobs);
+    rec.jobs_per_sec = static_cast<double>(med.jobs) / (med.wall_ms / 1e3);
+  }
+  rec.p50_ms = percentile(med.latencies_ms, 0.50);
+  rec.p99_ms = percentile(med.latencies_ms, 0.99);
+  for (const PhaseResult& s : samples) rec.failures += s.failures;
+  return rec;
+}
+
+}  // namespace
+}  // namespace bidec::srvbench
+
+int main(int argc, char** argv) {
+  using namespace bidec;
+  using namespace bidec::srvbench;
+
+  unsigned clients = 16;
+  unsigned jobs_per_client = 6;
+  unsigned reps = 3;
+  unsigned workers = 4;
+  bool quick = false;
+  double min_warm_speedup = 1.5;
+  std::string out_dir = ".";
+  std::string commit;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      clients = 8;
+      jobs_per_client = 3;
+      reps = 1;
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--jobs-per-client" && i + 1 < argc) {
+      jobs_per_client = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--min-warm-speedup" && i + 1 < argc) {
+      min_warm_speedup = std::atof(argv[++i]);
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--commit" && i + 1 < argc) {
+      commit = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_server [--quick] [--clients N] "
+                   "[--jobs-per-client N] [--reps N] [--workers N] "
+                   "[--min-warm-speedup S] [--out-dir DIR] [--commit HASH]\n");
+      return 1;
+    }
+  }
+  if (reps == 0) reps = 1;
+  if (clients == 0 || jobs_per_client == 0) {
+    std::fprintf(stderr, "micro_server: need at least one client and job\n");
+    return 1;
+  }
+  if (commit.empty()) {
+    const char* sha = std::getenv("GITHUB_SHA");
+    commit = sha != nullptr ? sha : "unknown";
+  }
+  const std::string mode = quick ? "quick" : "full";
+
+  const std::vector<std::string> pool = make_request_pool(/*distinct=*/4);
+  std::vector<PhaseResult> cold_samples, warm_samples;
+  for (unsigned r = 0; r < reps; ++r) {
+    cold_samples.push_back(
+        run_server_phase(false, workers, clients, jobs_per_client, pool));
+    warm_samples.push_back(
+        run_server_phase(true, workers, clients, jobs_per_client, pool));
+  }
+
+  const std::string tag = std::to_string(clients) + "c";
+  const BenchRecord cold = fold("server_cold_" + tag, reps, cold_samples);
+  const BenchRecord warm = fold("server_warm_" + tag, reps, warm_samples);
+  for (const BenchRecord* rec : {&cold, &warm}) {
+    std::printf("%-20s %10.1f jobs/s  p50 %7.3f ms  p99 %7.3f ms  "
+                "(%llu jobs, %u reps)\n",
+                rec->name.c_str(), rec->jobs_per_sec, rec->p50_ms, rec->p99_ms,
+                static_cast<unsigned long long>(rec->ops), rec->reps);
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(clients) * jobs_per_client;
+  if (cold.ops != expected || warm.ops != expected) {
+    std::fprintf(stderr, "micro_server: job count mismatch (%llu/%llu vs %llu)\n",
+                 static_cast<unsigned long long>(cold.ops),
+                 static_cast<unsigned long long>(warm.ops),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  if (cold.failures != 0 || warm.failures != 0) {
+    std::fprintf(stderr,
+                 "micro_server: %llu cold / %llu warm verification failures — "
+                 "a reused component produced a wrong or unverified result\n",
+                 static_cast<unsigned long long>(cold.failures),
+                 static_cast<unsigned long long>(warm.failures));
+    return 1;
+  }
+
+  const double speedup =
+      cold.jobs_per_sec > 0.0 ? warm.jobs_per_sec / cold.jobs_per_sec : 0.0;
+  std::printf("warm speedup: %.2fx (gate: >= %.2fx)\n", speedup, min_warm_speedup);
+
+  write_suite(out_dir + "/BENCH_server.json", commit, mode, reps, {cold, warm});
+
+  if (min_warm_speedup > 0.0 && speedup < min_warm_speedup) {
+    std::fprintf(stderr,
+                 "micro_server: warm cache speedup %.2fx below the %.2fx gate\n",
+                 speedup, min_warm_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -4,7 +4,8 @@
 // summary table plus a metrics JSON file.
 //
 //   batch_synth <dir | files...> [options]
-//     --jobs N            worker threads (default: hardware concurrency)
+//     --jobs N            worker threads (0 or omitted: auto-detect
+//                         hardware concurrency, capped at the job count)
 //     --timeout-ms T      per-job wall-time deadline (0 = none)
 //     --step-budget S     per-job BDD step budget (0 = none)
 //     --node-budget N     per-job live-BDD-node cap (0 = none)
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "engine/batch_engine.h"
+#include "engine/cli_opts.h"
 #include "io/blif.h"
 
 namespace {
@@ -54,19 +56,17 @@ bool has_spec_extension(const fs::path& p) {
   return p.extension() == ".pla" || p.extension() == ".blif";
 }
 
-// Strict: the whole token must be digits. strtoul would silently map
-// garbage ("--jobs banana") to 0, i.e. to the default.
+// Strict parsing via the shared engine helper: the whole token must be
+// digits, so garbage ("--jobs banana") errors instead of silently mapping
+// to 0 (which means auto-detect for --jobs).
 bool parse_unsigned(const char* flag, const char* v, std::uint64_t& out) {
-  if (!v || *v == '\0') return false;
-  std::uint64_t n = 0;
-  for (const char* p = v; *p; ++p) {
-    if (*p < '0' || *p > '9') {
-      std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, v);
-      return false;
-    }
-    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+  const std::optional<std::uint64_t> n = parse_cli_unsigned(v);
+  if (!n) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                 v ? v : "(nothing)");
+    return false;
   }
-  out = n;
+  out = *n;
   return true;
 }
 

@@ -1,0 +1,199 @@
+// Line-protocol client for the synthesis daemon. Sends one synth request
+// per spec file (or a ping/stats/shutdown op) and prints each response
+// line to stdout.
+//
+//   bidec_client [--port P] [options] <files...>
+//     --port P        server port (default 7171)
+//     --op OP         synth | ping | stats | shutdown  (default synth)
+//     --inline        send PLA files as inline text instead of paths
+//                     (the server then needs no filesystem access)
+//     --verify E      none|bdd|sat|both forwarded with each synth request
+//     --netlist       ask for the synthesized netlist (BLIF) in responses
+//     --repeat N      send each request N times (ids stay distinct)
+//     --id-base N     first request id (default 1)
+//
+// Exit status: 0 when every response line reports a terminal status that
+// is "ok" or "degraded", 1 otherwise, 2 on usage/connection errors.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/cli_opts.h"
+#include "server/json.h"
+
+namespace {
+
+using namespace bidec;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bidec_client [--port P] [--op synth|ping|stats|shutdown]\n"
+               "       [--inline] [--verify none|bdd|sat|both] [--netlist]\n"
+               "       [--repeat N] [--id-base N] <files...>\n");
+  return 2;
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly `count` newline-terminated responses.
+bool read_lines(int fd, std::size_t count, std::vector<std::string>& out) {
+  std::string buf;
+  char chunk[4096];
+  while (out.size() < count) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      out.push_back(buf.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buf.erase(0, start);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7171;
+  std::string op = "synth";
+  std::string verify;
+  bool inline_pla = false;
+  bool want_netlist = false;
+  std::uint64_t repeat = 1;
+  std::uint64_t id = 1;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      const auto n = parse_cli_unsigned(next());
+      if (!n || *n > 0xffff) return usage();
+      port = static_cast<std::uint16_t>(*n);
+    } else if (a == "--op") {
+      const char* v = next();
+      if (!v) return usage();
+      op = v;
+    } else if (a == "--inline") {
+      inline_pla = true;
+    } else if (a == "--verify") {
+      const char* v = next();
+      if (!v) return usage();
+      verify = v;
+    } else if (a == "--netlist") {
+      want_netlist = true;
+    } else if (a == "--repeat") {
+      const auto n = parse_cli_unsigned(next());
+      if (!n || *n == 0) return usage();
+      repeat = *n;
+    } else if (a == "--id-base") {
+      const auto n = parse_cli_unsigned(next());
+      if (!n) return usage();
+      id = *n;
+    } else if (!a.empty() && a[0] != '-') {
+      files.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (op == "synth" && files.empty()) return usage();
+  if (op != "synth" && op != "ping" && op != "stats" && op != "shutdown") {
+    return usage();
+  }
+
+  // Build all request lines up front.
+  std::vector<std::string> requests;
+  if (op != "synth") {
+    requests.push_back("{\"op\": \"" + op + "\", \"id\": " +
+                       std::to_string(id) + "}");
+  } else {
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+      for (const std::string& f : files) {
+        std::string line = "{\"op\": \"synth\", \"id\": " + std::to_string(id++);
+        if (inline_pla) {
+          std::ifstream in(f);
+          if (!in) {
+            std::fprintf(stderr, "error: cannot read %s\n", f.c_str());
+            return 2;
+          }
+          std::ostringstream text;
+          text << in.rdbuf();
+          line += ", \"pla\": \"" + json_escape(text.str()) + "\"";
+          line += ", \"name\": \"" + json_escape(f) + "\"";
+        } else {
+          line += ", \"path\": \"" + json_escape(f) + "\"";
+        }
+        if (!verify.empty()) line += ", \"verify\": \"" + verify + "\"";
+        if (want_netlist) line += ", \"netlist\": true";
+        line += "}";
+        requests.push_back(std::move(line));
+      }
+    }
+  }
+
+  const int fd = connect_to(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+    return 2;
+  }
+
+  std::string payload;
+  for (const std::string& r : requests) {
+    payload += r;
+    payload += '\n';
+  }
+  std::vector<std::string> responses;
+  const bool ok = send_all(fd, payload) &&
+                  read_lines(fd, requests.size(), responses);
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "error: connection lost (%zu of %zu responses)\n",
+                 responses.size(), requests.size());
+    return 2;
+  }
+
+  int rc = 0;
+  for (const std::string& line : responses) {
+    std::printf("%s\n", line.c_str());
+    const auto doc = JsonValue::parse(line);
+    const auto status = doc ? doc->get_string("status") : std::nullopt;
+    if (!status || (*status != "ok" && *status != "degraded")) rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,143 @@
+// Synthesis daemon: bind a loopback port and serve synthesis jobs over
+// newline-delimited JSON until SIGTERM/SIGINT or a client "shutdown" op.
+// Shutdown drains: every admitted job is finished and answered before the
+// process exits.
+//
+//   bidec_server [options]
+//     --port P            loopback TCP port (default 7171; 0 = ephemeral,
+//                         printed on stdout as "listening on <port>")
+//     --jobs N            worker threads (0 = hardware concurrency)
+//     --queue-cap Q       bounded job-queue capacity (default 64)
+//     --admission M       reject | block  (what a full queue does; default
+//                         reject answers {"status":"rejected"} immediately)
+//     --client-inflight K max in-flight jobs per connection (default 8)
+//     --no-shared-cache   disable the cross-job component cache
+//     --cache-shard-cap E max entries per cache shard (default 4096)
+//     --recycle-jobs N    rebuild a pooled manager after N jobs (default 64)
+//     --audit-managers    audit managers between leases, discard unhealthy
+//     --timeout-ms T      default per-job deadline for requests without one
+//     --step-budget S     default per-job BDD step budget
+//     --node-budget B     default per-job live-node cap
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "engine/cli_opts.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace bidec;
+
+// SIGTERM/SIGINT flip the server's stop flag; the main thread parked in
+// wait() then runs the ordinary drain. request_stop is an atomic store —
+// async-signal-safe.
+BidecServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bidec_server [--port P] [--jobs N] [--queue-cap Q]\n"
+               "       [--admission reject|block] [--client-inflight K]\n"
+               "       [--no-shared-cache] [--cache-shard-cap E]\n"
+               "       [--recycle-jobs N] [--audit-managers]\n"
+               "       [--timeout-ms T] [--step-budget S] [--node-budget B]\n");
+  return 2;
+}
+
+bool parse_flag_number(const char* flag, const char* value, std::uint64_t& out) {
+  const std::optional<std::uint64_t> n = parse_cli_unsigned(value);
+  if (!n) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                 value ? value : "(nothing)");
+    return false;
+  }
+  out = *n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  opts.port = 7171;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (a == "--port") {
+      if (!parse_flag_number("--port", next(), n) || n > 0xffff) return usage();
+      opts.port = static_cast<std::uint16_t>(n);
+    } else if (a == "--jobs") {
+      if (!parse_flag_number("--jobs", next(), n)) return usage();
+      // 0 = auto-detect; resolved to hardware concurrency here so the
+      // startup banner shows the real worker count.
+      opts.num_workers = resolve_worker_count(static_cast<unsigned>(n));
+    } else if (a == "--queue-cap") {
+      if (!parse_flag_number("--queue-cap", next(), n)) return usage();
+      opts.queue_capacity = static_cast<std::size_t>(n);
+    } else if (a == "--admission") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "reject") == 0) {
+        opts.admission = AdmissionPolicy::kReject;
+      } else if (std::strcmp(v, "block") == 0) {
+        opts.admission = AdmissionPolicy::kBlock;
+      } else {
+        return usage();
+      }
+    } else if (a == "--client-inflight") {
+      if (!parse_flag_number("--client-inflight", next(), n)) return usage();
+      opts.per_client_inflight = static_cast<std::size_t>(n);
+    } else if (a == "--no-shared-cache") {
+      opts.shared_cache = false;
+    } else if (a == "--cache-shard-cap") {
+      if (!parse_flag_number("--cache-shard-cap", next(), n)) return usage();
+      opts.cache_entries_per_shard = static_cast<std::size_t>(n);
+    } else if (a == "--recycle-jobs") {
+      if (!parse_flag_number("--recycle-jobs", next(), n)) return usage();
+      opts.recycle_after_jobs = static_cast<unsigned>(n);
+    } else if (a == "--audit-managers") {
+      opts.audit_managers = true;
+    } else if (a == "--timeout-ms") {
+      if (!parse_flag_number("--timeout-ms", next(), n)) return usage();
+      opts.default_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (a == "--step-budget") {
+      if (!parse_flag_number("--step-budget", next(), n)) return usage();
+      opts.default_step_budget = n;
+    } else if (a == "--node-budget") {
+      if (!parse_flag_number("--node-budget", next(), n)) return usage();
+      opts.default_node_budget = static_cast<std::size_t>(n);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    BidecServer server(opts);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.start();
+    std::printf("listening on %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.wait();
+    const ServerStats s = server.stats();
+    std::printf("drained: %llu accepted, %llu completed, %llu rejected\n",
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.rejected_queue +
+                                                s.rejected_client));
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -19,6 +19,7 @@
 //                           netlist straight against the PLA cover / original
 //                           BLIF with the CDCL engine, both cross-checks
 //     --jobs N              worker threads for multi-file invocations
+//                           (0 or omitted: auto-detect hardware concurrency)
 //     --timeout-ms T        per-job deadline for multi-file invocations
 //     --node-budget N       per-job live-BDD-node cap (multi-file)
 //     --max-retries R       retries after a budget/deadline trip (multi-file)
@@ -45,6 +46,7 @@
 #include "atpg/atpg.h"
 #include "bidec/flow.h"
 #include "engine/batch_engine.h"
+#include "engine/cli_opts.h"
 #include "io/blif.h"
 #include "io/pla.h"
 #include "verify/sat_verifier.h"
@@ -90,19 +92,17 @@ int usage() {
   return 2;
 }
 
-// Strict: the whole token must be digits. strtoul would silently map
-// garbage ("--jobs banana") to 0, i.e. to the default.
+// Strict parsing via the shared engine helper: the whole token must be
+// digits, so garbage ("--jobs banana") errors instead of silently mapping
+// to 0 (which means auto-detect for --jobs).
 bool parse_unsigned(const char* flag, const char* v, std::uint64_t& out) {
-  if (!v || *v == '\0') return false;
-  std::uint64_t n = 0;
-  for (const char* p = v; *p; ++p) {
-    if (*p < '0' || *p > '9') {
-      std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, v);
-      return false;
-    }
-    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+  const std::optional<std::uint64_t> n = parse_cli_unsigned(v);
+  if (!n) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                 v ? v : "(nothing)");
+    return false;
   }
-  out = n;
+  out = *n;
   return true;
 }
 

@@ -358,6 +358,10 @@ class BddManager {
   void set_fault_injector(BddFaultInjector* injector) noexcept {
     fault_ = injector;
   }
+  /// The installed fault injector (nullptr outside fault-plan runs). Lets
+  /// layers above the kernel fire their own injection sites — e.g. the
+  /// shared component cache poisons publishes through the same plan.
+  [[nodiscard]] BddFaultInjector* fault_injector() const noexcept { return fault_; }
   /// Recursive steps executed since construction or reset_stats().
   [[nodiscard]] std::uint64_t steps_used() const noexcept { return steps_; }
 

@@ -6,6 +6,8 @@
 
 #include "bidec/derive.h"
 #include "bidec/exor_check.h"
+#include "bidec/shared_cache.h"
+#include "bidec/signature.h"
 
 namespace bidec {
 
@@ -312,6 +314,30 @@ BiDecomposer::Result BiDecomposer::bidecompose(const Isf& isf_in) {
     }
   }
 
+  // Cross-job cache: consult after a per-job miss, for cones worth the
+  // 2^k signature enumeration. A hit is only a *candidate* — the component
+  // is rebuilt in this job's manager and must pass Theorem-6 compatibility
+  // against this job's interval (directly or complemented) before any of
+  // its gates touch the netlist; a failing entry is evicted and the call
+  // proceeds as a miss.
+  const bool shared_eligible = options_.shared_cache != nullptr &&
+                               support.size() >= 3 &&
+                               support.size() <= options_.shared_max_support;
+  ComponentSignature sig;
+  if (shared_eligible) {
+    sig = interval_signature(isf, support);
+    ++stats_.shared_lookups;
+    if (const auto found = options_.shared_cache->lookup(sig)) {
+      if (auto spliced = try_shared_component(isf, support, found->impl)) {
+        ++stats_.shared_hits;
+        if (options_.use_cache) cache_.insert(spliced->func, spliced->signal);
+        return *spliced;
+      }
+      ++stats_.shared_rejects;
+      options_.shared_cache->reject(sig);
+    }
+  }
+
   Result result;
   if (support.size() <= 2) {
     result = terminal_case(isf, support);
@@ -335,7 +361,55 @@ BiDecomposer::Result BiDecomposer::bidecompose(const Isf& isf_in) {
 
   assert(isf.is_compatible(result.func));
   if (options_.use_cache) cache_.insert(result.func, result.signal);
+  if (shared_eligible) publish_shared_component(sig, result, support);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-job component reuse (server mode)
+// ---------------------------------------------------------------------------
+
+std::optional<BiDecomposer::Result> BiDecomposer::try_shared_component(
+    const Isf& isf, std::span<const unsigned> support, const Netlist& impl) {
+  if (impl.num_inputs() != support.size() || impl.num_outputs() != 1) {
+    return std::nullopt;  // malformed entry; caller evicts it
+  }
+  Bdd f;
+  try {
+    f = component_to_bdd(mgr_, impl, support);
+  } catch (const std::exception&) {
+    return std::nullopt;  // unreplayable entry; caller evicts it
+  }
+  const bool direct = isf.is_compatible(f);
+  if (!direct && !isf.is_compatible_complement(f)) return std::nullopt;
+  std::vector<SignalId> ins;
+  ins.reserve(support.size());
+  for (const unsigned v : support) ins.push_back(var_signal_[v]);
+  const SignalId s = splice_component(net_, impl, ins);
+  if (direct) return Result{f, s};
+  // Theorem 6: the complement is compatible; reuse through an inverter.
+  return Result{~f, net_.add_not(s)};
+}
+
+void BiDecomposer::publish_shared_component(const ComponentSignature& sig,
+                                            const Result& result,
+                                            std::span<const unsigned> support) {
+  std::vector<SignalId> ins;
+  ins.reserve(support.size());
+  for (const unsigned v : support) ins.push_back(var_signal_[v]);
+  auto impl =
+      extract_component(net_, result.signal, ins, options_.shared_max_gates);
+  if (!impl) return;  // cone escapes the support set or is too large
+  // Fault-injection site: a poisoned publish stores a functionally wrong
+  // component (output XOR input 0 — an output inverter would be healed by
+  // the consumer's legitimate Theorem-6 complement handling). Consumers
+  // must catch it by validation and degrade to a miss.
+  if (BddFaultInjector* inj = mgr_.fault_injector();
+      inj != nullptr && inj->poison_cache_insert()) {
+    *impl = corrupt_component(*impl);
+  }
+  ++stats_.shared_publishes;
+  options_.shared_cache->publish(sig, *impl);
 }
 
 }  // namespace bidec

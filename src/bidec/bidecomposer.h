@@ -6,6 +6,8 @@
 #ifndef BIDEC_BIDEC_BIDECOMPOSER_H
 #define BIDEC_BIDEC_BIDECOMPOSER_H
 
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,8 @@
 #include "netlist/netlist.h"
 
 namespace bidec {
+
+struct ComponentSignature;
 
 class BiDecomposer {
  public:
@@ -70,6 +74,17 @@ class BiDecomposer {
                             const Result& component);
   Result decompose_weak(const Isf& isf, const WeakGrouping& weak);
   Result decompose_shannon(const Isf& isf, unsigned v);
+  /// Validate-and-splice a cross-job cache candidate: rebuild its BDD in
+  /// this manager, Theorem-6 check against the interval (directly or
+  /// complemented), splice on success; nullopt = reject.
+  std::optional<Result> try_shared_component(const Isf& isf,
+                                             std::span<const unsigned> support,
+                                             const Netlist& impl);
+  /// Export a freshly realized cone to the cross-job sink (no-op when the
+  /// cone escapes `support` or exceeds the size cap).
+  void publish_shared_component(const ComponentSignature& sig,
+                                const Result& result,
+                                std::span<const unsigned> support);
   /// The support variable labelling the most nodes of Q and R together —
   /// the variable the interval is most tightly bound by, so cofactoring on
   /// it shrinks the DAGs fastest. Drives the forced-Shannon fallback.

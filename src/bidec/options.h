@@ -6,6 +6,8 @@
 
 namespace bidec {
 
+class SharedComponentSink;
+
 struct BidecOptions {
   /// Consider EXOR bi-decomposition (Section 3.2). Disabling it forces
   /// AND/OR-only netlists (ablation for the "EXOR-intensive circuits" claim).
@@ -48,6 +50,20 @@ struct BidecOptions {
   /// two cofactors, so it finishes under node/step budgets that starve the
   /// grouping-based flow. Off everywhere else.
   bool force_shannon = false;
+
+  /// Cross-job component cache (server mode; see bidec/shared_cache.h).
+  /// Not owned, must outlive the decomposition; nullptr = disabled. Every
+  /// hit is re-validated against this job's interval, so a stale or
+  /// poisoned sink degrades to misses, never to wrong netlists.
+  SharedComponentSink* shared_cache = nullptr;
+
+  /// Only consult/publish the shared cache for cones whose support size is
+  /// in [3, shared_max_support]: signatures enumerate 2^k minterms, and
+  /// cones of support <= 2 are a single terminal-case gate anyway.
+  unsigned shared_max_support = 12;
+
+  /// Skip publishing cones larger than this many gates (0 = unbounded).
+  unsigned shared_max_gates = 128;
 };
 
 }  // namespace bidec

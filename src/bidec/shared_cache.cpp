@@ -1,0 +1,149 @@
+#include "bidec/shared_cache.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace bidec {
+
+namespace {
+
+/// Two statements: GCC 12's -Wrestrict misfires on `prefix +
+/// std::to_string(i)` once the string operator+ is inlined.
+std::string numbered_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+/// Replay the fanin cone of `root` into `out`, mapping old signal ids
+/// through `map` (pre-seeded with the input substitutions). Returns the
+/// new signal for `root`, or kNoSignal if the cone touches an unmapped
+/// primary input or grows past `max_nodes` (0 = unbounded).
+SignalId replay_cone(const Netlist& src, SignalId root, Netlist& out,
+                     std::unordered_map<SignalId, SignalId>& map,
+                     std::size_t max_nodes) {
+  std::vector<SignalId> stack{root};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    if (map.contains(id)) {
+      stack.pop_back();
+      continue;
+    }
+    const Netlist::Node& n = src.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        return kNoSignal;  // a PI that is not one of the substituted inputs
+      case GateType::kConst0:
+        map.emplace(id, out.get_const(false));
+        stack.pop_back();
+        continue;
+      case GateType::kConst1:
+        map.emplace(id, out.get_const(true));
+        stack.pop_back();
+        continue;
+      default:
+        break;
+    }
+    // Post-order, fanin0 first (LIFO: push fanin1 below fanin0), so the
+    // replay creates gates in the same order the original recursion did —
+    // splicing a cone yields the same node numbering as decomposing it.
+    bool ready = true;
+    if (gate_arity(n.type) == 2 && !map.contains(n.fanin1)) {
+      stack.push_back(n.fanin1);
+      ready = false;
+    }
+    if (!map.contains(n.fanin0)) {
+      stack.push_back(n.fanin0);
+      ready = false;
+    }
+    if (!ready) continue;
+    if (max_nodes != 0 && ++visited > max_nodes) return kNoSignal;
+    const SignalId b =
+        gate_arity(n.type) == 2 ? map.at(n.fanin1) : kNoSignal;
+    map.emplace(id, out.add_gate(n.type, map.at(n.fanin0), b));
+    stack.pop_back();
+  }
+  return map.at(root);
+}
+
+}  // namespace
+
+std::optional<Netlist> extract_component(const Netlist& net, SignalId root,
+                                         std::span<const SignalId> inputs,
+                                         std::size_t max_gates) {
+  Netlist impl;
+  std::unordered_map<SignalId, SignalId> map;
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    map.emplace(inputs[p], impl.add_input(numbered_name("p", p)));
+  }
+  const SignalId out = replay_cone(net, root, impl, map, max_gates);
+  if (out == kNoSignal) return std::nullopt;
+  impl.add_output("f", out);
+  return impl;
+}
+
+Bdd component_to_bdd(BddManager& mgr, const Netlist& impl,
+                     std::span<const unsigned> support) {
+  if (impl.num_inputs() != support.size() || impl.num_outputs() != 1) {
+    throw std::invalid_argument("component_to_bdd: shape mismatch");
+  }
+  std::unordered_map<SignalId, Bdd> value;
+  for (const SignalId id : impl.reachable_topo_order()) {
+    const Netlist::Node& n = impl.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        value.emplace(id, mgr.var(support[impl.input_index(id)]));
+        break;
+      case GateType::kConst0: value.emplace(id, mgr.bdd_false()); break;
+      case GateType::kConst1: value.emplace(id, mgr.bdd_true()); break;
+      case GateType::kBuf: value.emplace(id, value.at(n.fanin0)); break;
+      case GateType::kNot: value.emplace(id, ~value.at(n.fanin0)); break;
+      case GateType::kAnd:
+        value.emplace(id, value.at(n.fanin0) & value.at(n.fanin1));
+        break;
+      case GateType::kOr:
+        value.emplace(id, value.at(n.fanin0) | value.at(n.fanin1));
+        break;
+      case GateType::kXor:
+        value.emplace(id, value.at(n.fanin0) ^ value.at(n.fanin1));
+        break;
+      case GateType::kNand:
+        value.emplace(id, ~(value.at(n.fanin0) & value.at(n.fanin1)));
+        break;
+      case GateType::kNor:
+        value.emplace(id, ~(value.at(n.fanin0) | value.at(n.fanin1)));
+        break;
+      case GateType::kXnor:
+        value.emplace(id, ~(value.at(n.fanin0) ^ value.at(n.fanin1)));
+        break;
+    }
+  }
+  return value.at(impl.output_signal(0));
+}
+
+SignalId splice_component(Netlist& net, const Netlist& impl,
+                          std::span<const SignalId> inputs) {
+  if (impl.num_inputs() != inputs.size() || impl.num_outputs() != 1) {
+    throw std::invalid_argument("splice_component: shape mismatch");
+  }
+  std::unordered_map<SignalId, SignalId> map;
+  const std::vector<SignalId>& pis = impl.inputs();
+  for (std::size_t p = 0; p < pis.size(); ++p) map.emplace(pis[p], inputs[p]);
+  return replay_cone(impl, impl.output_signal(0), net, map, /*max_nodes=*/0);
+}
+
+Netlist corrupt_component(const Netlist& impl) {
+  Netlist bad;
+  std::vector<SignalId> ins;
+  ins.reserve(impl.num_inputs());
+  for (std::size_t p = 0; p < impl.num_inputs(); ++p) {
+    ins.push_back(bad.add_input(numbered_name("p", p)));
+  }
+  const SignalId f = splice_component(bad, impl, ins);
+  bad.add_output("f", bad.add_xor(f, ins.at(0)));
+  return bad;
+}
+
+}  // namespace bidec

@@ -1,0 +1,80 @@
+// Cross-job component reuse. The per-job ReuseCache shares cones between
+// the outputs of one BiDecomposer; this interface shares them between
+// *jobs*: realized components are exported as tiny manager-independent
+// netlists keyed by their interval signature, and a later decomposition —
+// in another manager, another worker thread, another client's job — can
+// splice a cached component instead of recursing.
+//
+// The consumer side never trusts the cache. Every hit is re-validated by
+// rebuilding the component's BDD in the *job's* manager and checking
+// Theorem-6 compatibility against the job's own [Q, ~R] interval; an entry
+// that fails (hash collision, torn write, deliberately poisoned by the
+// fault injector) is reported through reject() and degrades to a miss, so
+// a corrupt cache can cost performance but never a wrong netlist.
+#ifndef BIDEC_BIDEC_SHARED_CACHE_H
+#define BIDEC_BIDEC_SHARED_CACHE_H
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "bidec/signature.h"
+#include "netlist/netlist.h"
+
+namespace bidec {
+
+/// A cached component: a self-contained netlist whose primary input p is
+/// the p-th support variable of the signature (positions, not manager
+/// variable indices) and whose single output realizes the component.
+struct SharedComponent {
+  Netlist impl;
+};
+
+/// Sink/source for cross-job components. Implementations (the server's
+/// sharded cache, test fakes) must be safe to call from multiple worker
+/// threads concurrently.
+class SharedComponentSink {
+ public:
+  virtual ~SharedComponentSink() = default;
+
+  /// A component previously published under an equal signature, if any.
+  virtual std::optional<SharedComponent> lookup(const ComponentSignature& sig) = 0;
+
+  /// Offer a freshly realized component for future jobs.
+  virtual void publish(const ComponentSignature& sig, const Netlist& impl) = 0;
+
+  /// The entry returned for `sig` failed validation in the consuming job;
+  /// the implementation should evict it.
+  virtual void reject(const ComponentSignature& sig) = 0;
+};
+
+/// Extract the fanin cone of `root` as a positional component netlist:
+/// input p of the result mirrors `inputs[p]` (a primary-input signal of
+/// `net`). Returns nullopt if the cone reaches a primary input not listed
+/// in `inputs` or contains more than `max_gates` nodes.
+[[nodiscard]] std::optional<Netlist> extract_component(
+    const Netlist& net, SignalId root, std::span<const SignalId> inputs,
+    std::size_t max_gates);
+
+/// Rebuild the component's function in `mgr`, reading input p as variable
+/// `support[p]`. This is the validation half of a cache hit.
+[[nodiscard]] Bdd component_to_bdd(BddManager& mgr, const Netlist& impl,
+                                   std::span<const unsigned> support);
+
+/// Replay the component's gates into `net`, substituting `inputs[p]` for
+/// input p; returns the signal of the component's output. Gate creation
+/// goes through the canonicalizing add_gate, so spliced cones participate
+/// in structural hashing like natively built ones.
+SignalId splice_component(Netlist& net, const Netlist& impl,
+                          std::span<const SignalId> inputs);
+
+/// Fault-injection helper: a functionally wrong copy of `impl` (its output
+/// XOR-ed with input 0). Used to model a poisoned cache entry that a
+/// consumer must catch by validation. XOR with an input — not an output
+/// inverter — because Theorem-6 complement handling would accept an
+/// inverted component as a legitimate complement hit.
+[[nodiscard]] Netlist corrupt_component(const Netlist& impl);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_SHARED_CACHE_H

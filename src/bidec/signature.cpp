@@ -1,0 +1,59 @@
+#include "bidec/signature.h"
+
+#include <stdexcept>
+
+namespace bidec {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit avalanche.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_words(std::uint64_t seed, std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> truth_bits(const BddManager& mgr, const Bdd& f,
+                                      std::span<const unsigned> support) {
+  const unsigned k = static_cast<unsigned>(support.size());
+  if (k > 20) {
+    throw std::invalid_argument("truth_bits: support too wide (2^k blow-up)");
+  }
+  const std::uint64_t minterms = std::uint64_t{1} << k;
+  std::vector<std::uint64_t> bits((minterms + 63) / 64, 0);
+  std::vector<bool> assign(mgr.num_vars(), false);
+  for (std::uint64_t m = 0; m < minterms; ++m) {
+    for (unsigned p = 0; p < k; ++p) assign[support[p]] = ((m >> p) & 1) != 0;
+    if (mgr.eval(f, assign)) bits[m >> 6] |= std::uint64_t{1} << (m & 63);
+  }
+  return bits;
+}
+
+ComponentSignature interval_signature(const Isf& isf,
+                                      std::span<const unsigned> support) {
+  BddManager& mgr = *isf.manager();
+  ComponentSignature sig;
+  sig.k = static_cast<unsigned>(support.size());
+  sig.q_bits = truth_bits(mgr, isf.q(), support);
+  // ~R enumerated by evaluating R and inverting; the tail of the last word
+  // (minterms past 2^k) must stay zero so whole-vector equality works.
+  sig.nr_bits = truth_bits(mgr, isf.r(), support);
+  const std::uint64_t minterms = std::uint64_t{1} << sig.k;
+  for (std::uint64_t& w : sig.nr_bits) w = ~w;
+  if ((minterms & 63) != 0) {
+    sig.nr_bits.back() &= (std::uint64_t{1} << (minterms & 63)) - 1;
+  }
+  sig.hash = hash_words(hash_words(mix64(sig.k), sig.q_bits), sig.nr_bits);
+  return sig;
+}
+
+}  // namespace bidec

@@ -1,0 +1,51 @@
+// Manager-independent component signatures for cross-job reuse. A cone of
+// the decomposition is identified by its *normalized interval*: the truth
+// bits of the on-set Q and the upper bound ~R enumerated over the cone's
+// support variables in sorted order, with variable i of the signature being
+// the i-th support variable (positions, not manager indices). Two cones in
+// different jobs — over different managers, even over different variable
+// index sets — get equal signatures exactly when their intervals are the
+// same Boolean object, which is what makes the signature usable as a key
+// in a cache shared by every worker of a long-lived server.
+//
+// The 64-bit `hash` is the shard/bucket key ("support-hashed CSF
+// signature"); the full bit vectors ride along so a cache can reject hash
+// collisions exactly, and so a validation pass can re-check a reused
+// component against the interval without trusting the cache.
+#ifndef BIDEC_BIDEC_SIGNATURE_H
+#define BIDEC_BIDEC_SIGNATURE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace bidec {
+
+struct ComponentSignature {
+  unsigned k = 0;  ///< support size; truth vectors hold 2^k minterm bits
+  std::vector<std::uint64_t> q_bits;   ///< on-set Q over support minterms
+  std::vector<std::uint64_t> nr_bits;  ///< upper bound ~R over support minterms
+  std::uint64_t hash = 0;              ///< 64-bit key over (k, q_bits, nr_bits)
+
+  [[nodiscard]] bool same_interval(const ComponentSignature& other) const noexcept {
+    return k == other.k && q_bits == other.q_bits && nr_bits == other.nr_bits;
+  }
+};
+
+/// Truth bits of `f` over the minterms of `support` (sorted manager
+/// variable indices): bit m of word m/64 is f evaluated with support[p] set
+/// to bit p of m and every other variable 0. `f`'s support must be
+/// contained in `support`. Cost: 2^k evaluations.
+[[nodiscard]] std::vector<std::uint64_t> truth_bits(const BddManager& mgr, const Bdd& f,
+                                                    std::span<const unsigned> support);
+
+/// Signature of an ISF's interval [Q, ~R] over `support` (which must cover
+/// the supports of both bounds, sorted ascending).
+[[nodiscard]] ComponentSignature interval_signature(const Isf& isf,
+                                                    std::span<const unsigned> support);
+
+}  // namespace bidec
+
+#endif  // BIDEC_BIDEC_SIGNATURE_H

@@ -21,6 +21,10 @@ struct BidecStats {
   std::size_t weak_and = 0;
   std::size_t shannon_fallback = 0;  ///< weak gave no gain (expected ~never)
   std::size_t inessential_removed = 0;  ///< calls that dropped variables
+  std::size_t shared_lookups = 0;    ///< cross-job cache consultations
+  std::size_t shared_hits = 0;       ///< validated cross-job reuses
+  std::size_t shared_rejects = 0;    ///< entries that failed validation
+  std::size_t shared_publishes = 0;  ///< cones exported for future jobs
 
   [[nodiscard]] std::size_t strong_total() const {
     return strong_or + strong_and + strong_exor;

@@ -1,18 +1,13 @@
 #include "engine/batch_engine.h"
 
-#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <mutex>
-#include <new>
-#include <optional>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
-#include "io/blif.h"
-#include "verify/sat_verifier.h"
-#include "verify/verifier.h"
+#include "engine/cli_opts.h"
+#include "engine/job_runner.h"
 
 namespace bidec {
 
@@ -30,348 +25,6 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// Hard cap on attempts per job: the ladder has four rungs and each retry
-// doubles the step budget, so anything beyond this is configuration error,
-// not persistence.
-constexpr unsigned kMaxAttempts = 8;
-
-// Per-worker state. The manager is private to one thread and (by default)
-// reused across jobs with matching variable counts; reset_stats() at job
-// start keeps the per-job metrics clean, collect_garbage() drops the
-// previous job's nodes. `fresh` forces a new manager per call — fault runs
-// and determinism tests need metrics independent of job co-location.
-struct Worker {
-  std::unique_ptr<BddManager> mgr;
-
-  BddManager& manager_for(unsigned num_vars, bool fresh) {
-    if (fresh || !mgr || mgr->num_vars() != num_vars) {
-      mgr = std::make_unique<BddManager>(num_vars);
-    } else {
-      mgr->collect_garbage();
-      mgr->reset_stats();
-    }
-    return *mgr;
-  }
-};
-
-// Clears the abort limits and detaches the fault injector on scope exit
-// (including exceptional exit), so a failed attempt never leaks its limits
-// into the next attempt or the worker's next job.
-struct AbortLimitGuard {
-  BddManager& mgr;
-  ~AbortLimitGuard() { mgr.clear_abort(); }
-};
-
-// The specification a worker materialized into its manager. Destroyed
-// before the manager can be recycled (Bdd handles must die first).
-struct MaterializedSpec {
-  std::vector<Isf> isfs;
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-};
-
-// Parse/load phase: everything manager-independent about the source.
-// Returns the input count so the worker can size its manager.
-unsigned source_num_inputs(const JobSpec& spec, PlaFile& pla, Netlist& blif,
-                           bool& is_pla) {
-  if (const auto* path = std::get_if<std::string>(&spec.source)) {
-    if (ends_with(*path, ".pla")) {
-      pla = PlaFile::load(*path);
-      is_pla = true;
-      return pla.num_inputs;
-    }
-    if (ends_with(*path, ".blif")) {
-      blif = load_blif(*path);
-      is_pla = false;
-      return static_cast<unsigned>(blif.num_inputs());
-    }
-    throw std::runtime_error("job source must end in .pla or .blif: " + *path);
-  }
-  pla = std::get<PlaFile>(spec.source);
-  is_pla = true;
-  return pla.num_inputs;
-}
-
-MaterializedSpec materialize(BddManager& mgr, const PlaFile& pla,
-                             const Netlist& blif, bool is_pla) {
-  MaterializedSpec spec;
-  if (is_pla) {
-    spec.isfs = pla.to_isfs(mgr);
-    for (unsigned i = 0; i < pla.num_inputs; ++i) {
-      spec.input_names.push_back(pla.input_name(i));
-    }
-    for (unsigned o = 0; o < pla.num_outputs; ++o) {
-      spec.output_names.push_back(pla.output_name(o));
-    }
-  } else {
-    const std::vector<Bdd> funcs = netlist_to_bdds(mgr, blif);
-    for (const Bdd& f : funcs) spec.isfs.push_back(Isf::from_csf(f));
-    for (std::size_t i = 0; i < blif.num_inputs(); ++i) {
-      spec.input_names.push_back(blif.input_name(i));
-    }
-    for (std::size_t o = 0; o < blif.num_outputs(); ++o) {
-      spec.output_names.push_back(blif.output_name(o));
-    }
-  }
-  return spec;
-}
-
-// ---------------------------------------------------------------------------
-// Degradation ladder
-// ---------------------------------------------------------------------------
-
-/// Which rung attempt `a` of `attempts` runs on. The first attempt always
-/// uses the submitted settings; without `degrade`, every retry does too
-/// (plain backoff). With `degrade`, retries walk down the ladder and the
-/// final attempt is always the Shannon rung, so a degrading job's last try
-/// is the one that provably terminates.
-DegradeRung rung_for_attempt(unsigned a, unsigned attempts, bool degrade) {
-  if (a == 0 || !degrade) return DegradeRung::kFull;
-  if (a + 1 == attempts) return DegradeRung::kShannon;
-  switch (a) {
-    case 1: return DegradeRung::kCheapGrouping;
-    case 2: return DegradeRung::kWeakOnly;
-    default: return DegradeRung::kShannon;
-  }
-}
-
-/// The submitted flow options made progressively cheaper. Each rung
-/// includes everything the previous one dropped.
-FlowOptions flow_for_rung(const FlowOptions& base, DegradeRung rung) {
-  FlowOptions flow = base;
-  switch (rung) {
-    case DegradeRung::kFull: break;
-    case DegradeRung::kShannon:
-      flow.bidec.force_shannon = true;
-      [[fallthrough]];
-    case DegradeRung::kWeakOnly:
-      flow.bidec.use_strong = false;
-      [[fallthrough]];
-    case DegradeRung::kCheapGrouping:
-      flow.reorder = OrderHeuristic::kNone;
-      flow.bidec.grouping_pairs = 1;
-      flow.bidec.regroup = false;
-      break;
-  }
-  return flow;
-}
-
-/// Exponential backoff in work: attempt `a` runs under the base budget
-/// shifted left by `a` (0 stays 0 = unlimited).
-std::uint64_t backoff_steps(std::uint64_t base, unsigned a) {
-  if (base == 0) return 0;
-  const unsigned shift = std::min(a, 16u);
-  return base << shift;
-}
-
-std::uint32_t backoff_timeout(std::uint32_t base, unsigned a) {
-  if (base == 0) return 0;
-  const std::uint64_t scaled = static_cast<std::uint64_t>(base)
-                               << std::min(a, 16u);
-  return static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(scaled, 0xffffffffu));
-}
-
-JobResult run_job(const JobSpec& spec, std::size_t job_id, std::size_t worker_id,
-                  Worker& worker, const FaultPlan& plan, bool allow_worker_death,
-                  bool fresh_managers) {
-  JobResult result;
-  JobReport& rep = result.report;
-  rep.job_id = job_id;
-  rep.name = spec.name;
-  rep.worker = worker_id;
-  const Clock::time_point t0 = Clock::now();
-
-  // One injector per job, persisting across retry attempts: a `times = 1`
-  // fault kills the first attempt and lets the degraded retry through,
-  // which is exactly how a transient resource spike behaves.
-  std::optional<JobFaultInjector> injector;
-  if (!plan.empty()) {
-    injector.emplace(plan, job_id, worker_id, allow_worker_death);
-  }
-  const bool fresh = fresh_managers || !plan.empty();
-
-  const unsigned attempts =
-      std::min(spec.max_retries + 1, kMaxAttempts);
-  BddManager* mgr = nullptr;
-
-  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-    const DegradeRung rung = rung_for_attempt(attempt, attempts, spec.degrade);
-    DegradeStep step;
-    step.rung = rung;
-    step.step_budget = backoff_steps(spec.step_budget, attempt);
-    step.timeout_ms = backoff_timeout(spec.timeout_ms, attempt);
-    rep.attempts = attempt + 1;
-    const bool last_attempt = attempt + 1 == attempts;
-
-    try {
-      PlaFile pla;
-      Netlist blif;
-      bool is_pla = false;
-      const unsigned num_vars = source_num_inputs(spec, pla, blif, is_pla);
-
-      mgr = &worker.manager_for(num_vars, fresh);
-      if (step.step_budget != 0) mgr->set_step_budget(step.step_budget);
-      if (step.timeout_ms != 0) {
-        mgr->set_deadline(Clock::now() +
-                          std::chrono::milliseconds(step.timeout_ms));
-      }
-      // The node budget is a memory cap: it does NOT back off with retries,
-      // the cheaper rungs have to fit under it.
-      if (spec.node_budget != 0) mgr->set_node_budget(spec.node_budget);
-      if (injector) mgr->set_fault_injector(&*injector);
-      const AbortLimitGuard guard{*mgr};
-
-      {
-        // Inner scope: every Bdd handle dies before the worker reuses or
-        // replaces its manager for the next attempt or job.
-        MaterializedSpec m = materialize(*mgr, pla, blif, is_pla);
-        rep.num_inputs = num_vars;
-        rep.num_outputs = static_cast<unsigned>(m.isfs.size());
-
-        FlowResult flow = synthesize_bidecomp(*mgr, m.isfs, m.input_names,
-                                              m.output_names,
-                                              flow_for_rung(spec.flow, rung));
-        rep.status = JobStatus::kOk;
-        rep.error.clear();
-        if (spec.verify != VerifyEngine::kNone) {
-          DualVerifyResult v;
-          if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
-            v.bdd_ran = true;
-            v.bdd = verify_against_isfs(*mgr, flow.netlist, m.isfs);
-            rep.bdd_verdict = v.bdd.ok ? 1 : 0;
-          }
-          if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
-            // The SAT engine checks against the *source* (cover rows or the
-            // original BLIF network), not the materialized BDDs, so it shares
-            // no reasoning with the synthesis substrate — degraded results
-            // included.
-            v.sat_ran = true;
-            v.sat = is_pla ? sat_verify_against_pla(flow.netlist, pla)
-                           : sat_verify_equivalent(flow.netlist, blif);
-            rep.sat_verdict = v.sat.ok ? 1 : 0;
-          }
-          rep.verify_engine = spec.verify;
-          rep.failed_outputs = v.bdd.failed_outputs;
-          for (const std::size_t o : v.sat.failed_outputs) {
-            if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
-                rep.failed_outputs.end()) {
-              rep.failed_outputs.push_back(o);
-            }
-          }
-          std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
-          if (!v.agree()) {
-            rep.status = JobStatus::kVerifyFailed;
-            rep.error = "verification engines disagree (bdd says " +
-                        std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
-                        std::string(v.sat.ok ? "pass" : "fail") +
-                        "): engine bug, not a netlist property";
-          } else if (!v.ok()) {
-            rep.status = JobStatus::kVerifyFailed;
-            std::string which = v.bdd_ran && !v.bdd.ok
-                                    ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
-                                    : "sat";
-            rep.error = "output " +
-                        std::to_string(rep.failed_outputs.empty()
-                                           ? std::size_t{0}
-                                           : rep.failed_outputs.front()) +
-                        " incompatible with its specification (engine: " + which +
-                        ", " + std::to_string(rep.failed_outputs.size()) +
-                        " failing output(s))";
-          }
-        }
-        rep.bidec = flow.stats;
-        rep.lint = flow.lint;
-        if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
-            rep.lint.has_findings(LintSeverity::kWarning)) {
-          rep.status = JobStatus::kLintFailed;
-          rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
-                      " error(s), " + std::to_string(rep.lint.warnings()) +
-                      " warning(s); first: " + rep.lint.findings().front().rule +
-                      " " + rep.lint.findings().front().message;
-        }
-        // A result produced below the submitted rung is degraded, not ok —
-        // it is correct (both verifiers just ran on it) but cheaper-shaped.
-        if (rung != DegradeRung::kFull && rep.status == JobStatus::kOk) {
-          rep.status = JobStatus::kDegraded;
-        }
-        const NetlistStats ns = flow.netlist.stats();
-        rep.gates = ns.gates;
-        rep.two_input = ns.two_input;
-        rep.exors = ns.exors;
-        rep.inverters = ns.inverters;
-        rep.levels = ns.cascades;
-        rep.area = ns.area;
-        rep.delay = ns.delay;
-        result.netlist = std::move(flow.netlist);
-      }
-      step.outcome = "ok";
-      step.success = true;
-      // The common case — first attempt, submitted settings, success —
-      // records no trail at all.
-      if (attempt != 0 || !rep.degradation.empty()) {
-        rep.degradation.push_back(std::move(step));
-      }
-      break;
-    } catch (const BddAbortError& e) {
-      // Budget or deadline trip: retryable resource exhaustion.
-      step.outcome = e.what();
-      rep.degradation.push_back(std::move(step));
-      if (last_attempt) {
-        rep.status = JobStatus::kTimeout;
-        rep.error = e.what();
-      }
-      result.netlist = Netlist{};
-    } catch (const std::bad_alloc&) {
-      // Synthetic (or real) allocation failure: retryable — the degraded
-      // rungs need less memory.
-      step.outcome = "allocation failure (std::bad_alloc)";
-      rep.degradation.push_back(std::move(step));
-      if (last_attempt) {
-        rep.status = JobStatus::kError;
-        rep.error = "allocation failure (std::bad_alloc)";
-      }
-      result.netlist = Netlist{};
-    } catch (const std::exception& e) {
-      // Anything else (parse error, missing file, logic error) is not a
-      // resource problem; retrying cannot help.
-      step.outcome = e.what();
-      if (!rep.degradation.empty() || attempt != 0) {
-        rep.degradation.push_back(std::move(step));
-      }
-      rep.status = JobStatus::kError;
-      rep.error = e.what();
-      result.netlist = Netlist{};
-      break;
-    }
-  }
-
-  rep.wall_ms = ms_since(t0);
-  if (mgr != nullptr) {
-    const BddStats& s = mgr->stats();
-    rep.bdd_steps = mgr->steps_used();
-    rep.peak_nodes = s.peak_nodes;
-    rep.gc_runs = s.gc_runs;
-    const std::size_t unique_total = s.unique_hits + s.unique_misses;
-    rep.unique_hit_rate =
-        unique_total != 0 ? static_cast<double>(s.unique_hits) / unique_total : 0.0;
-    rep.cache_hit_rate = s.cache_lookups != 0
-                             ? static_cast<double>(s.cache_hits) / s.cache_lookups
-                             : 0.0;
-    rep.gc_ms = s.gc_ms;
-    rep.cache_inserts = s.cache_inserts;
-    rep.cache_resizes = s.cache_resizes;
-    rep.cache_swept = s.cache_swept;
-    rep.cache_kept = s.cache_kept;
-  }
-  return result;
 }
 
 EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
@@ -401,7 +54,11 @@ EngineReport aggregate(const std::vector<JobResult>& results, unsigned workers,
 
 }  // namespace
 
-BatchEngine::BatchEngine(EngineOptions options) : options_(std::move(options)) {}
+BatchEngine::BatchEngine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(ManagerPoolOptions{/*max_idle_per_width=*/8,
+                               options_.recycle_after_jobs,
+                               options_.audit_managers}) {}
 
 std::size_t BatchEngine::submit(JobSpec spec) {
   if (spec.name.empty()) {
@@ -425,11 +82,7 @@ BatchOutcome BatchEngine::run() {
   const std::size_t num_jobs = queue_.size();
   std::vector<JobResult> results(num_jobs);
 
-  unsigned workers = options_.num_workers != 0
-                         ? options_.num_workers
-                         : std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, std::max<std::size_t>(num_jobs, 1)));
+  const unsigned workers = resolve_worker_count(options_.num_workers, num_jobs);
 
   // Shared scheduling state, all guarded by one mutex: the next fresh job,
   // jobs re-queued by a dying worker, and the death count. A job id leaves
@@ -452,15 +105,16 @@ BatchOutcome BatchEngine::run() {
   };
 
   auto drain = [&](std::size_t worker_id, bool allow_worker_death) {
-    Worker worker;
+    PooledManagerSource source(pool_);
     for (;;) {
       std::size_t i;
       if (!pop_job(i)) return;
       try {
         // Each slot of `results` is written by exactly one worker; the join
         // below publishes them to the caller.
-        results[i] = run_job(queue_[i], i, worker_id, worker, options_.fault,
-                             allow_worker_death, options_.fresh_managers);
+        results[i] = run_synthesis_job(queue_[i], i, worker_id, source,
+                                       options_.fault, allow_worker_death,
+                                       options_.fresh_managers);
         if (!options_.keep_netlists) results[i].netlist = Netlist{};
       } catch (const WorkerDeathFault&) {
         // This worker is gone. Put the in-flight job back for the survivors

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/job.h"
+#include "engine/manager_pool.h"
 #include "fault/fault.h"
 
 namespace bidec {
@@ -44,6 +45,12 @@ struct EngineOptions {
   /// See fault/fault.h; exercised by tests and chaos CI, never in
   /// production configurations.
   FaultPlan fault;
+  /// Rebuild a pooled manager after this many jobs (0 = never); see
+  /// ManagerPoolOptions::recycle_after_jobs.
+  unsigned recycle_after_jobs = 64;
+  /// Audit pooled managers on release and discard unhealthy ones; see
+  /// ManagerPoolOptions::audit_on_release.
+  bool audit_managers = false;
 };
 
 /// Everything run() produces: one result per submitted job (indexed by the
@@ -70,10 +77,17 @@ class BatchEngine {
 
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::size_t pending_jobs() const noexcept { return queue_.size(); }
+  /// Warm-pool counters: managers outlive run() cycles, so a second batch
+  /// over same-width specs leases warm instead of constructing cold.
+  [[nodiscard]] ManagerPoolStats pool_stats() const { return pool_.stats(); }
 
  private:
   EngineOptions options_;
   std::vector<JobSpec> queue_;
+  // Warm managers shared by the worker threads of every run() cycle.
+  // Workers lease per width and hold the lease across same-width jobs;
+  // release hygiene (GC, stats reset, recycle ratchet) lives in the pool.
+  ManagerPool pool_;
 };
 
 }  // namespace bidec

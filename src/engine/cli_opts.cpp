@@ -1,0 +1,29 @@
+#include "engine/cli_opts.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace bidec {
+
+std::optional<std::uint64_t> parse_cli_unsigned(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  std::uint64_t n = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  return n;
+}
+
+unsigned resolve_worker_count(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned resolve_worker_count(unsigned requested, std::size_t num_jobs) noexcept {
+  const unsigned resolved = resolve_worker_count(requested);
+  return static_cast<unsigned>(
+      std::min<std::size_t>(resolved, std::max<std::size_t>(num_jobs, 1)));
+}
+
+}  // namespace bidec

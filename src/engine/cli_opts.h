@@ -1,0 +1,34 @@
+// Flag-parsing helpers shared by every engine-driving executable
+// (batch_synth, bidecomp_cli, bidec_server). Kept in the library — not in
+// examples/ — so the contract is unit-testable: in particular, a worker
+// count of 0 always means "auto-detect" (std::thread::hardware_concurrency,
+// never fewer than one worker), both as an explicit `--jobs 0` and as the
+// flag's default.
+#ifndef BIDEC_ENGINE_CLI_OPTS_H
+#define BIDEC_ENGINE_CLI_OPTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bidec {
+
+/// Strict decimal parse: the whole token must be digits. Returns
+/// std::nullopt for null/empty/garbage ("--jobs banana") instead of
+/// silently mapping it to 0, i.e. to the default.
+[[nodiscard]] std::optional<std::uint64_t> parse_cli_unsigned(const char* value);
+
+/// Resolve a requested worker count: 0 means auto-detect (hardware
+/// concurrency, at least 1). Any explicit request is honoured as-is.
+[[nodiscard]] unsigned resolve_worker_count(unsigned requested) noexcept;
+
+/// Same, additionally capped at the number of jobs (a batch never spawns
+/// more threads than it has work for; at least 1 so an empty batch still
+/// resolves to something runnable).
+[[nodiscard]] unsigned resolve_worker_count(unsigned requested,
+                                            std::size_t num_jobs) noexcept;
+
+}  // namespace bidec
+
+#endif  // BIDEC_ENGINE_CLI_OPTS_H

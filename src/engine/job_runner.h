@@ -1,0 +1,77 @@
+// Single-job execution, factored out of the batch engine so every frontend
+// that runs synthesis jobs — the batch engine's worker pool, the server's
+// long-lived daemon workers, tests — shares one implementation of the
+// load/synthesize/verify/degrade pipeline. The caller supplies the manager
+// through a ManagerSource, which is where ownership policy lives: a batch
+// worker hands back its thread-private (pool-leased) manager, the server
+// leases from a warm cross-request pool.
+#ifndef BIDEC_ENGINE_JOB_RUNNER_H
+#define BIDEC_ENGINE_JOB_RUNNER_H
+
+#include <cstddef>
+#include <memory>
+
+#include "engine/job.h"
+#include "engine/manager_pool.h"
+#include "fault/fault.h"
+
+namespace bidec {
+
+/// Supplies the BddManager a job attempt runs on. `manager_for` is called
+/// once per attempt; the returned manager must have exactly `num_vars`
+/// variables, fresh per-job stats, and no live nodes or abort limits left
+/// over from a previous job. With `fresh` set the caller demands a
+/// brand-new manager (fault replay and the determinism suites need metrics
+/// independent of job co-location). The reference must stay valid until
+/// the next manager_for call or the source's destruction.
+class ManagerSource {
+ public:
+  virtual ~ManagerSource() = default;
+  virtual BddManager& manager_for(unsigned num_vars, bool fresh) = 0;
+};
+
+/// Trivial source: one owned manager, recycled across calls when the
+/// variable count matches (collect_garbage + reset_stats), rebuilt
+/// otherwise. This is the pre-pool worker behaviour, kept for callers that
+/// want strict per-thread ownership.
+class OwnedManagerSource final : public ManagerSource {
+ public:
+  BddManager& manager_for(unsigned num_vars, bool fresh) override;
+
+ private:
+  std::unique_ptr<BddManager> mgr_;
+};
+
+/// Per-worker source backed by a warm ManagerPool. The lease is held
+/// across jobs (a worker draining ten same-width jobs touches the pool
+/// once) and returned — through release hygiene — when the source is
+/// destroyed at worker exit, so the next worker generation leases warm.
+/// Fresh-manager requests (fault replay, determinism runs) bypass the pool
+/// entirely: those managers are constructed per attempt and never pooled.
+class PooledManagerSource final : public ManagerSource {
+ public:
+  explicit PooledManagerSource(ManagerPool& pool) : pool_(&pool) {}
+
+  BddManager& manager_for(unsigned num_vars, bool fresh) override;
+
+ private:
+  ManagerPool* pool_;
+  ManagerPool::Lease lease_;
+  std::unique_ptr<BddManager> fresh_;
+};
+
+/// Run one job start to finish: materialize the spec, walk the retry /
+/// degradation ladder, verify, lint-gate, and fill in the JobReport
+/// (including the manager's substrate counters). Exceptions never escape —
+/// every failure mode ends as a JobStatus — except WorkerDeathFault, which
+/// deliberately flies through to kill the calling worker.
+[[nodiscard]] JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
+                                          std::size_t worker_id,
+                                          ManagerSource& managers,
+                                          const FaultPlan& plan,
+                                          bool allow_worker_death,
+                                          bool fresh_managers);
+
+}  // namespace bidec
+
+#endif  // BIDEC_ENGINE_JOB_RUNNER_H

@@ -1,0 +1,83 @@
+#include "engine/manager_pool.h"
+
+namespace bidec {
+
+ManagerPool::Lease ManagerPool::acquire(unsigned num_vars) {
+  std::unique_ptr<Pooled> pooled;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    const auto it = idle_.find(num_vars);
+    if (it != idle_.end() && !it->second.empty()) {
+      pooled = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.warm;
+    } else {
+      ++stats_.cold;
+    }
+  }
+  if (!pooled) {
+    // Construct outside the lock: building a manager allocates its node
+    // store and tables, which must not serialize every other lease.
+    pooled = std::make_unique<Pooled>();
+    pooled->mgr = std::make_unique<BddManager>(num_vars);
+  }
+  ++pooled->jobs_run;
+  Lease lease;
+  lease.pool_ = this;
+  lease.pooled_ = pooled.release();
+  return lease;
+}
+
+void ManagerPool::release(std::unique_ptr<Pooled> pooled, bool dirty) {
+  // Hygiene outside the lock; only the final push is serialized.
+  enum class Drop { kNo, kDirty, kRecycle, kAudit };
+  Drop drop = Drop::kNo;
+  if (dirty) {
+    drop = Drop::kDirty;
+  } else if (options_.recycle_after_jobs != 0 &&
+             pooled->jobs_run >= options_.recycle_after_jobs) {
+    drop = Drop::kRecycle;
+  } else {
+    BddManager& mgr = *pooled->mgr;
+    mgr.clear_abort();  // also detaches any fault injector
+    mgr.collect_garbage();
+    if (mgr.live_node_count() != 0) {
+      // Live nodes after a full collection mean the job leaked handles into
+      // the manager; re-issuing it would let one job's nodes haunt another.
+      drop = Drop::kDirty;
+    } else if (options_.audit_on_release && !mgr.audit().empty()) {
+      drop = Drop::kAudit;
+    } else {
+      mgr.reset_stats();
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (drop) {
+    case Drop::kDirty: ++stats_.dirty_discards; return;
+    case Drop::kRecycle: ++stats_.recycled; return;
+    case Drop::kAudit: ++stats_.audit_discards; return;
+    case Drop::kNo: break;
+  }
+  std::vector<std::unique_ptr<Pooled>>& bucket = idle_[pooled->mgr->num_vars()];
+  if (bucket.size() >= options_.max_idle_per_width) {
+    ++stats_.dirty_discards;
+    return;
+  }
+  bucket.push_back(std::move(pooled));
+}
+
+ManagerPoolStats ManagerPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ManagerPool::idle_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [vars, bucket] : idle_) n += bucket.size();
+  return n;
+}
+
+}  // namespace bidec

@@ -1,0 +1,125 @@
+// Warm BddManager pool: long-lived managers handed out as RAII leases so
+// unique tables, computed caches and GC ratchets survive across jobs (and,
+// for the server, across requests). Release hygiene keeps a recycled
+// manager indistinguishable from a healthy one: abort limits cleared, fault
+// injector detached, garbage collected, stats reset, and — optionally — a
+// full structural audit; a manager that fails any of it is discarded, never
+// re-issued. A recycle-after-N-jobs ratchet bounds how much history a
+// single manager can accumulate before it is rebuilt from scratch.
+#ifndef BIDEC_ENGINE_MANAGER_POOL_H
+#define BIDEC_ENGINE_MANAGER_POOL_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace bidec {
+
+struct ManagerPoolOptions {
+  /// Idle managers kept per variable count; extras are destroyed on release.
+  std::size_t max_idle_per_width = 8;
+  /// Destroy (instead of pooling) a manager after this many jobs, so table
+  /// growth and cache aging cannot compound forever (0 = never recycle).
+  unsigned recycle_after_jobs = 64;
+  /// Run BddManager::audit() on release and discard managers with findings.
+  /// The structural audit is O(live nodes); after the release-time GC a
+  /// healthy manager is small, so this is cheap insurance for a daemon.
+  bool audit_on_release = false;
+};
+
+struct ManagerPoolStats {
+  std::uint64_t leases = 0;         ///< acquire() calls
+  std::uint64_t warm = 0;           ///< served from the idle pool
+  std::uint64_t cold = 0;           ///< served by constructing a manager
+  std::uint64_t recycled = 0;       ///< discarded by the after-N-jobs ratchet
+  std::uint64_t audit_discards = 0; ///< discarded by a failing release audit
+  std::uint64_t dirty_discards = 0; ///< discarded by mark_dirty / leaked nodes
+};
+
+class ManagerPool {
+  struct Pooled;  // one pooled manager plus its job odometer
+
+ public:
+  explicit ManagerPool(ManagerPoolOptions options = {}) : options_(options) {}
+
+  ManagerPool(const ManagerPool&) = delete;
+  ManagerPool& operator=(const ManagerPool&) = delete;
+
+  /// RAII handle to one pooled manager. Movable; returns the manager to the
+  /// pool (through release hygiene) on destruction. All Bdd handles into
+  /// the manager must be dead by then.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { swap(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        swap(other);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return pooled_ != nullptr; }
+    [[nodiscard]] BddManager& manager() const { return *pooled_->mgr; }
+    /// Count one more job against the recycle ratchet without a pool
+    /// round-trip (a batch worker reuses its lease across jobs).
+    void note_reuse() noexcept {
+      if (pooled_ != nullptr) ++pooled_->jobs_run;
+    }
+    /// Discard the manager on release instead of pooling it (the job left
+    /// it in a state not worth trusting or cleaning).
+    void mark_dirty() noexcept { dirty_ = true; }
+    /// Return the manager to the pool now (destructor semantics, early).
+    void reset() noexcept {
+      if (pooled_ != nullptr) pool_->release(std::unique_ptr<Pooled>(pooled_), dirty_);
+      pooled_ = nullptr;
+      dirty_ = false;
+    }
+
+   private:
+    friend class ManagerPool;
+    void swap(Lease& other) noexcept {
+      std::swap(pool_, other.pool_);
+      std::swap(pooled_, other.pooled_);
+      std::swap(dirty_, other.dirty_);
+    }
+
+    ManagerPool* pool_ = nullptr;
+    Pooled* pooled_ = nullptr;  // owned while leased (raw for movability)
+    bool dirty_ = false;
+  };
+
+  /// Lease a manager with exactly `num_vars` variables: warm from the idle
+  /// pool when one exists, freshly constructed otherwise. Thread-safe.
+  [[nodiscard]] Lease acquire(unsigned num_vars);
+
+  [[nodiscard]] ManagerPoolStats stats() const;
+  /// Idle managers currently pooled (all widths).
+  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] const ManagerPoolOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pooled {
+    std::unique_ptr<BddManager> mgr;
+    unsigned jobs_run = 0;
+  };
+
+  void release(std::unique_ptr<Pooled> pooled, bool dirty);
+
+  ManagerPoolOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<unsigned, std::vector<std::unique_ptr<Pooled>>> idle_;
+  ManagerPoolStats stats_;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_ENGINE_MANAGER_POOL_H

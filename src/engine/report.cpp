@@ -106,14 +106,21 @@ void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
        << ", \"cache_swept\": " << rep.cache_swept
        << ", \"cache_kept\": " << rep.cache_kept << "}";
   }
-  os << ", \"decomposition\": {\"calls\": " << rep.bidec.calls
-     << ", \"strong_or\": " << rep.bidec.strong_or
-     << ", \"strong_and\": " << rep.bidec.strong_and
-     << ", \"strong_exor\": " << rep.bidec.strong_exor
-     << ", \"weak_or\": " << rep.bidec.weak_or
-     << ", \"weak_and\": " << rep.bidec.weak_and
-     << ", \"cache_hits\": " << rep.bidec.cache_hits
-     << ", \"terminal_cases\": " << rep.bidec.terminal_cases << "}";
+  // With a cross-job cache in play the recursion counters depend on what
+  // other jobs published first — a hit short-circuits whole subtrees — so
+  // they are not scheduling-independent and the stable form drops them
+  // (the produced *netlist* still converges; only the trace differs).
+  // Ordinary runs (shared_lookups == 0) keep the block byte-for-byte.
+  if (!stable || rep.bidec.shared_lookups == 0) {
+    os << ", \"decomposition\": {\"calls\": " << rep.bidec.calls
+       << ", \"strong_or\": " << rep.bidec.strong_or
+       << ", \"strong_and\": " << rep.bidec.strong_and
+       << ", \"strong_exor\": " << rep.bidec.strong_exor
+       << ", \"weak_or\": " << rep.bidec.weak_or
+       << ", \"weak_and\": " << rep.bidec.weak_and
+       << ", \"cache_hits\": " << rep.bidec.cache_hits
+       << ", \"terminal_cases\": " << rep.bidec.terminal_cases << "}";
+  }
   os << ", \"netlist\": {\"gates\": " << rep.gates
      << ", \"two_input\": " << rep.two_input << ", \"exors\": " << rep.exors
      << ", \"inverters\": " << rep.inverters << ", \"levels\": " << rep.levels

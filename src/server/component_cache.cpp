@@ -1,0 +1,85 @@
+#include "server/component_cache.h"
+
+namespace bidec {
+
+std::optional<SharedComponent> ServerComponentCache::lookup(
+    const ComponentSignature& sig) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(sig.hash);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(sig.hash);
+  if (it == s.map.end()) return std::nullopt;
+  if (!it->second.sig.same_interval(sig)) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return SharedComponent{it->second.impl};  // copy out under the lock
+}
+
+void ServerComponentCache::publish(const ComponentSignature& sig,
+                                   const Netlist& impl) {
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(sig.hash);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(sig.hash);
+  if (it != s.map.end()) {
+    // Last writer wins. Concurrent jobs publish the same canonical
+    // component for equal intervals, so overwriting is idempotent in the
+    // common case and self-healing after a reject() raced a republish.
+    replaced_.fetch_add(1, std::memory_order_relaxed);
+    it->second = Entry{sig, impl};
+    return;
+  }
+  while (s.map.size() >= max_per_shard_ && !s.fifo.empty()) {
+    const std::uint64_t victim = s.fifo.front();
+    s.fifo.pop_front();
+    // Skip fifo ids a reject() already erased.
+    if (s.map.erase(victim) != 0) {
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  s.map.emplace(sig.hash, Entry{sig, impl});
+  s.fifo.push_back(sig.hash);
+}
+
+void ServerComponentCache::reject(const ComponentSignature& sig) {
+  Shard& s = shard_for(sig.hash);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.map.erase(sig.hash) != 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The stale fifo entry is harmless: eviction skips ids no longer mapped.
+}
+
+ComponentCacheStats ServerComponentCache::stats() const {
+  ComponentCacheStats out;
+  out.lookups = lookups_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.replaced = replaced_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.evicted = evicted_.load(std::memory_order_relaxed);
+  out.collisions = collisions_.load(std::memory_order_relaxed);
+  out.entries = size();
+  return out;
+}
+
+std::size_t ServerComponentCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+void ServerComponentCache::clear() {
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.fifo.clear();
+  }
+}
+
+}  // namespace bidec

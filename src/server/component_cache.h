@@ -1,0 +1,79 @@
+// The daemon's cross-job component cache: a sharded, lock-striped
+// implementation of bidec::SharedComponentSink shared by every worker of
+// every job the server runs. Entries are keyed by the 64-bit signature
+// hash; the full signature is stored and compared on lookup, so a hash
+// collision reads as a miss rather than returning a wrong-interval
+// component (the consumer would reject it anyway — collision checking here
+// just avoids burning a validation BDD build on a known mismatch).
+//
+// Striping: hash -> shard (top bits), each shard its own mutex + map, so
+// 8-64 concurrent workers rarely contend on the same lock. Eviction is
+// per-shard FIFO at `max_entries_per_shard`; reject() (failed validation
+// in a consumer — poisoned, torn, or stale entry) evicts immediately.
+#ifndef BIDEC_SERVER_COMPONENT_CACHE_H
+#define BIDEC_SERVER_COMPONENT_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "bidec/shared_cache.h"
+
+namespace bidec {
+
+struct ComponentCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t replaced = 0;   ///< publish over an existing key
+  std::uint64_t rejected = 0;   ///< evicted after failed consumer validation
+  std::uint64_t evicted = 0;    ///< FIFO capacity evictions
+  std::uint64_t collisions = 0; ///< hash matched, full signature did not
+  std::size_t entries = 0;
+};
+
+class ServerComponentCache final : public SharedComponentSink {
+ public:
+  explicit ServerComponentCache(std::size_t max_entries_per_shard = 4096)
+      : max_per_shard_(max_entries_per_shard == 0 ? 1 : max_entries_per_shard) {}
+
+  std::optional<SharedComponent> lookup(const ComponentSignature& sig) override;
+  void publish(const ComponentSignature& sig, const Netlist& impl) override;
+  void reject(const ComponentSignature& sig) override;
+
+  [[nodiscard]] ComponentCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    ComponentSignature sig;
+    Netlist impl;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::deque<std::uint64_t> fifo;  ///< insertion order for eviction
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept {
+    return shards_[(hash >> 60) & (kShards - 1)];
+  }
+
+  std::size_t max_per_shard_;
+  std::array<Shard, kShards> shards_;
+  // Counters are relaxed atomics: they feed the stats op, not decisions.
+  mutable std::atomic<std::uint64_t> lookups_{0}, hits_{0}, publishes_{0},
+      replaced_{0}, rejected_{0}, evicted_{0}, collisions_{0};
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_SERVER_COMPONENT_CACHE_H

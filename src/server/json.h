@@ -1,0 +1,61 @@
+// Minimal JSON reader for the server's wire protocol. The repo emits JSON
+// by hand (report.cpp) but never had to *read* any until the daemon: one
+// request per line, parsed into a small DOM. Full JSON grammar (objects,
+// arrays, strings with escapes, numbers, booleans, null); numbers are kept
+// as both double and integer views since job ids and budgets are integral.
+#ifndef BIDEC_SERVER_JSON_H
+#define BIDEC_SERVER_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bidec {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const { return arr_; }
+
+  /// Object member by key; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+
+  // Typed member lookups with defaults — the shape every protocol field
+  // check takes. A present member of the wrong type reads as absent.
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<std::uint64_t> get_uint(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view key) const;
+
+  /// Parse one JSON document (must consume the whole input up to trailing
+  /// whitespace). nullopt on any syntax error.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Escape a string for embedding in emitted JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace bidec
+
+#endif  // BIDEC_SERVER_JSON_H

@@ -1,0 +1,115 @@
+#include "server/protocol.h"
+
+#include "io/blif.h"
+
+namespace bidec {
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::uint64_t& id, std::string& error) {
+  id = 0;
+  const std::optional<JsonValue> doc = JsonValue::parse(line);
+  if (!doc || !doc->is_object()) {
+    error = "request is not a JSON object";
+    return std::nullopt;
+  }
+  if (const auto got = doc->get_uint("id")) id = *got;
+
+  const std::optional<std::string> op = doc->get_string("op");
+  if (!op) {
+    error = "missing \"op\"";
+    return std::nullopt;
+  }
+
+  Request req;
+  req.id = id;
+  if (*op == "ping") {
+    req.op = RequestOp::kPing;
+    return req;
+  }
+  if (*op == "stats") {
+    req.op = RequestOp::kStats;
+    return req;
+  }
+  if (*op == "shutdown") {
+    req.op = RequestOp::kShutdown;
+    return req;
+  }
+  if (*op != "synth") {
+    error = "unknown op \"" + *op + "\"";
+    return std::nullopt;
+  }
+
+  req.op = RequestOp::kSynth;
+  const std::optional<std::string> path = doc->get_string("path");
+  const std::optional<std::string> pla = doc->get_string("pla");
+  if (path.has_value() == pla.has_value()) {
+    error = "synth needs exactly one of \"path\" or \"pla\"";
+    return std::nullopt;
+  }
+  if (path) {
+    req.spec.source = *path;
+    req.spec.name = *path;
+  } else {
+    // Inline covers are parsed at admission time so a malformed spec is a
+    // bad_request, not a burned worker slot.
+    try {
+      req.spec.source = PlaFile::parse_string(*pla);
+    } catch (const std::exception& e) {
+      error = std::string("inline PLA: ") + e.what();
+      return std::nullopt;
+    }
+    req.spec.name = doc->get_string("name").value_or("inline");
+  }
+  if (const auto name = doc->get_string("name")) req.spec.name = *name;
+
+  req.spec.verify = VerifyEngine::kBdd;
+  if (const auto v = doc->get_string("verify")) {
+    const std::optional<VerifyEngine> engine = parse_verify_engine(*v);
+    if (!engine) {
+      error = "verify must be none|bdd|sat|both";
+      return std::nullopt;
+    }
+    req.spec.verify = *engine;
+  }
+  if (const auto v = doc->get_uint("timeout_ms")) {
+    req.spec.timeout_ms = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = doc->get_uint("step_budget")) req.spec.step_budget = *v;
+  if (const auto v = doc->get_uint("node_budget")) {
+    req.spec.node_budget = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = doc->get_uint("max_retries")) {
+    req.spec.max_retries = static_cast<unsigned>(*v);
+  }
+  if (const auto v = doc->get_bool("degrade")) req.spec.degrade = *v;
+  if (const auto v = doc->get_bool("netlist")) req.want_netlist = *v;
+  return req;
+}
+
+std::string error_response(std::uint64_t id, const std::string& status,
+                           const std::string& message) {
+  std::string out = "{\"id\": ";
+  out += std::to_string(id);
+  out += ", \"status\": \"";
+  out += status;
+  out += "\", \"error\": \"";
+  out += json_escape(message);
+  out += "\"}";
+  return out;
+}
+
+std::string synth_response(const JobReport& report, const Netlist& netlist,
+                           bool want_netlist) {
+  std::string out = report.to_stable_json();
+  if (want_netlist && (report.status == JobStatus::kOk ||
+                       report.status == JobStatus::kDegraded)) {
+    // The stable report is one JSON object; graft the BLIF text onto it.
+    out.pop_back();  // trailing '}'
+    out += ", \"blif\": \"";
+    out += json_escape(write_blif(netlist, report.name));
+    out += "\"}";
+  }
+  return out;
+}
+
+}  // namespace bidec

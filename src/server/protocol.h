@@ -1,0 +1,62 @@
+// Wire protocol of the synthesis daemon: newline-delimited JSON over a
+// loopback TCP socket. One request object per line, one response object
+// per line, matched by the client-chosen numeric "id" (responses may
+// arrive out of request order when a client pipelines).
+//
+// Requests:
+//   {"op":"synth","id":N, "path":"file.pla" | "pla":"<inline PLA text>",
+//    ["verify":"none|bdd|sat|both"] ["timeout_ms":T] ["step_budget":S]
+//    ["node_budget":B] ["max_retries":R] ["degrade":true]
+//    ["netlist":true]}
+//   {"op":"ping","id":N}
+//   {"op":"stats","id":N}
+//   {"op":"shutdown","id":N}
+//
+// Synth responses wrap JobReport::to_stable_json — the same
+// scheduling-independent serialization the batch engine pins in its golden
+// corpus, with job_id equal to the request id, so responses are
+// byte-identical regardless of worker count or which jobs shared a warm
+// manager. Admission rejections and parse errors answer
+//   {"id":N,"status":"rejected|bad_request","error":"..."}.
+#ifndef BIDEC_SERVER_PROTOCOL_H
+#define BIDEC_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "engine/job.h"
+#include "server/json.h"
+
+namespace bidec {
+
+enum class RequestOp { kSynth, kPing, kStats, kShutdown };
+
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  std::uint64_t id = 0;
+  JobSpec spec;            ///< populated for kSynth
+  bool want_netlist = false;  ///< attach the synthesized netlist as BLIF text
+};
+
+/// Parse one request line. On failure returns nullopt and sets `error`
+/// (and `id` when the line carried a readable one, so the error response
+/// can still be matched).
+[[nodiscard]] std::optional<Request> parse_request(const std::string& line,
+                                                   std::uint64_t& id,
+                                                   std::string& error);
+
+/// {"id":N,"status":"<status>","error":"<escaped msg>"}
+[[nodiscard]] std::string error_response(std::uint64_t id,
+                                         const std::string& status,
+                                         const std::string& message);
+
+/// The synth response: the stable job report, with the client's request id
+/// substituted for the engine job id, plus optionally the netlist as BLIF.
+[[nodiscard]] std::string synth_response(const JobReport& report,
+                                         const Netlist& netlist,
+                                         bool want_netlist);
+
+}  // namespace bidec
+
+#endif  // BIDEC_SERVER_PROTOCOL_H

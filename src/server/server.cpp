@@ -1,0 +1,403 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "engine/job_runner.h"
+
+namespace bidec {
+
+namespace {
+
+/// How often blocking loops re-check the stop flag.
+constexpr int kPollMs = 100;
+/// A request line longer than this kills the connection (inline PLA text
+/// for the widest supported specs fits comfortably).
+constexpr std::size_t kMaxLineBytes = 16u << 20;
+
+}  // namespace
+
+// One client socket. Workers answer through it concurrently with the
+// reader admitting new lines, so writes are serialized by write_mu and the
+// in-flight counter is atomic.
+struct BidecServer::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<bool> closed{false};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (closed.load(std::memory_order_acquire)) return;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR)) continue;
+        closed.store(true, std::memory_order_release);
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+BidecServer::BidecServer(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(ManagerPoolOptions{/*max_idle_per_width=*/8,
+                               options_.recycle_after_jobs,
+                               options_.audit_managers}),
+      cache_(options_.cache_entries_per_shard) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.per_client_inflight == 0) options_.per_client_inflight = 1;
+}
+
+BidecServer::~BidecServer() { stop(); }
+
+void BidecServer::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("BidecServer::start called twice");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind() failed on port " +
+                             std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  unsigned workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void BidecServer::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+  }
+}
+
+void BidecServer::connection_loop(const std::shared_ptr<Connection>& conn) {
+  std::string buf;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !conn->closed.load(std::memory_order_acquire)) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r <= 0) continue;
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > kMaxLineBytes) {
+      conn->send_line(error_response(0, "bad_request", "request line too long"));
+      break;
+    }
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(conn, line);
+    }
+    buf.erase(0, start);
+  }
+  // Drain: answered-but-running jobs still hold this connection; keep the
+  // socket alive until the workers have responded to all of them.
+  while (conn->inflight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  conn->closed.store(true, std::memory_order_release);
+}
+
+void BidecServer::handle_line(const std::shared_ptr<Connection>& conn,
+                              const std::string& line) {
+  std::uint64_t id = 0;
+  std::string error;
+  std::optional<Request> req = parse_request(line, id, error);
+  if (!req) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+    }
+    conn->send_line(error_response(id, "bad_request", error));
+    return;
+  }
+
+  switch (req->op) {
+    case RequestOp::kPing:
+      conn->send_line("{\"id\": " + std::to_string(req->id) +
+                      ", \"status\": \"ok\", \"op\": \"ping\"}");
+      return;
+    case RequestOp::kStats:
+      conn->send_line(stats_json(req->id));
+      return;
+    case RequestOp::kShutdown:
+      conn->send_line("{\"id\": " + std::to_string(req->id) +
+                      ", \"status\": \"ok\", \"op\": \"shutdown\"}");
+      request_stop();
+      return;
+    case RequestOp::kSynth:
+      break;
+  }
+
+  // Admission control. Per-client cap first: one pipelining client must
+  // not monopolize the queue, and blocking it would deadlock its own
+  // responses, so the cap always rejects.
+  if (conn->inflight.load(std::memory_order_acquire) >=
+      options_.per_client_inflight) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_client;
+    }
+    conn->send_line(error_response(
+        req->id, "rejected",
+        "per-client in-flight cap (" +
+            std::to_string(options_.per_client_inflight) + ") reached"));
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      if (options_.admission == AdmissionPolicy::kBlock) {
+        admission_cv_.wait(lock, [&] {
+          return queue_.size() < options_.queue_capacity ||
+                 stopping_.load(std::memory_order_acquire);
+        });
+      }
+      if (queue_.size() >= options_.queue_capacity ||
+          stopping_.load(std::memory_order_acquire)) {
+        lock.unlock();
+        {
+          const std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.rejected_queue;
+        }
+        conn->send_line(error_response(
+            req->id, "rejected",
+            stopping_.load(std::memory_order_acquire)
+                ? "server is shutting down"
+                : "job queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")"));
+        return;
+      }
+    }
+    conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+    queue_.push_back(QueuedJob{std::move(*req), conn});
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+  }
+  queue_cv_.notify_one();
+}
+
+void BidecServer::worker_loop(unsigned worker_id) {
+  // The warm substrate: this source keeps its manager lease across jobs,
+  // and the lease's destructor routes the manager through release hygiene
+  // back into the shared pool when the server stops.
+  PooledManagerSource source(pool_);
+
+  for (;;) {
+    QueuedJob job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        // stopping_ and nothing left: the queue is drained, exit.
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    admission_cv_.notify_one();  // a queue slot freed up
+
+    JobSpec& spec = job.req.spec;
+    if (spec.step_budget == 0) spec.step_budget = options_.default_step_budget;
+    if (spec.timeout_ms == 0) spec.timeout_ms = options_.default_timeout_ms;
+    if (spec.node_budget == 0) spec.node_budget = options_.default_node_budget;
+    spec.flow.bidec.shared_cache = options_.shared_cache ? &cache_ : nullptr;
+
+    std::string response;
+    try {
+      // The client's request id doubles as the job id, so the stable JSON
+      // response depends only on the request — not on worker count,
+      // arrival order, or which jobs shared a warm manager.
+      const JobResult result =
+          run_synthesis_job(spec, job.req.id, worker_id, source, FaultPlan{},
+                            /*allow_worker_death=*/false,
+                            /*fresh_managers=*/false);
+      response =
+          synth_response(result.report, result.netlist, job.req.want_netlist);
+    } catch (const std::exception& e) {
+      response = error_response(job.req.id, "error", e.what());
+    } catch (...) {
+      response = error_response(job.req.id, "error", "unidentified exception");
+    }
+    job.conn->send_line(response);
+    job.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.completed;
+    }
+  }
+}
+
+std::string BidecServer::stats_json(std::uint64_t id) const {
+  const ServerStats s = stats();
+  const ComponentCacheStats c = cache_.stats();
+  const ManagerPoolStats p = pool_.stats();
+  std::string out = "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\"";
+  out += ", \"jobs\": {\"accepted\": " + std::to_string(s.accepted) +
+         ", \"completed\": " + std::to_string(s.completed) +
+         ", \"rejected_queue\": " + std::to_string(s.rejected_queue) +
+         ", \"rejected_client\": " + std::to_string(s.rejected_client) +
+         ", \"bad_requests\": " + std::to_string(s.bad_requests) +
+         ", \"connections\": " + std::to_string(s.connections) + "}";
+  out += ", \"cache\": {\"lookups\": " + std::to_string(c.lookups) +
+         ", \"hits\": " + std::to_string(c.hits) +
+         ", \"publishes\": " + std::to_string(c.publishes) +
+         ", \"replaced\": " + std::to_string(c.replaced) +
+         ", \"rejected\": " + std::to_string(c.rejected) +
+         ", \"evicted\": " + std::to_string(c.evicted) +
+         ", \"collisions\": " + std::to_string(c.collisions) +
+         ", \"entries\": " + std::to_string(c.entries) + "}";
+  out += ", \"pool\": {\"leases\": " + std::to_string(p.leases) +
+         ", \"warm\": " + std::to_string(p.warm) +
+         ", \"cold\": " + std::to_string(p.cold) +
+         ", \"recycled\": " + std::to_string(p.recycled) +
+         ", \"audit_discards\": " + std::to_string(p.audit_discards) +
+         ", \"dirty_discards\": " + std::to_string(p.dirty_discards) + "}";
+  out += "}";
+  return out;
+}
+
+ServerStats BidecServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void BidecServer::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (joined_.exchange(true)) {
+    wait();
+    return;
+  }
+  drain_and_join();
+  {
+    const std::lock_guard<std::mutex> lock(stopped_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void BidecServer::drain_and_join() {
+  // Wake everyone parked on the queue: workers drain what was admitted
+  // (the drain contract — every accepted job gets its response), blocked
+  // producers wake up and reject.
+  queue_cv_.notify_all();
+  admission_cv_.notify_all();
+
+  if (acceptor_.joinable()) acceptor_.join();
+  // No new connections past this point; existing connection loops exit on
+  // the stop flag once their in-flight jobs are answered.
+  for (std::thread& t : workers_) {
+    queue_cv_.notify_all();
+    if (t.joinable()) t.join();
+  }
+  std::vector<std::thread> conn_threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads.swap(conn_threads_);
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void BidecServer::wait() {
+  // Daemon main parks here; request_stop (signal handler, shutdown op)
+  // flips the flag, and the poll below runs the full drain exactly once.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+  if (!joined_.exchange(true)) {
+    drain_and_join();
+    {
+      const std::lock_guard<std::mutex> lock(stopped_mu_);
+      stopped_ = true;
+    }
+    stopped_cv_.notify_all();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(stopped_mu_);
+  stopped_cv_.wait(lock, [&] { return stopped_; });
+}
+
+}  // namespace bidec

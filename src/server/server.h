@@ -1,0 +1,155 @@
+// Synthesis-as-a-service: a long-lived daemon wrapping the job runner.
+// Clients connect over loopback TCP and exchange newline-delimited JSON
+// (see server/protocol.h). Three subsystems make the daemon more than a
+// socket wrapper around run_synthesis_job:
+//
+//  * a warm ManagerPool shared by the worker threads — BddManagers survive
+//    across jobs and across clients, with the pool's release hygiene
+//    (GC, stats reset, recycle-after-N-jobs, optional audit) keeping a
+//    twenty-thousandth job as clean as the first;
+//  * a sharded cross-job component cache (server/component_cache.h) wired
+//    into every decomposition through BidecOptions::shared_cache, so a
+//    cone solved for one client is spliced, after validation, into the
+//    next client's netlist;
+//  * admission control — a bounded job queue with a reject-vs-block
+//    policy, per-client in-flight caps, and drain-on-shutdown that
+//    finishes accepted work before the listener goes away.
+#ifndef BIDEC_SERVER_SERVER_H
+#define BIDEC_SERVER_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/manager_pool.h"
+#include "server/component_cache.h"
+#include "server/protocol.h"
+
+namespace bidec {
+
+/// What a full queue does to the next synth request.
+enum class AdmissionPolicy {
+  kReject,  ///< answer {"status":"rejected"} immediately
+  kBlock,   ///< park the connection until a slot frees up
+};
+
+struct ServerOptions {
+  /// Loopback TCP port (0 = let the kernel pick; see BidecServer::port()).
+  std::uint16_t port = 0;
+  /// Worker threads running jobs (0 = hardware concurrency).
+  unsigned num_workers = 0;
+  /// Bounded job-queue capacity; at most this many admitted-but-unstarted
+  /// jobs exist at once.
+  std::size_t queue_capacity = 64;
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// Max jobs one connection may have admitted-or-running at once; the
+  /// connection's further synth requests are rejected (never blocked —
+  /// blocking here would deadlock a client pipelining over one socket)
+  /// until its own jobs finish.
+  std::size_t per_client_inflight = 8;
+  /// Cross-job component cache on/off plus its per-shard capacity.
+  bool shared_cache = true;
+  std::size_t cache_entries_per_shard = 4096;
+  /// Manager-pool hygiene knobs (see ManagerPoolOptions).
+  unsigned recycle_after_jobs = 64;
+  bool audit_managers = false;
+  /// Default per-job limits applied to requests that set none.
+  std::uint64_t default_step_budget = 0;
+  std::uint32_t default_timeout_ms = 0;
+  std::size_t default_node_budget = 0;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;   ///< jobs admitted to the queue
+  std::uint64_t completed = 0;  ///< jobs run to a report
+  std::uint64_t rejected_queue = 0;   ///< admission rejections, full queue
+  std::uint64_t rejected_client = 0;  ///< admission rejections, client cap
+  std::uint64_t bad_requests = 0;
+  std::uint64_t connections = 0;
+};
+
+class BidecServer {
+ public:
+  explicit BidecServer(ServerOptions options = {});
+  ~BidecServer();
+
+  BidecServer(const BidecServer&) = delete;
+  BidecServer& operator=(const BidecServer&) = delete;
+
+  /// Bind, listen, and spin up the acceptor and worker threads. Throws
+  /// std::runtime_error if the socket cannot be bound.
+  void start();
+
+  /// Stop accepting, drain admitted jobs, answer them, join every thread.
+  /// Idempotent; also triggered by a client "shutdown" op and by SIGTERM
+  /// in the daemon binary (which calls request_stop from the handler).
+  void stop();
+
+  /// Async-signal-safe shutdown trigger: flips the stop flag; the acceptor
+  /// notices within its poll interval and runs the same drain as stop().
+  void request_stop() noexcept { stopping_.store(true, std::memory_order_release); }
+
+  /// Block until stop() has finished (the daemon's main thread parks here).
+  void wait();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ComponentCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] ManagerPoolStats pool_stats() const { return pool_.stats(); }
+
+ private:
+  struct Connection;
+
+  /// One admitted job: the request plus where to send the answer.
+  struct QueuedJob {
+    Request req;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void acceptor_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  void worker_loop(unsigned worker_id);
+  void handle_line(const std::shared_ptr<Connection>& conn, const std::string& line);
+  [[nodiscard]] std::string stats_json(std::uint64_t id) const;
+  void drain_and_join();
+
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};
+
+  // Bounded job queue (admission control lives at the push side).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;       ///< workers wait: queue non-empty/stop
+  std::condition_variable admission_cv_;   ///< kBlock producers wait: queue has room
+  std::deque<QueuedJob> queue_;
+
+  ManagerPool pool_;
+  ServerComponentCache cache_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace bidec
+
+#endif  // BIDEC_SERVER_SERVER_H

@@ -8,6 +8,7 @@
 
 #include "benchgen/benchgen.h"
 #include "engine/batch_engine.h"
+#include "engine/cli_opts.h"
 #include "verify/verifier.h"
 
 namespace bidec {
@@ -286,6 +287,75 @@ TEST(BatchEngine, SatAndDualEngineVerification) {
               std::string::npos)
         << json;
   }
+}
+
+TEST(BatchEngine, SubmitRunSubmitRunsAgain) {
+  // An engine instance must survive a second submit/run cycle: the first
+  // run's drain leaves the queue, worker pool, and id counter in a state
+  // the next batch can build on (the server reuses the same machinery for
+  // its whole lifetime, so re-entry is load-bearing, not a curiosity).
+  const std::vector<PlaFile> plas = make_workload(4);
+  EngineOptions opts;
+  opts.num_workers = 2;
+  BatchEngine engine(opts);
+
+  for (int i = 0; i < 2; ++i) {
+    JobSpec spec;
+    spec.name = numbered_name("first", i);
+    spec.source = plas[i];
+    engine.submit(std::move(spec));
+  }
+  const BatchOutcome first = engine.run();
+  ASSERT_EQ(first.results.size(), 2u);
+  EXPECT_EQ(first.summary.ok, 2u);
+
+  for (int i = 2; i < 4; ++i) {
+    JobSpec spec;
+    spec.name = numbered_name("second", i);
+    spec.source = plas[i];
+    engine.submit(std::move(spec));
+  }
+  const BatchOutcome second = engine.run();
+  ASSERT_EQ(second.results.size(), 2u);
+  EXPECT_EQ(second.summary.ok, 2u);
+  // The second batch's results verify against their own specs — nothing
+  // from the first batch leaked into them.
+  for (std::size_t i = 0; i < second.results.size(); ++i) {
+    const JobResult& r = second.results[i];
+    ASSERT_EQ(r.report.status, JobStatus::kOk) << r.report.error;
+    BddManager mgr(plas[2 + i].num_inputs);
+    const std::vector<Isf> spec = plas[2 + i].to_isfs(mgr);
+    EXPECT_TRUE(verify_against_isfs(mgr, r.netlist, spec).ok) << "job " << i;
+  }
+  EXPECT_NE(first.results[0].report.name, second.results[0].report.name);
+}
+
+TEST(CliOpts, ParseUnsignedIsStrict) {
+  EXPECT_EQ(parse_cli_unsigned("0"), 0u);
+  EXPECT_EQ(parse_cli_unsigned("42"), 42u);
+  EXPECT_EQ(parse_cli_unsigned("18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_FALSE(parse_cli_unsigned(nullptr).has_value());
+  EXPECT_FALSE(parse_cli_unsigned("").has_value());
+  EXPECT_FALSE(parse_cli_unsigned("banana").has_value());
+  EXPECT_FALSE(parse_cli_unsigned("12x").has_value());
+  EXPECT_FALSE(parse_cli_unsigned("-3").has_value());
+  EXPECT_FALSE(parse_cli_unsigned(" 7").has_value());
+}
+
+TEST(CliOpts, ZeroWorkersMeansAutoDetect) {
+  // `--jobs 0` (and the flag's default) resolve to hardware concurrency,
+  // never to a zero-thread pool.
+  EXPECT_GE(resolve_worker_count(0), 1u);
+  EXPECT_EQ(resolve_worker_count(3), 3u);
+  EXPECT_EQ(resolve_worker_count(1), 1u);
+  // The job-capped overload never exceeds the batch size but still
+  // resolves an empty batch to one worker.
+  EXPECT_LE(resolve_worker_count(0, 2), 2u);
+  EXPECT_GE(resolve_worker_count(0, 2), 1u);
+  EXPECT_EQ(resolve_worker_count(8, 3), 3u);
+  EXPECT_EQ(resolve_worker_count(2, 100), 2u);
+  EXPECT_EQ(resolve_worker_count(0, 0), 1u);
 }
 
 TEST(BatchEngine, MissingFileReportsErrorNotCrash) {

@@ -1,0 +1,704 @@
+// The synthesis daemon end to end: the JSON reader, the wire protocol, the
+// sharded component cache, and BidecServer itself over real loopback
+// sockets — admission control (reject and block), per-client caps,
+// byte-stable responses across worker counts, warm-pool reuse, and
+// drain-on-shutdown.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "server/component_cache.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace bidec {
+namespace {
+
+// --- JSON reader ---------------------------------------------------------
+
+TEST(ServerJson, ParsesScalarsAndNesting) {
+  const auto doc = JsonValue::parse(
+      R"({"a": 1, "b": -2.5, "t": true, "f": false, "n": null,)"
+      R"( "arr": [1, 2, 3], "obj": {"x": "y"}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->get_uint("a"), 1u);
+  ASSERT_NE(doc->get("b"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->get("b")->as_number(), -2.5);
+  EXPECT_EQ(doc->get_bool("t"), true);
+  EXPECT_EQ(doc->get_bool("f"), false);
+  EXPECT_TRUE(doc->get("n")->is_null());
+  ASSERT_NE(doc->get("arr"), nullptr);
+  EXPECT_EQ(doc->get("arr")->as_array().size(), 3u);
+  ASSERT_NE(doc->get("obj"), nullptr);
+  EXPECT_EQ(doc->get("obj")->get_string("x"), "y");
+}
+
+TEST(ServerJson, DecodesStringEscapes) {
+  const auto doc = JsonValue::parse(
+      "{\"s\": \"q\\\"b\\\\n\\nt\\tu\\u0041e\\u00e9\"}");
+  ASSERT_TRUE(doc.has_value());
+  // A is 'A'; é is e-acute, two bytes of UTF-8.
+  EXPECT_EQ(doc->get_string("s"), "q\"b\\n\nt\tuAe\xc3\xa9");
+}
+
+TEST(ServerJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{}x").has_value());        // trailing garbage
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }").has_value());  // missing value
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").has_value());  // missing colon
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("naked").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]").has_value());    // trailing comma
+  // Depth bomb: nesting past the parser's recursion cap must fail cleanly.
+  std::string bomb(100, '[');
+  bomb += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::parse(bomb).has_value());
+}
+
+TEST(ServerJson, TypedLookupsIgnoreWrongTypes) {
+  const auto doc =
+      JsonValue::parse(R"({"s": "ten", "f": 2.5, "neg": -3, "i": 7})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->get_uint("s").has_value());    // string, not number
+  EXPECT_FALSE(doc->get_uint("f").has_value());    // non-integral
+  EXPECT_FALSE(doc->get_uint("neg").has_value());  // negative
+  EXPECT_EQ(doc->get_uint("i"), 7u);
+  EXPECT_FALSE(doc->get_string("i").has_value());
+  EXPECT_FALSE(doc->get_uint("missing").has_value());
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(ServerJson, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te\x01 f";
+  const std::string doc = "{\"s\": \"" + json_escape(nasty) + "\"}";
+  const auto parsed = JsonValue::parse(doc);
+  ASSERT_TRUE(parsed.has_value()) << doc;
+  EXPECT_EQ(parsed->get_string("s"), nasty);
+}
+
+// --- wire protocol -------------------------------------------------------
+
+TEST(ServerProtocol, ParsesControlOps) {
+  std::uint64_t id = 0;
+  std::string error;
+  for (const auto& [text, op] :
+       std::vector<std::pair<std::string, RequestOp>>{
+           {"ping", RequestOp::kPing},
+           {"stats", RequestOp::kStats},
+           {"shutdown", RequestOp::kShutdown}}) {
+    const auto req = parse_request(
+        "{\"op\": \"" + text + "\", \"id\": 9}", id, error);
+    ASSERT_TRUE(req.has_value()) << text << ": " << error;
+    EXPECT_EQ(req->op, op);
+    EXPECT_EQ(req->id, 9u);
+  }
+}
+
+TEST(ServerProtocol, ParsesSynthWithAllFields) {
+  std::uint64_t id = 0;
+  std::string error;
+  const auto req = parse_request(
+      R"({"op":"synth","id":3,"pla":".i 2\n.o 1\n11 1\n.e","name":"tiny",)"
+      R"("verify":"both","timeout_ms":500,"step_budget":1000,)"
+      R"("node_budget":2000,"max_retries":2,"degrade":true,"netlist":true})",
+      id, error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->op, RequestOp::kSynth);
+  EXPECT_EQ(req->id, 3u);
+  EXPECT_EQ(req->spec.name, "tiny");
+  EXPECT_EQ(req->spec.verify, VerifyEngine::kBoth);
+  EXPECT_EQ(req->spec.timeout_ms, 500u);
+  EXPECT_EQ(req->spec.step_budget, 1000u);
+  EXPECT_EQ(req->spec.node_budget, 2000u);
+  EXPECT_EQ(req->spec.max_retries, 2u);
+  EXPECT_TRUE(req->spec.degrade);
+  EXPECT_TRUE(req->want_netlist);
+  const auto* pla = std::get_if<PlaFile>(&req->spec.source);
+  ASSERT_NE(pla, nullptr);
+  EXPECT_EQ(pla->num_inputs, 2u);
+  EXPECT_EQ(pla->num_outputs, 1u);
+}
+
+TEST(ServerProtocol, RejectsBadRequestsButKeepsTheId) {
+  std::uint64_t id = 0;
+  std::string error;
+  // The id must survive a failed parse so the error response can be matched.
+  EXPECT_FALSE(parse_request(R"({"id": 77})", id, error).has_value());
+  EXPECT_EQ(id, 77u);
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(parse_request("not json at all", id, error).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"transmogrify","id":1})", id, error).has_value());
+  // synth needs exactly one of path/pla.
+  EXPECT_FALSE(parse_request(R"({"op":"synth","id":1})", id, error).has_value());
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"synth","id":1,"path":"a.pla","pla":".i 1\n"})",
+                   id, error)
+                   .has_value());
+  // A malformed inline cover fails at admission, not on a worker.
+  EXPECT_FALSE(
+      parse_request(R"({"op":"synth","id":1,"pla":"garbage"})", id, error)
+          .has_value());
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"synth","id":1,"pla":".i 1\n.o 1\n1 1\n.e",)"
+                   R"("verify":"psychic"})",
+                   id, error)
+                   .has_value());
+}
+
+TEST(ServerProtocol, ErrorResponseEscapesTheMessage) {
+  const std::string resp = error_response(4, "bad_request", "say \"no\"\n");
+  const auto doc = JsonValue::parse(resp);
+  ASSERT_TRUE(doc.has_value()) << resp;
+  EXPECT_EQ(doc->get_uint("id"), 4u);
+  EXPECT_EQ(doc->get_string("status"), "bad_request");
+  EXPECT_EQ(doc->get_string("error"), "say \"no\"\n");
+}
+
+TEST(ServerProtocol, SynthResponseGraftsBlifWhenAsked) {
+  JobReport report;
+  report.job_id = 12;
+  report.name = "tiny";
+  report.status = JobStatus::kOk;
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  net.add_output("f", net.add_and(a, b));
+
+  const std::string bare = synth_response(report, net, /*want_netlist=*/false);
+  const auto bare_doc = JsonValue::parse(bare);
+  ASSERT_TRUE(bare_doc.has_value()) << bare;
+  EXPECT_EQ(bare_doc->get("blif"), nullptr);
+
+  const std::string with = synth_response(report, net, /*want_netlist=*/true);
+  const auto with_doc = JsonValue::parse(with);
+  ASSERT_TRUE(with_doc.has_value()) << with;
+  const auto blif = with_doc->get_string("blif");
+  ASSERT_TRUE(blif.has_value());
+  EXPECT_NE(blif->find(".model"), std::string::npos);
+  EXPECT_NE(blif->find(".names"), std::string::npos);
+}
+
+// --- sharded component cache ---------------------------------------------
+
+ComponentSignature make_sig(std::uint64_t hash, std::uint64_t q_word) {
+  ComponentSignature sig;
+  sig.k = 3;
+  sig.q_bits = {q_word};
+  sig.nr_bits = {q_word | 0x5a};
+  sig.hash = hash;
+  return sig;
+}
+
+Netlist tiny_component() {
+  Netlist impl;
+  const SignalId p0 = impl.add_input("p0");
+  const SignalId p1 = impl.add_input("p1");
+  impl.add_output("f", impl.add_and(p0, p1));
+  return impl;
+}
+
+TEST(ServerComponentCache, PublishLookupRoundTrip) {
+  ServerComponentCache cache(8);
+  const ComponentSignature sig = make_sig(0x1234, 0x0f);
+  EXPECT_FALSE(cache.lookup(sig).has_value());
+  cache.publish(sig, tiny_component());
+  const auto hit = cache.lookup(sig);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->impl.num_inputs(), 2u);
+  const ComponentCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.publishes, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServerComponentCache, HashCollisionReadsAsMiss) {
+  ServerComponentCache cache(8);
+  cache.publish(make_sig(0xbeef, 0x0f), tiny_component());
+  // Same 64-bit hash, different interval bits: must miss, never return the
+  // wrong-interval component, and count the collision.
+  const ComponentSignature imposter = make_sig(0xbeef, 0xf0);
+  EXPECT_FALSE(cache.lookup(imposter).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ServerComponentCache, RejectEvictsTheEntry) {
+  ServerComponentCache cache(8);
+  const ComponentSignature sig = make_sig(0x77, 0x33);
+  cache.publish(sig, tiny_component());
+  ASSERT_TRUE(cache.lookup(sig).has_value());
+  cache.reject(sig);
+  EXPECT_FALSE(cache.lookup(sig).has_value());
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServerComponentCache, FifoEvictionWithinAShard) {
+  ServerComponentCache cache(/*max_entries_per_shard=*/2);
+  // Equal top-4 hash bits land all three in the same shard.
+  const ComponentSignature s1 = make_sig(0x1000000000000001ull, 1);
+  const ComponentSignature s2 = make_sig(0x1000000000000002ull, 2);
+  const ComponentSignature s3 = make_sig(0x1000000000000003ull, 3);
+  cache.publish(s1, tiny_component());
+  cache.publish(s2, tiny_component());
+  cache.publish(s3, tiny_component());
+  EXPECT_EQ(cache.stats().evicted, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(s1).has_value());  // oldest went first
+  EXPECT_TRUE(cache.lookup(s2).has_value());
+  EXPECT_TRUE(cache.lookup(s3).has_value());
+}
+
+TEST(ServerComponentCache, RepublishReplacesInPlace) {
+  ServerComponentCache cache(8);
+  const ComponentSignature sig = make_sig(0x2000000000000001ull, 9);
+  cache.publish(sig, tiny_component());
+  cache.publish(sig, tiny_component());
+  EXPECT_EQ(cache.stats().replaced, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- the daemon over real sockets ----------------------------------------
+
+/// Blocking newline-framed client against 127.0.0.1:<port>.
+class LineClient {
+ public:
+  explicit LineClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  bool send_line(const std::string& s) {
+    std::string line = s;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> recv_line() {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// A synth request line for an inline cover.
+std::string synth_line(std::uint64_t id, const PlaFile& pla,
+                       const std::string& extra = "") {
+  std::string line = "{\"op\": \"synth\", \"id\": " + std::to_string(id) +
+                     ", \"pla\": \"" + json_escape(pla.write()) +
+                     "\", \"name\": \"req" + std::to_string(id) + "\"";
+  line += extra;
+  line += "}";
+  return line;
+}
+
+PlaFile small_pla(unsigned seed) {
+  return random_control_pla(/*inputs=*/6, /*outputs=*/2, /*cubes=*/10,
+                            /*min_lits=*/2, /*max_lits=*/4,
+                            /*outs_per_cube=*/1, /*dc_fraction=*/0.0, seed);
+}
+
+/// Big enough that a job occupies a worker for a while — what the
+/// admission tests need so pipelined requests pile up behind it.
+PlaFile slow_pla(unsigned seed) {
+  return random_control_pla(/*inputs=*/14, /*outputs=*/6, /*cubes=*/90,
+                            /*min_lits=*/3, /*max_lits=*/8,
+                            /*outs_per_cube=*/2, /*dc_fraction=*/0.0, seed);
+}
+
+std::optional<JsonValue> parse_line(const std::optional<std::string>& line) {
+  if (!line) return std::nullopt;
+  return JsonValue::parse(*line);
+}
+
+TEST(BidecServer, PingStatsAndShutdown) {
+  ServerOptions opts;
+  opts.num_workers = 2;
+  BidecServer server(opts);
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(R"({"op":"ping","id":1})"));
+  auto pong = parse_line(client.recv_line());
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->get_uint("id"), 1u);
+  EXPECT_EQ(pong->get_string("status"), "ok");
+  EXPECT_EQ(pong->get_string("op"), "ping");
+
+  ASSERT_TRUE(client.send_line(R"({"op":"stats","id":2})"));
+  auto stats = parse_line(client.recv_line());
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->get_string("status"), "ok");
+  ASSERT_NE(stats->get("jobs"), nullptr);
+  ASSERT_NE(stats->get("cache"), nullptr);
+  ASSERT_NE(stats->get("pool"), nullptr);
+  EXPECT_EQ(stats->get("jobs")->get_uint("connections"), 1u);
+
+  ASSERT_TRUE(client.send_line(R"({"op":"shutdown","id":3})"));
+  auto ack = parse_line(client.recv_line());
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->get_string("op"), "shutdown");
+  server.wait();
+
+  // The listener is gone: a fresh connect must fail.
+  LineClient late(server.port());
+  EXPECT_FALSE(late.connected());
+}
+
+TEST(BidecServer, InlineSynthVerifiesOnBothEngines) {
+  BidecServer server((ServerOptions{}));
+  server.start();
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const PlaFile pla = small_pla(1);
+  ASSERT_TRUE(client.send_line(
+      synth_line(5, pla, ", \"verify\": \"both\", \"netlist\": true")));
+  auto resp = parse_line(client.recv_line());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->get_uint("id"), 5u);
+  EXPECT_EQ(resp->get_string("status"), "ok");
+  ASSERT_NE(resp->get("verify"), nullptr);
+  EXPECT_EQ(resp->get("verify")->get_uint("bdd"), 1u);
+  EXPECT_EQ(resp->get("verify")->get_uint("sat"), 1u);
+  const auto blif = resp->get_string("blif");
+  ASSERT_TRUE(blif.has_value());
+  EXPECT_NE(blif->find(".model"), std::string::npos);
+  server.stop();
+}
+
+TEST(BidecServer, BadLinesAndMissingFilesKeepTheConnectionAlive) {
+  BidecServer server((ServerOptions{}));
+  server.start();
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.send_line("this is not json"));
+  auto bad = parse_line(client.recv_line());
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->get_string("status"), "bad_request");
+
+  ASSERT_TRUE(client.send_line(
+      R"({"op":"synth","id":8,"path":"/nonexistent/missing.pla"})"));
+  auto err = parse_line(client.recv_line());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->get_uint("id"), 8u);
+  EXPECT_EQ(err->get_string("status"), "error");
+
+  // The connection survived both failures.
+  ASSERT_TRUE(client.send_line(R"({"op":"ping","id":9})"));
+  auto pong = parse_line(client.recv_line());
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->get_string("status"), "ok");
+  EXPECT_EQ(server.stats().bad_requests, 1u);
+  server.stop();
+}
+
+/// Send `lines` pipelined on one connection and return the responses keyed
+/// by id (responses may arrive out of order when workers race).
+std::map<std::uint64_t, std::string> roundtrip(std::uint16_t port,
+                                               const std::vector<std::string>& lines) {
+  LineClient client(port);
+  EXPECT_TRUE(client.connected());
+  for (const std::string& line : lines) EXPECT_TRUE(client.send_line(line));
+  std::map<std::uint64_t, std::string> by_id;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto line = client.recv_line();
+    if (!line) break;
+    const auto doc = JsonValue::parse(*line);
+    if (!doc) {
+      ADD_FAILURE() << "unparseable response: " << *line;
+      continue;
+    }
+    by_id[doc->get_uint("id").value_or(0)] = *line;
+  }
+  return by_id;
+}
+
+TEST(BidecServer, ResponsesAreByteStableAcrossWorkerCounts) {
+  // The same pipelined request mix against a 1-worker and a 4-worker
+  // daemon must produce byte-identical responses per id — the contract
+  // that lets clients diff runs regardless of server parallelism.
+  std::vector<std::string> lines;
+  std::uint64_t id = 0;
+  for (unsigned seed : {1u, 2u, 3u}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      lines.push_back(
+          synth_line(++id, small_pla(seed), ", \"verify\": \"both\""));
+    }
+  }
+
+  std::map<std::uint64_t, std::string> serial, parallel;
+  {
+    ServerOptions opts;
+    opts.num_workers = 1;
+    BidecServer server(opts);
+    server.start();
+    serial = roundtrip(server.port(), lines);
+    server.stop();
+  }
+  {
+    ServerOptions opts;
+    opts.num_workers = 4;
+    BidecServer server(opts);
+    server.start();
+    parallel = roundtrip(server.port(), lines);
+    server.stop();
+  }
+  ASSERT_EQ(serial.size(), lines.size());
+  ASSERT_EQ(parallel.size(), lines.size());
+  for (const auto& [rid, line] : serial) {
+    EXPECT_EQ(parallel.at(rid), line) << "response " << rid << " diverged";
+  }
+}
+
+TEST(BidecServer, WarmPoolAndComponentCacheServeRepeats) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  BidecServer server(opts);
+  server.start();
+
+  std::vector<std::string> lines;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    lines.push_back(synth_line(id, small_pla(4), ", \"verify\": \"both\""));
+  }
+  const auto responses = roundtrip(server.port(), lines);
+  ASSERT_EQ(responses.size(), 4u);
+  for (const auto& [rid, line] : responses) {
+    const auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->get_string("status"), "ok") << line;
+  }
+  // Identical jobs on one worker: the warm lease served all of them, and
+  // the cross-job cache turned the repeats into component hits.
+  EXPECT_GT(server.cache_stats().publishes, 0u);
+  EXPECT_GT(server.cache_stats().hits, 0u);
+  EXPECT_EQ(server.pool_stats().leases, 1u);
+  server.stop();
+}
+
+TEST(BidecServer, SharedCacheCanBeDisabled) {
+  ServerOptions opts;
+  opts.shared_cache = false;
+  BidecServer server(opts);
+  server.start();
+  const auto responses =
+      roundtrip(server.port(), {synth_line(1, small_pla(4)),
+                                synth_line(2, small_pla(4))});
+  ASSERT_EQ(responses.size(), 2u);
+  for (const auto& [rid, line] : responses) {
+    EXPECT_NE(line.find("\"status\": \"ok\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(server.cache_stats().lookups, 0u);
+  server.stop();
+}
+
+TEST(BidecServer, FullQueueRejectsUnderRejectPolicy) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.per_client_inflight = 64;
+  opts.admission = AdmissionPolicy::kReject;
+  BidecServer server(opts);
+  server.start();
+
+  // Ten heavyweight jobs pipelined in one write: the first occupies the
+  // worker, one sits in the queue, the rest must bounce.
+  std::vector<std::string> lines;
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    lines.push_back(synth_line(id, slow_pla(static_cast<unsigned>(id))));
+  }
+  const auto responses = roundtrip(server.port(), lines);
+  ASSERT_EQ(responses.size(), 10u);
+  std::size_t ok = 0, rejected = 0;
+  for (const auto& [rid, line] : responses) {
+    const auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const auto status = doc->get_string("status");
+    if (status == "ok") ++ok;
+    if (status == "rejected") ++rejected;
+  }
+  EXPECT_EQ(ok + rejected, 10u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(server.stats().rejected_queue, rejected);
+  server.stop();
+}
+
+TEST(BidecServer, FullQueueBlocksUnderBlockPolicy) {
+  // Same pressure, kBlock policy: nothing is rejected — the connection
+  // thread parks until the queue has room, and every job completes.
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.per_client_inflight = 64;
+  opts.admission = AdmissionPolicy::kBlock;
+  BidecServer server(opts);
+  server.start();
+
+  std::vector<std::string> lines;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    lines.push_back(synth_line(id, small_pla(static_cast<unsigned>(id))));
+  }
+  const auto responses = roundtrip(server.port(), lines);
+  ASSERT_EQ(responses.size(), 6u);
+  for (const auto& [rid, line] : responses) {
+    EXPECT_NE(line.find("\"status\": \"ok\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(server.stats().rejected_queue, 0u);
+  // The completed counter is bumped after the response is written, so only
+  // the post-stop() view (workers joined) is guaranteed to have settled.
+  server.stop();
+  EXPECT_EQ(server.stats().completed, 6u);
+}
+
+TEST(BidecServer, PerClientInflightCapRejects) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 64;
+  opts.per_client_inflight = 1;
+  BidecServer server(opts);
+  server.start();
+
+  std::vector<std::string> lines;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    lines.push_back(synth_line(id, slow_pla(static_cast<unsigned>(id))));
+  }
+  const auto responses = roundtrip(server.port(), lines);
+  ASSERT_EQ(responses.size(), 6u);
+  std::size_t ok = 0, rejected = 0;
+  for (const auto& [rid, line] : responses) {
+    const auto doc = JsonValue::parse(line);
+    const auto status = doc->get_string("status");
+    if (status == "ok") ++ok;
+    if (status == "rejected") ++rejected;
+  }
+  EXPECT_EQ(ok + rejected, 6u);
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(server.stats().rejected_client, rejected);
+  server.stop();
+}
+
+TEST(BidecServer, ShutdownDrainsAdmittedJobs) {
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 64;
+  opts.per_client_inflight = 64;
+  BidecServer server(opts);
+  server.start();
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  constexpr std::uint64_t kJobs = 6;
+  for (std::uint64_t id = 1; id <= kJobs; ++id) {
+    ASSERT_TRUE(client.send_line(synth_line(id, small_pla(static_cast<unsigned>(id)))));
+  }
+  ASSERT_TRUE(client.send_line(R"({"op":"shutdown","id":99})"));
+
+  // Every admitted synth job is answered before the socket closes.
+  std::map<std::uint64_t, std::string> by_id;
+  for (std::uint64_t i = 0; i <= kJobs; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value()) << "connection closed after " << i << " lines";
+    const auto doc = JsonValue::parse(*line);
+    ASSERT_TRUE(doc.has_value());
+    by_id[doc->get_uint("id").value_or(0)] = *line;
+  }
+  server.wait();
+  for (std::uint64_t id = 1; id <= kJobs; ++id) {
+    ASSERT_TRUE(by_id.contains(id)) << "job " << id << " unanswered";
+    EXPECT_NE(by_id[id].find("\"status\": \"ok\""), std::string::npos)
+        << by_id[id];
+  }
+  EXPECT_TRUE(by_id.contains(99u));
+  EXPECT_EQ(server.stats().completed, kJobs);
+}
+
+TEST(BidecServer, SixteenConcurrentClients) {
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 128;
+  opts.per_client_inflight = 8;
+  BidecServer server(opts);
+  server.start();
+
+  constexpr unsigned kClients = 16;
+  std::vector<std::thread> threads;
+  std::vector<unsigned> ok_counts(kClients, 0);
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::vector<std::string> lines{
+          synth_line(1, small_pla(c % 4), ", \"verify\": \"both\""),
+          synth_line(2, small_pla((c + 1) % 4))};
+      const auto responses = roundtrip(server.port(), lines);
+      for (const auto& [rid, line] : responses) {
+        if (line.find("\"status\": \"ok\"") != std::string::npos) ++ok_counts[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (unsigned c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[c], 2u) << "client " << c;
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().completed, 2u * kClients);
+  EXPECT_GE(server.stats().connections, kClients);
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,371 @@
+// Cross-job component reuse: interval signatures are manager-independent,
+// extracted components round-trip through splice and BDD rebuild, a second
+// decomposer hits components published by the first, and a poisoned cache
+// entry is caught by validation-on-hit — degrading to a miss, never to a
+// wrong netlist.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "bidec/bidecomposer.h"
+#include "bidec/shared_cache.h"
+#include "bidec/signature.h"
+#include "engine/job_runner.h"
+#include "fault/fault.h"
+
+namespace bidec {
+namespace {
+
+/// Minimal single-threaded sink: a map keyed by the signature hash, with
+/// exact same_interval checking on lookup (the contract a real cache must
+/// honour so hash collisions read as misses).
+class MapSink final : public SharedComponentSink {
+ public:
+  std::optional<SharedComponent> lookup(const ComponentSignature& sig) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++lookups;
+    const auto it = map_.find(sig.hash);
+    if (it == map_.end() || !it->second.first.same_interval(sig)) return std::nullopt;
+    ++hits;
+    return SharedComponent{it->second.second};
+  }
+  void publish(const ComponentSignature& sig, const Netlist& impl) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++publishes;
+    map_.insert_or_assign(sig.hash, std::make_pair(sig, impl));
+  }
+  void reject(const ComponentSignature& sig) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++rejects;
+    map_.erase(sig.hash);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+  std::size_t lookups = 0, hits = 0, publishes = 0, rejects = 0;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::pair<ComponentSignature, Netlist>> map_;
+};
+
+TEST(ComponentSignature, TruthBitsMatchEvaluation) {
+  BddManager mgr(3);
+  // Majority of three variables.
+  const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+  const Bdd maj = (a & b) | (a & c) | (b & c);
+  const std::vector<unsigned> support{0, 1, 2};
+  const std::vector<std::uint64_t> bits = truth_bits(mgr, maj, support);
+  ASSERT_EQ(bits.size(), 1u);
+  for (unsigned m = 0; m < 8; ++m) {
+    const int pop = ((m >> 0) & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ((bits[0] >> m) & 1, pop >= 2 ? 1u : 0u) << "minterm " << m;
+  }
+}
+
+TEST(ComponentSignature, PositionalEqualityAcrossManagers) {
+  // The same Boolean object over different variable index sets — even in
+  // different managers — must produce byte-equal signatures: the signature
+  // is positional over the sorted support, not tied to manager indices.
+  BddManager small(4);
+  BddManager wide(9);
+  const Bdd f = small.var(1) ^ (small.var(2) & small.var(3));
+  const Bdd g = wide.var(5) ^ (wide.var(7) & wide.var(8));
+  const std::vector<unsigned> fs{1, 2, 3};
+  const std::vector<unsigned> gs{5, 7, 8};
+  const ComponentSignature sf = interval_signature(Isf::from_csf(f), fs);
+  const ComponentSignature sg = interval_signature(Isf::from_csf(g), gs);
+  EXPECT_TRUE(sf.same_interval(sg));
+  EXPECT_EQ(sf.hash, sg.hash);
+
+  // A genuinely different function must not collide on the full signature.
+  const Bdd h = wide.var(5) | (wide.var(7) & wide.var(8));
+  const ComponentSignature sh = interval_signature(Isf::from_csf(h), gs);
+  EXPECT_FALSE(sf.same_interval(sh));
+  EXPECT_NE(sf.hash, sh.hash);
+}
+
+TEST(ComponentSignature, DontCaresWidenTheInterval) {
+  // An ISF with don't-cares is a different interval than its on-set taken
+  // as a CSF: same Q bits, wider ~R bits.
+  BddManager mgr(3);
+  const Bdd on = mgr.var(0) & mgr.var(1);
+  const Bdd dc = mgr.var(2) & ~mgr.var(0);
+  const std::vector<unsigned> support{0, 1, 2};
+  const ComponentSignature csf = interval_signature(Isf::from_csf(on), support);
+  const ComponentSignature isf =
+      interval_signature(Isf::from_on_dc(on, dc), support);
+  EXPECT_EQ(csf.q_bits, isf.q_bits);
+  EXPECT_NE(csf.nr_bits, isf.nr_bits);
+  EXPECT_FALSE(csf.same_interval(isf));
+}
+
+TEST(SharedComponent, ExtractSpliceRoundTrip) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const SignalId g = net.add_xor(net.add_and(a, b), c);
+  net.add_output("g", g);
+
+  const std::vector<SignalId> ins{a, b, c};
+  const std::optional<Netlist> impl = extract_component(net, g, ins, 16);
+  ASSERT_TRUE(impl.has_value());
+  EXPECT_EQ(impl->num_inputs(), 3u);
+  EXPECT_EQ(impl->num_outputs(), 1u);
+
+  // BDD rebuild equals the original function.
+  BddManager mgr(3);
+  const std::vector<unsigned> support{0, 1, 2};
+  const Bdd rebuilt = component_to_bdd(mgr, *impl, support);
+  const Bdd expect = (mgr.var(0) & mgr.var(1)) ^ mgr.var(2);
+  EXPECT_EQ(rebuilt, expect);
+
+  // Splice into a fresh netlist and compare by exhaustive evaluation.
+  Netlist host;
+  std::vector<SignalId> hins;
+  for (const char* n : {"x", "y", "z"}) hins.push_back(host.add_input(n));
+  host.add_output("f", splice_component(host, *impl, hins));
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const bool want = (in[0] && in[1]) != in[2];
+    EXPECT_EQ(host.evaluate(in)[0], want) << "minterm " << m;
+  }
+}
+
+TEST(SharedComponent, ExtractRefusesForeignInputsAndOversizeCones) {
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const SignalId g = net.add_or(net.add_and(a, b), c);
+  net.add_output("g", g);
+
+  // The cone reaches c, which is not in the substitution list.
+  const std::vector<SignalId> partial{a, b};
+  EXPECT_FALSE(extract_component(net, g, partial, 16).has_value());
+  // Two gates against a one-node budget.
+  const std::vector<SignalId> all{a, b, c};
+  EXPECT_FALSE(extract_component(net, g, all, 1).has_value());
+  EXPECT_TRUE(extract_component(net, g, all, 2).has_value());
+}
+
+TEST(SharedComponent, CorruptComponentIsNeitherFunctionNorComplement) {
+  // The poisoning model must produce something validation cannot excuse:
+  // Theorem-6 handling legitimately accepts a complemented component, so
+  // the corruption (output XOR input 0) must differ from both f and ~f.
+  Netlist net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  net.add_output("f", net.add_and(net.add_and(a, b), c));
+  const std::vector<SignalId> ins{a, b, c};
+  const std::optional<Netlist> impl =
+      extract_component(net, net.output_signal(0), ins, 16);
+  ASSERT_TRUE(impl.has_value());
+
+  const Netlist bad = corrupt_component(*impl);
+  BddManager mgr(3);
+  const std::vector<unsigned> support{0, 1, 2};
+  const Bdd good_f = component_to_bdd(mgr, *impl, support);
+  const Bdd bad_f = component_to_bdd(mgr, bad, support);
+  EXPECT_NE(bad_f, good_f);
+  EXPECT_NE(bad_f, ~good_f);
+}
+
+TEST(SharedCache, SecondDecomposerHitsPublishedComponents) {
+  BidecOptions opts;
+  MapSink sink;
+  opts.shared_cache = &sink;
+
+  // Job 1: decompose a 4-variable function; eligible cones get published.
+  BddManager mgr1(4);
+  const Bdd f1 =
+      (mgr1.var(0) ^ mgr1.var(1)) & (mgr1.var(2) | mgr1.var(3));
+  BiDecomposer d1(mgr1, opts);
+  d1.add_output("f", Isf::from_csf(f1));
+  EXPECT_GT(d1.stats().shared_publishes, 0u);
+  EXPECT_GT(sink.publishes, 0u);
+  EXPECT_EQ(sink.rejects, 0u);
+
+  // Job 2: a fresh manager, same function — the root cone must hit.
+  BddManager mgr2(4);
+  const Bdd f2 =
+      (mgr2.var(0) ^ mgr2.var(1)) & (mgr2.var(2) | mgr2.var(3));
+  const Isf isf2 = Isf::from_csf(f2);
+  BiDecomposer d2(mgr2, opts);
+  const SignalId out = d2.add_output("f", isf2);
+  ASSERT_NE(out, kNoSignal);
+  EXPECT_GT(d2.stats().shared_lookups, 0u);
+  EXPECT_GT(d2.stats().shared_hits, 0u);
+  EXPECT_EQ(d2.stats().shared_rejects, 0u);
+
+  // The spliced netlist computes the function exactly.
+  d2.finish();
+  const Netlist& net = d2.netlist();
+  for (unsigned m = 0; m < 16; ++m) {
+    const bool x0 = (m & 1) != 0, x1 = (m & 2) != 0;
+    const bool x2 = (m & 4) != 0, x3 = (m & 8) != 0;
+    const bool want = (x0 != x1) && (x2 || x3);
+    EXPECT_EQ(net.evaluate({x0, x1, x2, x3})[0], want) << "minterm " << m;
+  }
+}
+
+TEST(SharedCache, DifferentFunctionMissesCleanly) {
+  BidecOptions opts;
+  MapSink sink;
+  opts.shared_cache = &sink;
+
+  BddManager mgr1(4);
+  BiDecomposer d1(mgr1, opts);
+  d1.add_output("f", Isf::from_csf(mgr1.var(0) & mgr1.var(1) & mgr1.var(2)));
+
+  const std::size_t hits_before = sink.hits;
+  BddManager mgr2(4);
+  BiDecomposer d2(mgr2, opts);
+  d2.add_output("g", Isf::from_csf(mgr2.var(0) ^ mgr2.var(1) ^ mgr2.var(3)));
+  // Nothing published for the AND-chain can serve the parity function.
+  EXPECT_EQ(d2.stats().shared_hits, sink.hits - hits_before);
+  EXPECT_EQ(d2.stats().shared_rejects, 0u);
+}
+
+TEST(SharedCache, PoisonedEntryDegradesToMissNeverWrongNetlist) {
+  BidecOptions opts;
+  MapSink sink;
+  opts.shared_cache = &sink;
+
+  // Job 1 runs under a cache-poison fault plan: every published component
+  // is corrupted before it reaches the sink.
+  FaultPlan plan;
+  plan.seed = 11;
+  FaultSpec poison;
+  poison.point = FaultPoint::kCachePoison;
+  poison.probability = 1.0;
+  poison.times = 0;  // unlimited
+  plan.add(poison);
+  JobFaultInjector injector(plan, /*job_id=*/0, /*worker_id=*/0);
+
+  BddManager mgr1(4);
+  mgr1.set_fault_injector(&injector);
+  const Bdd f1 =
+      (mgr1.var(0) ^ mgr1.var(1)) & (mgr1.var(2) | mgr1.var(3));
+  BiDecomposer d1(mgr1, opts);
+  d1.add_output("f", Isf::from_csf(f1));
+  mgr1.set_fault_injector(nullptr);
+  ASSERT_GT(sink.publishes, 0u);
+
+  // Job 2, clean manager: every lookup that matches a poisoned entry must
+  // fail validation, be rejected (evicting the entry), and fall through to
+  // a fresh decomposition — which still produces the right function.
+  BddManager mgr2(4);
+  const Bdd f2 =
+      (mgr2.var(0) ^ mgr2.var(1)) & (mgr2.var(2) | mgr2.var(3));
+  const Isf isf2 = Isf::from_csf(f2);
+  BiDecomposer d2(mgr2, opts);
+  d2.add_output("f", isf2);
+  EXPECT_GT(d2.stats().shared_lookups, 0u);
+  EXPECT_EQ(d2.stats().shared_hits, 0u);
+  EXPECT_GT(d2.stats().shared_rejects, 0u);
+  EXPECT_EQ(sink.rejects, d2.stats().shared_rejects);
+
+  d2.finish();
+  const Netlist& net = d2.netlist();
+  for (unsigned m = 0; m < 16; ++m) {
+    const bool x0 = (m & 1) != 0, x1 = (m & 2) != 0;
+    const bool x2 = (m & 4) != 0, x3 = (m & 8) != 0;
+    const bool want = (x0 != x1) && (x2 || x3);
+    EXPECT_EQ(net.evaluate({x0, x1, x2, x3})[0], want) << "minterm " << m;
+  }
+}
+
+// --- engine-level reuse: run_synthesis_job with a shared sink ------------
+
+JobSpec shared_spec(const PlaFile& pla, SharedComponentSink* sink) {
+  JobSpec spec;
+  spec.name = "shared";
+  spec.source = pla;
+  spec.flow.bidec.shared_cache = sink;
+  spec.verify = VerifyEngine::kBoth;
+  return spec;
+}
+
+TEST(SharedCache, ReusedResultsPassBothVerifiers) {
+  const PlaFile pla = random_control_pla(/*inputs=*/8, /*outputs=*/3,
+                                         /*cubes=*/18, /*min_lits=*/2,
+                                         /*max_lits=*/5, /*outs_per_cube=*/2,
+                                         /*dc_fraction=*/0.0, /*seed=*/42);
+  MapSink sink;
+  OwnedManagerSource managers;
+
+  const JobResult first = run_synthesis_job(shared_spec(pla, &sink), 1, 0,
+                                            managers, FaultPlan{}, false, false);
+  ASSERT_EQ(first.report.status, JobStatus::kOk) << first.report.error;
+  EXPECT_GT(first.report.bidec.shared_publishes, 0u);
+
+  const JobResult second = run_synthesis_job(shared_spec(pla, &sink), 2, 0,
+                                             managers, FaultPlan{}, false, false);
+  ASSERT_EQ(second.report.status, JobStatus::kOk) << second.report.error;
+  EXPECT_GT(second.report.bidec.shared_hits, 0u);
+  EXPECT_EQ(second.report.bidec.shared_rejects, 0u);
+  // Both verification engines ran and passed on the reuse-built netlist.
+  EXPECT_EQ(second.report.bdd_verdict, 1);
+  EXPECT_EQ(second.report.sat_verdict, 1);
+
+  // With the cross-job cache consulted, the scheduling-dependent
+  // decomposition counters must be absent from the stable serialization —
+  // a hit short-circuits whole subtrees, so they are not byte-stable.
+  EXPECT_EQ(second.report.to_stable_json().find("\"decomposition\""),
+            std::string::npos);
+  // An ordinary job keeps them.
+  JobSpec plain;
+  plain.name = "plain";
+  plain.source = pla;
+  const JobResult lone =
+      run_synthesis_job(plain, 3, 0, managers, FaultPlan{}, false, false);
+  EXPECT_NE(lone.report.to_stable_json().find("\"decomposition\""),
+            std::string::npos);
+}
+
+TEST(SharedCache, PoisonedPublishesUnderFaultPlanStillVerify) {
+  const PlaFile pla = random_control_pla(8, 3, 18, 2, 5, 2, 0.0, 43);
+  MapSink sink;
+  OwnedManagerSource managers;
+
+  FaultPlan plan;
+  plan.seed = 7;
+  FaultSpec poison;
+  poison.point = FaultPoint::kCachePoison;
+  poison.probability = 1.0;
+  poison.times = 0;
+  plan.add(poison);
+
+  // Every publish of job 1 is corrupted through the same injector path the
+  // fault-injection layer uses for the computed cache.
+  const JobResult first = run_synthesis_job(shared_spec(pla, &sink), 1, 0,
+                                            managers, plan, false, false);
+  ASSERT_EQ(first.report.status, JobStatus::kOk) << first.report.error;
+  ASSERT_GT(first.report.bidec.shared_publishes, 0u);
+
+  // Job 2 (also under the plan — publishes poisoned, lookups clean) must
+  // reject every poisoned hit and still verify on both engines.
+  const JobResult second = run_synthesis_job(shared_spec(pla, &sink), 2, 0,
+                                             managers, plan, false, false);
+  ASSERT_EQ(second.report.status, JobStatus::kOk) << second.report.error;
+  EXPECT_EQ(second.report.bidec.shared_hits, 0u);
+  EXPECT_GT(second.report.bidec.shared_rejects, 0u);
+  EXPECT_EQ(second.report.bdd_verdict, 1);
+  EXPECT_EQ(second.report.sat_verdict, 1);
+  EXPECT_TRUE(second.report.failed_outputs.empty());
+}
+
+}  // namespace
+}  // namespace bidec
