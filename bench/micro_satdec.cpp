@@ -1,0 +1,255 @@
+// SAT-engine perf gate: pinned benchgen multipliers through the batch
+// engine with engine=sat, fixed protocol (median-of-reps wall time per
+// job), emitting BENCH_satdec.json in the schema bench/compare_perf.py
+// diffs against the checked-in baseline. Like perf_gate and micro_server
+// this avoids google-benchmark so the protocol stays under our control.
+//
+// Two parts per run:
+//   timed:   mul4x4 and mul5x5 (and mul6x6 in full mode) decomposed with
+//            the SAT engine and SAT-verified; the median repetition's wall
+//            time becomes ns_per_op. Netlist stats must be identical
+//            across repetitions — a nondeterministic engine fails the
+//            bench before it can pollute the numbers.
+//   ceiling: the headline claim of the SAT engine, asserted rather than
+//            timed. mul6x6 under engine=bdd with the 50k node budget must
+//            NOT finish ok (the BDD ceiling is real), and the same job
+//            under engine=sat must finish ok with the SAT verifier green.
+//            --skip-ceiling disables this self-gate for exploratory runs.
+//
+// Usage:
+//   micro_satdec [--quick] [--reps N] [--out-dir DIR] [--commit HASH]
+//                [--skip-ceiling]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "engine/batch_engine.h"
+#include "io/blif.h"
+
+namespace bidec::satbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+struct Case {
+  unsigned na = 0;
+  unsigned nb = 0;
+  unsigned reps_full = 0;
+  unsigned reps_quick = 0;
+  std::string path;  ///< generated BLIF, filled in by write_cases()
+
+  [[nodiscard]] std::string name() const {
+    return "mul" + std::to_string(na) + "x" + std::to_string(nb);
+  }
+};
+
+/// Generate the pinned multiplier BLIFs under `dir` (benchgen is
+/// deterministic, so the inputs are identical on every run and machine).
+void write_cases(std::vector<Case>& cases, const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  for (Case& c : cases) {
+    const fs::path p = dir / (c.name() + ".blif");
+    save_blif(multiplier_netlist(c.na, c.nb), c.name(), p.string());
+    c.path = p.string();
+  }
+}
+
+JobSpec sat_spec(const Case& c) {
+  JobSpec spec;
+  spec.name = c.name();
+  spec.source = c.path;
+  spec.flow.engine = EngineSelect::kSat;
+  spec.verify = VerifyEngine::kSat;
+  return spec;
+}
+
+JobReport run_job(JobSpec spec) {
+  EngineOptions opts;
+  opts.num_workers = 1;
+  BatchEngine engine(std::move(opts));
+  engine.submit(std::move(spec));
+  return engine.run().results.front().report;
+}
+
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;  ///< median wall ns per decomposed-and-verified job
+  unsigned reps = 0;
+  std::size_t gates = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t conflicts = 0;
+};
+
+/// Decompose one case `reps` times; median wall becomes the record. Any
+/// failed status, failed verifier, or cross-rep stats drift is fatal.
+bool run_timed(const Case& c, unsigned reps, BenchRecord& out) {
+  std::vector<double> wall_ms;
+  std::size_t gates = 0;
+  unsigned levels = 0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const JobReport rep = run_job(sat_spec(c));
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    if (rep.status != JobStatus::kOk || rep.sat_verdict != 1 ||
+        !rep.sat_engine) {
+      std::fprintf(stderr, "micro_satdec: %s rep %u failed (%s)\n",
+                   c.name().c_str(), r, rep.error.c_str());
+      return false;
+    }
+    if (r == 0) {
+      gates = rep.gates;
+      levels = rep.levels;
+      out.solves = rep.satdec.solves;
+      out.conflicts = rep.satdec.solver.conflicts;
+    } else if (rep.gates != gates || rep.levels != levels) {
+      std::fprintf(stderr,
+                   "micro_satdec: %s nondeterministic across reps "
+                   "(%zu/%u vs %zu/%u gates/levels)\n",
+                   c.name().c_str(), rep.gates, rep.levels, gates, levels);
+      return false;
+    }
+  }
+  std::sort(wall_ms.begin(), wall_ms.end());
+  out.name = "satdec_sat_" + c.name();
+  out.ns_per_op = wall_ms[wall_ms.size() / 2] * 1e6;
+  out.reps = reps;
+  out.gates = gates;
+  std::printf("%-20s %10.1f ms  (%zu gates, %llu solves, %u reps)\n",
+              out.name.c_str(), out.ns_per_op / 1e6, gates,
+              static_cast<unsigned long long>(out.solves), reps);
+  return true;
+}
+
+/// The BDD-ceiling assertion: bdd@50k must fail on the case, sat must pass.
+bool check_ceiling(const Case& c) {
+  JobSpec bdd = sat_spec(c);
+  bdd.flow.engine = EngineSelect::kBdd;
+  bdd.node_budget = 50000;
+  const JobReport lost = run_job(std::move(bdd));
+  if (lost.status == JobStatus::kOk) {
+    std::fprintf(stderr,
+                 "micro_satdec: %s finished under bdd@50k nodes — the BDD "
+                 "ceiling moved; re-pin the ceiling case\n",
+                 c.name().c_str());
+    return false;
+  }
+  const JobReport won = run_job(sat_spec(c));
+  if (won.status != JobStatus::kOk || won.sat_verdict != 1) {
+    std::fprintf(stderr, "micro_satdec: %s failed under engine=sat (%s)\n",
+                 c.name().c_str(), won.error.c_str());
+    return false;
+  }
+  std::printf("ceiling: %s fails bdd@50k, passes sat (%zu gates) — ok\n",
+              c.name().c_str(), won.gates);
+  return true;
+}
+
+void write_suite(const std::string& path, const std::string& commit,
+                 const std::string& mode,
+                 const std::vector<BenchRecord>& records) {
+  std::string out = "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"suite\": \"satdec\",\n";
+  out += "  \"commit\": \"" + commit + "\",\n";
+  out += "  \"mode\": \"" + mode + "\",\n";
+  out += "  \"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"reps\": %u, "
+                  "\"gates\": %zu, \"solves\": %llu, \"conflicts\": %llu}",
+                  r.name.c_str(), r.ns_per_op, r.reps, r.gates,
+                  static_cast<unsigned long long>(r.solves),
+                  static_cast<unsigned long long>(r.conflicts));
+    out += buf;
+    if (i + 1 != records.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "micro_satdec: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << out;
+  std::printf("wrote %s (%zu benches)\n", path.c_str(), records.size());
+}
+
+}  // namespace
+}  // namespace bidec::satbench
+
+int main(int argc, char** argv) {
+  using namespace bidec;
+  using namespace bidec::satbench;
+
+  bool quick = false;
+  bool skip_ceiling = false;
+  unsigned reps_override = 0;
+  std::string out_dir = ".";
+  std::string commit;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--skip-ceiling") {
+      skip_ceiling = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps_override = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--commit" && i + 1 < argc) {
+      commit = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_satdec [--quick] [--reps N] [--out-dir DIR] "
+                   "[--commit HASH] [--skip-ceiling]\n");
+      return 1;
+    }
+  }
+  if (commit.empty()) {
+    const char* sha = std::getenv("GITHUB_SHA");
+    commit = sha != nullptr ? sha : "unknown";
+  }
+  const std::string mode = quick ? "quick" : "full";
+
+  // mul6x6 (12 interleaved inputs) sits past the 50k-node BDD ceiling and
+  // doubles as the ceiling case; the smaller two stay timed in both modes.
+  std::vector<Case> timed = {{4, 4, /*reps_full=*/5, /*reps_quick=*/3},
+                             {5, 5, /*reps_full=*/3, /*reps_quick=*/2}};
+  Case ceiling{6, 6, /*reps_full=*/1, /*reps_quick=*/1};
+  const fs::path dir = fs::path(out_dir) / "satdec_cases";
+  write_cases(timed, dir);
+  {
+    std::vector<Case> one = {ceiling};
+    write_cases(one, dir);
+    ceiling = one.front();
+  }
+
+  std::vector<BenchRecord> records;
+  for (const Case& c : timed) {
+    const unsigned reps =
+        reps_override != 0 ? reps_override : (quick ? c.reps_quick : c.reps_full);
+    BenchRecord rec;
+    if (!run_timed(c, reps, rec)) return 1;
+    records.push_back(std::move(rec));
+  }
+
+  if (!skip_ceiling && !check_ceiling(ceiling)) return 1;
+  if (skip_ceiling) std::printf("ceiling: skipped (--skip-ceiling)\n");
+
+  write_suite(out_dir + "/BENCH_satdec.json", commit, mode, records);
+  return 0;
+}

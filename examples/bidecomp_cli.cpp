@@ -18,6 +18,12 @@
 //     --verify=<engine>     none|bdd|sat|both (default bdd); sat checks the
 //                           netlist straight against the PLA cover / original
 //                           BLIF with the CDCL engine, both cross-checks
+//     --engine=<engine>     bdd|sat|auto (default bdd); sat synthesizes with
+//                           the SAT-backed engine (src/satdec) and never
+//                           builds the specification's BDDs; auto starts on
+//                           BDDs and falls over to the SAT rung of the
+//                           degradation ladder when a budget trips (batch
+//                           path with --degrade; single files run bdd)
 //     --jobs N              worker threads for multi-file invocations
 //                           (0 or omitted: auto-detect hardware concurrency)
 //     --timeout-ms T        per-job deadline for multi-file invocations
@@ -49,6 +55,7 @@
 #include "engine/cli_opts.h"
 #include "io/blif.h"
 #include "io/pla.h"
+#include "satdec/decomposer.h"
 #include "verify/sat_verifier.h"
 #include "verify/verifier.h"
 
@@ -87,7 +94,8 @@ int usage() {
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
                "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
-               "       [--lint=off|warn|error] [--jobs N] [--timeout-ms T]\n"
+               "       [--engine=bdd|sat|auto] [--lint=off|warn|error]\n"
+               "       [--jobs N] [--timeout-ms T]\n"
                "       [--node-budget N] [--max-retries R] [--degrade]\n");
   return 2;
 }
@@ -154,6 +162,136 @@ int run_batch(const CliArgs& args) {
   return sum.lint_failures != 0 ? kExitLintFailed : 1;
 }
 
+/// Single-file path for --engine=sat: synthesis never touches a BddManager;
+/// the specification is only turned into BDDs if the BDD verifier is
+/// explicitly requested (--verify=bdd|both).
+int run_single_sat(const CliArgs& args) {
+  const std::string& input = args.inputs.front();
+  try {
+    PlaFile pla;
+    Netlist original;
+    bool is_pla = false;
+    unsigned num_inputs = 0;
+    std::vector<std::string> out_names;
+    if (ends_with(input, ".pla")) {
+      pla = PlaFile::load(input);
+      is_pla = true;
+      num_inputs = pla.num_inputs;
+      for (unsigned o = 0; o < pla.num_outputs; ++o) out_names.push_back(pla.output_name(o));
+      std::printf("read PLA %s: %u in, %u out, %zu cubes\n", input.c_str(),
+                  pla.num_inputs, pla.num_outputs, pla.rows.size());
+    } else if (ends_with(input, ".blif")) {
+      original = load_blif(input);
+      num_inputs = static_cast<unsigned>(original.num_inputs());
+      for (std::size_t o = 0; o < original.num_outputs(); ++o) {
+        out_names.push_back(original.output_name(o));
+      }
+      std::printf("read BLIF %s: %u in, %zu out, %zu gates (kept as netlist)\n",
+                  input.c_str(), num_inputs, original.num_outputs(),
+                  original.stats().gates);
+    } else {
+      std::fprintf(stderr, "error: input must end in .pla or .blif\n");
+      return 2;
+    }
+    if (!args.library.empty() || args.atpg || args.sweep) {
+      std::fprintf(stderr,
+                   "note: --lib/--atpg/--sweep run on the BDD engine only; ignored\n");
+    }
+
+    satdec::SatDecOptions opt;
+    opt.use_strong = args.flow.bidec.use_strong;
+    opt.use_exor = args.flow.bidec.use_exor;
+    opt.absorb_inverters = args.flow.bidec.absorb_inverters;
+    opt.grouping_pairs = args.flow.bidec.grouping_pairs;
+    opt.balance_cost = args.flow.bidec.balance_cost;
+    satdec::SatFlowResult res = is_pla ? satdec::synthesize_satdec(pla, opt)
+                                       : satdec::synthesize_satdec(original, opt);
+
+    bool verify_failed = false;
+    const auto report_failures = [&](const char* engine, const VerifyResult& v) {
+      if (v.ok) return;
+      verify_failed = true;
+      for (const std::size_t o : v.failed_outputs) {
+        const char* name = o < out_names.size() ? out_names[o].c_str() : "?";
+        std::fprintf(stderr, "VERIFICATION FAILED [%s] on output %zu (%s)\n",
+                     engine, o, name);
+      }
+    };
+    if (args.verify == VerifyEngine::kBdd || args.verify == VerifyEngine::kBoth) {
+      BddManager mgr(num_inputs);
+      std::vector<Isf> spec;
+      if (is_pla) {
+        spec = pla.to_isfs(mgr);
+      } else {
+        const std::vector<Bdd> funcs = netlist_to_bdds(mgr, original);
+        for (const Bdd& f : funcs) spec.push_back(Isf::from_csf(f));
+      }
+      report_failures("bdd", verify_against_isfs(mgr, res.netlist, spec));
+    }
+    if (args.verify == VerifyEngine::kSat || args.verify == VerifyEngine::kBoth) {
+      report_failures("sat", is_pla ? sat_verify_against_pla(res.netlist, pla)
+                                    : sat_verify_equivalent(res.netlist, original));
+    }
+    if (verify_failed) return kExitVerifyFailed;
+    if (args.flow.lint != LintMode::kOff) {
+      const LintReport lint = lint_netlist(res.netlist);
+      if (!lint.clean()) {
+        std::fputs(lint.to_text().c_str(), stderr);
+        std::fprintf(stderr, "lint: %zu error(s), %zu warning(s)\n",
+                     lint.errors(), lint.warnings());
+        if (args.flow.lint == LintMode::kError &&
+            lint.has_findings(LintSeverity::kWarning)) {
+          return kExitLintFailed;
+        }
+      }
+    }
+    const NetlistStats s = res.netlist.stats();
+    std::printf("synthesized (sat engine): %zu gates (%zu exors, %zu inverters), "
+                "area %.0f, %u levels, delay %.1f -- %s\n",
+                s.gates, s.exors, s.inverters, s.area, s.cascades, s.delay,
+                args.verify == VerifyEngine::kNone
+                    ? "not verified"
+                    : (std::string("verified OK (") + to_string(args.verify) + ")")
+                          .c_str());
+    if (args.stats) {
+      const satdec::SatDecStats& d = res.stats;
+      std::printf("formula=%llu tt=%llu grouping-queries=%llu core-freed=%llu "
+                  "solves=%llu materializations=%llu models=%llu "
+                  "strong(or/and/exor)=%llu/%llu/%llu weak(or/and)=%llu/%llu "
+                  "shannon=%llu conflicts=%llu propagations=%llu restarts=%llu\n",
+                  static_cast<unsigned long long>(d.formula_calls),
+                  static_cast<unsigned long long>(d.tt_calls),
+                  static_cast<unsigned long long>(d.grouping_queries),
+                  static_cast<unsigned long long>(d.core_freed_vars),
+                  static_cast<unsigned long long>(d.solves),
+                  static_cast<unsigned long long>(d.materializations),
+                  static_cast<unsigned long long>(d.enumerated_models),
+                  static_cast<unsigned long long>(d.strong_or),
+                  static_cast<unsigned long long>(d.strong_and),
+                  static_cast<unsigned long long>(d.strong_exor),
+                  static_cast<unsigned long long>(d.weak_or),
+                  static_cast<unsigned long long>(d.weak_and),
+                  static_cast<unsigned long long>(d.shannon_steps),
+                  static_cast<unsigned long long>(d.solver.conflicts),
+                  static_cast<unsigned long long>(d.solver.propagations),
+                  static_cast<unsigned long long>(d.solver.restarts));
+    }
+    if (!args.output_blif.empty()) {
+      save_blif(res.netlist, "bidecomp", args.output_blif);
+      std::printf("wrote %s\n", args.output_blif.c_str());
+    }
+    if (!args.output_dot.empty()) {
+      std::ofstream dot(args.output_dot);
+      dot << res.netlist.to_dot();
+      std::printf("wrote %s\n", args.output_dot.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,6 +342,15 @@ int main(int argc, char** argv) {
         return usage();
       }
       args.verify = *engine;
+    } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
+      const char* v = a == "--engine" ? next() : a.c_str() + std::strlen("--engine=");
+      if (!v) return usage();
+      const std::optional<EngineSelect> engine = parse_engine_select(v);
+      if (!engine) {
+        std::fprintf(stderr, "error: --engine expects bdd|sat|auto, got '%s'\n", v);
+        return usage();
+      }
+      args.flow.engine = *engine;
     } else if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
       const char* v = a == "--lint" ? next() : a.c_str() + std::strlen("--lint=");
       if (!v) return usage();
@@ -245,6 +392,7 @@ int main(int argc, char** argv) {
   }
   if (args.inputs.empty()) return usage();
   if (args.inputs.size() > 1) return run_batch(args);
+  if (args.flow.engine == EngineSelect::kSat) return run_single_sat(args);
   const std::string& input = args.inputs.front();
 
   try {

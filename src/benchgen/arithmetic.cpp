@@ -61,4 +61,110 @@ std::vector<Bdd> bdd_sub(BddManager& mgr, std::span<const Bdd> a, std::span<cons
   return diff;
 }
 
+std::vector<Bdd> bdd_mul(BddManager& mgr, std::span<const Bdd> a, std::span<const Bdd> b) {
+  std::vector<Bdd> prod(a.size() + b.size(), mgr.bdd_false());
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // prod += (a & b[j]) << j, ripple-carried into the accumulator.
+    Bdd carry = mgr.bdd_false();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Bdd pp = a[i] & b[j];
+      const Bdd s = prod[i + j] ^ pp;
+      const Bdd next_carry = (prod[i + j] & pp) | (carry & s);
+      prod[i + j] = s ^ carry;
+      carry = next_carry;
+    }
+    for (std::size_t k = a.size() + j; carry != mgr.bdd_false() && k < prod.size(); ++k) {
+      const Bdd s = prod[k];
+      prod[k] = s ^ carry;
+      carry = s & carry;
+    }
+  }
+  return prod;
+}
+
+namespace {
+
+/// a0,b0,a1,b1,... with the tail of the longer operand appended; returns the
+/// index each operand bit ends up at.
+void interleaved_layout(unsigned na, unsigned nb, std::vector<unsigned>& a_pos,
+                        std::vector<unsigned>& b_pos) {
+  a_pos.clear();
+  b_pos.clear();
+  unsigned next = 0;
+  for (unsigned i = 0; i < std::max(na, nb); ++i) {
+    if (i < na) a_pos.push_back(next++);
+    if (i < nb) b_pos.push_back(next++);
+  }
+}
+
+std::string numbered(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
+
+Netlist multiplier_netlist(unsigned na, unsigned nb) {
+  if (na == 0 || nb == 0) throw std::invalid_argument("multiplier_netlist: zero width");
+  std::vector<unsigned> a_pos;
+  std::vector<unsigned> b_pos;
+  interleaved_layout(na, nb, a_pos, b_pos);
+  Netlist net;
+  std::vector<SignalId> a(na);
+  std::vector<SignalId> b(nb);
+  // Create the PIs in interleaved order so input index == layout position.
+  for (unsigned pos = 0, i = 0, j = 0; pos < na + nb; ++pos) {
+    if (i < na && a_pos[i] == pos) {
+      a[i] = net.add_input(numbered("a", i));
+      ++i;
+    } else {
+      b[j] = net.add_input(numbered("b", j));
+      ++j;
+    }
+  }
+  std::vector<SignalId> acc(na + nb, net.get_const(false));
+  for (unsigned j = 0; j < nb; ++j) {
+    SignalId carry = net.get_const(false);
+    for (unsigned i = 0; i < na; ++i) {
+      const SignalId pp = net.add_and(a[i], b[j]);
+      const SignalId s = net.add_xor(acc[i + j], pp);
+      const SignalId next_carry =
+          net.add_or(net.add_and(acc[i + j], pp), net.add_and(carry, s));
+      acc[i + j] = net.add_xor(s, carry);
+      carry = next_carry;
+    }
+    for (unsigned k = na + j; k < na + nb; ++k) {
+      const SignalId s = acc[k];
+      acc[k] = net.add_xor(s, carry);
+      carry = net.add_and(s, carry);
+    }
+  }
+  for (unsigned k = 0; k < na + nb; ++k) net.add_output(numbered("p", k), acc[k]);
+  return net;
+}
+
+Benchmark multiplier_benchmark(unsigned na, unsigned nb) {
+  Benchmark bench;
+  bench.name = numbered("mul", na) + "x" + std::to_string(nb);
+  bench.num_inputs = na + nb;
+  bench.num_outputs = na + nb;
+  bench.note = "synthetic: array multiplier, interleaved inputs (BDD-hostile)";
+  bench.build = [na, nb](BddManager& mgr) {
+    std::vector<unsigned> a_pos;
+    std::vector<unsigned> b_pos;
+    interleaved_layout(na, nb, a_pos, b_pos);
+    std::vector<Bdd> a;
+    std::vector<Bdd> b;
+    for (unsigned i = 0; i < na; ++i) a.push_back(mgr.var(a_pos[i]));
+    for (unsigned j = 0; j < nb; ++j) b.push_back(mgr.var(b_pos[j]));
+    std::vector<Bdd> prod = bdd_mul(mgr, a, b);
+    std::vector<Isf> out;
+    out.reserve(prod.size());
+    for (Bdd& f : prod) out.push_back(Isf::from_csf(f));
+    return out;
+  };
+  return bench;
+}
+
 }  // namespace bidec

@@ -16,6 +16,7 @@
 
 #include "io/pla.h"
 #include "isf/isf.h"
+#include "netlist/netlist.h"
 
 namespace bidec {
 
@@ -65,6 +66,22 @@ struct Benchmark {
 /// a - b as two's complement over max(|a|,|b|)+1 bits; last bit = sign.
 [[nodiscard]] std::vector<Bdd> bdd_sub(BddManager& mgr, std::span<const Bdd> a,
                                        std::span<const Bdd> b);
+/// Shift-add product of two bit-vectors (LSB first), |a|+|b| result bits.
+[[nodiscard]] std::vector<Bdd> bdd_mul(BddManager& mgr, std::span<const Bdd> a,
+                                       std::span<const Bdd> b);
+
+/// Gate-level array multiplier (partial-product rows summed by ripple-carry
+/// adders). The primary inputs are created interleaved a0,b0,a1,b1,..., so a
+/// flow that materializes the netlist into BDDs in input order inherits the
+/// ordering under which multiplier middle bits are known to blow up; see
+/// ROADMAP.md "Escape the BDD ceiling". Outputs p0..p{na+nb-1}, LSB first.
+[[nodiscard]] Netlist multiplier_netlist(unsigned na, unsigned nb);
+
+/// Benchmark "mul<na>x<nb>": the same product as a functional BDD spec
+/// (bdd_mul over the interleaved variable layout of multiplier_netlist).
+/// Not part of the Table 2/3 suites — it exists as the BDD-hostile workload
+/// for the SAT engine benchmarks.
+[[nodiscard]] Benchmark multiplier_benchmark(unsigned na, unsigned nb);
 
 /// Seeded synthetic control-logic PLA (stand-in generator): `cubes` product
 /// terms over `inputs` variables with `min_lits..max_lits` literals each,

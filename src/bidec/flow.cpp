@@ -7,6 +7,22 @@
 
 namespace bidec {
 
+const char* to_string(EngineSelect engine) noexcept {
+  switch (engine) {
+    case EngineSelect::kBdd: return "bdd";
+    case EngineSelect::kSat: return "sat";
+    case EngineSelect::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<EngineSelect> parse_engine_select(std::string_view name) {
+  if (name == "bdd") return EngineSelect::kBdd;
+  if (name == "sat") return EngineSelect::kSat;
+  if (name == "auto") return EngineSelect::kAuto;
+  return std::nullopt;
+}
+
 namespace {
 /// Two statements: GCC 12's -Wrestrict misfires on `prefix +
 /// std::to_string(i)` once the string operator+ is inlined.

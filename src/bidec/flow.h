@@ -6,9 +6,11 @@
 #ifndef BIDEC_BIDEC_FLOW_H
 #define BIDEC_BIDEC_FLOW_H
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bidec/bidecomposer.h"
@@ -23,9 +25,28 @@ enum class OrderHeuristic {
   kSift,   ///< greedy position search (quadratic rebuilds, best quality)
 };
 
+/// Which reasoning engine synthesizes a job. synthesize_bidecomp itself is
+/// the BDD flow and ignores this field; the selection is applied one level
+/// up (batch engine, server, CLI), where the SAT path can skip BDD
+/// materialization entirely.
+enum class EngineSelect : std::uint8_t {
+  kBdd,   ///< the BDD flow below — the legacy default
+  kSat,   ///< the SAT engine (src/satdec): no BddManager on the synthesis path
+  kAuto,  ///< start on BDDs; fall over to the SAT rung of the degradation
+          ///< ladder when a node-budget/step/deadline trip degrades the job
+};
+
+[[nodiscard]] const char* to_string(EngineSelect engine) noexcept;
+/// Parse "bdd" | "sat" | "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<EngineSelect> parse_engine_select(std::string_view name);
+
 struct FlowOptions {
   BidecOptions bidec;
   OrderHeuristic reorder = OrderHeuristic::kNone;
+  /// Engine selection for the flow's driver (see EngineSelect). Carried in
+  /// FlowOptions so one options object travels through JobSpec/server
+  /// protocol; the bdd-only entry point below does not read it.
+  EngineSelect engine = EngineSelect::kBdd;
   /// Map onto this library after decomposition (absorbing inverters first).
   std::optional<CellLibrary> library;
   /// kOff skips linting entirely; kWarn/kError run the structural netlist

@@ -1,5 +1,6 @@
 #include "bidec/sat_check.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -15,9 +16,36 @@ using sat::Var;
 
 /// Q(x) & R(x') & R(x'') with x' free over xa, x'' free over xb, both tied
 /// to x elsewhere. Decomposable iff UNSAT.
+bool in_set(std::span<const unsigned> set, unsigned v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
 bool or_decomposable_two_copy(const Bdd& q, const Bdd& r, unsigned num_vars,
                               std::span<const unsigned> xa,
                               std::span<const unsigned> xb) {
+  // Degenerate inputs decide Theorem 1 without building the two-copy
+  // encoding. An empty Q or R kills the product outright; once both are
+  // nonzero, Q & exists_{X_A} R & exists_{X_B} R contains Q & R, so a
+  // constant-true side can only fail.
+  if (q.is_false() || r.is_false()) return true;
+  if (q.is_true() || r.is_true()) return false;
+  // Support inside a single variable: evaluate the condition at v=0 and
+  // v=1 from the four cofactor values.
+  if (const std::vector<unsigned> sup = q.manager()->support_vars(q, r);
+      sup.size() == 1) {
+    const unsigned v = sup.front();
+    const bool exists_a = in_set(xa, v);
+    const bool exists_b = in_set(xb, v);
+    BddManager& mgr = *q.manager();
+    for (const bool val : {false, true}) {
+      const bool qv = mgr.cofactor(q, v, val).is_true();
+      const bool rv = mgr.cofactor(r, v, val).is_true();
+      const bool ra = exists_a || rv;  // r nonzero, so exists_v r == 1
+      const bool rb = exists_b || rv;
+      if (qv && ra && rb) return false;
+    }
+    return true;
+  }
   Solver solver;
   TseitinEncoder enc(solver);
   const std::vector<Var> x = enc.add_vars(num_vars);

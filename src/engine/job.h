@@ -14,6 +14,7 @@
 #include "bidec/flow.h"
 #include "io/pla.h"
 #include "netlist/netlist.h"
+#include "satdec/options.h"
 #include "verify/verifier.h"
 
 namespace bidec {
@@ -38,6 +39,9 @@ enum class DegradeRung : std::uint8_t {
   kFull,           ///< the job's submitted flow options, unchanged
   kCheapGrouping,  ///< no reordering, single grouping pair, no regrouping
   kWeakOnly,       ///< additionally skip the strong-grouping search
+  kSatRescue,      ///< the SAT engine (src/satdec): abandons the BDD substrate
+                   ///< entirely, so a node-budget trip cannot repeat. Only on
+                   ///< the ladder when FlowOptions::engine is kSat or kAuto.
   kShannon,        ///< forced Shannon cofactoring: the guaranteed terminal rung
 };
 
@@ -115,6 +119,9 @@ struct JobReport {
   VerifyEngine verify_engine = VerifyEngine::kNone;
   int bdd_verdict = -1;
   int sat_verdict = -1;
+  /// CDCL counters of the SAT verifier's private solver (zero unless the
+  /// SAT verifier ran). Deterministic, so present in the stable JSON too.
+  sat::SolverStats verify_solver;
   /// Output indices rejected by at least one engine that ran.
   std::vector<std::size_t> failed_outputs;
 
@@ -137,6 +144,13 @@ struct JobReport {
 
   // Decomposition call counters (empty unless the flow ran to completion).
   BidecStats bidec;
+
+  /// True when the result came out of the SAT engine (FlowOptions::engine
+  /// kSat, or a kSatRescue rung of the auto ladder). The satdec counters
+  /// below are then valid; they are deterministic (no randomness, private
+  /// solvers), so to_stable_json includes them.
+  bool sat_engine = false;
+  satdec::SatDecStats satdec;
 
   // Gate counts by type of the produced netlist.
   /// Structural lint findings (empty unless JobSpec::flow.lint ran).

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "io/blif.h"
+#include "satdec/decomposer.h"
 #include "verify/sat_verifier.h"
 #include "verify/verifier.h"
 
@@ -135,13 +136,29 @@ MaterializedSpec materialize(BddManager& mgr, const PlaFile& pla,
 /// (plain backoff). With `degrade`, retries walk down the ladder and the
 /// final attempt is always the Shannon rung, so a degrading job's last try
 /// is the one that provably terminates.
-DegradeRung rung_for_attempt(unsigned a, unsigned attempts, bool degrade) {
+///
+/// Engine selection bends the ladder without reordering it:
+///  * kSat runs the SAT engine as the submitted flow (kFull and every plain
+///    retry), keeping only the Shannon rung as the BDD-based terminal.
+///  * kAuto inserts the SAT rung directly ahead of the Shannon fallback —
+///    and guarantees it a slot as the second-to-last attempt even when the
+///    retry count is too small to reach it by walking rung-per-attempt,
+///    because that rung is the one a node-budget trip cannot follow the job
+///    onto (there is no BDD manager to cap).
+DegradeRung rung_for_attempt(unsigned a, unsigned attempts, bool degrade,
+                             EngineSelect engine) {
   if (a == 0 || !degrade) return DegradeRung::kFull;
   if (a + 1 == attempts) return DegradeRung::kShannon;
+  if (engine == EngineSelect::kSat) return DegradeRung::kSatRescue;
+  if (engine == EngineSelect::kAuto && a + 2 == attempts) {
+    return DegradeRung::kSatRescue;
+  }
   switch (a) {
     case 1: return DegradeRung::kCheapGrouping;
     case 2: return DegradeRung::kWeakOnly;
-    default: return DegradeRung::kShannon;
+    default:
+      return engine == EngineSelect::kAuto ? DegradeRung::kSatRescue
+                                           : DegradeRung::kShannon;
   }
 }
 
@@ -157,6 +174,7 @@ FlowOptions flow_for_rung(const FlowOptions& base, DegradeRung rung) {
   if (rung != DegradeRung::kFull) flow.bidec.shared_cache = nullptr;
   switch (rung) {
     case DegradeRung::kFull: break;
+    case DegradeRung::kSatRescue: break;  // runs src/satdec, not this flow
     case DegradeRung::kShannon:
       flow.bidec.force_shannon = true;
       [[fallthrough]];
@@ -170,6 +188,27 @@ FlowOptions flow_for_rung(const FlowOptions& base, DegradeRung rung) {
       break;
   }
   return flow;
+}
+
+/// SAT-engine options for one attempt: the quality knobs mirror the
+/// submitted BidecOptions; the attempt's step budget is reinterpreted as a
+/// total CDCL conflict budget (both count "units of reasoning work" and
+/// back off exponentially across retries) and the deadline carries over
+/// unchanged. The node budget deliberately does not apply — there is no
+/// BDD manager on this path, which is the whole point of the rung.
+satdec::SatDecOptions satdec_options_for(const FlowOptions& flow,
+                                         const DegradeStep& step) {
+  satdec::SatDecOptions o;
+  o.grouping_pairs = flow.bidec.grouping_pairs;
+  o.balance_cost = flow.bidec.balance_cost;
+  o.use_strong = flow.bidec.use_strong;
+  o.use_exor = flow.bidec.use_exor;
+  o.absorb_inverters = flow.bidec.absorb_inverters;
+  o.total_conflict_budget = step.step_budget;
+  if (step.timeout_ms != 0) {
+    o.deadline = Clock::now() + std::chrono::milliseconds(step.timeout_ms);
+  }
+  return o;
 }
 
 /// Exponential backoff in work: attempt `a` runs under the base budget
@@ -186,6 +225,88 @@ std::uint32_t backoff_timeout(std::uint32_t base, unsigned a) {
                                << std::min(a, 16u);
   return static_cast<std::uint32_t>(
       std::min<std::uint64_t>(scaled, 0xffffffffu));
+}
+
+/// Runs the engines requested by `spec.verify` over `net` and records the
+/// verdicts (and the failure status/message) in `rep`. `mgr`/`isfs` back
+/// the BDD leg and must be valid when that leg is requested; the SAT leg
+/// always checks against the raw job source.
+void apply_verification(const JobSpec& spec, JobReport& rep, const Netlist& net,
+                        BddManager* mgr, std::span<const Isf> isfs,
+                        const PlaFile& pla, const Netlist& blif, bool is_pla) {
+  if (spec.verify == VerifyEngine::kNone) return;
+  DualVerifyResult v;
+  if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
+    v.bdd_ran = true;
+    v.bdd = verify_against_isfs(*mgr, net, isfs);
+    rep.bdd_verdict = v.bdd.ok ? 1 : 0;
+  }
+  if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
+    // The SAT engine checks against the *source* (cover rows or the
+    // original BLIF network), not the materialized BDDs, so it shares
+    // no reasoning with the synthesis substrate — degraded results
+    // included.
+    v.sat_ran = true;
+    v.sat = is_pla ? sat_verify_against_pla(net, pla, &rep.verify_solver)
+                   : sat_verify_equivalent(net, blif, &rep.verify_solver);
+    rep.sat_verdict = v.sat.ok ? 1 : 0;
+  }
+  rep.verify_engine = spec.verify;
+  rep.failed_outputs = v.bdd.failed_outputs;
+  for (const std::size_t o : v.sat.failed_outputs) {
+    if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
+        rep.failed_outputs.end()) {
+      rep.failed_outputs.push_back(o);
+    }
+  }
+  std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
+  if (!v.agree()) {
+    rep.status = JobStatus::kVerifyFailed;
+    rep.error = "verification engines disagree (bdd says " +
+                std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
+                std::string(v.sat.ok ? "pass" : "fail") +
+                "): engine bug, not a netlist property";
+  } else if (!v.ok()) {
+    rep.status = JobStatus::kVerifyFailed;
+    std::string which = v.bdd_ran && !v.bdd.ok
+                            ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
+                            : "sat";
+    rep.error = "output " +
+                std::to_string(rep.failed_outputs.empty()
+                                   ? std::size_t{0}
+                                   : rep.failed_outputs.front()) +
+                " incompatible with its specification (engine: " + which +
+                ", " + std::to_string(rep.failed_outputs.size()) +
+                " failing output(s))";
+  }
+}
+
+/// Shared success tail of an attempt: the lint gate, the degraded-status
+/// marking, and the netlist metrics.
+void finalize_success(const JobSpec& spec, JobReport& rep, DegradeRung rung,
+                      Netlist&& net, JobResult& result) {
+  if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
+      rep.lint.has_findings(LintSeverity::kWarning)) {
+    rep.status = JobStatus::kLintFailed;
+    rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
+                " error(s), " + std::to_string(rep.lint.warnings()) +
+                " warning(s); first: " + rep.lint.findings().front().rule +
+                " " + rep.lint.findings().front().message;
+  }
+  // A result produced below the submitted rung is degraded, not ok — it is
+  // correct (the requested verifiers just ran on it) but cheaper-shaped.
+  if (rung != DegradeRung::kFull && rep.status == JobStatus::kOk) {
+    rep.status = JobStatus::kDegraded;
+  }
+  const NetlistStats ns = net.stats();
+  rep.gates = ns.gates;
+  rep.two_input = ns.two_input;
+  rep.exors = ns.exors;
+  rep.inverters = ns.inverters;
+  rep.levels = ns.cascades;
+  rep.area = ns.area;
+  rep.delay = ns.delay;
+  result.netlist = std::move(net);
 }
 
 }  // namespace
@@ -215,19 +336,60 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
   BddManager* mgr = nullptr;
 
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-    const DegradeRung rung = rung_for_attempt(attempt, attempts, spec.degrade);
+    const DegradeRung rung =
+        rung_for_attempt(attempt, attempts, spec.degrade, spec.flow.engine);
     DegradeStep step;
     step.rung = rung;
     step.step_budget = backoff_steps(spec.step_budget, attempt);
     step.timeout_ms = backoff_timeout(spec.timeout_ms, attempt);
     rep.attempts = attempt + 1;
     const bool last_attempt = attempt + 1 == attempts;
+    // The SAT engine runs the kSatRescue rung, and — when it IS the
+    // submitted engine — the kFull rung (including plain-backoff retries).
+    const bool sat_attempt =
+        rung == DegradeRung::kSatRescue ||
+        (spec.flow.engine == EngineSelect::kSat && rung != DegradeRung::kShannon);
 
     try {
       PlaFile pla;
       Netlist blif;
       bool is_pla = false;
       const unsigned num_vars = source_num_inputs(spec, pla, blif, is_pla);
+
+      if (sat_attempt) {
+        // No BddManager anywhere on this synthesis path: budgets map onto
+        // the solver (conflicts + deadline) and the node budget is moot.
+        satdec::SatFlowResult sat =
+            is_pla ? satdec::synthesize_satdec(pla, satdec_options_for(spec.flow, step))
+                   : satdec::synthesize_satdec(blif, satdec_options_for(spec.flow, step));
+        rep.num_inputs = num_vars;
+        rep.num_outputs = static_cast<unsigned>(
+            is_pla ? pla.num_outputs : blif.num_outputs());
+        rep.status = JobStatus::kOk;
+        rep.error.clear();
+        if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
+          // The BDD leg needs the spec as BDDs after all — but only for the
+          // check, so the materialization runs without budgets (a job whose
+          // spec genuinely cannot be built should request --verify=sat).
+          mgr = &managers.manager_for(num_vars, fresh);
+          MaterializedSpec m = materialize(*mgr, pla, blif, is_pla);
+          apply_verification(spec, rep, sat.netlist, mgr, m.isfs, pla, blif, is_pla);
+        } else {
+          apply_verification(spec, rep, sat.netlist, nullptr, {}, pla, blif, is_pla);
+        }
+        if (spec.flow.lint != LintMode::kOff) {
+          rep.lint = lint_netlist(sat.netlist);
+        }
+        rep.sat_engine = true;
+        rep.satdec = sat.stats;
+        finalize_success(spec, rep, rung, std::move(sat.netlist), result);
+        step.outcome = "ok";
+        step.success = true;
+        if (attempt != 0 || !rep.degradation.empty()) {
+          rep.degradation.push_back(std::move(step));
+        }
+        break;
+      }
 
       mgr = &managers.manager_for(num_vars, fresh);
       if (step.step_budget != 0) mgr->set_step_budget(step.step_budget);
@@ -253,76 +415,10 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
                                               flow_for_rung(spec.flow, rung));
         rep.status = JobStatus::kOk;
         rep.error.clear();
-        if (spec.verify != VerifyEngine::kNone) {
-          DualVerifyResult v;
-          if (spec.verify == VerifyEngine::kBdd || spec.verify == VerifyEngine::kBoth) {
-            v.bdd_ran = true;
-            v.bdd = verify_against_isfs(*mgr, flow.netlist, m.isfs);
-            rep.bdd_verdict = v.bdd.ok ? 1 : 0;
-          }
-          if (spec.verify == VerifyEngine::kSat || spec.verify == VerifyEngine::kBoth) {
-            // The SAT engine checks against the *source* (cover rows or the
-            // original BLIF network), not the materialized BDDs, so it shares
-            // no reasoning with the synthesis substrate — degraded results
-            // included.
-            v.sat_ran = true;
-            v.sat = is_pla ? sat_verify_against_pla(flow.netlist, pla)
-                           : sat_verify_equivalent(flow.netlist, blif);
-            rep.sat_verdict = v.sat.ok ? 1 : 0;
-          }
-          rep.verify_engine = spec.verify;
-          rep.failed_outputs = v.bdd.failed_outputs;
-          for (const std::size_t o : v.sat.failed_outputs) {
-            if (std::find(rep.failed_outputs.begin(), rep.failed_outputs.end(), o) ==
-                rep.failed_outputs.end()) {
-              rep.failed_outputs.push_back(o);
-            }
-          }
-          std::sort(rep.failed_outputs.begin(), rep.failed_outputs.end());
-          if (!v.agree()) {
-            rep.status = JobStatus::kVerifyFailed;
-            rep.error = "verification engines disagree (bdd says " +
-                        std::string(v.bdd.ok ? "pass" : "fail") + ", sat says " +
-                        std::string(v.sat.ok ? "pass" : "fail") +
-                        "): engine bug, not a netlist property";
-          } else if (!v.ok()) {
-            rep.status = JobStatus::kVerifyFailed;
-            std::string which = v.bdd_ran && !v.bdd.ok
-                                    ? (v.sat_ran && !v.sat.ok ? "bdd+sat" : "bdd")
-                                    : "sat";
-            rep.error = "output " +
-                        std::to_string(rep.failed_outputs.empty()
-                                           ? std::size_t{0}
-                                           : rep.failed_outputs.front()) +
-                        " incompatible with its specification (engine: " + which +
-                        ", " + std::to_string(rep.failed_outputs.size()) +
-                        " failing output(s))";
-          }
-        }
+        apply_verification(spec, rep, flow.netlist, mgr, m.isfs, pla, blif, is_pla);
         rep.bidec = flow.stats;
         rep.lint = flow.lint;
-        if (spec.flow.lint == LintMode::kError && rep.status == JobStatus::kOk &&
-            rep.lint.has_findings(LintSeverity::kWarning)) {
-          rep.status = JobStatus::kLintFailed;
-          rep.error = "lint gate: " + std::to_string(rep.lint.errors()) +
-                      " error(s), " + std::to_string(rep.lint.warnings()) +
-                      " warning(s); first: " + rep.lint.findings().front().rule +
-                      " " + rep.lint.findings().front().message;
-        }
-        // A result produced below the submitted rung is degraded, not ok —
-        // it is correct (both verifiers just ran on it) but cheaper-shaped.
-        if (rung != DegradeRung::kFull && rep.status == JobStatus::kOk) {
-          rep.status = JobStatus::kDegraded;
-        }
-        const NetlistStats ns = flow.netlist.stats();
-        rep.gates = ns.gates;
-        rep.two_input = ns.two_input;
-        rep.exors = ns.exors;
-        rep.inverters = ns.inverters;
-        rep.levels = ns.cascades;
-        rep.area = ns.area;
-        rep.delay = ns.delay;
-        result.netlist = std::move(flow.netlist);
+        finalize_success(spec, rep, rung, std::move(flow.netlist), result);
       }
       step.outcome = "ok";
       step.success = true;

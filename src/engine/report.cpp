@@ -24,6 +24,7 @@ const char* to_string(DegradeRung rung) noexcept {
     case DegradeRung::kFull: return "full";
     case DegradeRung::kCheapGrouping: return "cheap_grouping";
     case DegradeRung::kWeakOnly: return "weak_only";
+    case DegradeRung::kSatRescue: return "sat";
     case DegradeRung::kShannon: return "shannon";
   }
   return "unknown";
@@ -121,6 +122,34 @@ void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
        << ", \"cache_hits\": " << rep.bidec.cache_hits
        << ", \"terminal_cases\": " << rep.bidec.terminal_cases << "}";
   }
+  // SAT-engine counters, present only when the SAT path produced the result
+  // — jobs that never ran it keep their JSON byte-identical to before the
+  // engine existed (the golden corpus pins that). Every counter here is
+  // deterministic (see SatDecStats), so the stable form keeps the block.
+  if (rep.sat_engine) {
+    const satdec::SatDecStats& sd = rep.satdec;
+    os << ", \"sat_engine\": {\"formula_calls\": " << sd.formula_calls
+       << ", \"tt_calls\": " << sd.tt_calls
+       << ", \"grouping_queries\": " << sd.grouping_queries
+       << ", \"core_freed_vars\": " << sd.core_freed_vars
+       << ", \"solves\": " << sd.solves
+       << ", \"materializations\": " << sd.materializations
+       << ", \"enumerated_models\": " << sd.enumerated_models
+       << ", \"expansions_capped\": " << sd.expansions_capped
+       << ", \"strong_or\": " << sd.strong_or
+       << ", \"strong_and\": " << sd.strong_and
+       << ", \"strong_exor\": " << sd.strong_exor
+       << ", \"weak_or\": " << sd.weak_or << ", \"weak_and\": " << sd.weak_and
+       << ", \"shannon_steps\": " << sd.shannon_steps
+       << ", \"terminal_cases\": " << sd.terminal_cases
+       << ", \"memo_hits\": " << sd.memo_hits
+       << ", \"solver\": {\"conflicts\": " << sd.solver.conflicts
+       << ", \"decisions\": " << sd.solver.decisions
+       << ", \"propagations\": " << sd.solver.propagations
+       << ", \"restarts\": " << sd.solver.restarts
+       << ", \"learned\": " << sd.solver.learned
+       << ", \"deleted_learned\": " << sd.solver.deleted_learned << "}}";
+  }
   os << ", \"netlist\": {\"gates\": " << rep.gates
      << ", \"two_input\": " << rep.two_input << ", \"exors\": " << rep.exors
      << ", \"inverters\": " << rep.inverters << ", \"levels\": " << rep.levels
@@ -136,7 +165,18 @@ void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
     if (i != 0) os << ", ";
     os << rep.failed_outputs[i];
   }
-  os << "]}";
+  os << "]";
+  // Solver counters of the SAT verifier (satellite: SolverStats surfacing).
+  // Gated on the verifier actually having run so SAT-free reports keep
+  // their exact prior bytes.
+  if (rep.sat_verdict != -1) {
+    os << ", \"solver\": {\"conflicts\": " << rep.verify_solver.conflicts
+       << ", \"decisions\": " << rep.verify_solver.decisions
+       << ", \"propagations\": " << rep.verify_solver.propagations
+       << ", \"restarts\": " << rep.verify_solver.restarts
+       << ", \"learned\": " << rep.verify_solver.learned << "}";
+  }
+  os << "}";
   if (!rep.lint.clean()) {
     os << ", \"lint\": " << rep.lint.to_json();
   }

@@ -295,8 +295,11 @@ bool Solver::literal_redundant(Lit l) const {
 // Compute the subset of assumptions sufficient for the conflict on `p`
 // (p is an assumption found false under the earlier assumptions).
 void Solver::analyze_final(Lit p) {
+  // `p` is the negation of the failed assumption; conflict_ reports failed
+  // assumptions in as-assumed form throughout (see the header contract),
+  // so store ~p here and the raw trail decisions below.
   conflict_.clear();
-  conflict_.push_back(p);
+  conflict_.push_back(~p);
   if (decision_level() == 0) return;
 
   seen_[p.var()] = 1;
@@ -469,10 +472,17 @@ void Solver::heap_insert(Var v) {
 Var Solver::heap_pop() {
   const Var top = heap_[0];
   heap_pos_[top] = -1;
-  heap_[0] = heap_.back();
-  heap_pos_[heap_[0]] = 0;
+  const Var last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) heap_sift_down(0);
+  // Guard the singleton case: moving `last` into slot 0 when it IS `top`
+  // would resurrect heap_pos_[top] and make the var look heap-resident
+  // forever, so cancel_until would never re-insert it and the search could
+  // declare SAT with the var unassigned.
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    heap_sift_down(0);
+  }
   return top;
 }
 

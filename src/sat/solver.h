@@ -56,6 +56,19 @@ class Solver {
     std::uint64_t restarts = 0;
     std::uint64_t learned = 0;        ///< learned clauses ever added
     std::uint64_t deleted_learned = 0;  ///< removed by database reduction
+
+    /// Fold another solver's counters into this one. Engine code creates
+    /// many short-lived solvers (one per query/orientation); reports want
+    /// the per-job aggregate.
+    Stats& operator+=(const Stats& o) noexcept {
+      conflicts += o.conflicts;
+      decisions += o.decisions;
+      propagations += o.propagations;
+      restarts += o.restarts;
+      learned += o.learned;
+      deleted_learned += o.deleted_learned;
+      return *this;
+    }
   };
 
   Solver();
@@ -204,6 +217,10 @@ class Solver {
 
   Stats stats_;
 };
+
+/// Public aggregate name for solver counters, used wherever they leave the
+/// SAT layer (JobReport JSON, SatDecStats, verifier out-params).
+using SolverStats = Solver::Stats;
 
 }  // namespace bidec::sat
 

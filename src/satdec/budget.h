@@ -1,0 +1,110 @@
+// Resource accounting shared by every CDCL solver the SAT decomposition
+// engine creates. One Budget per synthesize run enforces the global conflict
+// ceiling and the wall-clock deadline; each query site wraps its private
+// Solver in a BudgetedSolver so every solve() is charged, folded into
+// SatDecStats, and aborted uniformly via SatDecAbortError.
+#ifndef BIDEC_SATDEC_BUDGET_H
+#define BIDEC_SATDEC_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sat/solver.h"
+#include "sat/tseitin.h"
+#include "satdec/options.h"
+#include "satdec/sat_func.h"
+
+namespace bidec::satdec {
+
+class Budget {
+ public:
+  Budget(const SatDecOptions& opt, SatDecStats& stats)
+      : opt_(opt), stats_(stats) {}
+
+  void check_deadline() const {
+    if (opt_.deadline && std::chrono::steady_clock::now() > *opt_.deadline) {
+      throw SatDecAbortError("satdec: deadline exceeded");
+    }
+  }
+
+  /// Conflicts the next solve may still spend; nullopt = unlimited.
+  [[nodiscard]] std::optional<std::uint64_t> remaining_conflicts() const {
+    if (opt_.total_conflict_budget == 0) return std::nullopt;
+    return opt_.total_conflict_budget > used_
+               ? opt_.total_conflict_budget - used_
+               : 0;
+  }
+
+  void charge(std::uint64_t conflicts) {
+    used_ += conflicts;
+    if (opt_.total_conflict_budget != 0 && used_ > opt_.total_conflict_budget) {
+      throw SatDecAbortError("satdec: conflict budget exhausted");
+    }
+  }
+
+  [[nodiscard]] SatDecStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const SatDecOptions& options() const noexcept { return opt_; }
+
+ private:
+  const SatDecOptions& opt_;
+  SatDecStats& stats_;
+  std::uint64_t used_ = 0;
+};
+
+/// A private CDCL solver plus its encoders, with budget-enforced solving.
+class BudgetedSolver {
+ public:
+  explicit BudgetedSolver(Budget& budget)
+      : budget_(budget),
+        enc_(solver_),
+        funcs_(enc_, budget.options(), budget.stats()) {}
+
+  [[nodiscard]] sat::Solver& solver() noexcept { return solver_; }
+  [[nodiscard]] sat::TseitinEncoder& encoder() noexcept { return enc_; }
+  [[nodiscard]] FuncEncoder& funcs() noexcept { return funcs_; }
+
+  /// solve() with the remaining global conflict budget applied as this
+  /// call's cap; never returns kUnknown (a budget trip throws).
+  [[nodiscard]] sat::Solver::Result solve(
+      std::span<const sat::Lit> assumptions) {
+    budget_.check_deadline();
+    const auto remaining = budget_.remaining_conflicts();
+    if (remaining && *remaining == 0) {
+      throw SatDecAbortError("satdec: conflict budget exhausted");
+    }
+    solver_.set_conflict_budget(remaining ? *remaining : 0);
+    const sat::SolverStats before = solver_.stats();
+    const sat::Solver::Result res = solver_.solve(assumptions);
+    sat::SolverStats delta = solver_.stats();
+    delta.conflicts -= before.conflicts;
+    delta.decisions -= before.decisions;
+    delta.propagations -= before.propagations;
+    delta.restarts -= before.restarts;
+    delta.learned -= before.learned;
+    delta.deleted_learned -= before.deleted_learned;
+    budget_.stats().solver += delta;
+    ++budget_.stats().solves;
+    budget_.charge(delta.conflicts);
+    if (res == sat::Solver::Result::kUnknown) {
+      throw SatDecAbortError("satdec: conflict budget exhausted");
+    }
+    return res;
+  }
+  [[nodiscard]] sat::Solver::Result solve(
+      std::initializer_list<sat::Lit> assumptions) {
+    return solve(std::span<const sat::Lit>(assumptions.begin(),
+                                           assumptions.size()));
+  }
+
+ private:
+  Budget& budget_;
+  sat::Solver solver_;
+  sat::TseitinEncoder enc_;
+  FuncEncoder funcs_;
+};
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_BUDGET_H

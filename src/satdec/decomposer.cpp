@@ -1,0 +1,565 @@
+#include "satdec/decomposer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace bidec::satdec {
+
+namespace {
+
+std::string default_name(const char* prefix, std::size_t i) {
+  std::string s = prefix;
+  s += std::to_string(i);
+  return s;
+}
+
+std::vector<unsigned> mask_vars(std::uint64_t mask) {
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < kMaxSatDecVars; ++v) {
+    if (mask & (std::uint64_t{1} << v)) vars.push_back(v);
+  }
+  return vars;
+}
+
+}  // namespace
+
+SatDecomposer::SatDecomposer(unsigned num_inputs,
+                             std::vector<std::string> input_names,
+                             SatDecOptions options)
+    : options_(std::move(options)), budget_(options_, stats_) {
+  if (num_inputs > kMaxSatDecVars) {
+    throw std::runtime_error("satdec: more than 64 inputs is unsupported");
+  }
+  options_.tt_threshold = std::clamp(options_.tt_threshold, 2u, 16u);
+  var_signal_.reserve(num_inputs);
+  for (unsigned v = 0; v < num_inputs; ++v) {
+    std::string name =
+        v < input_names.size() ? input_names[v] : default_name("x", v);
+    var_signal_.push_back(net_.add_input(std::move(name)));
+  }
+}
+
+SignalId SatDecomposer::add_output(const std::string& name, FuncPtr q,
+                                   FuncPtr r) {
+  const FormulaResult res =
+      decompose_formula(q, r, 0, options_.weak_budget);
+  net_.add_output(name, res.signal);
+  return res.signal;
+}
+
+void SatDecomposer::finish() {
+  if (options_.absorb_inverters) net_.absorb_inverters();
+}
+
+// ---------------------------------------------------------------------------
+// Formula level
+// ---------------------------------------------------------------------------
+
+bool SatDecomposer::unsatisfiable(const FuncPtr& f) {
+  if (f->kind == FuncKind::kConst) return !f->value;
+  BudgetedSolver bs(budget_);
+  const std::vector<sat::Lit> frame =
+      bs.funcs().fresh_frame(static_cast<unsigned>(var_signal_.size()));
+  const sat::Lit lit = bs.funcs().encode(f, frame, Polarity::kPos);
+  return bs.solve({lit}) == sat::Solver::Result::kUnsat;
+}
+
+bool SatDecomposer::usefulness_sat(const FuncPtr& care, const FuncPtr& shadow) {
+  BudgetedSolver bs(budget_);
+  const std::vector<sat::Lit> frame =
+      bs.funcs().fresh_frame(static_cast<unsigned>(var_signal_.size()));
+  const sat::Lit care_lit = bs.funcs().encode(care, frame, Polarity::kPos);
+  const sat::Lit shadow_lit = bs.funcs().encode(shadow, frame, Polarity::kNeg);
+  return bs.solve({care_lit, ~shadow_lit}) == sat::Solver::Result::kSat;
+}
+
+SatDecomposer::FormulaResult SatDecomposer::decompose_formula(
+    const FuncPtr& q, const FuncPtr& r, unsigned depth, unsigned weak_left) {
+  ++stats_.formula_calls;
+  if (depth > options_.max_depth) {
+    throw SatDecAbortError("satdec: recursion depth exceeded");
+  }
+  budget_.check_deadline();
+
+  const std::vector<unsigned> vars = mask_vars(q->support | r->support);
+  if (vars.size() <= options_.tt_threshold) {
+    const TtIsf t = materialize(q, r, vars);
+    return FormulaResult{decompose_tt(t).signal};
+  }
+
+  // Constant-compatible intervals (an empty on- or off-set can surface from
+  // the B-side derivations long before the support shrinks).
+  if (unsatisfiable(q)) return FormulaResult{net_.get_const(false)};
+  if (unsatisfiable(r)) return FormulaResult{net_.get_const(true)};
+
+  if (options_.use_strong) {
+    std::optional<SatBestGrouping> best;
+    try {
+      best = sat_find_best_grouping(
+          q, r, static_cast<unsigned>(var_signal_.size()), vars, budget_);
+    } catch (const ExpansionCappedError&) {
+      // Derived intervals keep existentials in positive positions, so this
+      // is not expected; treat it as "no strong grouping found".
+      best = std::nullopt;
+    }
+    if (best) return strong_formula(q, r, *best, depth);
+  }
+
+  FormulaResult weak;
+  if (try_weak_formula(q, r, vars, depth, weak_left, weak)) return weak;
+
+  return shannon_formula(q, r, vars.front(), depth);
+}
+
+SatDecomposer::FormulaResult SatDecomposer::strong_formula(
+    const FuncPtr& q, const FuncPtr& r, const SatBestGrouping& best,
+    unsigned depth) {
+  const std::uint64_t am = mask_of(best.grouping.xa);
+  const std::uint64_t bm = mask_of(best.grouping.xb);
+
+  if (best.gate == DecGate::kOr) {
+    ++stats_.strong_or;
+    // Theorem 3: A = (Ex_XB (Q & Ex_XA R), Ex_XB R).
+    const FuncPtr qa = f_exists(f_and(q, f_exists(r, am)), bm);
+    const FuncPtr ra = f_exists(r, bm);
+    const FormulaResult a =
+        decompose_formula(qa, ra, depth + 1, options_.weak_budget);
+    // Theorem 4 with the realized component: B = (Ex_XA (Q - fa), Ex_XA R).
+    const FuncPtr fa = f_cone(net_, a.signal);
+    const FuncPtr qb = f_exists(f_and(q, f_not(fa)), am);
+    const FuncPtr rb = f_exists(r, am);
+    const FormulaResult b =
+        decompose_formula(qb, rb, depth + 1, options_.weak_budget);
+    return FormulaResult{net_.add_or(a.signal, b.signal)};
+  }
+
+  ++stats_.strong_and;
+  // AND duals (interval complementation of the OR formulas).
+  const FuncPtr qa = f_exists(q, bm);
+  const FuncPtr ra = f_exists(f_and(r, f_exists(q, am)), bm);
+  const FormulaResult a =
+      decompose_formula(qa, ra, depth + 1, options_.weak_budget);
+  const FuncPtr fa = f_cone(net_, a.signal);
+  const FuncPtr qb = f_exists(q, am);
+  const FuncPtr rb = f_exists(f_and(r, fa), am);
+  const FormulaResult b =
+      decompose_formula(qb, rb, depth + 1, options_.weak_budget);
+  return FormulaResult{net_.add_and(a.signal, b.signal)};
+}
+
+bool SatDecomposer::try_weak_formula(const FuncPtr& q, const FuncPtr& r,
+                                     const std::vector<unsigned>& vars,
+                                     unsigned depth, unsigned weak_left,
+                                     FormulaResult& out) {
+  if (weak_left == 0) return false;
+  for (const unsigned v : vars) {
+    const std::uint64_t vbit = std::uint64_t{1} << v;
+    // Ex_v over a singleton is the two-cofactor disjunction — no quantifier
+    // node needed, so the negative-polarity query below never expands more
+    // than the nested existentials already inside q/r.
+    const FuncPtr er =
+        f_or(f_cofactor(r, v, false), f_cofactor(r, v, true));
+    bool or_useful = false;
+    try {
+      or_useful = usefulness_sat(q, er);
+    } catch (const ExpansionCappedError&) {
+    }
+    if (or_useful) {
+      ++stats_.weak_or;
+      // Weak OR (Table 1): A = (Q & Ex_XA R, R); B as in the strong case.
+      const FormulaResult a =
+          decompose_formula(f_and(q, er), r, depth + 1, weak_left - 1);
+      const FuncPtr fa = f_cone(net_, a.signal);
+      const FuncPtr qb = f_exists(f_and(q, f_not(fa)), vbit);
+      const FuncPtr rb = f_exists(r, vbit);
+      const FormulaResult b =
+          decompose_formula(qb, rb, depth + 1, options_.weak_budget);
+      out = FormulaResult{net_.add_or(a.signal, b.signal)};
+      return true;
+    }
+
+    const FuncPtr eq =
+        f_or(f_cofactor(q, v, false), f_cofactor(q, v, true));
+    bool and_useful = false;
+    try {
+      and_useful = usefulness_sat(r, eq);
+    } catch (const ExpansionCappedError&) {
+    }
+    if (and_useful) {
+      ++stats_.weak_and;
+      const FormulaResult a =
+          decompose_formula(q, f_and(r, eq), depth + 1, weak_left - 1);
+      const FuncPtr fa = f_cone(net_, a.signal);
+      const FuncPtr qb = f_exists(q, vbit);
+      const FuncPtr rb = f_exists(f_and(r, fa), vbit);
+      const FormulaResult b =
+          decompose_formula(qb, rb, depth + 1, options_.weak_budget);
+      out = FormulaResult{net_.add_and(a.signal, b.signal)};
+      return true;
+    }
+  }
+  return false;
+}
+
+SatDecomposer::FormulaResult SatDecomposer::shannon_formula(const FuncPtr& q,
+                                                            const FuncPtr& r,
+                                                            unsigned var,
+                                                            unsigned depth) {
+  ++stats_.shannon_steps;
+  const FormulaResult lo =
+      decompose_formula(f_cofactor(q, var, false), f_cofactor(r, var, false),
+                        depth + 1, options_.weak_budget);
+  const FormulaResult hi =
+      decompose_formula(f_cofactor(q, var, true), f_cofactor(r, var, true),
+                        depth + 1, options_.weak_budget);
+  const SignalId sv = var_signal_[var];
+  return FormulaResult{net_.add_or(net_.add_and(net_.add_not(sv), lo.signal),
+                                   net_.add_and(sv, hi.signal))};
+}
+
+// ---------------------------------------------------------------------------
+// Materialization: formula -> truth table by projected AllSAT enumeration
+// ---------------------------------------------------------------------------
+
+TruthTable SatDecomposer::enumerate_models(const FuncPtr& f,
+                                           const std::vector<unsigned>& vars) {
+  const unsigned k = static_cast<unsigned>(vars.size());
+  if (f->kind == FuncKind::kConst) {
+    return f->value ? TruthTable::ones(k) : TruthTable::zeros(k);
+  }
+  // Truth-table leaves re-map directly (the common case once a Shannon
+  // cofactor has folded into a kTt node).
+  if (f->kind == FuncKind::kTt) {
+    std::vector<unsigned> pos(f->tt_vars.size(), 0);
+    for (unsigned local = 0; local < f->tt_vars.size(); ++local) {
+      const auto it = std::find(vars.begin(), vars.end(), f->tt_vars[local]);
+      pos[local] =
+          it == vars.end() ? k : static_cast<unsigned>(it - vars.begin());
+    }
+    return TruthTable::from_function(k, [&](std::uint64_t m) {
+      std::uint64_t src = 0;
+      for (unsigned local = 0; local < pos.size(); ++local) {
+        if (pos[local] < k && ((m >> pos[local]) & 1u)) {
+          src |= std::uint64_t{1} << local;
+        }
+      }
+      return f->table.get(src);
+    });
+  }
+
+  BudgetedSolver bs(budget_);
+  const std::vector<sat::Lit> frame =
+      bs.funcs().fresh_frame(static_cast<unsigned>(var_signal_.size()));
+  const sat::Lit lit = bs.funcs().encode(f, frame, Polarity::kPos);
+
+  TruthTable table = TruthTable::zeros(k);
+  while (bs.solve({lit}) == sat::Solver::Result::kSat) {
+    std::uint64_t idx = 0;
+    std::vector<sat::Lit> block;
+    block.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+      const bool bit = bs.solver().model_value(frame[vars[i]]);
+      if (bit) idx |= std::uint64_t{1} << i;
+      block.push_back(bit ? ~frame[vars[i]] : frame[vars[i]]);
+    }
+    table.set(idx, true);
+    ++stats_.enumerated_models;
+    if (!bs.solver().add_clause(std::move(block))) break;
+  }
+  return table;
+}
+
+TtIsf SatDecomposer::materialize(const FuncPtr& q, const FuncPtr& r,
+                                 const std::vector<unsigned>& vars) {
+  ++stats_.materializations;
+  TtIsf t{enumerate_models(q, vars), enumerate_models(r, vars), vars};
+  if (!(t.q & t.r).is_zero()) {
+    throw std::runtime_error(
+        "satdec: inconsistent interval (on-set and off-set overlap)");
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Truth-table level (complete mirror of BiDecomposer::bidecompose)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Area cost of a two-variable function (same table as BiDecomposer).
+double tt2_cost(unsigned tt) {
+  switch (tt) {
+    case 0x0: case 0xF: return 0.0;
+    case 0xA: case 0xC: return 0.0;
+    case 0x5: case 0x3: return 1.0;
+    case 0x7: case 0x1: return 2.0;
+    case 0x9: return 5.0;
+    case 0x8: case 0xE: return 3.0;
+    case 0x6: return 5.0;
+    case 0x2: case 0x4: return 4.0;
+    case 0xB: case 0xD: return 4.0;
+    default: return 1e9;
+  }
+}
+
+std::string memo_key(const TtIsf& t) {
+  std::string key = t.q.to_binary_string();
+  key += '/';
+  key += t.r.to_binary_string();
+  for (const unsigned v : t.vars) {
+    key += ',';
+    key += std::to_string(v);
+  }
+  return key;
+}
+
+}  // namespace
+
+SatDecomposer::TtResult SatDecomposer::tt_combine(DecGate gate,
+                                                  const TtResult& a,
+                                                  const TtResult& b) {
+  switch (gate) {
+    case DecGate::kOr:
+      return TtResult{net_.add_or(a.signal, b.signal), a.func | b.func};
+    case DecGate::kAnd:
+      return TtResult{net_.add_and(a.signal, b.signal), a.func & b.func};
+    case DecGate::kExor:
+      return TtResult{net_.add_xor(a.signal, b.signal), a.func ^ b.func};
+  }
+  throw std::logic_error("tt_combine: unreachable");
+}
+
+SatDecomposer::TtResult SatDecomposer::tt_terminal(
+    const TtIsf& t, std::span<const unsigned> support) {
+  ++stats_.terminal_cases;
+  const unsigned width = t.q.num_vars();
+
+  if (support.empty()) {
+    // Constant interval: pick 0 unless the on-set forces 1.
+    const bool one = !t.q.is_zero();
+    return TtResult{net_.get_const(one),
+                    one ? TruthTable::ones(width) : TruthTable::zeros(width)};
+  }
+
+  const unsigned va = support[0];
+  const unsigned vb = support.size() >= 2 ? support[1] : 0;
+
+  unsigned q_tt = 0, r_tt = 0;
+  for (unsigned m = 0; m < 4; ++m) {
+    // Build the minterm with bit va = m&1, bit vb = m&2 (vb wins when the
+    // two coincide — same resolution as the BDD terminal case).
+    std::uint64_t idx = 0;
+    if (m & 1u) idx |= std::uint64_t{1} << va;
+    idx &= ~(std::uint64_t{1} << vb);
+    if (m & 2u) idx |= std::uint64_t{1} << vb;
+    if (t.q.get(idx)) q_tt |= 1u << m;
+    if (t.r.get(idx)) r_tt |= 1u << m;
+  }
+
+  unsigned best_tt = 0;
+  double best_cost = 1e18;
+  for (unsigned tt = 0; tt < 16; ++tt) {
+    if ((q_tt & ~tt) != 0 || (tt & r_tt) != 0) continue;
+    double cost = tt2_cost(tt);
+    if (!options_.use_exor && (tt == 0x6 || tt == 0x9)) cost = 11.0;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_tt = tt;
+    }
+  }
+  assert(best_cost < 1e18);
+
+  const SignalId sa = var_signal_[t.vars[va]];
+  const SignalId sb = var_signal_[t.vars[vb]];
+  SignalId sig = kNoSignal;
+  switch (best_tt) {
+    case 0x0: sig = net_.get_const(false); break;
+    case 0xF: sig = net_.get_const(true); break;
+    case 0xA: sig = sa; break;
+    case 0x5: sig = net_.add_not(sa); break;
+    case 0xC: sig = sb; break;
+    case 0x3: sig = net_.add_not(sb); break;
+    case 0x8: sig = net_.add_and(sa, sb); break;
+    case 0xE: sig = net_.add_or(sa, sb); break;
+    case 0x6:
+      sig = options_.use_exor
+                ? net_.add_xor(sa, sb)
+                : net_.add_or(net_.add_and(sa, net_.add_not(sb)),
+                              net_.add_and(net_.add_not(sa), sb));
+      break;
+    case 0x7: sig = net_.add_not(net_.add_and(sa, sb)); break;
+    case 0x1: sig = net_.add_not(net_.add_or(sa, sb)); break;
+    case 0x9:
+      sig = options_.use_exor
+                ? net_.add_not(net_.add_xor(sa, sb))
+                : net_.add_or(net_.add_and(sa, sb),
+                              net_.add_and(net_.add_not(sa), net_.add_not(sb)));
+      break;
+    case 0x2: sig = net_.add_and(sa, net_.add_not(sb)); break;
+    case 0x4: sig = net_.add_and(net_.add_not(sa), sb); break;
+    case 0xB: sig = net_.add_or(sa, net_.add_not(sb)); break;
+    case 0xD: sig = net_.add_or(net_.add_not(sa), sb); break;
+    default: throw std::logic_error("tt_terminal: unreachable");
+  }
+
+  const TruthTable func =
+      TruthTable::from_function(width, [&](std::uint64_t m) {
+        const unsigned a_bit = static_cast<unsigned>((m >> va) & 1u);
+        const unsigned b_bit = static_cast<unsigned>((m >> vb) & 1u);
+        return ((best_tt >> (a_bit + 2u * b_bit)) & 1u) != 0;
+      });
+  return TtResult{sig, func};
+}
+
+SatDecomposer::TtResult SatDecomposer::decompose_tt(const TtIsf& isf_in) {
+  ++stats_.tt_calls;
+  budget_.check_deadline();
+
+  TtIsf t = isf_in;
+  tt_remove_inessential(t);
+
+  const std::string key = memo_key(t);
+  if (const auto it = tt_memo_.find(key); it != tt_memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+
+  const std::vector<unsigned> support = tt_support(t);
+
+  TtResult result;
+  if (support.size() <= 2) {
+    result = tt_terminal(t, support);
+  } else {
+    std::optional<TtBestGrouping> best;
+    if (options_.use_strong) {
+      best = tt_find_best_grouping(t, support, options_);
+    }
+    if (best) {
+      const std::span<const unsigned> xa(best->grouping.xa);
+      const std::span<const unsigned> xb(best->grouping.xb);
+      switch (best->gate) {
+        case DecGate::kOr: {
+          ++stats_.strong_or;
+          const TtResult a = decompose_tt(tt_derive_or_a(t, xa, xb));
+          const TtResult b = decompose_tt(tt_derive_or_b(t, a.func, xa));
+          result = tt_combine(DecGate::kOr, a, b);
+          break;
+        }
+        case DecGate::kAnd: {
+          ++stats_.strong_and;
+          const TtResult a = decompose_tt(tt_derive_and_a(t, xa, xb));
+          const TtResult b = decompose_tt(tt_derive_and_b(t, a.func, xa));
+          result = tt_combine(DecGate::kAnd, a, b);
+          break;
+        }
+        case DecGate::kExor: {
+          ++stats_.strong_exor;
+          const auto components = tt_check_exor(t, xa, xb);
+          if (!components) {
+            throw std::logic_error("satdec: EXOR grouping not decomposable");
+          }
+          const TtResult a = decompose_tt(components->a);
+          const TtResult b = decompose_tt(components->b);
+          result = tt_combine(DecGate::kExor, a, b);
+          break;
+        }
+      }
+    } else if (const auto weak = tt_group_weak(t, support)) {
+      const std::span<const unsigned> xa(weak->xa);
+      if (weak->gate == DecGate::kOr) {
+        ++stats_.weak_or;
+        const TtResult a = decompose_tt(tt_derive_weak_or_a(t, xa));
+        const TtResult b = decompose_tt(tt_derive_or_b(t, a.func, xa));
+        result = tt_combine(DecGate::kOr, a, b);
+      } else {
+        ++stats_.weak_and;
+        const TtResult a = decompose_tt(tt_derive_weak_and_a(t, xa));
+        const TtResult b = decompose_tt(tt_derive_and_b(t, a.func, xa));
+        result = tt_combine(DecGate::kAnd, a, b);
+      }
+    } else {
+      ++stats_.shannon_steps;
+      const unsigned v = support.front();
+      const TtResult lo = decompose_tt(
+          TtIsf{t.q.cofactor(v, false), t.r.cofactor(v, false), t.vars});
+      const TtResult hi = decompose_tt(
+          TtIsf{t.q.cofactor(v, true), t.r.cofactor(v, true), t.vars});
+      const SignalId sv = var_signal_[t.vars[v]];
+      const TruthTable proj = TruthTable::projection(t.q.num_vars(), v);
+      result = TtResult{
+          net_.add_or(net_.add_and(net_.add_not(sv), lo.signal),
+                      net_.add_and(sv, hi.signal)),
+          (~proj & lo.func) | (proj & hi.func)};
+    }
+  }
+
+  // Theorem-6 self-check: Q <= f <= !R. Cheap here and catches any engine
+  // bug before a wrong gate can leave the TT domain.
+  if (!(t.q - result.func).is_zero() || !(result.func & t.r).is_zero()) {
+    throw std::logic_error("satdec: derived component violates its interval");
+  }
+  tt_memo_.emplace(key, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+SatFlowResult synthesize_satdec(const PlaFile& pla,
+                                const SatDecOptions& options) {
+  std::vector<std::string> names;
+  names.reserve(pla.num_inputs);
+  for (unsigned i = 0; i < pla.num_inputs; ++i) {
+    names.push_back(pla.input_name(i));
+  }
+  SatDecomposer dec(pla.num_inputs, std::move(names), options);
+  for (unsigned o = 0; o < pla.num_outputs; ++o) {
+    const FuncPtr on = f_cover(pla, o, '1');
+    FuncPtr q, r;
+    switch (pla.type) {
+      case PlaFile::Type::kF:
+        q = on;
+        r = f_not(on);
+        break;
+      case PlaFile::Type::kFD: {
+        const FuncPtr dc = f_cover(pla, o, '-');
+        q = f_and(on, f_not(dc));
+        r = f_not(f_or(on, dc));
+        break;
+      }
+      case PlaFile::Type::kFR: {
+        const FuncPtr off = f_cover(pla, o, '0');
+        q = f_and(on, f_not(off));
+        r = off;
+        break;
+      }
+    }
+    dec.add_output(pla.output_name(o), std::move(q), std::move(r));
+  }
+  dec.finish();
+  return SatFlowResult{dec.take_netlist(), dec.stats()};
+}
+
+SatFlowResult synthesize_satdec(const Netlist& source,
+                                const SatDecOptions& options) {
+  std::vector<std::string> names;
+  names.reserve(source.num_inputs());
+  for (std::size_t i = 0; i < source.num_inputs(); ++i) {
+    names.push_back(source.input_name(i));
+  }
+  SatDecomposer dec(static_cast<unsigned>(source.num_inputs()),
+                    std::move(names), options);
+  for (std::size_t o = 0; o < source.num_outputs(); ++o) {
+    const FuncPtr cone = f_cone(source, source.output_signal(o));
+    dec.add_output(source.output_name(o), cone, f_not(cone));
+  }
+  dec.finish();
+  return SatFlowResult{dec.take_netlist(), dec.stats()};
+}
+
+}  // namespace bidec::satdec

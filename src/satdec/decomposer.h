@@ -1,0 +1,118 @@
+// The SAT-backed bi-decomposition engine (tentpole of the satdec
+// subsystem). Mirrors BiDecomposer's recursion (Fig. 7) with the BDD
+// substrate replaced by two cooperating domains:
+//
+//  * Formula level (large supports): intervals are SatFunc DAGs. Strong
+//    OR/AND groupings come from the two-copy SAT oracle with core-guided
+//    growth (grouping.h); components are derived symbolically with the
+//    Theorem-3/4 formulas (existentials stay unevaluated); weak steps use
+//    capped negative-polarity usefulness queries; Shannon cofactoring is the
+//    guaranteed-progress fallback.
+//  * Truth-table level (supports <= SatDecOptions::tt_threshold): the
+//    interval is materialized by AllSAT enumeration with blocking clauses
+//    projected onto the support, then the complete paper machinery —
+//    including EXOR and exact weak gains — runs bitwise (tt_isf.h).
+//
+// Every path is deterministic: the CDCL solver has no randomness, every
+// solver instance is private to the run, and no wall-clock value influences
+// a decision (deadlines only abort). Identical inputs therefore produce
+// identical netlists and identical SatDecStats, which is what lets the batch
+// engine put SAT results into byte-stable reports.
+#ifndef BIDEC_SATDEC_DECOMPOSER_H
+#define BIDEC_SATDEC_DECOMPOSER_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/pla.h"
+#include "netlist/netlist.h"
+#include "satdec/budget.h"
+#include "satdec/grouping.h"
+#include "satdec/options.h"
+#include "satdec/sat_func.h"
+#include "satdec/tt_isf.h"
+
+namespace bidec::satdec {
+
+class SatDecomposer {
+ public:
+  SatDecomposer(unsigned num_inputs, std::vector<std::string> input_names,
+                SatDecOptions options);
+
+  /// Decompose the interval (q, r) into two-input gates and register the
+  /// root as primary output `name`. Throws SatDecAbortError on budget or
+  /// deadline exhaustion and std::runtime_error on an inconsistent interval
+  /// (a minterm in both q and r).
+  SignalId add_output(const std::string& name, FuncPtr q, FuncPtr r);
+
+  /// Run the inverter-absorption mapping pass (once, after all outputs).
+  void finish();
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return net_; }
+  [[nodiscard]] Netlist take_netlist() noexcept { return std::move(net_); }
+  [[nodiscard]] const SatDecStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct FormulaResult {
+    SignalId signal = kNoSignal;
+  };
+  struct TtResult {
+    SignalId signal = kNoSignal;
+    TruthTable func{0};  ///< the realized cover, local space of its TtIsf
+  };
+
+  FormulaResult decompose_formula(const FuncPtr& q, const FuncPtr& r,
+                                  unsigned depth, unsigned weak_left);
+  FormulaResult strong_formula(const FuncPtr& q, const FuncPtr& r,
+                               const SatBestGrouping& best, unsigned depth);
+  /// Scans the support for the first variable whose weak-OR or weak-AND
+  /// usefulness query is satisfiable; fills `out` and returns true on
+  /// success. Capped expansions skip the variable, never abort.
+  bool try_weak_formula(const FuncPtr& q, const FuncPtr& r,
+                        const std::vector<unsigned>& vars, unsigned depth,
+                        unsigned weak_left, FormulaResult& out);
+  /// SAT(care & !shadow) — the Table-1 weak usefulness query.
+  [[nodiscard]] bool usefulness_sat(const FuncPtr& care, const FuncPtr& shadow);
+  FormulaResult shannon_formula(const FuncPtr& q, const FuncPtr& r,
+                                unsigned var, unsigned depth);
+  [[nodiscard]] bool unsatisfiable(const FuncPtr& f);
+
+  TtIsf materialize(const FuncPtr& q, const FuncPtr& r,
+                    const std::vector<unsigned>& vars);
+  TruthTable enumerate_models(const FuncPtr& f,
+                              const std::vector<unsigned>& vars);
+
+  TtResult decompose_tt(const TtIsf& isf_in);
+  TtResult tt_terminal(const TtIsf& f, std::span<const unsigned> support);
+  TtResult tt_combine(DecGate gate, const TtResult& a, const TtResult& b);
+
+  Netlist net_;
+  std::vector<SignalId> var_signal_;  ///< global input index -> PI signal
+  SatDecOptions options_;
+  SatDecStats stats_;
+  Budget budget_;
+  /// Exact-interval reuse across the recursion and across outputs, keyed on
+  /// (q bits, r bits, global var list) of the normalized TtIsf.
+  std::unordered_map<std::string, TtResult> tt_memo_;
+};
+
+/// End-to-end result of the SAT engine for one source function.
+struct SatFlowResult {
+  Netlist netlist;
+  SatDecStats stats;
+};
+
+/// Decompose every output of a PLA (interval semantics per .type, identical
+/// to verify/sat_verifier.cpp) without ever touching a BddManager.
+[[nodiscard]] SatFlowResult synthesize_satdec(const PlaFile& pla,
+                                              const SatDecOptions& options);
+
+/// Decompose every output of an existing netlist (the BLIF path); the
+/// source cone is the completely specified spec (r = !q).
+[[nodiscard]] SatFlowResult synthesize_satdec(const Netlist& source,
+                                              const SatDecOptions& options);
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_DECOMPOSER_H

@@ -1,0 +1,207 @@
+#include "satdec/grouping.h"
+
+#include <algorithm>
+
+namespace bidec::satdec {
+
+namespace {
+
+bool contains(const std::vector<unsigned>& set, unsigned v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+bool lit_in(const std::vector<sat::Lit>& lits, sat::Lit l) {
+  return std::find(lits.begin(), lits.end(), l) != lits.end();
+}
+
+}  // namespace
+
+TwoCopyOracle::TwoCopyOracle(const FuncPtr& q, const FuncPtr& r,
+                             unsigned num_inputs,
+                             std::span<const unsigned> support, Budget& budget)
+    : budget_(budget), bs_(budget) {
+  FuncEncoder& fe = bs_.funcs();
+  const std::vector<sat::Lit> x = fe.fresh_frame(num_inputs);
+  const std::vector<sat::Lit> x1 = fe.fresh_frame(num_inputs);
+  const std::vector<sat::Lit> x2 = fe.fresh_frame(num_inputs);
+
+  // All three occurrences are asserted true by assumption, so positive
+  // polarity suffices (and keeps any existentials Skolemized).
+  q_lit_ = fe.encode(q, x, Polarity::kPos);
+  r1_lit_ = fe.encode(r, x1, Polarity::kPos);
+  r2_lit_ = fe.encode(r, x2, Polarity::kPos);
+
+  sel_a_.assign(num_inputs, sat::kUndefLit);
+  sel_b_.assign(num_inputs, sat::kUndefLit);
+  sat::Solver& s = bs_.solver();
+  for (const unsigned v : support) {
+    const sat::Lit ea = sat::mk_lit(s.new_var());
+    const sat::Lit eb = sat::mk_lit(s.new_var());
+    sel_a_[v] = ea;
+    sel_b_[v] = eb;
+    // ea -> (x1[v] == x[v]),  eb -> (x2[v] == x[v]).
+    s.add_clause({~ea, ~x1[v], x[v]});
+    s.add_clause({~ea, x1[v], ~x[v]});
+    s.add_clause({~eb, ~x2[v], x[v]});
+    s.add_clause({~eb, x2[v], ~x[v]});
+  }
+}
+
+bool TwoCopyOracle::decomposable(std::span<const unsigned> xa,
+                                 std::span<const unsigned> xb) {
+  std::vector<sat::Lit> assumptions{q_lit_, r1_lit_, r2_lit_};
+  for (unsigned v = 0; v < sel_a_.size(); ++v) {
+    if (sel_a_[v] == sat::kUndefLit) continue;  // off-support
+    const bool in_a = std::find(xa.begin(), xa.end(), v) != xa.end();
+    const bool in_b = std::find(xb.begin(), xb.end(), v) != xb.end();
+    if (!in_a) assumptions.push_back(sel_a_[v]);
+    if (!in_b) assumptions.push_back(sel_b_[v]);
+  }
+  ++budget_.stats().grouping_queries;
+  return bs_.solve(assumptions) == sat::Solver::Result::kUnsat;
+}
+
+void TwoCopyOracle::harvest_core(Grouping& g,
+                                 std::span<const unsigned> support) {
+  const std::vector<sat::Lit>& core = bs_.solver().conflict();
+  std::vector<unsigned> free_a, free_b;
+  for (const unsigned v : support) {
+    if (contains(g.xa, v) || contains(g.xb, v)) continue;
+    const bool a_free = sel_a_[v] != sat::kUndefLit && !lit_in(core, sel_a_[v]);
+    const bool b_free = sel_b_[v] != sat::kUndefLit && !lit_in(core, sel_b_[v]);
+    if (a_free && b_free) {
+      // Free on both sides: place for balance.
+      (g.xa.size() <= g.xb.size() ? free_a : free_b).push_back(v);
+    } else if (a_free) {
+      free_a.push_back(v);
+    } else if (b_free) {
+      free_b.push_back(v);
+    }
+  }
+  budget_.stats().core_freed_vars += free_a.size() + free_b.size();
+  g.xa.insert(g.xa.end(), free_a.begin(), free_a.end());
+  g.xb.insert(g.xb.end(), free_b.begin(), free_b.end());
+}
+
+namespace {
+
+Grouping sat_group_variables(TwoCopyOracle& oracle,
+                             std::span<const unsigned> support, Budget& budget) {
+  const SatDecOptions& opt = budget.options();
+  const std::size_t max_pairs = std::max(1u, opt.grouping_pairs);
+
+  const auto check = [&oracle](std::span<const unsigned> xa,
+                               std::span<const unsigned> xb) {
+    return oracle.decomposable(xa, xb);
+  };
+
+  // Fig. 5: decomposable singleton pairs as seeds.
+  std::vector<Grouping> candidates;
+  for (std::size_t i = 0; i < support.size() && candidates.size() < max_pairs;
+       ++i) {
+    for (std::size_t j = i + 1;
+         j < support.size() && candidates.size() < max_pairs; ++j) {
+      const unsigned xa[] = {support[i]};
+      const unsigned xb[] = {support[j]};
+      if (check(xa, xb)) {
+        Grouping g{{support[i]}, {support[j]}};
+        // Core-guided fast path: admit everything the UNSAT core ignored.
+        oracle.harvest_core(g, support);
+        candidates.push_back(std::move(g));
+      }
+    }
+  }
+  if (candidates.empty()) return {};
+
+  // Fig. 6 greedy growth for the variables the cores did not settle,
+  // re-harvesting after every successful placement.
+  Grouping best;
+  long best_score = -1;
+  for (Grouping& g : candidates) {
+    for (const unsigned z : support) {
+      if (contains(g.xa, z) || contains(g.xb, z)) continue;
+      std::vector<unsigned>& first = g.xa.size() <= g.xb.size() ? g.xa : g.xb;
+      std::vector<unsigned>& second = g.xa.size() <= g.xb.size() ? g.xb : g.xa;
+      first.push_back(z);
+      if (check(g.xa, g.xb)) {
+        oracle.harvest_core(g, support);
+        continue;
+      }
+      first.pop_back();
+      second.push_back(z);
+      if (check(g.xa, g.xb)) {
+        oracle.harvest_core(g, support);
+        continue;
+      }
+      second.pop_back();
+    }
+    const long score = static_cast<long>(g.size()) * 1000 -
+                       (opt.balance_cost ? static_cast<long>(g.imbalance()) : 0);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(g);
+    }
+  }
+
+  // Canonical contiguous split (shared with the BDD flow's heuristics): a
+  // contiguous low/high split reuses across outputs far more often.
+  {
+    std::vector<unsigned> all;
+    all.reserve(best.size());
+    all.insert(all.end(), best.xa.begin(), best.xa.end());
+    all.insert(all.end(), best.xb.begin(), best.xb.end());
+    std::sort(all.begin(), all.end());
+    const auto try_split = [&](std::size_t xa_size) {
+      if (xa_size == 0 || xa_size >= all.size()) return false;
+      Grouping contiguous;
+      contiguous.xa.assign(all.begin(),
+                           all.begin() + static_cast<std::ptrdiff_t>(xa_size));
+      contiguous.xb.assign(all.begin() + static_cast<std::ptrdiff_t>(xa_size),
+                           all.end());
+      if (contiguous.xa == best.xa && contiguous.xb == best.xb) return true;
+      if (!check(contiguous.xa, contiguous.xb)) return false;
+      best = std::move(contiguous);
+      return true;
+    };
+    std::size_t pow2 = 1;
+    while (pow2 * 2 < all.size()) pow2 *= 2;
+    if (pow2 <= 1 || !try_split(pow2)) (void)try_split(best.xa.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<SatBestGrouping> sat_find_best_grouping(
+    const FuncPtr& q, const FuncPtr& r, unsigned num_inputs,
+    std::span<const unsigned> support, Budget& budget) {
+  std::vector<SatBestGrouping> candidates;
+  {
+    TwoCopyOracle or_oracle(q, r, num_inputs, support, budget);
+    if (Grouping g = sat_group_variables(or_oracle, support, budget);
+        !g.empty()) {
+      candidates.push_back({std::move(g), DecGate::kOr});
+    }
+  }
+  {
+    TwoCopyOracle and_oracle(r, q, num_inputs, support, budget);
+    if (Grouping g = sat_group_variables(and_oracle, support, budget);
+        !g.empty()) {
+      candidates.push_back({std::move(g), DecGate::kAnd});
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  const bool balance = budget.options().balance_cost;
+  const auto score = [balance](const SatBestGrouping& c) {
+    return static_cast<long>(c.grouping.size()) * 1000 -
+           (balance ? static_cast<long>(c.grouping.imbalance()) : 0);
+  };
+  return *std::max_element(
+      candidates.begin(), candidates.end(),
+      [&score](const SatBestGrouping& a, const SatBestGrouping& b) {
+        return score(a) < score(b);
+      });
+}
+
+}  // namespace bidec::satdec

@@ -1,0 +1,73 @@
+// SAT-driven variable grouping: the Fig. 5/6 greedy private-set growth with
+// the Theorem-1 decomposability check replaced by an incremental two-copy
+// SAT query, plus the QBF paper's core-guided acceleration.
+//
+// The oracle encodes Q(x) ∧ R(x') ∧ R(x'') once, with copy x' tied to x
+// outside X_A and copy x'' tied to x outside X_B through *selector
+// literals*: eqA[v] → (x'[v] = x[v]) and eqB[v] → (x''[v] = x[v]). A
+// candidate grouping is then a single solve under assumptions — UNSAT means
+// decomposable (no witness where Q holds but both quantified copies of R can
+// reach an off-point). When a query is UNSAT, the solver's final conflict
+// clause names the selector assumptions that actually mattered; every tied
+// variable whose selector is absent from that core can be moved into a
+// private set immediately without a recheck (the remaining assumptions are a
+// superset of the core, so the query stays UNSAT). On BDD-hostile functions
+// this harvesting admits most of the support in O(1) queries instead of one
+// query per variable.
+#ifndef BIDEC_SATDEC_GROUPING_H
+#define BIDEC_SATDEC_GROUPING_H
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "satdec/budget.h"
+#include "satdec/sat_func.h"
+#include "satdec/tt_isf.h"
+
+namespace bidec::satdec {
+
+/// Incremental two-copy Theorem-1 oracle for one (q, r) orientation.
+/// Construct with (q, r) for OR-decomposability, (r, q) for the AND dual.
+class TwoCopyOracle {
+ public:
+  TwoCopyOracle(const FuncPtr& q, const FuncPtr& r, unsigned num_inputs,
+                std::span<const unsigned> support, Budget& budget);
+
+  /// One assumption solve: is the interval decomposable with private sets
+  /// (xa, xb)? Global variable indices; xa and xb must be disjoint subsets
+  /// of the support.
+  [[nodiscard]] bool decomposable(std::span<const unsigned> xa,
+                                  std::span<const unsigned> xb);
+
+  /// After decomposable(...) returned true: grow `g` in place with every
+  /// support variable whose selector assumption is absent from the UNSAT
+  /// core. Variables free on both sides go to the smaller set.
+  void harvest_core(Grouping& g, std::span<const unsigned> support);
+
+ private:
+  Budget& budget_;
+  BudgetedSolver bs_;
+  std::vector<sat::Lit> sel_a_;  ///< indexed by global var; kUndefLit off-support
+  std::vector<sat::Lit> sel_b_;
+  sat::Lit q_lit_;
+  sat::Lit r1_lit_;
+  sat::Lit r2_lit_;
+};
+
+struct SatBestGrouping {
+  Grouping grouping;  ///< global variable indices
+  DecGate gate = DecGate::kOr;
+};
+
+/// The strong grouping search of find_best_grouping, run on two oracles
+/// (OR and AND orientation) with core harvesting after every successful
+/// query. EXOR is not offered at formula level (see SatDecOptions::use_exor
+/// — it applies to the truth-table domain).
+[[nodiscard]] std::optional<SatBestGrouping> sat_find_best_grouping(
+    const FuncPtr& q, const FuncPtr& r, unsigned num_inputs,
+    std::span<const unsigned> support, Budget& budget);
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_GROUPING_H

@@ -1,0 +1,101 @@
+// Options, statistics and abort signalling for the SAT-backed decomposition
+// engine (src/satdec). The engine mirrors the paper's flow on a CDCL solver
+// instead of a BDD manager: decomposability checks are two-copy SAT queries
+// (the QBF bi-decomposition formulation referenced in PAPERS.md), component
+// intervals are formula DAGs, and small-support subproblems are materialized
+// into dense truth tables where the full grouping/derivation machinery runs
+// bitwise. No BddManager is ever constructed on this path — that is the
+// point: it is the rescue engine for functions whose BDDs blow the node
+// budget (multipliers, Section "Escape the BDD ceiling" of ROADMAP.md).
+#ifndef BIDEC_SATDEC_OPTIONS_H
+#define BIDEC_SATDEC_OPTIONS_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "bdd/bdd.h"
+#include "sat/solver.h"
+
+namespace bidec::satdec {
+
+/// Thrown when the engine exceeds its conflict budget or deadline. Derives
+/// from BddAbortError so the batch engine's degradation ladder treats a SAT
+/// resource trip exactly like a BDD budget trip: retryable exhaustion.
+class SatDecAbortError : public BddAbortError {
+ public:
+  explicit SatDecAbortError(const std::string& what) : BddAbortError(what) {}
+};
+
+struct SatDecOptions {
+  /// Materialize subproblems into dense truth tables once their support has
+  /// at most this many variables; the TT domain runs the complete grouping
+  /// and derivation machinery (including EXOR) bitwise. Clamped to [2, 16].
+  unsigned tt_threshold = 12;
+
+  /// Mirror of BidecOptions::grouping_pairs for the SAT grouping search.
+  unsigned grouping_pairs = 4;
+  /// Mirror of BidecOptions::balance_cost.
+  bool balance_cost = true;
+  /// Consider strong (disjoint-support) decompositions at formula level.
+  bool use_strong = true;
+  /// Consider EXOR bi-decomposition in the truth-table domain. (Formula
+  /// level never proposes EXOR: the Fig. 4 constructive check needs the
+  /// whole care set, which plain SAT cannot enumerate cheaply.)
+  bool use_exor = true;
+  /// Post-process the netlist by absorbing inverters into NAND/NOR/XNOR.
+  bool absorb_inverters = true;
+
+  /// Consecutive formula-level weak steps allowed before falling back to a
+  /// Shannon step (a weak-A child keeps the parent's support, so this bounds
+  /// the only recursion that does not shrink the problem structurally).
+  unsigned weak_budget = 4;
+
+  /// Cap on the disjunction width when a negative-polarity existential must
+  /// be expanded over its bound variables (2^k disjuncts). Exceeding the cap
+  /// conservatively reports "not useful"/"not decomposable" — a quality
+  /// loss, never a wrong netlist.
+  std::size_t expand_limit = 1024;
+
+  /// Total CDCL conflicts the engine may spend across all queries
+  /// (0 = unlimited). Tripping throws SatDecAbortError.
+  std::uint64_t total_conflict_budget = 0;
+  /// Wall-clock deadline, checked between solver calls. Leave unset for
+  /// deterministic runs (reports must not depend on timing).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Hard recursion-depth guard (engine bug fuse, not a tuning knob).
+  unsigned max_depth = 80;
+};
+
+/// Everything measured about one synthesize_satdec run. The CDCL counters
+/// aggregate every solver the engine created (grouping oracles, usefulness
+/// checks, materialization enumerations); they are deterministic — the
+/// solver has no randomness and every solver instance is private to the
+/// job — so they may appear in byte-stable reports.
+struct SatDecStats {
+  std::uint64_t formula_calls = 0;  ///< recursion nodes handled at formula level
+  std::uint64_t tt_calls = 0;       ///< recursion nodes handled in the TT domain
+  std::uint64_t grouping_queries = 0;  ///< two-copy decomposability solves
+  std::uint64_t core_freed_vars = 0;   ///< vars admitted straight from UNSAT cores
+  std::uint64_t solves = 0;            ///< total solve() calls, all solvers
+  std::uint64_t materializations = 0;  ///< formula -> truth-table transfers
+  std::uint64_t enumerated_models = 0; ///< AllSAT models during materialization
+  std::uint64_t expansions_capped = 0; ///< negative existentials given up on
+
+  std::uint64_t strong_or = 0;
+  std::uint64_t strong_and = 0;
+  std::uint64_t strong_exor = 0;  ///< TT domain only
+  std::uint64_t weak_or = 0;
+  std::uint64_t weak_and = 0;
+  std::uint64_t shannon_steps = 0;
+  std::uint64_t terminal_cases = 0;
+  std::uint64_t memo_hits = 0;  ///< TT-domain exact-interval reuse hits
+
+  /// Aggregated CDCL solver statistics (satellite: SolverStats surfacing).
+  sat::SolverStats solver;
+};
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_OPTIONS_H

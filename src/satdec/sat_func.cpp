@@ -1,0 +1,405 @@
+#include "satdec/sat_func.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace bidec::satdec {
+
+namespace {
+
+std::shared_ptr<SatFunc> make_node(FuncKind kind) {
+  auto n = std::make_shared<SatFunc>();
+  n->kind = kind;
+  return n;
+}
+
+void check_var_index(unsigned v) {
+  if (v >= kMaxSatDecVars) {
+    throw std::invalid_argument("satdec: variable index " + std::to_string(v) +
+                                " exceeds the engine's 64-input limit");
+  }
+}
+
+/// Support of a netlist cone as a global-variable mask.
+std::uint64_t cone_support(const Netlist& net, SignalId cone_root) {
+  std::uint64_t mask = 0;
+  std::vector<SignalId> stack{cone_root};
+  std::vector<bool> seen(net.num_nodes(), false);
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    const Netlist::Node& nd = net.node(id);
+    if (nd.type == GateType::kInput) {
+      const std::size_t idx = net.input_index(id);
+      check_var_index(static_cast<unsigned>(idx));
+      mask |= std::uint64_t{1} << idx;
+      continue;
+    }
+    if (nd.fanin0 != kNoSignal) stack.push_back(nd.fanin0);
+    if (nd.fanin1 != kNoSignal) stack.push_back(nd.fanin1);
+  }
+  return mask;
+}
+
+std::uint64_t cover_support(const PlaFile& pla, unsigned output, char match) {
+  std::uint64_t mask = 0;
+  for (const PlaFile::Row& row : pla.rows) {
+    if (row.outputs[output] != match) continue;
+    for (unsigned i = 0; i < pla.num_inputs; ++i) {
+      if (row.inputs[i] != '-') {
+        check_var_index(i);
+        mask |= std::uint64_t{1} << i;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<unsigned> SatFunc::support_vars() const {
+  std::vector<unsigned> vars;
+  for (unsigned v = 0; v < kMaxSatDecVars; ++v) {
+    if (support & (std::uint64_t{1} << v)) vars.push_back(v);
+  }
+  return vars;
+}
+
+std::uint64_t mask_of(std::span<const unsigned> vars) {
+  std::uint64_t mask = 0;
+  for (unsigned v : vars) {
+    check_var_index(v);
+    mask |= std::uint64_t{1} << v;
+  }
+  return mask;
+}
+
+FuncPtr f_const(bool value) {
+  auto n = make_node(FuncKind::kConst);
+  n->value = value;
+  return n;
+}
+
+FuncPtr f_cone(const Netlist& net, SignalId root) {
+  const Netlist::Node& nd = net.node(root);
+  if (nd.type == GateType::kConst0) return f_const(false);
+  if (nd.type == GateType::kConst1) return f_const(true);
+  auto n = make_node(FuncKind::kCone);
+  n->net = &net;
+  n->root = root;
+  n->support = cone_support(net, root);
+  return n;
+}
+
+FuncPtr f_cover(const PlaFile& pla, unsigned output, char match) {
+  bool any = false;
+  for (const PlaFile::Row& row : pla.rows) {
+    if (row.outputs[output] == match) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return f_const(false);
+  auto n = make_node(FuncKind::kCover);
+  n->pla = &pla;
+  n->output = output;
+  n->match = match;
+  n->support = cover_support(pla, output, match);
+  return n;
+}
+
+FuncPtr f_tt(TruthTable table, std::vector<unsigned> global_vars) {
+  assert(table.num_vars() == global_vars.size());
+  if (table.is_zero()) return f_const(false);
+  if (table.is_ones()) return f_const(true);
+  auto n = make_node(FuncKind::kTt);
+  std::uint64_t mask = 0;
+  for (unsigned local = 0; local < global_vars.size(); ++local) {
+    if (table.depends_on(local)) {
+      check_var_index(global_vars[local]);
+      mask |= std::uint64_t{1} << global_vars[local];
+    }
+  }
+  n->support = mask;
+  n->table = std::move(table);
+  n->tt_vars = std::move(global_vars);
+  return n;
+}
+
+FuncPtr f_not(FuncPtr f) {
+  if (f->kind == FuncKind::kConst) return f_const(!f->value);
+  if (f->kind == FuncKind::kNot) return f->a;
+  auto n = make_node(FuncKind::kNot);
+  n->support = f->support;
+  n->a = std::move(f);
+  return n;
+}
+
+FuncPtr f_and(FuncPtr x, FuncPtr y) {
+  if (x->is_const(false) || y->is_const(false)) return f_const(false);
+  if (x->is_const(true)) return y;
+  if (y->is_const(true)) return x;
+  if (x.get() == y.get()) return x;
+  auto n = make_node(FuncKind::kAnd);
+  n->support = x->support | y->support;
+  n->a = std::move(x);
+  n->b = std::move(y);
+  return n;
+}
+
+FuncPtr f_or(FuncPtr x, FuncPtr y) {
+  if (x->is_const(true) || y->is_const(true)) return f_const(true);
+  if (x->is_const(false)) return y;
+  if (y->is_const(false)) return x;
+  if (x.get() == y.get()) return x;
+  auto n = make_node(FuncKind::kOr);
+  n->support = x->support | y->support;
+  n->a = std::move(x);
+  n->b = std::move(y);
+  return n;
+}
+
+FuncPtr f_cofactor(FuncPtr f, unsigned var, bool val) {
+  check_var_index(var);
+  const std::uint64_t bit = std::uint64_t{1} << var;
+  if ((f->support & bit) == 0) return f;
+  // Cofactoring a truth-table leaf is exact and cheap; do it eagerly.
+  if (f->kind == FuncKind::kTt) {
+    const auto it = std::find(f->tt_vars.begin(), f->tt_vars.end(), var);
+    assert(it != f->tt_vars.end());
+    const unsigned local = static_cast<unsigned>(it - f->tt_vars.begin());
+    return f_tt(f->table.cofactor(local, val), f->tt_vars);
+  }
+  auto n = make_node(FuncKind::kCofactor);
+  n->support = f->support & ~bit;
+  n->a = std::move(f);
+  n->var = var;
+  n->val = val;
+  return n;
+}
+
+FuncPtr f_exists(FuncPtr f, std::uint64_t mask) {
+  mask &= f->support;
+  if (mask == 0) return f;
+  if (f->kind == FuncKind::kTt) {
+    TruthTable t = f->table;
+    for (unsigned local = 0; local < f->tt_vars.size(); ++local) {
+      if (mask & (std::uint64_t{1} << f->tt_vars[local])) t = t.exists(local);
+    }
+    return f_tt(std::move(t), f->tt_vars);
+  }
+  // Flatten nested quantifiers: Ex a (Ex b f) == Ex {a,b} f.
+  if (f->kind == FuncKind::kExists) {
+    auto n = make_node(FuncKind::kExists);
+    n->support = f->support & ~mask;
+    n->bound = f->bound | mask;
+    n->a = f->a;
+    return n;
+  }
+  auto n = make_node(FuncKind::kExists);
+  n->support = f->support & ~mask;
+  n->bound = mask;
+  n->a = std::move(f);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+std::vector<sat::Lit> FuncEncoder::fresh_frame(unsigned n) {
+  std::vector<sat::Lit> frame;
+  frame.reserve(n);
+  for (unsigned i = 0; i < n; ++i) frame.push_back(sat::mk_lit(enc_.add_var()));
+  return frame;
+}
+
+sat::Lit FuncEncoder::encode(const FuncPtr& f, std::span<const sat::Lit> frame,
+                             Polarity pol) {
+  Ctx ctx;
+  ctx.frame.assign(frame.begin(), frame.end());
+  return encode_in(ctx, *f, pol);
+}
+
+sat::Lit FuncEncoder::encode_in(Ctx& ctx, const SatFunc& f, Polarity pol) {
+  const auto key = std::make_pair(&f, static_cast<std::uint8_t>(pol));
+  if (const auto it = ctx.memo.find(key); it != ctx.memo.end()) {
+    return it->second;
+  }
+  sat::Lit result;
+  switch (f.kind) {
+    case FuncKind::kConst:
+      result = enc_.constant(f.value);
+      break;
+    case FuncKind::kCone:
+      result = encode_cone(ctx, *f.net, f.root);
+      break;
+    case FuncKind::kCover: {
+      const std::vector<sat::Var> vars =
+          tied_var_frame(ctx, f.support, f.pla->num_inputs);
+      result = enc_.encode_cover(*f.pla, vars, f.output, f.match);
+      break;
+    }
+    case FuncKind::kTt: {
+      std::vector<sat::Lit> lits(f.tt_vars.size());
+      for (unsigned local = 0; local < f.tt_vars.size(); ++local) {
+        lits[local] = ctx.frame[f.tt_vars[local]];
+      }
+      result = encode_tt(f.table, lits);
+      break;
+    }
+    case FuncKind::kNot:
+      result = ~encode_in(ctx, *f.a, flip(pol));
+      break;
+    case FuncKind::kAnd:
+      result = enc_.encode_and(encode_in(ctx, *f.a, pol),
+                               encode_in(ctx, *f.b, pol));
+      break;
+    case FuncKind::kOr:
+      result = enc_.encode_or(encode_in(ctx, *f.a, pol),
+                              encode_in(ctx, *f.b, pol));
+      break;
+    case FuncKind::kCofactor: {
+      Ctx sub;
+      sub.frame = ctx.frame;
+      sub.frame[f.var] = enc_.constant(f.val);
+      result = encode_in(sub, *f.a, pol);
+      break;
+    }
+    case FuncKind::kExists: {
+      const std::vector<unsigned> bound = [&] {
+        std::vector<unsigned> vs;
+        for (unsigned v = 0; v < kMaxSatDecVars; ++v) {
+          if (f.bound & (std::uint64_t{1} << v)) vs.push_back(v);
+        }
+        return vs;
+      }();
+      if (pol == Polarity::kPos) {
+        // Positive context: Skolemize — fresh unconstrained bound variables
+        // act as the existential witness. Linear in the child size.
+        Ctx sub;
+        sub.frame = ctx.frame;
+        for (unsigned v : bound) sub.frame[v] = sat::mk_lit(enc_.add_var());
+        result = encode_in(sub, *f.a, pol);
+      } else {
+        // Negative/mixed context: expand into the 2^k cofactor disjuncts.
+        const std::size_t k = bound.size();
+        if (k >= 63 || (std::size_t{1} << k) > opt_.expand_limit) {
+          ++stats_.expansions_capped;
+          throw ExpansionCappedError(k >= 63 ? opt_.expand_limit + 1
+                                             : (std::size_t{1} << k));
+        }
+        std::vector<sat::Lit> disjuncts;
+        disjuncts.reserve(std::size_t{1} << k);
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << k); ++m) {
+          Ctx sub;
+          sub.frame = ctx.frame;
+          for (std::size_t i = 0; i < k; ++i) {
+            sub.frame[bound[i]] = enc_.constant((m >> i) & 1u);
+          }
+          disjuncts.push_back(encode_in(sub, *f.a, pol));
+        }
+        result = or_reduce(std::move(disjuncts));
+      }
+      break;
+    }
+  }
+  ctx.memo.emplace(key, result);
+  return result;
+}
+
+sat::Lit FuncEncoder::encode_cone(Ctx& ctx, const Netlist& net,
+                                  SignalId cone_root) {
+  // Iterative post-order over the cone; signal -> literal map local to this
+  // frame (the same cone encoded under another frame gets fresh clauses).
+  std::unordered_map<SignalId, sat::Lit> lit_of;
+  std::vector<std::pair<SignalId, bool>> stack{{cone_root, false}};
+  while (!stack.empty()) {
+    const auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (lit_of.count(id) != 0) continue;
+    const Netlist::Node& nd = net.node(id);
+    if (!expanded) {
+      switch (nd.type) {
+        case GateType::kInput:
+          lit_of[id] = ctx.frame[net.input_index(id)];
+          continue;
+        case GateType::kConst0:
+          lit_of[id] = enc_.constant(false);
+          continue;
+        case GateType::kConst1:
+          lit_of[id] = enc_.constant(true);
+          continue;
+        default:
+          stack.emplace_back(id, true);
+          if (nd.fanin0 != kNoSignal) stack.emplace_back(nd.fanin0, false);
+          if (nd.fanin1 != kNoSignal) stack.emplace_back(nd.fanin1, false);
+          continue;
+      }
+    }
+    const sat::Lit a = lit_of.at(nd.fanin0);
+    switch (nd.type) {
+      case GateType::kBuf:
+        lit_of[id] = a;
+        break;
+      case GateType::kNot:
+        lit_of[id] = ~a;
+        break;
+      default:
+        lit_of[id] = enc_.encode_gate(nd.type, a, lit_of.at(nd.fanin1));
+        break;
+    }
+  }
+  return lit_of.at(cone_root);
+}
+
+sat::Lit FuncEncoder::encode_tt(const TruthTable& t,
+                                std::span<const sat::Lit> lits) {
+  if (t.is_zero()) return enc_.constant(false);
+  if (t.is_ones()) return enc_.constant(true);
+  // Shannon-expand on the highest variable the table depends on; the
+  // recursion depth is bounded by the leaf's (small) variable count.
+  unsigned v = t.num_vars();
+  while (v > 0 && !t.depends_on(v - 1)) --v;
+  assert(v > 0);
+  --v;
+  const sat::Lit lo = encode_tt(t.cofactor(v, false), lits);
+  const sat::Lit hi = encode_tt(t.cofactor(v, true), lits);
+  if (lo == hi) return lo;
+  // ITE(x, hi, lo) as (x & hi) | (!x & lo).
+  return enc_.encode_or(enc_.encode_and(lits[v], hi),
+                        enc_.encode_and(~lits[v], lo));
+}
+
+sat::Lit FuncEncoder::or_reduce(std::vector<sat::Lit> lits) {
+  if (lits.empty()) return enc_.constant(false);
+  // Balanced reduction keeps the auxiliary-variable chain shallow.
+  while (lits.size() > 1) {
+    std::vector<sat::Lit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      next.push_back(enc_.encode_or(lits[i], lits[i + 1]));
+    }
+    if (lits.size() % 2 != 0) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits[0];
+}
+
+std::vector<sat::Var> FuncEncoder::tied_var_frame(const Ctx& ctx,
+                                                  std::uint64_t support_mask,
+                                                  unsigned width) {
+  std::vector<sat::Var> vars(width);
+  for (unsigned i = 0; i < width; ++i) {
+    vars[i] = enc_.add_var();
+    if (i < kMaxSatDecVars && (support_mask & (std::uint64_t{1} << i))) {
+      enc_.add_equal(sat::mk_lit(vars[i]), ctx.frame[i]);
+    }
+  }
+  return vars;
+}
+
+}  // namespace bidec::satdec

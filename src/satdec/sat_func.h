@@ -1,0 +1,174 @@
+// Formula DAG for the SAT decomposition engine: a tiny symbolic function
+// representation whose only "evaluation" is CNF encoding. Where the BDD flow
+// manipulates canonical diagrams, the SAT flow manipulates these lazy
+// formulas (netlist cones, PLA covers, truth-table leaves, boolean
+// connectives, cofactors, existential quantifiers) and asks a CDCL solver
+// the paper's questions about them. Nothing here is canonical — equality is
+// never tested syntactically; every semantic question is a SAT query.
+//
+// Encoding is polarity-aware (Plaisted–Greenbaum style at the quantifier
+// level): an existential in a positive context is Skolemized with fresh
+// bound variables (linear), while one in a negative or mixed context must be
+// expanded into its 2^k cofactor disjuncts (capped by
+// SatDecOptions::expand_limit; the cap throws ExpansionCappedError and the
+// caller conservatively declines the optimization it was probing).
+#ifndef BIDEC_SATDEC_SAT_FUNC_H
+#define BIDEC_SATDEC_SAT_FUNC_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/pla.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+#include "sat/tseitin.h"
+#include "satdec/options.h"
+#include "tt/truth_table.h"
+
+namespace bidec::satdec {
+
+/// The engine addresses inputs by global variable index (the source's input
+/// order); supports are bitmasks, so the SAT path handles up to 64 inputs.
+inline constexpr unsigned kMaxSatDecVars = 64;
+
+enum class FuncKind : std::uint8_t {
+  kConst,     ///< constant 0 / 1
+  kCone,      ///< output cone of a signal in a (borrowed) netlist
+  kCover,     ///< one output plane of a (borrowed) PLA, by match character
+  kTt,        ///< dense truth table over an explicit global-variable list
+  kNot,
+  kAnd,
+  kOr,
+  kCofactor,  ///< child with one global variable fixed to a constant
+  kExists,    ///< child existentially quantified over a variable mask
+};
+
+class SatFunc;
+using FuncPtr = std::shared_ptr<const SatFunc>;
+
+/// Immutable formula node. Build through the f_* factories below — they
+/// fold constants and drop vacuous cofactors/quantifiers so derived
+/// formulas stay small; the constructor is public only for the factories.
+class SatFunc {
+ public:
+  FuncKind kind = FuncKind::kConst;
+  /// Structural support as a bitmask over global variables (an
+  /// overapproximation of the semantic support, exact for leaves).
+  std::uint64_t support = 0;
+
+  bool value = false;  ///< kConst
+
+  const Netlist* net = nullptr;  ///< kCone (borrowed; must outlive the DAG)
+  SignalId root = kNoSignal;     ///< kCone
+
+  const PlaFile* pla = nullptr;  ///< kCover (borrowed)
+  unsigned output = 0;           ///< kCover
+  char match = '1';              ///< kCover
+
+  TruthTable table{0};                ///< kTt (local variable space)
+  std::vector<unsigned> tt_vars;      ///< kTt: local index -> global variable
+
+  FuncPtr a;  ///< first child (kNot/kAnd/kOr/kCofactor/kExists)
+  FuncPtr b;  ///< second child (kAnd/kOr)
+
+  unsigned var = 0;   ///< kCofactor
+  bool val = false;   ///< kCofactor
+  std::uint64_t bound = 0;  ///< kExists: mask of quantified variables
+
+  [[nodiscard]] bool is_const(bool v) const {
+    return kind == FuncKind::kConst && value == v;
+  }
+  /// Support as a sorted list of global variable indices.
+  [[nodiscard]] std::vector<unsigned> support_vars() const;
+};
+
+[[nodiscard]] FuncPtr f_const(bool value);
+/// Cone of `root` in `net`; netlist input i is global variable i.
+[[nodiscard]] FuncPtr f_cone(const Netlist& net, SignalId root);
+/// Disjunction of the input cubes of rows whose output-plane character for
+/// `output` equals `match` (same semantics as TseitinEncoder::encode_cover).
+[[nodiscard]] FuncPtr f_cover(const PlaFile& pla, unsigned output, char match);
+[[nodiscard]] FuncPtr f_tt(TruthTable table, std::vector<unsigned> global_vars);
+[[nodiscard]] FuncPtr f_not(FuncPtr f);
+[[nodiscard]] FuncPtr f_and(FuncPtr x, FuncPtr y);
+[[nodiscard]] FuncPtr f_or(FuncPtr x, FuncPtr y);
+[[nodiscard]] FuncPtr f_cofactor(FuncPtr f, unsigned var, bool val);
+/// Exists over every variable in `mask` (no-op bits outside f->support).
+[[nodiscard]] FuncPtr f_exists(FuncPtr f, std::uint64_t mask);
+
+[[nodiscard]] std::uint64_t mask_of(std::span<const unsigned> vars);
+
+/// Thrown when a negative-polarity existential would exceed
+/// SatDecOptions::expand_limit disjuncts. Callers catch it and decline the
+/// check they were running (conservative: never produces a wrong netlist).
+class ExpansionCappedError : public std::runtime_error {
+ public:
+  explicit ExpansionCappedError(std::size_t disjuncts)
+      : std::runtime_error("satdec: existential expansion capped (" +
+                           std::to_string(disjuncts) + " disjuncts)") {}
+};
+
+/// Required relationship between an encoded literal L and its formula f:
+///   kPos:  L -> f   (assume L true to assert f)
+///   kNeg:  f -> L   (assume L false to assert !f)
+///   kBoth: L <-> f
+/// Gate and leaf encodings are always full equivalences; polarity only
+/// selects the quantifier strategy (Skolemization vs expansion).
+enum class Polarity : std::uint8_t { kPos, kNeg, kBoth };
+
+[[nodiscard]] constexpr Polarity flip(Polarity p) {
+  if (p == Polarity::kPos) return Polarity::kNeg;
+  if (p == Polarity::kNeg) return Polarity::kPos;
+  return Polarity::kBoth;
+}
+
+/// CNF-encodes formula DAGs into one solver. A "frame" gives the literal
+/// standing for each global variable; oracles use several frames (the
+/// two-copy encoding) over the same encoder.
+class FuncEncoder {
+ public:
+  FuncEncoder(sat::TseitinEncoder& enc, const SatDecOptions& opt,
+              SatDecStats& stats)
+      : enc_(enc), opt_(opt), stats_(stats) {}
+
+  /// Encode `f` under `frame` with the guarantee selected by `pol`.
+  /// Throws ExpansionCappedError when a quantifier expansion trips the cap.
+  [[nodiscard]] sat::Lit encode(const FuncPtr& f,
+                                std::span<const sat::Lit> frame, Polarity pol);
+
+  /// Fresh solver-variable frame of `n` positive literals.
+  [[nodiscard]] std::vector<sat::Lit> fresh_frame(unsigned n);
+
+ private:
+  struct Ctx {
+    std::vector<sat::Lit> frame;
+    // Memo is per-frame: a cofactor or quantifier changes the frame, so the
+    // child is encoded in a child context with its own memo.
+    std::map<std::pair<const SatFunc*, std::uint8_t>, sat::Lit> memo;
+  };
+
+  [[nodiscard]] sat::Lit encode_in(Ctx& ctx, const SatFunc& f, Polarity pol);
+  [[nodiscard]] sat::Lit encode_cone(Ctx& ctx, const Netlist& net,
+                                     SignalId cone_root);
+  [[nodiscard]] sat::Lit encode_tt(const TruthTable& t,
+                                   std::span<const sat::Lit> lits);
+  [[nodiscard]] sat::Lit or_reduce(std::vector<sat::Lit> lits);
+  /// Leaf encoders that need solver Vars (cover): a fresh var frame tied to
+  /// the current literal frame on the leaf's support.
+  [[nodiscard]] std::vector<sat::Var> tied_var_frame(
+      const Ctx& ctx, std::uint64_t support_mask, unsigned width);
+
+  sat::TseitinEncoder& enc_;
+  const SatDecOptions& opt_;
+  SatDecStats& stats_;
+};
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_SAT_FUNC_H

@@ -1,0 +1,315 @@
+#include "satdec/tt_isf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace bidec::satdec {
+
+const char* dec_gate_name(DecGate g) {
+  switch (g) {
+    case DecGate::kOr: return "or";
+    case DecGate::kAnd: return "and";
+    case DecGate::kExor: return "exor";
+  }
+  return "?";
+}
+
+std::vector<unsigned> tt_support(const TtIsf& f) {
+  std::vector<unsigned> support;
+  for (unsigned v = 0; v < f.q.num_vars(); ++v) {
+    if (f.q.depends_on(v) || f.r.depends_on(v)) support.push_back(v);
+  }
+  return support;
+}
+
+void tt_remove_inessential(TtIsf& f) {
+  for (unsigned v = 0; v < f.q.num_vars(); ++v) {
+    if (!f.q.depends_on(v) && !f.r.depends_on(v)) continue;
+    const TruthTable eq = f.q.exists(v);
+    const TruthTable er = f.r.exists(v);
+    if ((eq & er).is_zero()) {
+      f.q = eq;
+      f.r = er;
+    }
+  }
+}
+
+bool tt_or_decomposable(const TtIsf& f, std::span<const unsigned> xa,
+                        std::span<const unsigned> xb) {
+  return (f.q & f.r.exists(xa) & f.r.exists(xb)).is_zero();
+}
+
+bool tt_and_decomposable(const TtIsf& f, std::span<const unsigned> xa,
+                         std::span<const unsigned> xb) {
+  return (f.r & f.q.exists(xa) & f.q.exists(xb)).is_zero();
+}
+
+bool tt_exor_decomposable_11(const TtIsf& f, unsigned a, unsigned b) {
+  // Theorem 2 via the ISF derivative w.r.t. `a` (see bidec/check.h).
+  const TruthTable qd = f.q.exists(a) & f.r.exists(a);
+  const TruthTable rd = f.q.forall(a) | f.r.forall(a);
+  return (qd & rd.exists(b)).is_zero();
+}
+
+namespace {
+
+/// A truth table that is 1 exactly at the first on-minterm of `t` (the
+/// cube seed of Fig. 4, reduced to a single minterm: any subset of the
+/// remaining on-set is a valid seed, and a minterm keeps this exact).
+TruthTable pick_minterm(const TruthTable& t) {
+  TruthTable cube = TruthTable::zeros(t.num_vars());
+  const std::uint64_t m = t.find_first();
+  assert(m < t.num_minterms() && "pick_minterm on constant-zero table");
+  cube.set(m, true);
+  return cube;
+}
+
+}  // namespace
+
+std::optional<TtExorComponents> tt_check_exor(const TtIsf& f,
+                                              std::span<const unsigned> xa,
+                                              std::span<const unsigned> xb) {
+  // Straight port of check_exor_bidecomp (bidec/exor_check.cpp, paper
+  // Fig. 4) with BDD ops replaced by TruthTable ops.
+  TruthTable q = f.q;
+  TruthTable r = f.r;
+  const unsigned width = q.num_vars();
+
+  TruthTable big_qa = TruthTable::zeros(width), big_ra = big_qa;
+  TruthTable big_qb = big_qa, big_rb = big_qa;
+
+  while (!q.is_zero()) {
+    TruthTable qa = pick_minterm(q).exists(xb);
+    TruthTable ra = TruthTable::zeros(width);
+
+    while (!(qa | ra).is_zero()) {
+      TruthTable qb = ((q & ra) | (r & qa)).exists(xa);
+      TruthTable rb = ((q & qa) | (r & ra)).exists(xa);
+      if (!(qb & rb).is_zero()) return std::nullopt;
+
+      q = q - (qa | ra);
+      r = r - (qa | ra);
+      big_qa = big_qa | qa;
+      big_ra = big_ra | ra;
+
+      qa = ((q & rb) | (r & qb)).exists(xb);
+      ra = ((q & qb) | (r & rb)).exists(xb);
+      if (!(qa & ra).is_zero()) return std::nullopt;
+
+      q = q - (qb | rb);
+      r = r - (qb | rb);
+      big_qb = big_qb | qb;
+      big_rb = big_rb | rb;
+    }
+  }
+
+  if (!r.is_zero()) {
+    big_ra = big_ra | r.exists(xb);
+    big_rb = big_rb | r.exists(xa);
+  }
+
+  if (!(big_qa & big_ra).is_zero() || !(big_qb & big_rb).is_zero()) {
+    return std::nullopt;
+  }
+  return TtExorComponents{TtIsf{big_qa, big_ra, f.vars},
+                          TtIsf{big_qb, big_rb, f.vars}};
+}
+
+std::uint64_t tt_weak_or_gain(const TtIsf& f, std::span<const unsigned> xa) {
+  return (f.q - f.r.exists(xa)).count_ones();
+}
+
+std::uint64_t tt_weak_and_gain(const TtIsf& f, std::span<const unsigned> xa) {
+  return (f.r - f.q.exists(xa)).count_ones();
+}
+
+TtIsf tt_derive_or_a(const TtIsf& f, std::span<const unsigned> xa,
+                     std::span<const unsigned> xb) {
+  const TruthTable exa_r = f.r.exists(xa);
+  return TtIsf{(f.q & exa_r).exists(xb), f.r.exists(xb), f.vars};
+}
+
+TtIsf tt_derive_or_b(const TtIsf& f, const TruthTable& fa,
+                     std::span<const unsigned> xa) {
+  return TtIsf{(f.q - fa).exists(xa), f.r.exists(xa), f.vars};
+}
+
+TtIsf tt_derive_and_a(const TtIsf& f, std::span<const unsigned> xa,
+                      std::span<const unsigned> xb) {
+  // Dual of tt_derive_or_a through interval complementation (swap q/r).
+  const TruthTable exa_q = f.q.exists(xa);
+  return TtIsf{f.q.exists(xb), (f.r & exa_q).exists(xb), f.vars};
+}
+
+TtIsf tt_derive_and_b(const TtIsf& f, const TruthTable& fa,
+                      std::span<const unsigned> xa) {
+  return TtIsf{f.q.exists(xa), (f.r & fa).exists(xa), f.vars};
+}
+
+TtIsf tt_derive_weak_or_a(const TtIsf& f, std::span<const unsigned> xa) {
+  return TtIsf{f.q & f.r.exists(xa), f.r, f.vars};
+}
+
+TtIsf tt_derive_weak_and_a(const TtIsf& f, std::span<const unsigned> xa) {
+  return TtIsf{f.q, f.r & f.q.exists(xa), f.vars};
+}
+
+// ---------------------------------------------------------------------------
+// Grouping greedy (port of bidec/grouping.cpp with TT checks)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using CheckFn =
+    std::function<bool(std::span<const unsigned>, std::span<const unsigned>)>;
+
+bool contains(const std::vector<unsigned>& set, unsigned v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+std::vector<Grouping> find_initial_groupings(std::span<const unsigned> support,
+                                             const CheckFn& check,
+                                             std::size_t max_pairs) {
+  std::vector<Grouping> pairs;
+  for (std::size_t i = 0; i < support.size() && pairs.size() < max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < support.size() && pairs.size() < max_pairs;
+         ++j) {
+      const unsigned xa[] = {support[i]};
+      const unsigned xb[] = {support[j]};
+      if (check(xa, xb)) pairs.push_back(Grouping{{support[i]}, {support[j]}});
+    }
+  }
+  return pairs;
+}
+
+void grow_grouping(Grouping& g, std::span<const unsigned> support,
+                   const CheckFn& check) {
+  for (const unsigned z : support) {
+    if (contains(g.xa, z) || contains(g.xb, z)) continue;
+    std::vector<unsigned>& first = g.xa.size() <= g.xb.size() ? g.xa : g.xb;
+    std::vector<unsigned>& second = g.xa.size() <= g.xb.size() ? g.xb : g.xa;
+    first.push_back(z);
+    if (check(g.xa, g.xb)) continue;
+    first.pop_back();
+    second.push_back(z);
+    if (check(g.xa, g.xb)) continue;
+    second.pop_back();
+  }
+}
+
+void canonicalize_contiguous(Grouping& g, const CheckFn& check) {
+  std::vector<unsigned> all;
+  all.reserve(g.size());
+  all.insert(all.end(), g.xa.begin(), g.xa.end());
+  all.insert(all.end(), g.xb.begin(), g.xb.end());
+  std::sort(all.begin(), all.end());
+
+  const auto try_split = [&](std::size_t xa_size) {
+    if (xa_size == 0 || xa_size >= all.size()) return false;
+    Grouping contiguous;
+    contiguous.xa.assign(all.begin(),
+                         all.begin() + static_cast<std::ptrdiff_t>(xa_size));
+    contiguous.xb.assign(all.begin() + static_cast<std::ptrdiff_t>(xa_size),
+                         all.end());
+    if (contiguous.xa == g.xa && contiguous.xb == g.xb) return true;
+    if (!check(contiguous.xa, contiguous.xb)) return false;
+    g = std::move(contiguous);
+    return true;
+  };
+
+  std::size_t pow2 = 1;
+  while (pow2 * 2 < all.size()) pow2 *= 2;
+  if (pow2 > 1 && try_split(pow2)) return;
+  (void)try_split(g.xa.size());
+}
+
+Grouping group_variables(std::span<const unsigned> support,
+                         const SatDecOptions& opt, const CheckFn& check) {
+  const std::size_t max_pairs = std::max(1u, opt.grouping_pairs);
+  std::vector<Grouping> candidates =
+      find_initial_groupings(support, check, max_pairs);
+  if (candidates.empty()) return {};
+  Grouping best;
+  long best_score = -1;
+  for (Grouping& g : candidates) {
+    grow_grouping(g, support, check);
+    const long score = static_cast<long>(g.size()) * 1000 -
+                       (opt.balance_cost ? static_cast<long>(g.imbalance()) : 0);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(g);
+    }
+  }
+  canonicalize_contiguous(best, check);
+  return best;
+}
+
+}  // namespace
+
+std::optional<TtBestGrouping> tt_find_best_grouping(
+    const TtIsf& f, std::span<const unsigned> support,
+    const SatDecOptions& opt) {
+  std::vector<TtBestGrouping> candidates;
+  if (Grouping g = group_variables(
+          support, opt,
+          [&f](std::span<const unsigned> xa, std::span<const unsigned> xb) {
+            return tt_or_decomposable(f, xa, xb);
+          });
+      !g.empty()) {
+    candidates.push_back({std::move(g), DecGate::kOr});
+  }
+  if (Grouping g = group_variables(
+          support, opt,
+          [&f](std::span<const unsigned> xa, std::span<const unsigned> xb) {
+            return tt_and_decomposable(f, xa, xb);
+          });
+      !g.empty()) {
+    candidates.push_back({std::move(g), DecGate::kAnd});
+  }
+  if (opt.use_exor) {
+    const CheckFn check = [&f](std::span<const unsigned> xa,
+                               std::span<const unsigned> xb) {
+      if (xa.size() == 1 && xb.size() == 1) {
+        return tt_exor_decomposable_11(f, xa[0], xb[0]);
+      }
+      return tt_check_exor(f, xa, xb).has_value();
+    };
+    if (Grouping g = group_variables(support, opt, check); !g.empty()) {
+      candidates.push_back({std::move(g), DecGate::kExor});
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  const auto score = [&opt](const TtBestGrouping& c) {
+    return static_cast<long>(c.grouping.size()) * 1000 -
+           (opt.balance_cost ? static_cast<long>(c.grouping.imbalance()) : 0);
+  };
+  return *std::max_element(candidates.begin(), candidates.end(),
+                           [&score](const TtBestGrouping& a,
+                                    const TtBestGrouping& b) {
+                             return score(a) < score(b);
+                           });
+}
+
+std::optional<TtWeakGrouping> tt_group_weak(const TtIsf& f,
+                                            std::span<const unsigned> support) {
+  std::optional<TtWeakGrouping> best;
+  std::uint64_t best_gain = 0;
+  for (const unsigned v : support) {
+    const unsigned xa[] = {v};
+    const std::uint64_t or_gain = tt_weak_or_gain(f, xa);
+    if (or_gain > best_gain) {
+      best_gain = or_gain;
+      best = TtWeakGrouping{{v}, DecGate::kOr};
+    }
+    const std::uint64_t and_gain = tt_weak_and_gain(f, xa);
+    if (and_gain > best_gain) {
+      best_gain = and_gain;
+      best = TtWeakGrouping{{v}, DecGate::kAnd};
+    }
+  }
+  return best;
+}
+
+}  // namespace bidec::satdec

@@ -1,0 +1,120 @@
+// Dense truth-table ISF kernel: the terminal domain of the SAT
+// decomposition engine. Once a subproblem's support fits
+// SatDecOptions::tt_threshold the formula pair is enumerated into
+// (TruthTable q, TruthTable r) and the paper's complete machinery — the
+// Theorem-1 OR/AND checks, the Theorem-2/Fig.-4 EXOR check, the Table-1
+// weak gains, the Fig.-5/6 grouping greedy and all component derivations —
+// runs bitwise on 64 minterms per word. These are straight ports of
+// src/bidec/{check,derive,exor_check,grouping}.cpp with BDD operations
+// replaced by TruthTable operations; no BddManager is involved.
+//
+// Index spaces: a TtIsf's tables live in a *local* variable space;
+// `vars[local]` maps back to the engine's global input index. All functions
+// in this header take local indices.
+#ifndef BIDEC_SATDEC_TT_ISF_H
+#define BIDEC_SATDEC_TT_ISF_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "satdec/options.h"
+#include "tt/truth_table.h"
+
+namespace bidec::satdec {
+
+enum class DecGate : std::uint8_t { kOr, kAnd, kExor };
+[[nodiscard]] const char* dec_gate_name(DecGate g);
+
+/// A candidate grouping: private variable sets of the two components (the
+/// common set is implicitly the rest of the support). Indices are local or
+/// global depending on the owning context.
+struct Grouping {
+  std::vector<unsigned> xa;
+  std::vector<unsigned> xb;
+
+  [[nodiscard]] bool empty() const noexcept { return xa.empty() || xb.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xa.size() + xb.size(); }
+  [[nodiscard]] std::size_t imbalance() const noexcept {
+    return xa.size() > xb.size() ? xa.size() - xb.size() : xb.size() - xa.size();
+  }
+};
+
+/// Incompletely specified function as an (on-set, off-set) truth-table pair
+/// over a local variable space.
+struct TtIsf {
+  TruthTable q{0};
+  TruthTable r{0};
+  std::vector<unsigned> vars;  ///< local index -> global input index
+};
+
+/// Local indices at least one of the two tables depends on.
+[[nodiscard]] std::vector<unsigned> tt_support(const TtIsf& f);
+
+/// Quantify out every variable whose care sets never disagree across its
+/// cofactors ((Ex_v q) & (Ex_v r) == 0): the RemoveInessentialVariables step.
+void tt_remove_inessential(TtIsf& f);
+
+// --- decomposability checks (Theorems 1 and 2, Fig. 4) --------------------
+
+[[nodiscard]] bool tt_or_decomposable(const TtIsf& f, std::span<const unsigned> xa,
+                                      std::span<const unsigned> xb);
+[[nodiscard]] bool tt_and_decomposable(const TtIsf& f, std::span<const unsigned> xa,
+                                       std::span<const unsigned> xb);
+[[nodiscard]] bool tt_exor_decomposable_11(const TtIsf& f, unsigned a, unsigned b);
+
+struct TtExorComponents {
+  TtIsf a;
+  TtIsf b;
+};
+/// Constructive Fig.-4 check: component intervals on success, nullopt when a
+/// propagation conflict proves EXOR-non-decomposability.
+[[nodiscard]] std::optional<TtExorComponents> tt_check_exor(
+    const TtIsf& f, std::span<const unsigned> xa, std::span<const unsigned> xb);
+
+// --- weak decomposition (Table 1) -----------------------------------------
+
+/// Minterms that become don't-cares for component A (0 = not useful).
+[[nodiscard]] std::uint64_t tt_weak_or_gain(const TtIsf& f,
+                                            std::span<const unsigned> xa);
+[[nodiscard]] std::uint64_t tt_weak_and_gain(const TtIsf& f,
+                                             std::span<const unsigned> xa);
+
+// --- component derivation (Theorems 3 and 4 and their duals) --------------
+
+[[nodiscard]] TtIsf tt_derive_or_a(const TtIsf& f, std::span<const unsigned> xa,
+                                   std::span<const unsigned> xb);
+[[nodiscard]] TtIsf tt_derive_or_b(const TtIsf& f, const TruthTable& fa,
+                                   std::span<const unsigned> xa);
+[[nodiscard]] TtIsf tt_derive_and_a(const TtIsf& f, std::span<const unsigned> xa,
+                                    std::span<const unsigned> xb);
+[[nodiscard]] TtIsf tt_derive_and_b(const TtIsf& f, const TruthTable& fa,
+                                    std::span<const unsigned> xa);
+[[nodiscard]] TtIsf tt_derive_weak_or_a(const TtIsf& f,
+                                        std::span<const unsigned> xa);
+[[nodiscard]] TtIsf tt_derive_weak_and_a(const TtIsf& f,
+                                         std::span<const unsigned> xa);
+
+// --- grouping search (Figs. 5 and 6) --------------------------------------
+
+struct TtBestGrouping {
+  Grouping grouping;
+  DecGate gate = DecGate::kOr;
+};
+/// Greedy private-set growth over all enabled gate kinds; the Section-7
+/// score (size, balance tie-break) picks the winner. Local indices.
+[[nodiscard]] std::optional<TtBestGrouping> tt_find_best_grouping(
+    const TtIsf& f, std::span<const unsigned> support, const SatDecOptions& opt);
+
+struct TtWeakGrouping {
+  std::vector<unsigned> xa;
+  DecGate gate = DecGate::kOr;
+};
+/// Best useful weak singleton by exact don't-care gain.
+[[nodiscard]] std::optional<TtWeakGrouping> tt_group_weak(
+    const TtIsf& f, std::span<const unsigned> support);
+
+}  // namespace bidec::satdec
+
+#endif  // BIDEC_SATDEC_TT_ISF_H

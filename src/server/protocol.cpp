@@ -71,6 +71,14 @@ std::optional<Request> parse_request(const std::string& line,
     }
     req.spec.verify = *engine;
   }
+  if (const auto v = doc->get_string("engine")) {
+    const std::optional<EngineSelect> engine = parse_engine_select(*v);
+    if (!engine) {
+      error = "engine must be bdd|sat|auto";
+      return std::nullopt;
+    }
+    req.spec.flow.engine = *engine;
+  }
   if (const auto v = doc->get_uint("timeout_ms")) {
     req.spec.timeout_ms = static_cast<std::uint32_t>(*v);
   }

@@ -49,6 +49,8 @@ class TruthTable {
   [[nodiscard]] bool is_zero() const noexcept;
   [[nodiscard]] bool is_ones() const noexcept;
   [[nodiscard]] std::uint64_t count_ones() const noexcept;
+  /// Index of the first on-minterm, or num_minterms() if the table is zero.
+  [[nodiscard]] std::uint64_t find_first() const noexcept;
 
   [[nodiscard]] TruthTable operator&(const TruthTable& g) const;
   [[nodiscard]] TruthTable operator|(const TruthTable& g) const;

@@ -35,7 +35,8 @@ bool satisfiable(Solver& solver, std::initializer_list<Lit> assumptions) {
 
 }  // namespace
 
-VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla) {
+VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla,
+                                    sat::SolverStats* stats) {
   if (pla.num_outputs != net.num_outputs() || pla.num_inputs != net.num_inputs()) {
     throw std::invalid_argument("sat_verify_against_pla: interface mismatch");
   }
@@ -72,10 +73,12 @@ VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla) {
     }
     if (q_violated || r_violated) failed.push_back(o);
   }
+  if (stats != nullptr) *stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 
-VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> spec) {
+VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> spec,
+                                     sat::SolverStats* stats) {
   if (spec.size() != net.num_outputs()) {
     throw std::invalid_argument("sat_verify_against_isfs: output count mismatch");
   }
@@ -101,10 +104,12 @@ VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> sp
     const bool r_violated = satisfiable(solver, {r, f[o]});
     if (q_violated || r_violated) failed.push_back(o);
   }
+  if (stats != nullptr) *stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 
-VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b) {
+VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
+                                   sat::SolverStats* stats) {
   if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
     throw std::invalid_argument("sat_verify_equivalent: interface mismatch");
   }
@@ -119,6 +124,7 @@ VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b) {
     const Lit miter = enc.encode_xor(fa[o], fb[o]);
     if (satisfiable(solver, {miter})) failed.push_back(o);
   }
+  if (stats != nullptr) *stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 

@@ -16,24 +16,32 @@
 #include "io/pla.h"
 #include "isf/isf.h"
 #include "netlist/netlist.h"
+#include "sat/solver.h"
 #include "verify/verifier.h"
 
 namespace bidec {
 
+// Every entry point takes an optional `stats` out-param: when non-null, the
+// solver counters of the call's private CDCL instance are folded into it
+// with operator+=, so one accumulator can span several verifier calls.
+
 /// Check every output of `net` against the PLA specification: Q <= f <= ~R
 /// with (Q, R) taken from the cover rows under the file's .type semantics
 /// (mirroring PlaFile::to_isfs, including the on-minus-dc rule of fd/fr).
-[[nodiscard]] VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla);
+[[nodiscard]] VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla,
+                                                  sat::SolverStats* stats = nullptr);
 
 /// Check every output against an ISF interval. The CNF for Q and R is the
 /// Tseitin encoding of their BDDs, so this variant shares the *structure*
 /// with the BDD substrate but none of the reasoning.
 [[nodiscard]] VerifyResult sat_verify_against_isfs(const Netlist& net,
-                                                   std::span<const Isf> spec);
+                                                   std::span<const Isf> spec,
+                                                   sat::SolverStats* stats = nullptr);
 
 /// Combinational equivalence of two netlists with identical interfaces
 /// (per-output XOR miters over shared input variables).
-[[nodiscard]] VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b);
+[[nodiscard]] VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
+                                                 sat::SolverStats* stats = nullptr);
 
 /// Outcome of running the selected engine(s) on one netlist/spec pair.
 struct DualVerifyResult {

@@ -135,5 +135,84 @@ TEST(SatCheck, SixVariableSweepMatchesBdd) {
   }
 }
 
+// --- degenerate-input short-circuits ---------------------------------------
+// These hit the constant/single-variable fast paths that never build the
+// two-copy encoding; each must agree with the Theorem-1 BDD formula.
+
+TEST(SatCheckDegenerate, EmptyOnSetIsAlwaysDecomposable) {
+  BddManager mgr(3);
+  const unsigned xa[] = {0}, xb[] = {1};
+  // Q = 0: any pair of constant-0 components works.
+  const Isf empty_q(mgr.bdd_false(), mgr.var(2));
+  EXPECT_TRUE(sat_check_or_decomposable(empty_q, xa, xb));
+  EXPECT_EQ(sat_check_or_decomposable(empty_q, xa, xb),
+            check_or_decomposable(empty_q, xa, xb));
+  // R = 0: the interval is [Q, 1]; constant-1 components cover it.
+  const Isf empty_r(mgr.var(2), mgr.bdd_false());
+  EXPECT_TRUE(sat_check_or_decomposable(empty_r, xa, xb));
+  EXPECT_EQ(sat_check_or_decomposable(empty_r, xa, xb),
+            check_or_decomposable(empty_r, xa, xb));
+}
+
+TEST(SatCheckDegenerate, ConstantTrueSides) {
+  BddManager mgr(3);
+  const unsigned xa[] = {0}, xb[] = {1};
+  // Q = 1 with nonzero R is impossible (inconsistent), but R = 1 with
+  // nonzero Q (constant-0 interval with care everywhere Q) exercises the
+  // constant-true branch: Q & exists R & exists R ⊇ Q & R ≠ 0.
+  const Isf f(mgr.var(2), mgr.bdd_true() & ~mgr.var(2));
+  EXPECT_EQ(sat_check_or_decomposable(f, xa, xb),
+            check_or_decomposable(f, xa, xb));
+  const Isf tautology(mgr.bdd_true(), mgr.bdd_false());
+  EXPECT_TRUE(sat_check_or_decomposable(tautology, xa, xb));
+  EXPECT_TRUE(sat_check_and_decomposable(tautology, xa, xb));
+}
+
+TEST(SatCheckDegenerate, SingleSupportVariableAllPlacements) {
+  // Support = {v}: the evaluated-cofactor fast path, with v private to A,
+  // private to B, or common — swept against the BDD check for both q = x2
+  // and q = !x2 and partial intervals.
+  BddManager mgr(4);
+  for (const bool pol : {false, true}) {
+    const Bdd lit = pol ? mgr.var(2) : ~mgr.var(2);
+    const Isf csf = Isf::from_csf(lit);
+    const Isf loose(lit, mgr.bdd_false());
+    for (const Isf* f : {&csf, &loose}) {
+      const unsigned xa_with_v[] = {2}, xb_other[] = {1};
+      EXPECT_EQ(sat_check_or_decomposable(*f, xa_with_v, xb_other),
+                check_or_decomposable(*f, xa_with_v, xb_other))
+          << "pol=" << pol;
+      EXPECT_EQ(sat_check_or_decomposable(*f, xb_other, xa_with_v),
+                check_or_decomposable(*f, xb_other, xa_with_v))
+          << "pol=" << pol;
+      const unsigned xa_common[] = {0}, xb_common[] = {1};
+      EXPECT_EQ(sat_check_or_decomposable(*f, xa_common, xb_common),
+                check_or_decomposable(*f, xa_common, xb_common))
+          << "pol=" << pol;
+      EXPECT_EQ(sat_check_and_decomposable(*f, xa_common, xb_common),
+                check_and_decomposable(*f, xa_common, xb_common))
+          << "pol=" << pol;
+    }
+  }
+}
+
+TEST(SatCheckDegenerate, RandomSingleVarIntervalsMatchBdd) {
+  std::mt19937_64 rng(99);
+  BddManager mgr(5);
+  for (int round = 0; round < 30; ++round) {
+    const unsigned v = static_cast<unsigned>(rng() % 5);
+    const Bdd q = (rng() & 1) ? mgr.var(v) : ~mgr.var(v);
+    // r is 0, !q, or a strict subset of !q restricted to v's literals.
+    const Bdd r = (rng() % 3 == 0) ? mgr.bdd_false() : ~q;
+    const Isf f(q, r);
+    std::vector<unsigned> xa = {static_cast<unsigned>(rng() % 5)};
+    std::vector<unsigned> xb = {static_cast<unsigned>(rng() % 5)};
+    if (xa == xb) continue;
+    EXPECT_EQ(sat_check_or_decomposable(f, xa, xb),
+              check_or_decomposable(f, xa, xb))
+        << "round " << round << " v=" << v;
+  }
+}
+
 }  // namespace
 }  // namespace bidec

@@ -219,5 +219,89 @@ TEST(SatSolver, StatsArepopulated) {
   EXPECT_GT(s.stats().propagations, 0u);
 }
 
+// The conflict core must report failed assumptions *as assumed* — exactly
+// the literals passed in, never their negations. The satdec core-harvest
+// reads this set to decide which selector variables it may free, so a
+// flipped polarity silently produces wrong (non-decomposable) groupings.
+TEST(SatSolver, ConflictCoreIsStrictSubsetOfAssumptionsAsAssumed) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  const Var z = s.new_var();
+  const Var w = s.new_var();  // irrelevant assumption, must not be required
+  ASSERT_TRUE(s.add_clause({neg(x), pos(y)}));  // x -> y
+  ASSERT_TRUE(s.add_clause({neg(y), pos(z)}));  // y -> z
+  ASSERT_EQ(s.solve({pos(w), pos(x), neg(z)}), Result::kUnsat);
+  ASSERT_FALSE(s.conflict().empty());
+  for (const Lit l : s.conflict()) {
+    EXPECT_TRUE(l == pos(x) || l == neg(z))
+        << "core literal is not an as-assumed assumption";
+  }
+  // The core stays usable as a new assumption set: it must still be UNSAT.
+  EXPECT_EQ(s.solve(s.conflict()), Result::kUnsat);
+}
+
+TEST(SatSolver, ConflictCoreImmediateUnitContradiction) {
+  // The failed assumption is falsified at level 0 (analyze_final's early
+  // return): the core is exactly the as-assumed literal.
+  Solver s;
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(x)}));
+  ASSERT_EQ(s.solve({pos(x)}), Result::kUnsat);
+  ASSERT_EQ(s.conflict().size(), 1u);
+  EXPECT_EQ(s.conflict().front(), pos(x));
+}
+
+// AllSAT completeness under blocking clauses: the enumeration pattern the
+// satdec materializer runs. This drives the activity heap through repeated
+// shrink-to-singleton/regrow cycles, the state a heap_pop bug once corrupted
+// — a corrupted heap skips models or reports spurious UNSAT.
+TEST(SatSolver, AllSatEnumerationMatchesBruteForceCount) {
+  std::mt19937_64 rng(321);
+  for (int round = 0; round < 25; ++round) {
+    const unsigned nv = 4;
+    Solver s;
+    std::vector<Var> vars;
+    for (unsigned i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    std::vector<std::vector<Lit>> clauses;
+    const unsigned nc = 3 + static_cast<unsigned>(rng() % 6);
+    bool consistent = true;
+    for (unsigned c = 0; c < nc; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        const Var v = vars[rng() % nv];
+        cl.push_back((rng() & 1) ? pos(v) : neg(v));
+      }
+      clauses.push_back(cl);
+      consistent &= s.add_clause(cl);
+    }
+    std::uint32_t expected = 0;
+    for (std::uint32_t m = 0; m < (1u << nv); ++m) {
+      bool all = true;
+      for (const std::vector<Lit>& c : clauses) {
+        bool any = false;
+        for (const Lit l : c) any |= (((m >> l.var()) & 1u) != 0) != l.negated();
+        all &= any;
+      }
+      expected += all;
+    }
+    if (!consistent) {
+      EXPECT_EQ(expected, 0u) << "round " << round;
+      continue;
+    }
+    std::uint32_t found = 0;
+    while (s.solve() == Result::kSat) {
+      ++found;
+      ASSERT_LE(found, expected) << "round " << round << ": duplicate model";
+      std::vector<Lit> blocking;
+      for (const Var v : vars) {
+        blocking.push_back(s.model_value(v) ? neg(v) : pos(v));
+      }
+      if (!s.add_clause(blocking)) break;
+    }
+    EXPECT_EQ(found, expected) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace bidec::sat

