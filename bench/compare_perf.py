@@ -71,7 +71,7 @@ def main() -> int:
     all_regressions: list[str] = []
     compared = 0
     for suite in ("BENCH_bdd.json", "BENCH_bidec.json", "BENCH_server.json",
-                  "BENCH_satdec.json"):
+                  "BENCH_satdec.json", "BENCH_proof.json"):
         baseline_path = os.path.join(args.baseline_dir, suite)
         current_path = os.path.join(args.current_dir, suite)
         if not os.path.exists(baseline_path):

@@ -1,0 +1,267 @@
+// Proof-layer perf gate: the cost of carrying DRAT proofs through the
+// two-copy SAT decomposability checks (bidec/sat_check). Fixed protocol
+// like perf_gate/micro_satdec (pinned seeds, median of reps, JSON output,
+// no google-benchmark), emitting BENCH_proof.json for compare_perf.py.
+//
+// Three policies over the identical suite of pinned random ISFs:
+//   off    baseline — no proof machinery anywhere
+//   log    DRAT log armed on every solver (the "--proof=log" price)
+//   check  every decomposability UNSAT re-validated by the independent
+//          backward checker (the "--proof=check" price, informational)
+//
+// The binary self-gates: logging overhead above 15% of the off baseline is
+// a failure — an armed-but-unchecked log must stay one amortized append per
+// learned clause, and this gate is what keeps that property from eroding.
+//
+// Usage:
+//   micro_proof [--quick] [--reps N] [--out-dir DIR] [--commit HASH]
+//               [--max-log-overhead F]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "bidec/sat_check.h"
+#include "proof/policy.h"
+#include "tt/truth_table.h"
+
+namespace bidec::proofbench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+constexpr unsigned kNumVars = 10;
+constexpr unsigned kNumFuncs = 6;
+
+/// The pinned workload: random 10-var ISFs (seeded, machine-independent)
+/// swept over a fixed list of (xa, xb) variable-set pairs, OR and AND
+/// checks both. Everything is materialized once; the timed region is pure
+/// sat_check traffic.
+struct Workload {
+  std::vector<Isf> funcs;
+  std::vector<std::pair<std::vector<unsigned>, std::vector<unsigned>>> pairs;
+};
+
+Workload build_workload(BddManager& mgr) {
+  Workload w;
+  std::mt19937_64 rng(0xb1dec0de);
+  for (unsigned i = 0; i < kNumFuncs; ++i) {
+    const TruthTable on = TruthTable::random(kNumVars, rng, 0.5);
+    const TruthTable dc = TruthTable::random(kNumVars, rng, 0.2);
+    w.funcs.emplace_back((on - dc).to_bdd(mgr), ((~on) - dc).to_bdd(mgr));
+  }
+  // Genuinely decomposable functions, so the suite carries UNSAT verdicts
+  // (decomposable <=> the two-copy formula is UNSAT) and the log/check
+  // policies pay their real price. Each half is a random 5-var function of
+  // its own variable block, combined with OR (or AND for odd i).
+  const std::vector<unsigned> lo = {0, 1, 2, 3, 4};
+  const std::vector<unsigned> hi = {5, 6, 7, 8, 9};
+  for (unsigned i = 0; i < 3; ++i) {
+    const std::uint32_t g_bits = static_cast<std::uint32_t>(rng());
+    const std::uint32_t h_bits = static_cast<std::uint32_t>(rng());
+    const TruthTable f =
+        TruthTable::from_function(kNumVars, [&](std::uint64_t m) {
+          const bool g = (g_bits >> (m & 31u)) & 1u;
+          const bool h = (h_bits >> (m >> 5)) & 1u;
+          return i % 2 == 0 ? g || h : g && h;
+        });
+    w.funcs.emplace_back(f.to_bdd(mgr), (~f).to_bdd(mgr));
+  }
+  w.pairs = {
+      {{0}, {1}},          {{2}, {3}},       {{4}, {9}},
+      {{0, 1}, {2, 3}},    {{4, 5}, {6, 7}}, {{0, 2, 4}, {1, 3, 5}},
+      {{0, 1, 2, 3}, {6, 7, 8, 9}},          {lo, hi},
+  };
+  return w;
+}
+
+struct PassResult {
+  std::uint64_t decomposable = 0;  ///< verdict checksum across the suite
+  proof::ProofStats proof;
+};
+
+/// One full sweep of the suite under `policy`. The verdict count is the
+/// determinism checksum: it must be identical across reps and policies.
+PassResult run_pass(const Workload& w, proof::ProofPolicy policy) {
+  PassResult res;
+  for (const Isf& f : w.funcs) {
+    for (const auto& [xa, xb] : w.pairs) {
+      if (sat_check_or_decomposable(f, xa, xb, policy, &res.proof)) {
+        ++res.decomposable;
+      }
+      if (sat_check_and_decomposable(f, xa, xb, policy, &res.proof)) {
+        ++res.decomposable;
+      }
+    }
+  }
+  return res;
+}
+
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;  ///< median wall ns per full suite sweep
+  unsigned reps = 0;
+  std::uint64_t proof_clauses = 0;
+  std::uint64_t checked_unsat = 0;
+};
+
+bool run_timed(const Workload& w, proof::ProofPolicy policy, unsigned reps,
+               std::uint64_t expect_verdicts, BenchRecord& out) {
+  std::vector<double> wall_ms;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const PassResult res = run_pass(w, policy);
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    if (res.decomposable != expect_verdicts) {
+      std::fprintf(stderr,
+                   "micro_proof: policy %s changed verdicts (%llu vs %llu) — "
+                   "proofs must observe, never steer\n",
+                   proof::to_string(policy),
+                   static_cast<unsigned long long>(res.decomposable),
+                   static_cast<unsigned long long>(expect_verdicts));
+      return false;
+    }
+    if (policy != proof::ProofPolicy::kOff && res.proof.logged_inputs == 0) {
+      std::fprintf(stderr, "micro_proof: policy %s logged nothing\n",
+                   proof::to_string(policy));
+      return false;
+    }
+    if (policy == proof::ProofPolicy::kCheck &&
+        (res.proof.failed_checks != 0 || res.proof.checked_unsat == 0)) {
+      std::fprintf(stderr,
+                   "micro_proof: check policy validated %llu UNSATs with %llu "
+                   "failures — the suite must exercise the checker cleanly\n",
+                   static_cast<unsigned long long>(res.proof.checked_unsat),
+                   static_cast<unsigned long long>(res.proof.failed_checks));
+      return false;
+    }
+    if (r == 0) {
+      out.proof_clauses = res.proof.proof_clauses;
+      out.checked_unsat = res.proof.checked_unsat;
+    }
+  }
+  std::sort(wall_ms.begin(), wall_ms.end());
+  out.name = std::string("proof_satcheck_") + proof::to_string(policy);
+  out.ns_per_op = wall_ms[wall_ms.size() / 2] * 1e6;
+  out.reps = reps;
+  std::printf("%-24s %10.2f ms  (%llu proof clauses, %llu checked, %u reps)\n",
+              out.name.c_str(), out.ns_per_op / 1e6,
+              static_cast<unsigned long long>(out.proof_clauses),
+              static_cast<unsigned long long>(out.checked_unsat), reps);
+  return true;
+}
+
+void write_suite(const std::string& path, const std::string& commit,
+                 const std::string& mode,
+                 const std::vector<BenchRecord>& records) {
+  std::string out = "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"suite\": \"proof\",\n";
+  out += "  \"commit\": \"" + commit + "\",\n";
+  out += "  \"mode\": \"" + mode + "\",\n";
+  out += "  \"benches\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"reps\": %u, "
+                  "\"proof_clauses\": %llu, \"checked_unsat\": %llu}",
+                  r.name.c_str(), r.ns_per_op, r.reps,
+                  static_cast<unsigned long long>(r.proof_clauses),
+                  static_cast<unsigned long long>(r.checked_unsat));
+    out += buf;
+    if (i + 1 != records.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "micro_proof: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << out;
+  std::printf("wrote %s (%zu benches)\n", path.c_str(), records.size());
+}
+
+}  // namespace
+}  // namespace bidec::proofbench
+
+int main(int argc, char** argv) {
+  using namespace bidec;
+  using namespace bidec::proofbench;
+
+  bool quick = false;
+  unsigned reps_override = 0;
+  double max_log_overhead = 0.15;
+  std::string out_dir = ".";
+  std::string commit;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps_override = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--commit" && i + 1 < argc) {
+      commit = argv[++i];
+    } else if (arg == "--max-log-overhead" && i + 1 < argc) {
+      max_log_overhead = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_proof [--quick] [--reps N] [--out-dir DIR] "
+                   "[--commit HASH] [--max-log-overhead F]\n");
+      return 1;
+    }
+  }
+  if (commit.empty()) {
+    const char* sha = std::getenv("GITHUB_SHA");
+    commit = sha != nullptr ? sha : "unknown";
+  }
+  const std::string mode = quick ? "quick" : "full";
+  const unsigned reps = reps_override != 0 ? reps_override : (quick ? 5u : 9u);
+
+  BddManager mgr(kNumVars);
+  const Workload w = build_workload(mgr);
+
+  // Reference sweep: pins the verdict checksum and warms up allocator and
+  // caches so the off-policy timing is not paying first-touch costs.
+  const std::uint64_t expect = run_pass(w, proof::ProofPolicy::kOff).decomposable;
+  std::printf("suite: %zu ISFs x %zu pairs x {or,and}, %llu decomposable\n",
+              w.funcs.size(), w.pairs.size(),
+              static_cast<unsigned long long>(expect));
+
+  std::vector<BenchRecord> records(3);
+  if (!run_timed(w, proof::ProofPolicy::kOff, reps, expect, records[0]) ||
+      !run_timed(w, proof::ProofPolicy::kLog, reps, expect, records[1]) ||
+      !run_timed(w, proof::ProofPolicy::kCheck, reps, expect, records[2])) {
+    return 1;
+  }
+
+  const double overhead =
+      records[1].ns_per_op / records[0].ns_per_op - 1.0;
+  std::printf("log overhead: %+.1f%% (gate: <= %.0f%%); check cost: %+.1f%%\n",
+              overhead * 100.0, max_log_overhead * 100.0,
+              (records[2].ns_per_op / records[0].ns_per_op - 1.0) * 100.0);
+  if (overhead > max_log_overhead) {
+    std::fprintf(stderr,
+                 "micro_proof: DRAT logging overhead %.1f%% exceeds the "
+                 "%.0f%% gate — the armed-but-unchecked path regressed\n",
+                 overhead * 100.0, max_log_overhead * 100.0);
+    return 1;
+  }
+
+  write_suite(out_dir + "/BENCH_proof.json", commit, mode, records);
+  return 0;
+}

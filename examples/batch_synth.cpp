@@ -20,6 +20,8 @@
 //     --weak-only --no-exor --no-cache
 //     --verify <engine>   none|bdd|sat|both (default bdd)
 //     --no-verify         alias for --verify none
+//     --proof <policy>    off|log|check (default off): DRAT proof logging
+//                         and independent re-validation of UNSAT verdicts
 //     --lint <mode>       off|warn|error (default off); post-synthesis
 //                         structural lint gate, findings land in the JSON
 #include <algorithm>
@@ -48,6 +50,7 @@ int usage() {
                "       [--degrade] [--json out.json] [--out-dir dir]\n"
                "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
                "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n"
+               "       [--proof off|log|check]\n"
                "       [--lint off|warn|error]\n");
   return 2;
 }
@@ -143,6 +146,15 @@ int main(int argc, char** argv) {
       verify = *engine;
     } else if (a == "--no-verify") {
       verify = VerifyEngine::kNone;
+    } else if (a == "--proof" || a.rfind("--proof=", 0) == 0) {
+      const char* v = a == "--proof" ? next() : a.c_str() + std::strlen("--proof=");
+      if (!v) return usage();
+      const std::optional<proof::ProofPolicy> policy = proof::parse_proof_policy(v);
+      if (!policy) {
+        std::fprintf(stderr, "error: --proof expects off|log|check, got '%s'\n", v);
+        return usage();
+      }
+      flow.proof = *policy;
     } else if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
       const char* v = a == "--lint" ? next() : a.c_str() + std::strlen("--lint=");
       if (!v) return usage();

@@ -24,6 +24,12 @@
 //                           BDDs and falls over to the SAT rung of the
 //                           degradation ladder when a budget trips (batch
 //                           path with --degrade; single files run bdd)
+//     --proof=<policy>      off|log|check (default off); log records a DRAT
+//                           clause proof in every CDCL solver, check also
+//                           re-validates every UNSAT verdict with the
+//                           independent checker before it is trusted (a
+//                           rejected proof is an engine bug and fails the
+//                           job, exit code 3)
 //     --jobs N              worker threads for multi-file invocations
 //                           (0 or omitted: auto-detect hardware concurrency)
 //     --timeout-ms T        per-job deadline for multi-file invocations
@@ -55,6 +61,7 @@
 #include "engine/cli_opts.h"
 #include "io/blif.h"
 #include "io/pla.h"
+#include "proof/drat_check.h"
 #include "satdec/decomposer.h"
 #include "verify/sat_verifier.h"
 #include "verify/verifier.h"
@@ -94,7 +101,8 @@ int usage() {
                "       [--lib lib.genlib] [--reorder none|force|sift]\n"
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
                "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
-               "       [--engine=bdd|sat|auto] [--lint=off|warn|error]\n"
+               "       [--engine=bdd|sat|auto] [--proof=off|log|check]\n"
+               "       [--lint=off|warn|error]\n"
                "       [--jobs N] [--timeout-ms T]\n"
                "       [--node-budget N] [--max-retries R] [--degrade]\n");
   return 2;
@@ -204,8 +212,10 @@ int run_single_sat(const CliArgs& args) {
     opt.absorb_inverters = args.flow.bidec.absorb_inverters;
     opt.grouping_pairs = args.flow.bidec.grouping_pairs;
     opt.balance_cost = args.flow.bidec.balance_cost;
+    opt.proof = args.flow.proof;
     satdec::SatFlowResult res = is_pla ? satdec::synthesize_satdec(pla, opt)
                                        : satdec::synthesize_satdec(original, opt);
+    proof::ProofStats proof_stats = res.stats.proof;
 
     bool verify_failed = false;
     const auto report_failures = [&](const char* engine, const VerifyResult& v) {
@@ -229,8 +239,21 @@ int run_single_sat(const CliArgs& args) {
       report_failures("bdd", verify_against_isfs(mgr, res.netlist, spec));
     }
     if (args.verify == VerifyEngine::kSat || args.verify == VerifyEngine::kBoth) {
-      report_failures("sat", is_pla ? sat_verify_against_pla(res.netlist, pla)
-                                    : sat_verify_equivalent(res.netlist, original));
+      const SatVerifyOptions vopt{.proof = args.flow.proof,
+                                  .proof_stats = &proof_stats};
+      report_failures("sat",
+                      is_pla ? sat_verify_against_pla(res.netlist, pla, vopt)
+                             : sat_verify_equivalent(res.netlist, original, vopt));
+    }
+    if (args.flow.proof != proof::ProofPolicy::kOff) {
+      std::printf("proof (%s): %llu UNSAT checked, %llu failed, %llu proof "
+                  "clauses (%llu trimmed), %llu core inputs\n",
+                  proof::to_string(args.flow.proof),
+                  static_cast<unsigned long long>(proof_stats.checked_unsat),
+                  static_cast<unsigned long long>(proof_stats.failed_checks),
+                  static_cast<unsigned long long>(proof_stats.proof_clauses),
+                  static_cast<unsigned long long>(proof_stats.trimmed_clauses),
+                  static_cast<unsigned long long>(proof_stats.core_inputs));
     }
     if (verify_failed) return kExitVerifyFailed;
     if (args.flow.lint != LintMode::kOff) {
@@ -286,6 +309,11 @@ int run_single_sat(const CliArgs& args) {
       std::printf("wrote %s\n", args.output_dot.c_str());
     }
     return 0;
+  } catch (const proof::ProofCheckError& e) {
+    std::fprintf(stderr,
+                 "PROOF CHECK FAILED: %s (engine bug, not a netlist property)\n",
+                 e.what());
+    return kExitVerifyFailed;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -351,6 +379,15 @@ int main(int argc, char** argv) {
         return usage();
       }
       args.flow.engine = *engine;
+    } else if (a == "--proof" || a.rfind("--proof=", 0) == 0) {
+      const char* v = a == "--proof" ? next() : a.c_str() + std::strlen("--proof=");
+      if (!v) return usage();
+      const std::optional<proof::ProofPolicy> policy = proof::parse_proof_policy(v);
+      if (!policy) {
+        std::fprintf(stderr, "error: --proof expects off|log|check, got '%s'\n", v);
+        return usage();
+      }
+      args.flow.proof = *policy;
     } else if (a == "--lint" || a.rfind("--lint=", 0) == 0) {
       const char* v = a == "--lint" ? next() : a.c_str() + std::strlen("--lint=");
       if (!v) return usage();
@@ -467,9 +504,26 @@ int main(int argc, char** argv) {
     if (args.verify == VerifyEngine::kBdd || args.verify == VerifyEngine::kBoth) {
       report_failures("bdd", verify_against_isfs(*mgr, res.netlist, spec));
     }
+    // On the BDD engine the only CDCL solvers are the verifier miters, so
+    // the proof line reports exactly what --proof certified here.
+    proof::ProofStats proof_stats;
     if (args.verify == VerifyEngine::kSat || args.verify == VerifyEngine::kBoth) {
-      report_failures("sat", is_pla ? sat_verify_against_pla(res.netlist, pla)
-                                    : sat_verify_equivalent(res.netlist, original));
+      const SatVerifyOptions vopt{.proof = args.flow.proof,
+                                  .proof_stats = &proof_stats};
+      report_failures("sat",
+                      is_pla ? sat_verify_against_pla(res.netlist, pla, vopt)
+                             : sat_verify_equivalent(res.netlist, original, vopt));
+    }
+    if (args.flow.proof != proof::ProofPolicy::kOff &&
+        args.verify != VerifyEngine::kNone && args.verify != VerifyEngine::kBdd) {
+      std::printf("proof (%s): %llu UNSAT checked, %llu failed, %llu proof "
+                  "clauses (%llu trimmed), %llu core inputs\n",
+                  proof::to_string(args.flow.proof),
+                  static_cast<unsigned long long>(proof_stats.checked_unsat),
+                  static_cast<unsigned long long>(proof_stats.failed_checks),
+                  static_cast<unsigned long long>(proof_stats.proof_clauses),
+                  static_cast<unsigned long long>(proof_stats.trimmed_clauses),
+                  static_cast<unsigned long long>(proof_stats.core_inputs));
     }
     if (verify_failed) return kExitVerifyFailed;
     if (args.flow.lint != LintMode::kOff && !res.lint.clean()) {

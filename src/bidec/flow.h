@@ -16,6 +16,7 @@
 #include "bidec/bidecomposer.h"
 #include "lint/netlist_lint.h"
 #include "netlist/library.h"
+#include "proof/policy.h"
 
 namespace bidec {
 
@@ -54,6 +55,11 @@ struct FlowOptions {
   /// into FlowResult::lint. The flow itself never fails on findings — the
   /// caller (CLI, batch engine) applies the policy.
   LintMode lint = LintMode::kOff;
+  /// Clause-proof policy for every CDCL solver working on this job (the
+  /// SAT engine's oracles and the SAT verifier's miters). Like `engine`,
+  /// carried here so one options object travels through JobSpec and the
+  /// server protocol; the bdd-only entry point does not read it.
+  proof::ProofPolicy proof = proof::ProofPolicy::kOff;
 };
 
 struct FlowResult {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "proof/drat_check.h"
+#include "proof/proof_log.h"
 #include "sat/tseitin.h"
 
 namespace bidec {
@@ -22,7 +24,9 @@ bool in_set(std::span<const unsigned> set, unsigned v) {
 
 bool or_decomposable_two_copy(const Bdd& q, const Bdd& r, unsigned num_vars,
                               std::span<const unsigned> xa,
-                              std::span<const unsigned> xb) {
+                              std::span<const unsigned> xb,
+                              proof::ProofPolicy policy = proof::ProofPolicy::kOff,
+                              proof::ProofStats* stats = nullptr) {
   // Degenerate inputs decide Theorem 1 without building the two-copy
   // encoding. An empty Q or R kills the product outright; once both are
   // nonzero, Q & exists_{X_A} R & exists_{X_B} R contains Q & R, so a
@@ -47,6 +51,8 @@ bool or_decomposable_two_copy(const Bdd& q, const Bdd& r, unsigned num_vars,
     return true;
   }
   Solver solver;
+  proof::ProofLog log;
+  if (policy != proof::ProofPolicy::kOff) solver.set_proof_log(&log);
   TseitinEncoder enc(solver);
   const std::vector<Var> x = enc.add_vars(num_vars);
   const std::vector<Var> x1 = enc.add_vars(num_vars);
@@ -62,9 +68,38 @@ bool or_decomposable_two_copy(const Bdd& q, const Bdd& r, unsigned num_vars,
   const Lit q_lit = enc.encode_bdd(q, x);
   const Lit r1_lit = enc.encode_bdd(r, x1);
   const Lit r2_lit = enc.encode_bdd(r, x2);
+  const auto fold_log = [&] {
+    if (stats == nullptr || policy == proof::ProofPolicy::kOff) return;
+    stats->logged_inputs += log.input_clauses();
+    stats->proof_clauses += log.derived_clauses();
+    stats->deletions += log.deletions();
+  };
   switch (solver.solve({q_lit, r1_lit, r2_lit})) {
-    case Solver::Result::kSat: return false;
-    case Solver::Result::kUnsat: return true;
+    case Solver::Result::kSat:
+      fold_log();
+      return false;
+    case Solver::Result::kUnsat: {
+      fold_log();
+      if (policy == proof::ProofPolicy::kCheck) {
+        // "Decomposable" rests on this UNSAT; certify it before returning.
+        proof::DratChecker checker;
+        const std::vector<Lit> assumed = {q_lit, r1_lit, r2_lit};
+        const proof::CheckResult res = checker.check(log, assumed);
+        if (stats != nullptr) {
+          ++stats->checked_unsat;
+          stats->trimmed_clauses += res.checked;
+          stats->core_inputs += res.core_inputs;
+          stats->check_ms += res.check_ms;
+          if (!res.valid) ++stats->failed_checks;
+        }
+        if (!res.valid) {
+          throw proof::ProofCheckError(
+              "sat_check: decomposability UNSAT failed proof check: " +
+              res.error);
+        }
+      }
+      return true;
+    }
     case Solver::Result::kUnknown: break;
   }
   throw std::runtime_error("sat_check: solver returned unknown");
@@ -81,6 +116,22 @@ bool sat_check_and_decomposable(const Isf& f, std::span<const unsigned> xa,
                                 std::span<const unsigned> xb) {
   // Same dual as check_and_decomposable: AND-decompose F = OR-decompose (R, Q).
   return or_decomposable_two_copy(f.r(), f.q(), f.manager()->num_vars(), xa, xb);
+}
+
+bool sat_check_or_decomposable(const Isf& f, std::span<const unsigned> xa,
+                               std::span<const unsigned> xb,
+                               proof::ProofPolicy policy,
+                               proof::ProofStats* stats) {
+  return or_decomposable_two_copy(f.q(), f.r(), f.manager()->num_vars(), xa,
+                                  xb, policy, stats);
+}
+
+bool sat_check_and_decomposable(const Isf& f, std::span<const unsigned> xa,
+                                std::span<const unsigned> xb,
+                                proof::ProofPolicy policy,
+                                proof::ProofStats* stats) {
+  return or_decomposable_two_copy(f.r(), f.q(), f.manager()->num_vars(), xa,
+                                  xb, policy, stats);
 }
 
 }  // namespace bidec

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "isf/isf.h"
+#include "proof/policy.h"
 
 namespace bidec {
 
@@ -25,6 +26,25 @@ namespace bidec {
 [[nodiscard]] bool sat_check_and_decomposable(const Isf& f,
                                               std::span<const unsigned> xa,
                                               std::span<const unsigned> xb);
+
+/// Proof-carrying variants. Under ProofPolicy::kLog the solver's DRAT log
+/// is recorded and its sizes folded into `*stats`; under kCheck a
+/// "decomposable" verdict (UNSAT of the two-copy encoding) is additionally
+/// re-validated by the independent checker before being returned — a
+/// rejected proof throws proof::ProofCheckError. The degenerate fast paths
+/// never build a solver, so they log and check nothing. `stats` may be
+/// null; kOff delegates to the plain overloads above.
+[[nodiscard]] bool sat_check_or_decomposable(const Isf& f,
+                                             std::span<const unsigned> xa,
+                                             std::span<const unsigned> xb,
+                                             proof::ProofPolicy policy,
+                                             proof::ProofStats* stats);
+
+[[nodiscard]] bool sat_check_and_decomposable(const Isf& f,
+                                              std::span<const unsigned> xa,
+                                              std::span<const unsigned> xb,
+                                              proof::ProofPolicy policy,
+                                              proof::ProofStats* stats);
 
 }  // namespace bidec
 

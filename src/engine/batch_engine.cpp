@@ -8,6 +8,7 @@
 
 #include "engine/cli_opts.h"
 #include "engine/job_runner.h"
+#include "engine/thread_annotations.h"
 
 namespace bidec {
 
@@ -86,21 +87,25 @@ BatchOutcome BatchEngine::run() {
 
   // Shared scheduling state, all guarded by one mutex: the next fresh job,
   // jobs re-queued by a dying worker, and the death count. A job id leaves
-  // this state exactly once per execution; a death puts its id back.
-  std::mutex queue_mutex;
-  std::size_t next_job = 0;
-  std::vector<std::size_t> requeued;
-  std::size_t deaths = 0;
+  // this state exactly once per execution; a death puts its id back. The
+  // capability annotations let the clang -Wthread-safety build prove every
+  // access below really holds `mu`.
+  struct Scheduler {
+    std::mutex mu;
+    std::size_t next_job BIDEC_GUARDED_BY(mu) = 0;
+    std::vector<std::size_t> requeued BIDEC_GUARDED_BY(mu);
+    std::size_t deaths BIDEC_GUARDED_BY(mu) = 0;
+  } sched;
 
   auto pop_job = [&](std::size_t& i) {
-    const std::lock_guard<std::mutex> lock(queue_mutex);
-    if (!requeued.empty()) {
-      i = requeued.back();
-      requeued.pop_back();
+    const std::lock_guard<std::mutex> lock(sched.mu);
+    if (!sched.requeued.empty()) {
+      i = sched.requeued.back();
+      sched.requeued.pop_back();
       return true;
     }
-    if (next_job >= num_jobs) return false;
-    i = next_job++;
+    if (sched.next_job >= num_jobs) return false;
+    i = sched.next_job++;
     return true;
   };
 
@@ -119,9 +124,9 @@ BatchOutcome BatchEngine::run() {
       } catch (const WorkerDeathFault&) {
         // This worker is gone. Put the in-flight job back for the survivors
         // and exit the thread; the queue keeps draining without us.
-        const std::lock_guard<std::mutex> lock(queue_mutex);
-        requeued.push_back(i);
-        ++deaths;
+        const std::lock_guard<std::mutex> lock(sched.mu);
+        sched.requeued.push_back(i);
+        ++sched.deaths;
         return;
       } catch (...) {
         // Unknown exception type: record a clean failure for this job and
@@ -152,8 +157,16 @@ BatchOutcome BatchEngine::run() {
   // Recovery pass: if every worker died (or the single inline worker did),
   // jobs may remain. Run them on this thread with worker-death injection
   // disabled — there is no pool left to kill, and the batch contract is
-  // that every submitted job gets a report.
-  if (!requeued.empty() || next_job < num_jobs) {
+  // that every submitted job gets a report. The workers are joined, but the
+  // reads still take the lock so the capability annotations stay honest.
+  bool leftovers = false;
+  std::size_t deaths = 0;
+  {
+    const std::lock_guard<std::mutex> lock(sched.mu);
+    leftovers = !sched.requeued.empty() || sched.next_job < num_jobs;
+    deaths = sched.deaths;
+  }
+  if (leftovers) {
     drain(workers, /*allow_worker_death=*/false);
   }
 

@@ -152,6 +152,14 @@ struct JobReport {
   bool sat_engine = false;
   satdec::SatDecStats satdec;
 
+  /// Clause-proof policy the job ran under (FlowOptions::proof) and the
+  /// proof statistics aggregated across every solver that worked on the job
+  /// (the SAT engine's oracles and the SAT verifier's miters). Deterministic
+  /// except check_ms, so the stable JSON carries the counters whenever the
+  /// policy is not kOff — and stays byte-identical under the default.
+  proof::ProofPolicy proof_policy = proof::ProofPolicy::kOff;
+  proof::ProofStats proof;
+
   // Gate counts by type of the produced netlist.
   /// Structural lint findings (empty unless JobSpec::flow.lint ran).
   LintReport lint;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "io/blif.h"
+#include "proof/drat_check.h"
 #include "satdec/decomposer.h"
 #include "verify/sat_verifier.h"
 #include "verify/verifier.h"
@@ -197,7 +198,8 @@ FlowOptions flow_for_rung(const FlowOptions& base, DegradeRung rung) {
 /// unchanged. The node budget deliberately does not apply — there is no
 /// BDD manager on this path, which is the whole point of the rung.
 satdec::SatDecOptions satdec_options_for(const FlowOptions& flow,
-                                         const DegradeStep& step) {
+                                         const DegradeStep& step,
+                                         bool proof_corrupt_fault) {
   satdec::SatDecOptions o;
   o.grouping_pairs = flow.bidec.grouping_pairs;
   o.balance_cost = flow.bidec.balance_cost;
@@ -208,7 +210,22 @@ satdec::SatDecOptions satdec_options_for(const FlowOptions& flow,
   if (step.timeout_ms != 0) {
     o.deadline = Clock::now() + std::chrono::milliseconds(step.timeout_ms);
   }
+  o.proof = flow.proof;
+  o.proof_corrupt_fault = proof_corrupt_fault;
   return o;
+}
+
+/// Whether the fault plan asks for a corrupted proof verdict on this job.
+/// The proof layer has no BddManager hooks, so this point is decoded here
+/// and carried to the engine through SatDecOptions instead of the injector.
+bool plan_wants_proof_corrupt(const FaultPlan& plan, std::size_t job_id) {
+  for (const FaultSpec& f : plan.faults) {
+    if (f.point == FaultPoint::kProofCorrupt &&
+        (f.job < 0 || static_cast<std::size_t>(f.job) == job_id)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Exponential backoff in work: attempt `a` runs under the base budget
@@ -247,8 +264,11 @@ void apply_verification(const JobSpec& spec, JobReport& rep, const Netlist& net,
     // no reasoning with the synthesis substrate — degraded results
     // included.
     v.sat_ran = true;
-    v.sat = is_pla ? sat_verify_against_pla(net, pla, &rep.verify_solver)
-                   : sat_verify_equivalent(net, blif, &rep.verify_solver);
+    const SatVerifyOptions vopt{.proof = spec.flow.proof,
+                                .proof_stats = &rep.proof,
+                                .solver_stats = &rep.verify_solver};
+    v.sat = is_pla ? sat_verify_against_pla(net, pla, vopt)
+                   : sat_verify_equivalent(net, blif, vopt);
     rep.sat_verdict = v.sat.ok ? 1 : 0;
   }
   rep.verify_engine = spec.verify;
@@ -320,7 +340,9 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
   rep.job_id = job_id;
   rep.name = spec.name;
   rep.worker = worker_id;
+  rep.proof_policy = spec.flow.proof;
   const Clock::time_point t0 = Clock::now();
+  const bool proof_corrupt = plan_wants_proof_corrupt(plan, job_id);
 
   // One injector per job, persisting across retry attempts: a `times = 1`
   // fault kills the first attempt and lets the degraded retry through,
@@ -360,8 +382,10 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
         // No BddManager anywhere on this synthesis path: budgets map onto
         // the solver (conflicts + deadline) and the node budget is moot.
         satdec::SatFlowResult sat =
-            is_pla ? satdec::synthesize_satdec(pla, satdec_options_for(spec.flow, step))
-                   : satdec::synthesize_satdec(blif, satdec_options_for(spec.flow, step));
+            is_pla ? satdec::synthesize_satdec(
+                         pla, satdec_options_for(spec.flow, step, proof_corrupt))
+                   : satdec::synthesize_satdec(
+                         blif, satdec_options_for(spec.flow, step, proof_corrupt));
         rep.num_inputs = num_vars;
         rep.num_outputs = static_cast<unsigned>(
             is_pla ? pla.num_outputs : blif.num_outputs());
@@ -382,6 +406,7 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
         }
         rep.sat_engine = true;
         rep.satdec = sat.stats;
+        rep.proof += sat.stats.proof;
         finalize_success(spec, rep, rung, std::move(sat.netlist), result);
         step.outcome = "ok";
         step.success = true;
@@ -437,6 +462,20 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
         rep.error = e.what();
       }
       result.netlist = Netlist{};
+    } catch (const proof::ProofCheckError& e) {
+      // The independent checker rejected an UNSAT the engine wanted to act
+      // on. This is an engine bug, exactly as severe as the bdd/sat
+      // verifier disagreement above — terminal, never retried (a retry
+      // would just re-trust the same broken solver).
+      step.outcome = e.what();
+      if (!rep.degradation.empty() || attempt != 0) {
+        rep.degradation.push_back(std::move(step));
+      }
+      rep.status = JobStatus::kVerifyFailed;
+      rep.error = std::string(e.what()) +
+                  ": engine bug, not a netlist property";
+      result.netlist = Netlist{};
+      break;
     } catch (const std::bad_alloc&) {
       // Synthetic (or real) allocation failure: retryable — the degraded
       // rungs need less memory.

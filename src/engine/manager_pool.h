@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "engine/thread_annotations.h"
 
 namespace bidec {
 
@@ -99,11 +100,11 @@ class ManagerPool {
 
   /// Lease a manager with exactly `num_vars` variables: warm from the idle
   /// pool when one exists, freshly constructed otherwise. Thread-safe.
-  [[nodiscard]] Lease acquire(unsigned num_vars);
+  [[nodiscard]] Lease acquire(unsigned num_vars) BIDEC_EXCLUDES(mutex_);
 
-  [[nodiscard]] ManagerPoolStats stats() const;
+  [[nodiscard]] ManagerPoolStats stats() const BIDEC_EXCLUDES(mutex_);
   /// Idle managers currently pooled (all widths).
-  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] std::size_t idle_count() const BIDEC_EXCLUDES(mutex_);
   [[nodiscard]] const ManagerPoolOptions& options() const noexcept { return options_; }
 
  private:
@@ -112,12 +113,13 @@ class ManagerPool {
     unsigned jobs_run = 0;
   };
 
-  void release(std::unique_ptr<Pooled> pooled, bool dirty);
+  void release(std::unique_ptr<Pooled> pooled, bool dirty) BIDEC_EXCLUDES(mutex_);
 
   ManagerPoolOptions options_;
   mutable std::mutex mutex_;
-  std::unordered_map<unsigned, std::vector<std::unique_ptr<Pooled>>> idle_;
-  ManagerPoolStats stats_;
+  std::unordered_map<unsigned, std::vector<std::unique_ptr<Pooled>>> idle_
+      BIDEC_GUARDED_BY(mutex_);
+  ManagerPoolStats stats_ BIDEC_GUARDED_BY(mutex_);
 };
 
 }  // namespace bidec

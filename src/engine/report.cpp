@@ -177,6 +177,25 @@ void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
        << ", \"learned\": " << rep.verify_solver.learned << "}";
   }
   os << "}";
+  // Clause-proof block, present only when the job ran with a proof policy —
+  // default-off reports (the golden corpus among them) keep their exact
+  // prior bytes. Every counter is deterministic; check_ms is wall time and
+  // follows the wall_ms precedent of staying out of the stable form.
+  if (rep.proof_policy != proof::ProofPolicy::kOff) {
+    os << ", \"proof\": {\"policy\": \"" << proof::to_string(rep.proof_policy)
+       << "\", \"checked_unsat\": " << rep.proof.checked_unsat
+       << ", \"failed_checks\": " << rep.proof.failed_checks
+       << ", \"logged_inputs\": " << rep.proof.logged_inputs
+       << ", \"proof_clauses\": " << rep.proof.proof_clauses
+       << ", \"deletions\": " << rep.proof.deletions
+       << ", \"trimmed_clauses\": " << rep.proof.trimmed_clauses
+       << ", \"core_inputs\": " << rep.proof.core_inputs;
+    if (!stable) {
+      os << ", \"check_ms\": ";
+      append_double(os, rep.proof.check_ms);
+    }
+    os << "}";
+  }
   if (!rep.lint.clean()) {
     os << ", \"lint\": " << rep.lint.to_json();
   }

@@ -24,6 +24,7 @@ const char* to_string(FaultPoint point) noexcept {
     case FaultPoint::kUniqueGrowAlloc: return "unique_grow_alloc";
     case FaultPoint::kDeadlineAtStep: return "deadline_at_step";
     case FaultPoint::kWorkerDeath: return "worker_death";
+    case FaultPoint::kProofCorrupt: return "proof_corrupt";
   }
   return "unknown";
 }

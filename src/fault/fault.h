@@ -24,6 +24,11 @@ enum class FaultPoint : std::uint8_t {
   kDeadlineAtStep,   ///< BddAbortError at recursive step `at` (deterministic
                      ///< stand-in for wall-clock deadline expiry)
   kWorkerDeath,      ///< kill the executing worker thread at step `at`
+  kProofCorrupt,     ///< corrupt the SAT engine's first UNSAT verdict clause
+                     ///< before the proof checker sees it; under
+                     ///< --proof=check this must surface as an engine-bug
+                     ///< report, never a decomposition (the acceptance test
+                     ///< for the checker actually gating results)
 };
 
 [[nodiscard]] const char* to_string(FaultPoint point) noexcept;

@@ -110,6 +110,7 @@ std::string_view lint_rule_title(std::string_view rule) noexcept {
   if (rule == kRuleLibrary) return "library membership violation";
   if (rule == kRuleDuplicateGate) return "duplicate gate";
   if (rule == kRuleSupportInflation) return "component support not reduced";
+  if (rule == kRulePiRedefined) return "primary input redefined or driven";
   if (rule == kRuleBddDuplicateTriple) return "duplicate unique-table triple";
   if (rule == kRuleBddRedundantNode) return "redundant BDD node";
   if (rule == kRuleBddLevelOrder) return "variable-order violation";

@@ -68,6 +68,7 @@ inline constexpr std::string_view kRuleArity = "NL106";           ///< gate with
 inline constexpr std::string_view kRuleLibrary = "NL107";         ///< cover not in the two-input library
 inline constexpr std::string_view kRuleDuplicateGate = "NL108";   ///< structurally identical gates
 inline constexpr std::string_view kRuleSupportInflation = "NL109"; ///< Theorem-5 precondition violated
+inline constexpr std::string_view kRulePiRedefined = "NL110";     ///< primary input redefined or driven
 
 // BDD-manager auditor (see BddManager::audit).
 inline constexpr std::string_view kRuleBddDuplicateTriple = "BM201";  ///< unique table has duplicate (var,lo,hi)

@@ -18,6 +18,7 @@ struct NetIndex {
   std::vector<std::string> names;                  // net index -> name
   std::unordered_map<std::string, std::size_t> id; // name -> net index
   std::vector<bool> is_input;
+  std::vector<unsigned> input_decls;  // times the name appears in .inputs
   std::vector<bool> is_output;
   std::vector<std::size_t> driver;       // first driving gate, kNoGate if none
   std::vector<unsigned> driver_count;    // gate drivers (PIs counted separately)
@@ -30,6 +31,7 @@ struct NetIndex {
     if (inserted) {
       names.push_back(name);
       is_input.push_back(false);
+      input_decls.push_back(0);
       is_output.push_back(false);
       driver.push_back(kNoGate);
       driver_count.push_back(0);
@@ -39,7 +41,11 @@ struct NetIndex {
   }
 
   explicit NetIndex(const RawNetlist& net) {
-    for (const std::string& in : net.inputs) is_input[intern(in)] = true;
+    for (const std::string& in : net.inputs) {
+      const std::size_t n = intern(in);
+      is_input[n] = true;
+      ++input_decls[n];
+    }
     for (const std::string& out : net.outputs) {
       const std::size_t n = intern(out);
       is_output[n] = true;
@@ -192,13 +198,28 @@ class SupportTable {
 
 void rule_connectivity(const RawNetlist& net, const NetIndex& ix, LintReport& rep) {
   for (std::size_t n = 0; n < ix.names.size(); ++n) {
-    const unsigned drivers = ix.driver_count[n] + (ix.is_input[n] ? 1 : 0);
-    if (drivers > 1) {
-      rep.add(std::string(kRuleMultiDriven), LintSeverity::kError, ix.names[n],
-              "net has " + std::to_string(drivers) + " drivers" +
-                  (ix.is_input[n] ? " (one of them the primary input declaration)"
-                                  : ""));
+    // A primary input owns its net: any gate driver is an NL110 violation
+    // (the gate silently shadows the environment's value), and so is a
+    // duplicate .inputs declaration. NL103 keeps the gate-vs-gate conflict.
+    if (ix.is_input[n]) {
+      if (ix.driver_count[n] > 0) {
+        rep.add(std::string(kRulePiRedefined), LintSeverity::kError, ix.names[n],
+                "primary input is driven by " +
+                    std::to_string(ix.driver_count[n]) +
+                    " gate(s); a PI's value comes from the environment, never "
+                    "from logic");
+      }
+      if (ix.input_decls[n] > 1) {
+        rep.add(std::string(kRulePiRedefined), LintSeverity::kError, ix.names[n],
+                "primary input declared " + std::to_string(ix.input_decls[n]) +
+                    " times in .inputs");
+      }
     }
+    if (ix.driver_count[n] > 1) {
+      rep.add(std::string(kRuleMultiDriven), LintSeverity::kError, ix.names[n],
+              "net has " + std::to_string(ix.driver_count[n]) + " drivers");
+    }
+    const unsigned drivers = ix.driver_count[n] + (ix.is_input[n] ? 1 : 0);
     if (drivers == 0 && ix.reader_count[n] > 0) {
       rep.add(std::string(kRuleUndriven), LintSeverity::kError, ix.names[n],
               ix.is_output[n] && ix.reader_count[n] == 1

@@ -14,6 +14,8 @@
 //          exempt, they are BLIF name-aliasing plumbing)
 //   NL109  support inflation (a two-input gate one of whose fanin cones
 //          already spans the gate's whole input support)
+//   NL110  primary input redefined or driven (a PI declared more than once
+//          in .inputs, or a gate whose output net is a PI)
 //
 // NL109 is the structural shadow of the Theorem-5 precondition ("both
 // strong-split components have strictly smaller support"). It is exact for

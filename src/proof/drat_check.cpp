@@ -1,0 +1,308 @@
+#include "proof/drat_check.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_set>
+
+namespace bidec::proof {
+
+namespace {
+
+using sat::Lit;
+using sat::Var;
+
+/// Normalized-clause key for deletion matching: the sorted, deduplicated
+/// literal codes as raw bytes. Deterministic and collision-free.
+std::string clause_key(const std::vector<Lit>& lits) {
+  std::string key(lits.size() * sizeof(std::uint32_t), '\0');
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    std::memcpy(key.data() + i * sizeof(std::uint32_t), &lits[i].code,
+                sizeof(std::uint32_t));
+  }
+  return key;
+}
+
+/// Sort by code and drop duplicates; report whether the clause contains a
+/// complementary pair (a tautology — satisfied under every assignment).
+std::vector<Lit> normalize(std::span<const Lit> lits, bool& taut) {
+  std::vector<Lit> out(lits.begin(), lits.end());
+  std::sort(out.begin(), out.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  taut = false;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].code == (out[i - 1].code ^ 1u)) {
+      taut = true;
+      break;
+    }
+  }
+  return out;
+}
+
+struct BirthLess {
+  const std::vector<std::uint32_t>& births;
+  bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+    return births[a] < births[b];
+  }
+};
+
+}  // namespace
+
+void DratChecker::ensure_var(Var v) {
+  if (v < value_.size()) return;
+  value_.resize(v + 1, 0);
+  reason_.resize(v + 1, kNoClause);
+  seen_.resize(v + 1, 0);
+}
+
+bool DratChecker::assign(Lit l, std::uint32_t reason) {
+  ensure_var(l.var());
+  const int v = lit_value(l);
+  if (v == -1) return false;
+  if (v == 0) {
+    value_[l.var()] = l.negated() ? std::int8_t{-1} : std::int8_t{1};
+    reason_[l.var()] = reason;
+    trail_.push_back(l);
+  }
+  return true;
+}
+
+bool DratChecker::sync(const ProofLog& log, std::string& error) {
+  for (; synced_events_ < log.num_events(); ++synced_events_) {
+    const ProofLog::Event& e = log.event(synced_events_);
+    const std::uint32_t t = static_cast<std::uint32_t>(synced_events_);
+    if (e.kind == ProofLog::EventKind::kDelete) {
+      bool taut = false;
+      const std::vector<Lit> lits = normalize(log.lits(e), taut);
+      auto it = live_.find(clause_key(lits));
+      if (it == live_.end() || it->second.empty()) {
+        error = "event " + std::to_string(t) +
+                ": deletion of a clause that is not alive";
+        return false;
+      }
+      db_[it->second.back()].death = t;
+      it->second.pop_back();
+      continue;
+    }
+    CClause c;
+    c.lits = normalize(log.lits(e), c.taut);
+    c.birth = t;
+    c.input = e.kind == ProofLog::EventKind::kInput;
+    const std::uint32_t ci = static_cast<std::uint32_t>(db_.size());
+    for (const Lit l : c.lits) {
+      ensure_var(l.var());
+      if (l.code >= occ_.size()) occ_.resize(l.code + 1);
+      occ_[l.code].push_back(ci);
+    }
+    if (c.lits.empty()) {
+      empty_clauses_.push_back(ci);
+    } else if (c.lits.size() == 1) {
+      unit_clauses_.push_back(ci);
+    }
+    live_[clause_key(c.lits)].push_back(ci);
+    db_.push_back(std::move(c));
+  }
+  return true;
+}
+
+void DratChecker::mark_clause(std::uint32_t ci) {
+  CClause& c = db_[ci];
+  if (c.marked) return;
+  c.marked = true;
+  if (c.input) {
+    ++marked_inputs_;
+  } else {
+    ++marked_derived_;
+    if (!c.verified) pending_.push_back(ci);
+  }
+}
+
+bool DratChecker::rup_at(std::uint32_t ci) {
+  const std::uint32_t t = db_[ci].birth;
+  std::uint32_t conflict = kNoClause;
+
+  // Assume the negation of every literal of the clause under check. A
+  // complementary pair cannot appear (tautologies are filtered before this
+  // point), so these assignments are consistent.
+  for (const Lit l : db_[ci].lits) {
+    if (!assign(~l, kNoClause)) {
+      conflict = ci;  // defensive; unreachable for non-tautologies
+      break;
+    }
+  }
+
+  // An alive empty clause refutes everything on its own.
+  if (conflict == kNoClause) {
+    for (const std::uint32_t ei : empty_clauses_) {
+      if (ei != ci && active_at(db_[ei], t)) {
+        conflict = ei;
+        break;
+      }
+    }
+  }
+
+  // Seed propagation with the alive unit clauses.
+  if (conflict == kNoClause) {
+    for (const std::uint32_t ui : unit_clauses_) {
+      if (ui == ci || !active_at(db_[ui], t)) continue;
+      const Lit l = db_[ui].lits.front();
+      ensure_var(l.var());
+      const int v = lit_value(l);
+      if (v == -1) {
+        conflict = ui;
+        break;
+      }
+      if (v == 0) assign(l, ui);
+    }
+  }
+
+  // Unit propagation to fixpoint over the alive clauses, full occurrence
+  // lists (deliberately not the solver's watched-literal scheme).
+  std::size_t qhead = 0;
+  while (conflict == kNoClause && qhead < trail_.size()) {
+    const Lit p = trail_[qhead++];
+    const std::uint32_t falsified = (~p).code;
+    if (falsified >= occ_.size()) continue;
+    for (const std::uint32_t oi : occ_[falsified]) {
+      const CClause& c2 = db_[oi];
+      if (oi == ci || c2.taut || !active_at(c2, t)) continue;
+      bool satisfied = false;
+      Lit unit = sat::kUndefLit;
+      unsigned undef = 0;
+      for (const Lit l : c2.lits) {
+        const int v = lit_value(l);
+        if (v == 1) {
+          satisfied = true;
+          break;
+        }
+        if (v == 0) {
+          unit = l;
+          if (++undef > 1) break;
+        }
+      }
+      if (satisfied || undef > 1) continue;
+      if (undef == 0) {
+        conflict = oi;
+        break;
+      }
+      assign(unit, oi);
+    }
+  }
+
+  const bool ok = conflict != kNoClause;
+  if (ok) {
+    // Mark the derivation cone: the conflict clause plus, transitively,
+    // the reason clause of every propagated variable the conflict rests
+    // on. This is the trimmer — unmarked clauses are proof fat.
+    mark_clause(conflict);
+    std::vector<Var> stack;
+    std::vector<Var> visited;
+    for (const Lit l : db_[conflict].lits) stack.push_back(l.var());
+    while (!stack.empty()) {
+      const Var v = stack.back();
+      stack.pop_back();
+      if (v >= seen_.size() || seen_[v] != 0) continue;
+      seen_[v] = 1;
+      visited.push_back(v);
+      const std::uint32_t r = v < reason_.size() ? reason_[v] : kNoClause;
+      if (r == kNoClause) continue;
+      mark_clause(r);
+      for (const Lit l : db_[r].lits) stack.push_back(l.var());
+    }
+    for (const Var v : visited) seen_[v] = 0;
+  }
+
+  for (const Lit l : trail_) {
+    value_[l.var()] = 0;
+    reason_[l.var()] = kNoClause;
+  }
+  trail_.clear();
+  return ok;
+}
+
+CheckResult DratChecker::check(const ProofLog& log,
+                               std::span<const sat::Lit> assumptions) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CheckResult res;
+  const auto finish = [&](bool valid) {
+    res.valid = valid;
+    res.derived = log.derived_clauses();
+    res.checked = marked_derived_;
+    res.core_inputs = marked_inputs_;
+    res.check_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    return res;
+  };
+
+  if (!sync(log, res.error)) return finish(false);
+
+  if (log.last_derived() == ProofLog::npos) {
+    res.error = "log contains no derived clause to use as an UNSAT verdict";
+    return finish(false);
+  }
+
+  // Locate the verdict: the clause whose birth is the last derived event.
+  // Adds map to database entries in event order, so binary-search on birth.
+  const std::uint32_t verdict_event =
+      static_cast<std::uint32_t>(log.last_derived());
+  const auto it = std::lower_bound(
+      db_.begin(), db_.end(), verdict_event,
+      [](const CClause& c, std::uint32_t ev) { return c.birth < ev; });
+  if (it == db_.end() || it->birth != verdict_event || it->input) {
+    res.error = "internal: verdict event has no database entry";
+    return finish(false);
+  }
+  const std::uint32_t verdict = static_cast<std::uint32_t>(it - db_.begin());
+
+  // Semantic gate first: the verdict clause must actually say "the
+  // assumptions are contradictory" — every literal the negation of an
+  // assumption, the empty clause for global UNSAT. Without this a valid
+  // RUP chain ending in an unrelated clause would certify nothing.
+  {
+    std::unordered_set<std::uint32_t> negated;
+    for (const Lit a : assumptions) negated.insert((~a).code);
+    for (const Lit l : db_[verdict].lits) {
+      if (negated.count(l.code) == 0) {
+        res.error = "event " + std::to_string(verdict_event) +
+                    ": verdict clause contains a literal that is not a "
+                    "negated assumption";
+        return finish(false);
+      }
+    }
+  }
+
+  mark_clause(verdict);
+
+  // Backward pass: verify marked derived clauses newest-first, so the cone
+  // each verification marks is processed after it. Antecedents always have
+  // smaller birth than the clause they support, so a max-heap on birth
+  // yields exactly the backward order.
+  std::vector<std::uint32_t> births(db_.size());
+  for (std::size_t i = 0; i < db_.size(); ++i) births[i] = db_[i].birth;
+  const BirthLess less{births};
+  std::make_heap(pending_.begin(), pending_.end(), less);
+  while (!pending_.empty()) {
+    std::pop_heap(pending_.begin(), pending_.end(), less);
+    const std::uint32_t ci = pending_.back();
+    pending_.pop_back();
+    CClause& c = db_[ci];
+    if (c.verified || c.input) continue;
+    if (c.taut) {
+      c.verified = true;  // satisfied everywhere: trivially sound to add
+      continue;
+    }
+    if (!rup_at(ci)) {
+      res.error = "event " + std::to_string(c.birth) +
+                  ": derived clause is not RUP against the clauses alive "
+                  "at that point";
+      return finish(false);
+    }
+    c.verified = true;
+  }
+
+  return finish(true);
+}
+
+}  // namespace bidec::proof

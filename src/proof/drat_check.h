@@ -1,0 +1,140 @@
+// Independent DRAT proof checker: backward RUP (reverse unit propagation)
+// with deletion support, plus the trimmer bookkeeping (which input clauses
+// form the UNSAT core, which derived clauses the verdict actually needs).
+//
+// Independence is the design requirement: this checker shares zero code
+// with sat::Solver's propagation loop — it keeps its own clause database,
+// full occurrence lists instead of two-watched literals, and its own
+// trail/reason bookkeeping — so a learning bug in the solver cannot be
+// mirrored here and silently agreed with.
+//
+// Semantics of one check: the log's most recent derived clause is the
+// claimed UNSAT verdict. It certifies `solve(assumptions) == kUnsat` iff
+//   (1) every literal of the verdict clause is the negation of one of the
+//       assumptions (the empty clause certifies global UNSAT), and
+//   (2) the verdict clause — and transitively every derived clause its
+//       derivation depends on — is RUP against the clauses alive at its
+//       point in the log (deletions respected).
+// The backward pass only ever verifies derived clauses the verdict's cone
+// reaches; everything else is skipped, which is exactly the trimmed proof.
+//
+// DratChecker is incremental: repeated check() calls against one growing
+// log (the per-UNSAT re-validation mode of ProofPolicy::kCheck) reuse all
+// verification work of earlier calls.
+#ifndef BIDEC_PROOF_DRAT_CHECK_H
+#define BIDEC_PROOF_DRAT_CHECK_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proof/policy.h"
+#include "proof/proof_log.h"
+
+namespace bidec::proof {
+
+/// Thrown by proof-policy enforcement points when a checker rejects an
+/// UNSAT verdict. Deliberately NOT derived from BddAbortError: a failed
+/// proof check is an engine bug, never retryable resource exhaustion, so
+/// it must not send a job down the degradation ladder.
+class ProofCheckError : public std::runtime_error {
+ public:
+  explicit ProofCheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Outcome of one check() call. The marked counters are cumulative over
+/// the checker's lifetime (the incremental trimmer keeps extending one
+/// core), so callers aggregating per-call deltas subtract the previous
+/// call's values.
+struct CheckResult {
+  bool valid = false;
+  std::string error;  ///< empty when valid; names the failing event otherwise
+
+  std::uint64_t derived = 0;      ///< derived clauses in the log so far
+  std::uint64_t checked = 0;      ///< derived clauses RUP-verified (trimmed proof)
+  std::uint64_t core_inputs = 0;  ///< input clauses the verified cone touches
+  double check_ms = 0.0;          ///< wall time of this call
+};
+
+class DratChecker {
+ public:
+  DratChecker() = default;
+
+  DratChecker(const DratChecker&) = delete;
+  DratChecker& operator=(const DratChecker&) = delete;
+
+  /// Verify that `log`'s most recent derived clause certifies UNSAT under
+  /// `assumptions` (see the file comment for the exact claim). Safe to call
+  /// repeatedly as the log grows; each call validates the newest verdict.
+  [[nodiscard]] CheckResult check(const ProofLog& log,
+                                  std::span<const sat::Lit> assumptions);
+  [[nodiscard]] CheckResult check(const ProofLog& log) {
+    return check(log, {});
+  }
+
+ private:
+  static constexpr std::uint32_t kNever = 0xffffffffu;
+  static constexpr std::uint32_t kNoClause = 0xffffffffu;
+
+  struct CClause {
+    std::vector<sat::Lit> lits;  ///< normalized: sorted by code, deduplicated
+    std::uint32_t birth = 0;     ///< event index that added the clause
+    std::uint32_t death = kNever;  ///< event index that deleted it
+    bool input = false;
+    bool taut = false;      ///< contains l and ~l: satisfied always
+    bool marked = false;    ///< reached by some verdict's cone
+    bool verified = false;  ///< RUP-checked at its own birth point
+  };
+
+  /// Consume log events newer than the last sync into the clause database.
+  /// Returns false (with `error` set) on a malformed log, e.g. a deletion
+  /// with no matching live clause.
+  bool sync(const ProofLog& log, std::string& error);
+
+  [[nodiscard]] bool active_at(const CClause& c, std::uint32_t t) const noexcept {
+    return c.birth < t && c.death > t;
+  }
+
+  /// RUP-check clause `ci` against the clauses alive at its birth point,
+  /// marking every clause in the derivation cone. False = not RUP.
+  [[nodiscard]] bool rup_at(std::uint32_t ci);
+
+  void mark_clause(std::uint32_t ci);
+  void ensure_var(sat::Var v);
+  [[nodiscard]] int lit_value(sat::Lit l) const noexcept {
+    const std::int8_t v = value_[l.var()];
+    if (v == 0) return 0;
+    return (v > 0) != l.negated() ? 1 : -1;
+  }
+  bool assign(sat::Lit l, std::uint32_t reason);  ///< false = already false
+
+  std::vector<CClause> db_;
+  std::vector<std::vector<std::uint32_t>> occ_;  ///< by Lit::code
+  std::vector<std::uint32_t> unit_clauses_;      ///< size-1 clauses, any time
+  std::vector<std::uint32_t> empty_clauses_;     ///< size-0 clauses, any time
+  std::size_t synced_events_ = 0;
+
+  /// Live clauses per normalized-literal key, for deletion matching
+  /// (DRAT deletes the most recently added matching clause).
+  std::unordered_map<std::string, std::vector<std::uint32_t>> live_;
+
+  // Propagation scratch (reset after every rup_at call).
+  std::vector<std::int8_t> value_;  ///< by var: 0 undef, +1 true, -1 false
+  std::vector<std::uint32_t> reason_;
+  std::vector<sat::Lit> trail_;
+  std::vector<std::uint8_t> seen_;  ///< cone-walk scratch, by var
+
+  /// Worklist of marked-but-unverified derived clauses (processed in
+  /// decreasing birth order by the backward pass).
+  std::vector<std::uint32_t> pending_;
+
+  std::uint64_t marked_inputs_ = 0;
+  std::uint64_t marked_derived_ = 0;
+};
+
+}  // namespace bidec::proof
+
+#endif  // BIDEC_PROOF_DRAT_CHECK_H

@@ -1,0 +1,72 @@
+// Proof policy and counters shared by every layer that carries them
+// (FlowOptions, SatDecOptions, JobReport, the server protocol, the CLIs).
+// Deliberately dependency-free: this header is included from option structs
+// all over the tree, so it must not pull in the solver or the checker.
+#ifndef BIDEC_PROOF_POLICY_H
+#define BIDEC_PROOF_POLICY_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bidec::proof {
+
+/// What to do about UNSAT verdicts of the CDCL solver.
+///  * kOff:   no logging, no checking — the zero-overhead default.
+///  * kLog:   record a DRAT clause proof (learned clauses + deletions) for
+///            every solver; nothing is validated, but the proof is there.
+///  * kCheck: additionally re-validate every UNSAT verdict with the
+///            independent backward-RUP checker *before the result is
+///            trusted*. A failed check is an engine bug and is reported
+///            with the same severity as a bdd/sat verifier disagreement —
+///            never a silent pass.
+enum class ProofPolicy : std::uint8_t { kOff, kLog, kCheck };
+
+[[nodiscard]] constexpr const char* to_string(ProofPolicy policy) noexcept {
+  switch (policy) {
+    case ProofPolicy::kOff: return "off";
+    case ProofPolicy::kLog: return "log";
+    case ProofPolicy::kCheck: return "check";
+  }
+  return "unknown";
+}
+
+/// Parse "off" | "log" | "check"; nullopt on anything else.
+[[nodiscard]] inline std::optional<ProofPolicy> parse_proof_policy(
+    std::string_view name) {
+  if (name == "off") return ProofPolicy::kOff;
+  if (name == "log") return ProofPolicy::kLog;
+  if (name == "check") return ProofPolicy::kCheck;
+  return std::nullopt;
+}
+
+/// Everything measured about proof logging/checking, aggregated per job.
+/// Every counter except `check_ms` is deterministic (the solver and the
+/// checker have no randomness), so stable reports may include them;
+/// `check_ms` is wall time and stays out of byte-stable JSON.
+struct ProofStats {
+  std::uint64_t checked_unsat = 0;  ///< UNSAT verdicts validated by the checker
+  std::uint64_t failed_checks = 0;  ///< checker rejections (engine bugs); 0 or the job failed
+  std::uint64_t logged_inputs = 0;  ///< original problem clauses recorded
+  std::uint64_t proof_clauses = 0;  ///< derived (learned/verdict) clauses recorded
+  std::uint64_t deletions = 0;      ///< clause deletions recorded
+  std::uint64_t trimmed_clauses = 0;  ///< derived clauses the backward check marked
+  std::uint64_t core_inputs = 0;      ///< input clauses in the verified cores
+  double check_ms = 0.0;              ///< wall time inside the checker
+
+  ProofStats& operator+=(const ProofStats& o) noexcept {
+    checked_unsat += o.checked_unsat;
+    failed_checks += o.failed_checks;
+    logged_inputs += o.logged_inputs;
+    proof_clauses += o.proof_clauses;
+    deletions += o.deletions;
+    trimmed_clauses += o.trimmed_clauses;
+    core_inputs += o.core_inputs;
+    check_ms += o.check_ms;
+    return *this;
+  }
+};
+
+}  // namespace bidec::proof
+
+#endif  // BIDEC_PROOF_POLICY_H

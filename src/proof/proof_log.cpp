@@ -1,0 +1,86 @@
+#include "proof/proof_log.h"
+
+#include <ostream>
+
+namespace bidec::proof {
+
+namespace {
+
+/// DIMACS rendering of a packed literal: 1-based variable, minus = negated.
+long long dimacs(sat::Lit l) noexcept {
+  const long long v = static_cast<long long>(l.var()) + 1;
+  return l.negated() ? -v : v;
+}
+
+}  // namespace
+
+void ProofLog::append_event(EventKind kind, std::span<const sat::Lit> lits) {
+  Event e;
+  e.kind = kind;
+  e.begin = static_cast<std::uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), lits.begin(), lits.end());
+  e.end = static_cast<std::uint32_t>(pool_.size());
+  events_.push_back(e);
+  if (tee_.is_open() && kind != EventKind::kInput) {
+    write_proof_line(tee_, e);
+  }
+}
+
+void ProofLog::on_add(std::span<const sat::Lit> lits, bool derived) {
+  if (derived) {
+    last_derived_ = events_.size();
+    ++derived_;
+    append_event(EventKind::kDerived, lits);
+  } else {
+    ++inputs_;
+    append_event(EventKind::kInput, lits);
+  }
+}
+
+void ProofLog::on_delete(std::span<const sat::Lit> lits) {
+  ++deletions_;
+  append_event(EventKind::kDelete, lits);
+}
+
+bool ProofLog::tee_to_file(const std::string& path) {
+  tee_.open(path, std::ios::out | std::ios::trunc);
+  return tee_.is_open();
+}
+
+void ProofLog::write_proof_line(std::ostream& os, const Event& e) const {
+  if (e.kind == EventKind::kDelete) os << "d ";
+  for (const sat::Lit l : lits(e)) os << dimacs(l) << ' ';
+  os << "0\n";
+}
+
+void ProofLog::write_drat(std::ostream& os) const {
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kInput) continue;
+    write_proof_line(os, e);
+  }
+}
+
+void ProofLog::clear() {
+  pool_.clear();
+  events_.clear();
+  inputs_ = 0;
+  derived_ = 0;
+  deletions_ = 0;
+  last_derived_ = npos;
+}
+
+void ProofLog::corrupt_last_derived_for_test() {
+  if (last_derived_ == npos) return;
+  Event& e = events_[last_derived_];
+  if (e.begin == e.end) {
+    // Empty verdict clause: replace it with a bogus unit so the "UNSAT"
+    // conclusion no longer follows from the proof.
+    e.begin = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(sat::mk_lit(0));
+    e.end = static_cast<std::uint32_t>(pool_.size());
+  } else {
+    pool_[e.begin] = ~pool_[e.begin];
+  }
+}
+
+}  // namespace bidec::proof

@@ -1,0 +1,96 @@
+// In-memory (optionally file-teed) DRAT clause-proof log. One ProofLog is
+// armed on one sat::Solver via set_proof_log() *before* the first clause is
+// added; from then on it records, in order, every original clause, every
+// clause the solver claims to have derived (learned clauses and the UNSAT
+// verdict clauses), and every learned-clause deletion. The independent
+// checker in drat_check.h replays this record; the log itself never
+// interprets it.
+//
+// Storage is a flat literal pool plus fixed-size event descriptors, so a
+// armed-but-never-checked run ("--proof=log") costs one amortized append
+// per learned clause and nothing else.
+#ifndef BIDEC_PROOF_PROOF_LOG_H
+#define BIDEC_PROOF_PROOF_LOG_H
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proof/policy.h"
+#include "sat/solver.h"
+
+namespace bidec::proof {
+
+class ProofLog final : public sat::ProofSink {
+ public:
+  enum class EventKind : std::uint8_t {
+    kInput,    ///< original problem clause (the formula side of DRAT)
+    kDerived,  ///< clause claimed RUP-derivable at this point
+    kDelete,   ///< learned clause removed from the database
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kInput;
+    std::uint32_t begin = 0;  ///< first literal in the pool
+    std::uint32_t end = 0;    ///< one past the last literal
+  };
+
+  ProofLog() = default;
+
+  // --- sat::ProofSink ------------------------------------------------------
+  void on_add(std::span<const sat::Lit> lits, bool derived) override;
+  void on_delete(std::span<const sat::Lit> lits) override;
+
+  // --- access for the checker ---------------------------------------------
+  [[nodiscard]] std::size_t num_events() const noexcept { return events_.size(); }
+  [[nodiscard]] const Event& event(std::size_t i) const { return events_[i]; }
+  [[nodiscard]] std::span<const sat::Lit> lits(const Event& e) const noexcept {
+    return {pool_.data() + e.begin, pool_.data() + e.end};
+  }
+
+  [[nodiscard]] std::uint64_t input_clauses() const noexcept { return inputs_; }
+  [[nodiscard]] std::uint64_t derived_clauses() const noexcept { return derived_; }
+  [[nodiscard]] std::uint64_t deletions() const noexcept { return deletions_; }
+
+  /// Index of the most recent kDerived event, or npos when none exists.
+  /// After a solve() that returned kUnsat this is the verdict clause.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t last_derived() const noexcept { return last_derived_; }
+
+  // --- file-backed mode ----------------------------------------------------
+  /// Additionally stream proof lines (derived adds and deletions, standard
+  /// textual DRAT: DIMACS literals, "d " prefix for deletions, 0-terminated)
+  /// to `path` as they arrive. Input clauses belong to the formula, not the
+  /// proof, and are not written. Returns false when the file cannot open.
+  bool tee_to_file(const std::string& path);
+  /// Write the same textual DRAT proof for everything logged so far.
+  void write_drat(std::ostream& os) const;
+
+  /// Drop everything (events, pool, counters); the tee file stays attached.
+  void clear();
+
+  // --- fault-injection hook ------------------------------------------------
+  /// Corrupt the most recent derived clause by flipping its first literal
+  /// (or, for the empty clause, turning it into a bogus unit). This is the
+  /// deliberate-engine-bug hook the fault layer uses to prove the checker
+  /// actually gates results; it has no other legitimate use.
+  void corrupt_last_derived_for_test();
+
+ private:
+  void append_event(EventKind kind, std::span<const sat::Lit> lits);
+  void write_proof_line(std::ostream& os, const Event& e) const;
+
+  std::vector<sat::Lit> pool_;
+  std::vector<Event> events_;
+  std::uint64_t inputs_ = 0;
+  std::uint64_t derived_ = 0;
+  std::uint64_t deletions_ = 0;
+  std::size_t last_derived_ = npos;
+  std::ofstream tee_;
+};
+
+}  // namespace bidec::proof
+
+#endif  // BIDEC_PROOF_PROOF_LOG_H

@@ -46,6 +46,12 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   assert(decision_level() == 0);
   if (!ok_) return false;
 
+  // Log the clause exactly as the caller gave it: the normalization below
+  // (dropping false literals, merging duplicates) is RUP-derivable by the
+  // checker's own unit propagation, so the original form is the honest
+  // input axiom.
+  if (proof_ != nullptr) proof_->on_add(lits, /*derived=*/false);
+
   // Normalize: sort, merge duplicates, drop top-level-false literals and
   // detect tautologies / top-level-true literals.
   std::sort(lits.begin(), lits.end(),
@@ -62,11 +68,15 @@ bool Solver::add_clause(std::vector<Lit> lits) {
 
   if (out.empty()) {
     ok_ = false;
+    // Every literal of the clause is false at the top level, so unit
+    // propagation alone refutes the formula: the empty clause is RUP.
+    if (proof_ != nullptr) proof_->on_add({}, /*derived=*/true);
     return false;
   }
   if (out.size() == 1) {
     unchecked_enqueue(out[0], kNoClause);
     ok_ = propagate() == kNoClause;
+    if (!ok_ && proof_ != nullptr) proof_->on_add({}, /*derived=*/true);
     return ok_;
   }
   const ClauseRef cref = alloc_clause(std::move(out), /*learned=*/false);
@@ -116,6 +126,9 @@ void Solver::detach_clause(ClauseRef cref) {
 }
 
 void Solver::remove_clause(ClauseRef cref) {
+  if (proof_ != nullptr && clauses_[cref].learned) {
+    proof_->on_delete(clauses_[cref].lits);
+  }
   detach_clause(cref);
   clauses_[cref].deleted = true;
   clauses_[cref].lits.clear();
@@ -364,10 +377,16 @@ Solver::Result Solver::search(std::uint64_t max_conflicts_this_restart) {
     if (confl != kNoClause) {
       ++stats_.conflicts;
       ++conflicts_here;
-      if (decision_level() == 0) return Result::kUnsat;
+      if (decision_level() == 0) {
+        // Conflict under top-level propagation alone: the empty clause is
+        // the RUP verdict for a globally unsatisfiable formula.
+        if (proof_ != nullptr) proof_->on_add({}, /*derived=*/true);
+        return Result::kUnsat;
+      }
 
       unsigned bt_level = 0;
       analyze(confl, learnt, bt_level);
+      if (proof_ != nullptr) proof_->on_add(learnt, /*derived=*/true);
       cancel_until(bt_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], kNoClause);
@@ -408,6 +427,15 @@ Solver::Result Solver::search(std::uint64_t max_conflicts_this_restart) {
         new_decision_level();  // already implied: dummy level
       } else if (value(a) == LBool::kFalse) {
         analyze_final(~a);
+        if (proof_ != nullptr) {
+          // The verdict of an assumption UNSAT is the clause "some failed
+          // assumption is false": the disjunction of the negated failed
+          // assumptions, RUP against the formula plus the learned prefix.
+          std::vector<Lit> verdict;
+          verdict.reserve(conflict_.size());
+          for (const Lit l : conflict_) verdict.push_back(~l);
+          proof_->on_add(verdict, /*derived=*/true);
+        }
         return Result::kUnsat;
       } else {
         next = a;

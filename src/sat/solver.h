@@ -41,6 +41,28 @@ struct Lit {
 
 inline constexpr Lit kUndefLit{};
 
+/// Emission interface for DRAT clause-proof logging. The solver only ever
+/// *calls* this (original clauses, learned clauses, deletions, and the
+/// final verdict clause of an UNSAT solve); the log container and the
+/// independent backward-RUP checker live in src/proof and share zero code
+/// with the solver's propagation loop — that independence is the point.
+class ProofSink {
+ public:
+  ProofSink() = default;
+  virtual ~ProofSink() = default;
+  ProofSink(const ProofSink&) = delete;
+  ProofSink& operator=(const ProofSink&) = delete;
+
+  /// A clause became part of the derivation state. `derived` is false for
+  /// original problem clauses (logged as given, before any normalization)
+  /// and true for clauses the solver claims are RUP-derivable: learned
+  /// clauses, the empty clause on global UNSAT, and the negated failed
+  /// assumptions on an assumption UNSAT.
+  virtual void on_add(std::span<const Lit> lits, bool derived) = 0;
+  /// A learned clause left the database (clause-DB reduction).
+  virtual void on_delete(std::span<const Lit> lits) = 0;
+};
+
 class Solver {
  public:
   enum class Result {
@@ -114,6 +136,13 @@ class Solver {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  /// Arm (or with nullptr disarm) clause-proof emission. Must be armed
+  /// before the first add_clause() call, or the log's input formula will be
+  /// incomplete and no derived clause can check. Disarmed costs one branch
+  /// per learned clause — negligible (bench/micro_proof pins it).
+  void set_proof_log(ProofSink* sink) noexcept { proof_ = sink; }
+  [[nodiscard]] ProofSink* proof_log() const noexcept { return proof_; }
 
  private:
   using ClauseRef = std::uint32_t;
@@ -214,6 +243,8 @@ class Solver {
   std::uint64_t conflict_budget_ = 0;
   std::uint64_t conflicts_at_solve_start_ = 0;
   double max_learnts_ = 0.0;
+
+  ProofSink* proof_ = nullptr;
 
   Stats stats_;
 };

@@ -8,9 +8,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 
+#include "proof/drat_check.h"
+#include "proof/proof_log.h"
 #include "sat/solver.h"
 #include "sat/tseitin.h"
 #include "satdec/options.h"
@@ -59,7 +62,29 @@ class BudgetedSolver {
   explicit BudgetedSolver(Budget& budget)
       : budget_(budget),
         enc_(solver_),
-        funcs_(enc_, budget.options(), budget.stats()) {}
+        funcs_(enc_, budget.options(), budget.stats()) {
+    // Arm the proof log before any clause reaches the solver (the encoder
+    // constructors add none), so the checker sees the complete formula.
+    if (budget.options().proof != proof::ProofPolicy::kOff) {
+      log_ = std::make_unique<proof::ProofLog>();
+      solver_.set_proof_log(log_.get());
+      if (budget.options().proof == proof::ProofPolicy::kCheck) {
+        checker_ = std::make_unique<proof::DratChecker>();
+      }
+    }
+  }
+
+  ~BudgetedSolver() {
+    if (log_ != nullptr) {
+      proof::ProofStats& ps = budget_.stats().proof;
+      ps.logged_inputs += log_->input_clauses();
+      ps.proof_clauses += log_->derived_clauses();
+      ps.deletions += log_->deletions();
+    }
+  }
+
+  BudgetedSolver(const BudgetedSolver&) = delete;
+  BudgetedSolver& operator=(const BudgetedSolver&) = delete;
 
   [[nodiscard]] sat::Solver& solver() noexcept { return solver_; }
   [[nodiscard]] sat::TseitinEncoder& encoder() noexcept { return enc_; }
@@ -90,6 +115,9 @@ class BudgetedSolver {
     if (res == sat::Solver::Result::kUnknown) {
       throw SatDecAbortError("satdec: conflict budget exhausted");
     }
+    if (res == sat::Solver::Result::kUnsat && checker_ != nullptr) {
+      check_unsat_proof(assumptions);
+    }
     return res;
   }
   [[nodiscard]] sat::Solver::Result solve(
@@ -99,10 +127,38 @@ class BudgetedSolver {
   }
 
  private:
+  /// Re-validate the UNSAT verdict the solver just produced against the
+  /// clause proof, per-call (ProofPolicy::kCheck). The checker is
+  /// incremental, so repeated calls on one growing log only pay for the
+  /// newest verdict's derivation cone.
+  void check_unsat_proof(std::span<const sat::Lit> assumptions) {
+    proof::ProofStats& ps = budget_.stats().proof;
+    if (budget_.options().proof_corrupt_fault) {
+      log_->corrupt_last_derived_for_test();
+    }
+    const proof::CheckResult r = checker_->check(*log_, assumptions);
+    ++ps.checked_unsat;
+    ps.check_ms += r.check_ms;
+    // The checker's marked counters are cumulative per solver; fold deltas.
+    ps.trimmed_clauses += r.checked - checked_seen_;
+    ps.core_inputs += r.core_inputs - core_seen_;
+    checked_seen_ = r.checked;
+    core_seen_ = r.core_inputs;
+    if (!r.valid) {
+      ++ps.failed_checks;
+      throw proof::ProofCheckError("satdec: UNSAT proof check failed: " +
+                                   r.error);
+    }
+  }
+
   Budget& budget_;
   sat::Solver solver_;
   sat::TseitinEncoder enc_;
   FuncEncoder funcs_;
+  std::unique_ptr<proof::ProofLog> log_;
+  std::unique_ptr<proof::DratChecker> checker_;
+  std::uint64_t checked_seen_ = 0;
+  std::uint64_t core_seen_ = 0;
 };
 
 }  // namespace bidec::satdec

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "bdd/bdd.h"
+#include "proof/policy.h"
 #include "sat/solver.h"
 
 namespace bidec::satdec {
@@ -66,6 +67,18 @@ struct SatDecOptions {
 
   /// Hard recursion-depth guard (engine bug fuse, not a tuning knob).
   unsigned max_depth = 80;
+
+  /// Clause-proof policy. kLog arms a DRAT log on every solver the engine
+  /// creates; kCheck additionally re-validates every UNSAT verdict with the
+  /// independent checker before the engine is allowed to act on it — a
+  /// rejected verdict throws proof::ProofCheckError (terminal engine bug,
+  /// not a retryable budget trip).
+  proof::ProofPolicy proof = proof::ProofPolicy::kOff;
+
+  /// Fault-injection hook (FaultPoint::kProofCorrupt): corrupt the first
+  /// UNSAT verdict clause before it is checked, to prove the checker gates
+  /// results. Only honoured under kCheck; tests only.
+  bool proof_corrupt_fault = false;
 };
 
 /// Everything measured about one synthesize_satdec run. The CDCL counters
@@ -94,6 +107,10 @@ struct SatDecStats {
 
   /// Aggregated CDCL solver statistics (satellite: SolverStats surfacing).
   sat::SolverStats solver;
+
+  /// Aggregated proof-logging/checking statistics across every solver the
+  /// engine created. All-zero when SatDecOptions::proof is kOff.
+  proof::ProofStats proof;
 };
 
 }  // namespace bidec::satdec

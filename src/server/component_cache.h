@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "bidec/shared_cache.h"
+#include "engine/thread_annotations.h"
 
 namespace bidec {
 
@@ -59,8 +60,8 @@ class ServerComponentCache final : public SharedComponentSink {
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Entry> map;
-    std::deque<std::uint64_t> fifo;  ///< insertion order for eviction
+    std::unordered_map<std::uint64_t, Entry> map BIDEC_GUARDED_BY(mu);
+    std::deque<std::uint64_t> fifo BIDEC_GUARDED_BY(mu);  ///< insertion order
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept {

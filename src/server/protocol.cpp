@@ -79,6 +79,14 @@ std::optional<Request> parse_request(const std::string& line,
     }
     req.spec.flow.engine = *engine;
   }
+  if (const auto v = doc->get_string("proof")) {
+    const std::optional<proof::ProofPolicy> policy = proof::parse_proof_policy(*v);
+    if (!policy) {
+      error = "proof must be off|log|check";
+      return std::nullopt;
+    }
+    req.spec.flow.proof = *policy;
+  }
   if (const auto v = doc->get_uint("timeout_ms")) {
     req.spec.timeout_ms = static_cast<std::uint32_t>(*v);
   }

@@ -219,10 +219,12 @@ void BidecServer::handle_line(const std::shared_ptr<Connection>& conn,
     std::unique_lock<std::mutex> lock(queue_mu_);
     if (queue_.size() >= options_.queue_capacity) {
       if (options_.admission == AdmissionPolicy::kBlock) {
-        admission_cv_.wait(lock, [&] {
-          return queue_.size() < options_.queue_capacity ||
-                 stopping_.load(std::memory_order_acquire);
-        });
+        // Explicit wait loop (not the predicate overload): the thread-safety
+        // analysis can follow guarded accesses here but not inside a lambda.
+        while (queue_.size() >= options_.queue_capacity &&
+               !stopping_.load(std::memory_order_acquire)) {
+          admission_cv_.wait(lock);
+        }
       }
       if (queue_.size() >= options_.queue_capacity ||
           stopping_.load(std::memory_order_acquire)) {
@@ -260,9 +262,9 @@ void BidecServer::worker_loop(unsigned worker_id) {
     QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
-      });
+      while (queue_.empty() && !stopping_.load(std::memory_order_acquire)) {
+        queue_cv_.wait(lock);
+      }
       if (queue_.empty()) {
         // stopping_ and nothing left: the queue is drained, exit.
         if (stopping_.load(std::memory_order_acquire)) return;
@@ -397,7 +399,7 @@ void BidecServer::wait() {
     return;
   }
   std::unique_lock<std::mutex> lock(stopped_mu_);
-  stopped_cv_.wait(lock, [&] { return stopped_; });
+  while (!stopped_) stopped_cv_.wait(lock);
 }
 
 }  // namespace bidec

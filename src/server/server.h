@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "engine/manager_pool.h"
+#include "engine/thread_annotations.h"
 #include "server/component_cache.h"
 #include "server/protocol.h"
 
@@ -131,7 +132,7 @@ class BidecServer {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;       ///< workers wait: queue non-empty/stop
   std::condition_variable admission_cv_;   ///< kBlock producers wait: queue has room
-  std::deque<QueuedJob> queue_;
+  std::deque<QueuedJob> queue_ BIDEC_GUARDED_BY(queue_mu_);
 
   ManagerPool pool_;
   ServerComponentCache cache_;
@@ -139,15 +140,15 @@ class BidecServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<std::weak_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_ BIDEC_GUARDED_BY(conn_mu_);
+  std::vector<std::weak_ptr<Connection>> conns_ BIDEC_GUARDED_BY(conn_mu_);
 
   mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  ServerStats stats_ BIDEC_GUARDED_BY(stats_mu_);
 
   std::mutex stopped_mu_;
   std::condition_variable stopped_cv_;
-  bool stopped_ = false;
+  bool stopped_ BIDEC_GUARDED_BY(stopped_mu_) = false;
 };
 
 }  // namespace bidec

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "proof/drat_check.h"
+#include "proof/proof_log.h"
 #include "sat/tseitin.h"
 
 namespace bidec {
@@ -23,24 +25,80 @@ VerifyResult result_from_failures(std::vector<std::size_t> failed) {
   return res;
 }
 
-/// Solve under assumptions and insist on a definite verdict: the verifier
-/// runs without a conflict budget, so kUnknown cannot happen.
-bool satisfiable(Solver& solver, std::initializer_list<Lit> assumptions) {
-  const Solver::Result r = solver.solve(assumptions);
-  if (r == Solver::Result::kUnknown) {
-    throw std::runtime_error("sat verifier: solver returned unknown");
+/// Arms one solver's proof log per SatVerifyOptions and re-validates every
+/// UNSAT the verifier relies on. The checker is incremental over the call's
+/// single growing log, so a run with many bounds pays once per verdict cone.
+class ProofGuard {
+ public:
+  ProofGuard(Solver& solver, const SatVerifyOptions& opt) : opt_(opt) {
+    if (opt_.proof != proof::ProofPolicy::kOff) {
+      solver.set_proof_log(&log_);
+    }
   }
-  return r == Solver::Result::kSat;
-}
+
+  ~ProofGuard() {
+    if (opt_.proof == proof::ProofPolicy::kOff ||
+        opt_.proof_stats == nullptr) {
+      return;
+    }
+    opt_.proof_stats->logged_inputs += log_.input_clauses();
+    opt_.proof_stats->proof_clauses += log_.derived_clauses();
+    opt_.proof_stats->deletions += log_.deletions();
+  }
+
+  ProofGuard(const ProofGuard&) = delete;
+  ProofGuard& operator=(const ProofGuard&) = delete;
+
+  /// Solve under assumptions and insist on a definite verdict: the verifier
+  /// runs without a conflict budget, so kUnknown cannot happen. An UNSAT
+  /// verdict is certified before the caller may treat the bound as passed.
+  bool satisfiable(Solver& solver, std::initializer_list<Lit> assumptions) {
+    const Solver::Result r = solver.solve(assumptions);
+    if (r == Solver::Result::kUnknown) {
+      throw std::runtime_error("sat verifier: solver returned unknown");
+    }
+    if (r == Solver::Result::kUnsat &&
+        opt_.proof == proof::ProofPolicy::kCheck) {
+      check_unsat({assumptions.begin(), assumptions.size()});
+    }
+    return r == Solver::Result::kSat;
+  }
+
+ private:
+  void check_unsat(std::span<const Lit> assumptions) {
+    const proof::CheckResult res = checker_.check(log_, assumptions);
+    proof::ProofStats* ps = opt_.proof_stats;
+    if (ps != nullptr) {
+      ++ps->checked_unsat;
+      ps->check_ms += res.check_ms;
+      ps->trimmed_clauses += res.checked - checked_seen_;
+      ps->core_inputs += res.core_inputs - core_seen_;
+    }
+    checked_seen_ = res.checked;
+    core_seen_ = res.core_inputs;
+    if (!res.valid) {
+      if (ps != nullptr) ++ps->failed_checks;
+      throw proof::ProofCheckError(
+          "sat verifier: passing bound failed proof check: " + res.error);
+    }
+  }
+
+  const SatVerifyOptions& opt_;
+  proof::ProofLog log_;
+  proof::DratChecker checker_;
+  std::uint64_t checked_seen_ = 0;
+  std::uint64_t core_seen_ = 0;
+};
 
 }  // namespace
 
 VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla,
-                                    sat::SolverStats* stats) {
+                                    const SatVerifyOptions& opt) {
   if (pla.num_outputs != net.num_outputs() || pla.num_inputs != net.num_inputs()) {
     throw std::invalid_argument("sat_verify_against_pla: interface mismatch");
   }
   Solver solver;
+  ProofGuard guard(solver, opt);
   TseitinEncoder enc(solver);
   const std::vector<Var> in = enc.add_vars(net.num_inputs());
   const std::vector<Lit> f = enc.encode_netlist(net, in);
@@ -53,36 +111,37 @@ VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla,
     switch (pla.type) {
       case PlaFile::Type::kF:
         // Q = on, R = ~on.
-        q_violated = satisfiable(solver, {on, ~f[o]});
-        r_violated = satisfiable(solver, {~on, f[o]});
+        q_violated = guard.satisfiable(solver, {on, ~f[o]});
+        r_violated = guard.satisfiable(solver, {~on, f[o]});
         break;
       case PlaFile::Type::kFD: {
         // Q = on - dc, R = ~(on | dc)  (matches Isf::from_on_dc).
         const Lit dc = enc.encode_cover(pla, in, o, '-');
-        q_violated = satisfiable(solver, {on, ~dc, ~f[o]});
-        r_violated = satisfiable(solver, {~on, ~dc, f[o]});
+        q_violated = guard.satisfiable(solver, {on, ~dc, ~f[o]});
+        r_violated = guard.satisfiable(solver, {~on, ~dc, f[o]});
         break;
       }
       case PlaFile::Type::kFR: {
         // Q = on - off, R = off  (matches PlaFile::to_isfs).
         const Lit off = enc.encode_cover(pla, in, o, '0');
-        q_violated = satisfiable(solver, {on, ~off, ~f[o]});
-        r_violated = satisfiable(solver, {off, f[o]});
+        q_violated = guard.satisfiable(solver, {on, ~off, ~f[o]});
+        r_violated = guard.satisfiable(solver, {off, f[o]});
         break;
       }
     }
     if (q_violated || r_violated) failed.push_back(o);
   }
-  if (stats != nullptr) *stats += solver.stats();
+  if (opt.solver_stats != nullptr) *opt.solver_stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 
 VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> spec,
-                                     sat::SolverStats* stats) {
+                                     const SatVerifyOptions& opt) {
   if (spec.size() != net.num_outputs()) {
     throw std::invalid_argument("sat_verify_against_isfs: output count mismatch");
   }
   Solver solver;
+  ProofGuard guard(solver, opt);
   TseitinEncoder enc(solver);
   // BDD variables beyond the netlist inputs are unconstrained, which is
   // exactly existential quantification — the same semantics the BDD check
@@ -100,20 +159,21 @@ VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> sp
   for (std::size_t o = 0; o < spec.size(); ++o) {
     const Lit q = enc.encode_bdd(spec[o].q(), in);
     const Lit r = enc.encode_bdd(spec[o].r(), in);
-    const bool q_violated = satisfiable(solver, {q, ~f[o]});
-    const bool r_violated = satisfiable(solver, {r, f[o]});
+    const bool q_violated = guard.satisfiable(solver, {q, ~f[o]});
+    const bool r_violated = guard.satisfiable(solver, {r, f[o]});
     if (q_violated || r_violated) failed.push_back(o);
   }
-  if (stats != nullptr) *stats += solver.stats();
+  if (opt.solver_stats != nullptr) *opt.solver_stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 
 VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
-                                   sat::SolverStats* stats) {
+                                   const SatVerifyOptions& opt) {
   if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
     throw std::invalid_argument("sat_verify_equivalent: interface mismatch");
   }
   Solver solver;
+  ProofGuard guard(solver, opt);
   TseitinEncoder enc(solver);
   const std::vector<Var> in = enc.add_vars(a.num_inputs());
   const std::vector<Lit> fa = enc.encode_netlist(a, in);
@@ -122,24 +182,45 @@ VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
   std::vector<std::size_t> failed;
   for (std::size_t o = 0; o < fa.size(); ++o) {
     const Lit miter = enc.encode_xor(fa[o], fb[o]);
-    if (satisfiable(solver, {miter})) failed.push_back(o);
+    if (guard.satisfiable(solver, {miter})) failed.push_back(o);
   }
-  if (stats != nullptr) *stats += solver.stats();
+  if (opt.solver_stats != nullptr) *opt.solver_stats += solver.stats();
   return result_from_failures(std::move(failed));
 }
 
+VerifyResult sat_verify_against_pla(const Netlist& net, const PlaFile& pla,
+                                    sat::SolverStats* stats) {
+  return sat_verify_against_pla(net, pla, SatVerifyOptions{.solver_stats = stats});
+}
+
+VerifyResult sat_verify_against_isfs(const Netlist& net, std::span<const Isf> spec,
+                                     sat::SolverStats* stats) {
+  return sat_verify_against_isfs(net, spec, SatVerifyOptions{.solver_stats = stats});
+}
+
+VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
+                                   sat::SolverStats* stats) {
+  return sat_verify_equivalent(a, b, SatVerifyOptions{.solver_stats = stats});
+}
+
 DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
-                                     const Netlist& net, std::span<const Isf> spec) {
+                                     const Netlist& net, std::span<const Isf> spec,
+                                     const SatVerifyOptions& opt) {
   DualVerifyResult res;
   if (engine == VerifyEngine::kBdd || engine == VerifyEngine::kBoth) {
     res.bdd = verify_against_isfs(mgr, net, spec);
     res.bdd_ran = true;
   }
   if (engine == VerifyEngine::kSat || engine == VerifyEngine::kBoth) {
-    res.sat = sat_verify_against_isfs(net, spec);
+    res.sat = sat_verify_against_isfs(net, spec, opt);
     res.sat_ran = true;
   }
   return res;
+}
+
+DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
+                                     const Netlist& net, std::span<const Isf> spec) {
+  return verify_with_engines(engine, mgr, net, spec, SatVerifyOptions{});
 }
 
 }  // namespace bidec

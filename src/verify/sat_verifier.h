@@ -16,6 +16,7 @@
 #include "io/pla.h"
 #include "isf/isf.h"
 #include "netlist/netlist.h"
+#include "proof/policy.h"
 #include "sat/solver.h"
 #include "verify/verifier.h"
 
@@ -24,6 +25,18 @@ namespace bidec {
 // Every entry point takes an optional `stats` out-param: when non-null, the
 // solver counters of the call's private CDCL instance are folded into it
 // with operator+=, so one accumulator can span several verifier calls.
+
+/// Knobs for the proof-carrying verifier overloads. A miter check passes by
+/// being UNSAT, so under ProofPolicy::kCheck every passing bound/miter is
+/// re-validated against the solver's DRAT log by the independent checker
+/// before the verifier reports "ok"; a rejected proof throws
+/// proof::ProofCheckError — that is an engine bug, reported with the same
+/// severity as a bdd/sat verdict disagreement, never a silent pass.
+struct SatVerifyOptions {
+  proof::ProofPolicy proof = proof::ProofPolicy::kOff;
+  proof::ProofStats* proof_stats = nullptr;   ///< optional accumulator
+  sat::SolverStats* solver_stats = nullptr;   ///< optional accumulator
+};
 
 /// Check every output of `net` against the PLA specification: Q <= f <= ~R
 /// with (Q, R) taken from the cover rows under the file's .type semantics
@@ -42,6 +55,17 @@ namespace bidec {
 /// (per-output XOR miters over shared input variables).
 [[nodiscard]] VerifyResult sat_verify_equivalent(const Netlist& a, const Netlist& b,
                                                  sat::SolverStats* stats = nullptr);
+
+// Proof-carrying overloads (see SatVerifyOptions).
+[[nodiscard]] VerifyResult sat_verify_against_pla(const Netlist& net,
+                                                  const PlaFile& pla,
+                                                  const SatVerifyOptions& opt);
+[[nodiscard]] VerifyResult sat_verify_against_isfs(const Netlist& net,
+                                                   std::span<const Isf> spec,
+                                                   const SatVerifyOptions& opt);
+[[nodiscard]] VerifyResult sat_verify_equivalent(const Netlist& a,
+                                                 const Netlist& b,
+                                                 const SatVerifyOptions& opt);
 
 /// Outcome of running the selected engine(s) on one netlist/spec pair.
 struct DualVerifyResult {
@@ -66,6 +90,12 @@ struct DualVerifyResult {
 [[nodiscard]] DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
                                                    const Netlist& net,
                                                    std::span<const Isf> spec);
+/// Proof-carrying variant: `opt` applies to the SAT side only (the BDD
+/// verifier has no solver to certify).
+[[nodiscard]] DualVerifyResult verify_with_engines(VerifyEngine engine, BddManager& mgr,
+                                                   const Netlist& net,
+                                                   std::span<const Isf> spec,
+                                                   const SatVerifyOptions& opt);
 
 }  // namespace bidec
 

@@ -16,12 +16,27 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "engine/batch_engine.h"
 
 namespace bidec {
 namespace {
 
 namespace fs = std::filesystem;
+
+// CI hook: BIDEC_CORPUS_PROOF=log|check runs the whole corpus with proof
+// logging (and, for "check", independent re-validation of every UNSAT the
+// SAT engine and SAT verifier rely on). The golden stats must be identical
+// either way — proofs observe the flow, they never steer it.
+proof::ProofPolicy corpus_proof_policy() {
+  const char* env = std::getenv("BIDEC_CORPUS_PROOF");
+  if (!env) return proof::ProofPolicy::kOff;
+  const std::optional<proof::ProofPolicy> policy = proof::parse_proof_policy(env);
+  EXPECT_TRUE(policy.has_value())
+      << "BIDEC_CORPUS_PROOF must be off|log|check, got '" << env << "'";
+  return policy.value_or(proof::ProofPolicy::kOff);
+}
 
 struct GoldenStats {
   unsigned inputs = 0;
@@ -99,6 +114,7 @@ TEST(Corpus, FullFlowMatchesGoldenAndBothVerifiersPass) {
     spec.source = (fs::path(corpus_dir()) / c).string();
     spec.verify = VerifyEngine::kBoth;
     spec.flow.lint = LintMode::kWarn;
+    spec.flow.proof = corpus_proof_policy();
     // The mul*.blif cases are BDD-hostile multipliers seeded for the SAT
     // engine: under the batch node budget the BDD flow cannot finish them,
     // so they pin the engine=sat path in the golden corpus instead.
@@ -115,6 +131,12 @@ TEST(Corpus, FullFlowMatchesGoldenAndBothVerifiersPass) {
     EXPECT_EQ(rep.bdd_verdict, 1);
     EXPECT_EQ(rep.sat_verdict, 1);
     EXPECT_TRUE(rep.failed_outputs.empty());
+    if (rep.proof_policy == proof::ProofPolicy::kCheck) {
+      EXPECT_EQ(rep.proof.failed_checks, 0u);
+      // Every case exercises at least the SAT verifier's miters, so a
+      // checked run that validated nothing means the plumbing fell off.
+      EXPECT_GT(rep.proof.checked_unsat, 0u);
+    }
 
     const auto it = golden.find(rep.name);
     ASSERT_NE(it, golden.end());
@@ -126,6 +148,40 @@ TEST(Corpus, FullFlowMatchesGoldenAndBothVerifiersPass) {
     EXPECT_EQ(rep.exors, g.exors);
     EXPECT_EQ(rep.inverters, g.inverters);
     EXPECT_EQ(rep.levels, g.levels);
+  }
+}
+
+// The certified-UNSAT acceptance run: the three engine=sat multiplier cases
+// under --proof=check. Every UNSAT the decomposition oracles and the SAT
+// verifier acted on must have been re-validated by the independent checker,
+// and the counts must be visible in the stable JSON.
+TEST(Corpus, SatEngineCasesPassUnderProofCheck) {
+  BatchEngine engine;
+  std::size_t submitted = 0;
+  for (const std::string& c : list_cases()) {
+    if (c.rfind("mul", 0) != 0) continue;
+    JobSpec spec;
+    spec.name = c;
+    spec.source = (fs::path(corpus_dir()) / c).string();
+    spec.flow.engine = EngineSelect::kSat;
+    spec.flow.proof = proof::ProofPolicy::kCheck;
+    spec.verify = VerifyEngine::kSat;
+    engine.submit(std::move(spec));
+    ++submitted;
+  }
+  ASSERT_GE(submitted, 3u) << "the seeded mul*.blif SAT cases went missing";
+  const BatchOutcome outcome = engine.run();
+  for (const JobResult& r : outcome.results) {
+    const JobReport& rep = r.report;
+    SCOPED_TRACE(rep.name);
+    EXPECT_EQ(rep.status, JobStatus::kOk) << rep.error;
+    EXPECT_EQ(rep.proof.failed_checks, 0u);
+    EXPECT_GT(rep.proof.checked_unsat, 0u);
+    EXPECT_GT(rep.proof.trimmed_clauses, 0u);
+    const std::string json = rep.to_stable_json();
+    EXPECT_NE(json.find("\"proof\": {\"policy\": \"check\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"failed_checks\": 0"), std::string::npos) << json;
   }
 }
 

@@ -65,13 +65,50 @@ TEST(NetlistLint, MultiplyDrivenNetFires103) {
   EXPECT_EQ(rep.count_rule(kRuleMultiDriven), 1u);
 }
 
-TEST(NetlistLint, DrivenPrimaryInputFires103) {
+TEST(NetlistLint, DrivenPrimaryInputFires110) {
+  // One gate driving a PI: not a gate-vs-gate conflict (NL103 stays quiet),
+  // but the gate shadows the environment's value — NL110.
   const LintReport rep = lint_string(
       ".inputs a b\n"
       ".outputs f\n"
       ".names b a\n1 1\n"
       ".names a f\n1 1\n");
+  EXPECT_EQ(rep.count_rule(kRulePiRedefined), 1u);
+  EXPECT_EQ(rep.count_rule(kRuleMultiDriven), 0u);
+  EXPECT_GE(rep.errors(), 1u);
+}
+
+TEST(NetlistLint, RedeclaredPrimaryInputFires110) {
+  // Duplicate .inputs declaration: no driver in sight, so it used to slip
+  // past NL102 (a declaration counts as a driver) and NL103 (only one).
+  const LintReport rep = lint_string(
+      ".inputs a b a\n"
+      ".outputs f\n"
+      ".names a b f\n11 1\n");
+  EXPECT_EQ(rep.count_rule(kRulePiRedefined), 1u);
+  EXPECT_EQ(rep.count_rule(kRuleUndriven), 0u);
+  EXPECT_EQ(rep.count_rule(kRuleMultiDriven), 0u);
+}
+
+TEST(NetlistLint, MultiplyDrivenPrimaryInputFires110And103) {
+  // Two gates fighting over a PI: the gate-vs-gate conflict is NL103, the
+  // PI violation is NL110 — both stand on their own.
+  const LintReport rep = lint_string(
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names b a\n1 1\n"
+      ".names b a\n0 1\n"
+      ".names a f\n1 1\n");
+  EXPECT_EQ(rep.count_rule(kRulePiRedefined), 1u);
   EXPECT_EQ(rep.count_rule(kRuleMultiDriven), 1u);
+}
+
+TEST(NetlistLint, CleanNetlistHasNo110) {
+  const LintReport rep = lint_string(
+      ".inputs a b\n"
+      ".outputs f\n"
+      ".names a b f\n11 1\n");
+  EXPECT_EQ(rep.count_rule(kRulePiRedefined), 0u);
 }
 
 TEST(NetlistLint, DanglingGateFires104) {

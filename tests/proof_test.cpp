@@ -1,0 +1,482 @@
+// The proof-carrying SAT layer: DRAT logging inside the solver, the
+// independent backward-RUP checker, the trimmer counters, and the policy
+// plumbing through satdec and the job runner. The adversarial half of the
+// suite hand-crafts valid proofs and mutates them (drop a clause, flip a
+// literal, move deletions, truncate) asserting every mutation is rejected;
+// the property half solves randomized instances and asserts every UNSAT
+// the solver reports carries a proof the checker accepts.
+#include "proof/drat_check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "engine/job_runner.h"
+#include "io/pla.h"
+#include "proof/proof_log.h"
+#include "sat/solver.h"
+#include "satdec/decomposer.h"
+
+namespace bidec::proof {
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+using sat::mk_lit;
+
+Lit pos(Var v) { return mk_lit(v); }
+Lit neg(Var v) { return mk_lit(v, true); }
+
+// ---------------------------------------------------------------------------
+// Hand-crafted proof material
+// ---------------------------------------------------------------------------
+
+// The double-XOR contradiction x^y^z = 1 and x^y^z = 0: UNSAT, but no unit
+// propagation fires from the inputs alone, so a proof NEEDS its derived
+// clauses — exactly the property the mutation tests exploit.
+const std::vector<std::vector<Lit>> kXorInputs = {
+    // x ^ y ^ z = 1
+    {pos(0), pos(1), pos(2)},
+    {pos(0), neg(1), neg(2)},
+    {neg(0), pos(1), neg(2)},
+    {neg(0), neg(1), pos(2)},
+    // x ^ y ^ z = 0
+    {neg(0), neg(1), neg(2)},
+    {neg(0), pos(1), pos(2)},
+    {pos(0), neg(1), pos(2)},
+    {pos(0), pos(1), neg(2)},
+};
+
+// A valid derivation chain for the double-XOR formula, ending in the empty
+// clause: {x,y}, {x,~y}, {x}, {y}, {}.
+const std::vector<std::vector<Lit>> kXorChain = {
+    {pos(0), pos(1)}, {pos(0), neg(1)}, {pos(0)}, {pos(1)}, {},
+};
+
+void add_inputs(ProofLog& log) {
+  for (const auto& c : kXorInputs) log.on_add(c, /*derived=*/false);
+}
+
+TEST(DratChecker, AcceptsValidHandCraftedChain) {
+  ProofLog log;
+  add_inputs(log);
+  for (const auto& c : kXorChain) log.on_add(c, /*derived=*/true);
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_TRUE(res.valid) << res.error;
+  EXPECT_EQ(res.derived, kXorChain.size());
+  EXPECT_GT(res.checked, 0u);
+  EXPECT_GT(res.core_inputs, 0u);
+}
+
+TEST(DratChecker, AcceptsValidChainWithLateDeletions) {
+  // {x,y} and {x,~y} deleted after {x} exists: everything later re-derives
+  // from {x} and the inputs, so the proof stays valid.
+  ProofLog log;
+  add_inputs(log);
+  log.on_add(kXorChain[0], true);
+  log.on_add(kXorChain[1], true);
+  log.on_add(kXorChain[2], true);  // {x}
+  log.on_delete(kXorChain[0]);
+  log.on_delete(kXorChain[1]);
+  log.on_add(kXorChain[3], true);  // {y}
+  log.on_add(kXorChain[4], true);  // {}
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_TRUE(res.valid) << res.error;
+}
+
+TEST(DratChecker, RejectsDroppedClause) {
+  // Without {y} the empty clause is not RUP: after propagating {x} no unit
+  // remains alive.
+  ProofLog log;
+  add_inputs(log);
+  for (std::size_t i = 0; i < kXorChain.size(); ++i) {
+    if (i == 3) continue;  // drop {y}
+    log.on_add(kXorChain[i], true);
+  }
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.error.find("not RUP"), std::string::npos) << res.error;
+}
+
+TEST(DratChecker, RejectsFlippedLiteral) {
+  // {x} flipped to {~x}: the flipped clause is not RUP (assuming x kills
+  // every clause that could propagate), and the verdict's cone reaches it.
+  ProofLog log;
+  add_inputs(log);
+  for (std::size_t i = 0; i < kXorChain.size(); ++i) {
+    if (i == 2) {
+      log.on_add(std::vector<Lit>{neg(0)}, true);
+    } else {
+      log.on_add(kXorChain[i], true);
+    }
+  }
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(DratChecker, RejectsReorderedDeletions) {
+  // Moving the deletions of {x,y} and {x,~y} ahead of {x} removes the only
+  // justification {x} has at its birth point.
+  ProofLog log;
+  add_inputs(log);
+  log.on_add(kXorChain[0], true);
+  log.on_add(kXorChain[1], true);
+  log.on_delete(kXorChain[0]);
+  log.on_delete(kXorChain[1]);
+  log.on_add(kXorChain[2], true);  // {x} — now unsupported
+  log.on_add(kXorChain[3], true);
+  log.on_add(kXorChain[4], true);
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.error.find("not RUP"), std::string::npos) << res.error;
+}
+
+TEST(DratChecker, RejectsTruncatedProof) {
+  // Without the final empty clause the log's last derived clause is {y},
+  // which certifies nothing for a global-UNSAT claim.
+  ProofLog log;
+  add_inputs(log);
+  for (std::size_t i = 0; i + 1 < kXorChain.size(); ++i) {
+    log.on_add(kXorChain[i], true);
+  }
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(DratChecker, RejectsProofWithNoDerivedClauses) {
+  ProofLog log;
+  add_inputs(log);
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.error.find("no derived clause"), std::string::npos) << res.error;
+}
+
+TEST(DratChecker, RejectsDeletionOfUnknownClause) {
+  ProofLog log;
+  add_inputs(log);
+  log.on_delete(std::vector<Lit>{pos(0), pos(7)});
+  log.on_add(std::vector<Lit>{}, true);
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.error.find("deletion"), std::string::npos) << res.error;
+}
+
+TEST(DratChecker, RejectsVerdictNotMatchingAssumptions) {
+  // A perfectly RUP clause that is not composed of negated assumptions
+  // certifies nothing about solve(assumptions); the semantic gate must
+  // reject it even though the RUP chain is fine.
+  ProofLog log;
+  log.on_add(std::vector<Lit>{neg(3), pos(0)}, false);   // a -> x
+  log.on_add(std::vector<Lit>{neg(3), neg(0)}, false);   // a -> ~x
+  log.on_add(std::vector<Lit>{neg(3)}, true);            // {~a}: RUP
+  DratChecker checker;
+  // Correct assumption set: accepted.
+  const std::vector<Lit> good = {pos(3)};
+  EXPECT_TRUE(checker.check(log, good).valid);
+  // Wrong assumption set: the verdict {~a} is not built from ~b.
+  DratChecker checker2;
+  const std::vector<Lit> bad = {pos(4)};
+  const CheckResult res = checker2.check(log, bad);
+  EXPECT_FALSE(res.valid);
+  EXPECT_NE(res.error.find("negated assumption"), std::string::npos) << res.error;
+}
+
+// ---------------------------------------------------------------------------
+// Solver integration
+// ---------------------------------------------------------------------------
+
+TEST(ProofLog, SolverGlobalUnsatProducesCheckableProof) {
+  Solver s;
+  ProofLog log;
+  s.set_proof_log(&log);
+  for (int i = 0; i < 3; ++i) s.new_var();
+  for (const auto& c : kXorInputs) ASSERT_TRUE(s.add_clause(c));
+  ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+  EXPECT_EQ(log.input_clauses(), kXorInputs.size());
+  EXPECT_GT(log.derived_clauses(), 0u);
+  DratChecker checker;
+  const CheckResult res = checker.check(log);
+  EXPECT_TRUE(res.valid) << res.error;
+}
+
+TEST(ProofLog, SolverAssumptionUnsatProducesCheckableProof) {
+  Solver s;
+  ProofLog log;
+  s.set_proof_log(&log);
+  const Var a = s.new_var();
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(a), pos(x)}));
+  ASSERT_TRUE(s.add_clause({neg(a), neg(x)}));
+  const std::vector<Lit> assumptions = {pos(a)};
+  ASSERT_EQ(s.solve(assumptions), Solver::Result::kUnsat);
+  DratChecker checker;
+  const CheckResult res = checker.check(log, assumptions);
+  EXPECT_TRUE(res.valid) << res.error;
+}
+
+TEST(ProofLog, CorruptedVerdictIsRejected) {
+  Solver s;
+  ProofLog log;
+  s.set_proof_log(&log);
+  const Var a = s.new_var();
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(a), pos(x)}));
+  ASSERT_TRUE(s.add_clause({neg(a), neg(x)}));
+  const std::vector<Lit> assumptions = {pos(a)};
+  ASSERT_EQ(s.solve(assumptions), Solver::Result::kUnsat);
+  log.corrupt_last_derived_for_test();
+  DratChecker checker;
+  EXPECT_FALSE(checker.check(log, assumptions).valid);
+}
+
+TEST(ProofLog, CorruptedEmptyVerdictIsRejected) {
+  Solver s;
+  ProofLog log;
+  s.set_proof_log(&log);
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x)}));
+  EXPECT_FALSE(s.add_clause({neg(x)}));
+  ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+  log.corrupt_last_derived_for_test();
+  DratChecker checker;
+  EXPECT_FALSE(checker.check(log).valid);
+}
+
+TEST(ProofLog, IncrementalChecksAcrossGrowingLog) {
+  // One solver, several UNSAT solves under different assumptions; each
+  // check validates the newest verdict and the cumulative counters only
+  // ever grow.
+  Solver s;
+  ProofLog log;
+  s.set_proof_log(&log);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(a), pos(x)}));
+  ASSERT_TRUE(s.add_clause({neg(a), neg(x)}));
+  ASSERT_TRUE(s.add_clause({neg(b), pos(x)}));
+  DratChecker checker;
+  const std::vector<Lit> first = {pos(a)};
+  ASSERT_EQ(s.solve(first), Solver::Result::kUnsat);
+  const CheckResult r1 = checker.check(log, first);
+  EXPECT_TRUE(r1.valid) << r1.error;
+  const std::vector<Lit> second = {pos(b), pos(a)};
+  ASSERT_EQ(s.solve(second), Solver::Result::kUnsat);
+  const CheckResult r2 = checker.check(log, second);
+  EXPECT_TRUE(r2.valid) << r2.error;
+  EXPECT_GE(r2.checked, r1.checked);
+  EXPECT_GE(r2.core_inputs, r1.core_inputs);
+}
+
+// ---------------------------------------------------------------------------
+// Property: solver UNSAT => proof checks, on randomized instances
+// ---------------------------------------------------------------------------
+
+TEST(ProofProperty, RandomInstancesEveryUnsatCarriesValidProof) {
+  std::mt19937 rng(20260809);
+  unsigned unsat_seen = 0;
+  for (int round = 0; round < 40; ++round) {
+    const unsigned num_vars = 8 + rng() % 5;
+    const unsigned num_clauses = num_vars * 5;  // past the 3-SAT threshold
+    Solver s;
+    ProofLog log;
+    s.set_proof_log(&log);
+    for (unsigned i = 0; i < num_vars; ++i) s.new_var();
+    bool input_conflict = false;
+    for (unsigned c = 0; c < num_clauses; ++c) {
+      std::vector<Lit> lits;
+      for (int k = 0; k < 3; ++k) {
+        lits.push_back(mk_lit(rng() % num_vars, (rng() & 1) != 0));
+      }
+      if (!s.add_clause(lits)) input_conflict = true;
+    }
+    (void)input_conflict;
+    if (s.solve() != Solver::Result::kUnsat) continue;
+    ++unsat_seen;
+    DratChecker checker;
+    const CheckResult res = checker.check(log);
+    ASSERT_TRUE(res.valid) << "round " << round << ": " << res.error;
+  }
+  EXPECT_GT(unsat_seen, 5u);  // the density guarantees plenty of UNSAT
+}
+
+TEST(ProofProperty, RandomAssumptionUnsatsCarryValidProofs) {
+  std::mt19937 rng(1234577);
+  unsigned unsat_seen = 0;
+  for (int round = 0; round < 40; ++round) {
+    const unsigned num_vars = 10;
+    Solver s;
+    ProofLog log;
+    s.set_proof_log(&log);
+    for (unsigned i = 0; i < num_vars; ++i) s.new_var();
+    for (unsigned c = 0; c < 35; ++c) {  // satisfiable-ish density
+      std::vector<Lit> lits;
+      for (int k = 0; k < 3; ++k) {
+        lits.push_back(mk_lit(rng() % num_vars, (rng() & 1) != 0));
+      }
+      if (!s.add_clause(lits)) break;
+    }
+    DratChecker checker;
+    // Several solves against one growing log, assumptions re-rolled.
+    for (int q = 0; q < 4; ++q) {
+      std::vector<Lit> assumptions;
+      for (unsigned v = 0; v < num_vars; ++v) {
+        if ((rng() & 3) == 0) assumptions.push_back(mk_lit(v, (rng() & 1) != 0));
+      }
+      if (s.solve(assumptions) != Solver::Result::kUnsat) continue;
+      ++unsat_seen;
+      const CheckResult res = checker.check(log, assumptions);
+      ASSERT_TRUE(res.valid) << "round " << round << ": " << res.error;
+    }
+  }
+  EXPECT_GT(unsat_seen, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// DRAT text output
+// ---------------------------------------------------------------------------
+
+TEST(ProofLog, WritesTextualDrat) {
+  ProofLog log;
+  log.on_add(std::vector<Lit>{pos(0), neg(1)}, false);  // input: not written
+  log.on_add(std::vector<Lit>{pos(0)}, true);
+  log.on_delete(std::vector<Lit>{pos(0), neg(1)});
+  log.on_add(std::vector<Lit>{}, true);
+  std::ostringstream os;
+  log.write_drat(os);
+  EXPECT_EQ(os.str(), "1 0\nd 1 -2 0\n0\n");
+}
+
+TEST(ProofLog, TeeMatchesWriteDrat) {
+  const std::string path = "proof_test_tee.drat";
+  {
+    ProofLog log;
+    ASSERT_TRUE(log.tee_to_file(path));
+    log.on_add(std::vector<Lit>{pos(0), pos(1)}, false);
+    log.on_add(std::vector<Lit>{neg(1)}, true);
+    log.on_delete(std::vector<Lit>{pos(0), pos(1)});
+    std::ostringstream expect;
+    log.write_drat(expect);
+    // Destroying the log flushes the tee.
+    std::ostringstream expect2;
+    log.write_drat(expect2);
+    ASSERT_EQ(expect.str(), expect2.str());
+  }
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "-2 0\nd 1 2 0\n");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Policy plumbing: satdec and the job runner
+// ---------------------------------------------------------------------------
+
+const char* kSmallPla =
+    ".i 4\n.o 1\n.p 4\n"
+    "01-1 1\n1-01 1\n-110 1\n0000 1\n"
+    ".e\n";
+
+TEST(ProofPolicy, SatdecCheckPassesAndCountsVerdicts) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  satdec::SatDecOptions opt;
+  opt.tt_threshold = 2;  // keep the run at formula level: real SAT queries
+  opt.proof = ProofPolicy::kCheck;
+  const satdec::SatFlowResult res = satdec::synthesize_satdec(pla, opt);
+  EXPECT_GT(res.stats.proof.checked_unsat, 0u);
+  EXPECT_EQ(res.stats.proof.failed_checks, 0u);
+  EXPECT_GT(res.stats.proof.logged_inputs, 0u);
+}
+
+TEST(ProofPolicy, SatdecLogOnlyRecordsWithoutChecking) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  satdec::SatDecOptions opt;
+  opt.tt_threshold = 2;
+  opt.proof = ProofPolicy::kLog;
+  const satdec::SatFlowResult res = satdec::synthesize_satdec(pla, opt);
+  EXPECT_EQ(res.stats.proof.checked_unsat, 0u);
+  EXPECT_GT(res.stats.proof.logged_inputs, 0u);
+}
+
+TEST(ProofPolicy, SatdecCorruptFaultThrowsProofCheckError) {
+  const PlaFile pla = PlaFile::parse_string(kSmallPla);
+  satdec::SatDecOptions opt;
+  opt.tt_threshold = 2;
+  opt.proof = ProofPolicy::kCheck;
+  opt.proof_corrupt_fault = true;
+  EXPECT_THROW((void)satdec::synthesize_satdec(pla, opt), ProofCheckError);
+}
+
+TEST(ProofPolicy, JobRunnerReportsCorruptProofAsEngineBug) {
+  // The acceptance criterion: a deliberately corrupted learned clause must
+  // surface as an engine-bug report, never a decomposition.
+  JobSpec spec;
+  spec.name = "proof-corrupt";
+  spec.source = PlaFile::parse_string(kSmallPla);
+  spec.flow.engine = EngineSelect::kSat;
+  spec.flow.proof = ProofPolicy::kCheck;
+  spec.flow.bidec.use_cache = false;
+  spec.verify = VerifyEngine::kNone;
+  FaultPlan plan;
+  plan.add({.point = FaultPoint::kProofCorrupt});
+  OwnedManagerSource managers;
+  const JobResult res = run_synthesis_job(spec, 0, 0, managers, plan,
+                                          /*allow_worker_death=*/false,
+                                          /*fresh_managers=*/true);
+  EXPECT_EQ(res.report.status, JobStatus::kVerifyFailed);
+  EXPECT_NE(res.report.error.find("engine bug"), std::string::npos)
+      << res.report.error;
+  EXPECT_EQ(res.netlist.num_outputs(), 0u);  // no decomposition escaped
+  // The stable JSON carries the proof block with the failure visible.
+  const std::string json = res.report.to_stable_json();
+  EXPECT_NE(json.find("\"proof\": {\"policy\": \"check\""), std::string::npos)
+      << json;
+}
+
+TEST(ProofPolicy, JobRunnerStableJsonCarriesProofCounts) {
+  JobSpec spec;
+  spec.name = "proof-ok";
+  spec.source = PlaFile::parse_string(kSmallPla);
+  spec.flow.engine = EngineSelect::kSat;
+  spec.flow.proof = ProofPolicy::kCheck;
+  spec.verify = VerifyEngine::kSat;
+  OwnedManagerSource managers;
+  const JobResult res = run_synthesis_job(spec, 0, 0, managers, FaultPlan{},
+                                          false, true);
+  ASSERT_EQ(res.report.status, JobStatus::kOk) << res.report.error;
+  EXPECT_EQ(res.report.proof.failed_checks, 0u);
+  EXPECT_GT(res.report.proof.checked_unsat, 0u);
+  const std::string json = res.report.to_stable_json();
+  EXPECT_NE(json.find("\"checked_unsat\": "), std::string::npos) << json;
+  EXPECT_EQ(json.find("check_ms"), std::string::npos) << json;  // non-stable
+}
+
+TEST(ProofPolicy, DefaultOffKeepsJsonFree) {
+  JobSpec spec;
+  spec.name = "proof-off";
+  spec.source = PlaFile::parse_string(kSmallPla);
+  spec.flow.engine = EngineSelect::kSat;
+  spec.verify = VerifyEngine::kSat;
+  OwnedManagerSource managers;
+  const JobResult res = run_synthesis_job(spec, 0, 0, managers, FaultPlan{},
+                                          false, true);
+  ASSERT_EQ(res.report.status, JobStatus::kOk) << res.report.error;
+  EXPECT_EQ(res.report.to_stable_json().find("\"proof\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bidec::proof
