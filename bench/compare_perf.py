@@ -22,11 +22,55 @@ import os
 import sys
 
 
+def load_doc(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def load_suite(path: str) -> dict[str, dict]:
     """Return {bench name: record} from one BENCH_*.json file."""
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
-    return {rec["name"]: rec for rec in doc.get("benches", [])}
+    return {rec["name"]: rec for rec in load_doc(path).get("benches", [])}
+
+
+# The parallel kernel must actually pay off: each _t8 bench is required to
+# beat its serial twin by this factor. Only checked when the measuring host
+# has at least 8 hardware threads (the JSON header records the count) —
+# on smaller hosts the _t8 records measure oversubscription, not speedup.
+T8_SPEEDUP_FLOOR = 1.5
+T8_PAIRS = {
+    "and_pairs_12_t8": "and_pairs_12",
+    "ite_12_t8": "ite_12",
+    "compose_12_t8": "compose_12",
+}
+
+
+def check_t8_speedup(doc: dict) -> list[str]:
+    """Return failure lines for _t8 benches that fall short of the floor."""
+    hw = int(doc.get("hardware_threads", 0))
+    benches = {rec["name"]: rec for rec in doc.get("benches", [])}
+    if hw < 8:
+        present = sorted(set(T8_PAIRS) & set(benches))
+        if present:
+            print(f"  ~ host has {hw} hardware threads; t8 speedup gate skipped")
+        return []
+    failures: list[str] = []
+    for t8_name, serial_name in sorted(T8_PAIRS.items()):
+        if t8_name not in benches or serial_name not in benches:
+            continue
+        serial_ns = float(benches[serial_name]["ns_per_op"])
+        t8_ns = float(benches[t8_name]["ns_per_op"])
+        if t8_ns <= 0.0:
+            continue
+        speedup = serial_ns / t8_ns
+        marker = "ok" if speedup >= T8_SPEEDUP_FLOOR else "TOO SLOW"
+        print(f"  {marker:>10} {t8_name}: {speedup:.2f}x over {serial_name} "
+              f"(floor {T8_SPEEDUP_FLOOR:.1f}x)")
+        if speedup < T8_SPEEDUP_FLOOR:
+            failures.append(
+                f"{t8_name}: only {speedup:.2f}x over {serial_name}, "
+                f"needs {T8_SPEEDUP_FLOOR:.1f}x"
+            )
+    return failures
 
 
 def compare_file(baseline_path: str, current_path: str, threshold: float) -> list[str]:
@@ -82,6 +126,8 @@ def main() -> int:
             return 2
         print(f"{suite}:")
         all_regressions.extend(compare_file(baseline_path, current_path, args.threshold))
+        if suite == "BENCH_bdd.json":
+            all_regressions.extend(check_t8_speedup(load_doc(current_path)))
         compared += 1
 
     if compared == 0:

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -130,10 +131,22 @@ RepSample timed_rep(unsigned nv, Setup&& setup, Op&& op) {
 
 // --- BDD suite --------------------------------------------------------------
 
-// Pairwise conjunction over random 12-var functions.
-RepSample rep_and_pairs() {
+// Pairwise conjunction over random 12-var functions. The _t8 variants run
+// the identical protocol with the task-parallel kernel (threads = 8): on
+// hosts with fewer hardware threads they measure oversubscription, so
+// compare_perf.py only gates the t8-vs-serial speedup when the recorded
+// hardware_threads is at least 8.
+RepSample rep_and_pairs_threads(unsigned threads) {
   return timed_rep(
-      12, [](BddManager& m) { return random_functions(m, 12, 20, 101); },
+      12,
+      [threads](BddManager& m) {
+        m.set_threads(threads);
+        // Grain 1 = no serial trial: the t8 variants stress the fork-join
+        // kernel on every operation instead of the adaptive escalation
+        // gate (which would keep these micro-ops serial).
+        if (threads > 1) m.set_parallel_grain(1);
+        return random_functions(m, 12, 20, 101);
+      },
       [](BddManager&, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
         std::uint64_t ops = 0;
         for (const Bdd& f : fs) {
@@ -146,9 +159,20 @@ RepSample rep_and_pairs() {
       });
 }
 
-RepSample rep_ite() {
+RepSample rep_and_pairs() { return rep_and_pairs_threads(1); }
+RepSample rep_and_pairs_t8() { return rep_and_pairs_threads(8); }
+
+RepSample rep_ite_threads(unsigned threads) {
   return timed_rep(
-      12, [](BddManager& m) { return random_functions(m, 12, 12, 102); },
+      12,
+      [threads](BddManager& m) {
+        m.set_threads(threads);
+        // Grain 1 = no serial trial: the t8 variants stress the fork-join
+        // kernel on every operation instead of the adaptive escalation
+        // gate (which would keep these micro-ops serial).
+        if (threads > 1) m.set_parallel_grain(1);
+        return random_functions(m, 12, 12, 102);
+      },
       [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
         std::uint64_t ops = 0;
         for (std::size_t i = 0; i < fs.size(); ++i) {
@@ -161,6 +185,9 @@ RepSample rep_ite() {
         return ops;
       });
 }
+
+RepSample rep_ite() { return rep_ite_threads(1); }
+RepSample rep_ite_t8() { return rep_ite_threads(8); }
 
 // De Morgan ladder: negation-heavy alternation of NAND/NOR steps. With a
 // traversal-based NOT every rung re-walks the accumulated diagram; with
@@ -273,9 +300,17 @@ RepSample rep_theorem_check() {
       });
 }
 
-RepSample rep_compose() {
+RepSample rep_compose_threads(unsigned threads) {
   return timed_rep(
-      12, [](BddManager& m) { return random_functions(m, 12, 12, 109); },
+      12,
+      [threads](BddManager& m) {
+        m.set_threads(threads);
+        // Grain 1 = no serial trial: the t8 variants stress the fork-join
+        // kernel on every operation instead of the adaptive escalation
+        // gate (which would keep these micro-ops serial).
+        if (threads > 1) m.set_parallel_grain(1);
+        return random_functions(m, 12, 12, 109);
+      },
       [](BddManager& m, std::vector<Bdd>& fs, std::uint64_t& sink) -> std::uint64_t {
         std::uint64_t ops = 0;
         for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
@@ -285,6 +320,9 @@ RepSample rep_compose() {
         return ops;
       });
 }
+
+RepSample rep_compose() { return rep_compose_threads(1); }
+RepSample rep_compose_t8() { return rep_compose_threads(8); }
 
 RepSample rep_isop() {
   return timed_rep(
@@ -399,6 +437,11 @@ void write_suite(const std::string& path, const std::string& suite,
   out += "  \"commit\": \"" + commit + "\",\n";
   out += "  \"mode\": \"" + mode + "\",\n";
   out += "  \"reps\": " + std::to_string(reps) + ",\n";
+  // The _t8 records only measure real parallelism when the recording host
+  // had the threads to back them; compare_perf.py reads this to decide
+  // whether the t8-speedup gate is meaningful.
+  out += "  \"hardware_threads\": " +
+         std::to_string(std::max(1u, std::thread::hardware_concurrency())) + ",\n";
   out += "  \"benches\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     append_json(out, records[i]);
@@ -474,6 +517,9 @@ int main(int argc, char** argv) {
       {"sat_count_12", rep_sat_count},
       {"symmetric_24", rep_symmetric_build},
       {"gc_churn_12", rep_gc_churn},
+      {"and_pairs_12_t8", rep_and_pairs_t8},
+      {"ite_12_t8", rep_ite_t8},
+      {"compose_12_t8", rep_compose_t8},
   };
 
   std::vector<BenchRecord> bdd_records;

@@ -24,6 +24,10 @@
 //                         and independent re-validation of UNSAT verdicts
 //     --lint <mode>       off|warn|error (default off); post-synthesis
 //                         structural lint gate, findings land in the JSON
+//     --threads N         BDD-kernel worker threads inside each job
+//                         (default 1 = bit-identical serial kernel;
+//                         0 = one per hardware thread). Orthogonal to
+//                         --jobs, which parallelizes across jobs
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -51,7 +55,7 @@ int usage() {
                "       [--reorder none|force|sift] [--weak-only] [--no-exor]\n"
                "       [--no-cache] [--verify none|bdd|sat|both] [--no-verify]\n"
                "       [--proof off|log|check]\n"
-               "       [--lint off|warn|error]\n");
+               "       [--lint off|warn|error] [--threads N]\n");
   return 2;
 }
 
@@ -164,6 +168,10 @@ int main(int argc, char** argv) {
         return usage();
       }
       flow.lint = *mode;
+    } else if (a == "--threads") {
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--threads", next(), n)) return usage();
+      flow.threads = static_cast<unsigned>(n);
     } else if (!a.empty() && a[0] != '-') {
       inputs.push_back(a);
     } else {

@@ -30,6 +30,10 @@
 //                           independent checker before it is trusted (a
 //                           rejected proof is an engine bug and fails the
 //                           job, exit code 3)
+//     --threads N           BDD-kernel worker threads inside each operation
+//                           (default 1 = bit-identical serial kernel;
+//                           0 = one per hardware thread). Orthogonal to
+//                           --jobs, which parallelizes across files
 //     --jobs N              worker threads for multi-file invocations
 //                           (0 or omitted: auto-detect hardware concurrency)
 //     --timeout-ms T        per-job deadline for multi-file invocations
@@ -102,7 +106,7 @@ int usage() {
                "       [--weak-only] [--no-exor] [--no-cache] [--no-map]\n"
                "       [--atpg] [--sweep] [--stats] [--verify=none|bdd|sat|both]\n"
                "       [--engine=bdd|sat|auto] [--proof=off|log|check]\n"
-               "       [--lint=off|warn|error]\n"
+               "       [--lint=off|warn|error] [--threads N]\n"
                "       [--jobs N] [--timeout-ms T]\n"
                "       [--node-budget N] [--max-retries R] [--degrade]\n");
   return 2;
@@ -397,6 +401,12 @@ int main(int argc, char** argv) {
         return usage();
       }
       args.flow.lint = *mode;
+    } else if (a == "--threads" || a.rfind("--threads=", 0) == 0) {
+      const char* v = a == "--threads" ? next() : a.c_str() + std::strlen("--threads=");
+      if (!v) return usage();
+      std::uint64_t n = 0;
+      if (!parse_unsigned("--threads", v, n)) return usage();
+      args.flow.threads = static_cast<unsigned>(n);
     } else if (a == "--atpg") {
       args.atpg = true;
     } else if (a == "--sweep") {
@@ -481,6 +491,7 @@ int main(int argc, char** argv) {
       if (!lib_in) throw std::runtime_error("cannot open library " + args.library);
       args.flow.library = CellLibrary::parse(lib_in);
     }
+    mgr->set_threads(args.flow.threads);
     FlowResult res = synthesize_bidecomp(*mgr, spec, in_names, out_names, args.flow);
     if (args.sweep) {
       const std::size_t removed = remove_redundancies(*mgr, res.netlist);

@@ -41,6 +41,11 @@
 
 namespace bidec {
 
+namespace par {
+struct ParallelState;  // task pool + concurrent cache (bdd_parallel.cpp)
+struct WorkerCtx;      // per-worker scratch handed through mt_* recursion
+}  // namespace par
+
 /// Edge to a BDD node inside its manager: (node index << 1) | complement.
 /// 0 and 1 are the constant edges (both polarities of the terminal node).
 using NodeId = std::uint32_t;
@@ -187,6 +192,23 @@ struct BddStats {
   std::size_t cache_resizes = 0;   ///< computed-table growth events
   std::size_t cache_swept = 0;     ///< entries dropped by GC sweeps (dead operands)
   std::size_t cache_kept = 0;      ///< entries that survived GC sweeps
+
+  // Per-op recursion profile (the normalization-tax counters). and_calls
+  // counts the dedicated two-operand AND core, ite_calls the general
+  // three-operand ITE core; ite_norms counts standard-triple/complement
+  // normalization rewrites the ITE core actually performed. A healthy
+  // AND-heavy workload shows and_calls >> ite_calls.
+  std::uint64_t and_calls = 0;     ///< recursive calls into the AND fast path
+  std::uint64_t ite_calls = 0;     ///< recursive calls into the general ITE core
+  std::uint64_t ite_norms = 0;     ///< standard-triple/complement rewrites in ITE
+
+  // Parallel-kernel contention counters (all exactly zero on a serial run —
+  // a pinned test and the stable-JSON gating depend on that).
+  std::uint64_t par_ops = 0;          ///< public ops that took the parallel path
+  std::uint64_t par_tasks = 0;        ///< sibling cofactor tasks spawned
+  std::uint64_t par_steals = 0;       ///< tasks executed by a non-spawning worker
+  std::uint64_t par_cache_drops = 0;  ///< lossy computed-cache inserts dropped
+  std::uint64_t par_cas_retries = 0;  ///< CAS retry loops (allocation, seqlock)
 };
 
 /// Manager owning all nodes of one BDD universe with a fixed variable count.
@@ -365,6 +387,29 @@ class BddManager {
   /// Recursive steps executed since construction or reset_stats().
   [[nodiscard]] std::uint64_t steps_used() const noexcept { return steps_; }
 
+  // --- parallelism ---------------------------------------------------------
+  /// Worker threads for the task-parallel apply/ITE kernel. 1 (the default)
+  /// keeps every operation on the serial recursion — bit-identical results,
+  /// counters and stable JSON to a build without the parallel layer. 0
+  /// resolves to the hardware concurrency. Values above 1 let apply/ITE/
+  /// compose spawn sibling cofactor recursions on a work-stealing pool;
+  /// results are the same canonical nodes (the unique table stays the
+  /// single source of canonicity), only discovery order differs. The
+  /// manager itself remains externally single-threaded: callers must not
+  /// invoke operations concurrently; parallelism lives *inside* one call.
+  void set_threads(unsigned n);
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  /// Escalation grain for the parallel kernel (ignored at threads=1).
+  /// Entering a fork-join region costs a pool wakeup, an arena reserve and
+  /// a teardown reconciliation pass, which short operations never repay —
+  /// so every operation first runs on the serial core under a synthetic
+  /// step cap and only escalates to a real region when the cap trips.
+  /// 0 (default): adaptive cap, max(4096, live nodes) steps. 1: no serial
+  /// trial, every operation opens a region (benchmark / kernel-stress
+  /// mode). n>1: fixed cap of n steps before escalating.
+  void set_parallel_grain(std::uint64_t steps) noexcept { parallel_grain_ = steps; }
+  [[nodiscard]] std::uint64_t parallel_grain() const noexcept { return parallel_grain_; }
+
   // --- memory management -------------------------------------------------------
   /// Nodes currently alive (reachable or not yet collected).
   [[nodiscard]] std::size_t live_node_count() const noexcept;
@@ -399,6 +444,7 @@ class BddManager {
 
  private:
   friend class Bdd;
+  friend struct par::ParallelState;  // pool workers call run_stolen_task
   // Test-only corruption hook: the audit tests define this struct to poke
   // private node storage and verify every audit rule actually fires.
   friend struct BddTestCorruptor;
@@ -450,7 +496,10 @@ class BddManager {
   };
 
   // Tags for the computed table. kCompose packs the substituted variable
-  // into the upper bits of the tag.
+  // into the upper bits of the tag. kOpAnd is the dedicated tag of the
+  // two-operand AND core: binary conjunctions and general ITE triples hash
+  // to distinct buckets, so the two-slot aging probe stops thrashing
+  // between them on conjunction-heavy flows.
   enum Op : std::uint32_t {
     kOpIte = 1,
     kOpExists = 2,
@@ -460,8 +509,9 @@ class BddManager {
     kOpConstrain = 6,
     kOpRestrict = 7,
     kOpCofCube = 8,
+    kOpAnd = 9,
   };
-  static constexpr std::uint32_t kOpLast = kOpCofCube;
+  static constexpr std::uint32_t kOpLast = kOpAnd;
 
   // reference management (used by Bdd handles)
   void inc_ref(NodeId id) noexcept;
@@ -481,6 +531,7 @@ class BddManager {
   void grow_cache();
 
   // recursive cores (work on raw edges; never trigger GC)
+  NodeId and_rec(NodeId f, NodeId g);
   NodeId ite_rec(NodeId f, NodeId g, NodeId h);
   NodeId quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned max_qvar,
                    bool existential, NodeId cube_id);
@@ -490,6 +541,23 @@ class BddManager {
   NodeId constrain_rec(NodeId f, NodeId c, bool restrict_mode);
   NodeId cofactor_cube_rec(NodeId f, NodeId cube);
   void support_rec(NodeId f, std::vector<bool>& seen, std::vector<NodeId>& visited) const;
+
+  // parallel kernel (bdd_parallel.cpp). parallel_apply runs one public
+  // operation as a fork-join region: it sizes an allocation arena, wakes
+  // the pool, runs the root recursion on the calling thread, and tears the
+  // region down (trim arena, recount subtables, merge worker counters)
+  // before returning — so outside a region the manager is structurally
+  // indistinguishable from a serial one.
+  [[nodiscard]] bool parallel_eligible() const noexcept {
+    return threads_ > 1 && fault_ == nullptr;
+  }
+  NodeId parallel_apply(std::uint32_t op, NodeId f, NodeId g, NodeId h);
+  NodeId mt_and(NodeId f, NodeId g, unsigned depth, par::WorkerCtx& wk);
+  NodeId mt_ite(NodeId f, NodeId g, NodeId h, unsigned depth, par::WorkerCtx& wk);
+  NodeId mt_make_node(unsigned var, NodeId lo, NodeId hi, par::WorkerCtx& wk);
+  std::uint32_t mt_alloc_slot(par::WorkerCtx& wk);
+  void mt_check_step(par::WorkerCtx& wk);
+  void run_stolen_task(void* task, par::WorkerCtx& wk);  // pool callback
 
   void maybe_gc();
   [[nodiscard]] unsigned level_of(NodeId e) const noexcept {
@@ -548,6 +616,11 @@ class BddManager {
   std::size_t gc_threshold_;
   std::size_t gc_floor_;       // decay floor for the adaptive threshold
   bool in_operation_ = false;  // guards against GC during recursion
+  // Monotonic collection counter for cross-region cache invalidation.
+  // stats_.gc_runs is NOT usable for that: reset_stats() zeroes it, so on a
+  // pooled manager a post-reset collection can land the counter back on a
+  // previously seen value and stale cache entries would survive a real GC.
+  std::size_t gc_epoch_ = 0;
   BddStats stats_;
 
   // cooperative abort state (see set_step_budget / set_deadline)
@@ -557,6 +630,14 @@ class BddManager {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   BddFaultInjector* fault_ = nullptr;  // not owned; see set_fault_injector
+
+  // parallel kernel state (lazily created by set_threads(>1); owned).
+  // std::unique_ptr would drag the full ParallelState definition into every
+  // includer via the destructor, so a raw pointer + explicit delete in
+  // ~BddManager (bdd_parallel.cpp) keeps this header dependency-free.
+  unsigned threads_ = 1;
+  std::uint64_t parallel_grain_ = 0;  // see set_parallel_grain
+  par::ParallelState* par_ = nullptr;
 
   // scratch marks for traversals (indexed by node index)
   mutable std::vector<bool> mark_;

@@ -89,7 +89,7 @@ std::size_t Bdd::dag_size() const { return mgr_->dag_size(*this); }
 
 BddManager::BddManager(unsigned num_vars, std::size_t initial_capacity)
     : num_vars_(num_vars),
-      gc_threshold_(std::max<std::size_t>(initial_capacity, 1u << 12)),
+      gc_threshold_(std::max<std::size_t>(initial_capacity * 2, 1u << 14)),
       gc_floor_(gc_threshold_) {
   nodes_.reserve(initial_capacity);
   // The single terminal node lives at index 0 and denotes FALSE in its
@@ -108,7 +108,7 @@ BddManager::BddManager(unsigned num_vars, std::size_t initial_capacity)
   stats_.peak_nodes = 1;
 }
 
-BddManager::~BddManager() = default;
+// ~BddManager lives in bdd_parallel.cpp (it owns the parallel state).
 
 void BddManager::inc_ref(NodeId id) noexcept { ++nodes_[edge_index(id)].refs; }
 
@@ -260,6 +260,7 @@ void BddManager::collect_garbage() {
 
   stats_.live_nodes = nodes_.size() - free_count_;
   ++stats_.gc_runs;
+  ++gc_epoch_;  // monotonic, survives reset_stats (parallel cache stamp)
   stats_.gc_ms += std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -402,9 +403,11 @@ void BddManager::cache_insert(std::uint32_t tag, NodeId a, NodeId b, NodeId c,
   if (fault_ != nullptr && fault_->poison_cache_insert()) return;
   ++stats_.cache_inserts;
   if (++cache_inserts_since_grow_ > cache_.size()) {
-    // Grow under insert pressure, but only while the table is small relative
-    // to the live working set (about one entry per live node): an oversized cache
-    // is a net loss — every probe leaves L2 and every GC sweep walks it.
+    // Grow under insert pressure while the table is small relative to the
+    // live working set. One entry per live node keeps the computed table
+    // inside the same cache footprint as the node store; larger ratios
+    // measured slower on apply-heavy suites (probe misses touch cold lines
+    // faster than the extra capacity pays back).
     const std::size_t target = std::min(
         cache_budget_, round_up_pow2(live_node_count()));
     if (cache_.size() < target) {
@@ -487,8 +490,39 @@ Bdd BddManager::make_cube(const CubeLits& lits) {
 // ITE and connectives
 // ---------------------------------------------------------------------------
 
+NodeId BddManager::and_rec(NodeId f, NodeId g) {
+  check_step();
+  ++stats_.and_calls;
+  // Terminal rules. AND has no absorption cases beyond these: every mixed
+  // form (OR/NOR/NAND/SHARP) reaches this core pre-routed through De Morgan,
+  // so there is no standard-triple normalization to pay here at all.
+  if (f == kFalseId || g == kFalseId || f == edge_not(g)) return kFalseId;
+  if (f == kTrueId) return g;
+  if (g == kTrueId || f == g) return f;
+  // Commutative: one deterministic operand order (top level, then regular
+  // edge value) makes (f, g) and (g, f) share a cache entry.
+  if (edge_before(g, f)) std::swap(f, g);
+
+  const NodeId cached = cache_lookup(kOpAnd, f, g, 0);
+  if (cached != kInvalidId) return cached;
+
+  const unsigned vf = level_of(f), vg = level_of(g);
+  const unsigned v = std::min(vf, vg);
+  const NodeId f0 = vf == v ? lo_of(f) : f;
+  const NodeId f1 = vf == v ? hi_of(f) : f;
+  const NodeId g0 = vg == v ? lo_of(g) : g;
+  const NodeId g1 = vg == v ? hi_of(g) : g;
+
+  const NodeId r0 = and_rec(f0, g0);
+  const NodeId r1 = and_rec(f1, g1);
+  const NodeId r = make_node(v, r0, r1);
+  cache_insert(kOpAnd, f, g, 0, r);
+  return r;
+}
+
 NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
   check_step();
+  ++stats_.ite_calls;
   // Terminal rules.
   if (f == kTrueId) return g;
   if (f == kFalseId) return h;
@@ -511,42 +545,36 @@ NodeId BddManager::ite_rec(NodeId f, NodeId g, NodeId h) {
   if (g == kTrueId && h == kFalseId) return f;
   if (g == kFalseId && h == kTrueId) return edge_not(f);
 
-  // Standard-triple normalization (Brace/Rudell/Bryant): order the two
-  // non-constant operands of the commutative forms deterministically so
-  // AND/OR/NOR/NAND/XOR spellings of the same function share cache lines.
-  if (g == kTrueId) {  // OR: ite(f, 1, h) = ite(h, 1, f)
-    if (edge_before(h, f)) std::swap(f, h);
-  } else if (h == kFalseId) {  // AND: ite(f, g, 0) = ite(g, f, 0)
-    if (edge_before(g, f)) std::swap(f, g);
-  } else if (g == kFalseId) {  // NOR: ite(f, 0, h) = ite(~h, 0, ~f)
-    if (edge_before(h, f)) {
-      const NodeId t = edge_not(h);
-      h = edge_not(f);
-      f = t;
-    }
-  } else if (h == kTrueId) {  // NAND: ite(f, g, 1) = ite(~g, ~f, 1)
-    if (edge_before(g, f)) {
-      const NodeId t = edge_not(g);
-      g = edge_not(f);
-      f = t;
-    }
-  } else if (g == edge_not(h)) {  // XOR: ite(f, g, ~g) = ite(g, f, ~f)
-    if (edge_before(g, f)) {
-      const NodeId t = g;
-      g = f;
-      h = edge_not(f);
-      f = t;
-    }
+  // Binary shapes (Brace/Rudell/Bryant's AND/OR/NOR/NAND standard triples)
+  // divert to the dedicated two-operand core — OR/NOR/NAND via De Morgan,
+  // which complement edges make free. They skip the remaining normalization
+  // machinery entirely and probe the kOpAnd cache tag, so conjunctions stop
+  // thrashing the ITE buckets. Only the XOR triple stays an ITE.
+  if (h == kFalseId) return and_rec(f, g);
+  if (g == kTrueId) return edge_not(and_rec(edge_not(f), edge_not(h)));
+  if (g == kFalseId) return and_rec(edge_not(f), h);
+  if (h == kTrueId) return edge_not(and_rec(f, edge_not(g)));
+
+  // XOR standard triple: ite(f, g, ~g) = ite(g, f, ~f) — order the operands
+  // deterministically so both spellings share cache lines.
+  if (g == edge_not(h) && edge_before(g, f)) {
+    ++stats_.ite_norms;
+    const NodeId t = g;
+    g = f;
+    h = edge_not(f);
+    f = t;
   }
 
   // Complement canonicalization: the selector and the then-branch are made
   // regular; a complemented then-branch complements the cached result.
   if (edge_complemented(f)) {
+    ++stats_.ite_norms;
     f = edge_not(f);
     std::swap(g, h);
   }
   NodeId out_c = 0;
   if (edge_complemented(g)) {
+    ++stats_.ite_norms;
     out_c = 1;
     g = edge_not(g);
     h = edge_not(h);
@@ -576,6 +604,9 @@ Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   ensure_owned(g, "ite");
   ensure_owned(h, "ite");
   maybe_gc();
+  if (parallel_eligible()) {
+    return wrap(parallel_apply(kOpIte, f.id(), g.id(), h.id()));
+  }
   return wrap(ite_rec(f.id(), g.id(), h.id()));
 }
 
@@ -583,14 +614,20 @@ Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_and");
   ensure_owned(g, "apply_and");
   maybe_gc();
-  return wrap(ite_rec(f.id(), g.id(), kFalseId));
+  if (parallel_eligible()) return wrap(parallel_apply(kOpAnd, f.id(), g.id(), 0));
+  return wrap(and_rec(f.id(), g.id()));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_or");
   ensure_owned(g, "apply_or");
   maybe_gc();
-  return wrap(ite_rec(f.id(), kTrueId, g.id()));
+  // De Morgan: or(f, g) = ~and(~f, ~g); complement edges make this free.
+  if (parallel_eligible()) {
+    return wrap(edge_not(
+        parallel_apply(kOpAnd, edge_not(f.id()), edge_not(g.id()), 0)));
+  }
+  return wrap(edge_not(and_rec(edge_not(f.id()), edge_not(g.id()))));
 }
 
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
@@ -598,6 +635,9 @@ Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
   ensure_owned(g, "apply_xor");
   maybe_gc();
   // xor(f, g) = ite(f, ~g, g); the XOR standard triple normalizes order.
+  if (parallel_eligible()) {
+    return wrap(parallel_apply(kOpIte, f.id(), edge_not(g.id()), g.id()));
+  }
   return wrap(ite_rec(f.id(), edge_not(g.id()), g.id()));
 }
 
@@ -605,6 +645,9 @@ Bdd BddManager::apply_xnor(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_xnor");
   ensure_owned(g, "apply_xnor");
   maybe_gc();
+  if (parallel_eligible()) {
+    return wrap(parallel_apply(kOpIte, f.id(), g.id(), edge_not(g.id())));
+  }
   return wrap(ite_rec(f.id(), g.id(), edge_not(g.id())));
 }
 
@@ -618,7 +661,10 @@ Bdd BddManager::apply_sharp(const Bdd& f, const Bdd& g) {
   ensure_owned(f, "apply_sharp");
   ensure_owned(g, "apply_sharp");
   maybe_gc();
-  return wrap(ite_rec(f.id(), edge_not(g.id()), kFalseId));
+  if (parallel_eligible()) {
+    return wrap(parallel_apply(kOpAnd, f.id(), edge_not(g.id()), 0));
+  }
+  return wrap(and_rec(f.id(), edge_not(g.id())));
 }
 
 // ---------------------------------------------------------------------------

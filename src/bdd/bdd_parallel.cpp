@@ -1,0 +1,515 @@
+// Task-parallel apply/ITE: the mt_* twins of and_rec/ite_rec, the region
+// lifecycle, and the concurrent unique-table insert. See DESIGN.md §16 for
+// the protocol write-up and src/bdd/parallel/task_pool.h for the pool.
+//
+// Invariants that keep this sound:
+//  * Canonicity is owned by the unique table alone. The striped insert makes
+//    every (var, lo, hi) triple unique across threads, so two threads
+//    computing the same function always end at the same NodeId — results are
+//    identical to the serial kernel's up to allocation order.
+//  * The lossy cache can drop or miss, never lie: wrong-key hits are
+//    excluded by the full-key compare under the seqlock.
+//  * Workers never touch serial-kernel state (serial computed table, stats_,
+//    free list): those stay bit-exact for threads=1 and are reconciled once,
+//    single-threaded, at region teardown.
+//  * A frame never returns while a task it spawned is outstanding, abort or
+//    not — tasks live on the spawner's stack.
+#include "bdd/bdd.h"
+#include "bdd/parallel/task_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+#include <thread>
+
+namespace bidec {
+
+using par::ParallelState;
+using par::Task;
+using par::WorkerCtx;
+
+namespace {
+// Spawn sibling tasks only above this recursion depth: deep frames are tiny
+// and the push/pop overhead would dominate the work shipped.
+constexpr unsigned kSpawnDepth = 8;
+}  // namespace
+
+BddManager::~BddManager() { delete par_; }
+
+void BddManager::set_threads(unsigned n) {
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  if (n == threads_) return;
+  delete par_;
+  par_ = nullptr;
+  threads_ = n;
+  if (threads_ > 1) par_ = new ParallelState(this, threads_);
+}
+
+// ---------------------------------------------------------------------------
+// Region lifecycle
+// ---------------------------------------------------------------------------
+
+NodeId BddManager::parallel_apply(std::uint32_t op, NodeId f, NodeId g, NodeId h) {
+  // Serial trial: a region costs a pool wakeup, an arena reserve and a
+  // teardown reconciliation pass, which the short operations that dominate
+  // synthesis flows can never repay — measured on the batch suite, opening
+  // a region per operation was a 75x slowdown, not a speedup. So every
+  // operation first runs on the serial core under a synthetic step cap
+  // scaled to the store size; only the rare operation that blows the cap
+  // re-enters as a real region, and the region overhead is then amortized
+  // against at least a cap's worth of work. set_parallel_grain overrides
+  // the cap (1 = no trial, benchmark mode).
+  const std::uint64_t grain =
+      parallel_grain_ != 0
+          ? parallel_grain_
+          : std::max<std::uint64_t>(1u << 12, live_node_count());
+  if (grain > 1) {
+    const std::uint64_t saved_budget = step_budget_;
+    const std::uint64_t cap = steps_ + grain;
+    if (saved_budget != 0 && saved_budget <= cap) {
+      // The caller's own budget is tighter than the trial cap; the serial
+      // core enforces it and any abort it raises is genuine.
+      return op == kOpAnd ? and_rec(f, g) : ite_rec(f, g, h);
+    }
+    step_budget_ = cap;
+    try {
+      const NodeId r = op == kOpAnd ? and_rec(f, g) : ite_rec(f, g, h);
+      step_budget_ = saved_budget;
+      return r;
+    } catch (const BddAbortError&) {
+      step_budget_ = saved_budget;
+      // Rethrow genuine aborts; only a synthetic cap trip falls through to
+      // the parallel region below.
+      if (saved_budget != 0 && steps_ > saved_budget) throw;
+      if (node_budget_ != 0 && live_node_count() >= node_budget_) throw;
+      if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+        throw;
+      }
+    }
+  }
+
+  ParallelState& ps = *par_;
+  // The cross-region cache may reference nodes a collection has since freed;
+  // drop it wholesale whenever a GC ran. (Node indices are stable across GC,
+  // so without a collection every entry stays valid.) The stamp is the
+  // monotonic gc_epoch_, not stats_.gc_runs: reset_stats() zeroes the
+  // latter, and on a pooled manager a post-reset collection could land it
+  // back on the stamped value — stale entries would then survive a real GC
+  // and hand out freed node ids.
+  if (gc_epoch_ != ps.gc_epoch_at_last_region) {
+    ps.cache.clear();
+    ps.gc_epoch_at_last_region = gc_epoch_;
+  }
+
+  // Arena: pre-size the node store so workers bump-allocate without moving
+  // `nodes_` (growth mid-region goes through the stop-the-world safepoint).
+  ps.alloc_base = static_cast<std::uint32_t>(nodes_.size());
+  const std::size_t slack = std::max<std::size_t>(nodes_.size() / 2, 1u << 13);
+  nodes_.resize(nodes_.size() + slack);
+  ps.alloc_next.store(ps.alloc_base, std::memory_order_relaxed);
+  ps.alloc_cap.store(static_cast<std::uint32_t>(nodes_.size()),
+                     std::memory_order_relaxed);
+
+  ps.begin_region();
+  NodeId result = kInvalidId;
+  {
+    std::shared_lock<std::shared_mutex> tl(ps.table_mu);
+    WorkerCtx& wk = ps.ctxs[0];
+    wk.region_lock = &tl;
+    result = op == kOpAnd ? mt_and(f, g, 0, wk) : mt_ite(f, g, h, 0, wk);
+    wk.region_lock = nullptr;
+  }
+  ps.end_region();
+
+  // --- teardown: single-threaded from here on ------------------------------
+  const std::uint32_t alloc_end = ps.alloc_next.load(std::memory_order_relaxed);
+  nodes_.resize(alloc_end);  // trim unused slack
+
+  // Slots that lost their insert race (or were left spare) go back to the
+  // free list exactly like GC-freed slots, so no node is ever lost.
+  for (WorkerCtx& wk : ps.ctxs) {
+    for (const std::uint32_t s : wk.spare_slots) {
+      nodes_[s].var = kInvalidId;
+      nodes_[s].lo = free_list_;
+      free_list_ = s;
+      ++free_count_;
+    }
+    wk.spare_slots.clear();
+  }
+
+  // Reconcile the per-variable counters the lock-free inserts skipped, and
+  // apply the deferred subtable growth (growing mid-region would rehash
+  // chains under concurrent readers).
+  for (std::uint32_t idx = ps.alloc_base; idx < alloc_end; ++idx) {
+    if (nodes_[idx].var != kInvalidId) ++subtables_[nodes_[idx].var].count;
+  }
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    while (subtables_[v].count * 2 > subtables_[v].buckets.size()) {
+      grow_subtable(v);
+    }
+  }
+
+  // Merge worker counters into the serial stats.
+  std::uint64_t steps = 0;
+  for (WorkerCtx& wk : ps.ctxs) {
+    const par::WorkerStats& s = wk.st;
+    steps += s.steps;
+    stats_.and_calls += s.and_calls;
+    stats_.ite_calls += s.ite_calls;
+    stats_.ite_norms += s.ite_norms;
+    stats_.cache_lookups += s.cache_lookups;
+    stats_.cache_hits += s.cache_hits;
+    stats_.cache_inserts += s.cache_inserts;
+    stats_.unique_hits += s.unique_hits;
+    stats_.unique_misses += s.unique_misses;
+    stats_.par_tasks += s.tasks_spawned;
+    stats_.par_steals += s.steals;
+    stats_.par_cache_drops += s.cache_drops;
+    stats_.par_cas_retries += s.cas_retries;
+    wk.st = par::WorkerStats{};
+  }
+  steps_ += steps;
+  ++stats_.par_ops;
+  stats_.live_nodes = live_node_count();
+  stats_.peak_nodes = std::max(stats_.peak_nodes, stats_.live_nodes);
+
+  const int abort = ps.abort_kind.load(std::memory_order_relaxed);
+  if (abort != 0) {
+    // The manager is consistent (every allocated slot is either a canonical
+    // node or back on the free list); report the abort like the serial core.
+    if (abort == 1) throw_step_abort();
+    if (abort == 2) throw BddAbortError("BDD operation aborted: deadline exceeded");
+    throw_node_abort();
+  }
+  // Workers only evaluate the limits every ~1k steps, so a region smaller
+  // than that ends without ever looking at them. Re-check here with the
+  // merged step count: abort granularity is then one region, matching the
+  // serial kernel's per-call check closely enough for the batch engine.
+  if (step_budget_ != 0 && steps_ > step_budget_) throw_step_abort();
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    throw BddAbortError("BDD operation aborted: deadline exceeded");
+  }
+  return result;
+}
+
+void BddManager::run_stolen_task(void* task, WorkerCtx& wk) {
+  Task& t = *static_cast<Task*>(task);
+  const NodeId r = t.kind == 0 ? mt_and(t.f, t.g, t.depth, wk)
+                               : mt_ite(t.f, t.g, t.h, t.depth, wk);
+  t.result.store(r, std::memory_order_relaxed);
+  t.done.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Step accounting / abort propagation
+// ---------------------------------------------------------------------------
+
+void BddManager::mt_check_step(WorkerCtx& wk) {
+  ++wk.st.steps;
+  if (++wk.steps_since_poll < 1024) return;
+  wk.steps_since_poll = 0;
+  ParallelState& ps = *wk.ps;
+  const std::uint64_t total =
+      ps.shared_steps.fetch_add(1024, std::memory_order_relaxed) + 1024 + steps_;
+  int expect = 0;
+  if (step_budget_ != 0 && total > step_budget_) {
+    ps.abort_kind.compare_exchange_strong(expect, 1, std::memory_order_relaxed);
+  } else if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    ps.abort_kind.compare_exchange_strong(expect, 2, std::memory_order_relaxed);
+  }
+  ps.checkpoint(wk);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent node construction
+// ---------------------------------------------------------------------------
+
+std::uint32_t BddManager::mt_alloc_slot(WorkerCtx& wk) {
+  if (!wk.spare_slots.empty()) {
+    const std::uint32_t s = wk.spare_slots.back();
+    wk.spare_slots.pop_back();
+    return s;
+  }
+  ParallelState& ps = *wk.ps;
+  for (;;) {
+    std::uint32_t cur = ps.alloc_next.load(std::memory_order_relaxed);
+    if (node_budget_ != 0 &&
+        stats_.live_nodes + (cur - ps.alloc_base) >= node_budget_) {
+      int expect = 0;
+      ps.abort_kind.compare_exchange_strong(expect, 3, std::memory_order_relaxed);
+      return kInvalidId;
+    }
+    if (cur < ps.alloc_cap.load(std::memory_order_acquire)) {
+      // CAS (not fetch_add) so a loser retries instead of claiming an index
+      // past the capacity check — the arena never gets overshoot holes.
+      if (ps.alloc_next.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed)) {
+        return cur;
+      }
+      ++wk.st.cas_retries;
+      continue;
+    }
+    // Arena exhausted: stop the world and grow the node store. The waiter
+    // count makes every worker (including us, at checkpoints) release its
+    // shared table lock so the exclusive acquisition drains quickly.
+    ps.pause_waiters.fetch_add(1, std::memory_order_acq_rel);
+    wk.region_lock->unlock();
+    {
+      std::unique_lock<std::shared_mutex> grow(ps.table_mu);
+      if (ps.alloc_next.load(std::memory_order_relaxed) >=
+          ps.alloc_cap.load(std::memory_order_relaxed)) {
+        try {
+          const std::size_t add =
+              std::max<std::size_t>(nodes_.size() / 2, 1u << 13);
+          nodes_.resize(nodes_.size() + add);
+          ps.alloc_cap.store(static_cast<std::uint32_t>(nodes_.size()),
+                             std::memory_order_release);
+        } catch (const std::bad_alloc&) {
+          int expect = 0;
+          ps.abort_kind.compare_exchange_strong(expect, 3,
+                                                std::memory_order_relaxed);
+        }
+      }
+    }
+    ps.pause_waiters.fetch_sub(1, std::memory_order_acq_rel);
+    wk.region_lock->lock();
+    if (ps.abort_kind.load(std::memory_order_relaxed) != 0) return kInvalidId;
+  }
+}
+
+NodeId BddManager::mt_make_node(unsigned var, NodeId lo, NodeId hi, WorkerCtx& wk) {
+  if (lo == hi) return lo;  // reduction rule
+  const NodeId out_c = edge_complement_bit(hi);
+  lo ^= out_c;
+  hi ^= out_c;
+  assert(var < num_vars_);
+  assert(level_of(lo) > var && level_of(hi) > var);
+  ParallelState& ps = *wk.ps;
+  VarTable& table = subtables_[var];
+  // Bucket geometry is frozen for the region (growth is deferred to
+  // teardown), so the mask is a plain read.
+  const std::size_t b = unique_hash(lo, hi) & (table.buckets.size() - 1);
+  std::atomic_ref<std::uint32_t> head(table.buckets[b]);
+
+  // Optimistic lock-free probe: chains only ever grow at the head during a
+  // region, and the release store below publishes the node fields before the
+  // index becomes reachable.
+  for (std::uint32_t idx = head.load(std::memory_order_acquire);
+       idx != kInvalidId; idx = nodes_[idx].next) {
+    const Node& n = nodes_[idx];
+    if (n.lo == lo && n.hi == hi) {
+      ++wk.st.unique_hits;
+      return make_edge(idx, out_c);
+    }
+  }
+
+  // Claim a slot *before* taking the stripe: the allocation may enter the
+  // growth safepoint, which must never run while holding a stripe mutex.
+  const std::uint32_t slot = mt_alloc_slot(wk);
+  if (slot == kInvalidId) return kInvalidId;  // abort propagating
+
+  std::mutex& stripe =
+      ps.stripes[(b ^ (static_cast<std::size_t>(var) * 0x9e3779b9u)) &
+                 (ParallelState::kStripes - 1)];
+  {
+    std::lock_guard<std::mutex> lk(stripe);
+    // Re-probe under the stripe: a racing thread may have inserted the same
+    // triple between our optimistic probe and this lock.
+    const std::uint32_t h0 = head.load(std::memory_order_acquire);
+    for (std::uint32_t idx = h0; idx != kInvalidId; idx = nodes_[idx].next) {
+      const Node& n = nodes_[idx];
+      if (n.lo == lo && n.hi == hi) {
+        wk.spare_slots.push_back(slot);  // recycled at teardown
+        ++wk.st.unique_hits;
+        return make_edge(idx, out_c);
+      }
+    }
+    ++wk.st.unique_misses;
+    Node& n = nodes_[slot];
+    n.var = var;
+    n.lo = lo;
+    n.hi = hi;
+    n.refs = 0;
+    n.next = h0;
+    head.store(slot, std::memory_order_release);  // publish
+  }
+  return make_edge(slot, out_c);
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join recursion
+// ---------------------------------------------------------------------------
+
+namespace {
+// Join a spawned sibling: run it inline if it was not stolen, otherwise help
+// (execute other tasks) until the thief publishes. Never returns with the
+// task outstanding.
+NodeId join_task(ParallelState& ps, WorkerCtx& wk, Task& t) {
+  if (ps.pop_if_back(wk.index, &t)) {
+    // Not stolen: plain recursion, the common case.
+    ps.run(&t, wk);
+    return t.result.load(std::memory_order_relaxed);
+  }
+  while (!t.done.load(std::memory_order_acquire)) {
+    bool stolen = false;
+    Task* other = ps.grab(wk.index, stolen);
+    if (other != nullptr) {
+      if (stolen) ++wk.st.steals;
+      ps.run(other, wk);
+    } else {
+      ps.checkpoint(wk);
+      std::this_thread::yield();
+    }
+  }
+  return t.result.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+NodeId BddManager::mt_and(NodeId f, NodeId g, unsigned depth, WorkerCtx& wk) {
+  mt_check_step(wk);
+  ParallelState& ps = *wk.ps;
+  if (ps.abort_kind.load(std::memory_order_relaxed) != 0) return kInvalidId;
+  ++wk.st.and_calls;
+  // Terminal rules — identical to and_rec.
+  if (f == kFalseId || g == kFalseId || f == edge_not(g)) return kFalseId;
+  if (f == kTrueId) return g;
+  if (g == kTrueId || f == g) return f;
+  if (edge_before(g, f)) std::swap(f, g);
+
+  ++wk.st.cache_lookups;
+  const NodeId cached = ps.cache.lookup(kOpAnd, f, g, 0);
+  if (cached != par::ConcurrentCache::kInvalid) {
+    ++wk.st.cache_hits;
+    return cached;
+  }
+
+  const unsigned vf = level_of(f), vg = level_of(g);
+  const unsigned v = std::min(vf, vg);
+  const NodeId f0 = vf == v ? lo_of(f) : f;
+  const NodeId f1 = vf == v ? hi_of(f) : f;
+  const NodeId g0 = vg == v ? lo_of(g) : g;
+  const NodeId g1 = vg == v ? hi_of(g) : g;
+
+  NodeId r0, r1;
+  if (depth < kSpawnDepth) {
+    Task t;
+    t.kind = 0;
+    t.f = f1;
+    t.g = g1;
+    t.depth = depth + 1;
+    ps.push(wk.index, &t);
+    ++wk.st.tasks_spawned;
+    r0 = mt_and(f0, g0, depth + 1, wk);
+    r1 = join_task(ps, wk, t);
+  } else {
+    r0 = mt_and(f0, g0, depth + 1, wk);
+    r1 = mt_and(f1, g1, depth + 1, wk);
+  }
+  if (r0 == kInvalidId || r1 == kInvalidId) return kInvalidId;
+
+  const NodeId r = mt_make_node(v, r0, r1, wk);
+  if (r == kInvalidId) return kInvalidId;
+  ++wk.st.cache_inserts;
+  if (!ps.cache.insert(kOpAnd, f, g, 0, r)) ++wk.st.cache_drops;
+  return r;
+}
+
+NodeId BddManager::mt_ite(NodeId f, NodeId g, NodeId h, unsigned depth, WorkerCtx& wk) {
+  mt_check_step(wk);
+  ParallelState& ps = *wk.ps;
+  if (ps.abort_kind.load(std::memory_order_relaxed) != 0) return kInvalidId;
+  ++wk.st.ite_calls;
+  // Terminal rules — identical to ite_rec.
+  if (f == kTrueId) return g;
+  if (f == kFalseId) return h;
+  if (g == h) return g;
+  if (g == kTrueId && h == kFalseId) return f;
+  if (g == kFalseId && h == kTrueId) return edge_not(f);
+  if (f == g) {
+    g = kTrueId;
+  } else if (f == edge_not(g)) {
+    g = kFalseId;
+  }
+  if (f == h) {
+    h = kFalseId;
+  } else if (f == edge_not(h)) {
+    h = kTrueId;
+  }
+  if (g == h) return g;
+  if (g == kTrueId && h == kFalseId) return f;
+  if (g == kFalseId && h == kTrueId) return edge_not(f);
+
+  // Binary shapes divert to the AND core, as in ite_rec.
+  if (h == kFalseId) return mt_and(f, g, depth, wk);
+  if (g == kTrueId) {
+    const NodeId r = mt_and(edge_not(f), edge_not(h), depth, wk);
+    return r == kInvalidId ? kInvalidId : edge_not(r);
+  }
+  if (g == kFalseId) return mt_and(edge_not(f), h, depth, wk);
+  if (h == kTrueId) {
+    const NodeId r = mt_and(f, edge_not(g), depth, wk);
+    return r == kInvalidId ? kInvalidId : edge_not(r);
+  }
+
+  if (g == edge_not(h) && edge_before(g, f)) {  // XOR standard triple
+    ++wk.st.ite_norms;
+    const NodeId t = g;
+    g = f;
+    h = edge_not(f);
+    f = t;
+  }
+  if (edge_complemented(f)) {
+    ++wk.st.ite_norms;
+    f = edge_not(f);
+    std::swap(g, h);
+  }
+  NodeId out_c = 0;
+  if (edge_complemented(g)) {
+    ++wk.st.ite_norms;
+    out_c = 1;
+    g = edge_not(g);
+    h = edge_not(h);
+  }
+
+  ++wk.st.cache_lookups;
+  const NodeId cached = ps.cache.lookup(kOpIte, f, g, h);
+  if (cached != par::ConcurrentCache::kInvalid) {
+    ++wk.st.cache_hits;
+    return cached ^ out_c;
+  }
+
+  const unsigned vf = level_of(f), vg = level_of(g), vh = level_of(h);
+  const unsigned v = std::min({vf, vg, vh});
+  const NodeId f0 = vf == v ? lo_of(f) : f;
+  const NodeId f1 = vf == v ? hi_of(f) : f;
+  const NodeId g0 = vg == v ? lo_of(g) : g;
+  const NodeId g1 = vg == v ? hi_of(g) : g;
+  const NodeId h0 = vh == v ? lo_of(h) : h;
+  const NodeId h1 = vh == v ? hi_of(h) : h;
+
+  NodeId r0, r1;
+  if (depth < kSpawnDepth) {
+    Task t;
+    t.kind = 1;
+    t.f = f1;
+    t.g = g1;
+    t.h = h1;
+    t.depth = depth + 1;
+    ps.push(wk.index, &t);
+    ++wk.st.tasks_spawned;
+    r0 = mt_ite(f0, g0, h0, depth + 1, wk);
+    r1 = join_task(ps, wk, t);
+  } else {
+    r0 = mt_ite(f0, g0, h0, depth + 1, wk);
+    r1 = mt_ite(f1, g1, h1, depth + 1, wk);
+  }
+  if (r0 == kInvalidId || r1 == kInvalidId) return kInvalidId;
+
+  const NodeId r = mt_make_node(v, r0, r1, wk);
+  if (r == kInvalidId) return kInvalidId;
+  ++wk.st.cache_inserts;
+  if (!ps.cache.insert(kOpIte, f, g, h, r)) ++wk.st.cache_drops;
+  return r ^ out_c;
+}
+
+}  // namespace bidec

@@ -57,7 +57,9 @@ NodeId BddManager::quant_rec(NodeId f, const std::vector<bool>& qvars, unsigned 
       r = kFalseId;
     } else {
       const NodeId r1 = quant_rec(hi, qvars, max_qvar, existential, cube_id);
-      r = existential ? ite_rec(r0, kTrueId, r1) : ite_rec(r0, r1, kFalseId);
+      // Join through the dedicated AND core (OR via De Morgan).
+      r = existential ? edge_not(and_rec(edge_not(r0), edge_not(r1)))
+                      : and_rec(r0, r1);
     }
   } else {
     const NodeId r0 = quant_rec(lo, qvars, max_qvar, existential, cube_id);
@@ -118,7 +120,7 @@ NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& q
   const unsigned v = std::min(vf, vg);
   if (v > max_qvar) {
     // No quantified variable remains: plain conjunction.
-    return ite_rec(f, g, kFalseId);
+    return and_rec(f, g);
   }
 
   const NodeId cached = cache_lookup(kOpAndExists, f, g, cube_id);
@@ -136,7 +138,7 @@ NodeId BddManager::and_exists_rec(NodeId f, NodeId g, const std::vector<bool>& q
       r = kTrueId;
     } else {
       const NodeId r1 = and_exists_rec(f1, g1, qvars, max_qvar, cube_id);
-      r = ite_rec(r0, kTrueId, r1);
+      r = edge_not(and_rec(edge_not(r0), edge_not(r1)));
     }
   } else {
     const NodeId r0 = and_exists_rec(f0, g0, qvars, max_qvar, cube_id);
@@ -228,7 +230,7 @@ NodeId BddManager::constrain_rec(NodeId f, NodeId c, bool restrict_mode) {
   if (restrict_mode && vc < vf) {
     // The care set constrains a variable f does not depend on: quantify it
     // away so the result's support stays within f's.
-    const NodeId c_or = ite_rec(lo_of(c), kTrueId, hi_of(c));
+    const NodeId c_or = edge_not(and_rec(edge_not(lo_of(c)), edge_not(hi_of(c))));
     r = constrain_rec(f, c_or, restrict_mode);
   } else {
     const unsigned v = std::min(vf, vc);
@@ -306,6 +308,19 @@ Bdd BddManager::compose(const Bdd& f, unsigned v, const Bdd& g) {
   ensure_owned(g, "compose");
   maybe_gc();
   if (v >= num_vars_) throw std::out_of_range("compose: variable out of range");
+  if (!g.is_const()) {
+    // compose(f, v, g) == ite(g, f|v=1, f|v=0). The two cofactors are cheap
+    // compose-with-constant calls that never re-expand, while the recursive
+    // compose re-derives an ITE join at every node above v's level — on the
+    // perf-gate workload the cofactor form is an order of magnitude faster.
+    // The ITE carries the real work, so it is also the parallel entry.
+    const Bdd f1 = wrap(compose_rec(f.id(), v, kTrueId));
+    const Bdd f0 = wrap(compose_rec(f.id(), v, kFalseId));
+    if (parallel_eligible()) {
+      return wrap(parallel_apply(kOpIte, g.id(), f1.id(), f0.id()));
+    }
+    return wrap(ite_rec(g.id(), f1.id(), f0.id()));
+  }
   return wrap(compose_rec(f.id(), v, g.id()));
 }
 

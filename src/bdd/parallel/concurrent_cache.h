@@ -1,0 +1,118 @@
+// Lossy concurrent computed table for the task-parallel kernel.
+//
+// Contract (the "lossy cache" of DESIGN.md §16): a lookup may miss spuriously
+// and an insert may be dropped entirely, but a hit always returns a value some
+// thread actually computed and published for exactly that key. Losing an
+// insert costs a recompute, never a wrong node — canonicity lives in the
+// unique table, not here — so the cache can stay lock-free on the read side
+// and wait-free on the write side (one CAS attempt, drop on contention).
+//
+// Each entry is a seqlock: `seq` is even when the entry is stable and odd
+// while a writer owns it. All payload fields are std::atomic with relaxed
+// ordering; the seq transitions carry the acquire/release edges. That keeps
+// the protocol ThreadSanitizer-clean: there are no plain loads racing with
+// plain stores, and a torn read is detected by the seq re-check and treated
+// as a miss.
+#ifndef BIDEC_BDD_PARALLEL_CONCURRENT_CACHE_H
+#define BIDEC_BDD_PARALLEL_CONCURRENT_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bidec::par {
+
+class ConcurrentCache {
+ public:
+  /// `entries` is rounded up to a power of two. Memory is ~24 B per entry.
+  explicit ConcurrentCache(std::size_t entries) {
+    std::size_t n = 64;
+    while (n < entries) n <<= 1;
+    slots_ = std::vector<Entry>(n);
+    mask_ = n - 1;
+  }
+
+  /// Returns the cached result or kInvalid when absent / torn / being
+  /// written. Never blocks.
+  [[nodiscard]] std::uint32_t lookup(std::uint32_t tag, std::uint32_t a,
+                                     std::uint32_t b, std::uint32_t c) noexcept {
+    Entry& e = slots_[bucket(tag, a, b, c)];
+    const std::uint32_t s1 = e.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) return kInvalid;  // writer active
+    const std::uint32_t et = e.tag.load(std::memory_order_relaxed);
+    const std::uint32_t ea = e.a.load(std::memory_order_relaxed);
+    const std::uint32_t eb = e.b.load(std::memory_order_relaxed);
+    const std::uint32_t ec = e.c.load(std::memory_order_relaxed);
+    const std::uint32_t er = e.result.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.seq.load(std::memory_order_relaxed) != s1) return kInvalid;  // torn
+    if (et != tag || ea != a || eb != b || ec != c) return kInvalid;
+    return er;
+  }
+
+  /// One CAS attempt to lock the entry; returns false (insert dropped) when
+  /// another writer holds or wins it. Never blocks, never retries.
+  bool insert(std::uint32_t tag, std::uint32_t a, std::uint32_t b,
+              std::uint32_t c, std::uint32_t result) noexcept {
+    Entry& e = slots_[bucket(tag, a, b, c)];
+    std::uint32_t s = e.seq.load(std::memory_order_relaxed);
+    if ((s & 1u) != 0) return false;
+    if (!e.seq.compare_exchange_strong(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    e.tag.store(tag, std::memory_order_relaxed);
+    e.a.store(a, std::memory_order_relaxed);
+    e.b.store(b, std::memory_order_relaxed);
+    e.c.store(c, std::memory_order_relaxed);
+    e.result.store(result, std::memory_order_relaxed);
+    e.seq.store(s + 2, std::memory_order_release);
+    return true;
+  }
+
+  /// Drop every entry. Only callable while no region is active (GC just ran
+  /// and freed nodes the entries may reference).
+  void clear() noexcept {
+    for (Entry& e : slots_) {
+      e.tag.store(0, std::memory_order_relaxed);
+      // Keep seq even and monotone so an (impossible) stale reader still
+      // fails its re-check rather than seeing a half-cleared entry.
+      e.seq.store(e.seq.load(std::memory_order_relaxed) + 2,
+                  std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+ private:
+  struct Entry {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> tag{0};  // 0 = empty
+    std::atomic<std::uint32_t> a{0}, b{0}, c{0};
+    std::atomic<std::uint32_t> result{0};
+  };
+
+  [[nodiscard]] std::size_t bucket(std::uint32_t tag, std::uint32_t a,
+                                   std::uint32_t b, std::uint32_t c) const noexcept {
+    // splitmix64 finalizer over the folded key, same spirit as the serial
+    // computed table's cache_bucket.
+    std::uint64_t x = (static_cast<std::uint64_t>(a) << 32) ^
+                      (static_cast<std::uint64_t>(b) << 11) ^
+                      (static_cast<std::uint64_t>(tag) << 54) ^ c;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace bidec::par
+
+#endif  // BIDEC_BDD_PARALLEL_CONCURRENT_CACHE_H

@@ -1,0 +1,143 @@
+// Pool mechanics for the task-parallel BDD kernel: thread lifecycle, the
+// deque protocol, and the safepoint. The recursion itself (mt_and / mt_ite)
+// lives in src/bdd/bdd_parallel.cpp next to its serial counterparts.
+#include "bdd/parallel/task_pool.h"
+
+#include "bdd/bdd.h"
+
+namespace bidec::par {
+
+ParallelState::ParallelState(BddManager* owner, unsigned num_threads)
+    : mgr(owner),
+      nthreads(num_threads),
+      // ~1 entry per 4 serial cache slots is plenty: the lossy cache only
+      // has to carry one region's working set, not a whole flow's.
+      cache(1u << 18),
+      deques(num_threads),
+      ctxs(num_threads) {
+  for (unsigned i = 0; i < nthreads; ++i) {
+    ctxs[i].index = i;
+    ctxs[i].ps = this;
+  }
+  threads.reserve(nthreads - 1);
+  for (unsigned i = 1; i < nthreads; ++i) {
+    threads.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ParallelState::~ParallelState() {
+  {
+    std::lock_guard<std::mutex> lk(region_mu);
+    shutdown = true;
+  }
+  region_cv.notify_all();
+  for (std::thread& t : threads) t.join();
+}
+
+void ParallelState::begin_region() {
+  abort_kind.store(0, std::memory_order_relaxed);
+  shared_steps.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(region_mu);
+    ++epoch;
+    live.store(true, std::memory_order_release);
+  }
+  region_cv.notify_all();
+}
+
+void ParallelState::end_region() {
+  live.store(false, std::memory_order_release);
+  // Spin until the resident workers have dropped their shared table locks
+  // and left; after that the manager is provably single-threaded and the
+  // caller may trim the arena and merge counters with plain code.
+  while (in_region.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void ParallelState::worker_main(unsigned index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(region_mu);
+      region_cv.wait(lk, [&] { return shutdown || epoch != seen_epoch; });
+      if (shutdown) return;
+      seen_epoch = epoch;
+    }
+    in_region.fetch_add(1, std::memory_order_acq_rel);
+    WorkerCtx& wk = ctxs[index];
+    {
+      std::shared_lock<std::shared_mutex> tl(table_mu);
+      wk.region_lock = &tl;
+      while (live.load(std::memory_order_acquire)) {
+        bool stolen = false;
+        Task* t = grab(index, stolen);
+        if (t != nullptr) {
+          if (stolen) ++wk.st.steals;
+          run(t, wk);
+        } else {
+          checkpoint(wk);
+          std::this_thread::yield();
+        }
+      }
+      wk.region_lock = nullptr;
+    }
+    in_region.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelState::run(Task* t, WorkerCtx& wk) { mgr->run_stolen_task(t, wk); }
+
+void ParallelState::push(unsigned worker, Task* t) {
+  WorkerDeque& d = deques[worker];
+  std::lock_guard<std::mutex> lk(d.mu);
+  d.q.push_back(t);
+}
+
+bool ParallelState::pop_if_back(unsigned worker, Task* t) {
+  WorkerDeque& d = deques[worker];
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (d.q.empty() || d.q.back() != t) return false;
+  d.q.pop_back();
+  return true;
+}
+
+Task* ParallelState::grab(unsigned worker, bool& stolen) {
+  stolen = false;
+  {
+    WorkerDeque& own = deques[worker];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.q.empty()) {
+      Task* t = own.q.back();
+      own.q.pop_back();
+      return t;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim. Start at the next
+  // worker so victims differ per thief.
+  for (unsigned k = 1; k < nthreads; ++k) {
+    WorkerDeque& v = deques[(worker + k) % nthreads];
+    std::lock_guard<std::mutex> lk(v.mu);
+    if (!v.q.empty()) {
+      Task* t = v.q.front();
+      v.q.pop_front();
+      stolen = true;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void ParallelState::checkpoint_slow(WorkerCtx& wk) {
+  // A grower wants table_mu exclusive: release our shared hold until every
+  // pending growth is done, then re-acquire and resume. Nothing on this
+  // thread's stack points into nodes_ across this window (mt_* reload
+  // through indices), so the resize is invisible to us.
+  wk.region_lock->unlock();
+  while (pause_waiters.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  wk.region_lock->lock();
+}
+
+}  // namespace bidec::par

@@ -1,0 +1,170 @@
+// Work-stealing fork-join pool + shared region state for the task-parallel
+// BDD kernel (DESIGN.md §16).
+//
+// Execution model: a public BddManager operation opens a *region*. The
+// calling thread becomes worker 0; the pool's N-1 resident threads wake and
+// join it. Inside the region mt_and/mt_ite spawn their high-cofactor
+// recursion as a Task pushed on the spawner's deque; the spawner recurses
+// into the low cofactor, then joins — popping the task back if nobody stole
+// it (the common case: fork-join overhead is one push + one pop), otherwise
+// helping (running other tasks) until the thief publishes the result. Owners
+// pop the back of their deque, thieves steal from the front, so steals take
+// the oldest (largest) subtrees.
+//
+// Safepoint protocol: every worker holds `table_mu` shared for the whole
+// region and polls `pause_waiters` at checkpoints (the idle loop and every
+// ~1k recursion steps). A thread that must grow the node store increments
+// `pause_waiters`, drops its shared lock, takes `table_mu` exclusive — which
+// drains once every other worker checkpoints and releases — resizes, and
+// restores. Checkpoints are only ever reached with no stripe mutex held, so
+// the exclusive acquisition cannot deadlock against a blocked chain insert.
+#ifndef BIDEC_BDD_PARALLEL_TASK_POOL_H
+#define BIDEC_BDD_PARALLEL_TASK_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "bdd/parallel/concurrent_cache.h"
+
+namespace bidec {
+class BddManager;
+
+namespace par {
+
+/// One spawned sibling recursion. Stack-allocated in the spawning frame;
+/// `done` is the release/acquire edge that publishes `result`.
+struct Task {
+  std::uint8_t kind = 0;  // 0 = AND(f, g), 1 = ITE(f, g, h)
+  std::uint32_t f = 0, g = 0, h = 0;
+  unsigned depth = 0;
+  std::atomic<std::uint32_t> result{0xffffffffu};
+  std::atomic<bool> done{false};
+};
+
+/// Per-worker counters, merged into BddStats at region teardown (workers
+/// never touch the manager's counters directly).
+struct WorkerStats {
+  std::uint64_t steps = 0;
+  std::uint64_t and_calls = 0;
+  std::uint64_t ite_calls = 0;
+  std::uint64_t ite_norms = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t unique_hits = 0;
+  std::uint64_t unique_misses = 0;
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t cache_drops = 0;
+  std::uint64_t cas_retries = 0;
+};
+
+struct ParallelState;
+
+/// Per-worker context threaded through the mt_* recursion.
+struct WorkerCtx {
+  unsigned index = 0;
+  ParallelState* ps = nullptr;
+  std::shared_lock<std::shared_mutex>* region_lock = nullptr;  // held lock
+  WorkerStats st;
+  std::vector<std::uint32_t> spare_slots;  // allocated, lost the insert race
+  unsigned steps_since_poll = 0;
+};
+
+/// Pool + shared region state, owned by one BddManager. Threads are created
+/// once (set_threads) and sleep between regions.
+struct ParallelState {
+  ParallelState(BddManager* owner, unsigned num_threads);
+  ~ParallelState();
+
+  ParallelState(const ParallelState&) = delete;
+  ParallelState& operator=(const ParallelState&) = delete;
+
+  // --- region lifecycle (called by worker 0 / BddManager) -----------------
+  /// Wake the resident threads into a new region. Caller is worker 0.
+  void begin_region();
+  /// Mark the region over and wait until every resident worker has left the
+  /// tables (after this the manager is single-threaded again).
+  void end_region();
+
+  /// Execute a task on this worker (forwards to the manager's mt_* cores).
+  void run(Task* t, WorkerCtx& wk);
+
+  // --- deque ops ----------------------------------------------------------
+  void push(unsigned worker, Task* t);
+  /// Pop `t` from the back of `worker`'s deque iff it is still there.
+  bool pop_if_back(unsigned worker, Task* t);
+  /// Grab work: own deque from the back, then other deques from the front.
+  /// Sets `stolen` when the task came from another worker's deque.
+  Task* grab(unsigned worker, bool& stolen);
+
+  // --- safepoint ----------------------------------------------------------
+  /// Cooperative yield point; must be called with no stripe mutex held.
+  void checkpoint(WorkerCtx& wk) {
+    if (pause_waiters.load(std::memory_order_relaxed) != 0) checkpoint_slow(wk);
+  }
+  void checkpoint_slow(WorkerCtx& wk);
+
+  BddManager* mgr;
+  unsigned nthreads;
+
+  // Region control. `epoch` distinguishes regions so a worker that wakes
+  // late cannot re-enter a finished region; `live` is the fast-path flag the
+  // in-region work loop polls.
+  std::mutex region_mu;
+  std::condition_variable region_cv;
+  std::uint64_t epoch = 0;       // guarded by region_mu
+  bool shutdown = false;         // guarded by region_mu
+  std::atomic<bool> live{false};
+  std::atomic<unsigned> in_region{0};
+
+  // Node-store arena: [alloc_base, alloc_next) are this region's new slots;
+  // alloc_cap mirrors nodes_.size() (only changed under table_mu exclusive).
+  std::atomic<std::uint32_t> alloc_next{0};
+  std::atomic<std::uint32_t> alloc_cap{0};
+  std::uint32_t alloc_base = 0;
+
+  // Safepoint (see file comment).
+  std::shared_mutex table_mu;
+  std::atomic<unsigned> pause_waiters{0};
+
+  // Abort propagation: 0 = none, 1 = step budget, 2 = deadline, 3 = node
+  // budget / allocation failure. First setter wins; workers poll and unwind
+  // by returning invalid ids, worker 0 throws after teardown.
+  std::atomic<int> abort_kind{0};
+  std::atomic<std::uint64_t> shared_steps{0};
+
+  // Lock stripes for unique-table inserts. Same (var, bucket) always maps to
+  // the same stripe, so a chain is never mutated by two threads at once.
+  static constexpr unsigned kStripes = 64;
+  std::mutex stripes[kStripes];
+
+  ConcurrentCache cache;
+  // GC-epoch stamp for cache invalidation. Compared against the manager's
+  // monotonic gc_epoch_ (not stats_.gc_runs, which reset_stats() zeroes and
+  // could therefore revisit a stamped value after a real collection).
+  std::size_t gc_epoch_at_last_region = 0;
+
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<Task*> q;
+  };
+  std::vector<WorkerDeque> deques;  // one per worker, index 0 = caller
+  std::vector<WorkerCtx> ctxs;      // resident-thread contexts (1..n-1); 0 unused
+
+  std::vector<std::thread> threads;  // the n-1 resident workers
+
+ private:
+  void worker_main(unsigned index);
+};
+
+}  // namespace par
+}  // namespace bidec
+
+#endif  // BIDEC_BDD_PARALLEL_TASK_POOL_H

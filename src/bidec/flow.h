@@ -60,6 +60,11 @@ struct FlowOptions {
   /// carried here so one options object travels through JobSpec and the
   /// server protocol; the bdd-only entry point does not read it.
   proof::ProofPolicy proof = proof::ProofPolicy::kOff;
+  /// Worker threads for the BDD kernel's task-parallel apply/ITE
+  /// (DESIGN.md §16). 1 = pure serial (bit-identical results and stable
+  /// JSON), 0 = one per hardware thread. Carried here like `engine` so the
+  /// knob travels through JobSpec and the server protocol.
+  unsigned threads = 1;
 };
 
 struct FlowResult {

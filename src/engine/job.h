@@ -160,6 +160,18 @@ struct JobReport {
   proof::ProofPolicy proof_policy = proof::ProofPolicy::kOff;
   proof::ProofStats proof;
 
+  /// BDD kernel threads the job ran with (FlowOptions::threads after the
+  /// 0 = auto resolution) and the parallel-kernel counters (DESIGN.md §16).
+  /// All five counters are exactly zero on a threads=1 run — a pinned test
+  /// asserts that, and to_stable_json gates its "parallel" block on
+  /// threads > 1 so serial stable output stays byte-identical.
+  unsigned threads = 1;
+  std::uint64_t par_ops = 0;          ///< parallel regions entered
+  std::uint64_t par_tasks = 0;        ///< sibling tasks spawned
+  std::uint64_t par_steals = 0;       ///< tasks taken from another worker
+  std::uint64_t par_cache_drops = 0;  ///< lossy-cache inserts dropped on race
+  std::uint64_t par_cas_retries = 0;  ///< allocation CAS retry loops
+
   // Gate counts by type of the produced netlist.
   /// Structural lint findings (empty unless JobSpec::flow.lint ran).
   LintReport lint;

@@ -417,6 +417,10 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
       }
 
       mgr = &managers.manager_for(num_vars, fresh);
+      // Set every job (managers are reused across jobs): a serial job must
+      // put a previously-parallel manager back on the bit-exact path.
+      mgr->set_threads(spec.flow.threads);
+      rep.threads = mgr->threads();
       if (step.step_budget != 0) mgr->set_step_budget(step.step_budget);
       if (step.timeout_ms != 0) {
         mgr->set_deadline(Clock::now() +
@@ -517,6 +521,11 @@ JobResult run_synthesis_job(const JobSpec& spec, std::size_t job_id,
     rep.cache_resizes = s.cache_resizes;
     rep.cache_swept = s.cache_swept;
     rep.cache_kept = s.cache_kept;
+    rep.par_ops = s.par_ops;
+    rep.par_tasks = s.par_tasks;
+    rep.par_steals = s.par_steals;
+    rep.par_cache_drops = s.par_cache_drops;
+    rep.par_cas_retries = s.par_cas_retries;
   }
   return result;
 }

@@ -196,6 +196,19 @@ void emit_job_json(std::ostream& os, const JobReport& rep, bool stable) {
     }
     os << "}";
   }
+  // Parallel-kernel block, present only when the job ran with threads > 1 —
+  // serial reports (the golden corpus among them) keep their exact prior
+  // bytes, and a pinned test asserts every counter is zero then. The
+  // contention counters (steals, drops, retries) are scheduling-dependent,
+  // so a threads > 1 stable report is stable in its *results*, not in this
+  // block; consumers diffing across runs should mask it.
+  if (rep.threads > 1) {
+    os << ", \"parallel\": {\"threads\": " << rep.threads
+       << ", \"ops\": " << rep.par_ops << ", \"tasks\": " << rep.par_tasks
+       << ", \"steals\": " << rep.par_steals
+       << ", \"cache_drops\": " << rep.par_cache_drops
+       << ", \"cas_retries\": " << rep.par_cas_retries << "}";
+  }
   if (!rep.lint.clean()) {
     os << ", \"lint\": " << rep.lint.to_json();
   }

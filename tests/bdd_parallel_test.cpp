@@ -1,0 +1,286 @@
+// Task-parallel kernel (DESIGN.md §16): a multi-threaded manager must
+// produce the *same canonical NodeIds* as the serial kernel — canonicity is
+// owned by the unique table, so serial and parallel runs inside one manager
+// land on identical edges. These tests run the same workload both ways in a
+// single manager and compare ids, audit the structures, and exercise the
+// region/GC interaction and abort propagation.
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bidec {
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Deterministic random functions: each is an XOR of a few random cubes, so
+/// the suite is reproducible and the BDDs are dense enough to spawn tasks.
+std::vector<Bdd> random_funcs(BddManager& m, unsigned nvars, int count,
+                              std::uint64_t seed) {
+  std::vector<Bdd> fs;
+  fs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Bdd f = m.bdd_false();
+    for (int c = 0; c < 6; ++c) {
+      Bdd cube = m.bdd_true();
+      for (unsigned v = 0; v < nvars; ++v) {
+        const std::uint64_t r = xorshift(seed) % 3;
+        if (r == 0) cube &= m.var(v);
+        if (r == 1) cube &= m.nvar(v);
+      }
+      f ^= cube;
+    }
+    fs.push_back(f);
+  }
+  return fs;
+}
+
+TEST(BddParallel, SerialAndParallelAgreeOnNodeIds) {
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 8, 0x9e3779b9ull);
+
+  // Serial pass: record the canonical edge of every result.
+  std::vector<NodeId> expect;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    for (std::size_t j = i + 1; j < fs.size(); ++j) {
+      expect.push_back((fs[i] & fs[j]).id());
+      expect.push_back((fs[i] | fs[j]).id());
+      expect.push_back((fs[i] ^ fs[j]).id());
+      expect.push_back((fs[i] - fs[j]).id());
+      expect.push_back(mgr.ite(fs[i], fs[j], fs[(i + j) % fs.size()]).id());
+    }
+  }
+
+  // Parallel pass in the same manager: identical ids, not just equivalence.
+  mgr.set_threads(8);
+  mgr.set_parallel_grain(1);  // no serial trial: every op must open a region
+  ASSERT_EQ(mgr.threads(), 8u);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    for (std::size_t j = i + 1; j < fs.size(); ++j) {
+      EXPECT_EQ((fs[i] & fs[j]).id(), expect[k++]);
+      EXPECT_EQ((fs[i] | fs[j]).id(), expect[k++]);
+      EXPECT_EQ((fs[i] ^ fs[j]).id(), expect[k++]);
+      EXPECT_EQ((fs[i] - fs[j]).id(), expect[k++]);
+      EXPECT_EQ(mgr.ite(fs[i], fs[j], fs[(i + j) % fs.size()]).id(),
+                expect[k++]);
+    }
+  }
+  EXPECT_GT(mgr.stats().par_ops, 0u);
+
+  // And the structures survived the concurrent inserts.
+  EXPECT_TRUE(mgr.audit().empty());
+}
+
+TEST(BddParallel, MiterOfSerialAndParallelResultsIsFalse) {
+  BddManager mgr(10);
+  const std::vector<Bdd> fs = random_funcs(mgr, 10, 6, 0xabcdef12345ull);
+  std::vector<Bdd> serial;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    serial.push_back(fs[i] & fs[i + 1]);
+    serial.push_back(mgr.ite(fs[i], fs[i + 1], ~fs[i]));
+  }
+  mgr.set_threads(4);
+  mgr.set_parallel_grain(1);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    EXPECT_TRUE((serial[k++] ^ (fs[i] & fs[i + 1])).is_false());
+    EXPECT_TRUE((serial[k++] ^ mgr.ite(fs[i], fs[i + 1], ~fs[i])).is_false());
+  }
+}
+
+TEST(BddParallel, ComposeAndQuantifiersMatchAcrossThreadCounts) {
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 4, 0x5bd1e995ull);
+  std::vector<NodeId> expect;
+  for (const Bdd& f : fs) {
+    expect.push_back(mgr.compose(f, 3, fs[0] ^ fs[1]).id());
+    expect.push_back(mgr.exists(f, mgr.make_cube({1u, 4u, 7u})).id());
+    expect.push_back(mgr.forall(f, mgr.make_cube({0u, 5u})).id());
+  }
+  mgr.set_threads(8);
+  mgr.set_parallel_grain(1);
+  std::size_t k = 0;
+  for (const Bdd& f : fs) {
+    EXPECT_EQ(mgr.compose(f, 3, fs[0] ^ fs[1]).id(), expect[k++]);
+    EXPECT_EQ(mgr.exists(f, mgr.make_cube({1u, 4u, 7u})).id(), expect[k++]);
+    EXPECT_EQ(mgr.forall(f, mgr.make_cube({0u, 5u})).id(), expect[k++]);
+  }
+  EXPECT_TRUE(mgr.audit().empty());
+}
+
+TEST(BddParallel, SerialRunKeepsAllParallelCountersZero) {
+  // The stable-JSON report gates its "parallel" block on these counters;
+  // a default (threads=1) manager must never tick any of them.
+  BddManager mgr(10);
+  const std::vector<Bdd> fs = random_funcs(mgr, 10, 6, 0x2545f491ull);
+  Bdd acc = mgr.bdd_true();
+  for (const Bdd& f : fs) acc = mgr.ite(f, acc, ~acc) ^ (acc & f);
+  (void)mgr.exists(acc, mgr.make_cube({2u, 3u}));
+  const BddStats& s = mgr.stats();
+  EXPECT_EQ(mgr.threads(), 1u);
+  EXPECT_EQ(s.par_ops, 0u);
+  EXPECT_EQ(s.par_tasks, 0u);
+  EXPECT_EQ(s.par_steals, 0u);
+  EXPECT_EQ(s.par_cache_drops, 0u);
+  EXPECT_EQ(s.par_cas_retries, 0u);
+}
+
+TEST(BddParallel, CountersPopulateAndThreadsRevertToSerial) {
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 6, 0x6c62272e07ull);
+  mgr.set_threads(4);
+  mgr.set_parallel_grain(1);
+  Bdd acc = mgr.bdd_false();
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) acc |= fs[i] & fs[i + 1];
+  const BddStats after_par = mgr.stats();
+  EXPECT_GT(after_par.par_ops, 0u);
+  EXPECT_GT(after_par.par_tasks, 0u);
+
+  // Dropping back to one thread restores the pure serial path: the parallel
+  // counters freeze while the op counters keep moving.
+  mgr.set_threads(1);
+  EXPECT_EQ(mgr.threads(), 1u);
+  (void)(acc & fs[0]);
+  EXPECT_EQ(mgr.stats().par_ops, after_par.par_ops);
+  EXPECT_EQ(mgr.stats().par_tasks, after_par.par_tasks);
+}
+
+TEST(BddParallel, MidRegionGrowthAndGcLoseNoNodes) {
+  // Small initial capacity so the region arena starts tight and the
+  // stop-the-world growth safepoint actually fires, then a GC after the
+  // region must account for every allocated slot (spares included).
+  BddManager mgr(14, /*initial_capacity=*/1u << 8);
+  const std::vector<Bdd> fs = random_funcs(mgr, 14, 10, 0x853c49e6748full);
+  mgr.set_threads(4);
+  mgr.set_parallel_grain(1);
+  Bdd acc = mgr.bdd_false();
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    acc ^= mgr.ite(fs[i], fs[i + 1], acc);
+  }
+  ASSERT_FALSE(acc.is_const());
+  EXPECT_TRUE(mgr.audit().empty());
+
+  const Bdd snapshot = acc;
+  mgr.collect_garbage();
+  EXPECT_TRUE(mgr.audit().empty());
+  EXPECT_EQ(acc, snapshot);
+
+  // Node indices are stable across GC: recomputing serially after the
+  // collection must land on the very same edges.
+  mgr.set_threads(1);
+  Bdd acc2 = mgr.bdd_false();
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    acc2 ^= mgr.ite(fs[i], fs[i + 1], acc2);
+  }
+  EXPECT_EQ(acc2.id(), acc.id());
+}
+
+TEST(BddParallel, StepBudgetAbortsParallelRegion) {
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 6, 0x94d049bb1331ull);
+  mgr.set_threads(4);
+  mgr.set_parallel_grain(1);
+  mgr.set_step_budget(64);
+  EXPECT_THROW(
+      {
+        Bdd acc = mgr.bdd_false();
+        for (std::size_t i = 0; i + 1 < fs.size(); ++i) acc ^= fs[i] & fs[i + 1];
+      },
+      BddAbortError);
+  // The manager stays fully usable after the abort.
+  mgr.clear_abort();
+  EXPECT_TRUE(mgr.audit().empty());
+  EXPECT_FALSE((fs[0] ^ fs[1]).is_const());
+}
+
+TEST(BddParallel, DeadlineAbortsParallelRegion) {
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 6, 0xd6e8feb86659ull);
+  mgr.set_threads(4);
+  mgr.set_parallel_grain(1);
+  mgr.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_THROW(
+      {
+        Bdd acc = mgr.bdd_false();
+        for (std::size_t i = 0; i + 1 < fs.size(); ++i) acc ^= fs[i] & fs[i + 1];
+      },
+      BddAbortError);
+  mgr.clear_abort();
+  EXPECT_TRUE(mgr.audit().empty());
+  EXPECT_FALSE((fs[0] ^ fs[1]).is_const());
+}
+
+TEST(BddParallel, AdaptiveGrainKeepsSmallOpsSerial) {
+  // Default grain (0 = adaptive): an operation only escalates to a region
+  // when it blows a step cap scaled to the store size, so the small ops
+  // that dominate synthesis flows never pay region setup/teardown.
+  BddManager mgr(10);
+  const std::vector<Bdd> fs = random_funcs(mgr, 10, 4, 0xe7037ed1a0b428ull);
+  std::vector<NodeId> expect;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    expect.push_back((fs[i] & fs[i + 1]).id());
+  }
+  mgr.set_threads(8);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    EXPECT_EQ((fs[i] & fs[i + 1]).id(), expect[k++]);
+  }
+  // Everything fit under the trial cap: no region was ever opened.
+  EXPECT_EQ(mgr.stats().par_ops, 0u);
+  EXPECT_TRUE(mgr.audit().empty());
+}
+
+TEST(BddParallel, RegionCacheInvalidatedByGcAfterResetStats) {
+  // Regression: the cross-region cache used to stamp stats_.gc_runs, which
+  // reset_stats() zeroes — on a pooled manager a post-reset collection
+  // could land the counter back on the stamped value, stale entries then
+  // survived a real GC and handed out freed node ids (a batch-suite
+  // segfault). The stamp is now a monotonic epoch reset never touches.
+  BddManager mgr(12);
+  const std::vector<Bdd> fs = random_funcs(mgr, 12, 6, 0xa0761d6478bd64ull);
+  mgr.collect_garbage();  // gc_runs = 1 at the first region's entry
+  mgr.set_threads(2);
+  mgr.set_parallel_grain(1);
+  {
+    // Region results are cached in the concurrent cache, then dropped so
+    // the collection below frees their nodes.
+    Bdd scratch = mgr.bdd_false();
+    for (std::size_t i = 0; i + 1 < fs.size(); ++i) scratch ^= fs[i] & fs[i + 1];
+    ASSERT_FALSE(scratch.is_const());
+  }
+  mgr.reset_stats();      // gc_runs: 1 -> 0, like the batch engine between jobs
+  mgr.collect_garbage();  // gc_runs back to 1 == the stamped value; epoch moved on
+  // Recompute every pair through the (possibly stale) region cache first —
+  // set_threads would rebuild ParallelState and mask the bug if interleaved.
+  std::vector<NodeId> par_ids;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    par_ids.push_back((fs[i] & fs[i + 1]).id());
+  }
+  EXPECT_TRUE(mgr.audit().empty());
+  mgr.set_threads(1);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+    EXPECT_EQ((fs[i] & fs[i + 1]).id(), par_ids[k++]);
+  }
+}
+
+TEST(BddParallel, ThreadsZeroMeansAuto) {
+  BddManager mgr(4);
+  mgr.set_threads(0);
+  EXPECT_GE(mgr.threads(), 1u);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  EXPECT_EQ(f, mgr.var(0) & mgr.var(1));
+}
+
+}  // namespace
+}  // namespace bidec

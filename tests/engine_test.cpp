@@ -289,6 +289,61 @@ TEST(BatchEngine, SatAndDualEngineVerification) {
   }
 }
 
+TEST(BatchEngine, SerialJobKeepsParallelCountersZeroAndJsonClean) {
+  // The stable-JSON determinism contract: a default (threads = 1) job must
+  // never tick a parallel-kernel counter nor emit the "parallel" block, so
+  // serial reports stay byte-identical to the pre-parallel-kernel era.
+  const std::vector<PlaFile> plas = make_workload(1);
+  BatchEngine engine(EngineOptions{});
+  JobSpec spec;
+  spec.name = "serial";
+  spec.source = plas[0];
+  engine.submit(std::move(spec));
+  const BatchOutcome outcome = engine.run();
+  ASSERT_EQ(outcome.results.size(), 1u);
+  const JobReport& rep = outcome.results[0].report;
+  ASSERT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  EXPECT_EQ(rep.threads, 1u);
+  EXPECT_EQ(rep.par_ops, 0u);
+  EXPECT_EQ(rep.par_tasks, 0u);
+  EXPECT_EQ(rep.par_steals, 0u);
+  EXPECT_EQ(rep.par_cache_drops, 0u);
+  EXPECT_EQ(rep.par_cas_retries, 0u);
+  EXPECT_EQ(rep.to_stable_json().find("\"parallel\""), std::string::npos);
+  EXPECT_EQ(rep.to_json().find("\"parallel\""), std::string::npos);
+}
+
+TEST(BatchEngine, MultiThreadedJobVerifiesUnderBothEngines) {
+  // threads = 8 inside the kernel: the netlist must still verify against
+  // the specification under both the BDD and the SAT engine, and the report
+  // must carry the parallel block with the thread count.
+  const std::vector<PlaFile> plas = make_workload(1);
+  BatchEngine engine(EngineOptions{});
+  JobSpec spec;
+  spec.name = "mt";
+  spec.source = plas[0];
+  spec.verify = VerifyEngine::kBoth;
+  spec.flow.threads = 8;
+  engine.submit(std::move(spec));
+  const BatchOutcome outcome = engine.run();
+  ASSERT_EQ(outcome.results.size(), 1u);
+  const JobReport& rep = outcome.results[0].report;
+  ASSERT_EQ(rep.status, JobStatus::kOk) << rep.error;
+  EXPECT_EQ(rep.bdd_verdict, 1);
+  EXPECT_EQ(rep.sat_verdict, 1);
+  EXPECT_TRUE(rep.failed_outputs.empty());
+  EXPECT_EQ(rep.threads, 8u);
+  const std::string stable = rep.to_stable_json();
+  EXPECT_NE(stable.find("\"parallel\": {\"threads\": 8"), std::string::npos)
+      << stable;
+
+  // The parallel netlist is equivalent to a serial synthesis of the same
+  // completely-specified cover.
+  BddManager mgr(plas[0].num_inputs);
+  const std::vector<Isf> ref_spec = plas[0].to_isfs(mgr);
+  EXPECT_TRUE(verify_against_isfs(mgr, outcome.results[0].netlist, ref_spec).ok);
+}
+
 TEST(BatchEngine, SubmitRunSubmitRunsAgain) {
   // An engine instance must survive a second submit/run cycle: the first
   // run's drain leaves the queue, worker pool, and id counter in a state
